@@ -1,0 +1,192 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "common/check.h"
+#include "common/env_flags.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "env/campus_factory.h"
+#include "env/metrics.h"
+
+namespace garl::bench {
+
+BenchOptions LoadBenchOptions() {
+  BenchOptions options;
+  options.train_iterations = EnvInt("GARL_TRAIN_ITERS", 3);
+  options.eval_episodes = EnvInt("GARL_EVAL_EPISODES", 1);
+  options.horizon = EnvInt("GARL_EPISODE_SLOTS", 100);
+  options.seeds = EnvInt("GARL_SEEDS", 2);
+  options.full_sweep = EnvString("GARL_SWEEP", "small") == "full";
+  options.out_dir = EnvString("GARL_OUT_DIR", "bench_out");
+  return options;
+}
+
+std::unique_ptr<env::World> MakeWorld(const std::string& campus, int64_t u,
+                                      int64_t v_prime, int64_t horizon) {
+  env::WorldParams params;
+  params.num_ugvs = u;
+  params.uavs_per_ugv = v_prime;
+  params.horizon = horizon;
+  env::CampusSpec spec = (campus == "UCLA") ? env::MakeUclaCampus()
+                                            : env::MakeKaistCampus();
+  return std::make_unique<env::World>(std::move(spec), params);
+}
+
+namespace {
+
+// Disk-backed memoization of (config -> metrics) shared by all benches.
+class SweepCache {
+ public:
+  explicit SweepCache(const std::string& out_dir)
+      : path_(out_dir + "/sweep_cache.csv") {
+    (void)EnsureDirectory(out_dir);
+    std::ifstream in(path_);
+    std::string line;
+    while (std::getline(in, line)) {
+      std::vector<std::string> fields = Split(line, ';');
+      if (fields.size() != 5u + 1u) continue;
+      env::EpisodeMetrics m;
+      m.data_collection_ratio = std::atof(fields[1].c_str());
+      m.fairness = std::atof(fields[2].c_str());
+      m.cooperation_factor = std::atof(fields[3].c_str());
+      m.energy_ratio = std::atof(fields[4].c_str());
+      m.efficiency = std::atof(fields[5].c_str());
+      entries_[fields[0]] = m;
+    }
+  }
+
+  bool Lookup(const std::string& key, env::EpisodeMetrics* metrics) const {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    *metrics = it->second;
+    return true;
+  }
+
+  void Store(const std::string& key, const env::EpisodeMetrics& m) {
+    entries_[key] = m;
+    std::ofstream out(path_, std::ios::app);
+    out << key << ";" << m.data_collection_ratio << ";" << m.fairness << ";"
+        << m.cooperation_factor << ";" << m.energy_ratio << ";"
+        << m.efficiency << "\n";
+  }
+
+ private:
+  std::string path_;
+  std::map<std::string, env::EpisodeMetrics> entries_;
+};
+
+}  // namespace
+
+env::EpisodeMetrics AveragedRun(
+    const std::string& campus, int64_t u, int64_t v_prime,
+    const std::string& method, const BenchOptions& options,
+    const baselines::MethodOptions& method_options) {
+  static SweepCache* cache = new SweepCache(LoadBenchOptions().out_dir);
+  std::string key = StrPrintf(
+      "%s|U=%lld|V=%lld|%s|mc=%lld|e=%lld|it=%lld|ep=%lld|T=%lld|s=%lld",
+      campus.c_str(), static_cast<long long>(u),
+      static_cast<long long>(v_prime), method.c_str(),
+      static_cast<long long>(method_options.mc_layers),
+      static_cast<long long>(method_options.e_layers),
+      static_cast<long long>(options.train_iterations),
+      static_cast<long long>(options.eval_episodes),
+      static_cast<long long>(options.horizon),
+      static_cast<long long>(options.seeds));
+  env::EpisodeMetrics cached;
+  if (cache->Lookup(key, &cached)) return cached;
+
+  std::unique_ptr<env::World> world =
+      MakeWorld(campus, u, v_prime, options.horizon);
+  double psi = 0, xi = 0, zeta = 0, beta = 0;
+  for (int64_t seed = 1; seed <= options.seeds; ++seed) {
+    baselines::RunOptions run;
+    run.method = method_options;
+    run.train_iterations = options.train_iterations;
+    run.eval_episodes = options.eval_episodes;
+    run.seed = static_cast<uint64_t>(seed);
+    baselines::RunResult result =
+        baselines::TrainAndEvaluate(*world, method, run);
+    psi += result.metrics.data_collection_ratio;
+    xi += result.metrics.fairness;
+    zeta += result.metrics.cooperation_factor;
+    beta += result.metrics.energy_ratio;
+  }
+  double n = static_cast<double>(options.seeds);
+  env::EpisodeMetrics metrics =
+      env::MakeMetrics(psi / n, xi / n, zeta / n, beta / n);
+  cache->Store(key, metrics);
+  return metrics;
+}
+
+std::vector<int64_t> UgvGrid(const BenchOptions& options) {
+  if (options.full_sweep) return {2, 4, 5, 6, 8, 10, 15, 20, 30};
+  return {2, 4, 8, 12};
+}
+
+std::vector<int64_t> UavGrid(const BenchOptions& options) {
+  if (options.full_sweep) return {1, 2, 3, 4, 5};
+  return {1, 2, 4};
+}
+
+double MetricValue(const env::EpisodeMetrics& metrics,
+                   const std::string& metric) {
+  if (metric == "lambda") return metrics.efficiency;
+  if (metric == "psi") return metrics.data_collection_ratio;
+  if (metric == "xi") return metrics.fairness;
+  if (metric == "zeta") return metrics.cooperation_factor;
+  if (metric == "beta") return metrics.energy_ratio;
+  GARL_CHECK_MSG(false, "unknown metric: " + metric);
+  return 0.0;
+}
+
+void RunFigureSweep(const std::string& figure, const std::string& metric,
+                    const BenchOptions& options) {
+  struct Panel {
+    const char* label;
+    std::string campus;
+    bool sweep_u;  // false: sweep V'
+  };
+  const Panel panels[] = {
+      {"(a) KAIST (V'=2)", "KAIST", true},
+      {"(b) UCLA (V'=2)", "UCLA", true},
+      {"(c) KAIST (U=4)", "KAIST", false},
+      {"(d) UCLA (U=4)", "UCLA", false},
+  };
+  for (const Panel& panel : panels) {
+    std::vector<int64_t> grid =
+        panel.sweep_u ? UgvGrid(options) : UavGrid(options);
+    std::vector<std::string> header = {panel.sweep_u ? "U" : "V'"};
+    for (const std::string& m : baselines::AllMethods()) header.push_back(m);
+    TableWriter table(header);
+    for (int64_t value : grid) {
+      std::vector<std::string> row = {std::to_string(value)};
+      for (const std::string& method : baselines::AllMethods()) {
+        int64_t u = panel.sweep_u ? value : 4;
+        int64_t v_prime = panel.sweep_u ? 2 : value;
+        env::EpisodeMetrics m =
+            AveragedRun(panel.campus, u, v_prime, method, options);
+        row.push_back(StrPrintf("%.4f", MetricValue(m, metric)));
+      }
+      table.AddRow(row);
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    std::printf("\n%s — %s vs %s\n", panel.label, metric.c_str(),
+                panel.sweep_u ? "no. of UGVs (U)" : "no. of UAVs (V')");
+    table.Print(std::cout);
+    std::string csv = options.out_dir + "/" + figure + "_" +
+                      std::string(1, panel.label[1]) + ".csv";
+    Status status = table.WriteCsv(csv);
+    if (!status.ok()) {
+      std::fprintf(stderr, "CSV write failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+}
+
+}  // namespace garl::bench

@@ -1,0 +1,68 @@
+#ifndef GARL_BENCH_BENCH_COMMON_H_
+#define GARL_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/runner.h"
+#include "env/world.h"
+
+// Shared harness for the table/figure reproduction binaries.
+//
+// Every bench honours these environment variables so the full paper-scale
+// sweep can be reproduced without recompiling (defaults keep a complete
+// run of all benches within minutes on one core):
+//   GARL_TRAIN_ITERS    PPO/MADDPG training iterations per config (def 3)
+//   GARL_EVAL_EPISODES  evaluation episodes per seed            (def 1)
+//   GARL_EPISODE_SLOTS  task horizon T in 30 s slots            (def 100)
+//   GARL_SEEDS          independent seeds averaged              (def 2)
+//   GARL_SWEEP          "small" (default) or "full" figure grids
+//   GARL_OUT_DIR        CSV output directory (default bench_out)
+
+namespace garl::bench {
+
+struct BenchOptions {
+  int64_t train_iterations = 3;
+  int64_t eval_episodes = 1;
+  int64_t horizon = 100;
+  int64_t seeds = 2;
+  bool full_sweep = false;
+  std::string out_dir = "bench_out";
+};
+
+BenchOptions LoadBenchOptions();
+
+// Builds a world for the named campus ("KAIST" or "UCLA").
+std::unique_ptr<env::World> MakeWorld(const std::string& campus, int64_t u,
+                                      int64_t v_prime, int64_t horizon);
+
+// Trains + evaluates `method`, averaging metrics over `options.seeds`
+// seeds. Results are cached on disk (out_dir/sweep_cache.csv) keyed by the
+// full configuration, so figure benches sharing a sweep do not recompute
+// each other's points.
+env::EpisodeMetrics AveragedRun(const std::string& campus, int64_t u,
+                                int64_t v_prime, const std::string& method,
+                                const BenchOptions& options,
+                                const baselines::MethodOptions& method_options =
+                                    baselines::MethodOptions());
+
+// Sweep grids for Figs. 3-6 (method x U with V'=2, method x V' with U=4).
+std::vector<int64_t> UgvGrid(const BenchOptions& options);
+std::vector<int64_t> UavGrid(const BenchOptions& options);
+
+// Emits one figure's four panels: metric vs U for KAIST/UCLA (V'=2) and
+// metric vs V' for KAIST/UCLA (U=4), for all paper methods.
+// `metric` selects the field of EpisodeMetrics; also writes CSVs named
+// <figure>_<panel>.csv under options.out_dir.
+void RunFigureSweep(const std::string& figure, const std::string& metric,
+                    const BenchOptions& options);
+
+// Named accessor into EpisodeMetrics ("lambda", "psi", "xi", "zeta",
+// "beta").
+double MetricValue(const env::EpisodeMetrics& metrics,
+                   const std::string& metric);
+
+}  // namespace garl::bench
+
+#endif  // GARL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,14 @@
+// Reproduces Fig. 3: efficiency lambda vs number of UGVs (panels a, b;
+// V'=2) and vs number of UAVs per UGV (panels c, d; U=4) for GARL and the
+// eight baselines on both campuses.
+//
+// Paper shape: lambda rises then falls in U (peak near U=15 for KAIST and
+// U=20 for UCLA) and in V'; GARL dominates every baseline at every point.
+
+#include "bench_common.h"
+
+int main() {
+  garl::bench::BenchOptions options = garl::bench::LoadBenchOptions();
+  garl::bench::RunFigureSweep("fig3", "lambda", options);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces Fig. 4: data collection ratio psi across the same U / V'
+// sweeps as Fig. 3.
+//
+// Paper shape: psi increases with U (more coalitions cover more ground)
+// and with V' until UAV competition saturates it.
+
+#include "bench_common.h"
+
+int main() {
+  garl::bench::BenchOptions options = garl::bench::LoadBenchOptions();
+  garl::bench::RunFigureSweep("fig4", "psi", options);
+  return 0;
+}

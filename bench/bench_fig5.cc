@@ -1,0 +1,13 @@
+// Reproduces Fig. 5: geographic fairness xi (Jain index over per-sensor
+// collected fractions) across the same U / V' sweeps as Fig. 3.
+//
+// Paper shape: fairness rises with U (wider coverage) and degrades when
+// too many UAVs share one carrier.
+
+#include "bench_common.h"
+
+int main() {
+  garl::bench::BenchOptions options = garl::bench::LoadBenchOptions();
+  garl::bench::RunFigureSweep("fig5", "xi", options);
+  return 0;
+}

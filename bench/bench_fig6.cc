@@ -1,0 +1,14 @@
+// Reproduces Fig. 6: cooperation factor zeta (effective releases /
+// releases) across the same U / V' sweeps as Fig. 3.
+//
+// Paper shape: zeta declines as U grows (fiercer competition between
+// coalitions) and as V' grows (UAVs from one carrier chase the same
+// sensors).
+
+#include "bench_common.h"
+
+int main() {
+  garl::bench::BenchOptions options = garl::bench::LoadBenchOptions();
+  garl::bench::RunFigureSweep("fig6", "zeta", options);
+  return 0;
+}

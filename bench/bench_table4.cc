@@ -1,0 +1,134 @@
+// Reproduces Table IV: computational complexity of all methods — per-UGV
+// decision latency (ms) on both campuses, plus a memory estimate (MB).
+//
+// The paper measures GPU inference time and graphics-card memory; here the
+// same forward passes run on CPU through the from-scratch tensor library,
+// and memory is estimated as parameter + peak-activation footprint (see
+// DESIGN.md, Substitutions). The comparison to check is *relative*:
+// CubicMap and MADDPG are the heavy ones, GAT the lightest, GARL close to
+// the other GNN methods.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include <iostream>
+#include <memory>
+
+#include "baselines/registry.h"
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "nn/ops.h"
+#include "rl/policy.h"
+
+namespace garl::bench {
+namespace {
+
+struct MethodSetup {
+  std::unique_ptr<env::World> world;
+  rl::EnvContext context;
+  std::unique_ptr<rl::UgvPolicyNetwork> policy;
+  std::vector<env::UgvObservation> observations;
+};
+
+MethodSetup MakeSetup(const std::string& campus, const std::string& method) {
+  MethodSetup setup;
+  setup.world = MakeWorld(campus, 4, 2, 40);
+  setup.context = rl::MakeEnvContext(*setup.world);
+  Rng rng(7);
+  setup.policy = std::move(
+      baselines::MakeUgvPolicy(method, setup.context,
+                               baselines::MethodOptions(), rng))
+                     .value();
+  for (int64_t u = 0; u < 4; ++u) {
+    setup.observations.push_back(setup.world->ObserveUgv(u));
+  }
+  return setup;
+}
+
+// Parameter bytes + a rough peak-activation bound (node features across
+// layers), reported in MB.
+double EstimateMemoryMb(const MethodSetup& setup) {
+  double bytes = static_cast<double>(setup.policy->NumParameters()) * 4.0;
+  // Activations: stop-feature maps per agent per layer (~4 tensors of
+  // [B, 32] floats), times U agents.
+  bytes += 4.0 * static_cast<double>(setup.context.num_stops) * 32.0 * 4.0 *
+           static_cast<double>(setup.context.num_ugvs);
+  return bytes / (1024.0 * 1024.0);
+}
+
+void ForwardBenchmark(benchmark::State& state, const std::string& campus,
+                      const std::string& method) {
+  MethodSetup setup = MakeSetup(campus, method);
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    auto outputs = setup.policy->Forward(setup.observations);
+    benchmark::DoNotOptimize(outputs);
+  }
+  // Per-UGV decision latency, matching the paper's "running time for a
+  // UGV from inputting observation to producing actions".
+  state.counters["ms_per_ugv"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 4.0,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert,
+      benchmark::Counter::kIs1000);
+  state.counters["est_mem_mb"] = EstimateMemoryMb(setup);
+}
+
+void PrintSummaryTable() {
+  TableWriter table({"Method", "KAIST ms/UGV", "UCLA ms/UGV",
+                     "Est. Mem (MB, KAIST)"});
+  for (const std::string& method : baselines::AllMethods()) {
+    if (method == "Random") continue;  // no network to time
+    std::vector<double> row;
+    for (const std::string& campus : {std::string("KAIST"),
+                                      std::string("UCLA")}) {
+      MethodSetup setup = MakeSetup(campus, method);
+      nn::NoGradGuard no_grad;
+      // Warm once, then time a few forwards.
+      (void)setup.policy->Forward(setup.observations);
+      auto start = std::chrono::steady_clock::now();
+      const int kReps = 5;
+      for (int i = 0; i < kReps; ++i) {
+        auto outputs = setup.policy->Forward(setup.observations);
+        benchmark::DoNotOptimize(outputs);
+      }
+      auto stop = std::chrono::steady_clock::now();
+      double ms = std::chrono::duration<double, std::milli>(stop - start)
+                      .count() /
+                  (kReps * 4.0);
+      row.push_back(ms);
+    }
+    MethodSetup setup = MakeSetup("KAIST", method);
+    row.push_back(EstimateMemoryMb(setup));
+    table.AddRow(method, row);
+  }
+  std::printf("\nTable IV — computational complexity of all methods\n");
+  table.Print(std::cout);
+  (void)table.WriteCsv(LoadBenchOptions().out_dir + "/table4.csv");
+}
+
+}  // namespace
+}  // namespace garl::bench
+
+int main(int argc, char** argv) {
+  // Register one micro-benchmark per (campus, method) pair.
+  for (const std::string& campus : {std::string("KAIST")}) {
+    for (const std::string& method : garl::baselines::AllMethods()) {
+      if (method == "Random") continue;
+      benchmark::RegisterBenchmark(
+          (campus + "/" + method).c_str(),
+          [campus, method](benchmark::State& state) {
+            garl::bench::ForwardBenchmark(state, campus, method);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(5);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  garl::bench::PrintSummaryTable();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Building your own workzone: define a campus programmatically (roads,
+// buildings, sensors), validate it, inspect the generated stop network and
+// run a coalition on it. This is the entry point for adapting the library
+// to a new environment.
+//
+//   ./custom_campus
+
+#include <cstdio>
+
+#include "baselines/runner.h"
+#include "env/campus.h"
+#include "env/campus_factory.h"
+#include "env/stop_network.h"
+#include "env/world.h"
+
+int main() {
+  using namespace garl;
+
+  // Option A: fully manual specification.
+  env::CampusSpec campus;
+  campus.name = "riverside-depot";
+  campus.width = 800.0;
+  campus.height = 600.0;
+  // An H-shaped road network.
+  campus.roads.push_back({{150, 50}, {150, 550}});
+  campus.roads.push_back({{650, 50}, {650, 550}});
+  campus.roads.push_back({{150, 300}, {650, 300}});
+  // Two warehouses (obstacles) with sensors on their walls.
+  campus.buildings.push_back({250, 380, 360, 470});
+  campus.buildings.push_back({450, 120, 560, 210});
+  campus.sensors.push_back({{245, 420}, 1200.0});
+  campus.sensors.push_back({{365, 400}, 1400.0});
+  campus.sensors.push_back({{455, 115}, 1100.0});
+  campus.sensors.push_back({{565, 160}, 1000.0});
+  campus.sensors.push_back({{650, 500}, 1300.0});  // roadside cabinet
+
+  Status status = env::ValidateCampus(campus, /*reach=*/250.0);
+  std::printf("validation: %s\n", status.ToString().c_str());
+  if (!status.ok()) return 1;
+
+  env::StopNetwork stops = env::BuildStopNetwork(campus, 100.0);
+  std::printf("stop network: %lld stops, %lld edges, connected=%s\n",
+              static_cast<long long>(stops.num_stops()),
+              static_cast<long long>(stops.graph.num_edges()),
+              stops.graph.IsConnected() ? "yes" : "no");
+
+  env::WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 60;
+  env::World world(campus, params);
+
+  baselines::RunOptions options;
+  options.train_iterations = 2;
+  baselines::RunResult result =
+      baselines::TrainAndEvaluate(world, "GARL", options);
+  std::printf("GARL on %s: lambda=%.3f, psi=%.3f\n", campus.name.c_str(),
+              result.metrics.efficiency,
+              result.metrics.data_collection_ratio);
+
+  // Option B: the procedural generator used for KAIST/UCLA, reconfigured.
+  env::CampusGenOptions gen;
+  gen.name = "procedural-town";
+  gen.width = 1200;
+  gen.height = 900;
+  gen.grid_x = 5;
+  gen.grid_y = 4;
+  gen.num_buildings = 40;
+  gen.num_sensors = 70;
+  gen.seed = 42;
+  env::CampusSpec town = env::GenerateGridCampus(gen);
+  std::printf("generated %s: %zu buildings, %zu sensors, %.1f GB total\n",
+              town.name.c_str(), town.buildings.size(), town.sensors.size(),
+              town.TotalInitialData() / 1000.0);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Daily-surveillance scenario (the paper's Fig. 1 motivation): a fleet of
+// UGV carriers patrols the KAIST campus collecting CCTV/sensor data, and
+// we compare the learned GARL policy against an uncoordinated Random fleet
+// over the same task.
+//
+//   ./kaist_surveillance
+
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/runner.h"
+#include "common/table_writer.h"
+#include "env/campus_factory.h"
+#include "env/world.h"
+
+int main() {
+  using namespace garl;
+
+  env::WorldParams params;
+  params.num_ugvs = 6;      // larger patrol fleet
+  params.uavs_per_ugv = 2;
+  params.horizon = 120;     // one hour of 30 s slots
+  env::World world(env::MakeKaistCampus(), params);
+
+  TableWriter table({"policy", "lambda", "psi", "xi", "zeta", "beta"});
+  for (const std::string& method : {std::string("GARL"),
+                                    std::string("GARL w/o MC, E"),
+                                    std::string("Random")}) {
+    baselines::RunOptions options;
+    options.train_iterations = (method == "Random") ? 0 : 3;
+    options.eval_episodes = 1;
+    baselines::RunResult result =
+        baselines::TrainAndEvaluate(world, method, options);
+    const env::EpisodeMetrics& m = result.metrics;
+    table.AddRow(method, {m.efficiency, m.data_collection_ratio, m.fairness,
+                          m.cooperation_factor, m.energy_ratio});
+    std::printf("finished %s\n", method.c_str());
+  }
+  std::printf("\nKAIST daily surveillance, U=6, V'=2, T=120:\n");
+  table.Print(std::cout);
+  std::printf(
+      "\nThe coordinated coalition policy (GARL) should collect more data,\n"
+      "more evenly, with fewer wasted UAV flights than the plain-GCN and\n"
+      "Random fleets.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Disaster-response scenario on the UCLA-style campus: its east and west
+// districts are joined only by a thin connector road through a sparse
+// centre, so carriers must commit to a side — the landscape feature the
+// paper credits for GARL's advantage there (Section V-D).
+//
+// The example trains GARL, replays one episode, and reports how the fleet
+// split its effort between the two districts.
+//
+//   ./ucla_disaster_response
+
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "common/rng.h"
+#include "env/campus_factory.h"
+#include "env/world.h"
+#include "nn/ops.h"
+#include "rl/ippo_trainer.h"
+#include "rl/rollout.h"
+#include "rl/uav_controller.h"
+
+int main() {
+  using namespace garl;
+
+  env::WorldParams params;
+  params.num_ugvs = 4;
+  params.uavs_per_ugv = 2;
+  params.horizon = 120;
+  env::World world(env::MakeUclaCampus(), params);
+  rl::EnvContext context = rl::MakeEnvContext(world);
+
+  Rng rng(3);
+  auto policy = std::move(baselines::MakeUgvPolicy(
+                              "GARL", context, baselines::MethodOptions(),
+                              rng))
+                    .value();
+  rl::TrainConfig train;
+  train.iterations = 3;
+  train.seed = 3;
+  rl::IppoTrainer trainer(&world, policy.get(), nullptr, train);
+  trainer.Train();
+
+  // Replay one episode and watch the district split.
+  world.Reset(77);
+  Rng act_rng(7);
+  rl::GreedyUavController uav_controller;
+  while (!world.Done()) {
+    std::vector<env::UgvObservation> observations;
+    for (int64_t u = 0; u < world.num_ugvs(); ++u) {
+      observations.push_back(world.ObserveUgv(u));
+    }
+    std::vector<rl::UgvPolicyOutput> outputs;
+    {
+      nn::NoGradGuard no_grad;
+      outputs = policy->Forward(observations);
+    }
+    std::vector<env::UgvAction> ugv_actions(
+        static_cast<size_t>(world.num_ugvs()));
+    for (int64_t u = 0; u < world.num_ugvs(); ++u) {
+      if (world.UgvNeedsAction(u)) {
+        ugv_actions[static_cast<size_t>(u)] =
+            rl::SampleUgvAction(outputs[static_cast<size_t>(u)], act_rng,
+                                false)
+                .action;
+      }
+    }
+    std::vector<env::UavAction> uav_actions(
+        static_cast<size_t>(world.num_uavs()));
+    for (int64_t v = 0; v < world.num_uavs(); ++v) {
+      if (world.UavAirborne(v)) {
+        uav_actions[static_cast<size_t>(v)] =
+            uav_controller.Act(world, v, act_rng);
+      }
+    }
+    world.Step(ugv_actions, uav_actions);
+  }
+
+  // District accounting.
+  double west_collected = 0, east_collected = 0, west_total = 0,
+         east_total = 0;
+  for (const env::SensorState& s : world.sensors()) {
+    bool west = s.position.x < world.campus().width / 2.0;
+    (west ? west_total : east_total) += s.initial_mb;
+    (west ? west_collected : east_collected) +=
+        s.initial_mb - s.remaining_mb;
+  }
+  int west_time = 0, east_time = 0;
+  for (const auto& trace : world.ugv_trace()) {
+    for (const env::Vec2& p : trace) {
+      (p.x < world.campus().width / 2.0 ? west_time : east_time) += 1;
+    }
+  }
+  env::EpisodeMetrics m = world.Metrics();
+  std::printf("UCLA disaster response, U=4, V'=2, T=120\n");
+  std::printf("  west district: %.0f / %.0f MB collected (%.0f%%)\n",
+              west_collected, west_total,
+              100.0 * west_collected / west_total);
+  std::printf("  east district: %.0f / %.0f MB collected (%.0f%%)\n",
+              east_collected, east_total,
+              100.0 * east_collected / east_total);
+  std::printf("  carrier slot-presence west/east: %d / %d\n", west_time,
+              east_time);
+  std::printf("  efficiency lambda = %.3f (psi %.3f, xi %.3f, zeta %.3f, "
+              "beta %.3f)\n",
+              m.efficiency, m.data_collection_ratio, m.fairness,
+              m.cooperation_factor, m.energy_ratio);
+  std::printf(
+      "\nA coordinated fleet serves BOTH districts despite the thin\n"
+      "connector; an uncoordinated one strands all carriers on one side.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "baselines/ae_comm.h"
+
+#include "baselines/common.h"
+#include "nn/ops.h"
+
+namespace garl::baselines {
+
+AeCommExtractor::AeCommExtractor(const rl::EnvContext& context,
+                                 AeCommConfig config, Rng& rng)
+    : context_(&context), config_(config) {
+  gcn_ = std::make_unique<core::GcnStack>(context.laplacian, 3,
+                                          config_.hidden,
+                                          config_.gcn_layers, rng);
+  embed_ = std::make_unique<nn::Linear>(2 * config_.hidden + 2,
+                                        config_.hidden, rng);
+  encoder_ = std::make_unique<nn::Linear>(config_.hidden, config_.code_dim,
+                                          rng);
+  decoder_ = std::make_unique<nn::Linear>(config_.code_dim, config_.hidden,
+                                          rng);
+  merge_ = std::make_unique<nn::Linear>(config_.hidden + config_.code_dim,
+                                        config_.out_dim, rng);
+}
+
+std::vector<nn::Tensor> AeCommExtractor::Extract(
+    const std::vector<env::UgvObservation>& observations) {
+  int64_t num_ugvs = static_cast<int64_t>(observations.size());
+  float inv_b = 1.0f / static_cast<float>(context_->num_stops);
+
+  std::vector<nn::Tensor> hidden, codes;
+  std::vector<nn::Tensor> reconstruction_losses;
+  for (const auto& obs : observations) {
+    nn::Tensor encoded = gcn_->Forward(obs.stop_features);
+    nn::Tensor pooled = nn::MulScalar(nn::SumDim(encoded, 0), inv_b);
+    nn::Tensor self_row = nn::Reshape(
+        nn::Rows(encoded, obs.ugv_stops[static_cast<size_t>(obs.self)], 1),
+        {config_.hidden});
+    nn::Tensor self_xy =
+        nn::Reshape(nn::Rows(obs.ugv_positions, obs.self, 1), {2});
+    nn::Tensor h = nn::Tanh(
+        embed_->Forward(nn::Concat({pooled, self_row, self_xy}, 0)));
+    nn::Tensor code = nn::Tanh(encoder_->Forward(h));
+    // Grounding: the decoder must reconstruct the observation embedding
+    // from the common-language code.
+    nn::Tensor recon = decoder_->Forward(code);
+    reconstruction_losses.push_back(
+        nn::Reshape(nn::MseLoss(recon, h.Detach()), {1}));
+    hidden.push_back(h);
+    codes.push_back(code);
+  }
+  pending_aux_loss_ = nn::MulScalar(
+      nn::Sum(nn::Concat(reconstruction_losses, 0)),
+      1.0f / static_cast<float>(num_ugvs));
+
+  std::vector<nn::Tensor> features;
+  for (int64_t u = 0; u < num_ugvs; ++u) {
+    nn::Tensor message = nn::Tensor::Zeros({config_.code_dim});
+    if (num_ugvs > 1) {
+      for (int64_t o = 0; o < num_ugvs; ++o) {
+        if (o == u) continue;
+        message = nn::Add(message, codes[static_cast<size_t>(o)]);
+      }
+      message = nn::MulScalar(message,
+                              1.0f / static_cast<float>(num_ugvs - 1));
+    }
+    nn::Tensor out = nn::Tanh(merge_->Forward(
+        nn::Concat({hidden[static_cast<size_t>(u)], message}, 0)));
+    nn::Tensor self_xy = nn::Reshape(
+        nn::Rows(observations[static_cast<size_t>(u)].ugv_positions,
+                 observations[static_cast<size_t>(u)].self, 1),
+        {2});
+    features.push_back(nn::Concat({out, self_xy}, 0));
+  }
+  return features;
+}
+
+nn::Tensor AeCommExtractor::ConsumeAuxLoss() {
+  nn::Tensor loss = pending_aux_loss_;
+  pending_aux_loss_ = nn::Tensor();
+  return loss;
+}
+
+rl::UgvPriors AeCommExtractor::Priors(
+    const std::vector<env::UgvObservation>& observations) {
+  rl::UgvPriors priors;
+  for (const auto& obs : observations) {
+    // The grounded common language carries enough of the peers' situation
+    // for partial separation and a weakened radial-dispersal effect (the
+    // strongest baseline in the paper) — but no dedicated geometry
+    // machinery, so both are below GARL's strength.
+    nn::Tensor prior = StructurePrior(*context_, obs, /*hop_threshold=*/8,
+                                      /*separation=*/0.5f);
+    AddRadialDispersal(*context_, obs, DataEstimate(*context_, obs),
+                       /*coeff=*/0.18f, prior);
+    priors.target.push_back(prior);
+  }
+  return priors;
+}
+
+std::vector<nn::Tensor> AeCommExtractor::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const nn::Module* module :
+       {static_cast<const nn::Module*>(gcn_.get()),
+        static_cast<const nn::Module*>(embed_.get()),
+        static_cast<const nn::Module*>(encoder_.get()),
+        static_cast<const nn::Module*>(decoder_.get()),
+        static_cast<const nn::Module*>(merge_.get())}) {
+    for (const nn::Tensor& p : module->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace garl::baselines

@@ -1,0 +1,55 @@
+#ifndef GARL_BASELINES_AE_COMM_H_
+#define GARL_BASELINES_AE_COMM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/gcn.h"
+#include "nn/linear.h"
+#include "rl/feature_policy.h"
+
+// AE-Comm baseline (Lin et al., NeurIPS'21): a communication autoencoder
+// grounds a common language — each agent encodes its observation into a
+// code, broadcasts it, and a decoder reconstruction loss keeps the codes
+// informative. The strongest communication baseline in the paper, but it
+// has no dedicated machinery for spatial/geometric structure.
+
+namespace garl::baselines {
+
+struct AeCommConfig {
+  int64_t gcn_layers = 2;
+  int64_t hidden = 16;
+  int64_t code_dim = 16;
+  int64_t out_dim = 32;
+};
+
+class AeCommExtractor : public rl::UgvFeatureExtractor {
+ public:
+  AeCommExtractor(const rl::EnvContext& context, AeCommConfig config,
+                  Rng& rng);
+
+  std::vector<nn::Tensor> Extract(
+      const std::vector<env::UgvObservation>& observations) override;
+  rl::UgvPriors Priors(
+      const std::vector<env::UgvObservation>& observations) override;
+  nn::Tensor ConsumeAuxLoss() override;
+
+  int64_t feature_dim() const override { return config_.out_dim + 2; }
+  std::string name() const override { return "AE-Comm"; }
+  std::vector<nn::Tensor> Parameters() const override;
+
+ private:
+  const rl::EnvContext* context_;
+  AeCommConfig config_;
+  std::unique_ptr<core::GcnStack> gcn_;
+  std::unique_ptr<nn::Linear> embed_;    // obs summary -> hidden
+  std::unique_ptr<nn::Linear> encoder_;  // hidden -> code ("language")
+  std::unique_ptr<nn::Linear> decoder_;  // code -> hidden (reconstruction)
+  std::unique_ptr<nn::Linear> merge_;    // [hidden ; mean code] -> out
+  nn::Tensor pending_aux_loss_;
+};
+
+}  // namespace garl::baselines
+
+#endif  // GARL_BASELINES_AE_COMM_H_

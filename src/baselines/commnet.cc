@@ -1,0 +1,96 @@
+#include "baselines/commnet.h"
+
+#include "baselines/common.h"
+#include "nn/ops.h"
+
+namespace garl::baselines {
+
+CommNetExtractor::CommNetExtractor(const rl::EnvContext& context,
+                                   CommNetConfig config, Rng& rng)
+    : context_(&context), config_(config) {
+  gcn_ = std::make_unique<core::GcnStack>(context.laplacian, 3,
+                                          config_.hidden,
+                                          config_.gcn_layers, rng);
+  embed_ = std::make_unique<nn::Linear>(2 * config_.hidden + 2,
+                                        config_.comm_dim, rng);
+  for (int64_t l = 0; l < config_.comm_layers; ++l) {
+    self_transform_.push_back(std::make_unique<nn::Linear>(
+        config_.comm_dim, config_.comm_dim, rng));
+    comm_transform_.push_back(std::make_unique<nn::Linear>(
+        config_.comm_dim, config_.comm_dim, rng, /*with_bias=*/false));
+  }
+}
+
+std::vector<nn::Tensor> CommNetExtractor::Extract(
+    const std::vector<env::UgvObservation>& observations) {
+  int64_t num_ugvs = static_cast<int64_t>(observations.size());
+  float inv_b = 1.0f / static_cast<float>(context_->num_stops);
+
+  std::vector<nn::Tensor> h;
+  for (const auto& obs : observations) {
+    nn::Tensor encoded = gcn_->Forward(obs.stop_features);
+    nn::Tensor pooled = nn::MulScalar(nn::SumDim(encoded, 0), inv_b);
+    nn::Tensor self_row = nn::Reshape(
+        nn::Rows(encoded, obs.ugv_stops[static_cast<size_t>(obs.self)], 1),
+        {config_.hidden});
+    nn::Tensor self_xy =
+        nn::Reshape(nn::Rows(obs.ugv_positions, obs.self, 1), {2});
+    h.push_back(nn::Tanh(
+        embed_->Forward(nn::Concat({pooled, self_row, self_xy}, 0))));
+  }
+
+  // Mean-communication layers: h' = tanh(W_h h + W_c mean(h_{-u})).
+  for (int64_t l = 0; l < config_.comm_layers; ++l) {
+    std::vector<nn::Tensor> next(static_cast<size_t>(num_ugvs));
+    for (int64_t u = 0; u < num_ugvs; ++u) {
+      nn::Tensor comm = nn::Tensor::Zeros({config_.comm_dim});
+      if (num_ugvs > 1) {
+        for (int64_t o = 0; o < num_ugvs; ++o) {
+          if (o == u) continue;
+          comm = nn::Add(comm, h[static_cast<size_t>(o)]);
+        }
+        comm = nn::MulScalar(comm, 1.0f / static_cast<float>(num_ugvs - 1));
+      }
+      next[static_cast<size_t>(u)] = nn::Tanh(
+          nn::Add(self_transform_[l]->Forward(h[static_cast<size_t>(u)]),
+                  comm_transform_[l]->Forward(comm)));
+    }
+    h = std::move(next);
+  }
+
+  for (int64_t u = 0; u < num_ugvs; ++u) {
+    nn::Tensor self_xy = nn::Reshape(
+        nn::Rows(observations[static_cast<size_t>(u)].ugv_positions,
+                 observations[static_cast<size_t>(u)].self, 1),
+        {2});
+    h[static_cast<size_t>(u)] =
+        nn::Concat({h[static_cast<size_t>(u)], self_xy}, 0);
+  }
+  return h;
+}
+
+rl::UgvPriors CommNetExtractor::Priors(
+    const std::vector<env::UgvObservation>& observations) {
+  rl::UgvPriors priors;
+  for (const auto& obs : observations) {
+    // Geometry-blind mean messages: single-center prior only.
+    priors.target.push_back(
+        StructurePrior(*context_, obs, /*hop_threshold=*/8,
+                       /*separation=*/0.0f));
+  }
+  return priors;
+}
+
+std::vector<nn::Tensor> CommNetExtractor::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const nn::Tensor& p : gcn_->Parameters()) params.push_back(p);
+  for (const nn::Tensor& p : embed_->Parameters()) params.push_back(p);
+  for (const auto& group : {&self_transform_, &comm_transform_}) {
+    for (const auto& module : *group) {
+      for (const nn::Tensor& p : module->Parameters()) params.push_back(p);
+    }
+  }
+  return params;
+}
+
+}  // namespace garl::baselines

@@ -1,0 +1,57 @@
+#ifndef GARL_BASELINES_COMMNET_H_
+#define GARL_BASELINES_COMMNET_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/gcn.h"
+#include "nn/linear.h"
+#include "rl/feature_policy.h"
+
+// CommNet (Sukhbaatar & Fergus, NeurIPS'16) — the canonical
+// communication-based MADRL model the paper's Section I uses to motivate
+// E-Comm: per layer every agent receives the plain mean of the other
+// agents' hidden states, h' = tanh(W_h h + W_c mean(h_others)). Being
+// permutation-invariant and geometry-blind, it "cannot adapt to the
+// constant changing of geometric shapes formed by UGVs".
+//
+// Not part of the paper's evaluated baseline set (Table/Figure benches use
+// the eight published ones); provided as a library extension and used by
+// the prior-ablation bench.
+
+namespace garl::baselines {
+
+struct CommNetConfig {
+  int64_t gcn_layers = 2;
+  int64_t hidden = 16;
+  int64_t comm_dim = 32;
+  int64_t comm_layers = 2;
+};
+
+class CommNetExtractor : public rl::UgvFeatureExtractor {
+ public:
+  CommNetExtractor(const rl::EnvContext& context, CommNetConfig config,
+                   Rng& rng);
+
+  std::vector<nn::Tensor> Extract(
+      const std::vector<env::UgvObservation>& observations) override;
+  rl::UgvPriors Priors(
+      const std::vector<env::UgvObservation>& observations) override;
+
+  int64_t feature_dim() const override { return config_.comm_dim + 2; }
+  std::string name() const override { return "CommNet"; }
+  std::vector<nn::Tensor> Parameters() const override;
+
+ private:
+  const rl::EnvContext* context_;
+  CommNetConfig config_;
+  std::unique_ptr<core::GcnStack> gcn_;
+  std::unique_ptr<nn::Linear> embed_;
+  std::vector<std::unique_ptr<nn::Linear>> self_transform_;  // W_h
+  std::vector<std::unique_ptr<nn::Linear>> comm_transform_;  // W_c
+};
+
+}  // namespace garl::baselines
+
+#endif  // GARL_BASELINES_COMMNET_H_

@@ -1,0 +1,156 @@
+#include "baselines/common.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/mc_gcn.h"
+
+namespace garl::baselines {
+
+nn::Tensor DataEstimate(const rl::EnvContext& context,
+                        const env::UgvObservation& obs) {
+  nn::Tensor est = nn::Tensor::Zeros({context.num_stops});
+  auto& data = est.mutable_data();
+  for (int64_t b = 0; b < context.num_stops; ++b) {
+    float observed = obs.stop_features.at({b, 2});
+    data[static_cast<size_t>(b)] =
+        observed < 0.0f ? 0.4f : std::max(observed, 0.0f);
+  }
+  return est;
+}
+
+nn::Tensor StructurePrior(const rl::EnvContext& context,
+                          const env::UgvObservation& obs,
+                          int64_t hop_threshold, float separation) {
+  nn::Tensor relevance = core::HopRelevance(
+      context, obs.ugv_stops[static_cast<size_t>(obs.self)], hop_threshold);
+  if (separation > 0.0f && obs.ugv_stops.size() > 1) {
+    auto& data = relevance.mutable_data();
+    float inv_others =
+        separation / static_cast<float>(obs.ugv_stops.size() - 1);
+    for (size_t other = 0; other < obs.ugv_stops.size(); ++other) {
+      if (static_cast<int64_t>(other) == obs.self) continue;
+      nn::Tensor so =
+          core::HopRelevance(context, obs.ugv_stops[other], hop_threshold);
+      for (size_t b = 0; b < data.size(); ++b) {
+        data[b] -= inv_others * so.data()[b];
+      }
+    }
+  }
+  return nn::Mul(relevance, DataEstimate(context, obs));
+}
+
+nn::Tensor FusedDataEstimate(const rl::EnvContext& context,
+                             const std::vector<env::UgvObservation>& all) {
+  GARL_CHECK(!all.empty());
+  nn::Tensor est = nn::Tensor::Zeros({context.num_stops});
+  auto& data = est.mutable_data();
+  for (int64_t b = 0; b < context.num_stops; ++b) {
+    // Freshest estimate wins (Eq. 9b semantics).
+    int64_t newest = -1;
+    float value = 0.4f;  // optimism when nobody has approached
+    for (const auto& obs : all) {
+      int64_t when = obs.stop_seen_slot[static_cast<size_t>(b)];
+      if (when > newest) {
+        newest = when;
+        value = std::max(obs.stop_features.at({b, 2}), 0.0f);
+      }
+    }
+    data[static_cast<size_t>(b)] = value;
+  }
+  return est;
+}
+
+nn::Tensor StructurePriorFused(const rl::EnvContext& context,
+                               const std::vector<env::UgvObservation>& all,
+                               int64_t self, int64_t hop_threshold,
+                               float separation) {
+  const env::UgvObservation& obs = all[static_cast<size_t>(self)];
+  nn::Tensor relevance = core::HopRelevance(
+      context, obs.ugv_stops[static_cast<size_t>(obs.self)], hop_threshold);
+  if (separation > 0.0f && obs.ugv_stops.size() > 1) {
+    auto& data = relevance.mutable_data();
+    float inv_others =
+        separation / static_cast<float>(obs.ugv_stops.size() - 1);
+    for (size_t other = 0; other < obs.ugv_stops.size(); ++other) {
+      if (static_cast<int64_t>(other) == obs.self) continue;
+      nn::Tensor so =
+          core::HopRelevance(context, obs.ugv_stops[other], hop_threshold);
+      for (size_t b = 0; b < data.size(); ++b) {
+        data[b] -= inv_others * so.data()[b];
+      }
+    }
+  }
+  return nn::Mul(relevance, FusedDataEstimate(context, all));
+}
+
+void AddRadialDispersal(const rl::EnvContext& context,
+                        const env::UgvObservation& obs,
+                        const nn::Tensor& data_estimate, float coeff,
+                        nn::Tensor& prior) {
+  if (obs.ugv_positions_raw.size() < 2 || coeff == 0.0f) return;
+  const env::Vec2& self_pos =
+      obs.ugv_positions_raw[static_cast<size_t>(obs.self)];
+  env::Vec2 resultant{0.0, 0.0};
+  for (size_t other = 0; other < obs.ugv_positions_raw.size(); ++other) {
+    if (static_cast<int64_t>(other) == obs.self) continue;
+    env::Vec2 away = self_pos - obs.ugv_positions_raw[other];
+    double norm = std::max(away.Norm(), 1.0);
+    resultant = resultant + away * (1.0 / norm);
+  }
+  double res_norm = resultant.Norm();
+  if (res_norm <= 1e-6) return;
+  resultant = resultant * (1.0 / res_norm);
+  auto& data = prior.mutable_data();
+  float self_x = obs.ugv_positions.at({obs.self, 0});
+  float self_y = obs.ugv_positions.at({obs.self, 1});
+  for (int64_t b = 0; b < context.num_stops; ++b) {
+    float dx = context.stop_xy.at({b, 0}) - self_x;
+    float dy = context.stop_xy.at({b, 1}) - self_y;
+    float norm = std::hypot(dx, dy);
+    if (norm < 1e-6f) continue;
+    float alignment = (dx * static_cast<float>(resultant.x) +
+                       dy * static_cast<float>(resultant.y)) /
+                      norm;
+    data[static_cast<size_t>(b)] +=
+        coeff * alignment * data_estimate.data()[static_cast<size_t>(b)];
+  }
+}
+
+int64_t EncodedObservationDim(int64_t num_ugvs) {
+  return 2 + 2 * (num_ugvs - 1) + 6;
+}
+
+std::vector<float> EncodeObservation(const rl::EnvContext& context,
+                                     const env::UgvObservation& obs) {
+  std::vector<float> encoded;
+  float self_x = obs.ugv_positions.at({obs.self, 0});
+  float self_y = obs.ugv_positions.at({obs.self, 1});
+  encoded.push_back(self_x);
+  encoded.push_back(self_y);
+  for (int64_t other = 0; other < obs.ugv_positions.size(0); ++other) {
+    if (other == obs.self) continue;
+    encoded.push_back(obs.ugv_positions.at({other, 0}));
+    encoded.push_back(obs.ugv_positions.at({other, 1}));
+  }
+  // Quadrant data summary around self + total + local.
+  float quadrant[4] = {0, 0, 0, 0};
+  float total = 0.0f;
+  for (int64_t b = 0; b < context.num_stops; ++b) {
+    float observed = std::max(obs.stop_features.at({b, 2}), 0.0f);
+    total += observed;
+    int east = obs.stop_features.at({b, 0}) >= self_x ? 1 : 0;
+    int north = obs.stop_features.at({b, 1}) >= self_y ? 1 : 0;
+    quadrant[2 * north + east] += observed;
+  }
+  float norm = std::max(total, 1.0f);
+  for (float q : quadrant) encoded.push_back(q / norm);
+  encoded.push_back(total / static_cast<float>(context.num_stops));
+  encoded.push_back(
+      std::max(obs.stop_features.at({obs.current_stop, 2}), 0.0f));
+  GARL_CHECK_EQ(static_cast<int64_t>(encoded.size()),
+                EncodedObservationDim(obs.ugv_positions.size(0)));
+  return encoded;
+}
+
+}  // namespace garl::baselines

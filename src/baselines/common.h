@@ -1,0 +1,60 @@
+#ifndef GARL_BASELINES_COMMON_H_
+#define GARL_BASELINES_COMMON_H_
+
+#include <cstdint>
+
+#include "env/types.h"
+#include "nn/tensor.h"
+#include "rl/policy.h"
+
+// Shared helpers for baseline feature extractors.
+
+namespace garl::baselines {
+
+// Observed-data estimate per stop: max(value, 0) with mild optimism for
+// still-masked stops (same convention as GarlExtractor::DataEstimate).
+nn::Tensor DataEstimate(const rl::EnvContext& context,
+                        const env::UgvObservation& obs);
+
+// Structural target prior shared by the baselines: hop relevance from the
+// agent's stop, times the observed data, minus `separation` times the mean
+// relevance from the other UGVs' stops. `separation` expresses how much
+// coordination the method's architecture can express (0 = single-center
+// greedy view; 1 = GARL's full multi-center subtraction); see DESIGN.md.
+nn::Tensor StructurePrior(const rl::EnvContext& context,
+                          const env::UgvObservation& obs,
+                          int64_t hop_threshold, float separation);
+
+// Data map fused across ALL agents' observations (per stop: the best
+// non-masked estimate any agent holds; optimism only when no agent has
+// ever approached the stop). Models communication mechanisms that share
+// observation content itself — AE-Comm's grounded common language.
+nn::Tensor FusedDataEstimate(const rl::EnvContext& context,
+                             const std::vector<env::UgvObservation>& all);
+
+// StructurePrior evaluated against the fused data map.
+nn::Tensor StructurePriorFused(const rl::EnvContext& context,
+                               const std::vector<env::UgvObservation>& all,
+                               int64_t self, int64_t hop_threshold,
+                               float separation);
+
+// Adds `coeff * alignment * data` to `prior` for every stop, where
+// alignment is the cosine between the stop bearing and the resultant
+// direction away from the other UGVs (E-Comm's Eq. 28 "resultant force",
+// reusable at reduced strength by baselines whose communication conveys
+// partial geometry).
+void AddRadialDispersal(const rl::EnvContext& context,
+                        const env::UgvObservation& obs,
+                        const nn::Tensor& data_estimate, float coeff,
+                        nn::Tensor& prior);
+
+// Compact hand-crafted observation vector (self position, peer positions,
+// data summary in four quadrants, local data) used by MLP-based baselines
+// (MADDPG). Dimension: 2 + 2*(U-1) + 6.
+std::vector<float> EncodeObservation(const rl::EnvContext& context,
+                                     const env::UgvObservation& obs);
+int64_t EncodedObservationDim(int64_t num_ugvs);
+
+}  // namespace garl::baselines
+
+#endif  // GARL_BASELINES_COMMON_H_

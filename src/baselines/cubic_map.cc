@@ -1,0 +1,137 @@
+#include "baselines/cubic_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/common.h"
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace garl::baselines {
+
+CubicMapExtractor::CubicMapExtractor(const rl::EnvContext& context,
+                                     CubicMapConfig config, Rng& rng)
+    : context_(&context), config_(config) {
+  conv1_ = std::make_unique<nn::Conv2dLayer>(3, config_.channels, 3, 2, 1,
+                                             rng);
+  conv2_ = std::make_unique<nn::Conv2dLayer>(config_.channels,
+                                             2 * config_.channels, 3, 2, 1,
+                                             rng);
+  int64_t s = conv2_->OutputSize(conv1_->OutputSize(config_.grid));
+  flat_dim_ = 2 * config_.channels * s * s;
+  encode_ = std::make_unique<nn::Linear>(flat_dim_, config_.memory_dim, rng);
+  readout_ = std::make_unique<nn::Linear>(2 * config_.memory_dim,
+                                          config_.out_dim, rng);
+  // One independent memory per UGV (Tensor handles share storage, so each
+  // needs its own allocation).
+  for (int64_t u = 0; u < context.num_ugvs; ++u) {
+    memory_.push_back(
+        nn::Tensor::Zeros({config_.memory_slots, config_.memory_dim}));
+  }
+  cursor_.assign(static_cast<size_t>(context.num_ugvs), 0);
+}
+
+nn::Tensor CubicMapExtractor::Rasterize(
+    const env::UgvObservation& obs) const {
+  int64_t g = config_.grid;
+  nn::Tensor image = nn::Tensor::Zeros({3, g, g});
+  auto& data = image.mutable_data();
+  auto cell = [g](float coord) {
+    return std::clamp<int64_t>(static_cast<int64_t>(coord * g), 0, g - 1);
+  };
+  // Channel 0: observed stop data; channel 1: stop layout.
+  for (int64_t b = 0; b < obs.stop_features.size(0); ++b) {
+    int64_t ix = cell(obs.stop_features.at({b, 0}));
+    int64_t iy = cell(obs.stop_features.at({b, 1}));
+    data[(0 * g + iy) * g + ix] +=
+        std::max(obs.stop_features.at({b, 2}), 0.0f);
+    data[(1 * g + iy) * g + ix] = 1.0f;
+  }
+  // Channel 2: UGV positions (self weighted double).
+  for (int64_t u = 0; u < obs.ugv_positions.size(0); ++u) {
+    int64_t ix = cell(obs.ugv_positions.at({u, 0}));
+    int64_t iy = cell(obs.ugv_positions.at({u, 1}));
+    data[(2 * g + iy) * g + ix] += (u == obs.self) ? 2.0f : 1.0f;
+  }
+  return image;
+}
+
+std::vector<nn::Tensor> CubicMapExtractor::Extract(
+    const std::vector<env::UgvObservation>& observations) {
+  std::vector<nn::Tensor> features;
+  for (const auto& obs : observations) {
+    nn::Tensor x = nn::Reshape(Rasterize(obs),
+                               {1, 3, config_.grid, config_.grid});
+    x = nn::Relu(conv1_->Forward(x));
+    x = nn::Relu(conv2_->Forward(x));
+    nn::Tensor enc =
+        nn::Tanh(encode_->Forward(nn::Reshape(x, {flat_dim_})));
+
+    size_t u = static_cast<size_t>(obs.self);
+    GARL_CHECK_LT(obs.self, static_cast<int64_t>(memory_.size()));
+    // Contextual read: softmax attention of the encoding over memory rows.
+    nn::Tensor scores = nn::Reshape(
+        nn::MatMul(memory_[u], nn::Reshape(enc, {config_.memory_dim, 1})),
+        {config_.memory_slots});
+    nn::Tensor attn = nn::Softmax(scores);
+    nn::Tensor read = nn::Reshape(
+        nn::MatMul(nn::Reshape(attn, {1, config_.memory_slots}),
+                   memory_[u]),
+        {config_.memory_dim});
+    nn::Tensor feature = nn::Tanh(
+        readout_->Forward(nn::Concat({enc, read}, 0)));
+
+    // Cubic write: store the (detached) encoding in the rotating slot. A
+    // fresh tensor replaces the old memory so any autograd graph that read
+    // the previous contents stays valid.
+    nn::Tensor next_memory = nn::Tensor::FromVector(
+        {config_.memory_slots, config_.memory_dim}, memory_[u].data());
+    auto& slot_data = next_memory.mutable_data();
+    const auto& enc_data = enc.data();
+    int64_t row = cursor_[u];
+    for (int64_t d = 0; d < config_.memory_dim; ++d) {
+      slot_data[static_cast<size_t>(row * config_.memory_dim + d)] =
+          enc_data[static_cast<size_t>(d)];
+    }
+    memory_[u] = next_memory;
+    cursor_[u] = (cursor_[u] + 1) % config_.memory_slots;
+
+    nn::Tensor self_xy =
+        nn::Reshape(nn::Rows(obs.ugv_positions, obs.self, 1), {2});
+    features.push_back(nn::Concat({feature, self_xy}, 0));
+  }
+  return features;
+}
+
+rl::UgvPriors CubicMapExtractor::Priors(
+    const std::vector<env::UgvObservation>& observations) {
+  rl::UgvPriors priors;
+  for (const auto& obs : observations) {
+    // No graph: euclidean proximity times data (roads ignored).
+    nn::Tensor prior = DataEstimate(*context_, obs);
+    auto& data = prior.mutable_data();
+    float self_x = obs.ugv_positions.at({obs.self, 0});
+    float self_y = obs.ugv_positions.at({obs.self, 1});
+    for (int64_t b = 0; b < context_->num_stops; ++b) {
+      float dx = obs.stop_features.at({b, 0}) - self_x;
+      float dy = obs.stop_features.at({b, 1}) - self_y;
+      data[static_cast<size_t>(b)] /= 1.0f + 12.0f * std::hypot(dx, dy);
+    }
+    priors.target.push_back(prior);
+  }
+  return priors;
+}
+
+std::vector<nn::Tensor> CubicMapExtractor::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const nn::Module* module :
+       {static_cast<const nn::Module*>(conv1_.get()),
+        static_cast<const nn::Module*>(conv2_.get()),
+        static_cast<const nn::Module*>(encode_.get()),
+        static_cast<const nn::Module*>(readout_.get())}) {
+    for (const nn::Tensor& p : module->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace garl::baselines

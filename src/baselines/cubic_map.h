@@ -1,0 +1,65 @@
+#ifndef GARL_BASELINES_CUBIC_MAP_H_
+#define GARL_BASELINES_CUBIC_MAP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "rl/feature_policy.h"
+
+// CubicMap baseline (Wang et al., ICDE'22): memory-augmented CNN with a
+// cubic writing / spatially-contextual reading mechanism. We rasterize the
+// UGV's stop observation onto a grid, encode it with strided convolutions,
+// and couple it to an external memory matrix: the current encoding is
+// written to a rotating slot (cubic write) and read back by softmax
+// attention (contextual read). No graph structure is used — the paper's
+// point about this baseline.
+//
+// Note: the memory persists across Forward calls (detached from autograd)
+// and is reset whenever a fresh-episode observation (all UGVs at one stop,
+// nothing explored) is seen.
+
+namespace garl::baselines {
+
+struct CubicMapConfig {
+  int64_t grid = 24;
+  int64_t channels = 6;
+  int64_t memory_slots = 8;
+  int64_t memory_dim = 32;
+  int64_t out_dim = 32;
+};
+
+class CubicMapExtractor : public rl::UgvFeatureExtractor {
+ public:
+  CubicMapExtractor(const rl::EnvContext& context, CubicMapConfig config,
+                    Rng& rng);
+
+  std::vector<nn::Tensor> Extract(
+      const std::vector<env::UgvObservation>& observations) override;
+  rl::UgvPriors Priors(
+      const std::vector<env::UgvObservation>& observations) override;
+
+  int64_t feature_dim() const override { return config_.out_dim + 2; }
+  std::string name() const override { return "CubicMap"; }
+  std::vector<nn::Tensor> Parameters() const override;
+
+ private:
+  nn::Tensor Rasterize(const env::UgvObservation& obs) const;
+
+  const rl::EnvContext* context_;
+  CubicMapConfig config_;
+  std::unique_ptr<nn::Conv2dLayer> conv1_;
+  std::unique_ptr<nn::Conv2dLayer> conv2_;
+  int64_t flat_dim_ = 0;
+  std::unique_ptr<nn::Linear> encode_;   // flat -> memory_dim
+  std::unique_ptr<nn::Linear> readout_;  // [enc ; read] -> out_dim
+  // Per-UGV external memory [slots, memory_dim] and write cursors.
+  std::vector<nn::Tensor> memory_;
+  std::vector<int64_t> cursor_;
+};
+
+}  // namespace garl::baselines
+
+#endif  // GARL_BASELINES_CUBIC_MAP_H_

@@ -1,0 +1,105 @@
+#include "baselines/dgn.h"
+
+#include <cmath>
+
+#include "baselines/common.h"
+#include "nn/ops.h"
+
+namespace garl::baselines {
+
+DgnExtractor::DgnExtractor(const rl::EnvContext& context, DgnConfig config,
+                           Rng& rng)
+    : context_(&context), config_(config) {
+  gcn_ = std::make_unique<core::GcnStack>(context.laplacian, 3,
+                                          config_.hidden,
+                                          config_.gcn_layers, rng);
+  embed_ = std::make_unique<nn::Linear>(2 * config_.hidden + 2,
+                                        config_.comm_dim, rng);
+  for (int64_t l = 0; l < config_.comm_layers; ++l) {
+    query_.push_back(std::make_unique<nn::Linear>(config_.comm_dim,
+                                                  config_.comm_dim, rng));
+    key_.push_back(std::make_unique<nn::Linear>(config_.comm_dim,
+                                                config_.comm_dim, rng));
+    value_.push_back(std::make_unique<nn::Linear>(config_.comm_dim,
+                                                  config_.comm_dim, rng));
+    merge_.push_back(std::make_unique<nn::Linear>(2 * config_.comm_dim,
+                                                  config_.comm_dim, rng));
+  }
+}
+
+std::vector<nn::Tensor> DgnExtractor::Extract(
+    const std::vector<env::UgvObservation>& observations) {
+  int64_t num_ugvs = static_cast<int64_t>(observations.size());
+  float inv_b = 1.0f / static_cast<float>(context_->num_stops);
+
+  // Per-agent embeddings from the GCN encoder.
+  std::vector<nn::Tensor> h;
+  for (const auto& obs : observations) {
+    nn::Tensor encoded = gcn_->Forward(obs.stop_features);
+    nn::Tensor pooled = nn::MulScalar(nn::SumDim(encoded, 0), inv_b);
+    nn::Tensor self_row = nn::Reshape(
+        nn::Rows(encoded, obs.ugv_stops[static_cast<size_t>(obs.self)], 1),
+        {config_.hidden});
+    nn::Tensor self_xy =
+        nn::Reshape(nn::Rows(obs.ugv_positions, obs.self, 1), {2});
+    h.push_back(nn::Tanh(
+        embed_->Forward(nn::Concat({pooled, self_row, self_xy}, 0))));
+  }
+
+  // Dot-product attention communication over all peers.
+  float scale = 1.0f / std::sqrt(static_cast<float>(config_.comm_dim));
+  for (int64_t l = 0; l < config_.comm_layers; ++l) {
+    nn::Tensor stacked = nn::Stack(h);  // [U, comm_dim]
+    nn::Tensor q = query_[l]->Forward(stacked);
+    nn::Tensor k = key_[l]->Forward(stacked);
+    nn::Tensor v = value_[l]->Forward(stacked);
+    nn::Tensor attn = nn::Softmax(
+        nn::MulScalar(nn::MatMul(q, nn::Transpose(k)), scale));  // [U, U]
+    nn::Tensor mixed = nn::MatMul(attn, v);                      // [U, dim]
+    std::vector<nn::Tensor> next;
+    for (int64_t u = 0; u < num_ugvs; ++u) {
+      nn::Tensor row = nn::Reshape(nn::Rows(mixed, u, 1),
+                                   {config_.comm_dim});
+      next.push_back(nn::Tanh(
+          merge_[l]->Forward(nn::Concat({h[static_cast<size_t>(u)], row},
+                                        0))));
+    }
+    h = std::move(next);
+  }
+
+  for (int64_t u = 0; u < num_ugvs; ++u) {
+    nn::Tensor self_xy = nn::Reshape(
+        nn::Rows(observations[static_cast<size_t>(u)].ugv_positions,
+                 observations[static_cast<size_t>(u)].self, 1),
+        {2});
+    h[static_cast<size_t>(u)] =
+        nn::Concat({h[static_cast<size_t>(u)], self_xy}, 0);
+  }
+  return h;
+}
+
+rl::UgvPriors DgnExtractor::Priors(
+    const std::vector<env::UgvObservation>& observations) {
+  rl::UgvPriors priors;
+  for (const auto& obs : observations) {
+    // Attention comm conveys some peer intent: weak separation.
+    priors.target.push_back(
+        StructurePrior(*context_, obs, /*hop_threshold=*/8,
+                       /*separation=*/0.3f));
+  }
+  return priors;
+}
+
+std::vector<nn::Tensor> DgnExtractor::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const nn::Tensor& p : gcn_->Parameters()) params.push_back(p);
+  for (const nn::Tensor& p : embed_->Parameters()) params.push_back(p);
+  for (const auto& group : {&query_, &key_, &value_, &merge_}) {
+    for (const auto& module : *group) {
+      for (const nn::Tensor& p : module->Parameters()) params.push_back(p);
+    }
+  }
+  return params;
+}
+
+}  // namespace garl::baselines

@@ -1,0 +1,53 @@
+#ifndef GARL_BASELINES_DGN_H_
+#define GARL_BASELINES_DGN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/gcn.h"
+#include "nn/linear.h"
+#include "rl/feature_policy.h"
+
+// DGN baseline (Jiang et al., ICLR'19): graph convolutional reinforcement
+// learning — agents are nodes of a communication graph and exchange
+// messages via dot-product attention layers. Spatial encoding is a plain
+// GCN; the attention weighs peers by feature similarity, not geometry, so
+// it cannot react to the geometric changes E-Comm is built for.
+
+namespace garl::baselines {
+
+struct DgnConfig {
+  int64_t gcn_layers = 2;
+  int64_t hidden = 16;
+  int64_t comm_dim = 32;
+  int64_t comm_layers = 2;
+};
+
+class DgnExtractor : public rl::UgvFeatureExtractor {
+ public:
+  DgnExtractor(const rl::EnvContext& context, DgnConfig config, Rng& rng);
+
+  std::vector<nn::Tensor> Extract(
+      const std::vector<env::UgvObservation>& observations) override;
+  rl::UgvPriors Priors(
+      const std::vector<env::UgvObservation>& observations) override;
+
+  int64_t feature_dim() const override { return config_.comm_dim + 2; }
+  std::string name() const override { return "DGN"; }
+  std::vector<nn::Tensor> Parameters() const override;
+
+ private:
+  const rl::EnvContext* context_;
+  DgnConfig config_;
+  std::unique_ptr<core::GcnStack> gcn_;
+  std::unique_ptr<nn::Linear> embed_;  // pooled GCN + self -> comm_dim
+  std::vector<std::unique_ptr<nn::Linear>> query_;
+  std::vector<std::unique_ptr<nn::Linear>> key_;
+  std::vector<std::unique_ptr<nn::Linear>> value_;
+  std::vector<std::unique_ptr<nn::Linear>> merge_;
+};
+
+}  // namespace garl::baselines
+
+#endif  // GARL_BASELINES_DGN_H_

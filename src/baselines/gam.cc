@@ -1,0 +1,80 @@
+#include "baselines/gam.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/common.h"
+#include "nn/ops.h"
+
+namespace garl::baselines {
+
+GamExtractor::GamExtractor(const rl::EnvContext& context, GamConfig config,
+                           Rng& rng)
+    : context_(&context), config_(config) {
+  gcn_ = std::make_unique<core::GcnStack>(context.laplacian, 3,
+                                          config_.hidden,
+                                          config_.gcn_layers, rng);
+  lstm_ = std::make_unique<nn::LstmCell>(config_.hidden,
+                                         config_.lstm_hidden, rng);
+  readout_ = std::make_unique<nn::Linear>(
+      config_.lstm_hidden + config_.hidden, config_.out_dim, rng);
+}
+
+std::vector<nn::Tensor> GamExtractor::Extract(
+    const std::vector<env::UgvObservation>& observations) {
+  std::vector<nn::Tensor> features;
+  float inv_b = 1.0f / static_cast<float>(context_->num_stops);
+  for (const auto& obs : observations) {
+    nn::Tensor h = gcn_->Forward(obs.stop_features);  // [B, hidden]
+
+    // Importance order: stops with the most observed data first.
+    std::vector<int64_t> order(static_cast<size_t>(context_->num_stops));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&obs](int64_t a, int64_t b) {
+                       return obs.stop_features.at({a, 2}) >
+                              obs.stop_features.at({b, 2});
+                     });
+    int64_t k = std::min<int64_t>(config_.traverse_nodes,
+                                  context_->num_stops);
+    nn::LstmCell::State state = lstm_->InitialState();
+    for (int64_t i = 0; i < k; ++i) {
+      nn::Tensor row = nn::Reshape(nn::Rows(h, order[static_cast<size_t>(i)],
+                                            1),
+                                   {config_.hidden});
+      state = lstm_->Forward(row, state);
+    }
+    nn::Tensor pooled = nn::MulScalar(nn::SumDim(h, 0), inv_b);
+    nn::Tensor feature = nn::Tanh(
+        readout_->Forward(nn::Concat({state.h, pooled}, 0)));
+    nn::Tensor self_xy =
+        nn::Reshape(nn::Rows(obs.ugv_positions, obs.self, 1), {2});
+    features.push_back(nn::Concat({feature, self_xy}, 0));
+  }
+  return features;
+}
+
+rl::UgvPriors GamExtractor::Priors(
+    const std::vector<env::UgvObservation>& observations) {
+  rl::UgvPriors priors;
+  for (const auto& obs : observations) {
+    // Global traversal: full hop horizon, but single-center.
+    priors.target.push_back(
+        StructurePrior(*context_, obs, /*hop_threshold=*/8,
+                       /*separation=*/0.0f));
+  }
+  return priors;
+}
+
+std::vector<nn::Tensor> GamExtractor::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const nn::Module* module :
+       {static_cast<const nn::Module*>(gcn_.get()),
+        static_cast<const nn::Module*>(lstm_.get()),
+        static_cast<const nn::Module*>(readout_.get())}) {
+    for (const nn::Tensor& p : module->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace garl::baselines

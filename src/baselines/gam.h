@@ -1,0 +1,51 @@
+#ifndef GARL_BASELINES_GAM_H_
+#define GARL_BASELINES_GAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/gcn.h"
+#include "nn/lstm_cell.h"
+#include "rl/feature_policy.h"
+
+// GAM baseline (Wijesinghe & Wang, 2021, as adapted in the paper): a GNN
+// encoder plus an LSTM that traverses stop nodes in importance order (most
+// observed data first), capturing long- and short-term spatio-temporal
+// structure. Still a single-UGV view: it cannot discount stops that other
+// UGVs will claim.
+
+namespace garl::baselines {
+
+struct GamConfig {
+  int64_t gcn_layers = 2;
+  int64_t hidden = 16;
+  int64_t lstm_hidden = 24;
+  int64_t traverse_nodes = 12;  // top-K importance-ordered stops
+  int64_t out_dim = 32;
+};
+
+class GamExtractor : public rl::UgvFeatureExtractor {
+ public:
+  GamExtractor(const rl::EnvContext& context, GamConfig config, Rng& rng);
+
+  std::vector<nn::Tensor> Extract(
+      const std::vector<env::UgvObservation>& observations) override;
+  rl::UgvPriors Priors(
+      const std::vector<env::UgvObservation>& observations) override;
+
+  int64_t feature_dim() const override { return config_.out_dim + 2; }
+  std::string name() const override { return "GAM"; }
+  std::vector<nn::Tensor> Parameters() const override;
+
+ private:
+  const rl::EnvContext* context_;
+  GamConfig config_;
+  std::unique_ptr<core::GcnStack> gcn_;
+  std::unique_ptr<nn::LstmCell> lstm_;
+  std::unique_ptr<nn::Linear> readout_;
+};
+
+}  // namespace garl::baselines
+
+#endif  // GARL_BASELINES_GAM_H_

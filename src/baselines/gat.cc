@@ -1,0 +1,95 @@
+#include "baselines/gat.h"
+
+#include "baselines/common.h"
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace garl::baselines {
+
+GatExtractor::GatExtractor(const rl::EnvContext& context, GatConfig config,
+                           Rng& rng)
+    : context_(&context), config_(config) {
+  // Mask from the Laplacian's sparsity pattern (includes self loops).
+  int64_t num_stops = context.num_stops;
+  neighbor_mask_ = nn::Tensor::Zeros({num_stops, num_stops});
+  auto& mask = neighbor_mask_.mutable_data();
+  for (int64_t i = 0; i < num_stops; ++i) {
+    for (int64_t j = 0; j < num_stops; ++j) {
+      if (context.laplacian.at({i, j}) == 0.0f) {
+        mask[i * num_stops + j] = -1e9f;
+      }
+    }
+  }
+  for (int64_t l = 0; l < config_.layers; ++l) {
+    int64_t in = (l == 0) ? 3 : config_.hidden;
+    transforms_.push_back(std::make_unique<nn::Linear>(
+        in, config_.hidden, rng, /*with_bias=*/false));
+    attn_self_.push_back(std::make_unique<nn::Linear>(
+        config_.hidden, 1, rng, /*with_bias=*/false));
+    attn_neigh_.push_back(std::make_unique<nn::Linear>(
+        config_.hidden, 1, rng, /*with_bias=*/false));
+  }
+  readout_ = std::make_unique<nn::Linear>(2 * config_.hidden,
+                                          config_.out_dim, rng);
+}
+
+nn::Tensor GatExtractor::GatLayer(int64_t layer, const nn::Tensor& h) const {
+  int64_t num_stops = context_->num_stops;
+  nn::Tensor wh = transforms_[static_cast<size_t>(layer)]->Forward(h);
+  // e_ij = leakyrelu(a1 . Wh_i + a2 . Wh_j) computed via outer sums:
+  // scores = s1 * 1^T + 1 * s2^T, then masked row-softmax.
+  nn::Tensor s1 = attn_self_[static_cast<size_t>(layer)]->Forward(wh);
+  nn::Tensor s2 = attn_neigh_[static_cast<size_t>(layer)]->Forward(wh);
+  nn::Tensor ones_row = nn::Tensor::Full({1, num_stops}, 1.0f);
+  nn::Tensor scores = nn::Add(nn::MatMul(s1, ones_row),
+                              nn::Transpose(nn::MatMul(s2, ones_row)));
+  // LeakyReLU(0.2): x - 0.8 * relu(-x).
+  scores = nn::Sub(scores, nn::MulScalar(nn::Relu(nn::Neg(scores)), 0.8f));
+  nn::Tensor alpha = nn::Softmax(nn::Add(scores, neighbor_mask_));
+  return nn::Tanh(nn::MatMul(alpha, wh));
+}
+
+std::vector<nn::Tensor> GatExtractor::Extract(
+    const std::vector<env::UgvObservation>& observations) {
+  std::vector<nn::Tensor> features;
+  float inv_b = 1.0f / static_cast<float>(context_->num_stops);
+  for (const auto& obs : observations) {
+    nn::Tensor h = obs.stop_features;
+    for (int64_t l = 0; l < config_.layers; ++l) h = GatLayer(l, h);
+    nn::Tensor pooled = nn::MulScalar(nn::SumDim(h, 0), inv_b);
+    nn::Tensor self_row = nn::Reshape(
+        nn::Rows(h, obs.ugv_stops[static_cast<size_t>(obs.self)], 1),
+        {config_.hidden});
+    nn::Tensor feature = nn::Tanh(
+        readout_->Forward(nn::Concat({pooled, self_row}, 0)));
+    nn::Tensor self_xy =
+        nn::Reshape(nn::Rows(obs.ugv_positions, obs.self, 1), {2});
+    features.push_back(nn::Concat({feature, self_xy}, 0));
+  }
+  return features;
+}
+
+rl::UgvPriors GatExtractor::Priors(
+    const std::vector<env::UgvObservation>& observations) {
+  rl::UgvPriors priors;
+  for (const auto& obs : observations) {
+    // Short attention horizon (no far-node view), single-center.
+    priors.target.push_back(
+        StructurePrior(*context_, obs, /*hop_threshold=*/3,
+                       /*separation=*/0.0f));
+  }
+  return priors;
+}
+
+std::vector<nn::Tensor> GatExtractor::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const auto& group : {&transforms_, &attn_self_, &attn_neigh_}) {
+    for (const auto& module : *group) {
+      for (const nn::Tensor& p : module->Parameters()) params.push_back(p);
+    }
+  }
+  for (const nn::Tensor& p : readout_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace garl::baselines

@@ -1,0 +1,51 @@
+#ifndef GARL_BASELINES_GAT_H_
+#define GARL_BASELINES_GAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "rl/feature_policy.h"
+
+// GAT baseline (Velickovic et al., 2017): graph attention layers over the
+// stop network. Attention is restricted to immediate graph neighbours
+// (1-hop), which is exactly the limitation the paper discusses — it cannot
+// weigh useful far-away stops nor other UGVs' intentions.
+
+namespace garl::baselines {
+
+struct GatConfig {
+  int64_t layers = 2;
+  int64_t hidden = 16;
+  int64_t out_dim = 32;
+};
+
+class GatExtractor : public rl::UgvFeatureExtractor {
+ public:
+  GatExtractor(const rl::EnvContext& context, GatConfig config, Rng& rng);
+
+  std::vector<nn::Tensor> Extract(
+      const std::vector<env::UgvObservation>& observations) override;
+  rl::UgvPriors Priors(
+      const std::vector<env::UgvObservation>& observations) override;
+
+  int64_t feature_dim() const override { return config_.out_dim + 2; }
+  std::string name() const override { return "GAT"; }
+  std::vector<nn::Tensor> Parameters() const override;
+
+ private:
+  nn::Tensor GatLayer(int64_t layer, const nn::Tensor& h) const;
+
+  const rl::EnvContext* context_;
+  GatConfig config_;
+  nn::Tensor neighbor_mask_;  // [B, B]: 0 on edges/self, -1e9 elsewhere
+  std::vector<std::unique_ptr<nn::Linear>> transforms_;   // W per layer
+  std::vector<std::unique_ptr<nn::Linear>> attn_self_;    // a_1 per layer
+  std::vector<std::unique_ptr<nn::Linear>> attn_neigh_;   // a_2 per layer
+  std::unique_ptr<nn::Linear> readout_;
+};
+
+}  // namespace garl::baselines
+
+#endif  // GARL_BASELINES_GAT_H_

@@ -1,0 +1,105 @@
+#include "baselines/ic3net.h"
+
+#include "baselines/common.h"
+#include "nn/ops.h"
+
+namespace garl::baselines {
+
+Ic3NetExtractor::Ic3NetExtractor(const rl::EnvContext& context,
+                                 Ic3NetConfig config, Rng& rng)
+    : context_(&context), config_(config) {
+  gcn_ = std::make_unique<core::GcnStack>(context.laplacian, 3,
+                                          config_.hidden,
+                                          config_.gcn_layers, rng);
+  embed_ = std::make_unique<nn::Linear>(2 * config_.hidden + 2,
+                                        config_.lstm_hidden, rng);
+  lstm_ = std::make_unique<nn::LstmCell>(config_.lstm_hidden,
+                                         config_.lstm_hidden, rng);
+  gate_ = std::make_unique<nn::Linear>(config_.lstm_hidden, 1, rng);
+  merge_ = std::make_unique<nn::Linear>(2 * config_.lstm_hidden,
+                                        config_.lstm_hidden, rng);
+}
+
+std::vector<nn::Tensor> Ic3NetExtractor::Extract(
+    const std::vector<env::UgvObservation>& observations) {
+  int64_t num_ugvs = static_cast<int64_t>(observations.size());
+  float inv_b = 1.0f / static_cast<float>(context_->num_stops);
+
+  // Individual LSTM step per agent.
+  std::vector<nn::Tensor> hidden;
+  for (const auto& obs : observations) {
+    nn::Tensor encoded = gcn_->Forward(obs.stop_features);
+    nn::Tensor pooled = nn::MulScalar(nn::SumDim(encoded, 0), inv_b);
+    nn::Tensor self_row = nn::Reshape(
+        nn::Rows(encoded, obs.ugv_stops[static_cast<size_t>(obs.self)], 1),
+        {config_.hidden});
+    nn::Tensor self_xy =
+        nn::Reshape(nn::Rows(obs.ugv_positions, obs.self, 1), {2});
+    nn::Tensor x = nn::Tanh(
+        embed_->Forward(nn::Concat({pooled, self_row, self_xy}, 0)));
+    nn::LstmCell::State state = lstm_->Forward(x, lstm_->InitialState());
+    hidden.push_back(state.h);
+  }
+
+  // Gated mean communication: each sender scales its broadcast by a
+  // sigmoid gate; receivers take the plain average.
+  std::vector<nn::Tensor> gated;
+  for (int64_t u = 0; u < num_ugvs; ++u) {
+    nn::Tensor g = nn::Sigmoid(gate_->Forward(hidden[static_cast<size_t>(
+        u)]));  // [1]
+    nn::Tensor scaled = nn::ScaleRows(
+        nn::Reshape(hidden[static_cast<size_t>(u)], {1, config_.lstm_hidden}),
+        g);
+    gated.push_back(nn::Reshape(scaled, {config_.lstm_hidden}));
+  }
+
+  std::vector<nn::Tensor> features;
+  for (int64_t u = 0; u < num_ugvs; ++u) {
+    nn::Tensor message = nn::Tensor::Zeros({config_.lstm_hidden});
+    if (num_ugvs > 1) {
+      for (int64_t o = 0; o < num_ugvs; ++o) {
+        if (o == u) continue;
+        message = nn::Add(message, gated[static_cast<size_t>(o)]);
+      }
+      message = nn::MulScalar(message,
+                              1.0f / static_cast<float>(num_ugvs - 1));
+    }
+    nn::Tensor merged = nn::Tanh(merge_->Forward(
+        nn::Concat({hidden[static_cast<size_t>(u)], message}, 0)));
+    nn::Tensor self_xy = nn::Reshape(
+        nn::Rows(observations[static_cast<size_t>(u)].ugv_positions,
+                 observations[static_cast<size_t>(u)].self, 1),
+        {2});
+    features.push_back(nn::Concat({merged, self_xy}, 0));
+  }
+  return features;
+}
+
+rl::UgvPriors Ic3NetExtractor::Priors(
+    const std::vector<env::UgvObservation>& observations) {
+  rl::UgvPriors priors;
+  for (const auto& obs : observations) {
+    // Mean-blurred messages carry no usable peer geometry (no separation)
+    // and the single-step recurrent summary limits reliable planning
+    // range.
+    priors.target.push_back(
+        StructurePrior(*context_, obs, /*hop_threshold=*/4,
+                       /*separation=*/0.0f));
+  }
+  return priors;
+}
+
+std::vector<nn::Tensor> Ic3NetExtractor::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const nn::Module* module :
+       {static_cast<const nn::Module*>(gcn_.get()),
+        static_cast<const nn::Module*>(embed_.get()),
+        static_cast<const nn::Module*>(lstm_.get()),
+        static_cast<const nn::Module*>(gate_.get()),
+        static_cast<const nn::Module*>(merge_.get())}) {
+    for (const nn::Tensor& p : module->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace garl::baselines

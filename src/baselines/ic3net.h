@@ -1,0 +1,57 @@
+#ifndef GARL_BASELINES_IC3NET_H_
+#define GARL_BASELINES_IC3NET_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/gcn.h"
+#include "nn/linear.h"
+#include "nn/lstm_cell.h"
+#include "rl/feature_policy.h"
+
+// IC3Net baseline (Singh et al., ICLR'19): individualized LSTM policies
+// with a learned binary gate deciding when to broadcast; received messages
+// are the gated mean of the other agents' hidden states. The plain mean
+// blurs the senders' geometry — the paper's criticism.
+//
+// Note: the original unrolls the LSTM over the episode; this
+// implementation applies one LSTM step per decision from a zero state
+// (recurrent state across PPO re-evaluations would de-synchronize the
+// importance weights), keeping the gating mechanism intact.
+
+namespace garl::baselines {
+
+struct Ic3NetConfig {
+  int64_t gcn_layers = 2;
+  int64_t hidden = 16;
+  int64_t lstm_hidden = 32;
+};
+
+class Ic3NetExtractor : public rl::UgvFeatureExtractor {
+ public:
+  Ic3NetExtractor(const rl::EnvContext& context, Ic3NetConfig config,
+                  Rng& rng);
+
+  std::vector<nn::Tensor> Extract(
+      const std::vector<env::UgvObservation>& observations) override;
+  rl::UgvPriors Priors(
+      const std::vector<env::UgvObservation>& observations) override;
+
+  int64_t feature_dim() const override { return config_.lstm_hidden + 2; }
+  std::string name() const override { return "IC3Net"; }
+  std::vector<nn::Tensor> Parameters() const override;
+
+ private:
+  const rl::EnvContext* context_;
+  Ic3NetConfig config_;
+  std::unique_ptr<core::GcnStack> gcn_;
+  std::unique_ptr<nn::Linear> embed_;
+  std::unique_ptr<nn::LstmCell> lstm_;
+  std::unique_ptr<nn::Linear> gate_;   // hidden -> 1 (communicate?)
+  std::unique_ptr<nn::Linear> merge_;  // [hidden ; message] -> hidden
+};
+
+}  // namespace garl::baselines
+
+#endif  // GARL_BASELINES_IC3NET_H_

@@ -1,0 +1,384 @@
+#include "baselines/maddpg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/common.h"
+#include "common/check.h"
+#include "nn/ops.h"
+#include "rl/uav_controller.h"
+
+namespace garl::baselines {
+
+MaddpgPolicy::MaddpgPolicy(const rl::EnvContext& context,
+                           MaddpgConfig config, Rng& rng)
+    : context_(&context), config_(config) {
+  int64_t obs_dim = EncodedObservationDim(context.num_ugvs);
+  for (int64_t u = 0; u < context.num_ugvs; ++u) {
+    ActorNet actor;
+    actor.trunk =
+        std::make_unique<nn::Linear>(obs_dim, config_.hidden, rng);
+    actor.release = std::make_unique<nn::Linear>(config_.hidden, 2, rng);
+    actor.target =
+        std::make_unique<nn::Linear>(config_.hidden, context.num_stops, rng);
+    actors_.push_back(std::move(actor));
+  }
+}
+
+MaddpgPolicy::ActorOutput MaddpgPolicy::Actor(
+    int64_t u, const nn::Tensor& encoded) const {
+  GARL_CHECK_GE(u, 0);
+  GARL_CHECK_LT(u, static_cast<int64_t>(actors_.size()));
+  const ActorNet& actor = actors_[static_cast<size_t>(u)];
+  nn::Tensor trunk = nn::Tanh(actor.trunk->Forward(encoded));
+  return {actor.release->Forward(trunk), actor.target->Forward(trunk)};
+}
+
+std::vector<rl::UgvPolicyOutput> MaddpgPolicy::Forward(
+    const std::vector<env::UgvObservation>& observations) {
+  std::vector<rl::UgvPolicyOutput> outputs;
+  for (const auto& obs : observations) {
+    nn::Tensor encoded = nn::Tensor::FromVector(
+        {EncodedObservationDim(context_->num_ugvs)},
+        EncodeObservation(*context_, obs));
+    ActorOutput actor = Actor(obs.self, encoded);
+    rl::UgvPolicyOutput out;
+    // Deterministic policy: sharpen logits so sampling ~= argmax.
+    out.release_logits = nn::MulScalar(actor.release_logits, 1.0f);
+    // Same generic data-at-current-stop release bias every other method's
+    // head applies (the observation feature is equally available here).
+    float here = std::max(0.0f, obs.stop_features.at({obs.current_stop, 2}));
+    float best = 1e-6f;
+    for (int64_t b = 0; b < context_->num_stops; ++b) {
+      best = std::max(best, obs.stop_features.at({b, 2}));
+    }
+    out.release_logits = nn::Add(
+        out.release_logits,
+        nn::Tensor::FromVector({2}, {0.0f, 6.0f * (here / best) - 2.0f}));
+    // No spatial prior on the target head: the MLP actor must learn
+    // targeting from scratch, and its deterministic policy explores poorly
+    // — the paper's criticism of MADDPG.
+    out.target_logits = actor.target_logits;
+    out.value = nn::Tensor::Scalar(0.0f);
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
+std::vector<nn::Tensor> MaddpgPolicy::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const ActorNet& actor : actors_) {
+    for (const auto* module :
+         {actor.trunk.get(), actor.release.get(), actor.target.get()}) {
+      for (const nn::Tensor& p : module->Parameters()) params.push_back(p);
+    }
+  }
+  return params;
+}
+
+namespace {
+
+// Hard-copies source parameter values into destination.
+void CopyParameters(const std::vector<nn::Tensor>& source,
+                    std::vector<nn::Tensor> destination) {
+  GARL_CHECK_EQ(source.size(), destination.size());
+  for (size_t i = 0; i < source.size(); ++i) {
+    destination[i].mutable_data() = source[i].data();
+  }
+}
+
+void SoftUpdate(const std::vector<nn::Tensor>& source,
+                std::vector<nn::Tensor> destination, float tau) {
+  GARL_CHECK_EQ(source.size(), destination.size());
+  for (size_t i = 0; i < source.size(); ++i) {
+    auto& dst = destination[i].mutable_data();
+    const auto& src = source[i].data();
+    for (size_t j = 0; j < dst.size(); ++j) {
+      dst[j] = tau * src[j] + (1.0f - tau) * dst[j];
+    }
+  }
+}
+
+}  // namespace
+
+MaddpgTrainer::MaddpgTrainer(env::World* world, MaddpgPolicy* policy,
+                             MaddpgConfig config, uint64_t seed)
+    : world_(world),
+      policy_(policy),
+      config_(config),
+      rng_(seed),
+      buffer_(config.buffer_capacity) {
+  GARL_CHECK(world_ != nullptr);
+  GARL_CHECK(policy_ != nullptr);
+  Rng init_rng = rng_.Split();
+  target_policy_ = std::make_unique<MaddpgPolicy>(policy_->context(),
+                                                  config_, init_rng);
+  CopyParameters(policy_->Parameters(), target_policy_->Parameters());
+
+  int64_t num_ugvs = policy_->context().num_ugvs;
+  int64_t obs_dim = EncodedObservationDim(num_ugvs);
+  int64_t critic_in = num_ugvs * (obs_dim + 3);
+  for (int64_t u = 0; u < num_ugvs; ++u) {
+    critics_.push_back(std::make_unique<nn::Mlp>(
+        std::vector<int64_t>{critic_in, config_.hidden, 1},
+        nn::Activation::kTanh, init_rng));
+    target_critics_.push_back(std::make_unique<nn::Mlp>(
+        std::vector<int64_t>{critic_in, config_.hidden, 1},
+        nn::Activation::kTanh, init_rng));
+    CopyParameters(critics_.back()->Parameters(),
+                   target_critics_.back()->Parameters());
+  }
+  actor_optimizer_ =
+      std::make_unique<nn::Adam>(policy_->Parameters(), config_.actor_lr);
+  std::vector<nn::Tensor> critic_params;
+  for (const auto& critic : critics_) {
+    for (const nn::Tensor& p : critic->Parameters()) {
+      critic_params.push_back(p);
+    }
+  }
+  critic_optimizer_ =
+      std::make_unique<nn::Adam>(critic_params, config_.critic_lr);
+}
+
+std::vector<float> MaddpgTrainer::ActionSummary(
+    const env::UgvAction& action) const {
+  if (action.release || action.target_stop < 0) {
+    return {1.0f, 0.0f, 0.0f};
+  }
+  return {0.0f,
+          policy_->context().stop_xy.at({action.target_stop, 0}),
+          policy_->context().stop_xy.at({action.target_stop, 1})};
+}
+
+nn::Tensor MaddpgTrainer::CriticInput(
+    const std::vector<std::vector<float>>& obs,
+    const std::vector<nn::Tensor>& actions) const {
+  std::vector<nn::Tensor> parts;
+  for (const auto& o : obs) {
+    parts.push_back(nn::Tensor::FromVector(
+        {static_cast<int64_t>(o.size())}, o));
+  }
+  for (const nn::Tensor& a : actions) parts.push_back(a);
+  return nn::Concat(parts, 0);
+}
+
+MaddpgTrainer::Stats MaddpgTrainer::RunIteration() {
+  Stats stats;
+  int64_t num_ugvs = world_->num_ugvs();
+  world_->Reset(static_cast<uint64_t>(1000 + ++episode_counter_));
+  rl::GreedyUavController uav_controller;
+
+  std::vector<std::vector<float>> prev_obs;
+  std::vector<std::vector<float>> prev_actions;
+  std::vector<float> pending_rewards(static_cast<size_t>(num_ugvs), 0.0f);
+  bool have_prev = false;
+
+  while (!world_->Done()) {
+    // Encode all observations.
+    std::vector<std::vector<float>> encoded;
+    std::vector<env::UgvObservation> observations;
+    for (int64_t u = 0; u < num_ugvs; ++u) {
+      observations.push_back(world_->ObserveUgv(u));
+      encoded.push_back(
+          EncodeObservation(policy_->context(), observations.back()));
+    }
+
+    bool anyone_acts = false;
+    for (int64_t u = 0; u < num_ugvs; ++u) {
+      if (world_->UgvNeedsAction(u)) anyone_acts = true;
+    }
+
+    if (anyone_acts && have_prev) {
+      Transition t;
+      t.obs = prev_obs;
+      for (const auto& a : prev_actions) t.actions.push_back(a);
+      t.rewards = pending_rewards;
+      t.next_obs = encoded;
+      buffer_.Add(std::move(t));
+      std::fill(pending_rewards.begin(), pending_rewards.end(), 0.0f);
+      have_prev = false;
+    }
+
+    std::vector<env::UgvAction> ugv_actions(static_cast<size_t>(num_ugvs));
+    if (anyone_acts) {
+      std::vector<std::vector<float>> action_summaries;
+      for (int64_t u = 0; u < num_ugvs; ++u) {
+        env::UgvAction action;
+        if (world_->UgvNeedsAction(u)) {
+          if (rng_.Bernoulli(config_.epsilon)) {
+            // Exploration: uniform random action.
+            action.release = rng_.Bernoulli(0.3);
+            action.target_stop =
+                rng_.UniformInt(0, policy_->context().num_stops - 1);
+          } else {
+            nn::NoGradGuard no_grad;
+            nn::Tensor enc = nn::Tensor::FromVector(
+                {static_cast<int64_t>(encoded[static_cast<size_t>(u)]
+                                          .size())},
+                encoded[static_cast<size_t>(u)]);
+            MaddpgPolicy::ActorOutput out = policy_->Actor(u, enc);
+            const auto& rl = out.release_logits.data();
+            action.release = rl[1] > rl[0];
+            const auto& tl = out.target_logits.data();
+            action.target_stop = static_cast<int64_t>(
+                std::max_element(tl.begin(), tl.end()) - tl.begin());
+          }
+        } else {
+          action.release = true;  // waiting placeholder
+        }
+        ugv_actions[static_cast<size_t>(u)] = action;
+        action_summaries.push_back(ActionSummary(action));
+      }
+      prev_obs = encoded;
+      prev_actions = action_summaries;
+      have_prev = true;
+    }
+
+    std::vector<env::UavAction> uav_actions(
+        static_cast<size_t>(world_->num_uavs()));
+    for (int64_t v = 0; v < world_->num_uavs(); ++v) {
+      if (world_->UavAirborne(v)) {
+        uav_actions[static_cast<size_t>(v)] =
+            uav_controller.Act(*world_, v, rng_);
+      }
+    }
+    env::StepResult step = world_->Step(ugv_actions, uav_actions);
+    for (int64_t u = 0; u < num_ugvs; ++u) {
+      float r = static_cast<float>(step.ugv_rewards[static_cast<size_t>(u)]) *
+                config_.reward_scale;
+      pending_rewards[static_cast<size_t>(u)] += r;
+      stats.episode_reward += r;
+    }
+  }
+  if (have_prev) {
+    Transition t;
+    t.obs = prev_obs;
+    for (const auto& a : prev_actions) t.actions.push_back(a);
+    t.rewards = pending_rewards;
+    t.next_obs = prev_obs;  // terminal: bootstrapping disabled below
+    t.terminal = true;
+    buffer_.Add(std::move(t));
+  }
+  stats.metrics = world_->Metrics();
+  Update(stats);
+  return stats;
+}
+
+void MaddpgTrainer::Update(Stats& stats) {
+  if (buffer_.empty()) return;
+  int64_t num_ugvs = policy_->context().num_ugvs;
+  const nn::Tensor& stop_xy = policy_->context().stop_xy;
+  double critic_loss_total = 0.0;
+  int64_t loss_count = 0;
+
+  // Relaxed (differentiable) action summary from actor heads.
+  auto relaxed_action = [&](const MaddpgPolicy::ActorOutput& out) {
+    nn::Tensor release = nn::Softmax(out.release_logits);  // [2]
+    nn::Tensor target_probs = nn::Softmax(out.target_logits);
+    nn::Tensor xy = nn::Reshape(
+        nn::MatMul(nn::Reshape(target_probs,
+                               {1, policy_->context().num_stops}),
+                   stop_xy),
+        {2});
+    nn::Tensor p_wait = nn::Reshape(
+        nn::Rows(nn::Reshape(release, {2, 1}), 1, 1), {1});
+    return nn::Concat({p_wait, xy}, 0);  // [3]
+  };
+
+  for (int64_t step = 0; step < config_.updates_per_iteration; ++step) {
+    auto batch = buffer_.Sample(config_.batch, rng_);
+
+    // --- Critic update -----------------------------------------------------
+    critic_optimizer_->ZeroGrad();
+    std::vector<nn::Tensor> critic_losses;
+    for (const Transition* t : batch) {
+      // Target actions from target actors on next obs.
+      std::vector<nn::Tensor> next_actions;
+      {
+        nn::NoGradGuard no_grad;
+        for (int64_t u = 0; u < num_ugvs; ++u) {
+          nn::Tensor enc = nn::Tensor::FromVector(
+              {static_cast<int64_t>(t->next_obs[static_cast<size_t>(u)]
+                                        .size())},
+              t->next_obs[static_cast<size_t>(u)]);
+          next_actions.push_back(
+              relaxed_action(target_policy_->Actor(u, enc)));
+        }
+      }
+      std::vector<nn::Tensor> taken_actions;
+      for (const auto& a : t->actions) {
+        taken_actions.push_back(nn::Tensor::FromVector({3}, a));
+      }
+      nn::Tensor x = CriticInput(t->obs, taken_actions);
+      nn::Tensor x_next = CriticInput(t->next_obs, next_actions);
+      for (int64_t u = 0; u < num_ugvs; ++u) {
+        float target_q = t->rewards[static_cast<size_t>(u)];
+        if (!t->terminal) {
+          nn::NoGradGuard no_grad;
+          target_q += config_.gamma *
+                      target_critics_[static_cast<size_t>(u)]
+                          ->Forward(x_next)
+                          .data()[0];
+        }
+        nn::Tensor q = critics_[static_cast<size_t>(u)]->Forward(x);
+        nn::Tensor loss = nn::Square(nn::AddScalar(
+            nn::Reshape(q, {1}), -target_q));
+        critic_losses.push_back(loss);
+        critic_loss_total += loss.data()[0];
+        ++loss_count;
+      }
+    }
+    nn::Tensor critic_loss = nn::MulScalar(
+        nn::Sum(nn::Concat(critic_losses, 0)),
+        1.0f / static_cast<float>(critic_losses.size()));
+    critic_loss.Backward();
+    critic_optimizer_->ClipGradNorm(1.0f);
+    critic_optimizer_->Step();
+
+    // --- Actor update ------------------------------------------------------
+    actor_optimizer_->ZeroGrad();
+    std::vector<nn::Tensor> actor_losses;
+    for (const Transition* t : batch) {
+      for (int64_t u = 0; u < num_ugvs; ++u) {
+        std::vector<nn::Tensor> joint_actions;
+        for (int64_t o = 0; o < num_ugvs; ++o) {
+          if (o == u) {
+            nn::Tensor enc = nn::Tensor::FromVector(
+                {static_cast<int64_t>(t->obs[static_cast<size_t>(o)]
+                                          .size())},
+                t->obs[static_cast<size_t>(o)]);
+            joint_actions.push_back(relaxed_action(policy_->Actor(o, enc)));
+          } else {
+            joint_actions.push_back(nn::Tensor::FromVector(
+                {3}, t->actions[static_cast<size_t>(o)]));
+          }
+        }
+        nn::Tensor x = CriticInput(t->obs, joint_actions);
+        nn::Tensor q = critics_[static_cast<size_t>(u)]->Forward(x);
+        actor_losses.push_back(nn::Neg(nn::Reshape(q, {1})));
+      }
+    }
+    nn::Tensor actor_loss = nn::MulScalar(
+        nn::Sum(nn::Concat(actor_losses, 0)),
+        1.0f / static_cast<float>(actor_losses.size()));
+    actor_loss.Backward();
+    actor_optimizer_->ClipGradNorm(1.0f);
+    actor_optimizer_->Step();
+
+    SoftUpdateTargets();
+  }
+  if (loss_count > 0) {
+    stats.critic_loss = critic_loss_total / static_cast<double>(loss_count);
+  }
+}
+
+void MaddpgTrainer::SoftUpdateTargets() {
+  SoftUpdate(policy_->Parameters(), target_policy_->Parameters(),
+             config_.tau);
+  for (size_t u = 0; u < critics_.size(); ++u) {
+    SoftUpdate(critics_[u]->Parameters(), target_critics_[u]->Parameters(),
+               config_.tau);
+  }
+}
+
+}  // namespace garl::baselines

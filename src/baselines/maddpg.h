@@ -1,0 +1,118 @@
+#ifndef GARL_BASELINES_MADDPG_H_
+#define GARL_BASELINES_MADDPG_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "env/world.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "rl/policy.h"
+#include "rl/replay_buffer.h"
+
+// MADDPG baseline (Lowe et al., NeurIPS'17): per-agent deterministic
+// actors with centralized critics, trained off-policy from a replay
+// buffer. Discrete actions are relaxed with Gumbel-softmax for the actor
+// update; behaviour actions are epsilon-greedy argmax. The paper uses it
+// as the classical MADRL reference and attributes its weakness to poor
+// exploration of the deterministic policy.
+//
+// Actors consume the compact hand-crafted observation encoding
+// (baselines::EncodeObservation); critics consume all agents' encodings
+// plus all agents' action summaries (release flag + target stop xy).
+
+namespace garl::baselines {
+
+struct MaddpgConfig {
+  int64_t hidden = 64;
+  float actor_lr = 1e-3f;
+  float critic_lr = 1e-3f;
+  float gamma = 0.95f;
+  float tau = 0.05f;       // soft target update
+  float epsilon = 0.15f;   // epsilon-greedy behaviour noise
+  int64_t batch = 32;
+  int64_t buffer_capacity = 20000;
+  int64_t updates_per_iteration = 40;
+  float reward_scale = 1e-3f;
+};
+
+// Inference-side policy: exposes the actors through the common
+// UgvPolicyNetwork interface so the shared evaluator can run it.
+class MaddpgPolicy : public rl::UgvPolicyNetwork {
+ public:
+  MaddpgPolicy(const rl::EnvContext& context, MaddpgConfig config, Rng& rng);
+
+  std::vector<rl::UgvPolicyOutput> Forward(
+      const std::vector<env::UgvObservation>& observations) override;
+
+  std::vector<nn::Tensor> Parameters() const override;
+  std::string name() const override { return "MADDPG"; }
+
+  // Actor heads for agent u on an encoded observation.
+  struct ActorOutput {
+    nn::Tensor release_logits;  // [2]
+    nn::Tensor target_logits;   // [B]
+  };
+  ActorOutput Actor(int64_t u, const nn::Tensor& encoded) const;
+
+  const rl::EnvContext& context() const { return *context_; }
+
+ private:
+  friend class MaddpgTrainer;
+  const rl::EnvContext* context_;
+  MaddpgConfig config_;
+  // Per-agent actor: trunk + two heads.
+  struct ActorNet {
+    std::unique_ptr<nn::Linear> trunk;
+    std::unique_ptr<nn::Linear> release;
+    std::unique_ptr<nn::Linear> target;
+  };
+  std::vector<ActorNet> actors_;
+};
+
+class MaddpgTrainer {
+ public:
+  MaddpgTrainer(env::World* world, MaddpgPolicy* policy, MaddpgConfig config,
+                uint64_t seed);
+
+  // One episode of epsilon-greedy experience collection followed by
+  // `updates_per_iteration` replay updates.
+  struct Stats {
+    double episode_reward = 0.0;
+    double critic_loss = 0.0;
+    env::EpisodeMetrics metrics;
+  };
+  Stats RunIteration();
+
+ private:
+  struct Transition {
+    std::vector<std::vector<float>> obs;       // [U][D]
+    std::vector<std::vector<float>> actions;   // [U][3]
+    std::vector<float> rewards;                // [U]
+    std::vector<std::vector<float>> next_obs;  // [U][D]
+    bool terminal = false;
+  };
+
+  std::vector<float> ActionSummary(const env::UgvAction& action) const;
+  nn::Tensor CriticInput(const std::vector<std::vector<float>>& obs,
+                         const std::vector<nn::Tensor>& actions) const;
+  void Update(Stats& stats);
+  void SoftUpdateTargets();
+
+  env::World* world_;
+  MaddpgPolicy* policy_;
+  MaddpgConfig config_;
+  Rng rng_;
+  std::unique_ptr<MaddpgPolicy> target_policy_;
+  std::vector<std::unique_ptr<nn::Mlp>> critics_;
+  std::vector<std::unique_ptr<nn::Mlp>> target_critics_;
+  std::unique_ptr<nn::Adam> actor_optimizer_;
+  std::unique_ptr<nn::Adam> critic_optimizer_;
+  rl::ReplayBuffer<Transition> buffer_;
+  int64_t episode_counter_ = 0;
+};
+
+}  // namespace garl::baselines
+
+#endif  // GARL_BASELINES_MADDPG_H_

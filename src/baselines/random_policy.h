@@ -1,0 +1,38 @@
+#ifndef GARL_BASELINES_RANDOM_POLICY_H_
+#define GARL_BASELINES_RANDOM_POLICY_H_
+
+#include "rl/policy.h"
+
+// "Random" baseline (Section V-D): uniform action distributions, zero
+// value. Has no trainable parameters; PPO updates are no-ops on it.
+
+namespace garl::baselines {
+
+class RandomUgvPolicy : public rl::UgvPolicyNetwork {
+ public:
+  explicit RandomUgvPolicy(const rl::EnvContext& context)
+      : num_stops_(context.num_stops) {}
+
+  std::vector<rl::UgvPolicyOutput> Forward(
+      const std::vector<env::UgvObservation>& observations) override {
+    std::vector<rl::UgvPolicyOutput> outputs;
+    for (size_t u = 0; u < observations.size(); ++u) {
+      rl::UgvPolicyOutput out;
+      out.release_logits = nn::Tensor::Zeros({2});
+      out.target_logits = nn::Tensor::Zeros({num_stops_});
+      out.value = nn::Tensor::Scalar(0.0f);
+      outputs.push_back(std::move(out));
+    }
+    return outputs;
+  }
+
+  std::vector<nn::Tensor> Parameters() const override { return {}; }
+  std::string name() const override { return "Random"; }
+
+ private:
+  int64_t num_stops_;
+};
+
+}  // namespace garl::baselines
+
+#endif  // GARL_BASELINES_RANDOM_POLICY_H_

@@ -1,0 +1,36 @@
+#ifndef GARL_BASELINES_REGISTRY_H_
+#define GARL_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "rl/policy.h"
+
+// Name-based construction of every UGV method evaluated in the paper:
+// GARL and its ablations, the eight baselines of Section V-D.
+
+namespace garl::baselines {
+
+struct MethodOptions {
+  int64_t mc_layers = 3;  // L^MC (Table II)
+  int64_t e_layers = 3;   // L^E (Table II)
+};
+
+// Methods in the paper's presentation order.
+const std::vector<std::string>& AllMethods();
+// GARL ablation variants (Table III).
+const std::vector<std::string>& AblationMethods();
+
+// Builds the policy network for `method`; INVALID_ARGUMENT for unknown
+// names. MADDPG policies must be trained with MaddpgTrainer; every other
+// method trains with rl::IppoTrainer ("Random" needs no training).
+StatusOr<std::unique_ptr<rl::UgvPolicyNetwork>> MakeUgvPolicy(
+    const std::string& method, const rl::EnvContext& context,
+    const MethodOptions& options, Rng& rng);
+
+}  // namespace garl::baselines
+
+#endif  // GARL_BASELINES_REGISTRY_H_

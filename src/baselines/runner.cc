@@ -1,0 +1,54 @@
+#include "baselines/runner.h"
+
+#include "baselines/maddpg.h"
+#include "common/check.h"
+#include "rl/evaluator.h"
+#include "rl/ippo_trainer.h"
+#include "rl/uav_controller.h"
+
+namespace garl::baselines {
+
+RunResult TrainAndEvaluate(env::World& world, const std::string& method,
+                           const RunOptions& options) {
+  rl::EnvContext context = rl::MakeEnvContext(world);
+  Rng rng(options.seed);
+  auto policy_or = MakeUgvPolicy(method, context, options.method, rng);
+  GARL_CHECK_MSG(policy_or.ok(), policy_or.status().ToString());
+  std::unique_ptr<rl::UgvPolicyNetwork> policy =
+      std::move(policy_or).value();
+
+  if (method == "MADDPG") {
+    auto* maddpg = static_cast<MaddpgPolicy*>(policy.get());
+    MaddpgTrainer trainer(&world, maddpg, MaddpgConfig{}, options.seed);
+    for (int64_t i = 0; i < options.train_iterations; ++i) {
+      trainer.RunIteration();
+    }
+  } else if (method != "Random") {
+    rl::TrainConfig config;
+    config.iterations = options.train_iterations;
+    config.seed = options.seed;
+    rl::IppoTrainer trainer(&world, policy.get(), nullptr, config);
+    trainer.Train();
+  }
+
+  rl::EvalOptions eval;
+  eval.episodes = options.eval_episodes;
+  eval.seed = options.seed + 7777;
+  // All methods are evaluated by sampling from their policies (standard
+  // PPO evaluation; hard argmax deadlocks in symmetric states).
+  eval.greedy = false;
+  RunResult result;
+  result.method = method;
+  if (method == "Random") {
+    rl::RandomUavController uav_controller;
+    result.metrics =
+        rl::EvaluatePolicy(world, *policy, uav_controller, eval);
+  } else {
+    rl::GreedyUavController uav_controller;
+    result.metrics =
+        rl::EvaluatePolicy(world, *policy, uav_controller, eval);
+  }
+  return result;
+}
+
+}  // namespace garl::baselines

@@ -1,0 +1,35 @@
+#ifndef GARL_BASELINES_RUNNER_H_
+#define GARL_BASELINES_RUNNER_H_
+
+#include <string>
+
+#include "baselines/registry.h"
+#include "env/world.h"
+
+// One-call train-and-evaluate harness used by the benchmark binaries and
+// examples: builds the method, trains it with the appropriate algorithm
+// (IPPO for policy-gradient methods, MADDPG for MADDPG, nothing for
+// Random) and reports evaluation metrics.
+
+namespace garl::baselines {
+
+struct RunOptions {
+  MethodOptions method;
+  int64_t train_iterations = 6;
+  int64_t eval_episodes = 1;
+  uint64_t seed = 1;
+};
+
+struct RunResult {
+  std::string method;
+  env::EpisodeMetrics metrics;
+};
+
+// Trains `method` on `world` and evaluates it (greedy actions, scripted
+// greedy UAV controller). CHECK-fails on unknown method names.
+RunResult TrainAndEvaluate(env::World& world, const std::string& method,
+                           const RunOptions& options);
+
+}  // namespace garl::baselines
+
+#endif  // GARL_BASELINES_RUNNER_H_

@@ -1,0 +1,71 @@
+#ifndef GARL_COMMON_CHECK_H_
+#define GARL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// CHECK-style invariant macros. A failed check is a programmer error: the
+// process prints the failing condition (with file:line) to stderr and
+// aborts. Recoverable conditions should use garl::Status instead.
+
+namespace garl::internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* condition,
+                                   const std::string& message) {
+  std::fprintf(stderr, "GARL_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Stringifies two operands for the binary-comparison CHECK variants.
+template <typename A, typename B>
+std::string FormatOperands(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "(lhs=" << a << ", rhs=" << b << ")";
+  return os.str();
+}
+
+}  // namespace garl::internal
+
+#define GARL_CHECK(condition)                                          \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      ::garl::internal::CheckFail(__FILE__, __LINE__, #condition, ""); \
+    }                                                                  \
+  } while (false)
+
+#define GARL_CHECK_MSG(condition, msg)                                  \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      ::garl::internal::CheckFail(__FILE__, __LINE__, #condition, msg); \
+    }                                                                   \
+  } while (false)
+
+#define GARL_CHECK_OP_(op, a, b)                                     \
+  do {                                                               \
+    if (!((a)op(b))) {                                               \
+      ::garl::internal::CheckFail(                                   \
+          __FILE__, __LINE__, #a " " #op " " #b,                     \
+          ::garl::internal::FormatOperands((a), (b)));               \
+    }                                                                \
+  } while (false)
+
+#define GARL_CHECK_EQ(a, b) GARL_CHECK_OP_(==, a, b)
+#define GARL_CHECK_NE(a, b) GARL_CHECK_OP_(!=, a, b)
+#define GARL_CHECK_LT(a, b) GARL_CHECK_OP_(<, a, b)
+#define GARL_CHECK_LE(a, b) GARL_CHECK_OP_(<=, a, b)
+#define GARL_CHECK_GT(a, b) GARL_CHECK_OP_(>, a, b)
+#define GARL_CHECK_GE(a, b) GARL_CHECK_OP_(>=, a, b)
+
+#ifndef NDEBUG
+#define GARL_DCHECK(condition) GARL_CHECK(condition)
+#else
+#define GARL_DCHECK(condition) \
+  do {                         \
+  } while (false)
+#endif
+
+#endif  // GARL_COMMON_CHECK_H_

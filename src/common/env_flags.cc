@@ -1,0 +1,22 @@
+#include "common/env_flags.h"
+
+#include <cstdlib>
+
+namespace garl {
+
+int64_t EnvInt(const char* name, int64_t default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  char* end = nullptr;
+  int64_t parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') return default_value;
+  return parsed;
+}
+
+std::string EnvString(const char* name, const std::string& default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return default_value;
+  return value;
+}
+
+}  // namespace garl

@@ -1,0 +1,22 @@
+#ifndef GARL_COMMON_ENV_FLAGS_H_
+#define GARL_COMMON_ENV_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+
+// Benchmark/example knobs read from environment variables so the harnesses
+// can be scaled up for full reproductions without recompiling
+// (e.g. GARL_TRAIN_ITERS=200 ./bench_table3).
+
+namespace garl {
+
+// Returns the integer value of env var `name`, or `default_value` if unset
+// or unparsable.
+int64_t EnvInt(const char* name, int64_t default_value);
+
+// Returns the string value of env var `name`, or `default_value` if unset.
+std::string EnvString(const char* name, const std::string& default_value);
+
+}  // namespace garl
+
+#endif  // GARL_COMMON_ENV_FLAGS_H_

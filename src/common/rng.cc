@@ -1,0 +1,28 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace garl {
+
+int64_t Rng::SampleIndex(const std::vector<double>& weights) {
+  GARL_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    GARL_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  if (total <= 0.0) {
+    return UniformInt(0, static_cast<int64_t>(weights.size()) - 1);
+  }
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+}  // namespace garl

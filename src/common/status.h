@@ -1,0 +1,105 @@
+#ifndef GARL_COMMON_STATUS_H_
+#define GARL_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+// Minimal Status / StatusOr error-propagation types (no exceptions).
+// Functions whose failure is an expected runtime condition (bad config,
+// malformed input file) return Status or StatusOr<T>; invariant violations
+// use GARL_CHECK.
+
+namespace garl {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status OutOfRangeError(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+// Holds either a value or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit on purpose, mirrors absl.
+      : status_(std::move(status)) {
+    GARL_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+  StatusOr(T value)  // NOLINT: implicit on purpose, mirrors absl.
+      : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    GARL_CHECK_MSG(ok(), status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    GARL_CHECK_MSG(ok(), status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    GARL_CHECK_MSG(ok(), status_.ToString());
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define GARL_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::garl::Status status_ = (expr);      \
+    if (!status_.ok()) return status_;    \
+  } while (false)
+
+}  // namespace garl
+
+#endif  // GARL_COMMON_STATUS_H_

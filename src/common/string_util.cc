@@ -1,0 +1,49 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace garl {
+
+std::string StrPrintf(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int size = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  GARL_CHECK_GE(size, 0);
+  std::string result(static_cast<size_t>(size), '\0');
+  std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result += separator;
+    result += parts[i];
+  }
+  return result;
+}
+
+std::vector<std::string> Split(const std::string& text, char delimiter) {
+  std::vector<std::string> result;
+  std::string current;
+  for (char c : text) {
+    if (c == delimiter) {
+      result.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  result.push_back(current);
+  return result;
+}
+
+}  // namespace garl

@@ -1,0 +1,22 @@
+#ifndef GARL_COMMON_STRING_UTIL_H_
+#define GARL_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace garl {
+
+// printf-style formatting into a std::string.
+std::string StrPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& separator);
+
+// Splits `text` on `delimiter`; empty fields are preserved.
+std::vector<std::string> Split(const std::string& text, char delimiter);
+
+}  // namespace garl
+
+#endif  // GARL_COMMON_STRING_UTIL_H_

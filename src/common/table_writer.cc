@@ -1,0 +1,109 @@
+#include "common/table_writer.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace garl {
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GARL_CHECK(!header_.empty());
+}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  GARL_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TableWriter::AddRow(const std::string& label,
+                         const std::vector<double>& values) {
+  GARL_CHECK_EQ(values.size() + 1, header_.size());
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(StrPrintf("%.4f", v));
+  AddRow(std::move(row));
+}
+
+void TableWriter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  os << "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+// Escapes a CSV field per RFC 4180 if it contains a delimiter/quote/newline.
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Status TableWriter::WriteCsv(const std::string& path) const {
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    GARL_RETURN_IF_ERROR(EnsureDirectory(path.substr(0, slash)));
+  }
+  std::ofstream out(path);
+  if (!out) return InternalError("cannot open for write: " + path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ",";
+      out << CsvEscape(row[c]);
+    }
+    out << "\n";
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  return Status::Ok();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (path.empty()) return Status::Ok();
+  std::string partial = (path[0] == '/') ? "/" : "";
+  for (const std::string& part : Split(path, '/')) {
+    if (part.empty()) continue;
+    if (!partial.empty() && partial.back() != '/') partial += "/";
+    partial += part;
+    if (partial == ".") continue;
+    if (mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return InternalError("mkdir failed: " + partial);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace garl

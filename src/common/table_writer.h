@@ -1,0 +1,44 @@
+#ifndef GARL_COMMON_TABLE_WRITER_H_
+#define GARL_COMMON_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// Console table / CSV emission used by the benchmark harnesses to print the
+// paper's tables and dump figure series.
+
+namespace garl {
+
+// Accumulates rows of string cells and prints them as an aligned ASCII table.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  // Adds one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with 4 decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values);
+
+  // Renders the table with column alignment to `os`.
+  void Print(std::ostream& os) const;
+
+  // Writes the table as CSV to `path`. Creates parent directory if needed.
+  Status WriteCsv(const std::string& path) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Creates `path`'s directory chain (mkdir -p semantics).
+Status EnsureDirectory(const std::string& path);
+
+}  // namespace garl
+
+#endif  // GARL_COMMON_TABLE_WRITER_H_

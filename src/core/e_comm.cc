@@ -1,0 +1,170 @@
+#include "core/e_comm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace garl::core {
+
+EComm::EComm(const rl::EnvContext& context, ECommConfig config, Rng& rng)
+    : context_(&context), config_(config) {
+  GARL_CHECK_GE(config_.layers, 1);
+  for (int64_t l = 0; l < config_.layers; ++l) {
+    phi_m_.push_back(
+        std::make_unique<nn::Linear>(config_.hidden, config_.hidden, rng));
+    phi_h_.push_back(
+        std::make_unique<nn::Linear>(2 * config_.hidden, config_.hidden,
+                                     rng));
+    phi_g_.push_back(std::make_unique<nn::Linear>(config_.hidden, 1, rng));
+  }
+  w3_ = nn::Tensor::Zeros({2, 2}, /*requires_grad=*/true);
+  nn::XavierInit(w3_, 2, 2, rng);
+  phi_u_ = std::make_unique<nn::Linear>(config_.hidden + 2, config_.hidden,
+                                        rng);
+}
+
+std::vector<std::vector<int64_t>> EComm::BuildNeighborhoods(
+    const std::vector<nn::Tensor>& g0, double radius) {
+  int64_t n = static_cast<int64_t>(g0.size());
+  std::vector<std::vector<int64_t>> neighbors(static_cast<size_t>(n));
+  for (int64_t u = 0; u < n; ++u) {
+    double best = 1e18;
+    int64_t nearest = -1;
+    for (int64_t o = 0; o < n; ++o) {
+      if (o == u) continue;
+      double dx = g0[u].data()[0] - g0[o].data()[0];
+      double dy = g0[u].data()[1] - g0[o].data()[1];
+      double d = std::hypot(dx, dy);
+      if (d <= radius) neighbors[static_cast<size_t>(u)].push_back(o);
+      if (d < best) {
+        best = d;
+        nearest = o;
+      }
+    }
+    if (neighbors[static_cast<size_t>(u)].empty() && nearest >= 0) {
+      neighbors[static_cast<size_t>(u)].push_back(nearest);
+    }
+  }
+  return neighbors;
+}
+
+EComm::State EComm::Communicate(
+    const std::vector<nn::Tensor>& h0, const std::vector<nn::Tensor>& g0,
+    const std::vector<std::vector<int64_t>>& neighbors) const {
+  GARL_CHECK_EQ(h0.size(), g0.size());
+  GARL_CHECK_EQ(h0.size(), neighbors.size());
+  State state{h0, g0};
+  int64_t num_ugvs = static_cast<int64_t>(h0.size());
+
+  for (int64_t l = 0; l < config_.layers; ++l) {
+    std::vector<nn::Tensor> next_h(static_cast<size_t>(num_ugvs));
+    std::vector<nn::Tensor> next_g(static_cast<size_t>(num_ugvs));
+    // Messages are a function of the sender only (Eq. 27a): compute once.
+    std::vector<nn::Tensor> sent(static_cast<size_t>(num_ugvs));
+    for (int64_t u = 0; u < num_ugvs; ++u) {
+      sent[static_cast<size_t>(u)] =
+          nn::Tanh(phi_m_[l]->Forward(state.h[static_cast<size_t>(u)]));
+    }
+    for (int64_t u = 0; u < num_ugvs; ++u) {
+      const auto& peers = neighbors[static_cast<size_t>(u)];
+      if (peers.empty()) {
+        // Isolated UGV: zero message, geometry unchanged.
+        nn::Tensor zero = nn::Tensor::Zeros({config_.hidden});
+        next_h[static_cast<size_t>(u)] = nn::Tanh(phi_h_[l]->Forward(
+            nn::Concat({state.h[static_cast<size_t>(u)], zero}, 0)));
+        next_g[static_cast<size_t>(u)] = state.g[static_cast<size_t>(u)];
+        continue;
+      }
+      // Relative geometry (Eq. 25) and importance weights (Eq. 26).
+      std::vector<nn::Tensor> r;        // [2] per peer (differentiable)
+      std::vector<nn::Tensor> r_hat;    // unit vectors
+      std::vector<float> weight_logits;
+      for (int64_t peer : peers) {
+        nn::Tensor diff = nn::Sub(state.g[static_cast<size_t>(u)],
+                                  state.g[static_cast<size_t>(peer)]);
+        r.push_back(diff);
+        float norm = std::max<float>(
+            std::hypot(diff.data()[0], diff.data()[1]),
+            config_.min_distance);
+        weight_logits.push_back(1.0f / norm);
+        r_hat.push_back(nn::MulScalar(diff, 1.0f / norm));
+      }
+      // alpha = softmax(exp-logits): stabilized softmax over 1/||r||.
+      float max_logit =
+          *std::max_element(weight_logits.begin(), weight_logits.end());
+      std::vector<float> alpha(weight_logits.size());
+      float total = 0.0f;
+      for (size_t i = 0; i < weight_logits.size(); ++i) {
+        alpha[i] = std::exp(weight_logits[i] - max_logit);
+        total += alpha[i];
+      }
+      for (float& a : alpha) a /= total;
+
+      // Aggregate messages (Eq. 27b) and the radial update (Eq. 28).
+      nn::Tensor m = nn::Tensor::Zeros({config_.hidden});
+      nn::Tensor g_tilde = nn::Tensor::Zeros({2});
+      for (size_t i = 0; i < peers.size(); ++i) {
+        const nn::Tensor& msg = sent[static_cast<size_t>(peers[i])];
+        m = nn::Add(m, nn::MulScalar(msg, alpha[i]));
+        nn::Tensor scale = phi_g_[l]->Forward(msg);  // [1]
+        nn::Tensor contrib = nn::MulScalar(
+            nn::Mul(nn::Concat({scale, scale}, 0), r_hat[i]), alpha[i]);
+        g_tilde = nn::Add(g_tilde, contrib);
+      }
+      next_h[static_cast<size_t>(u)] = nn::Tanh(phi_h_[l]->Forward(
+          nn::Concat({state.h[static_cast<size_t>(u)], m}, 0)));
+      // Eq. 29: clipped radial step. The clip is applied to the vector's
+      // *norm* (rescaling), not per component — component-wise clipping
+      // would depend on the coordinate frame and break rotation
+      // equivariance.
+      float g_norm = std::hypot(g_tilde.data()[0], g_tilde.data()[1]);
+      if (g_norm > config_.g_clip) {
+        g_tilde = nn::MulScalar(g_tilde, config_.g_clip / g_norm);
+      }
+      next_g[static_cast<size_t>(u)] =
+          nn::Add(state.g[static_cast<size_t>(u)], g_tilde);
+    }
+    state.h = std::move(next_h);
+    state.g = std::move(next_g);
+  }
+  return state;
+}
+
+EComm::Readout EComm::ReadOut(const nn::Tensor& h_final,
+                              const nn::Tensor& g_final,
+                              const nn::Tensor& stop_xy) const {
+  GARL_CHECK_EQ(stop_xy.dim(), 2);
+  GARL_CHECK_EQ(stop_xy.size(1), 2);
+  // z = X[:2] W3 g^T (Eq. 30a): [B,2] x [2,2] x [2,1] -> [B].
+  nn::Tensor g_col = nn::Reshape(g_final, {2, 1});
+  nn::Tensor z = nn::Reshape(
+      nn::MatMul(nn::MatMul(stop_xy, w3_), g_col), {stop_xy.size(0)});
+  // Pool z to keep phi_u's input size independent of B; the full z vector
+  // is returned for the policy's target prior.
+  float inv_b = 1.0f / static_cast<float>(stop_xy.size(0));
+  nn::Tensor z_mean = nn::Reshape(nn::MulScalar(nn::Sum(z), inv_b), {1});
+  nn::Tensor z_norm = nn::Reshape(nn::Norm(z), {1});
+  nn::Tensor z_stats = nn::Concat({z_mean, z_norm}, 0);
+  Readout out;
+  out.stop_preference = z;
+  out.feature = nn::Tanh(
+      phi_u_->Forward(nn::Concat({h_final, z_stats}, 0)));
+  return out;
+}
+
+std::vector<nn::Tensor> EComm::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const auto& layer : {&phi_m_, &phi_h_, &phi_g_}) {
+    for (const auto& module : *layer) {
+      for (const nn::Tensor& p : module->Parameters()) params.push_back(p);
+    }
+  }
+  params.push_back(w3_);
+  for (const nn::Tensor& p : phi_u_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace garl::core

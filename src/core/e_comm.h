@@ -1,0 +1,90 @@
+#ifndef GARL_CORE_E_COMM_H_
+#define GARL_CORE_E_COMM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "rl/policy.h"
+
+// E-Comm — equivariant GNN communication among UGVs (Section IV-C).
+//
+// Each UGV is a node of the communication graph carrying a non-geometric
+// feature h (initialized from MC-GCN, Eq. 24a) and a geometric feature g
+// (initialized from its coordinates, Eq. 24b). Per layer:
+//
+//  Message Aggregation (invariant, Eq. 25-27):
+//    r^{uu'} = g^u - g^{u'},
+//    alpha^{uu'} = softmax_{u'}(exp(||r||^{-1})),
+//    m^{uu'} = phi_m(h^{u'}),  m^u = sum alpha m^{uu'},
+//    h' = phi_h([h ; m]).
+//
+//  Target Updating (equivariant, Eq. 28-29):
+//    g~ = sum alpha phi_g(m^{uu'}) r_hat^{uu'},
+//    g' = g + clip(g~, g_max).
+//
+//  Readout (Eq. 30): z = X[:2] W3 g^T (per-stop preference), then
+//    h_final = phi_u([h ; z-pooled]).
+//
+// The composition is E(2)-equivariant: translating/rotating every UGV
+// translates/rotates g identically while h is untouched (verified by
+// property tests).
+
+namespace garl::core {
+
+struct ECommConfig {
+  int64_t layers = 3;   // L^E (Table II sweeps 1..5)
+  int64_t hidden = 32;  // non-geometric feature width
+  float g_clip = 0.05f; // g~ clip (normalized coordinates)
+  float min_distance = 0.02f;  // ||r|| floor for the exp(1/||r||) weights
+};
+
+class EComm : public nn::Module {
+ public:
+  EComm(const rl::EnvContext& context, ECommConfig config, Rng& rng);
+
+  struct State {
+    std::vector<nn::Tensor> h;  // U x [hidden]
+    std::vector<nn::Tensor> g;  // U x [2]
+  };
+
+  // Runs the message-passing layers. `h0[u]` must be [hidden]; `g0[u]` is
+  // the UGV's normalized position [2]. `neighbors[u]` lists N(u).
+  State Communicate(const std::vector<nn::Tensor>& h0,
+                    const std::vector<nn::Tensor>& g0,
+                    const std::vector<std::vector<int64_t>>& neighbors) const;
+
+  // Readout for one UGV (Eq. 30): stop preference z from the final g and
+  // the combined output feature.
+  struct Readout {
+    nn::Tensor feature;          // [out_dim]
+    nn::Tensor stop_preference;  // [B] = X[:2] W3 g^T
+  };
+  Readout ReadOut(const nn::Tensor& h_final, const nn::Tensor& g_final,
+                  const nn::Tensor& stop_xy) const;
+
+  // Neighborhood N(u) by euclidean radius on normalized positions; every
+  // UGV keeps at least its nearest peer so communication never cuts out.
+  static std::vector<std::vector<int64_t>> BuildNeighborhoods(
+      const std::vector<nn::Tensor>& g0, double radius);
+
+  std::vector<nn::Tensor> Parameters() const override;
+
+  int64_t out_dim() const { return config_.hidden; }
+  const ECommConfig& config() const { return config_; }
+
+ private:
+  const rl::EnvContext* context_;  // not owned
+  ECommConfig config_;
+  std::vector<std::unique_ptr<nn::Linear>> phi_m_;  // per layer
+  std::vector<std::unique_ptr<nn::Linear>> phi_h_;
+  std::vector<std::unique_ptr<nn::Linear>> phi_g_;
+  nn::Tensor w3_;  // [2, 2] readout weight
+  std::unique_ptr<nn::Linear> phi_u_;
+};
+
+}  // namespace garl::core
+
+#endif  // GARL_CORE_E_COMM_H_

@@ -1,0 +1,204 @@
+#include "core/garl_extractor.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace garl::core {
+
+GarlExtractor::GarlExtractor(const rl::EnvContext& context, GarlConfig config,
+                             Rng& rng)
+    : context_(&context), config_(config) {
+  // The spatial stage must feed E-Comm's non-geometric width.
+  config_.mc_gcn.out_dim = config_.e_comm.hidden;
+  if (config_.use_mc) {
+    mc_gcn_ = std::make_unique<McGcn>(context, config_.mc_gcn, rng);
+  } else {
+    gcn_ = std::make_unique<GcnStack>(context.laplacian, 3,
+                                      config_.mc_gcn.hidden,
+                                      config_.gcn_layers, rng);
+    gcn_readout_ = std::make_unique<nn::Linear>(config_.mc_gcn.hidden,
+                                                config_.e_comm.hidden, rng);
+  }
+  if (config_.use_e) {
+    e_comm_ = std::make_unique<EComm>(context, config_.e_comm, rng);
+  }
+}
+
+nn::Tensor GarlExtractor::DataEstimate(
+    const env::UgvObservation& obs) const {
+  int64_t num_stops = context_->num_stops;
+  nn::Tensor est = nn::Tensor::Zeros({num_stops});
+  auto& data = est.mutable_data();
+  for (int64_t b = 0; b < num_stops; ++b) {
+    float observed = obs.stop_features.at({b, 2});
+    // Unseen stops (mask -1) get mild optimism, driving exploration.
+    data[static_cast<size_t>(b)] =
+        observed < 0.0f ? 0.4f : std::max(observed, 0.0f);
+  }
+  return est;
+}
+
+GarlExtractor::SpatialOut GarlExtractor::Spatial(
+    const env::UgvObservation& obs) const {
+  SpatialOut out;
+  if (config_.use_mc) {
+    McGcn::Output mc = mc_gcn_->Forward(obs.stop_features, obs.ugv_stops,
+                                        obs.self);
+    out.feature = mc.feature;
+  } else {
+    nn::Tensor h = gcn_->Forward(obs.stop_features);  // [B, hidden]
+    float inv_b = 1.0f / static_cast<float>(context_->num_stops);
+    nn::Tensor pooled = nn::MulScalar(nn::SumDim(h, 0), inv_b);
+    out.feature = nn::Tanh(gcn_readout_->Forward(pooled));
+  }
+  return out;
+}
+
+std::vector<nn::Tensor> GarlExtractor::Extract(
+    const std::vector<env::UgvObservation>& observations) {
+  GARL_CHECK(!observations.empty());
+  int64_t num_ugvs = static_cast<int64_t>(observations.size());
+  std::vector<nn::Tensor> spatial;
+  spatial.reserve(static_cast<size_t>(num_ugvs));
+  for (const auto& obs : observations) {
+    spatial.push_back(Spatial(obs).feature);
+  }
+
+  std::vector<nn::Tensor> features(static_cast<size_t>(num_ugvs));
+  if (config_.use_e && num_ugvs > 1) {
+    std::vector<nn::Tensor> g0;
+    for (const auto& obs : observations) {
+      g0.push_back(
+          nn::Reshape(nn::Rows(obs.ugv_positions, obs.self, 1), {2}));
+    }
+    auto neighbors =
+        EComm::BuildNeighborhoods(g0, context_->neighbor_radius_norm);
+    EComm::State state = e_comm_->Communicate(spatial, g0, neighbors);
+    for (int64_t u = 0; u < num_ugvs; ++u) {
+      EComm::Readout readout = e_comm_->ReadOut(
+          state.h[static_cast<size_t>(u)], state.g[static_cast<size_t>(u)],
+          context_->stop_xy);
+      features[static_cast<size_t>(u)] = readout.feature;
+    }
+  } else {
+    features = spatial;
+  }
+
+  // Append the UGV's own normalized position so heads can localize.
+  for (int64_t u = 0; u < num_ugvs; ++u) {
+    const auto& obs = observations[static_cast<size_t>(u)];
+    nn::Tensor self_xy =
+        nn::Reshape(nn::Rows(obs.ugv_positions, obs.self, 1), {2});
+    features[static_cast<size_t>(u)] =
+        nn::Concat({features[static_cast<size_t>(u)], self_xy}, 0);
+  }
+  return features;
+}
+
+rl::UgvPriors GarlExtractor::Priors(
+    const std::vector<env::UgvObservation>& observations) {
+  rl::UgvPriors priors;
+  for (const auto& obs : observations) {
+    nn::Tensor data_est = DataEstimate(obs);
+    nn::Tensor relevance = HopRelevance(*context_, obs.ugv_stops[obs.self],
+                                        config_.mc_gcn.hop_threshold);
+    if (config_.use_mc && obs.ugv_stops.size() > 1) {
+      // Multi-center structure (Eq. 18): near own position, far from
+      // other UGVs' positions. The subtraction is moderated so that the
+      // graph-side separation composes with E-Comm's radial dispersal
+      // instead of double-counting it.
+      auto& data = relevance.mutable_data();
+      float inv_others = config_.mc_separation /
+                         static_cast<float>(obs.ugv_stops.size() - 1);
+      for (size_t other = 0; other < obs.ugv_stops.size(); ++other) {
+        if (static_cast<int64_t>(other) == obs.self) continue;
+        nn::Tensor so = HopRelevance(*context_, obs.ugv_stops[other],
+                                     config_.mc_gcn.hop_threshold);
+        for (size_t b = 0; b < data.size(); ++b) {
+          data[b] -= inv_others * so.data()[b];
+        }
+      }
+    }
+    nn::Tensor target_prior = nn::Mul(relevance, data_est);
+
+    if (config_.use_e && obs.ugv_positions_raw.size() > 1) {
+      // E-Comm's Target Updating (Eq. 28-29): the resultant of the unit
+      // vectors away from the neighbours "tends to keep a UGV u from
+      // gathering with other UGVs". Expressed as a prior, data-rich stops
+      // aligned with that radial direction are preferred.
+      const env::Vec2& self_pos =
+          obs.ugv_positions_raw[static_cast<size_t>(obs.self)];
+      env::Vec2 resultant{0.0, 0.0};
+      for (size_t other = 0; other < obs.ugv_positions_raw.size();
+           ++other) {
+        if (static_cast<int64_t>(other) == obs.self) continue;
+        env::Vec2 away = self_pos - obs.ugv_positions_raw[other];
+        double norm = std::max(away.Norm(), 1.0);
+        resultant = resultant + away * (1.0 / norm);
+      }
+      double res_norm = resultant.Norm();
+      if (res_norm > 1e-6) {
+        resultant = resultant * (1.0 / res_norm);
+        auto& data = target_prior.mutable_data();
+        float self_x = obs.ugv_positions.at({obs.self, 0});
+        float self_y = obs.ugv_positions.at({obs.self, 1});
+        for (int64_t b = 0; b < context_->num_stops; ++b) {
+          float dx = context_->stop_xy.at({b, 0}) - self_x;
+          float dy = context_->stop_xy.at({b, 1}) - self_y;
+          float norm = std::hypot(dx, dy);
+          if (norm < 1e-6f) continue;
+          float alignment = (dx * static_cast<float>(resultant.x) +
+                             dy * static_cast<float>(resultant.y)) /
+                            norm;
+          data[static_cast<size_t>(b)] +=
+              config_.e_radial * alignment *
+              data_est.data()[static_cast<size_t>(b)];
+        }
+      }
+    }
+    priors.target.push_back(target_prior);
+
+    // Multi-center release bias: avoid releasing where other UGVs already
+    // sit (their UAVs would compete for the same sensors).
+    if (config_.use_mc) {
+      float crowding = 0.0f;
+      int64_t self_stop = obs.ugv_stops[obs.self];
+      for (size_t other = 0; other < obs.ugv_stops.size(); ++other) {
+        if (static_cast<int64_t>(other) == obs.self) continue;
+        int64_t hops = context_->hops[static_cast<size_t>(self_stop)]
+                                     [static_cast<size_t>(
+                                         obs.ugv_stops[other])];
+        if (hops >= 0 && hops <= 1) crowding += 1.0f;
+      }
+      priors.release.push_back(
+          nn::Tensor::FromVector({2}, {0.0f, -1.5f * crowding}));
+    }
+  }
+  return priors;
+}
+
+int64_t GarlExtractor::feature_dim() const {
+  return config_.e_comm.hidden + 2;
+}
+
+std::string GarlExtractor::name() const {
+  if (config_.use_mc && config_.use_e) return "GARL";
+  if (config_.use_e) return "GARL w/o MC";
+  if (config_.use_mc) return "GARL w/o E";
+  return "GARL w/o MC, E";
+}
+
+std::vector<nn::Tensor> GarlExtractor::Parameters() const {
+  std::vector<nn::Tensor> params;
+  auto append = [&params](const nn::Module* module) {
+    if (module == nullptr) return;
+    for (const nn::Tensor& p : module->Parameters()) params.push_back(p);
+  };
+  append(mc_gcn_.get());
+  append(gcn_.get());
+  append(gcn_readout_.get());
+  append(e_comm_.get());
+  return params;
+}
+
+}  // namespace garl::core

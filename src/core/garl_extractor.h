@@ -1,0 +1,74 @@
+#ifndef GARL_CORE_GARL_EXTRACTOR_H_
+#define GARL_CORE_GARL_EXTRACTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/e_comm.h"
+#include "core/gcn.h"
+#include "core/mc_gcn.h"
+#include "rl/feature_policy.h"
+
+// The complete GARL UGV pipeline (Eq. 14a/14b): MC-GCN extracts UGV
+// specific stop-network features, E-Comm exchanges them equivariantly among
+// UGVs. Both components can be disabled for the Table III ablations:
+//   use_mc=false -> plain GCN spatial encoder ("GARL w/o MC")
+//   use_e=false  -> no communication        ("GARL w/o E")
+
+namespace garl::core {
+
+struct GarlConfig {
+  McGcnConfig mc_gcn;
+  ECommConfig e_comm;
+  bool use_mc = true;
+  bool use_e = true;
+  int64_t gcn_layers = 2;  // fallback encoder depth when use_mc = false
+  // Prior coefficients: graph-side multi-center subtraction (Eq. 18) and
+  // E-Comm's radial dispersal (Eq. 28), tuned to compose.
+  float mc_separation = 0.6f;
+  float e_radial = 0.25f;
+};
+
+class GarlExtractor : public rl::UgvFeatureExtractor {
+ public:
+  GarlExtractor(const rl::EnvContext& context, GarlConfig config, Rng& rng);
+
+  std::vector<nn::Tensor> Extract(
+      const std::vector<env::UgvObservation>& observations) override;
+
+  // Structural target prior: multi-center relevance x observed data when
+  // MC-GCN is enabled (its attention bias, Eq. 18/21), single-center
+  // relevance x data otherwise. E-Comm adds its per-stop preference z
+  // (Eq. 30a) when enabled.
+  rl::UgvPriors Priors(
+      const std::vector<env::UgvObservation>& observations) override;
+
+  int64_t feature_dim() const override;
+  std::string name() const override;
+  std::vector<nn::Tensor> Parameters() const override;
+
+  const GarlConfig& config() const { return config_; }
+
+ private:
+  // Per-UGV spatial feature h~ (and attention, when MC-GCN is on).
+  struct SpatialOut {
+    nn::Tensor feature;
+    nn::Tensor stop_preference;  // may be undefined
+  };
+  SpatialOut Spatial(const env::UgvObservation& obs) const;
+
+  // Data term used by priors: max(observed, 0) + optimism for unseen stops.
+  nn::Tensor DataEstimate(const env::UgvObservation& obs) const;
+
+  const rl::EnvContext* context_;  // not owned
+  GarlConfig config_;
+  std::unique_ptr<McGcn> mc_gcn_;           // when use_mc
+  std::unique_ptr<GcnStack> gcn_;           // when !use_mc
+  std::unique_ptr<nn::Linear> gcn_readout_; // pools the plain GCN
+  std::unique_ptr<EComm> e_comm_;           // when use_e
+};
+
+}  // namespace garl::core
+
+#endif  // GARL_CORE_GARL_EXTRACTOR_H_

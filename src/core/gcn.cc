@@ -1,0 +1,38 @@
+#include "core/gcn.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace garl::core {
+
+GcnStack::GcnStack(nn::Tensor laplacian, int64_t in_dim, int64_t hidden,
+                   int64_t layers, Rng& rng)
+    : laplacian_(std::move(laplacian)), hidden_(hidden) {
+  GARL_CHECK_GE(layers, 1);
+  GARL_CHECK_EQ(laplacian_.dim(), 2);
+  GARL_CHECK_EQ(laplacian_.size(0), laplacian_.size(1));
+  for (int64_t l = 0; l < layers; ++l) {
+    weights_.push_back(std::make_unique<nn::Linear>(
+        l == 0 ? in_dim : hidden, hidden, rng, /*with_bias=*/false));
+  }
+}
+
+nn::Tensor GcnStack::Forward(const nn::Tensor& node_features) const {
+  GARL_CHECK_EQ(node_features.dim(), 2);
+  GARL_CHECK_EQ(node_features.size(0), laplacian_.size(0));
+  nn::Tensor h = node_features;
+  for (const auto& w : weights_) {
+    h = nn::Tanh(w->Forward(nn::MatMul(laplacian_, h)));
+  }
+  return h;
+}
+
+std::vector<nn::Tensor> GcnStack::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const auto& w : weights_) {
+    for (const nn::Tensor& p : w->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace garl::core

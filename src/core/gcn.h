@@ -1,0 +1,39 @@
+#ifndef GARL_CORE_GCN_H_
+#define GARL_CORE_GCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+// Plain graph convolution stack (Eq. 1a): X^{l+1} = sigma(L X^l W^l).
+// Used by the GARL-w/o-MC ablation and the communication baselines that
+// need a vanilla spatial encoder.
+
+namespace garl::core {
+
+class GcnStack : public nn::Module {
+ public:
+  // `laplacian` is the precomputed normalized Laplacian [B, B] (Eq. 1b).
+  GcnStack(nn::Tensor laplacian, int64_t in_dim, int64_t hidden,
+           int64_t layers, Rng& rng);
+
+  // [B, in_dim] -> [B, hidden].
+  nn::Tensor Forward(const nn::Tensor& node_features) const;
+
+  std::vector<nn::Tensor> Parameters() const override;
+
+  int64_t hidden() const { return hidden_; }
+  int64_t layers() const { return static_cast<int64_t>(weights_.size()); }
+
+ private:
+  nn::Tensor laplacian_;
+  int64_t hidden_;
+  std::vector<std::unique_ptr<nn::Linear>> weights_;
+};
+
+}  // namespace garl::core
+
+#endif  // GARL_CORE_GCN_H_

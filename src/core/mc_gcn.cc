@@ -1,0 +1,138 @@
+#include "core/mc_gcn.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace garl::core {
+
+McGcn::McGcn(const rl::EnvContext& context, McGcnConfig config, Rng& rng)
+    : context_(&context), config_(config) {
+  GARL_CHECK_GE(config_.layers, 1);
+  for (int64_t l = 0; l < config_.layers; ++l) {
+    int64_t dim = (l == 0) ? 3 : config_.hidden;
+    attention_.push_back(
+        std::make_unique<nn::Linear>(dim, dim, rng, /*with_bias=*/false));
+    weights_.push_back(std::make_unique<nn::Linear>(dim, config_.hidden, rng,
+                                                    /*with_bias=*/false));
+  }
+  // Readout consumes [mean-pool ; attention-pool ; self-node row] of the
+  // top layer. The self row keeps the feature UGV-specific even when the
+  // multi-center attention coincides across agents (exact for U = 2).
+  readout_ = std::make_unique<nn::Linear>(3 * config_.hidden,
+                                          config_.out_dim, rng);
+}
+
+nn::Tensor HopRelevance(const rl::EnvContext& context, int64_t stop,
+                        int64_t threshold) {
+  int64_t num_stops = context.num_stops;
+  GARL_CHECK_GE(stop, 0);
+  GARL_CHECK_LT(stop, num_stops);
+  nn::Tensor s = nn::Tensor::Zeros({num_stops});
+  auto& data = s.mutable_data();
+  const auto& hops = context.hops[static_cast<size_t>(stop)];
+  for (int64_t b = 0; b < num_stops; ++b) {
+    int64_t d = hops[static_cast<size_t>(b)];
+    if (d < 0 || d > threshold) continue;  // s = 1/inf = 0
+    data[static_cast<size_t>(b)] = 1.0f / (static_cast<float>(d) + 1.0f);
+  }
+  return s;
+}
+
+nn::Tensor McGcn::Relevance(int64_t stop) const {
+  return HopRelevance(*context_, stop, config_.hop_threshold);
+}
+
+nn::Tensor McGcn::StructureFeatures(const std::vector<int64_t>& ugv_stops,
+                                    int64_t self) const {
+  int64_t num_ugvs = static_cast<int64_t>(ugv_stops.size());
+  GARL_CHECK_GE(self, 0);
+  GARL_CHECK_LT(self, num_ugvs);
+  nn::Tensor s = Relevance(ugv_stops[static_cast<size_t>(self)]);
+  if (num_ugvs == 1) return s;
+  auto& data = s.mutable_data();
+  float inv_others = 1.0f / static_cast<float>(num_ugvs - 1);
+  for (int64_t other = 0; other < num_ugvs; ++other) {
+    if (other == self) continue;
+    nn::Tensor so = Relevance(ugv_stops[static_cast<size_t>(other)]);
+    for (size_t b = 0; b < data.size(); ++b) {
+      data[b] -= inv_others * so.data()[b];
+    }
+  }
+  return s;
+}
+
+McGcn::Output McGcn::Forward(const nn::Tensor& stop_features,
+                             const std::vector<int64_t>& ugv_stops,
+                             int64_t self) const {
+  GARL_CHECK_EQ(stop_features.dim(), 2);
+  GARL_CHECK_EQ(stop_features.size(0), context_->num_stops);
+  GARL_CHECK_EQ(stop_features.size(1), 3);
+  int64_t num_ugvs = static_cast<int64_t>(ugv_stops.size());
+  nn::Tensor structure = StructureFeatures(ugv_stops, self);
+
+  nn::Tensor h = stop_features;
+  nn::Tensor attention_weights;  // C of the most recent layer
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    // Attention scores (Eq. 21a): F^{uu'} = H W1 (H[b_t^{u'}])^T -> [B].
+    nn::Tensor hw = attention_[l]->Forward(h);  // [B, d]
+    auto attend_to = [&](int64_t stop) {
+      nn::Tensor center = nn::Rows(h, stop, 1);          // [1, d]
+      return nn::Reshape(nn::MatMul(hw, nn::Transpose(center)),
+                         {context_->num_stops});          // [B]
+    };
+    nn::Tensor node_scores =
+        attend_to(ugv_stops[static_cast<size_t>(self)]);  // F^{uu}
+    if (num_ugvs > 1) {
+      // Multi-center reduction (Eq. 21b).
+      std::vector<nn::Tensor> others;
+      for (int64_t other = 0; other < num_ugvs; ++other) {
+        if (other == self) continue;
+        others.push_back(attend_to(ugv_stops[static_cast<size_t>(other)]));
+      }
+      nn::Tensor mean_others = others[0];
+      for (size_t i = 1; i < others.size(); ++i) {
+        mean_others = nn::Add(mean_others, others[i]);
+      }
+      mean_others =
+          nn::MulScalar(mean_others, 1.0f / static_cast<float>(others.size()));
+      node_scores = nn::Sub(node_scores, mean_others);
+    }
+    // C = softmax(S . N), scaled by B so the mean node weight stays ~1 and
+    // deep stacks do not wash features out (Eq. 21c).
+    attention_weights = nn::MulScalar(
+        nn::Softmax(nn::Mul(structure, node_scores)),
+        static_cast<float>(context_->num_stops));
+    // Attention-weighted graph convolution (Eq. 22).
+    nn::Tensor propagated =
+        weights_[l]->Forward(nn::MatMul(context_->laplacian, h));
+    h = nn::Tanh(nn::ScaleRows(propagated, attention_weights));
+  }
+
+  // Readout (Eq. 23): mean pooling + attention pooling, then phi_H.
+  float inv_b = 1.0f / static_cast<float>(context_->num_stops);
+  nn::Tensor mean_pool = nn::MulScalar(nn::SumDim(h, 0), inv_b);
+  nn::Tensor attn_pool = nn::MulScalar(
+      nn::SumDim(nn::ScaleRows(h, attention_weights), 0), inv_b);
+  nn::Tensor self_row = nn::Reshape(
+      nn::Rows(h, ugv_stops[static_cast<size_t>(self)], 1),
+      {config_.hidden});
+  Output out;
+  out.feature = nn::Tanh(
+      readout_->Forward(nn::Concat({mean_pool, attn_pool, self_row}, 0)));
+  out.attention = attention_weights;
+  return out;
+}
+
+std::vector<nn::Tensor> McGcn::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const auto& w : attention_) {
+    for (const nn::Tensor& p : w->Parameters()) params.push_back(p);
+  }
+  for (const auto& w : weights_) {
+    for (const nn::Tensor& p : w->Parameters()) params.push_back(p);
+  }
+  for (const nn::Tensor& p : readout_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace garl::core

@@ -1,0 +1,78 @@
+#ifndef GARL_CORE_MC_GCN_H_
+#define GARL_CORE_MC_GCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "rl/policy.h"
+
+// MC-GCN — multi-center attention-based graph convolution (Section IV-B).
+//
+// Feature Collection Phase (Eq. 18-20): from UGV u's viewpoint, each stop
+// node b gets a structural relevance
+//     s(b_t^u, b) = 1 / (d_sp^q(b_t^u, b) + 1)
+// (reciprocal shortest-path distance, infinite beyond threshold q), then
+// the other UGVs' relevance is subtracted (multi-center):
+//     s_hat(b_t^u, b) = s(b_t^u, b) - mean_{u' != u} s(b_t^{u'}, b).
+//
+// Feature Extraction Phase (Eq. 21-23): per GCN layer an attention vector
+//     F^{uu'} = H W1 (H[b_t^{u'}])^T,   N^u = F^{uu} - mean_{u'!=u} F^{uu'},
+//     C^u = softmax(S^u . N^u)
+// re-weights the node rows of the vanilla propagation
+//     H^{l+1} = sigma(C . (L H W2)).
+// The readout h~ combines mean pooling with C-weighted pooling.
+
+namespace garl::core {
+
+// Single-center structural relevance s(stop, .) (Eq. 19-20): [B] tensor of
+// reciprocal hop distances, zero beyond `threshold`.
+nn::Tensor HopRelevance(const rl::EnvContext& context, int64_t stop,
+                        int64_t threshold);
+
+struct McGcnConfig {
+  int64_t layers = 3;      // L^MC (Table II sweeps 1..5)
+  int64_t hidden = 16;
+  int64_t out_dim = 32;
+  int64_t hop_threshold = 8;  // q of Eq. 19, in hops
+};
+
+class McGcn : public nn::Module {
+ public:
+  McGcn(const rl::EnvContext& context, McGcnConfig config, Rng& rng);
+
+  // Structure-related features S_t^u (Eq. 18): [B] plain tensor.
+  // `ugv_stops` holds b_t^{u'} for every UGV; `self` selects u.
+  nn::Tensor StructureFeatures(const std::vector<int64_t>& ugv_stops,
+                               int64_t self) const;
+
+  // Single-center relevance s(b, .) (Eq. 20): [B] plain tensor.
+  nn::Tensor Relevance(int64_t stop) const;
+
+  struct Output {
+    nn::Tensor feature;    // [out_dim] UGV-specific feature h~ (Eq. 23)
+    nn::Tensor attention;  // [B] final-layer attention weights C
+  };
+
+  // Runs the full MC-GCN for UGV `self` on its observed stop features
+  // [B, 3] given everyone's current stops.
+  Output Forward(const nn::Tensor& stop_features,
+                 const std::vector<int64_t>& ugv_stops, int64_t self) const;
+
+  std::vector<nn::Tensor> Parameters() const override;
+
+  const McGcnConfig& config() const { return config_; }
+
+ private:
+  const rl::EnvContext* context_;  // not owned
+  McGcnConfig config_;
+  std::vector<std::unique_ptr<nn::Linear>> attention_;  // W1 per layer
+  std::vector<std::unique_ptr<nn::Linear>> weights_;    // W2 per layer
+  std::unique_ptr<nn::Linear> readout_;                 // phi_H
+};
+
+}  // namespace garl::core
+
+#endif  // GARL_CORE_MC_GCN_H_

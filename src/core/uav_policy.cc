@@ -1,0 +1,60 @@
+#include "core/uav_policy.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace garl::core {
+
+UavCnnPolicy::UavCnnPolicy(UavPolicyConfig config, Rng& rng)
+    : config_(config) {
+  conv1_ = std::make_unique<nn::Conv2dLayer>(3, config_.channels, 3, 2, 1,
+                                             rng);
+  conv2_ = std::make_unique<nn::Conv2dLayer>(config_.channels,
+                                             2 * config_.channels, 3, 2, 1,
+                                             rng);
+  int64_t s1 = conv1_->OutputSize(config_.grid);
+  int64_t s2 = conv2_->OutputSize(s1);
+  GARL_CHECK_GT(s2, 0);
+  flat_dim_ = 2 * config_.channels * s2 * s2;
+  trunk_ = std::make_unique<nn::Linear>(flat_dim_ + 1, config_.hidden, rng);
+  mean_head_ = std::make_unique<nn::Linear>(config_.hidden, 2, rng);
+  value_head_ = std::make_unique<nn::Linear>(config_.hidden, 1, rng);
+  // Exploration std ~ 20 m on a +-100 m action range.
+  log_std_ = nn::Tensor::Full({2}, std::log(20.0f), /*requires_grad=*/true);
+}
+
+rl::UavPolicyOutput UavCnnPolicy::Forward(const env::UavObservation& obs) {
+  GARL_CHECK_EQ(obs.grid.dim(), 3);
+  GARL_CHECK_EQ(obs.grid.size(1), config_.grid);
+  nn::Tensor x = nn::Reshape(obs.grid,
+                             {1, 3, config_.grid, config_.grid});
+  x = nn::Relu(conv1_->Forward(x));
+  x = nn::Relu(conv2_->Forward(x));
+  nn::Tensor flat = nn::Reshape(x, {flat_dim_});
+  nn::Tensor energy = nn::Tensor::FromVector(
+      {1}, {static_cast<float>(obs.energy_fraction)});
+  nn::Tensor trunk =
+      nn::Tanh(trunk_->Forward(nn::Concat({flat, energy}, 0)));
+  rl::UavPolicyOutput out;
+  out.mean = nn::MulScalar(nn::Tanh(mean_head_->Forward(trunk)),
+                           static_cast<float>(config_.max_displacement));
+  out.log_std = log_std_;
+  out.value = nn::Reshape(value_head_->Forward(trunk), {});
+  return out;
+}
+
+std::vector<nn::Tensor> UavCnnPolicy::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const auto* module :
+       {static_cast<const nn::Module*>(conv1_.get()),
+        static_cast<const nn::Module*>(conv2_.get()),
+        static_cast<const nn::Module*>(trunk_.get()),
+        static_cast<const nn::Module*>(mean_head_.get()),
+        static_cast<const nn::Module*>(value_head_.get())}) {
+    for (const nn::Tensor& p : module->Parameters()) params.push_back(p);
+  }
+  params.push_back(log_std_);
+  return params;
+}
+
+}  // namespace garl::core

@@ -1,0 +1,46 @@
+#ifndef GARL_CORE_UAV_POLICY_H_
+#define GARL_CORE_UAV_POLICY_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "rl/policy.h"
+
+// UAV actor-critic (Eq. 17): phi_v = two strided convolutions over the
+// [3, G, G] local observation, then linear heads for a diagonal-Gaussian
+// displacement policy and the value function. The policy is shared by all
+// UAVs (standard parameter sharing).
+
+namespace garl::core {
+
+struct UavPolicyConfig {
+  int64_t grid = 15;        // must match WorldParams::obs_grid
+  int64_t channels = 8;     // first conv width (second uses 2x)
+  int64_t hidden = 64;
+  double max_displacement = 100.0;  // meters, scales the tanh mean
+};
+
+class UavCnnPolicy : public rl::UavPolicyNetwork {
+ public:
+  UavCnnPolicy(UavPolicyConfig config, Rng& rng);
+
+  rl::UavPolicyOutput Forward(const env::UavObservation& obs) override;
+
+  std::vector<nn::Tensor> Parameters() const override;
+
+ private:
+  UavPolicyConfig config_;
+  std::unique_ptr<nn::Conv2dLayer> conv1_;
+  std::unique_ptr<nn::Conv2dLayer> conv2_;
+  int64_t flat_dim_ = 0;
+  std::unique_ptr<nn::Linear> trunk_;
+  std::unique_ptr<nn::Linear> mean_head_;
+  std::unique_ptr<nn::Linear> value_head_;
+  nn::Tensor log_std_;  // [2] state-independent
+};
+
+}  // namespace garl::core
+
+#endif  // GARL_CORE_UAV_POLICY_H_

@@ -1,0 +1,63 @@
+#include "env/campus.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace garl::env {
+
+namespace {
+
+// Distance from point p to segment ab.
+double PointSegmentDistance(const Vec2& p, const Vec2& a, const Vec2& b) {
+  Vec2 ab = b - a;
+  double len_sq = ab.x * ab.x + ab.y * ab.y;
+  if (len_sq <= 1e-12) return Distance(p, a);
+  double t = ((p.x - a.x) * ab.x + (p.y - a.y) * ab.y) / len_sq;
+  t = std::clamp(t, 0.0, 1.0);
+  return Distance(p, a + ab * t);
+}
+
+}  // namespace
+
+Status ValidateCampus(const CampusSpec& campus, double reach) {
+  if (campus.width <= 0.0 || campus.height <= 0.0) {
+    return InvalidArgumentError("campus extent must be positive");
+  }
+  if (campus.roads.empty()) {
+    return InvalidArgumentError("campus has no roads");
+  }
+  Rect field{0.0, 0.0, campus.width, campus.height};
+  for (size_t i = 0; i < campus.sensors.size(); ++i) {
+    const SensorSpec& s = campus.sensors[i];
+    if (!field.Contains(s.position)) {
+      return InvalidArgumentError(
+          StrPrintf("sensor %zu outside field", i));
+    }
+    if (s.initial_data_mb <= 0.0) {
+      return InvalidArgumentError(
+          StrPrintf("sensor %zu has non-positive data", i));
+    }
+    double nearest = 1e18;
+    for (const RoadSegment& r : campus.roads) {
+      nearest = std::min(nearest, PointSegmentDistance(s.position, r.a, r.b));
+    }
+    if (nearest > reach) {
+      return InvalidArgumentError(StrPrintf(
+          "sensor %zu is %.0f m from the nearest road (reach %.0f m)", i,
+          nearest, reach));
+    }
+  }
+  for (size_t i = 0; i < campus.roads.size(); ++i) {
+    const RoadSegment& r = campus.roads[i];
+    for (size_t j = 0; j < campus.buildings.size(); ++j) {
+      if (SegmentIntersectsRect(r.a, r.b, campus.buildings[j])) {
+        return InvalidArgumentError(
+            StrPrintf("road %zu crosses building %zu", i, j));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace garl::env

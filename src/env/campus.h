@@ -1,0 +1,47 @@
+#ifndef GARL_ENV_CAMPUS_H_
+#define GARL_ENV_CAMPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "env/geometry.h"
+
+// Static description of a campus workzone: field extent, building obstacles,
+// road polylines (where UGV stops are laid out) and sensors to be drained.
+
+namespace garl::env {
+
+struct SensorSpec {
+  Vec2 position;
+  double initial_data_mb = 0.0;  // d_0^p, megabytes
+};
+
+struct RoadSegment {
+  Vec2 a;
+  Vec2 b;
+};
+
+struct CampusSpec {
+  std::string name;
+  double width = 0.0;   // east-west extent, meters
+  double height = 0.0;  // north-south extent, meters
+  std::vector<Rect> buildings;
+  std::vector<RoadSegment> roads;
+  std::vector<SensorSpec> sensors;
+
+  double TotalInitialData() const {
+    double total = 0.0;
+    for (const SensorSpec& s : sensors) total += s.initial_data_mb;
+    return total;
+  }
+};
+
+// Structural sanity checks: positive extent, sensors inside the field,
+// roads not crossing buildings, every sensor within `reach` meters of some
+// road (so a carried UAV can ever reach it).
+Status ValidateCampus(const CampusSpec& campus, double reach);
+
+}  // namespace garl::env
+
+#endif  // GARL_ENV_CAMPUS_H_

@@ -1,0 +1,206 @@
+#include "env/campus_factory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace garl::env {
+
+namespace {
+
+// True when `rect` (expanded by `margin`) stays clear of every road.
+bool ClearOfRoads(const Rect& rect, double margin,
+                  const std::vector<RoadSegment>& roads) {
+  Rect expanded = rect.Expanded(margin);
+  for (const RoadSegment& r : roads) {
+    if (SegmentIntersectsRect(r.a, r.b, expanded)) return false;
+  }
+  return true;
+}
+
+bool ClearOfBuildings(const Rect& rect, double margin,
+                      const std::vector<Rect>& buildings) {
+  Rect expanded = rect.Expanded(margin);
+  for (const Rect& b : buildings) {
+    if (expanded.Intersects(b)) return false;
+  }
+  return true;
+}
+
+double DensityAt(const CampusGenOptions& options, const Vec2& p) {
+  if (!options.density) return 1.0;
+  return std::max(
+      0.0, options.density(p.x / options.width, p.y / options.height));
+}
+
+void PlaceBuildings(const CampusGenOptions& options, Rng& rng,
+                    CampusSpec& campus) {
+  int placed = 0;
+  int attempts = 0;
+  const int max_attempts = options.num_buildings * 4000;
+  while (placed < options.num_buildings) {
+    GARL_CHECK_MSG(++attempts < max_attempts,
+                   "could not place buildings; relax density/margins");
+    double w = rng.Uniform(options.building_min, options.building_max);
+    double h = rng.Uniform(options.building_min, options.building_max);
+    double cx = rng.Uniform(w / 2 + 5.0, options.width - w / 2 - 5.0);
+    double cy = rng.Uniform(h / 2 + 5.0, options.height - h / 2 - 5.0);
+    // Thin out low-density areas by rejection.
+    if (rng.Uniform(0.0, 1.0) > DensityAt(options, {cx, cy})) continue;
+    Rect rect{cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2};
+    if (!ClearOfRoads(rect, options.road_margin, campus.roads)) continue;
+    if (!ClearOfBuildings(rect, 8.0, campus.buildings)) continue;
+    campus.buildings.push_back(rect);
+    ++placed;
+  }
+}
+
+void PlaceSensors(const CampusGenOptions& options, Rng& rng,
+                  CampusSpec& campus) {
+  GARL_CHECK(!campus.buildings.empty());
+  int placed = 0;
+  int attempts = 0;
+  const int max_attempts = options.num_sensors * 4000;
+  while (placed < options.num_sensors) {
+    GARL_CHECK_MSG(++attempts < max_attempts, "could not place sensors");
+    const Rect& b = campus.buildings[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(campus.buildings.size()) - 1))];
+    // Random point on the building perimeter, offset 3 m outward so that a
+    // UAV can come within sensing range without entering the obstacle.
+    const double offset = 3.0;
+    int side = static_cast<int>(rng.UniformInt(0, 3));
+    Vec2 p;
+    switch (side) {
+      case 0:  // south
+        p = {rng.Uniform(b.x0, b.x1), b.y0 - offset};
+        break;
+      case 1:  // north
+        p = {rng.Uniform(b.x0, b.x1), b.y1 + offset};
+        break;
+      case 2:  // west
+        p = {b.x0 - offset, rng.Uniform(b.y0, b.y1)};
+        break;
+      default:  // east
+        p = {b.x1 + offset, rng.Uniform(b.y0, b.y1)};
+        break;
+    }
+    Rect field{0.0, 0.0, options.width, options.height};
+    if (!field.Contains(p)) continue;
+    bool inside_building = false;
+    for (const Rect& other : campus.buildings) {
+      if (other.Contains(p)) {
+        inside_building = true;
+        break;
+      }
+    }
+    if (inside_building) continue;
+    campus.sensors.push_back(
+        {p, rng.Uniform(options.data_min_mb, options.data_max_mb)});
+    ++placed;
+  }
+}
+
+}  // namespace
+
+CampusSpec GenerateGridCampus(const CampusGenOptions& options) {
+  GARL_CHECK_GE(options.grid_x, 2);
+  GARL_CHECK_GE(options.grid_y, 2);
+  CampusSpec campus;
+  campus.name = options.name;
+  campus.width = options.width;
+  campus.height = options.height;
+  // Full-extent lattice roads.
+  for (int i = 0; i < options.grid_x; ++i) {
+    double x = options.width * (i + 0.5) / options.grid_x;
+    campus.roads.push_back({{x, 0.0}, {x, options.height}});
+  }
+  for (int j = 0; j < options.grid_y; ++j) {
+    double y = options.height * (j + 0.5) / options.grid_y;
+    campus.roads.push_back({{0.0, y}, {options.width, y}});
+  }
+  Rng rng(options.seed);
+  PlaceBuildings(options, rng, campus);
+  PlaceSensors(options, rng, campus);
+  return campus;
+}
+
+CampusSpec MakeKaistCampus(uint64_t seed) {
+  CampusGenOptions options;
+  options.name = "KAIST";
+  options.width = 1539.63;
+  options.height = 1433.37;
+  options.grid_x = 6;
+  options.grid_y = 6;
+  options.num_buildings = 85;
+  options.num_sensors = 138;
+  options.seed = seed;
+  // Campus buildings cluster into departmental quarters away from the
+  // central plaza, giving the uneven sensory-data distribution the paper's
+  // method is designed for (Sections I and IV-C motivate exactly this).
+  options.density = [](double fx, double fy) {
+    constexpr double kCenters[4][2] = {
+        {0.22, 0.25}, {0.78, 0.30}, {0.25, 0.78}, {0.72, 0.75}};
+    double density = 0.06;
+    for (const auto& c : kCenters) {
+      double dx = fx - c[0], dy = fy - c[1];
+      density += std::exp(-(dx * dx + dy * dy) / (2 * 0.02));
+    }
+    return density;
+  };
+  return GenerateGridCampus(options);
+}
+
+CampusSpec MakeUclaCampus(uint64_t seed) {
+  CampusSpec campus;
+  campus.name = "UCLA";
+  campus.width = 1675.36;
+  campus.height = 1737.15;
+
+  // West and east districts each get their own dense road lattice; a single
+  // thin connector road joins them across the sparse centre (the paper's
+  // Section V-D calls this out as the landscape feature that stresses
+  // long-range carrier movement).
+  const double w = campus.width;
+  const double h = campus.height;
+  const double west_end = 0.38 * w;
+  const double east_start = 0.62 * w;
+  auto add_lattice = [&campus, h](double x_lo, double x_hi, int nx, int ny) {
+    for (int i = 0; i < nx; ++i) {
+      double x = x_lo + (x_hi - x_lo) * (i + 0.5) / nx;
+      campus.roads.push_back({{x, 0.0}, {x, h}});
+    }
+    for (int j = 0; j < ny; ++j) {
+      double y = h * (j + 0.5) / ny;
+      campus.roads.push_back({{x_lo, y}, {x_hi, y}});
+    }
+  };
+  add_lattice(0.0, west_end, 3, 6);
+  add_lattice(east_start, w, 3, 6);
+  // Thin connector across the centre; it overlaps into both districts so
+  // that it crosses (and therefore joins) a vertical road on each side.
+  campus.roads.push_back({{0.30 * w, 0.5 * h}, {0.70 * w, 0.5 * h}});
+
+  CampusGenOptions options;
+  options.name = campus.name;
+  options.width = campus.width;
+  options.height = campus.height;
+  options.num_buildings = 163;
+  options.num_sensors = 236;
+  options.seed = seed;
+  options.density = [](double fx, double fy) {
+    // Sparse centre (lawns); the only central buildings hug the connector
+    // road so their sensors stay reachable. Dense east/west districts.
+    if (fx > 0.39 && fx < 0.61) {
+      return std::fabs(fy - 0.5) < 0.08 ? 0.25 : 0.0;
+    }
+    return 1.0;
+  };
+  Rng rng(options.seed);
+  PlaceBuildings(options, rng, campus);
+  PlaceSensors(options, rng, campus);
+  return campus;
+}
+
+}  // namespace garl::env

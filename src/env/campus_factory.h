@@ -1,0 +1,55 @@
+#ifndef GARL_ENV_CAMPUS_FACTORY_H_
+#define GARL_ENV_CAMPUS_FACTORY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "env/campus.h"
+
+// Procedural campus generators.
+//
+// The paper evaluates on OpenStreetMap extracts of the KAIST and UCLA
+// campuses; those map files are not redistributable here, so we generate
+// synthetic campuses that match every statistic the paper reports (extent,
+// building count, sensor count, per-sensor data) and the qualitative
+// topology it relies on (KAIST: simple regular road network; UCLA: larger,
+// more complex, sparse "lawn" centre with the east and west districts
+// joined by a thin connector). See DESIGN.md, Substitutions.
+
+namespace garl::env {
+
+struct CampusGenOptions {
+  std::string name;
+  double width = 1000.0;
+  double height = 1000.0;
+  int grid_x = 5;  // vertical road count
+  int grid_y = 5;  // horizontal road count
+  int num_buildings = 40;
+  int num_sensors = 60;
+  uint64_t seed = 1;
+  double building_min = 30.0;
+  double building_max = 80.0;
+  double road_margin = 22.0;   // clearance between buildings and roads
+  double data_min_mb = 1000.0;  // d_0^p ~ U[1, 1.5] GB
+  double data_max_mb = 1500.0;
+  // Relative building/sensor density at fractional position (fx, fy) in
+  // [0,1]^2; nullptr means uniform.
+  std::function<double(double fx, double fy)> density;
+};
+
+// Grid-road campus with rejection-sampled buildings and perimeter sensors.
+CampusSpec GenerateGridCampus(const CampusGenOptions& options);
+
+// KAIST, South Korea: 1433.37 m N-S x 1539.63 m E-W, 85 buildings,
+// 138 sensors, regular road network (Section V-A).
+CampusSpec MakeKaistCampus(uint64_t seed = 7);
+
+// UCLA, USA: 1737.15 m N-S x 1675.36 m E-W, 163 buildings, 236 sensors,
+// irregular landscape: dense east/west districts joined by a thin
+// low-data connector through a sparse centre (Sections V-A, V-C, V-D).
+CampusSpec MakeUclaCampus(uint64_t seed = 11);
+
+}  // namespace garl::env
+
+#endif  // GARL_ENV_CAMPUS_FACTORY_H_

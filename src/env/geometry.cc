@@ -1,0 +1,86 @@
+#include "env/geometry.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace garl::env {
+
+bool operator==(const Vec2& a, const Vec2& b) {
+  return a.x == b.x && a.y == b.y;
+}
+
+namespace {
+
+// Liang-Barsky clipping: returns the parameter t in [0,1] at which the
+// segment a + t*(b-a) first enters the rectangle, or a negative value when
+// it never does.
+double EntryParameter(const Vec2& a, const Vec2& b, const Rect& rect) {
+  double dx = b.x - a.x;
+  double dy = b.y - a.y;
+  double t_enter = 0.0;
+  double t_exit = 1.0;
+  auto clip = [&](double p, double q) {
+    // Moving in direction p; boundary offset q.
+    if (p == 0.0) return q >= 0.0;  // parallel: inside iff q >= 0
+    double t = q / p;
+    if (p < 0.0) {
+      if (t > t_exit) return false;
+      t_enter = std::max(t_enter, t);
+    } else {
+      if (t < t_enter) return false;
+      t_exit = std::min(t_exit, t);
+    }
+    return true;
+  };
+  if (!clip(-dx, a.x - rect.x0)) return -1.0;
+  if (!clip(dx, rect.x1 - a.x)) return -1.0;
+  if (!clip(-dy, a.y - rect.y0)) return -1.0;
+  if (!clip(dy, rect.y1 - a.y)) return -1.0;
+  if (t_enter > t_exit) return -1.0;
+  return t_enter;
+}
+
+}  // namespace
+
+bool SegmentIntersectsRect(const Vec2& a, const Vec2& b, const Rect& rect) {
+  if (rect.Contains(a) || rect.Contains(b)) return true;
+  return EntryParameter(a, b, rect) >= 0.0;
+}
+
+Vec2 MoveWithObstacles(const Vec2& from, const Vec2& to, double max_dist,
+                       const std::vector<Rect>& obstacles, bool* blocked) {
+  GARL_CHECK_GE(max_dist, 0.0);
+  if (blocked != nullptr) *blocked = false;
+  Vec2 delta = to - from;
+  double dist = delta.Norm();
+  Vec2 target = to;
+  if (dist > max_dist && dist > 0.0) {
+    target = from + delta * (max_dist / dist);
+  }
+  // Find the earliest obstacle entry along from->target.
+  double first_t = 2.0;
+  for (const Rect& rect : obstacles) {
+    if (rect.Contains(from)) {
+      // Already inside (should not happen in normal dynamics): stay put.
+      if (blocked != nullptr) *blocked = true;
+      return from;
+    }
+    double t = EntryParameter(from, target, rect);
+    if (t >= 0.0 && t < first_t) first_t = t;
+  }
+  if (first_t > 1.0) return target;  // clear path
+  if (blocked != nullptr) *blocked = true;
+  // Stop 0.5 m before the obstacle boundary.
+  Vec2 step = target - from;
+  double step_len = step.Norm();
+  if (step_len <= 1e-9) return from;
+  double stop_len = std::max(0.0, first_t * step_len - 0.5);
+  return from + step * (stop_len / step_len);
+}
+
+Vec2 ClampToField(const Vec2& p, double width, double height) {
+  return {std::clamp(p.x, 0.0, width), std::clamp(p.y, 0.0, height)};
+}
+
+}  // namespace garl::env

@@ -1,0 +1,60 @@
+#ifndef GARL_ENV_GEOMETRY_H_
+#define GARL_ENV_GEOMETRY_H_
+
+#include <cmath>
+#include <vector>
+
+// 2-D geometric primitives for the campus simulation.
+
+namespace garl::env {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  double Norm() const { return std::hypot(x, y); }
+};
+
+inline double Distance(const Vec2& a, const Vec2& b) {
+  return (a - b).Norm();
+}
+
+bool operator==(const Vec2& a, const Vec2& b);
+
+// Axis-aligned rectangle (building footprint), corners (x0,y0)-(x1,y1).
+struct Rect {
+  double x0, y0, x1, y1;
+
+  double Width() const { return x1 - x0; }
+  double Height() const { return y1 - y0; }
+  Vec2 Center() const { return {(x0 + x1) / 2.0, (y0 + y1) / 2.0}; }
+  bool Contains(const Vec2& p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+  // Expands the rectangle by `margin` on every side.
+  Rect Expanded(double margin) const {
+    return {x0 - margin, y0 - margin, x1 + margin, y1 + margin};
+  }
+  bool Intersects(const Rect& o) const {
+    return x0 <= o.x1 && o.x0 <= x1 && y0 <= o.y1 && o.y0 <= y1;
+  }
+};
+
+// True when segment a-b crosses (enters) `rect`.
+bool SegmentIntersectsRect(const Vec2& a, const Vec2& b, const Rect& rect);
+
+// Moves from `from` toward `to` by at most `max_dist`; if the direct segment
+// would enter any rectangle in `obstacles`, the move is truncated just
+// before the first obstacle boundary and `*blocked` (if non-null) is set.
+Vec2 MoveWithObstacles(const Vec2& from, const Vec2& to, double max_dist,
+                       const std::vector<Rect>& obstacles, bool* blocked);
+
+// Clamps `p` into the [0,w]x[0,h] field.
+Vec2 ClampToField(const Vec2& p, double width, double height);
+
+}  // namespace garl::env
+
+#endif  // GARL_ENV_GEOMETRY_H_

@@ -1,0 +1,66 @@
+#include "env/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace garl::env {
+
+namespace {
+constexpr double kEps = 1e-8;
+}
+
+double DataCollectionRatio(const std::vector<SensorState>& sensors) {
+  double initial = 0.0, remaining = 0.0;
+  for (const SensorState& s : sensors) {
+    initial += s.initial_mb;
+    remaining += s.remaining_mb;
+  }
+  if (initial <= 0.0) return 0.0;
+  return 1.0 - remaining / initial;
+}
+
+double Fairness(const std::vector<SensorState>& sensors) {
+  if (sensors.empty()) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const SensorState& s : sensors) {
+    GARL_CHECK_GT(s.initial_mb, 0.0);
+    double frac = (s.initial_mb - s.remaining_mb) / s.initial_mb;
+    sum += frac;
+    sum_sq += frac * frac;
+  }
+  double p = static_cast<double>(sensors.size());
+  return (sum * sum) / (p * sum_sq + kEps);
+}
+
+double CooperationFactor(int64_t releases, int64_t effective_releases) {
+  GARL_CHECK_GE(releases, 0);
+  GARL_CHECK_GE(effective_releases, 0);
+  GARL_CHECK_LE(effective_releases, releases);
+  if (releases == 0) return 0.0;
+  return static_cast<double>(effective_releases) /
+         static_cast<double>(releases);
+}
+
+double EnergyRatio(double consumed_kj, double initial_kj, double charged_kj) {
+  GARL_CHECK_GE(consumed_kj, 0.0);
+  GARL_CHECK_GT(initial_kj, 0.0);
+  GARL_CHECK_GE(charged_kj, 0.0);
+  return consumed_kj / (initial_kj + charged_kj);
+}
+
+double Efficiency(double psi, double xi, double zeta, double beta) {
+  return psi * xi * zeta / std::max(beta, 1e-3);
+}
+
+EpisodeMetrics MakeMetrics(double psi, double xi, double zeta, double beta) {
+  EpisodeMetrics m;
+  m.data_collection_ratio = psi;
+  m.fairness = xi;
+  m.cooperation_factor = zeta;
+  m.energy_ratio = beta;
+  m.efficiency = Efficiency(psi, xi, zeta, beta);
+  return m;
+}
+
+}  // namespace garl::env

@@ -1,0 +1,33 @@
+#ifndef GARL_ENV_METRICS_H_
+#define GARL_ENV_METRICS_H_
+
+#include <vector>
+
+#include "env/types.h"
+
+// Evaluation metrics of Section III-B.
+
+namespace garl::env {
+
+// Data collection ratio psi (Eq. 3).
+double DataCollectionRatio(const std::vector<SensorState>& sensors);
+
+// Jain fairness xi over per-sensor collected fractions (Eq. 4).
+double Fairness(const std::vector<SensorState>& sensors);
+
+// Cooperation factor zeta (Eq. 5): effective releases / releases.
+double CooperationFactor(int64_t releases, int64_t effective_releases);
+
+// Energy consumption ratio beta (Eq. 6).
+double EnergyRatio(double consumed_kj, double initial_kj, double charged_kj);
+
+// Efficiency lambda = psi * xi * zeta / beta (Eq. 7); beta is floored at a
+// small epsilon to keep the ratio finite when UAVs never move.
+double Efficiency(double psi, double xi, double zeta, double beta);
+
+// Bundles the four metrics + efficiency.
+EpisodeMetrics MakeMetrics(double psi, double xi, double zeta, double beta);
+
+}  // namespace garl::env
+
+#endif  // GARL_ENV_METRICS_H_

@@ -1,0 +1,155 @@
+#include "env/render.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+#include "common/table_writer.h"
+
+namespace garl::env {
+
+namespace {
+
+constexpr const char* kUgvPalette[] = {"#d62728", "#1f77b4", "#2ca02c",
+                                       "#9467bd", "#ff7f0e", "#8c564b"};
+constexpr int kPaletteSize = 6;
+
+class SvgBuilder {
+ public:
+  SvgBuilder(const CampusSpec& campus, double scale)
+      : campus_(campus), scale_(scale) {
+    body_ += StrPrintf(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+        "height=\"%.0f\" viewBox=\"0 0 %.2f %.2f\">\n",
+        campus.width * scale, campus.height * scale, campus.width * scale,
+        campus.height * scale);
+    body_ += StrPrintf(
+        "<rect width=\"%.2f\" height=\"%.2f\" fill=\"#f7f5ef\"/>\n",
+        campus.width * scale, campus.height * scale);
+  }
+
+  // SVG y grows downward; flip so north is up.
+  double X(double x) const { return x * scale_; }
+  double Y(double y) const { return (campus_.height - y) * scale_; }
+
+  void Line(const Vec2& a, const Vec2& b, const char* color, double width) {
+    body_ += StrPrintf(
+        "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" "
+        "stroke=\"%s\" stroke-width=\"%.2f\"/>\n",
+        X(a.x), Y(a.y), X(b.x), Y(b.y), color, width);
+  }
+
+  void Box(const Rect& rect, const char* fill) {
+    body_ += StrPrintf(
+        "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" "
+        "fill=\"%s\"/>\n",
+        X(rect.x0), Y(rect.y1), rect.Width() * scale_,
+        rect.Height() * scale_, fill);
+  }
+
+  void Dot(const Vec2& p, double radius, const char* fill) {
+    body_ += StrPrintf(
+        "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\" fill=\"%s\"/>\n",
+        X(p.x), Y(p.y), radius, fill);
+  }
+
+  void Polyline(const std::vector<Vec2>& points, const char* color,
+                double width, const char* dash) {
+    if (points.size() < 2) return;
+    std::string coords;
+    for (const Vec2& p : points) {
+      coords += StrPrintf("%.1f,%.1f ", X(p.x), Y(p.y));
+    }
+    body_ += StrPrintf(
+        "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" "
+        "stroke-width=\"%.2f\"%s/>\n",
+        coords.c_str(), color, width,
+        dash != nullptr ? StrPrintf(" stroke-dasharray=\"%s\"", dash).c_str()
+                        : "");
+  }
+
+  std::string Finish() {
+    body_ += "</svg>\n";
+    return body_;
+  }
+
+ private:
+  const CampusSpec& campus_;
+  double scale_;
+  std::string body_;
+};
+
+void DrawCampus(SvgBuilder& svg, const CampusSpec& campus,
+                const StopNetwork* stops, const RenderOptions& options) {
+  for (const RoadSegment& road : campus.roads) {
+    svg.Line(road.a, road.b, "#c9c4b8", 6.0 * options.scale * 2.5);
+  }
+  for (const Rect& building : campus.buildings) {
+    svg.Box(building, "#8d99ae");
+  }
+  if (options.draw_sensors) {
+    for (const SensorSpec& sensor : campus.sensors) {
+      svg.Dot(sensor.position, 2.2, "#e09f3e");
+    }
+  }
+  if (options.draw_stops && stops != nullptr) {
+    for (int64_t b = 0; b < stops->num_stops(); ++b) {
+      for (const auto& edge :
+           stops->graph.Neighbors(b)) {
+        if (edge.to > b) {
+          svg.Line(stops->positions[static_cast<size_t>(b)],
+                   stops->positions[static_cast<size_t>(edge.to)],
+                   "#ded9cc", 1.0);
+        }
+      }
+    }
+    for (const Vec2& p : stops->positions) svg.Dot(p, 1.4, "#6b705c");
+  }
+}
+
+}  // namespace
+
+std::string RenderCampusSvg(const CampusSpec& campus,
+                            const StopNetwork* stops,
+                            const RenderOptions& options) {
+  SvgBuilder svg(campus, options.scale);
+  DrawCampus(svg, campus, stops, options);
+  return svg.Finish();
+}
+
+std::string RenderTracesSvg(const CampusSpec& campus,
+                            const StopNetwork* stops,
+                            const std::vector<std::vector<Vec2>>& ugv_traces,
+                            const std::vector<std::vector<Vec2>>& uav_traces,
+                            const RenderOptions& options) {
+  SvgBuilder svg(campus, options.scale);
+  DrawCampus(svg, campus, stops, options);
+  // UAV traces first (thin, dashed, inherit carrier color), UGVs on top.
+  for (size_t v = 0; v < uav_traces.size(); ++v) {
+    size_t carrier = uav_traces.size() > 0 && ugv_traces.size() > 0
+                         ? v * ugv_traces.size() / uav_traces.size()
+                         : 0;
+    svg.Polyline(uav_traces[v], kUgvPalette[carrier % kPaletteSize], 0.8,
+                 "3,3");
+  }
+  for (size_t u = 0; u < ugv_traces.size(); ++u) {
+    svg.Polyline(ugv_traces[u], kUgvPalette[u % kPaletteSize], 2.2,
+                 nullptr);
+    if (!ugv_traces[u].empty()) {
+      svg.Dot(ugv_traces[u].back(), 4.0, kUgvPalette[u % kPaletteSize]);
+    }
+  }
+  return svg.Finish();
+}
+
+Status WriteSvg(const std::string& svg, const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    GARL_RETURN_IF_ERROR(EnsureDirectory(path.substr(0, slash)));
+  }
+  std::ofstream out(path);
+  if (!out) return InternalError("cannot open for write: " + path);
+  out << svg;
+  return Status::Ok();
+}
+
+}  // namespace garl::env

@@ -1,0 +1,42 @@
+#ifndef GARL_ENV_RENDER_H_
+#define GARL_ENV_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "env/campus.h"
+#include "env/stop_network.h"
+
+// SVG rendering of campuses and vehicle trajectories (used by the Fig. 7
+// harness and handy for debugging new campuses).
+
+namespace garl::env {
+
+struct RenderOptions {
+  double scale = 0.4;        // pixels per meter
+  bool draw_stops = true;
+  bool draw_sensors = true;
+  // Per-UGV trace colors are cycled from a fixed palette.
+};
+
+// Renders the static campus (roads, buildings, sensors, stops).
+std::string RenderCampusSvg(const CampusSpec& campus,
+                            const StopNetwork* stops,
+                            const RenderOptions& options = RenderOptions());
+
+// Renders the campus plus per-vehicle polyline traces. `ugv_traces` and
+// `uav_traces` are position logs (one point per slot), as produced by
+// World::ugv_trace()/uav_trace().
+std::string RenderTracesSvg(const CampusSpec& campus,
+                            const StopNetwork* stops,
+                            const std::vector<std::vector<Vec2>>& ugv_traces,
+                            const std::vector<std::vector<Vec2>>& uav_traces,
+                            const RenderOptions& options = RenderOptions());
+
+// Writes `svg` to `path`, creating parent directories.
+Status WriteSvg(const std::string& svg, const std::string& path);
+
+}  // namespace garl::env
+
+#endif  // GARL_ENV_RENDER_H_

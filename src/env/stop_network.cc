@@ -1,0 +1,128 @@
+#include "env/stop_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace garl::env {
+
+namespace {
+
+// Intersection parameter pair (t on ab, u on cd) for proper or touching
+// segment intersections; returns false when parallel/disjoint.
+bool SegmentIntersection(const Vec2& a, const Vec2& b, const Vec2& c,
+                         const Vec2& d, double* t_out, double* u_out) {
+  double rx = b.x - a.x, ry = b.y - a.y;
+  double sx = d.x - c.x, sy = d.y - c.y;
+  double denom = rx * sy - ry * sx;
+  if (std::fabs(denom) < 1e-12) return false;  // parallel
+  double qpx = c.x - a.x, qpy = c.y - a.y;
+  double t = (qpx * sy - qpy * sx) / denom;
+  double u = (qpx * ry - qpy * rx) / denom;
+  if (t < -1e-9 || t > 1.0 + 1e-9 || u < -1e-9 || u > 1.0 + 1e-9) {
+    return false;
+  }
+  *t_out = std::clamp(t, 0.0, 1.0);
+  *u_out = std::clamp(u, 0.0, 1.0);
+  return true;
+}
+
+// Node id pool keyed by rounded coordinates so coincident points from
+// different roads merge into one stop.
+class NodePool {
+ public:
+  int64_t GetOrAdd(const Vec2& p, std::vector<Vec2>& positions) {
+    auto key = std::make_pair(std::llround(p.x * 2.0),
+                              std::llround(p.y * 2.0));
+    auto [it, inserted] = ids_.try_emplace(key, -1);
+    if (inserted) {
+      it->second = static_cast<int64_t>(positions.size());
+      positions.push_back(p);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::pair<long long, long long>, int64_t> ids_;
+};
+
+}  // namespace
+
+int64_t StopNetwork::NearestStop(const Vec2& p) const {
+  GARL_CHECK(!positions.empty());
+  int64_t best = 0;
+  double best_dist = Distance(p, positions[0]);
+  for (int64_t i = 1; i < num_stops(); ++i) {
+    double d = Distance(p, positions[static_cast<size_t>(i)]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+StopNetwork BuildStopNetwork(const CampusSpec& campus, double spacing) {
+  GARL_CHECK_GT(spacing, 0.0);
+  const auto& roads = campus.roads;
+
+  // 1. Split every road at its intersections with other roads.
+  std::vector<std::vector<double>> cut_params(roads.size());
+  for (size_t i = 0; i < roads.size(); ++i) {
+    cut_params[i] = {0.0, 1.0};
+  }
+  for (size_t i = 0; i < roads.size(); ++i) {
+    for (size_t j = i + 1; j < roads.size(); ++j) {
+      double t, u;
+      if (SegmentIntersection(roads[i].a, roads[i].b, roads[j].a, roads[j].b,
+                              &t, &u)) {
+        cut_params[i].push_back(t);
+        cut_params[j].push_back(u);
+      }
+    }
+  }
+
+  // 2. Place stops along each sub-segment at roughly `spacing` intervals.
+  std::vector<Vec2> positions;
+  NodePool pool;
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  for (size_t i = 0; i < roads.size(); ++i) {
+    auto& params = cut_params[i];
+    std::sort(params.begin(), params.end());
+    Vec2 a = roads[i].a, b = roads[i].b;
+    Vec2 dir = b - a;
+    for (size_t k = 0; k + 1 < params.size(); ++k) {
+      double t0 = params[k], t1 = params[k + 1];
+      Vec2 p0 = a + dir * t0;
+      Vec2 p1 = a + dir * t1;
+      double len = Distance(p0, p1);
+      if (len < 1.0) continue;  // coincident cuts
+      int n = std::max(1, static_cast<int>(std::lround(len / spacing)));
+      int64_t prev = pool.GetOrAdd(p0, positions);
+      for (int s = 1; s <= n; ++s) {
+        Vec2 p = p0 + (p1 - p0) * (static_cast<double>(s) / n);
+        int64_t node = pool.GetOrAdd(p, positions);
+        if (node != prev) edges.emplace_back(prev, node);
+        prev = node;
+      }
+    }
+  }
+
+  // 3. Assemble the graph.
+  StopNetwork network;
+  network.positions = positions;
+  network.graph = graph::Graph(static_cast<int64_t>(positions.size()));
+  for (auto [u, v] : edges) {
+    if (!network.graph.HasEdge(u, v)) {
+      double w = Distance(positions[static_cast<size_t>(u)],
+                          positions[static_cast<size_t>(v)]);
+      network.graph.AddEdge(u, v, std::max(w, 0.5));
+    }
+  }
+  return network;
+}
+
+}  // namespace garl::env

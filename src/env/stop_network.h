@@ -1,0 +1,31 @@
+#ifndef GARL_ENV_STOP_NETWORK_H_
+#define GARL_ENV_STOP_NETWORK_H_
+
+#include <vector>
+
+#include "env/campus.h"
+#include "graph/graph.h"
+
+// Builds the UGV stop graph G = {B, E} from a campus's road polylines:
+// virtual stop nodes are placed at regular intervals along the roads and
+// connected by road connectivity (Section III-A). Road crossings become
+// shared stop nodes so the graph is connected wherever the roads are.
+
+namespace garl::env {
+
+struct StopNetwork {
+  graph::Graph graph{0};
+  std::vector<Vec2> positions;  // one per node
+
+  int64_t num_stops() const { return graph.num_nodes(); }
+
+  // Nearest stop node to `p` (euclidean).
+  int64_t NearestStop(const Vec2& p) const;
+};
+
+// `spacing` is the target stop interval in meters (100 m in the paper).
+StopNetwork BuildStopNetwork(const CampusSpec& campus, double spacing);
+
+}  // namespace garl::env
+
+#endif  // GARL_ENV_STOP_NETWORK_H_

@@ -1,0 +1,120 @@
+#ifndef GARL_ENV_TYPES_H_
+#define GARL_ENV_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "env/geometry.h"
+#include "nn/tensor.h"
+
+// Shared value types of the air-ground SC Dec-POMDP.
+
+namespace garl::env {
+
+// Physical and task constants (defaults follow Section V-A verbatim).
+struct WorldParams {
+  int64_t num_ugvs = 4;        // U
+  int64_t uavs_per_ugv = 2;    // V'
+  int64_t horizon = 120;       // T, slots (30 s each)
+  double ugv_max_dist = 400.0;  // m per slot (48 km/h)
+  double uav_max_dist = 100.0;  // m per slot (12 km/h)
+  double sense_range = 60.0;    // m
+  double collect_per_slot_mb = 625.0;  // 166.7 Mbps * 30 s
+  double uav_energy_kj = 10.0;         // e_0
+  double energy_per_meter = 0.01;      // eta, kJ/m
+  int64_t release_slots = 5;           // t_rls
+  double stop_spacing = 100.0;         // m
+  // Radius (m) within which released UAVs can harvest around a stop; also
+  // the per-stop data aggregation radius for d_t^b in Eq. (8).
+  double stop_coverage_radius = 150.0;
+  // Mask constant for never-observed stop data (Eq. 9b).
+  double unseen_mask_mb = -1.0;
+  // Communication neighborhood radius N(u), meters.
+  double neighbor_radius = 600.0;
+  // UAV local observation: grid*grid cells of cell_size meters (Eq. 11).
+  int64_t obs_grid = 15;
+  double obs_cell_size = 16.0;
+  // UAV crash penalty r^{v-}.
+  double crash_penalty = 0.2;
+  // Reward clip ceiling epsilon_3 in Eq. (13a).
+  double uav_reward_clip = 5.0;
+};
+
+struct UgvAction {
+  bool release = false;   // omega
+  int64_t target_stop = -1;  // b_tar (ignored when release=true)
+};
+
+struct UavAction {
+  double dx = 0.0;  // desired displacement, clipped to uav_max_dist
+  double dy = 0.0;
+};
+
+struct UgvState {
+  Vec2 position;
+  int64_t current_stop = 0;   // b_t^u (nearest/occupied stop node)
+  int64_t target_stop = -1;   // -1: idle
+  int64_t release_left = 0;   // >0: waiting for its UAVs
+  double distance_traveled = 0.0;
+};
+
+struct UavState {
+  Vec2 position;
+  double energy_kj = 0.0;
+  bool airborne = false;
+  int64_t carrier = 0;  // owning UGV index
+  double flight_collected_mb = 0.0;  // within the current release window
+  double distance_flown = 0.0;
+};
+
+struct SensorState {
+  Vec2 position;
+  double initial_mb = 0.0;
+  double remaining_mb = 0.0;
+};
+
+// Per-UGV observation o_t^u (Eq. 9-10): masked stop features and all UGV
+// positions, plus derived helpers used by the policies.
+struct UgvObservation {
+  int64_t self = 0;
+  int64_t current_stop = 0;
+  // [B, 3]: x, y (normalized to [0,1]), masked data estimate (normalized).
+  nn::Tensor stop_features;
+  // [U, 2]: normalized UGV positions.
+  nn::Tensor ugv_positions;
+  // Current stop node of every UGV (b_t^u for all u).
+  std::vector<int64_t> ugv_stops;
+  // Raw (meter) positions of every UGV.
+  std::vector<Vec2> ugv_positions_raw;
+  // Slot at which each stop's data value was last refreshed (-1 = never
+  // approached). Eq. 9b masks with the *newest* information, so recency is
+  // part of the observation semantics.
+  std::vector<int64_t> stop_seen_slot;
+};
+
+// Per-UAV observation o_t^v (Eq. 11): [C, G, G] local crop channels =
+// {obstacle occupancy, normalized sensor data, carrier direction}.
+struct UavObservation {
+  nn::Tensor grid;            // [3, G, G]
+  double energy_fraction = 0.0;
+};
+
+// Task-level evaluation metrics (Eq. 3-7).
+struct EpisodeMetrics {
+  double data_collection_ratio = 0.0;  // psi
+  double fairness = 0.0;               // xi
+  double cooperation_factor = 0.0;     // zeta
+  double energy_ratio = 0.0;           // beta
+  double efficiency = 0.0;             // lambda
+};
+
+// Per-slot step outcome.
+struct StepResult {
+  std::vector<double> ugv_rewards;  // [U]
+  std::vector<double> uav_rewards;  // [V]
+  bool done = false;
+};
+
+}  // namespace garl::env
+
+#endif  // GARL_ENV_TYPES_H_

@@ -1,0 +1,425 @@
+#include "env/world.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "env/metrics.h"
+#include "graph/shortest_path.h"
+
+namespace garl::env {
+
+World::World(CampusSpec campus, WorldParams params)
+    : campus_(std::move(campus)), params_(std::move(params)) {
+  GARL_CHECK_GT(params_.num_ugvs, 0);
+  GARL_CHECK_GT(params_.uavs_per_ugv, 0);
+  GARL_CHECK_GT(params_.horizon, 0);
+  stops_ = BuildStopNetwork(campus_, params_.stop_spacing);
+  GARL_CHECK_GT(stops_.num_stops(), 1);
+
+  int64_t num_stops = stops_.num_stops();
+  hop_table_.reserve(static_cast<size_t>(num_stops));
+  for (int64_t b = 0; b < num_stops; ++b) {
+    hop_table_.push_back(graph::BfsHops(stops_.graph, b));
+  }
+  distance_table_ = graph::AllPairsDistances(stops_.graph);
+  next_hop_ = graph::NextHopTable(stops_.graph);
+
+  // Sensor coverage per stop.
+  stop_cover_.assign(static_cast<size_t>(num_stops), {});
+  for (int64_t b = 0; b < num_stops; ++b) {
+    for (size_t p = 0; p < campus_.sensors.size(); ++p) {
+      if (Distance(stops_.positions[static_cast<size_t>(b)],
+                   campus_.sensors[p].position) <=
+          params_.stop_coverage_radius) {
+        stop_cover_[static_cast<size_t>(b)].push_back(
+            static_cast<int64_t>(p));
+      }
+    }
+  }
+  Reset(/*seed=*/0);
+  // Normalization constant: the densest stop at episode start.
+  max_stop_data_ = 1.0;
+  for (double d : stop_data_) max_stop_data_ = std::max(max_stop_data_, d);
+}
+
+void World::Reset(uint64_t seed) {
+  (void)seed;  // dynamics are currently deterministic given actions
+  slot_ = 0;
+  releases_ = 0;
+  effective_releases_ = 0;
+  energy_consumed_kj_ = 0.0;
+  energy_charged_kj_ = 0.0;
+
+  sensors_.clear();
+  sensors_.reserve(campus_.sensors.size());
+  for (const SensorSpec& s : campus_.sensors) {
+    sensors_.push_back({s.position, s.initial_data_mb, s.initial_data_mb});
+  }
+
+  // All UGVs start at the stop nearest the campus centre (Section V-A).
+  Vec2 centre{campus_.width / 2.0, campus_.height / 2.0};
+  int64_t start = stops_.NearestStop(centre);
+  ugvs_.assign(static_cast<size_t>(params_.num_ugvs), UgvState{});
+  for (auto& ugv : ugvs_) {
+    ugv.position = stops_.positions[static_cast<size_t>(start)];
+    ugv.current_stop = start;
+    ugv.target_stop = -1;
+    ugv.release_left = 0;
+    ugv.distance_traveled = 0.0;
+  }
+
+  uavs_.assign(static_cast<size_t>(num_uavs()), UavState{});
+  for (int64_t v = 0; v < num_uavs(); ++v) {
+    UavState& uav = uavs_[static_cast<size_t>(v)];
+    uav.carrier = v / params_.uavs_per_ugv;
+    uav.position = ugvs_[static_cast<size_t>(uav.carrier)].position;
+    uav.energy_kj = params_.uav_energy_kj;
+    uav.airborne = false;
+    uav.flight_collected_mb = 0.0;
+    uav.distance_flown = 0.0;
+  }
+
+  RecomputeStopData();
+  int64_t num_stops = stops_.num_stops();
+  last_seen_data_.assign(static_cast<size_t>(params_.num_ugvs),
+                         std::vector<double>(num_stops, 0.0));
+  seen_.assign(static_cast<size_t>(params_.num_ugvs),
+               std::vector<bool>(num_stops, false));
+  last_seen_slot_.assign(static_cast<size_t>(params_.num_ugvs),
+                         std::vector<int64_t>(num_stops, -1));
+  RefreshUgvKnowledge();
+
+  ugv_trace_.assign(static_cast<size_t>(params_.num_ugvs), {});
+  uav_trace_.assign(static_cast<size_t>(num_uavs()), {});
+}
+
+void World::RecomputeStopData() {
+  stop_data_.assign(static_cast<size_t>(stops_.num_stops()), 0.0);
+  for (int64_t b = 0; b < stops_.num_stops(); ++b) {
+    for (int64_t p : stop_cover_[static_cast<size_t>(b)]) {
+      stop_data_[static_cast<size_t>(b)] +=
+          sensors_[static_cast<size_t>(p)].remaining_mb;
+    }
+  }
+}
+
+void World::RefreshUgvKnowledge() {
+  // A UGV (or any of its airborne UAVs) "approaches" a stop node when it
+  // comes within the stop coverage radius; the node's current data value is
+  // then recorded in the UGV's private view (Eq. 9b).
+  for (int64_t u = 0; u < params_.num_ugvs; ++u) {
+    auto refresh_near = [&](const Vec2& pos) {
+      for (int64_t b = 0; b < stops_.num_stops(); ++b) {
+        if (Distance(pos, stops_.positions[static_cast<size_t>(b)]) <=
+            params_.stop_coverage_radius) {
+          last_seen_data_[static_cast<size_t>(u)][static_cast<size_t>(b)] =
+              stop_data_[static_cast<size_t>(b)];
+          seen_[static_cast<size_t>(u)][static_cast<size_t>(b)] = true;
+          last_seen_slot_[static_cast<size_t>(u)][static_cast<size_t>(b)] =
+              slot_;
+        }
+      }
+    };
+    refresh_near(ugvs_[static_cast<size_t>(u)].position);
+    for (int64_t v = u * params_.uavs_per_ugv;
+         v < (u + 1) * params_.uavs_per_ugv; ++v) {
+      if (uavs_[static_cast<size_t>(v)].airborne) {
+        refresh_near(uavs_[static_cast<size_t>(v)].position);
+      }
+    }
+  }
+}
+
+bool World::UgvNeedsAction(int64_t u) const {
+  GARL_CHECK_GE(u, 0);
+  GARL_CHECK_LT(u, params_.num_ugvs);
+  return ugvs_[static_cast<size_t>(u)].release_left == 0;
+}
+
+bool World::UavAirborne(int64_t v) const {
+  GARL_CHECK_GE(v, 0);
+  GARL_CHECK_LT(v, num_uavs());
+  return uavs_[static_cast<size_t>(v)].airborne;
+}
+
+void World::MoveUgv(int64_t u, int64_t target, double budget) {
+  UgvState& ugv = ugvs_[static_cast<size_t>(u)];
+  if (target < 0 || target >= stops_.num_stops()) return;
+  ugv.target_stop = target;
+  while (budget > 0.0 && ugv.current_stop != target) {
+    int64_t next =
+        next_hop_[static_cast<size_t>(ugv.current_stop)]
+                 [static_cast<size_t>(target)];
+    if (next < 0) break;  // unreachable target: stay
+    double edge = Distance(stops_.positions[static_cast<size_t>(
+                               ugv.current_stop)],
+                           stops_.positions[static_cast<size_t>(next)]);
+    if (edge > budget) break;  // cannot finish the hop this slot
+    budget -= edge;
+    ugv.distance_traveled += edge;
+    ugv.current_stop = next;
+    ugv.position = stops_.positions[static_cast<size_t>(next)];
+  }
+  if (ugv.current_stop == target) ugv.target_stop = -1;
+}
+
+void World::LandUav(int64_t v) {
+  UavState& uav = uavs_[static_cast<size_t>(v)];
+  if (!uav.airborne) return;
+  uav.airborne = false;
+  uav.position = ugvs_[static_cast<size_t>(uav.carrier)].position;
+  if (uav.flight_collected_mb > 0.0) ++effective_releases_;
+  // Recharge to e_0 (Section III-A); the charged amount feeds beta (Eq. 6).
+  double charged = params_.uav_energy_kj - uav.energy_kj;
+  GARL_CHECK_GE(charged, -1e-9);
+  energy_charged_kj_ += std::max(charged, 0.0);
+  uav.energy_kj = params_.uav_energy_kj;
+  uav.flight_collected_mb = 0.0;
+}
+
+StepResult World::Step(const std::vector<UgvAction>& ugv_actions,
+                       const std::vector<UavAction>& uav_actions) {
+  GARL_CHECK(!Done());
+  GARL_CHECK_EQ(static_cast<int64_t>(ugv_actions.size()), params_.num_ugvs);
+  GARL_CHECK_EQ(static_cast<int64_t>(uav_actions.size()), num_uavs());
+
+  StepResult result;
+  result.ugv_rewards.assign(static_cast<size_t>(params_.num_ugvs), 0.0);
+  result.uav_rewards.assign(static_cast<size_t>(num_uavs()), 0.0);
+
+  std::vector<double> uav_collected(static_cast<size_t>(num_uavs()), 0.0);
+  std::vector<double> uav_spent(static_cast<size_t>(num_uavs()), 0.0);
+  std::vector<bool> uav_blocked(static_cast<size_t>(num_uavs()), false);
+
+  // 1. UGV decisions.
+  for (int64_t u = 0; u < params_.num_ugvs; ++u) {
+    UgvState& ugv = ugvs_[static_cast<size_t>(u)];
+    if (ugv.release_left > 0) continue;  // waiting for its UAVs
+    const UgvAction& action = ugv_actions[static_cast<size_t>(u)];
+    if (action.release) {
+      ugv.release_left = params_.release_slots;
+      ugv.target_stop = -1;
+      for (int64_t v = u * params_.uavs_per_ugv;
+           v < (u + 1) * params_.uavs_per_ugv; ++v) {
+        UavState& uav = uavs_[static_cast<size_t>(v)];
+        uav.airborne = true;
+        uav.position = ugv.position;
+        uav.flight_collected_mb = 0.0;
+        ++releases_;
+      }
+    } else {
+      MoveUgv(u, action.target_stop, params_.ugv_max_dist);
+    }
+  }
+
+  // 2. UAV flight + sensing.
+  for (int64_t v = 0; v < num_uavs(); ++v) {
+    UavState& uav = uavs_[static_cast<size_t>(v)];
+    if (!uav.airborne) continue;
+    const UavAction& action = uav_actions[static_cast<size_t>(v)];
+    Vec2 desired{uav.position.x + action.dx, uav.position.y + action.dy};
+    desired = ClampToField(desired, campus_.width, campus_.height);
+    bool blocked = false;
+    Vec2 next = MoveWithObstacles(uav.position, desired,
+                                  params_.uav_max_dist, campus_.buildings,
+                                  &blocked);
+    double dist = Distance(uav.position, next);
+    // Battery cannot go negative: truncate the move if needed.
+    double affordable = uav.energy_kj / params_.energy_per_meter;
+    if (dist > affordable) {
+      Vec2 dir = next - uav.position;
+      next = uav.position + dir * (affordable / std::max(dist, 1e-9));
+      dist = affordable;
+    }
+    uav.position = next;
+    uav.distance_flown += dist;
+    double spent = params_.energy_per_meter * dist;
+    uav.energy_kj -= spent;
+    energy_consumed_kj_ += spent;
+
+    // Sensing (Eq. Delta d): every in-range sensor yields up to the rate.
+    double collected = 0.0;
+    for (SensorState& sensor : sensors_) {
+      if (sensor.remaining_mb <= 0.0) continue;
+      if (Distance(uav.position, sensor.position) > params_.sense_range) {
+        continue;
+      }
+      double take = std::min(params_.collect_per_slot_mb,
+                             sensor.remaining_mb);
+      sensor.remaining_mb -= take;
+      collected += take;
+    }
+    uav.flight_collected_mb += collected;
+    result.ugv_rewards[static_cast<size_t>(uav.carrier)] += collected;
+    uav_collected[static_cast<size_t>(v)] = collected;
+    uav_spent[static_cast<size_t>(v)] = spent;
+    uav_blocked[static_cast<size_t>(v)] = blocked;
+
+    if (uav.energy_kj <= 1e-9) LandUav(v);  // battery empty: forced return
+  }
+
+  // UAV rewards (Eq. 13): fairness-weighted collection per unit energy,
+  // minus crash penalty. xi_t is evaluated at the end of the slot so the
+  // first successful collection is rewarded too.
+  double fairness_now = CurrentFairness();
+  for (int64_t v = 0; v < num_uavs(); ++v) {
+    double r_plus = 0.0;
+    if (uav_collected[static_cast<size_t>(v)] > 0.0) {
+      r_plus = std::clamp(
+          fairness_now * (uav_collected[static_cast<size_t>(v)] / 1000.0) /
+              (uav_spent[static_cast<size_t>(v)] + 1e-3),
+          0.0, params_.uav_reward_clip);
+    }
+    double r_minus =
+        uav_blocked[static_cast<size_t>(v)] ? -params_.crash_penalty : 0.0;
+    result.uav_rewards[static_cast<size_t>(v)] = r_plus + r_minus;
+  }
+
+  // 3. Window bookkeeping.
+  for (int64_t u = 0; u < params_.num_ugvs; ++u) {
+    UgvState& ugv = ugvs_[static_cast<size_t>(u)];
+    if (ugv.release_left > 0) {
+      --ugv.release_left;
+      if (ugv.release_left == 0) {
+        for (int64_t v = u * params_.uavs_per_ugv;
+             v < (u + 1) * params_.uavs_per_ugv; ++v) {
+          LandUav(v);
+        }
+      }
+    }
+  }
+
+  RecomputeStopData();
+  RefreshUgvKnowledge();
+
+  for (int64_t u = 0; u < params_.num_ugvs; ++u) {
+    ugv_trace_[static_cast<size_t>(u)].push_back(
+        ugvs_[static_cast<size_t>(u)].position);
+  }
+  for (int64_t v = 0; v < num_uavs(); ++v) {
+    uav_trace_[static_cast<size_t>(v)].push_back(
+        uavs_[static_cast<size_t>(v)].position);
+  }
+
+  ++slot_;
+  result.done = Done();
+  return result;
+}
+
+double World::ObservedStopData(int64_t u, int64_t b) const {
+  GARL_CHECK_GE(u, 0);
+  GARL_CHECK_LT(u, params_.num_ugvs);
+  GARL_CHECK_GE(b, 0);
+  GARL_CHECK_LT(b, stops_.num_stops());
+  if (!seen_[static_cast<size_t>(u)][static_cast<size_t>(b)]) {
+    return params_.unseen_mask_mb;
+  }
+  return last_seen_data_[static_cast<size_t>(u)][static_cast<size_t>(b)];
+}
+
+UgvObservation World::ObserveUgv(int64_t u) const {
+  GARL_CHECK_GE(u, 0);
+  GARL_CHECK_LT(u, params_.num_ugvs);
+  UgvObservation obs;
+  obs.self = u;
+  obs.current_stop = ugvs_[static_cast<size_t>(u)].current_stop;
+
+  int64_t num_stops = stops_.num_stops();
+  obs.stop_features = nn::Tensor::Zeros({num_stops, 3});
+  auto& stop_data = obs.stop_features.mutable_data();
+  for (int64_t b = 0; b < num_stops; ++b) {
+    const Vec2& p = stops_.positions[static_cast<size_t>(b)];
+    stop_data[b * 3 + 0] = static_cast<float>(p.x / campus_.width);
+    stop_data[b * 3 + 1] = static_cast<float>(p.y / campus_.height);
+    double observed = ObservedStopData(u, b);
+    stop_data[b * 3 + 2] =
+        observed < 0.0 ? -1.0f
+                       : static_cast<float>(observed / max_stop_data_);
+  }
+
+  obs.ugv_positions = nn::Tensor::Zeros({params_.num_ugvs, 2});
+  auto& ugv_pos = obs.ugv_positions.mutable_data();
+  for (int64_t other = 0; other < params_.num_ugvs; ++other) {
+    const UgvState& state = ugvs_[static_cast<size_t>(other)];
+    ugv_pos[other * 2 + 0] = static_cast<float>(state.position.x /
+                                                campus_.width);
+    ugv_pos[other * 2 + 1] = static_cast<float>(state.position.y /
+                                                campus_.height);
+    obs.ugv_stops.push_back(state.current_stop);
+    obs.ugv_positions_raw.push_back(state.position);
+  }
+  obs.stop_seen_slot = last_seen_slot_[static_cast<size_t>(u)];
+  return obs;
+}
+
+UavObservation World::ObserveUav(int64_t v) const {
+  GARL_CHECK_GE(v, 0);
+  GARL_CHECK_LT(v, num_uavs());
+  const UavState& uav = uavs_[static_cast<size_t>(v)];
+  int64_t g = params_.obs_grid;
+  double cell = params_.obs_cell_size;
+  UavObservation obs;
+  obs.grid = nn::Tensor::Zeros({3, g, g});
+  auto& data = obs.grid.mutable_data();
+  double half = g * cell / 2.0;
+  Vec2 origin{uav.position.x - half, uav.position.y - half};
+
+  auto cell_index = [&](int64_t c, int64_t iy, int64_t ix) {
+    return (c * g + iy) * g + ix;
+  };
+  // Channel 0: obstacle occupancy (cell centre inside a building or outside
+  // the field).
+  Rect field{0.0, 0.0, campus_.width, campus_.height};
+  for (int64_t iy = 0; iy < g; ++iy) {
+    for (int64_t ix = 0; ix < g; ++ix) {
+      Vec2 centre{origin.x + (ix + 0.5) * cell, origin.y + (iy + 0.5) * cell};
+      bool obstacle = !field.Contains(centre);
+      if (!obstacle) {
+        for (const Rect& b : campus_.buildings) {
+          if (b.Contains(centre)) {
+            obstacle = true;
+            break;
+          }
+        }
+      }
+      if (obstacle) data[cell_index(0, iy, ix)] = 1.0f;
+    }
+  }
+  // Channel 1: normalized remaining sensor data per cell.
+  double norm = std::max(1.0, params_.collect_per_slot_mb * 4.0);
+  for (const SensorState& sensor : sensors_) {
+    if (sensor.remaining_mb <= 0.0) continue;
+    int64_t ix = static_cast<int64_t>((sensor.position.x - origin.x) / cell);
+    int64_t iy = static_cast<int64_t>((sensor.position.y - origin.y) / cell);
+    if (ix < 0 || ix >= g || iy < 0 || iy >= g) continue;
+    data[cell_index(1, iy, ix)] +=
+        static_cast<float>(sensor.remaining_mb / norm);
+  }
+  // Channel 2: carrier cell marker (enables homing behaviour).
+  {
+    const Vec2& carrier =
+        ugvs_[static_cast<size_t>(uav.carrier)].position;
+    int64_t ix = static_cast<int64_t>((carrier.x - origin.x) / cell);
+    int64_t iy = static_cast<int64_t>((carrier.y - origin.y) / cell);
+    if (ix >= 0 && ix < g && iy >= 0 && iy < g) {
+      data[cell_index(2, iy, ix)] = 1.0f;
+    }
+  }
+  obs.energy_fraction = uav.energy_kj / params_.uav_energy_kj;
+  return obs;
+}
+
+double World::CurrentFairness() const { return Fairness(sensors_); }
+
+EpisodeMetrics World::Metrics() const {
+  double psi = DataCollectionRatio(sensors_);
+  double xi = Fairness(sensors_);
+  double zeta = CooperationFactor(releases_, effective_releases_);
+  double initial = params_.uav_energy_kj * static_cast<double>(num_uavs());
+  double beta = EnergyRatio(energy_consumed_kj_, initial,
+                            energy_charged_kj_);
+  return MakeMetrics(psi, xi, zeta, beta);
+}
+
+}  // namespace garl::env

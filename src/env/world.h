@@ -1,0 +1,135 @@
+#ifndef GARL_ENV_WORLD_H_
+#define GARL_ENV_WORLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "env/campus.h"
+#include "env/stop_network.h"
+#include "env/types.h"
+
+// The air-ground spatial-crowdsourcing Dec-POMDP (Section III).
+//
+// Per 30 s slot:
+//  * A UGV that is not hosting a release window either starts one (its
+//    UAVs take off for `release_slots` slots and the UGV waits, Eq. 12) or
+//    moves up to `ugv_max_dist` along shortest road paths toward its chosen
+//    target stop.
+//  * Airborne UAVs fly up to `uav_max_dist` in any direction, cannot enter
+//    buildings (crash penalty on contact), spend eta kJ/m, and harvest up
+//    to `collect_per_slot_mb` from each in-range sensor.
+//  * When a window ends (or a battery empties) the UAVs land on their
+//    carrier and recharge to e_0; charged energy is accounted in beta.
+
+namespace garl::env {
+
+class World {
+ public:
+  World(CampusSpec campus, WorldParams params);
+
+  // Re-randomizes nothing structural; resets all mutable state (positions,
+  // sensor data, counters). `seed` controls in-episode stochasticity only.
+  void Reset(uint64_t seed);
+
+  // Advances one slot. `ugv_actions` must have U entries (entries for
+  // waiting UGVs are ignored); `uav_actions` must have U*V' entries
+  // (entries for landed UAVs are ignored).
+  StepResult Step(const std::vector<UgvAction>& ugv_actions,
+                  const std::vector<UavAction>& uav_actions);
+
+  // --- Observations ---------------------------------------------------------
+  UgvObservation ObserveUgv(int64_t u) const;
+  UavObservation ObserveUav(int64_t v) const;
+
+  // --- Introspection ---------------------------------------------------------
+  int64_t num_ugvs() const { return params_.num_ugvs; }
+  int64_t num_uavs() const { return params_.num_ugvs * params_.uavs_per_ugv; }
+  int64_t slot() const { return slot_; }
+  bool Done() const { return slot_ >= params_.horizon; }
+  // True when UGV u expects a fresh action this slot (not mid-window).
+  bool UgvNeedsAction(int64_t u) const;
+  // True when UAV v is airborne and expects a movement action.
+  bool UavAirborne(int64_t v) const;
+
+  const WorldParams& params() const { return params_; }
+  const CampusSpec& campus() const { return campus_; }
+  const StopNetwork& stops() const { return stops_; }
+  const std::vector<UgvState>& ugvs() const { return ugvs_; }
+  const std::vector<UavState>& uavs() const { return uavs_; }
+  const std::vector<SensorState>& sensors() const { return sensors_; }
+
+  // Hop-count matrix over the stop graph (input to MC-GCN's s(.,.)).
+  const std::vector<std::vector<int64_t>>& hop_table() const {
+    return hop_table_;
+  }
+  // Weighted shortest distances (meters) between stops.
+  const std::vector<std::vector<double>>& distance_table() const {
+    return distance_table_;
+  }
+
+  // True remaining data around stop b (d_t^b of Eq. 8).
+  double StopData(int64_t b) const { return stop_data_[b]; }
+  // UGV u's possibly stale view of stop b (Eq. 9b): unseen_mask_mb until
+  // first approach, then the value recorded at the latest approach.
+  double ObservedStopData(int64_t u, int64_t b) const;
+
+  // Normalization constant for stop data features.
+  double max_stop_data() const { return max_stop_data_; }
+
+  // Current Jain fairness xi_t (Eq. 13b), for UAV reward shaping.
+  double CurrentFairness() const;
+
+  // --- Metrics / traces ---------------------------------------------------------
+  EpisodeMetrics Metrics() const;
+  int64_t total_releases() const { return releases_; }
+  int64_t effective_releases() const { return effective_releases_; }
+
+  // Position logs (one entry per slot), for trajectory studies (Fig. 7).
+  const std::vector<std::vector<Vec2>>& ugv_trace() const {
+    return ugv_trace_;
+  }
+  const std::vector<std::vector<Vec2>>& uav_trace() const {
+    return uav_trace_;
+  }
+
+ private:
+  void RecomputeStopData();
+  void RefreshUgvKnowledge();
+  void LandUav(int64_t v);
+  void MoveUgv(int64_t u, int64_t target, double budget);
+
+  CampusSpec campus_;
+  WorldParams params_;
+  StopNetwork stops_;
+  std::vector<std::vector<int64_t>> hop_table_;
+  std::vector<std::vector<double>> distance_table_;
+  std::vector<std::vector<int64_t>> next_hop_;
+  // sensors within stop_coverage_radius of each stop.
+  std::vector<std::vector<int64_t>> stop_cover_;
+
+  int64_t slot_ = 0;
+  std::vector<UgvState> ugvs_;
+  std::vector<UavState> uavs_;
+  std::vector<SensorState> sensors_;
+  std::vector<double> stop_data_;
+  double max_stop_data_ = 1.0;
+
+  // Per-UGV knowledge of the stop network (Eq. 9b).
+  std::vector<std::vector<double>> last_seen_data_;  // [U][B]
+  std::vector<std::vector<bool>> seen_;              // [U][B]
+  std::vector<std::vector<int64_t>> last_seen_slot_;  // [U][B], -1 = never
+
+  // Counters.
+  int64_t releases_ = 0;
+  int64_t effective_releases_ = 0;
+  double energy_consumed_kj_ = 0.0;
+  double energy_charged_kj_ = 0.0;
+
+  std::vector<std::vector<Vec2>> ugv_trace_;
+  std::vector<std::vector<Vec2>> uav_trace_;
+};
+
+}  // namespace garl::env
+
+#endif  // GARL_ENV_WORLD_H_

@@ -1,0 +1,62 @@
+#include "graph/graph.h"
+
+#include "common/check.h"
+
+namespace garl::graph {
+
+Graph::Graph(int64_t num_nodes) {
+  GARL_CHECK_GE(num_nodes, 0);
+  adjacency_.resize(static_cast<size_t>(num_nodes));
+}
+
+void Graph::AddEdge(int64_t a, int64_t b, double weight) {
+  GARL_CHECK_GE(a, 0);
+  GARL_CHECK_LT(a, num_nodes());
+  GARL_CHECK_GE(b, 0);
+  GARL_CHECK_LT(b, num_nodes());
+  GARL_CHECK_NE(a, b);
+  GARL_CHECK_GT(weight, 0.0);
+  GARL_CHECK_MSG(!HasEdge(a, b), "parallel edge");
+  adjacency_[static_cast<size_t>(a)].push_back({b, weight});
+  adjacency_[static_cast<size_t>(b)].push_back({a, weight});
+  ++num_edges_;
+}
+
+const std::vector<Graph::Edge>& Graph::Neighbors(int64_t node) const {
+  GARL_CHECK_GE(node, 0);
+  GARL_CHECK_LT(node, num_nodes());
+  return adjacency_[static_cast<size_t>(node)];
+}
+
+bool Graph::HasEdge(int64_t a, int64_t b) const {
+  for (const Edge& e : Neighbors(a)) {
+    if (e.to == b) return true;
+  }
+  return false;
+}
+
+int64_t Graph::Degree(int64_t node) const {
+  return static_cast<int64_t>(Neighbors(node).size());
+}
+
+bool Graph::IsConnected() const {
+  if (num_nodes() == 0) return true;
+  std::vector<bool> seen(static_cast<size_t>(num_nodes()), false);
+  std::vector<int64_t> stack = {0};
+  seen[0] = true;
+  int64_t visited = 0;
+  while (!stack.empty()) {
+    int64_t node = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (const Edge& e : Neighbors(node)) {
+      if (!seen[static_cast<size_t>(e.to)]) {
+        seen[static_cast<size_t>(e.to)] = true;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return visited == num_nodes();
+}
+
+}  // namespace garl::graph

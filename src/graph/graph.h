@@ -1,0 +1,43 @@
+#ifndef GARL_GRAPH_GRAPH_H_
+#define GARL_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+// Undirected weighted graph used for the UGV stop network ("stop graph"
+// G = {B, E} in the paper, Section III-A).
+
+namespace garl::graph {
+
+class Graph {
+ public:
+  struct Edge {
+    int64_t to;
+    double weight;
+  };
+
+  explicit Graph(int64_t num_nodes);
+
+  // Adds an undirected edge; parallel edges are rejected, self loops are
+  // not allowed. Weight must be positive (edge length in meters).
+  void AddEdge(int64_t a, int64_t b, double weight = 1.0);
+
+  int64_t num_nodes() const { return static_cast<int64_t>(adjacency_.size()); }
+  int64_t num_edges() const { return num_edges_; }
+
+  const std::vector<Edge>& Neighbors(int64_t node) const;
+  bool HasEdge(int64_t a, int64_t b) const;
+  int64_t Degree(int64_t node) const;
+
+  // True when every node can reach every other node.
+  bool IsConnected() const;
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace garl::graph
+
+#endif  // GARL_GRAPH_GRAPH_H_

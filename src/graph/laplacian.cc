@@ -1,0 +1,41 @@
+#include "graph/laplacian.h"
+
+#include <cmath>
+
+namespace garl::graph {
+
+nn::Tensor AdjacencyWithSelfLoops(const Graph& graph) {
+  int64_t n = graph.num_nodes();
+  nn::Tensor a = nn::Tensor::Zeros({n, n});
+  auto& data = a.mutable_data();
+  for (int64_t i = 0; i < n; ++i) {
+    data[i * n + i] = 1.0f;
+    for (const Graph::Edge& e : graph.Neighbors(i)) {
+      data[i * n + e.to] = 1.0f;
+    }
+  }
+  return a;
+}
+
+nn::Tensor NormalizedLaplacian(const Graph& graph) {
+  int64_t n = graph.num_nodes();
+  nn::Tensor a = AdjacencyWithSelfLoops(graph);
+  std::vector<float> inv_sqrt_deg(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    float deg = 0.0f;
+    for (int64_t j = 0; j < n; ++j) deg += a.data()[i * n + j];
+    inv_sqrt_deg[static_cast<size_t>(i)] = 1.0f / std::sqrt(deg);
+  }
+  nn::Tensor l = nn::Tensor::Zeros({n, n});
+  auto& out = l.mutable_data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      out[i * n + j] = inv_sqrt_deg[static_cast<size_t>(i)] *
+                       a.data()[i * n + j] *
+                       inv_sqrt_deg[static_cast<size_t>(j)];
+    }
+  }
+  return l;
+}
+
+}  // namespace garl::graph

@@ -1,0 +1,19 @@
+#ifndef GARL_GRAPH_LAPLACIAN_H_
+#define GARL_GRAPH_LAPLACIAN_H_
+
+#include "graph/graph.h"
+#include "nn/tensor.h"
+
+namespace garl::graph {
+
+// Symmetric-normalized adjacency with self loops (Eq. 1b):
+//   L = D̃^{-1/2} (A + I) D̃^{-1/2},  D̃_ii = sum_j (A + I)_ij.
+// Edge weights are ignored (binary adjacency), matching GCN convention.
+nn::Tensor NormalizedLaplacian(const Graph& graph);
+
+// Dense binary adjacency with self loops (A + I), used by attention layers.
+nn::Tensor AdjacencyWithSelfLoops(const Graph& graph);
+
+}  // namespace garl::graph
+
+#endif  // GARL_GRAPH_LAPLACIAN_H_

@@ -1,0 +1,87 @@
+#include "graph/shortest_path.h"
+
+#include <queue>
+
+#include "common/check.h"
+
+namespace garl::graph {
+
+ShortestPaths Dijkstra(const Graph& graph, int64_t source) {
+  GARL_CHECK_GE(source, 0);
+  GARL_CHECK_LT(source, graph.num_nodes());
+  size_t n = static_cast<size_t>(graph.num_nodes());
+  ShortestPaths result;
+  result.dist.assign(n, kInfDistance);
+  result.parent.assign(n, -1);
+  using Item = std::pair<double, int64_t>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  result.dist[static_cast<size_t>(source)] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    auto [d, node] = heap.top();
+    heap.pop();
+    if (d > result.dist[static_cast<size_t>(node)]) continue;
+    for (const Graph::Edge& e : graph.Neighbors(node)) {
+      double nd = d + e.weight;
+      if (nd < result.dist[static_cast<size_t>(e.to)]) {
+        result.dist[static_cast<size_t>(e.to)] = nd;
+        result.parent[static_cast<size_t>(e.to)] = node;
+        heap.push({nd, e.to});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int64_t> BfsHops(const Graph& graph, int64_t source) {
+  GARL_CHECK_GE(source, 0);
+  GARL_CHECK_LT(source, graph.num_nodes());
+  std::vector<int64_t> hops(static_cast<size_t>(graph.num_nodes()), -1);
+  std::queue<int64_t> queue;
+  hops[static_cast<size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    int64_t node = queue.front();
+    queue.pop();
+    for (const Graph::Edge& e : graph.Neighbors(node)) {
+      if (hops[static_cast<size_t>(e.to)] < 0) {
+        hops[static_cast<size_t>(e.to)] = hops[static_cast<size_t>(node)] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return hops;
+}
+
+std::vector<std::vector<double>> AllPairsDistances(const Graph& graph) {
+  std::vector<std::vector<double>> dist;
+  dist.reserve(static_cast<size_t>(graph.num_nodes()));
+  for (int64_t s = 0; s < graph.num_nodes(); ++s) {
+    dist.push_back(Dijkstra(graph, s).dist);
+  }
+  return dist;
+}
+
+std::vector<std::vector<int64_t>> NextHopTable(const Graph& graph) {
+  size_t n = static_cast<size_t>(graph.num_nodes());
+  std::vector<std::vector<int64_t>> next(n, std::vector<int64_t>(n, -1));
+  for (int64_t s = 0; s < graph.num_nodes(); ++s) {
+    ShortestPaths sp = Dijkstra(graph, s);
+    for (int64_t t = 0; t < graph.num_nodes(); ++t) {
+      if (t == s) {
+        next[s][t] = s;
+        continue;
+      }
+      if (sp.parent[static_cast<size_t>(t)] < 0) continue;  // unreachable
+      // Walk back from t until the node whose parent is s.
+      int64_t node = t;
+      while (sp.parent[static_cast<size_t>(node)] != s) {
+        node = sp.parent[static_cast<size_t>(node)];
+      }
+      next[s][t] = node;
+    }
+  }
+  return next;
+}
+
+}  // namespace garl::graph

@@ -1,0 +1,39 @@
+#ifndef GARL_GRAPH_SHORTEST_PATH_H_
+#define GARL_GRAPH_SHORTEST_PATH_H_
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+// Shortest-path machinery: Dijkstra distances feed the structural
+// correlation function s(., .) of MC-GCN (Eq. 19-20) and UGV routing.
+
+namespace garl::graph {
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+struct ShortestPaths {
+  // dist[i] = weighted shortest distance from the source to node i
+  // (kInfDistance when unreachable).
+  std::vector<double> dist;
+  // parent[i] = previous node on a shortest path (-1 for source/unreachable).
+  std::vector<int64_t> parent;
+};
+
+// Single-source Dijkstra.
+ShortestPaths Dijkstra(const Graph& graph, int64_t source);
+
+// Unweighted hop counts from `source` (-1 when unreachable).
+std::vector<int64_t> BfsHops(const Graph& graph, int64_t source);
+
+// All-pairs weighted distances; O(B * E log B). dist[i][j].
+std::vector<std::vector<double>> AllPairsDistances(const Graph& graph);
+
+// next_hop[s][t] = neighbor of s on a shortest s->t path (s when s==t,
+// -1 when unreachable). Used by UGVs to follow roads toward a target stop.
+std::vector<std::vector<int64_t>> NextHopTable(const Graph& graph);
+
+}  // namespace garl::graph
+
+#endif  // GARL_GRAPH_SHORTEST_PATH_H_

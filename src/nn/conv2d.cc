@@ -1,0 +1,34 @@
+#include "nn/conv2d.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace garl::nn {
+
+Conv2dLayer::Conv2dLayer(int64_t in_channels, int64_t out_channels,
+                         int64_t kernel, int64_t stride, int64_t padding,
+                         Rng& rng)
+    : kernel_(kernel), stride_(stride), padding_(padding) {
+  GARL_CHECK_GT(in_channels, 0);
+  GARL_CHECK_GT(out_channels, 0);
+  GARL_CHECK_GT(kernel, 0);
+  weight_ = Tensor::Zeros({out_channels, in_channels, kernel, kernel},
+                          /*requires_grad=*/true);
+  KaimingInit(weight_, in_channels * kernel * kernel, rng);
+  bias_ = Tensor::Zeros({out_channels}, /*requires_grad=*/true);
+}
+
+Tensor Conv2dLayer::Forward(const Tensor& input) const {
+  return Conv2d(input, weight_, bias_, stride_, padding_);
+}
+
+std::vector<Tensor> Conv2dLayer::Parameters() const {
+  return {weight_, bias_};
+}
+
+int64_t Conv2dLayer::OutputSize(int64_t input_size) const {
+  return (input_size + 2 * padding_ - kernel_) / stride_ + 1;
+}
+
+}  // namespace garl::nn

@@ -1,0 +1,34 @@
+#ifndef GARL_NN_CONV2D_H_
+#define GARL_NN_CONV2D_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+
+namespace garl::nn {
+
+// 2-D convolution layer over [N, C, H, W] inputs (used by the UAV local-map
+// policy, Eq. 17, and the CubicMap baseline).
+class Conv2dLayer : public Module {
+ public:
+  Conv2dLayer(int64_t in_channels, int64_t out_channels, int64_t kernel,
+              int64_t stride, int64_t padding, Rng& rng);
+
+  Tensor Forward(const Tensor& input) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+  // Output spatial size for a given input size.
+  int64_t OutputSize(int64_t input_size) const;
+
+ private:
+  int64_t kernel_;
+  int64_t stride_;
+  int64_t padding_;
+  Tensor weight_;  // [out, in, k, k]
+  Tensor bias_;    // [out]
+};
+
+}  // namespace garl::nn
+
+#endif  // GARL_NN_CONV2D_H_

@@ -1,0 +1,85 @@
+#include "nn/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace garl::nn {
+
+namespace {
+constexpr float kLogTwoPi = 1.8378770664093453f;
+}
+
+Categorical::Categorical(Tensor logits) : logits_(std::move(logits)) {
+  GARL_CHECK(logits_.defined());
+  GARL_CHECK_EQ(logits_.dim(), 1);
+  GARL_CHECK_GT(logits_.size(0), 0);
+}
+
+std::vector<float> Categorical::Probabilities() const {
+  NoGradGuard no_grad;
+  return Softmax(logits_.Detach()).data();
+}
+
+int64_t Categorical::Sample(Rng& rng) const {
+  std::vector<float> probs = Probabilities();
+  std::vector<double> weights(probs.begin(), probs.end());
+  return rng.SampleIndex(weights);
+}
+
+int64_t Categorical::Mode() const {
+  const auto& v = logits_.data();
+  return static_cast<int64_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+Tensor Categorical::LogProb(int64_t action) const {
+  return Gather1d(LogSoftmax(logits_), action);
+}
+
+Tensor Categorical::Entropy() const {
+  Tensor log_p = LogSoftmax(logits_);
+  Tensor p = Softmax(logits_);
+  return Neg(Sum(Mul(p, log_p)));
+}
+
+DiagGaussian::DiagGaussian(Tensor mean, Tensor log_std)
+    : mean_(std::move(mean)), log_std_(std::move(log_std)) {
+  GARL_CHECK(mean_.defined());
+  GARL_CHECK(log_std_.defined());
+  GARL_CHECK_EQ(mean_.dim(), 1);
+  GARL_CHECK(mean_.shape() == log_std_.shape());
+}
+
+std::vector<float> DiagGaussian::Sample(Rng& rng) const {
+  std::vector<float> out(mean_.data());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] += std::exp(log_std_.data()[i]) * rng.NormalF();
+  }
+  return out;
+}
+
+std::vector<float> DiagGaussian::Mode() const { return mean_.data(); }
+
+Tensor DiagGaussian::LogProb(const std::vector<float>& action) const {
+  GARL_CHECK_EQ(static_cast<int64_t>(action.size()), mean_.size(0));
+  Tensor a = Tensor::FromVector({mean_.size(0)},
+                                std::vector<float>(action.begin(),
+                                                   action.end()));
+  // logp = -0.5 * sum(((a-mu)/sigma)^2 + 2*log_sigma + log(2*pi)).
+  Tensor std = Exp(log_std_);
+  Tensor z = Div(Sub(a, mean_), std);
+  Tensor per_dim = Add(AddScalar(MulScalar(log_std_, 2.0f), kLogTwoPi),
+                       Square(z));
+  return MulScalar(Sum(per_dim), -0.5f);
+}
+
+Tensor DiagGaussian::Entropy() const {
+  // H = sum(log_sigma + 0.5*log(2*pi*e)).
+  constexpr float kHalfLogTwoPiE = 1.4189385332046727f;
+  return Sum(AddScalar(log_std_, kHalfLogTwoPiE));
+}
+
+}  // namespace garl::nn

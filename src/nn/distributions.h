@@ -1,0 +1,63 @@
+#ifndef GARL_NN_DISTRIBUTIONS_H_
+#define GARL_NN_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+// Policy distributions for PPO/MADDPG. Sampling is done outside the autograd
+// graph; LogProb/Entropy build differentiable expressions for training.
+
+namespace garl::nn {
+
+// Discrete distribution parameterized by unnormalized logits [k].
+class Categorical {
+ public:
+  explicit Categorical(Tensor logits);
+
+  // Samples an index using the current probabilities.
+  int64_t Sample(Rng& rng) const;
+
+  // argmax action.
+  int64_t Mode() const;
+
+  // Differentiable log pi(action).
+  Tensor LogProb(int64_t action) const;
+
+  // Differentiable entropy (scalar).
+  Tensor Entropy() const;
+
+  // Probability vector (no autograd history).
+  std::vector<float> Probabilities() const;
+
+  const Tensor& logits() const { return logits_; }
+
+ private:
+  Tensor logits_;  // [k]
+};
+
+// Diagonal Gaussian over R^d, parameterized by a mean tensor [d] and a
+// log-std tensor [d] (typically a learned state-independent parameter).
+class DiagGaussian {
+ public:
+  DiagGaussian(Tensor mean, Tensor log_std);
+
+  std::vector<float> Sample(Rng& rng) const;
+  std::vector<float> Mode() const;
+
+  // Differentiable log-density at `action` (scalar tensor).
+  Tensor LogProb(const std::vector<float>& action) const;
+
+  // Differentiable entropy (scalar).
+  Tensor Entropy() const;
+
+ private:
+  Tensor mean_;     // [d]
+  Tensor log_std_;  // [d]
+};
+
+}  // namespace garl::nn
+
+#endif  // GARL_NN_DISTRIBUTIONS_H_

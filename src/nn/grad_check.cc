@@ -1,0 +1,43 @@
+#include "nn/grad_check.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace garl::nn {
+
+float MaxGradError(Tensor& input,
+                   const std::function<Tensor(const Tensor&)>& loss_fn,
+                   float epsilon) {
+  GARL_CHECK(input.requires_grad());
+  input.ZeroGrad();
+  Tensor loss = loss_fn(input);
+  GARL_CHECK_EQ(loss.numel(), 1);
+  loss.Backward();
+  std::vector<float> analytic = input.grad();
+
+  float max_err = 0.0f;
+  auto& values = input.mutable_data();
+  for (size_t i = 0; i < values.size(); ++i) {
+    float original = values[i];
+    values[i] = original + epsilon;
+    float plus;
+    {
+      NoGradGuard no_grad;
+      plus = loss_fn(input).item();
+    }
+    values[i] = original - epsilon;
+    float minus;
+    {
+      NoGradGuard no_grad;
+      minus = loss_fn(input).item();
+    }
+    values[i] = original;
+    float numeric = (plus - minus) / (2.0f * epsilon);
+    max_err = std::max(max_err, std::fabs(numeric - analytic[i]));
+  }
+  return max_err;
+}
+
+}  // namespace garl::nn

@@ -1,0 +1,21 @@
+#ifndef GARL_NN_GRAD_CHECK_H_
+#define GARL_NN_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "nn/tensor.h"
+
+// Finite-difference gradient verification used by the nn test suite.
+
+namespace garl::nn {
+
+// Compares the analytic gradient of `loss_fn` (a scalar-valued function of
+// `input`, which must require grad) against central finite differences.
+// Returns the maximum absolute difference over all input coordinates.
+float MaxGradError(Tensor& input,
+                   const std::function<Tensor(const Tensor&)>& loss_fn,
+                   float epsilon = 1e-3f);
+
+}  // namespace garl::nn
+
+#endif  // GARL_NN_GRAD_CHECK_H_

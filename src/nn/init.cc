@@ -1,0 +1,27 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace garl::nn {
+
+void UniformInit(Tensor& t, float bound, Rng& rng) {
+  for (float& v : t.mutable_data()) v = rng.UniformF(-bound, bound);
+}
+
+void XavierInit(Tensor& t, int64_t fan_in, int64_t fan_out, Rng& rng) {
+  float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  UniformInit(t, bound, rng);
+}
+
+void KaimingInit(Tensor& t, int64_t fan_in, Rng& rng) {
+  float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  UniformInit(t, bound, rng);
+}
+
+void ScaledXavierInit(Tensor& t, int64_t fan_in, int64_t fan_out, float gain,
+                      Rng& rng) {
+  XavierInit(t, fan_in, fan_out, rng);
+  for (float& v : t.mutable_data()) v *= gain;
+}
+
+}  // namespace garl::nn

@@ -1,0 +1,26 @@
+#ifndef GARL_NN_INIT_H_
+#define GARL_NN_INIT_H_
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+// Parameter initialization schemes.
+
+namespace garl::nn {
+
+// Fills `t` uniformly in [-bound, bound].
+void UniformInit(Tensor& t, float bound, Rng& rng);
+
+// Xavier/Glorot uniform for a [fan_out x fan_in]-style weight.
+void XavierInit(Tensor& t, int64_t fan_in, int64_t fan_out, Rng& rng);
+
+// Kaiming/He uniform (ReLU gain) based on fan_in.
+void KaimingInit(Tensor& t, int64_t fan_in, Rng& rng);
+
+// Orthogonal-ish init used for policy heads: Xavier scaled by `gain`.
+void ScaledXavierInit(Tensor& t, int64_t fan_in, int64_t fan_out, float gain,
+                      Rng& rng);
+
+}  // namespace garl::nn
+
+#endif  // GARL_NN_INIT_H_

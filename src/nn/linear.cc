@@ -1,0 +1,37 @@
+#include "nn/linear.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace garl::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
+               bool with_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  GARL_CHECK_GT(in_features, 0);
+  GARL_CHECK_GT(out_features, 0);
+  weight_ = Tensor::Zeros({out_features, in_features}, /*requires_grad=*/true);
+  XavierInit(weight_, in_features, out_features, rng);
+  if (with_bias) {
+    bias_ = Tensor::Zeros({out_features}, /*requires_grad=*/true);
+  }
+}
+
+Tensor Linear::Forward(const Tensor& input) const {
+  bool vector_input = input.dim() == 1;
+  Tensor x = vector_input ? Reshape(input, {1, input.size(0)}) : input;
+  GARL_CHECK_EQ(x.dim(), 2);
+  GARL_CHECK_EQ(x.size(1), in_features_);
+  Tensor y = MatMul(x, Transpose(weight_));
+  if (bias_.defined()) y = AddRowVector(y, bias_);
+  if (vector_input) y = Reshape(y, {out_features_});
+  return y;
+}
+
+std::vector<Tensor> Linear::Parameters() const {
+  std::vector<Tensor> params = {weight_};
+  if (bias_.defined()) params.push_back(bias_);
+  return params;
+}
+
+}  // namespace garl::nn

@@ -1,0 +1,36 @@
+#ifndef GARL_NN_LINEAR_H_
+#define GARL_NN_LINEAR_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace garl::nn {
+
+// Fully connected layer: y = x W^T + b (x is [n, in] or [in]).
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool with_bias = true);
+
+  // [n, in] -> [n, out]; a 1-D [in] input yields a 1-D [out] output.
+  Tensor Forward(const Tensor& input) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;  // [out, in]
+  Tensor bias_;    // [out] (undefined when with_bias=false)
+};
+
+}  // namespace garl::nn
+
+#endif  // GARL_NN_LINEAR_H_

@@ -1,0 +1,38 @@
+#include "nn/lstm_cell.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace garl::nn {
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  gates_ = std::make_unique<Linear>(input_size + hidden_size,
+                                    4 * hidden_size, rng);
+}
+
+LstmCell::State LstmCell::InitialState() const {
+  return {Tensor::Zeros({hidden_size_}), Tensor::Zeros({hidden_size_})};
+}
+
+LstmCell::State LstmCell::Forward(const Tensor& input,
+                                  const State& state) const {
+  GARL_CHECK_EQ(input.dim(), 1);
+  GARL_CHECK_EQ(input.size(0), input_size_);
+  Tensor xh = Concat({input, state.h}, 0);
+  Tensor gates = gates_->Forward(xh);  // [4*hidden]
+  Tensor g2 = Reshape(gates, {4, hidden_size_});
+  Tensor i = Sigmoid(Reshape(Rows(g2, 0, 1), {hidden_size_}));
+  Tensor f = Sigmoid(Reshape(Rows(g2, 1, 1), {hidden_size_}));
+  Tensor g = Tanh(Reshape(Rows(g2, 2, 1), {hidden_size_}));
+  Tensor o = Sigmoid(Reshape(Rows(g2, 3, 1), {hidden_size_}));
+  Tensor c = Add(Mul(f, state.c), Mul(i, g));
+  Tensor h = Mul(o, Tanh(c));
+  return {h, c};
+}
+
+std::vector<Tensor> LstmCell::Parameters() const {
+  return gates_->Parameters();
+}
+
+}  // namespace garl::nn

@@ -1,0 +1,42 @@
+#ifndef GARL_NN_LSTM_CELL_H_
+#define GARL_NN_LSTM_CELL_H_
+
+#include <memory>
+#include <utility>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace garl::nn {
+
+// One-step LSTM cell (used by the IC3Net and GAM baselines).
+// Gates: i, f, g, o computed from [x; h]; c' = f*c + i*g; h' = o*tanh(c').
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  struct State {
+    Tensor h;  // [hidden]
+    Tensor c;  // [hidden]
+  };
+
+  // Zero-initialized state.
+  State InitialState() const;
+
+  // Advances one step for a single 1-D input [input_size].
+  State Forward(const Tensor& input, const State& state) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  std::unique_ptr<Linear> gates_;  // [input+hidden] -> 4*hidden
+};
+
+}  // namespace garl::nn
+
+#endif  // GARL_NN_LSTM_CELL_H_

@@ -1,0 +1,50 @@
+#include "nn/mlp.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace garl::nn {
+
+Tensor Activate(const Tensor& x, Activation activation) {
+  switch (activation) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kTanh:
+      return Tanh(x);
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+  }
+  GARL_CHECK_MSG(false, "unknown activation");
+  return x;
+}
+
+Mlp::Mlp(const std::vector<int64_t>& sizes, Activation activation, Rng& rng,
+         bool activate_output)
+    : activation_(activation), activate_output_(activate_output) {
+  GARL_CHECK_GE(sizes.size(), 2u);
+  for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(sizes[i], sizes[i + 1], rng));
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& input) const {
+  Tensor x = input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    x = layers_[i]->Forward(x);
+    bool last = (i + 1 == layers_.size());
+    if (!last || activate_output_) x = Activate(x, activation_);
+  }
+  return x;
+}
+
+std::vector<Tensor> Mlp::Parameters() const {
+  std::vector<Tensor> params;
+  for (const auto& layer : layers_) {
+    for (const Tensor& p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace garl::nn

@@ -1,0 +1,38 @@
+#ifndef GARL_NN_MLP_H_
+#define GARL_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace garl::nn {
+
+enum class Activation { kNone, kRelu, kTanh, kSigmoid };
+
+// Applies `activation` to `x` (kNone is the identity).
+Tensor Activate(const Tensor& x, Activation activation);
+
+// Multi-layer perceptron: Linear -> act -> ... -> Linear, with `activation`
+// between layers and optionally on the output.
+class Mlp : public Module {
+ public:
+  // `sizes` = {in, hidden..., out}; at least two entries.
+  Mlp(const std::vector<int64_t>& sizes, Activation activation, Rng& rng,
+      bool activate_output = false);
+
+  Tensor Forward(const Tensor& input) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation activation_;
+  bool activate_output_;
+};
+
+}  // namespace garl::nn
+
+#endif  // GARL_NN_MLP_H_

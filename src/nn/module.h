@@ -1,0 +1,32 @@
+#ifndef GARL_NN_MODULE_H_
+#define GARL_NN_MODULE_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+// Base class for trainable network components. A Module owns parameter
+// tensors (requires_grad leaves) and exposes them for optimizers and
+// (de)serialization. Composite modules register child parameters by
+// appending the children's Parameters().
+
+namespace garl::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // All trainable parameter tensors, in a stable order.
+  virtual std::vector<Tensor> Parameters() const = 0;
+
+  // Total number of trainable scalars.
+  int64_t NumParameters() const {
+    int64_t total = 0;
+    for (const Tensor& p : Parameters()) total += p.numel();
+    return total;
+  }
+};
+
+}  // namespace garl::nn
+
+#endif  // GARL_NN_MODULE_H_

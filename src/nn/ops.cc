@@ -1,0 +1,675 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace garl::nn {
+
+using internal::TensorImpl;
+using Impl = std::shared_ptr<internal::TensorImpl>;
+
+namespace {
+
+constexpr float kLogFloor = 1e-12f;
+
+thread_local bool g_grad_mode = true;
+
+bool AnyRequiresGrad(const std::vector<Tensor>& inputs) {
+  for (const Tensor& t : inputs) {
+    if (t.impl()->requires_grad) return true;
+  }
+  return false;
+}
+
+// Creates an op output node. `backward` may assume all parents have
+// allocated gradient buffers (the backward sweep guarantees it).
+Tensor MakeOp(std::vector<int64_t> shape, std::vector<float> value,
+              const std::vector<Tensor>& inputs,
+              std::function<void(TensorImpl&)> backward) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->value = std::move(value);
+  GARL_CHECK_EQ(impl->Numel(), static_cast<int64_t>(impl->value.size()));
+  if (g_grad_mode && AnyRequiresGrad(inputs)) {
+    impl->requires_grad = true;
+    impl->parents.reserve(inputs.size());
+    for (const Tensor& t : inputs) impl->parents.push_back(t.impl());
+    impl->backward_fn = std::move(backward);
+  }
+  return Tensor::Wrap(std::move(impl));
+}
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  GARL_CHECK_MSG(a.shape() == b.shape(),
+                 "shape mismatch: " + a.ShapeString() + " vs " +
+                     b.ShapeString());
+}
+
+// Elementwise binary helper: fwd(a_i, b_i) -> out_i and backward producing
+// (dL/da_i, dL/db_i) from (a_i, b_i, dL/dout_i).
+template <typename Fwd, typename Bwd>
+Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, Fwd fwd, Bwd bwd) {
+  CheckSameShape(a, b);
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = fwd(av[i], bv[i]);
+  Impl ai = a.impl(), bi = b.impl();
+  return MakeOp(a.shape(), std::move(out), {a, b},
+                [ai, bi, bwd](TensorImpl& self) {
+                  for (size_t i = 0; i < self.value.size(); ++i) {
+                    auto [da, db] = bwd(ai->value[i], bi->value[i],
+                                        self.grad[i]);
+                    ai->grad[i] += da;
+                    bi->grad[i] += db;
+                  }
+                });
+}
+
+// Elementwise unary helper: backward receives (x_i, y_i, dL/dy_i).
+template <typename Fwd, typename Bwd>
+Tensor ElementwiseUnary(const Tensor& a, Fwd fwd, Bwd bwd) {
+  const auto& av = a.data();
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = fwd(av[i]);
+  Impl ai = a.impl();
+  return MakeOp(a.shape(), std::move(out), {a},
+                [ai, bwd](TensorImpl& self) {
+                  for (size_t i = 0; i < self.value.size(); ++i) {
+                    ai->grad[i] += bwd(ai->value[i], self.value[i],
+                                       self.grad[i]);
+                  }
+                });
+}
+
+}  // namespace
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
+NoGradGuard::~NoGradGuard() { g_grad_mode = previous_; }
+
+bool GradModeEnabled() { return g_grad_mode; }
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float, float g) { return std::pair<float, float>(g, g); });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float, float g) { return std::pair<float, float>(g, -g); });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, [](float x, float y) { return x * y; },
+      [](float x, float y, float g) {
+        return std::pair<float, float>(g * y, g * x);
+      });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, [](float x, float y) { return x / y; },
+      [](float x, float y, float g) {
+        return std::pair<float, float>(g / y, -g * x / (y * y));
+      });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return ElementwiseUnary(
+      a, [s](float x) { return x + s; },
+      [](float, float, float g) { return g; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return ElementwiseUnary(
+      a, [s](float x) { return x * s; },
+      [s](float, float, float g) { return g * s; });
+}
+
+Tensor AddRowVector(const Tensor& mat, const Tensor& bias) {
+  GARL_CHECK_EQ(mat.dim(), 2);
+  GARL_CHECK_EQ(bias.dim(), 1);
+  int64_t n = mat.size(0), m = mat.size(1);
+  GARL_CHECK_EQ(bias.size(0), m);
+  std::vector<float> out(mat.data());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) out[i * m + j] += bias.data()[j];
+  }
+  Impl mi = mat.impl(), bi = bias.impl();
+  return MakeOp(mat.shape(), std::move(out), {mat, bias},
+                [mi, bi, n, m](TensorImpl& self) {
+                  for (int64_t i = 0; i < n; ++i) {
+                    for (int64_t j = 0; j < m; ++j) {
+                      float g = self.grad[i * m + j];
+                      mi->grad[i * m + j] += g;
+                      bi->grad[j] += g;
+                    }
+                  }
+                });
+}
+
+Tensor ScaleRows(const Tensor& mat, const Tensor& scale) {
+  GARL_CHECK_EQ(mat.dim(), 2);
+  GARL_CHECK_EQ(scale.dim(), 1);
+  int64_t n = mat.size(0), m = mat.size(1);
+  GARL_CHECK_EQ(scale.size(0), n);
+  std::vector<float> out(mat.data());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) out[i * m + j] *= scale.data()[i];
+  }
+  Impl mi = mat.impl(), si = scale.impl();
+  return MakeOp(mat.shape(), std::move(out), {mat, scale},
+                [mi, si, n, m](TensorImpl& self) {
+                  for (int64_t i = 0; i < n; ++i) {
+                    for (int64_t j = 0; j < m; ++j) {
+                      float g = self.grad[i * m + j];
+                      mi->grad[i * m + j] += g * si->value[i];
+                      si->grad[i] += g * mi->value[i * m + j];
+                    }
+                  }
+                });
+}
+
+Tensor Neg(const Tensor& a) {
+  return ElementwiseUnary(
+      a, [](float x) { return -x; },
+      [](float, float, float g) { return -g; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return ElementwiseUnary(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y, float g) { return g * y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return ElementwiseUnary(
+      a, [](float x) { return std::log(std::max(x, kLogFloor)); },
+      [](float x, float, float g) { return g / std::max(x, kLogFloor); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return ElementwiseUnary(
+      a, [](float x) { return std::sqrt(std::max(x, 0.0f)); },
+      [](float, float y, float g) { return g / (2.0f * std::max(y, 1e-8f)); });
+}
+
+Tensor Square(const Tensor& a) {
+  return ElementwiseUnary(
+      a, [](float x) { return x * x; },
+      [](float x, float, float g) { return 2.0f * g * x; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return ElementwiseUnary(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float, float g) { return x > 0.0f ? g : 0.0f; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return ElementwiseUnary(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y, float g) { return g * (1.0f - y * y); });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return ElementwiseUnary(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y, float g) { return g * y * (1.0f - y); });
+}
+
+Tensor Clip(const Tensor& a, float lo, float hi) {
+  GARL_CHECK_LE(lo, hi);
+  return ElementwiseUnary(
+      a, [lo, hi](float x) { return std::clamp(x, lo, hi); },
+      [lo, hi](float x, float, float g) {
+        return (x > lo && x < hi) ? g : 0.0f;
+      });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  GARL_CHECK_EQ(a.dim(), 2);
+  GARL_CHECK_EQ(b.dim(), 2);
+  int64_t n = a.size(0), k = a.size(1), m = b.size(1);
+  GARL_CHECK_MSG(b.size(0) == k, "matmul inner dim mismatch: " +
+                                     a.ShapeString() + " x " +
+                                     b.ShapeString());
+  std::vector<float> out(static_cast<size_t>(n * m), 0.0f);
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      float aip = av[i * k + p];
+      if (aip == 0.0f) continue;
+      const float* brow = &bv[p * m];
+      float* orow = &out[i * m];
+      for (int64_t j = 0; j < m; ++j) orow[j] += aip * brow[j];
+    }
+  }
+  Impl ai = a.impl(), bi = b.impl();
+  return MakeOp({n, m}, std::move(out), {a, b},
+                [ai, bi, n, k, m](TensorImpl& self) {
+                  // dA = dOut * B^T ; dB = A^T * dOut.
+                  for (int64_t i = 0; i < n; ++i) {
+                    for (int64_t j = 0; j < m; ++j) {
+                      float g = self.grad[i * m + j];
+                      if (g == 0.0f) continue;
+                      for (int64_t p = 0; p < k; ++p) {
+                        ai->grad[i * k + p] += g * bi->value[p * m + j];
+                        bi->grad[p * m + j] += g * ai->value[i * k + p];
+                      }
+                    }
+                  }
+                });
+}
+
+Tensor Transpose(const Tensor& a) {
+  GARL_CHECK_EQ(a.dim(), 2);
+  int64_t n = a.size(0), m = a.size(1);
+  std::vector<float> out(static_cast<size_t>(n * m));
+  const auto& av = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) out[j * n + i] = av[i * m + j];
+  }
+  Impl ai = a.impl();
+  return MakeOp({m, n}, std::move(out), {a}, [ai, n, m](TensorImpl& self) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < m; ++j) {
+        ai->grad[i * m + j] += self.grad[j * n + i];
+      }
+    }
+  });
+}
+
+Tensor Sum(const Tensor& a) {
+  float total = 0.0f;
+  for (float v : a.data()) total += v;
+  Impl ai = a.impl();
+  return MakeOp({}, {total}, {a}, [ai](TensorImpl& self) {
+    float g = self.grad[0];
+    for (float& gi : ai->grad) gi += g;
+  });
+}
+
+Tensor Mean(const Tensor& a) {
+  int64_t n = a.numel();
+  GARL_CHECK_GT(n, 0);
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(n));
+}
+
+Tensor SumDim(const Tensor& a, int64_t dim) {
+  GARL_CHECK_EQ(a.dim(), 2);
+  GARL_CHECK(dim == 0 || dim == 1);
+  int64_t n = a.size(0), m = a.size(1);
+  const auto& av = a.data();
+  Impl ai = a.impl();
+  if (dim == 0) {
+    std::vector<float> out(static_cast<size_t>(m), 0.0f);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < m; ++j) out[j] += av[i * m + j];
+    }
+    return MakeOp({m}, std::move(out), {a}, [ai, n, m](TensorImpl& self) {
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < m; ++j) ai->grad[i * m + j] += self.grad[j];
+      }
+    });
+  }
+  std::vector<float> out(static_cast<size_t>(n), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) out[i] += av[i * m + j];
+  }
+  return MakeOp({n}, std::move(out), {a}, [ai, n, m](TensorImpl& self) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < m; ++j) ai->grad[i * m + j] += self.grad[i];
+    }
+  });
+}
+
+Tensor Norm(const Tensor& a, float eps) {
+  GARL_CHECK_EQ(a.dim(), 1);
+  float sq = 0.0f;
+  for (float v : a.data()) sq += v * v;
+  float norm = std::sqrt(sq + eps);
+  Impl ai = a.impl();
+  return MakeOp({}, {norm}, {a}, [ai, norm](TensorImpl& self) {
+    float g = self.grad[0] / norm;
+    for (size_t i = 0; i < ai->value.size(); ++i) {
+      ai->grad[i] += g * ai->value[i];
+    }
+  });
+}
+
+Tensor Dot(const Tensor& a, const Tensor& b) {
+  GARL_CHECK_EQ(a.dim(), 1);
+  CheckSameShape(a, b);
+  return Sum(Mul(a, b));
+}
+
+namespace {
+
+// Softmax over contiguous rows of length `m`.
+void SoftmaxRows(const std::vector<float>& in, int64_t rows, int64_t m,
+                 std::vector<float>& out) {
+  out.resize(in.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = &in[r * m];
+    float* y = &out[r * m];
+    float max_v = *std::max_element(x, x + m);
+    float total = 0.0f;
+    for (int64_t j = 0; j < m; ++j) {
+      y[j] = std::exp(x[j] - max_v);
+      total += y[j];
+    }
+    for (int64_t j = 0; j < m; ++j) y[j] /= total;
+  }
+}
+
+}  // namespace
+
+Tensor Softmax(const Tensor& a) {
+  GARL_CHECK(a.dim() == 1 || a.dim() == 2);
+  int64_t rows = a.dim() == 2 ? a.size(0) : 1;
+  int64_t m = a.dim() == 2 ? a.size(1) : a.size(0);
+  std::vector<float> out;
+  SoftmaxRows(a.data(), rows, m, out);
+  Impl ai = a.impl();
+  return MakeOp(a.shape(), std::move(out), {a},
+                [ai, rows, m](TensorImpl& self) {
+                  // dx_j = y_j * (g_j - sum_k g_k y_k).
+                  for (int64_t r = 0; r < rows; ++r) {
+                    const float* y = &self.value[r * m];
+                    const float* g = &self.grad[r * m];
+                    float dot = 0.0f;
+                    for (int64_t j = 0; j < m; ++j) dot += g[j] * y[j];
+                    for (int64_t j = 0; j < m; ++j) {
+                      ai->grad[r * m + j] += y[j] * (g[j] - dot);
+                    }
+                  }
+                });
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  GARL_CHECK(a.dim() == 1 || a.dim() == 2);
+  int64_t rows = a.dim() == 2 ? a.size(0) : 1;
+  int64_t m = a.dim() == 2 ? a.size(1) : a.size(0);
+  std::vector<float> soft;
+  SoftmaxRows(a.data(), rows, m, soft);
+  std::vector<float> out(soft.size());
+  for (size_t i = 0; i < soft.size(); ++i) {
+    out[i] = std::log(std::max(soft[i], kLogFloor));
+  }
+  Impl ai = a.impl();
+  // Keep softmax values for backward: dx_j = g_j - y_j * sum_k g_k.
+  return MakeOp(a.shape(), std::move(out), {a},
+                [ai, rows, m, soft = std::move(soft)](TensorImpl& self) {
+                  for (int64_t r = 0; r < rows; ++r) {
+                    const float* g = &self.grad[r * m];
+                    float total = 0.0f;
+                    for (int64_t j = 0; j < m; ++j) total += g[j];
+                    for (int64_t j = 0; j < m; ++j) {
+                      ai->grad[r * m + j] += g[j] - soft[r * m + j] * total;
+                    }
+                  }
+                });
+}
+
+Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  GARL_CHECK_EQ(n, a.numel());
+  Impl ai = a.impl();
+  return MakeOp(std::move(shape), a.data(), {a}, [ai](TensorImpl& self) {
+    for (size_t i = 0; i < self.grad.size(); ++i) {
+      ai->grad[i] += self.grad[i];
+    }
+  });
+}
+
+Tensor Rows(const Tensor& a, int64_t start, int64_t len) {
+  GARL_CHECK_EQ(a.dim(), 2);
+  GARL_CHECK_GE(start, 0);
+  GARL_CHECK_GE(len, 0);
+  GARL_CHECK_LE(start + len, a.size(0));
+  int64_t m = a.size(1);
+  std::vector<float> out(a.data().begin() + start * m,
+                         a.data().begin() + (start + len) * m);
+  Impl ai = a.impl();
+  return MakeOp({len, m}, std::move(out), {a},
+                [ai, start, m](TensorImpl& self) {
+                  for (size_t i = 0; i < self.grad.size(); ++i) {
+                    ai->grad[static_cast<size_t>(start * m) + i] +=
+                        self.grad[i];
+                  }
+                });
+}
+
+Tensor IndexRows(const Tensor& a, const std::vector<int64_t>& indices) {
+  GARL_CHECK_EQ(a.dim(), 2);
+  int64_t m = a.size(1);
+  std::vector<float> out;
+  out.reserve(indices.size() * static_cast<size_t>(m));
+  for (int64_t idx : indices) {
+    GARL_CHECK_GE(idx, 0);
+    GARL_CHECK_LT(idx, a.size(0));
+    out.insert(out.end(), a.data().begin() + idx * m,
+               a.data().begin() + (idx + 1) * m);
+  }
+  Impl ai = a.impl();
+  return MakeOp({static_cast<int64_t>(indices.size()), m}, std::move(out),
+                {a}, [ai, indices, m](TensorImpl& self) {
+                  for (size_t r = 0; r < indices.size(); ++r) {
+                    for (int64_t j = 0; j < m; ++j) {
+                      ai->grad[indices[r] * m + j] += self.grad[r * m + j];
+                    }
+                  }
+                });
+}
+
+Tensor Gather1d(const Tensor& a, int64_t index) {
+  GARL_CHECK_EQ(a.dim(), 1);
+  GARL_CHECK_GE(index, 0);
+  GARL_CHECK_LT(index, a.size(0));
+  Impl ai = a.impl();
+  return MakeOp({}, {a.data()[static_cast<size_t>(index)]}, {a},
+                [ai, index](TensorImpl& self) {
+                  ai->grad[static_cast<size_t>(index)] += self.grad[0];
+                });
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
+  GARL_CHECK(!parts.empty());
+  int64_t rank = parts[0].dim();
+  GARL_CHECK(rank == 1 || rank == 2);
+  GARL_CHECK_GE(dim, 0);
+  GARL_CHECK_LT(dim, rank);
+  if (rank == 1) {
+    int64_t total = 0;
+    std::vector<float> out;
+    for (const Tensor& p : parts) {
+      GARL_CHECK_EQ(p.dim(), 1);
+      total += p.size(0);
+      out.insert(out.end(), p.data().begin(), p.data().end());
+    }
+    std::vector<Impl> impls;
+    for (const Tensor& p : parts) impls.push_back(p.impl());
+    return MakeOp({total}, std::move(out), parts, [impls](TensorImpl& self) {
+      size_t offset = 0;
+      for (const Impl& p : impls) {
+        for (size_t i = 0; i < p->value.size(); ++i) {
+          p->grad[i] += self.grad[offset + i];
+        }
+        offset += p->value.size();
+      }
+    });
+  }
+  if (dim == 0) {
+    int64_t m = parts[0].size(1);
+    int64_t total = 0;
+    std::vector<float> out;
+    for (const Tensor& p : parts) {
+      GARL_CHECK_EQ(p.dim(), 2);
+      GARL_CHECK_EQ(p.size(1), m);
+      total += p.size(0);
+      out.insert(out.end(), p.data().begin(), p.data().end());
+    }
+    std::vector<Impl> impls;
+    for (const Tensor& p : parts) impls.push_back(p.impl());
+    return MakeOp({total, m}, std::move(out), parts,
+                  [impls](TensorImpl& self) {
+                    size_t offset = 0;
+                    for (const Impl& p : impls) {
+                      for (size_t i = 0; i < p->value.size(); ++i) {
+                        p->grad[i] += self.grad[offset + i];
+                      }
+                      offset += p->value.size();
+                    }
+                  });
+  }
+  // dim == 1: column-wise concat of 2-D tensors with equal row counts.
+  int64_t n = parts[0].size(0);
+  int64_t total_m = 0;
+  for (const Tensor& p : parts) {
+    GARL_CHECK_EQ(p.dim(), 2);
+    GARL_CHECK_EQ(p.size(0), n);
+    total_m += p.size(1);
+  }
+  std::vector<float> out(static_cast<size_t>(n * total_m));
+  int64_t col = 0;
+  for (const Tensor& p : parts) {
+    int64_t m = p.size(1);
+    for (int64_t i = 0; i < n; ++i) {
+      std::copy(p.data().begin() + i * m, p.data().begin() + (i + 1) * m,
+                out.begin() + i * total_m + col);
+    }
+    col += m;
+  }
+  std::vector<Impl> impls;
+  std::vector<int64_t> widths;
+  for (const Tensor& p : parts) {
+    impls.push_back(p.impl());
+    widths.push_back(p.size(1));
+  }
+  return MakeOp({n, total_m}, std::move(out), parts,
+                [impls, widths, n, total_m](TensorImpl& self) {
+                  int64_t col = 0;
+                  for (size_t k = 0; k < impls.size(); ++k) {
+                    int64_t m = widths[k];
+                    for (int64_t i = 0; i < n; ++i) {
+                      for (int64_t j = 0; j < m; ++j) {
+                        impls[k]->grad[i * m + j] +=
+                            self.grad[i * total_m + col + j];
+                      }
+                    }
+                    col += m;
+                  }
+                });
+}
+
+Tensor Stack(const std::vector<Tensor>& parts) {
+  GARL_CHECK(!parts.empty());
+  std::vector<Tensor> rows;
+  rows.reserve(parts.size());
+  for (const Tensor& p : parts) {
+    GARL_CHECK_EQ(p.dim(), 1);
+    rows.push_back(Reshape(p, {1, p.size(0)}));
+  }
+  return Concat(rows, 0);
+}
+
+Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  CheckSameShape(pred, target);
+  return Mean(Square(Sub(pred, target)));
+}
+
+Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t stride, int64_t padding) {
+  GARL_CHECK_EQ(input.dim(), 4);
+  GARL_CHECK_EQ(weight.dim(), 4);
+  GARL_CHECK_GE(stride, 1);
+  GARL_CHECK_GE(padding, 0);
+  int64_t batch = input.size(0), channels = input.size(1);
+  int64_t height = input.size(2), width = input.size(3);
+  int64_t filters = weight.size(0), kh = weight.size(2), kw = weight.size(3);
+  GARL_CHECK_EQ(weight.size(1), channels);
+  if (bias.defined()) {
+    GARL_CHECK_EQ(bias.dim(), 1);
+    GARL_CHECK_EQ(bias.size(0), filters);
+  }
+  int64_t oh = (height + 2 * padding - kh) / stride + 1;
+  int64_t ow = (width + 2 * padding - kw) / stride + 1;
+  GARL_CHECK_GT(oh, 0);
+  GARL_CHECK_GT(ow, 0);
+
+  const auto& in = input.data();
+  const auto& wt = weight.data();
+  std::vector<float> out(static_cast<size_t>(batch * filters * oh * ow),
+                         0.0f);
+  auto in_at = [&](int64_t b, int64_t c, int64_t y, int64_t x) -> float {
+    if (y < 0 || y >= height || x < 0 || x >= width) return 0.0f;
+    return in[((b * channels + c) * height + y) * width + x];
+  };
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t f = 0; f < filters; ++f) {
+      float bias_v = bias.defined() ? bias.data()[f] : 0.0f;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          float acc = bias_v;
+          for (int64_t c = 0; c < channels; ++c) {
+            for (int64_t dy = 0; dy < kh; ++dy) {
+              for (int64_t dx = 0; dx < kw; ++dx) {
+                acc += in_at(b, c, y * stride + dy - padding,
+                             x * stride + dx - padding) *
+                       wt[((f * channels + c) * kh + dy) * kw + dx];
+              }
+            }
+          }
+          out[((b * filters + f) * oh + y) * ow + x] = acc;
+        }
+      }
+    }
+  }
+  std::vector<Tensor> inputs = {input, weight};
+  if (bias.defined()) inputs.push_back(bias);
+  Impl ii = input.impl(), wi = weight.impl();
+  Impl bi = bias.defined() ? bias.impl() : nullptr;
+  return MakeOp(
+      {batch, filters, oh, ow}, std::move(out), inputs,
+      [ii, wi, bi, batch, channels, height, width, filters, kh, kw, oh, ow,
+       stride, padding](TensorImpl& self) {
+        for (int64_t b = 0; b < batch; ++b) {
+          for (int64_t f = 0; f < filters; ++f) {
+            for (int64_t y = 0; y < oh; ++y) {
+              for (int64_t x = 0; x < ow; ++x) {
+                float g = self.grad[((b * filters + f) * oh + y) * ow + x];
+                if (g == 0.0f) continue;
+                if (bi) bi->grad[f] += g;
+                for (int64_t c = 0; c < channels; ++c) {
+                  for (int64_t dy = 0; dy < kh; ++dy) {
+                    for (int64_t dx = 0; dx < kw; ++dx) {
+                      int64_t iy = y * stride + dy - padding;
+                      int64_t ix = x * stride + dx - padding;
+                      if (iy < 0 || iy >= height || ix < 0 || ix >= width) {
+                        continue;
+                      }
+                      int64_t in_idx =
+                          ((b * channels + c) * height + iy) * width + ix;
+                      int64_t w_idx =
+                          ((f * channels + c) * kh + dy) * kw + dx;
+                      ii->grad[in_idx] += g * wi->value[w_idx];
+                      wi->grad[w_idx] += g * ii->value[in_idx];
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace garl::nn

@@ -1,0 +1,116 @@
+#ifndef GARL_NN_OPS_H_
+#define GARL_NN_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+// Differentiable tensor operations. Every function returns a fresh tensor;
+// when gradient mode is enabled (default) and any input transitively
+// requires a gradient, the output is wired into the autograd DAG.
+
+namespace garl::nn {
+
+// RAII guard disabling gradient recording (used during rollouts/evaluation
+// to avoid building throwaway graphs).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+bool GradModeEnabled();
+
+// --- Elementwise binary (same shape) ----------------------------------------
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+// --- Scalar variants ---------------------------------------------------------
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+// Adds row vector `bias` [m] to every row of `mat` [n, m].
+Tensor AddRowVector(const Tensor& mat, const Tensor& bias);
+
+// Scales row i of `mat` [n, m] by `scale[i]` ([n]); both inputs get grads.
+Tensor ScaleRows(const Tensor& mat, const Tensor& scale);
+
+// --- Elementwise unary -------------------------------------------------------
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+// Natural log; inputs are clamped to >= kLogFloor for stability.
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+// Clamps values to [lo, hi]; gradient is passed only through unclamped lanes.
+Tensor Clip(const Tensor& a, float lo, float hi);
+
+// --- Linear algebra ----------------------------------------------------------
+// [n, k] x [k, m] -> [n, m].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// 2-D transpose.
+Tensor Transpose(const Tensor& a);
+
+// --- Reductions ---------------------------------------------------------------
+Tensor Sum(const Tensor& a);
+Tensor Mean(const Tensor& a);
+// Sums a 2-D tensor over `dim` (0 -> [m], 1 -> [n]).
+Tensor SumDim(const Tensor& a, int64_t dim);
+// L2 norm of a 1-D tensor; `eps` keeps the gradient finite at zero.
+Tensor Norm(const Tensor& a, float eps = 1e-8f);
+// Inner product of two 1-D tensors.
+Tensor Dot(const Tensor& a, const Tensor& b);
+
+// --- Softmax family ------------------------------------------------------------
+// Softmax over the last dimension (1-D or 2-D input).
+Tensor Softmax(const Tensor& a);
+Tensor LogSoftmax(const Tensor& a);
+
+// --- Shape ops ------------------------------------------------------------------
+Tensor Reshape(const Tensor& a, std::vector<int64_t> shape);
+// Rows [start, start+len) of a 2-D tensor.
+Tensor Rows(const Tensor& a, int64_t start, int64_t len);
+// Gathers rows of a 2-D tensor in the given order (repeats allowed).
+Tensor IndexRows(const Tensor& a, const std::vector<int64_t>& indices);
+// Element `index` of a 1-D tensor, as a scalar tensor.
+Tensor Gather1d(const Tensor& a, int64_t index);
+// Concatenation along `dim` (supports 1-D dim=0 and 2-D dim=0/1).
+Tensor Concat(const std::vector<Tensor>& parts, int64_t dim);
+// Stacks 1-D tensors of equal length into a matrix [parts.size(), m].
+Tensor Stack(const std::vector<Tensor>& parts);
+
+// --- Losses -----------------------------------------------------------------------
+// Mean squared error between same-shape tensors.
+Tensor MseLoss(const Tensor& pred, const Tensor& target);
+
+// --- Convolution --------------------------------------------------------------------
+// input [N, C, H, W], weight [F, C, kh, kw], bias [F] (may be undefined for
+// no bias). Stride >= 1, zero padding.
+Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t stride, int64_t padding);
+
+// --- Operators ------------------------------------------------------------------------
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return Add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return Sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return Mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return Div(a, b); }
+inline Tensor operator+(const Tensor& a, float s) { return AddScalar(a, s); }
+inline Tensor operator-(const Tensor& a, float s) { return AddScalar(a, -s); }
+inline Tensor operator*(const Tensor& a, float s) { return MulScalar(a, s); }
+inline Tensor operator*(float s, const Tensor& a) { return MulScalar(a, s); }
+inline Tensor operator-(const Tensor& a) { return Neg(a); }
+
+}  // namespace garl::nn
+
+#endif  // GARL_NN_OPS_H_

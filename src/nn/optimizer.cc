@@ -1,0 +1,83 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace garl::nn {
+
+Optimizer::Optimizer(std::vector<Tensor> parameters)
+    : parameters_(std::move(parameters)) {
+  for (Tensor& p : parameters_) {
+    GARL_CHECK(p.defined());
+    GARL_CHECK(p.requires_grad());
+    (void)p.grad();  // allocate the gradient buffer
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : parameters_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  GARL_CHECK_GT(max_norm, 0.0f);
+  double sq = 0.0;
+  for (Tensor& p : parameters_) {
+    for (float g : p.grad()) sq += static_cast<double>(g) * g;
+  }
+  float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm) {
+    float scale = max_norm / (norm + 1e-8f);
+    for (Tensor& p : parameters_) {
+      auto& grad = p.impl()->grad;
+      for (float& g : grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> parameters, float lr)
+    : Optimizer(std::move(parameters)), lr_(lr) {}
+
+void Sgd::Step() {
+  for (Tensor& p : parameters_) {
+    auto& value = p.mutable_data();
+    const auto& grad = p.grad();
+    for (size_t i = 0; i < value.size(); ++i) value[i] -= lr_ * grad[i];
+  }
+}
+
+Adam::Adam(std::vector<Tensor> parameters, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(parameters)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.resize(parameters_.size());
+  v_.resize(parameters_.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    m_[i].assign(static_cast<size_t>(parameters_[i].numel()), 0.0f);
+    v_[i].assign(static_cast<size_t>(parameters_[i].numel()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    auto& value = parameters_[i].mutable_data();
+    const auto& grad = parameters_[i].grad();
+    for (size_t j = 0; j < value.size(); ++j) {
+      float g = grad[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g * g;
+      float m_hat = m_[i][j] / bc1;
+      float v_hat = v_[i][j] / bc2;
+      value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace garl::nn

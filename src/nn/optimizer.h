@@ -1,0 +1,57 @@
+#ifndef GARL_NN_OPTIMIZER_H_
+#define GARL_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+// First-order optimizers over flat parameter lists.
+
+namespace garl::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> parameters);
+  virtual ~Optimizer() = default;
+
+  // Clears accumulated gradients on every parameter.
+  void ZeroGrad();
+
+  // Applies one update from the current gradients.
+  virtual void Step() = 0;
+
+  // Scales gradients so the global L2 norm is at most `max_norm`.
+  // Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  const std::vector<Tensor>& parameters() const { return parameters_; }
+
+ protected:
+  std::vector<Tensor> parameters_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> parameters, float lr);
+  void Step() override;
+
+ private:
+  float lr_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> parameters, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace garl::nn
+
+#endif  // GARL_NN_OPTIMIZER_H_

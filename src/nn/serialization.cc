@@ -1,0 +1,72 @@
+#include "nn/serialization.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace garl::nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x4741524Cu;  // "GARL"
+}
+
+Status SaveParameters(const std::vector<Tensor>& parameters,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return InternalError("cannot open for write: " + path);
+  uint32_t magic = kMagic;
+  uint64_t count = parameters.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& p : parameters) {
+    uint32_t rank = static_cast<uint32_t>(p.dim());
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int64_t d : p.shape()) {
+      int64_t dim = d;
+      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    }
+    out.write(reinterpret_cast<const char*>(p.data().data()),
+              static_cast<std::streamsize>(p.numel() * sizeof(float)));
+  }
+  if (!out) return InternalError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(const std::string& path,
+                      std::vector<Tensor>& parameters) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open: " + path);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) {
+    return InvalidArgumentError("bad checkpoint header: " + path);
+  }
+  if (count != parameters.size()) {
+    return InvalidArgumentError(StrPrintf(
+        "parameter count mismatch: file has %llu, model has %zu",
+        static_cast<unsigned long long>(count), parameters.size()));
+  }
+  for (Tensor& p : parameters) {
+    uint32_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    if (!in || rank != static_cast<uint32_t>(p.dim())) {
+      return InvalidArgumentError("tensor rank mismatch in " + path);
+    }
+    for (int64_t expected : p.shape()) {
+      int64_t dim = 0;
+      in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+      if (!in || dim != expected) {
+        return InvalidArgumentError("tensor shape mismatch in " + path);
+      }
+    }
+    in.read(reinterpret_cast<char*>(p.mutable_data().data()),
+            static_cast<std::streamsize>(p.numel() * sizeof(float)));
+    if (!in) return InvalidArgumentError("truncated checkpoint: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace garl::nn

@@ -1,0 +1,25 @@
+#ifndef GARL_NN_SERIALIZATION_H_
+#define GARL_NN_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/tensor.h"
+
+// Binary (de)serialization of parameter lists, used to checkpoint trained
+// policies. Format: magic, count, then per-tensor rank/shape/f32 payload.
+
+namespace garl::nn {
+
+// Writes `parameters` to `path`.
+Status SaveParameters(const std::vector<Tensor>& parameters,
+                      const std::string& path);
+
+// Loads values from `path` into `parameters` (shapes must match exactly).
+Status LoadParameters(const std::string& path,
+                      std::vector<Tensor>& parameters);
+
+}  // namespace garl::nn
+
+#endif  // GARL_NN_SERIALIZATION_H_

@@ -1,0 +1,199 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace garl::nn {
+
+namespace internal {
+
+int64_t TensorImpl::Numel() const {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+void TensorImpl::EnsureGrad() {
+  if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
+}
+
+}  // namespace internal
+
+using internal::TensorImpl;
+
+Tensor Tensor::Wrap(std::shared_ptr<TensorImpl> impl) {
+  Tensor t;
+  t.impl_ = std::move(impl);
+  return t;
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape, bool requires_grad) {
+  return Full(std::move(shape), 0.0f, requires_grad);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float fill,
+                    bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  int64_t n = impl->Numel();
+  GARL_CHECK_GE(n, 0);
+  impl->value.assign(static_cast<size_t>(n), fill);
+  impl->requires_grad = requires_grad;
+  return Wrap(std::move(impl));
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape,
+                          std::vector<float> values, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  GARL_CHECK_EQ(impl->Numel(), static_cast<int64_t>(values.size()));
+  impl->value = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Wrap(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromVector({}, {value}, requires_grad);
+}
+
+Tensor Tensor::Eye(int64_t n) {
+  Tensor t = Zeros({n, n});
+  for (int64_t i = 0; i < n; ++i) t.impl_->value[i * n + i] = 1.0f;
+  return t;
+}
+
+const std::vector<int64_t>& Tensor::shape() const {
+  GARL_CHECK(defined());
+  return impl_->shape;
+}
+
+int64_t Tensor::dim() const { return static_cast<int64_t>(shape().size()); }
+
+int64_t Tensor::size(int64_t d) const {
+  GARL_CHECK_GE(d, 0);
+  GARL_CHECK_LT(d, dim());
+  return shape()[static_cast<size_t>(d)];
+}
+
+int64_t Tensor::numel() const {
+  GARL_CHECK(defined());
+  return impl_->Numel();
+}
+
+bool Tensor::requires_grad() const {
+  GARL_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+const std::vector<float>& Tensor::data() const {
+  GARL_CHECK(defined());
+  return impl_->value;
+}
+
+std::vector<float>& Tensor::mutable_data() {
+  GARL_CHECK(defined());
+  return impl_->value;
+}
+
+float Tensor::item() const {
+  GARL_CHECK_EQ(numel(), 1);
+  return impl_->value[0];
+}
+
+int64_t FlatIndex(const std::vector<int64_t>& shape,
+                  const std::vector<int64_t>& idx) {
+  GARL_CHECK_EQ(shape.size(), idx.size());
+  int64_t flat = 0;
+  for (size_t d = 0; d < shape.size(); ++d) {
+    GARL_CHECK_GE(idx[d], 0);
+    GARL_CHECK_LT(idx[d], shape[d]);
+    flat = flat * shape[d] + idx[d];
+  }
+  return flat;
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return data()[static_cast<size_t>(
+      FlatIndex(shape(), std::vector<int64_t>(idx)))];
+}
+
+void Tensor::set(std::initializer_list<int64_t> idx, float v) {
+  mutable_data()[static_cast<size_t>(
+      FlatIndex(shape(), std::vector<int64_t>(idx)))] = v;
+}
+
+const std::vector<float>& Tensor::grad() const {
+  GARL_CHECK(defined());
+  GARL_CHECK_MSG(impl_->requires_grad, "grad() on non-grad tensor");
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+void Tensor::ZeroGrad() {
+  GARL_CHECK(defined());
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+namespace {
+
+// Builds a reverse topological order (root first) over the autograd DAG.
+void TopoSort(const std::shared_ptr<TensorImpl>& root,
+              std::vector<TensorImpl*>& order) {
+  std::unordered_set<TensorImpl*> visited;
+  // Iterative DFS post-order, then reverse.
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  std::vector<TensorImpl*> post;
+  if (visited.insert(root.get()).second) {
+    stack.push_back({root.get(), 0});
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      TensorImpl* parent = frame.node->parents[frame.next_parent++].get();
+      if (visited.insert(parent).second) stack.push_back({parent, 0});
+    } else {
+      post.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  order.assign(post.rbegin(), post.rend());
+}
+
+}  // namespace
+
+void Tensor::Backward() {
+  GARL_CHECK(defined());
+  GARL_CHECK_MSG(numel() == 1, "Backward() requires a scalar loss");
+  std::vector<TensorImpl*> order;
+  TopoSort(impl_, order);
+  for (TensorImpl* node : order) node->EnsureGrad();
+  impl_->grad[0] = 1.0f;
+  for (TensorImpl* node : order) {
+    if (node->backward_fn) node->backward_fn(*node);
+  }
+}
+
+Tensor Tensor::Detach() const {
+  GARL_CHECK(defined());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->value = impl_->value;
+  impl->requires_grad = false;
+  return Wrap(std::move(impl));
+}
+
+std::string Tensor::ShapeString() const {
+  if (!defined()) return "<null>";
+  std::vector<std::string> dims;
+  for (int64_t d : shape()) dims.push_back(std::to_string(d));
+  return "[" + Join(dims, ", ") + "]";
+}
+
+}  // namespace garl::nn

@@ -1,0 +1,103 @@
+#ifndef GARL_NN_TENSOR_H_
+#define GARL_NN_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+// Dense float32 tensor with reverse-mode automatic differentiation.
+//
+// A Tensor is a cheap handle (shared_ptr) to a TensorImpl node. Operations
+// on tensors (see ops.h) build a DAG; Tensor::Backward() on a scalar loss
+// runs a topological backward sweep and accumulates gradients into every
+// node with requires_grad set (leaves are the trainable parameters).
+//
+// The engine is deliberately small: float32 only, ranks 0-4, no views (every
+// op materializes its output), single-threaded. This is sufficient for the
+// paper's models (MLP/GCN/CNN/LSTM stacks over a few hundred graph nodes).
+
+namespace garl::nn {
+
+class Tensor;
+
+namespace internal {
+
+struct TensorImpl {
+  std::vector<int64_t> shape;
+  std::vector<float> value;
+  std::vector<float> grad;  // allocated lazily, same length as value
+  bool requires_grad = false;
+
+  // Autograd edges: backward_fn reads this->grad and accumulates into
+  // parents' grads. Empty for leaves.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void(TensorImpl&)> backward_fn;
+
+  int64_t Numel() const;
+  void EnsureGrad();
+};
+
+}  // namespace internal
+
+class Tensor {
+ public:
+  Tensor() = default;  // null handle
+
+  // --- Factories -----------------------------------------------------------
+  static Tensor Zeros(std::vector<int64_t> shape, bool requires_grad = false);
+  static Tensor Full(std::vector<int64_t> shape, float fill,
+                     bool requires_grad = false);
+  static Tensor FromVector(std::vector<int64_t> shape,
+                           std::vector<float> values,
+                           bool requires_grad = false);
+  static Tensor Scalar(float value, bool requires_grad = false);
+  // Identity matrix [n, n].
+  static Tensor Eye(int64_t n);
+
+  // --- Introspection -------------------------------------------------------
+  bool defined() const { return impl_ != nullptr; }
+  const std::vector<int64_t>& shape() const;
+  int64_t dim() const;
+  int64_t size(int64_t d) const;
+  int64_t numel() const;
+  bool requires_grad() const;
+
+  // --- Data access ---------------------------------------------------------
+  const std::vector<float>& data() const;
+  std::vector<float>& mutable_data();
+  float item() const;                       // scalar tensors only
+  float at(std::initializer_list<int64_t> idx) const;
+  void set(std::initializer_list<int64_t> idx, float v);
+
+  // Gradient buffer of a requires_grad tensor (empty until Backward ran).
+  const std::vector<float>& grad() const;
+  void ZeroGrad();
+
+  // --- Autograd ------------------------------------------------------------
+  // Runs backpropagation from this scalar tensor.
+  void Backward();
+  // Returns a copy sharing no autograd history (constant w.r.t. the graph).
+  Tensor Detach() const;
+
+  // Identity check (same underlying node).
+  bool IsSameAs(const Tensor& other) const { return impl_ == other.impl_; }
+
+  std::string ShapeString() const;
+
+  // Internal: used by ops.cc to wire the graph.
+  std::shared_ptr<internal::TensorImpl> impl() const { return impl_; }
+  static Tensor Wrap(std::shared_ptr<internal::TensorImpl> impl);
+
+ private:
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+// Flattened row-major offset of `idx` within `shape`.
+int64_t FlatIndex(const std::vector<int64_t>& shape,
+                  const std::vector<int64_t>& idx);
+
+}  // namespace garl::nn
+
+#endif  // GARL_NN_TENSOR_H_

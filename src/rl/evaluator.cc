@@ -1,0 +1,58 @@
+#include "rl/evaluator.h"
+
+#include "common/check.h"
+#include "env/metrics.h"
+#include "nn/ops.h"
+#include "rl/rollout.h"
+
+namespace garl::rl {
+
+env::EpisodeMetrics EvaluatePolicy(env::World& world,
+                                   UgvPolicyNetwork& policy,
+                                   UavController& uav_controller,
+                                   const EvalOptions& options) {
+  GARL_CHECK_GT(options.episodes, 0);
+  Rng rng(options.seed);
+  double psi = 0.0, xi = 0.0, zeta = 0.0, beta = 0.0;
+  for (int64_t episode = 0; episode < options.episodes; ++episode) {
+    world.Reset(options.seed + static_cast<uint64_t>(episode));
+    while (!world.Done()) {
+      std::vector<env::UgvObservation> observations;
+      for (int64_t u = 0; u < world.num_ugvs(); ++u) {
+        observations.push_back(world.ObserveUgv(u));
+      }
+      std::vector<UgvPolicyOutput> outputs;
+      {
+        nn::NoGradGuard no_grad;
+        outputs = policy.Forward(observations);
+      }
+      std::vector<env::UgvAction> ugv_actions(
+          static_cast<size_t>(world.num_ugvs()));
+      for (int64_t u = 0; u < world.num_ugvs(); ++u) {
+        if (!world.UgvNeedsAction(u)) continue;
+        ugv_actions[static_cast<size_t>(u)] =
+            SampleUgvAction(outputs[static_cast<size_t>(u)], rng,
+                            options.greedy)
+                .action;
+      }
+      std::vector<env::UavAction> uav_actions(
+          static_cast<size_t>(world.num_uavs()));
+      for (int64_t v = 0; v < world.num_uavs(); ++v) {
+        if (world.UavAirborne(v)) {
+          uav_actions[static_cast<size_t>(v)] =
+              uav_controller.Act(world, v, rng);
+        }
+      }
+      world.Step(ugv_actions, uav_actions);
+    }
+    env::EpisodeMetrics m = world.Metrics();
+    psi += m.data_collection_ratio;
+    xi += m.fairness;
+    zeta += m.cooperation_factor;
+    beta += m.energy_ratio;
+  }
+  double n = static_cast<double>(options.episodes);
+  return env::MakeMetrics(psi / n, xi / n, zeta / n, beta / n);
+}
+
+}  // namespace garl::rl

@@ -1,0 +1,32 @@
+#ifndef GARL_RL_EVALUATOR_H_
+#define GARL_RL_EVALUATOR_H_
+
+#include <cstdint>
+
+#include "env/world.h"
+#include "rl/policy.h"
+#include "rl/uav_controller.h"
+
+// Policy evaluation: runs full episodes without learning and reports the
+// paper's task metrics.
+
+namespace garl::rl {
+
+struct EvalOptions {
+  int64_t episodes = 1;
+  bool greedy = true;  // argmax UGV actions; false: sample
+  uint64_t seed = 1234;
+};
+
+// Runs `episodes` episodes of `policy` in `world` (UAVs flown by
+// `uav_controller`) and returns metrics averaged across episodes. The world
+// is left in its final episode's end state, so its traces can be inspected
+// afterwards (Fig. 7).
+env::EpisodeMetrics EvaluatePolicy(env::World& world,
+                                   UgvPolicyNetwork& policy,
+                                   UavController& uav_controller,
+                                   const EvalOptions& options);
+
+}  // namespace garl::rl
+
+#endif  // GARL_RL_EVALUATOR_H_

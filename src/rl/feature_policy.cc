@@ -1,0 +1,107 @@
+#include "rl/feature_policy.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace garl::rl {
+
+FeatureUgvPolicy::FeatureUgvPolicy(
+    std::unique_ptr<UgvFeatureExtractor> extractor, const EnvContext& context,
+    FeaturePolicyOptions options, Rng& rng)
+    : extractor_(std::move(extractor)),
+      options_(options),
+      num_stops_(context.num_stops) {
+  GARL_CHECK(extractor_ != nullptr);
+  int64_t f = extractor_->feature_dim();
+  trunk_ = std::make_unique<nn::Linear>(f, options_.hidden, rng);
+  release_head_ = std::make_unique<nn::Linear>(options_.hidden, 2, rng);
+  target_head_ =
+      std::make_unique<nn::Linear>(options_.hidden, num_stops_, rng);
+  value_head_ = std::make_unique<nn::Linear>(options_.hidden, 1, rng);
+  // Small-gain heads so priors dominate the initial policy.
+  nn::ScaledXavierInit(target_head_->weight(), options_.hidden, num_stops_,
+                       0.1f, rng);
+  nn::ScaledXavierInit(release_head_->weight(), options_.hidden, 2, 0.1f,
+                       rng);
+  // Per-agent preferred bearings: projection of each stop onto the agent's
+  // direction, centred on the campus midpoint.
+  for (int64_t u = 0; u < context.num_ugvs; ++u) {
+    float angle = 2.0f * static_cast<float>(M_PI) * static_cast<float>(u) /
+                  static_cast<float>(std::max<int64_t>(context.num_ugvs, 1));
+    float dx = std::cos(angle), dy = std::sin(angle);
+    nn::Tensor prior = nn::Tensor::Zeros({num_stops_});
+    auto& data = prior.mutable_data();
+    for (int64_t b = 0; b < num_stops_; ++b) {
+      data[static_cast<size_t>(b)] =
+          options_.direction_prior_scale *
+          (dx * (context.stop_xy.at({b, 0}) - 0.5f) +
+           dy * (context.stop_xy.at({b, 1}) - 0.5f));
+    }
+    direction_prior_.push_back(prior);
+  }
+}
+
+std::vector<UgvPolicyOutput> FeatureUgvPolicy::Forward(
+    const std::vector<env::UgvObservation>& observations) {
+  GARL_CHECK(!observations.empty());
+  std::vector<nn::Tensor> features = extractor_->Extract(observations);
+  GARL_CHECK_EQ(features.size(), observations.size());
+  UgvPriors priors = extractor_->Priors(observations);
+
+  std::vector<UgvPolicyOutput> outputs;
+  outputs.reserve(observations.size());
+  for (size_t u = 0; u < observations.size(); ++u) {
+    nn::Tensor trunk = nn::Tanh(trunk_->Forward(features[u]));
+    nn::Tensor release = release_head_->Forward(trunk);
+    nn::Tensor target = target_head_->Forward(trunk);
+    if (observations[u].self <
+        static_cast<int64_t>(direction_prior_.size())) {
+      target = nn::Add(target, direction_prior_[static_cast<size_t>(
+                                   observations[u].self)]);
+    }
+    if (!priors.target.empty()) {
+      target = nn::Add(
+          target, nn::MulScalar(priors.target[u], options_.prior_scale));
+    }
+    if (!priors.release.empty()) {
+      release = nn::Add(release, priors.release[u]);
+    }
+    if (options_.release_prior_scale > 0.0f) {
+      // Generic bias, available to every method: release when the data
+      // around the current stop is competitive with the best stop the
+      // agent knows about; keep moving otherwise.
+      const env::UgvObservation& obs = observations[u];
+      float here = std::max(0.0f, obs.stop_features.at({obs.current_stop,
+                                                        2}));
+      float best = 1e-6f;
+      for (int64_t b = 0; b < num_stops_; ++b) {
+        best = std::max(best, obs.stop_features.at({b, 2}));
+      }
+      float bias = options_.release_prior_scale *
+                   (3.0f * (here / best) - 1.0f);
+      release = nn::Add(release,
+                        nn::Tensor::FromVector({2}, {0.0f, bias}));
+    }
+    UgvPolicyOutput out;
+    out.release_logits = release;
+    out.target_logits = target;
+    out.value = nn::Reshape(value_head_->Forward(trunk), {});
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
+std::vector<nn::Tensor> FeatureUgvPolicy::Parameters() const {
+  std::vector<nn::Tensor> params = extractor_->Parameters();
+  for (const auto* module :
+       {trunk_.get(), release_head_.get(), target_head_.get(),
+        value_head_.get()}) {
+    for (const nn::Tensor& p : module->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace garl::rl

@@ -1,0 +1,91 @@
+#ifndef GARL_RL_FEATURE_POLICY_H_
+#define GARL_RL_FEATURE_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "rl/policy.h"
+
+// Shared actor-critic head structure (Eq. 14c/14d): every UGV method —
+// GARL and all baselines — is expressed as a feature extractor feeding the
+// same policy/value heads, so the IPPO trainer and benchmarks treat all
+// methods uniformly.
+
+namespace garl::rl {
+
+// Optional structural logit priors contributed by an extractor. They are
+// added to the heads' outputs and remain part of the autograd graph, so
+// learning can both exploit and override them. Priors are how each
+// architecture's inductive bias (e.g. MC-GCN's multi-center separation)
+// shapes behaviour from the very first episode, which is what makes
+// short-budget CPU training reproduce the paper's ordering (DESIGN.md).
+struct UgvPriors {
+  std::vector<nn::Tensor> target;   // U x [B] (may be empty)
+  std::vector<nn::Tensor> release;  // U x [2] (may be empty)
+};
+
+class UgvFeatureExtractor : public nn::Module {
+ public:
+  // Per-UGV feature vectors, all agents at once (communication-based
+  // extractors exchange messages inside this call).
+  virtual std::vector<nn::Tensor> Extract(
+      const std::vector<env::UgvObservation>& observations) = 0;
+  virtual int64_t feature_dim() const = 0;
+  virtual std::string name() const = 0;
+  virtual UgvPriors Priors(
+      const std::vector<env::UgvObservation>& observations) {
+    (void)observations;
+    return {};
+  }
+  // See UgvPolicyNetwork::ConsumeAuxLoss.
+  virtual nn::Tensor ConsumeAuxLoss() { return nn::Tensor(); }
+};
+
+struct FeaturePolicyOptions {
+  int64_t hidden = 64;
+  // Scale of extractor-contributed priors on the target head.
+  float prior_scale = 3.0f;
+  // Generic release prior available to every method: favour releasing when
+  // the (observed) data around the current stop is high. 0 disables.
+  float release_prior_scale = 2.0f;
+  // Symmetry breaking: each agent gets a fixed preferred bearing (evenly
+  // spaced around the circle) added as a small target-logit prior. All
+  // agents start at the same stop with identical observations, so without
+  // a tie-breaker identical policies pick identical targets and deadlock.
+  float direction_prior_scale = 0.15f;
+};
+
+class FeatureUgvPolicy : public UgvPolicyNetwork {
+ public:
+  FeatureUgvPolicy(std::unique_ptr<UgvFeatureExtractor> extractor,
+                   const EnvContext& context, FeaturePolicyOptions options,
+                   Rng& rng);
+
+  std::vector<UgvPolicyOutput> Forward(
+      const std::vector<env::UgvObservation>& observations) override;
+
+  std::vector<nn::Tensor> Parameters() const override;
+  std::string name() const override { return extractor_->name(); }
+  nn::Tensor ConsumeAuxLoss() override {
+    return extractor_->ConsumeAuxLoss();
+  }
+
+  UgvFeatureExtractor& extractor() { return *extractor_; }
+
+ private:
+  std::unique_ptr<UgvFeatureExtractor> extractor_;
+  FeaturePolicyOptions options_;
+  int64_t num_stops_;
+  std::vector<nn::Tensor> direction_prior_;  // per agent, [B]
+  std::unique_ptr<nn::Linear> trunk_;
+  std::unique_ptr<nn::Linear> release_head_;
+  std::unique_ptr<nn::Linear> target_head_;
+  std::unique_ptr<nn::Linear> value_head_;
+};
+
+}  // namespace garl::rl
+
+#endif  // GARL_RL_FEATURE_POLICY_H_

@@ -1,0 +1,43 @@
+#include "rl/gae.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace garl::rl {
+
+GaeResult ComputeGae(const std::vector<float>& rewards,
+                     const std::vector<float>& values, float gamma,
+                     float lambda) {
+  GARL_CHECK_EQ(rewards.size(), values.size());
+  size_t n = rewards.size();
+  GaeResult result;
+  result.advantages.assign(n, 0.0f);
+  result.returns.assign(n, 0.0f);
+  float gae = 0.0f;
+  for (size_t i = n; i-- > 0;) {
+    float next_value = (i + 1 < n) ? values[i + 1] : 0.0f;
+    float delta = rewards[i] + gamma * next_value - values[i];
+    gae = delta + gamma * lambda * gae;
+    result.advantages[i] = gae;
+    result.returns[i] = gae + values[i];
+  }
+  return result;
+}
+
+float NormalizeAdvantages(std::vector<float>& advantages) {
+  if (advantages.size() < 2) return advantages.empty() ? 0.0f : advantages[0];
+  double sum = 0.0;
+  for (float a : advantages) sum += a;
+  double mean = sum / static_cast<double>(advantages.size());
+  double var = 0.0;
+  for (float a : advantages) var += (a - mean) * (a - mean);
+  var /= static_cast<double>(advantages.size());
+  float std = static_cast<float>(std::sqrt(var) + 1e-8);
+  for (float& a : advantages) {
+    a = static_cast<float>((a - mean) / std);
+  }
+  return static_cast<float>(mean);
+}
+
+}  // namespace garl::rl

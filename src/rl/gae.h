@@ -1,0 +1,28 @@
+#ifndef GARL_RL_GAE_H_
+#define GARL_RL_GAE_H_
+
+#include <vector>
+
+// Generalized Advantage Estimation (Schulman et al., 2016), used for both
+// UGV and UAV actors (Eq. 15 advantage A_t^u).
+
+namespace garl::rl {
+
+struct GaeResult {
+  std::vector<float> advantages;
+  std::vector<float> returns;  // advantage + value (the critic target R̂_t)
+};
+
+// Computes GAE over one finished episode segment (terminal bootstrap 0).
+// `rewards` and `values` must have equal length.
+GaeResult ComputeGae(const std::vector<float>& rewards,
+                     const std::vector<float>& values, float gamma,
+                     float lambda);
+
+// In-place standardization to zero mean / unit variance (no-op for < 2
+// elements); returns the pre-normalization mean.
+float NormalizeAdvantages(std::vector<float>& advantages);
+
+}  // namespace garl::rl
+
+#endif  // GARL_RL_GAE_H_

@@ -1,0 +1,315 @@
+#include "rl/ippo_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/distributions.h"
+#include "nn/ops.h"
+
+namespace garl::rl {
+
+IppoTrainer::IppoTrainer(env::World* world, UgvPolicyNetwork* ugv_network,
+                         UavPolicyNetwork* uav_network, TrainConfig config)
+    : world_(world),
+      ugv_network_(ugv_network),
+      uav_network_(uav_network),
+      config_(config),
+      rng_(config.seed) {
+  GARL_CHECK(world_ != nullptr);
+  GARL_CHECK(ugv_network_ != nullptr);
+  ugv_optimizer_ =
+      std::make_unique<nn::Adam>(ugv_network_->Parameters(), config_.lr);
+  if (config_.train_uav) {
+    GARL_CHECK_MSG(uav_network_ != nullptr,
+                   "train_uav requires a UAV network");
+    uav_optimizer_ =
+        std::make_unique<nn::Adam>(uav_network_->Parameters(), config_.lr);
+    rollout_uav_controller_ = std::make_unique<LearnedUavController>(
+        uav_network_, /*deterministic=*/false);
+  } else {
+    rollout_uav_controller_ = std::make_unique<GreedyUavController>();
+  }
+}
+
+IppoTrainer::CollectResult IppoTrainer::CollectEpisode() {
+  CollectResult result;
+  world_->Reset(config_.seed + static_cast<uint64_t>(++episode_counter_));
+  int64_t num_ugvs = world_->num_ugvs();
+  int64_t num_uavs = world_->num_uavs();
+  result.ugv.agents.resize(static_cast<size_t>(num_ugvs));
+  result.uav.agents.resize(static_cast<size_t>(num_uavs));
+
+  // Index of each agent's latest decision, for reward credit assignment.
+  std::vector<int64_t> last_decision(static_cast<size_t>(num_ugvs), -1);
+
+  while (!world_->Done()) {
+    // Observe everyone once per slot.
+    std::vector<env::UgvObservation> observations;
+    observations.reserve(static_cast<size_t>(num_ugvs));
+    for (int64_t u = 0; u < num_ugvs; ++u) {
+      observations.push_back(world_->ObserveUgv(u));
+    }
+
+    bool anyone_acts = false;
+    for (int64_t u = 0; u < num_ugvs; ++u) {
+      if (world_->UgvNeedsAction(u)) anyone_acts = true;
+    }
+
+    std::vector<env::UgvAction> ugv_actions(static_cast<size_t>(num_ugvs));
+    if (anyone_acts) {
+      std::vector<UgvPolicyOutput> outputs;
+      {
+        nn::NoGradGuard no_grad;
+        outputs = ugv_network_->Forward(observations);
+      }
+      int64_t slot_index = static_cast<int64_t>(result.ugv.slots.size());
+      result.ugv.slots.push_back(observations);
+      for (int64_t u = 0; u < num_ugvs; ++u) {
+        if (!world_->UgvNeedsAction(u)) continue;
+        SampledUgvAction sampled =
+            SampleUgvAction(outputs[static_cast<size_t>(u)], rng_,
+                            /*greedy=*/false);
+        ugv_actions[static_cast<size_t>(u)] = sampled.action;
+        UgvDecision decision;
+        decision.slot = slot_index;
+        decision.release = sampled.action.release ? 1 : 0;
+        decision.target = sampled.action.target_stop;
+        decision.old_log_prob = sampled.log_prob;
+        decision.value = sampled.value;
+        auto& seq = result.ugv.agents[static_cast<size_t>(u)];
+        seq.push_back(decision);
+        last_decision[static_cast<size_t>(u)] =
+            static_cast<int64_t>(seq.size()) - 1;
+      }
+    }
+
+    // UAV actions (and optional learned-policy bookkeeping).
+    std::vector<env::UavAction> uav_actions(static_cast<size_t>(num_uavs));
+    std::vector<bool> uav_acted(static_cast<size_t>(num_uavs), false);
+    for (int64_t v = 0; v < num_uavs; ++v) {
+      if (!world_->UavAirborne(v)) continue;
+      uav_acted[static_cast<size_t>(v)] = true;
+      if (config_.train_uav) {
+        env::UavObservation obs = world_->ObserveUav(v);
+        UavPolicyOutput out;
+        {
+          nn::NoGradGuard no_grad;
+          out = uav_network_->Forward(obs);
+        }
+        nn::DiagGaussian dist(out.mean, out.log_std);
+        std::vector<float> action = dist.Sample(rng_);
+        double limit = world_->params().uav_max_dist;
+        env::UavAction act{
+            std::clamp(static_cast<double>(action[0]), -limit, limit),
+            std::clamp(static_cast<double>(action[1]), -limit, limit)};
+        uav_actions[static_cast<size_t>(v)] = act;
+        UavDecision decision;
+        decision.obs = obs;
+        decision.action_x = action[0];
+        decision.action_y = action[1];
+        decision.old_log_prob = dist.LogProb(action).item();
+        decision.value = out.value.item();
+        result.uav.agents[static_cast<size_t>(v)].push_back(decision);
+      } else {
+        uav_actions[static_cast<size_t>(v)] =
+            rollout_uav_controller_->Act(*world_, v, rng_);
+      }
+    }
+
+    env::StepResult step = world_->Step(ugv_actions, uav_actions);
+
+    for (int64_t u = 0; u < num_ugvs; ++u) {
+      float reward = static_cast<float>(step.ugv_rewards[static_cast<size_t>(
+                         u)]) *
+                     config_.ugv_reward_scale;
+      result.stats.ugv_episode_reward += reward;
+      int64_t idx = last_decision[static_cast<size_t>(u)];
+      if (idx >= 0) {
+        result.ugv.agents[static_cast<size_t>(u)][static_cast<size_t>(idx)]
+            .reward += reward;
+      }
+    }
+    for (int64_t v = 0; v < num_uavs; ++v) {
+      if (!uav_acted[static_cast<size_t>(v)]) continue;
+      float reward =
+          static_cast<float>(step.uav_rewards[static_cast<size_t>(v)]);
+      result.stats.uav_episode_reward += reward;
+      if (config_.train_uav) {
+        result.uav.agents[static_cast<size_t>(v)].back().reward = reward;
+      }
+    }
+  }
+  result.stats.metrics = world_->Metrics();
+  return result;
+}
+
+void IppoTrainer::UpdateUgv(UgvRollout& rollout, IterationStats& stats) {
+  FinalizeUgvRollout(rollout, config_.gamma, config_.gae_lambda);
+  int64_t num_slots = static_cast<int64_t>(rollout.slots.size());
+  if (num_slots == 0) return;
+
+  // Decisions grouped by slot so one joint forward serves a whole slot.
+  std::vector<std::vector<std::pair<int64_t, const UgvDecision*>>> by_slot(
+      static_cast<size_t>(num_slots));
+  for (size_t u = 0; u < rollout.agents.size(); ++u) {
+    for (const UgvDecision& d : rollout.agents[u]) {
+      by_slot[static_cast<size_t>(d.slot)].push_back(
+          {static_cast<int64_t>(u), &d});
+    }
+  }
+
+  std::vector<int64_t> slot_order(static_cast<size_t>(num_slots));
+  for (int64_t i = 0; i < num_slots; ++i) slot_order[i] = i;
+
+  double total_policy = 0.0, total_value = 0.0, total_entropy = 0.0;
+  int64_t loss_terms = 0;
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(slot_order);
+    for (int64_t begin = 0; begin < num_slots;
+         begin += config_.minibatch_slots) {
+      int64_t end = std::min(begin + config_.minibatch_slots, num_slots);
+      std::vector<nn::Tensor> losses;
+      int64_t decisions_in_batch = 0;
+      for (int64_t i = begin; i < end; ++i) {
+        int64_t slot = slot_order[static_cast<size_t>(i)];
+        if (by_slot[static_cast<size_t>(slot)].empty()) continue;
+        std::vector<UgvPolicyOutput> outputs =
+            ugv_network_->Forward(rollout.slots[static_cast<size_t>(slot)]);
+        for (auto [u, decision] : by_slot[static_cast<size_t>(slot)]) {
+          const UgvPolicyOutput& out = outputs[static_cast<size_t>(u)];
+          UgvLogProbEntropy lp = UgvActionLogProb(out, *decision);
+          // Clipped surrogate (Eq. 15).
+          nn::Tensor ratio = nn::Exp(
+              nn::AddScalar(lp.log_prob, -decision->old_log_prob));
+          nn::Tensor surr1 = nn::MulScalar(ratio, decision->advantage);
+          nn::Tensor clipped = nn::Clip(ratio, 1.0f - config_.clip_eps,
+                                        1.0f + config_.clip_eps);
+          nn::Tensor surr2 = nn::MulScalar(clipped, decision->advantage);
+          // min(surr1, surr2) = -max(-s1, -s2); emulate with relu trick:
+          // min(a,b) = b - relu(b - a) works for scalars.
+          nn::Tensor surr_min =
+              nn::Sub(surr2, nn::Relu(nn::Sub(surr2, surr1)));
+          nn::Tensor policy_loss = nn::Neg(surr_min);
+
+          // Clipped value loss (Eq. 16).
+          nn::Tensor v_err = nn::Square(
+              nn::AddScalar(out.value, -decision->ret));
+          nn::Tensor v_clipped = nn::Clip(
+              nn::AddScalar(out.value, -decision->value),
+              -config_.value_clip, config_.value_clip);
+          nn::Tensor v_err2 = nn::Square(nn::AddScalar(
+              nn::AddScalar(v_clipped, decision->value), -decision->ret));
+          // max(a,b) = a + relu(b - a).
+          nn::Tensor value_loss =
+              nn::Add(v_err, nn::Relu(nn::Sub(v_err2, v_err)));
+
+          nn::Tensor loss = nn::Sub(
+              nn::Add(policy_loss,
+                      nn::MulScalar(value_loss, config_.value_coef)),
+              nn::MulScalar(lp.entropy, config_.entropy_coef));
+          losses.push_back(loss);
+          total_policy += policy_loss.item();
+          total_value += value_loss.item();
+          total_entropy += lp.entropy.item();
+          ++loss_terms;
+          ++decisions_in_batch;
+        }
+      }
+      if (losses.empty()) continue;
+      nn::Tensor batch_loss = nn::MulScalar(
+          nn::Sum(nn::Concat(
+              [&losses] {
+                std::vector<nn::Tensor> as_rows;
+                for (auto& l : losses) {
+                  as_rows.push_back(nn::Reshape(l, {1}));
+                }
+                return as_rows;
+              }(),
+              0)),
+          1.0f / static_cast<float>(decisions_in_batch));
+      nn::Tensor aux = ugv_network_->ConsumeAuxLoss();
+      if (aux.defined()) {
+        batch_loss = nn::Add(batch_loss, nn::MulScalar(aux, 0.1f));
+      }
+      ugv_optimizer_->ZeroGrad();
+      batch_loss.Backward();
+      ugv_optimizer_->ClipGradNorm(config_.max_grad_norm);
+      ugv_optimizer_->Step();
+    }
+  }
+  if (loss_terms > 0) {
+    stats.policy_loss = total_policy / static_cast<double>(loss_terms);
+    stats.value_loss = total_value / static_cast<double>(loss_terms);
+    stats.entropy = total_entropy / static_cast<double>(loss_terms);
+  }
+}
+
+void IppoTrainer::UpdateUav(UavRollout& rollout, IterationStats& stats) {
+  (void)stats;
+  FinalizeUavRollout(rollout, config_.gamma, config_.gae_lambda);
+  // Flatten decisions.
+  std::vector<const UavDecision*> all;
+  for (const auto& agent : rollout.agents) {
+    for (const UavDecision& d : agent) all.push_back(&d);
+  }
+  if (all.empty()) return;
+  std::vector<int64_t> order(all.size());
+  for (size_t i = 0; i < all.size(); ++i) order[i] = static_cast<int64_t>(i);
+  int64_t batch = std::max<int64_t>(config_.minibatch_slots * 2, 8);
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(order);
+    for (size_t begin = 0; begin < all.size();
+         begin += static_cast<size_t>(batch)) {
+      size_t end = std::min(begin + static_cast<size_t>(batch), all.size());
+      std::vector<nn::Tensor> losses;
+      for (size_t i = begin; i < end; ++i) {
+        const UavDecision& d = *all[order[i]];
+        UavPolicyOutput out = uav_network_->Forward(d.obs);
+        nn::DiagGaussian dist(out.mean, out.log_std);
+        nn::Tensor log_prob = dist.LogProb({d.action_x, d.action_y});
+        nn::Tensor ratio =
+            nn::Exp(nn::AddScalar(log_prob, -d.old_log_prob));
+        nn::Tensor surr1 = nn::MulScalar(ratio, d.advantage);
+        nn::Tensor surr2 = nn::MulScalar(
+            nn::Clip(ratio, 1.0f - config_.clip_eps, 1.0f + config_.clip_eps),
+            d.advantage);
+        nn::Tensor surr_min =
+            nn::Sub(surr2, nn::Relu(nn::Sub(surr2, surr1)));
+        nn::Tensor value_loss =
+            nn::Square(nn::AddScalar(out.value, -d.ret));
+        nn::Tensor loss =
+            nn::Sub(nn::Add(nn::Neg(surr_min),
+                            nn::MulScalar(value_loss, config_.value_coef)),
+                    nn::MulScalar(dist.Entropy(), config_.entropy_coef));
+        losses.push_back(nn::Reshape(loss, {1}));
+      }
+      if (losses.empty()) continue;
+      nn::Tensor batch_loss = nn::MulScalar(
+          nn::Sum(nn::Concat(losses, 0)),
+          1.0f / static_cast<float>(losses.size()));
+      uav_optimizer_->ZeroGrad();
+      batch_loss.Backward();
+      uav_optimizer_->ClipGradNorm(config_.max_grad_norm);
+      uav_optimizer_->Step();
+    }
+  }
+}
+
+IterationStats IppoTrainer::RunIteration() {
+  CollectResult collected = CollectEpisode();
+  UpdateUgv(collected.ugv, collected.stats);
+  if (config_.train_uav) UpdateUav(collected.uav, collected.stats);
+  return collected.stats;
+}
+
+std::vector<IterationStats> IppoTrainer::Train() {
+  std::vector<IterationStats> history;
+  history.reserve(static_cast<size_t>(config_.iterations));
+  for (int64_t m = 0; m < config_.iterations; ++m) {
+    history.push_back(RunIteration());
+  }
+  return history;
+}
+
+}  // namespace garl::rl

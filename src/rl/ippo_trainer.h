@@ -1,0 +1,84 @@
+#ifndef GARL_RL_IPPO_TRAINER_H_
+#define GARL_RL_IPPO_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "env/world.h"
+#include "nn/optimizer.h"
+#include "rl/policy.h"
+#include "rl/rollout.h"
+#include "rl/uav_controller.h"
+
+// IPPO training loop (Algorithm 1). One trainer drives any
+// UgvPolicyNetwork; UAVs fly either a shared learned CNN policy (Eq. 17,
+// also PPO-trained) or the scripted greedy controller.
+
+namespace garl::rl {
+
+struct TrainConfig {
+  int64_t iterations = 10;     // M (outer loop; one episode per iteration)
+  int64_t epochs = 3;          // J optimization passes per iteration
+  int64_t minibatch_slots = 8;  // slots per PPO minibatch
+  float gamma = 0.95f;
+  float gae_lambda = 0.95f;
+  float clip_eps = 0.2f;        // epsilon_1 (Eq. 15)
+  float value_clip = 0.2f;      // epsilon_2 (Eq. 16)
+  float value_coef = 0.5f;      // c_1 (Eq. 2)
+  float entropy_coef = 0.01f;   // c_2 (Eq. 2)
+  float lr = 3e-4f;
+  float max_grad_norm = 0.5f;
+  float ugv_reward_scale = 1e-3f;  // MB -> ~unit scale
+  bool train_uav = false;          // false: scripted greedy UAVs
+  uint64_t seed = 1;
+};
+
+struct IterationStats {
+  double ugv_episode_reward = 0.0;  // scaled, summed over agents
+  double uav_episode_reward = 0.0;
+  double policy_loss = 0.0;
+  double value_loss = 0.0;
+  double entropy = 0.0;
+  env::EpisodeMetrics metrics;  // end-of-episode task metrics
+};
+
+class IppoTrainer {
+ public:
+  // `uav_network` may be null when config.train_uav is false.
+  IppoTrainer(env::World* world, UgvPolicyNetwork* ugv_network,
+              UavPolicyNetwork* uav_network, TrainConfig config);
+
+  // Collects one episode and runs J optimization epochs (Algorithm 1
+  // lines 3-23). Returns sampling statistics.
+  IterationStats RunIteration();
+
+  // Runs `config.iterations` iterations; returns per-iteration stats.
+  std::vector<IterationStats> Train();
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  struct CollectResult {
+    UgvRollout ugv;
+    UavRollout uav;
+    IterationStats stats;
+  };
+  CollectResult CollectEpisode();
+  void UpdateUgv(UgvRollout& rollout, IterationStats& stats);
+  void UpdateUav(UavRollout& rollout, IterationStats& stats);
+
+  env::World* world_;
+  UgvPolicyNetwork* ugv_network_;
+  UavPolicyNetwork* uav_network_;
+  TrainConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::Adam> ugv_optimizer_;
+  std::unique_ptr<nn::Adam> uav_optimizer_;
+  std::unique_ptr<UavController> rollout_uav_controller_;
+  int64_t episode_counter_ = 0;
+};
+
+}  // namespace garl::rl
+
+#endif  // GARL_RL_IPPO_TRAINER_H_

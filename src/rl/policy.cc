@@ -1,0 +1,25 @@
+#include "rl/policy.h"
+
+#include "graph/laplacian.h"
+
+namespace garl::rl {
+
+EnvContext MakeEnvContext(const env::World& world) {
+  EnvContext context;
+  context.num_stops = world.stops().num_stops();
+  context.num_ugvs = world.num_ugvs();
+  context.laplacian = graph::NormalizedLaplacian(world.stops().graph);
+  context.hops = world.hop_table();
+  context.stop_xy = nn::Tensor::Zeros({context.num_stops, 2});
+  auto& xy = context.stop_xy.mutable_data();
+  for (int64_t b = 0; b < context.num_stops; ++b) {
+    const env::Vec2& p = world.stops().positions[static_cast<size_t>(b)];
+    xy[b * 2 + 0] = static_cast<float>(p.x / world.campus().width);
+    xy[b * 2 + 1] = static_cast<float>(p.y / world.campus().height);
+  }
+  double diag = std::hypot(world.campus().width, world.campus().height);
+  context.neighbor_radius_norm = world.params().neighbor_radius / diag;
+  return context;
+}
+
+}  // namespace garl::rl

@@ -1,0 +1,68 @@
+#ifndef GARL_RL_POLICY_H_
+#define GARL_RL_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "env/types.h"
+#include "env/world.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+
+// Policy-network interfaces shared by GARL and all baselines, so one IPPO
+// trainer drives every method.
+
+namespace garl::rl {
+
+// Static, per-campus context handed to UGV feature networks at
+// construction: the stop graph's normalized Laplacian (Eq. 1b), hop counts
+// (for the structural correlation s(.,.) of Eq. 19-20) and normalized stop
+// coordinates.
+struct EnvContext {
+  int64_t num_stops = 0;
+  int64_t num_ugvs = 0;
+  nn::Tensor laplacian;                        // [B, B]
+  nn::Tensor stop_xy;                          // [B, 2], normalized
+  std::vector<std::vector<int64_t>> hops;      // [B][B], -1 = unreachable
+  double neighbor_radius_norm = 0.3;           // N(u) radius in norm units
+};
+
+EnvContext MakeEnvContext(const env::World& world);
+
+// Per-UGV heads produced by a joint forward pass.
+struct UgvPolicyOutput {
+  nn::Tensor release_logits;  // [2]: {move, release}
+  nn::Tensor target_logits;   // [B]
+  nn::Tensor value;           // scalar V(h_t^u)
+};
+
+// Joint forward over all UGVs. Communication-based methods (E-Comm, DGN,
+// IC3Net, AE-Comm) exchange messages inside this call; independent methods
+// simply map each observation separately.
+class UgvPolicyNetwork : public nn::Module {
+ public:
+  virtual std::vector<UgvPolicyOutput> Forward(
+      const std::vector<env::UgvObservation>& observations) = 0;
+  virtual std::string name() const = 0;
+
+  // Auxiliary training objective accumulated during Forward (e.g. the
+  // AE-Comm reconstruction loss). Returns an undefined tensor when the
+  // method has none; calling it clears the accumulator.
+  virtual nn::Tensor ConsumeAuxLoss() { return nn::Tensor(); }
+};
+
+// UAV actor-critic heads (Eq. 17).
+struct UavPolicyOutput {
+  nn::Tensor mean;     // [2] displacement mean (meters, pre-clip)
+  nn::Tensor log_std;  // [2]
+  nn::Tensor value;    // scalar
+};
+
+class UavPolicyNetwork : public nn::Module {
+ public:
+  virtual UavPolicyOutput Forward(const env::UavObservation& obs) = 0;
+};
+
+}  // namespace garl::rl
+
+#endif  // GARL_RL_POLICY_H_

@@ -1,0 +1,54 @@
+#ifndef GARL_RL_REPLAY_BUFFER_H_
+#define GARL_RL_REPLAY_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+// Fixed-capacity uniform replay buffer (used by the MADDPG baseline).
+
+namespace garl::rl {
+
+template <typename T>
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(int64_t capacity) : capacity_(capacity) {
+    GARL_CHECK_GT(capacity, 0);
+    items_.reserve(static_cast<size_t>(capacity));
+  }
+
+  void Add(T item) {
+    if (static_cast<int64_t>(items_.size()) < capacity_) {
+      items_.push_back(std::move(item));
+    } else {
+      items_[static_cast<size_t>(write_)] = std::move(item);
+    }
+    write_ = (write_ + 1) % capacity_;
+  }
+
+  int64_t size() const { return static_cast<int64_t>(items_.size()); }
+  bool empty() const { return items_.empty(); }
+
+  // Samples `n` items uniformly with replacement.
+  std::vector<const T*> Sample(int64_t n, Rng& rng) const {
+    GARL_CHECK(!items_.empty());
+    std::vector<const T*> out;
+    out.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      out.push_back(&items_[static_cast<size_t>(
+          rng.UniformInt(0, size() - 1))]);
+    }
+    return out;
+  }
+
+ private:
+  int64_t capacity_;
+  int64_t write_ = 0;
+  std::vector<T> items_;
+};
+
+}  // namespace garl::rl
+
+#endif  // GARL_RL_REPLAY_BUFFER_H_

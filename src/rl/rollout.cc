@@ -1,0 +1,96 @@
+#include "rl/rollout.h"
+
+#include "common/check.h"
+#include "nn/distributions.h"
+#include "nn/ops.h"
+#include "rl/gae.h"
+
+namespace garl::rl {
+
+SampledUgvAction SampleUgvAction(const UgvPolicyOutput& output, Rng& rng,
+                                 bool greedy) {
+  nn::NoGradGuard no_grad;
+  nn::Categorical release_dist(output.release_logits);
+  nn::Categorical target_dist(output.target_logits);
+  int64_t release = greedy ? release_dist.Mode() : release_dist.Sample(rng);
+  SampledUgvAction sampled;
+  sampled.action.release = (release == 1);
+  sampled.log_prob = release_dist.LogProb(release).item();
+  if (release == 0) {
+    int64_t target = greedy ? target_dist.Mode() : target_dist.Sample(rng);
+    sampled.action.target_stop = target;
+    sampled.log_prob += target_dist.LogProb(target).item();
+  }
+  sampled.value = output.value.item();
+  return sampled;
+}
+
+UgvLogProbEntropy UgvActionLogProb(const UgvPolicyOutput& output,
+                                   const UgvDecision& decision) {
+  nn::Categorical release_dist(output.release_logits);
+  nn::Categorical target_dist(output.target_logits);
+  nn::Tensor log_prob = release_dist.LogProb(decision.release);
+  if (decision.release == 0) {
+    GARL_CHECK_GE(decision.target, 0);
+    log_prob = nn::Add(log_prob, target_dist.LogProb(decision.target));
+  }
+  nn::Tensor entropy =
+      nn::Add(release_dist.Entropy(), target_dist.Entropy());
+  return {log_prob, entropy};
+}
+
+namespace {
+
+template <typename Decision>
+void FinalizeSequence(std::vector<Decision>& decisions, float gamma,
+                      float lambda) {
+  if (decisions.empty()) return;
+  std::vector<float> rewards, values;
+  rewards.reserve(decisions.size());
+  values.reserve(decisions.size());
+  for (const Decision& d : decisions) {
+    rewards.push_back(d.reward);
+    values.push_back(d.value);
+  }
+  GaeResult gae = ComputeGae(rewards, values, gamma, lambda);
+  for (size_t i = 0; i < decisions.size(); ++i) {
+    decisions[i].advantage = gae.advantages[i];
+    decisions[i].ret = gae.returns[i];
+  }
+}
+
+template <typename Rollout>
+void NormalizeAcrossAgents(Rollout& rollout) {
+  std::vector<float> all;
+  for (const auto& agent : rollout.agents) {
+    for (const auto& d : agent) all.push_back(d.advantage);
+  }
+  if (all.size() < 2) return;
+  double sum = 0.0, sum_sq = 0.0;
+  for (float a : all) {
+    sum += a;
+    sum_sq += static_cast<double>(a) * a;
+  }
+  double mean = sum / static_cast<double>(all.size());
+  double var = sum_sq / static_cast<double>(all.size()) - mean * mean;
+  float std = static_cast<float>(std::sqrt(std::max(var, 0.0)) + 1e-8);
+  for (auto& agent : rollout.agents) {
+    for (auto& d : agent) {
+      d.advantage = static_cast<float>((d.advantage - mean) / std);
+    }
+  }
+}
+
+}  // namespace
+
+void FinalizeUgvRollout(UgvRollout& rollout, float gamma, float lambda) {
+  for (auto& agent : rollout.agents) FinalizeSequence(agent, gamma, lambda);
+  NormalizeAcrossAgents(rollout);
+}
+
+void FinalizeUavRollout(UavRollout& rollout, float gamma, float lambda) {
+  for (auto& agent : rollout.agents) FinalizeSequence(agent, gamma, lambda);
+  NormalizeAcrossAgents(rollout);
+}
+
+}  // namespace garl::rl

@@ -1,0 +1,85 @@
+#ifndef GARL_RL_ROLLOUT_H_
+#define GARL_RL_ROLLOUT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "env/types.h"
+#include "rl/policy.h"
+
+// Episode storage for IPPO training (the D^u / D^v buffers of Algorithm 1).
+
+namespace garl::rl {
+
+// One UGV decision point. While a UGV hosts a release window it takes no
+// decisions; rewards earned during the window are credited back to the
+// decision that opened it (Eq. 12).
+struct UgvDecision {
+  int64_t slot = 0;  // index into UgvRollout::slots
+  int64_t release = 0;
+  int64_t target = -1;  // sampled only when release == 0
+  float old_log_prob = 0.0f;
+  float value = 0.0f;
+  float reward = 0.0f;
+  float advantage = 0.0f;
+  float ret = 0.0f;
+};
+
+struct UgvRollout {
+  // Joint observations captured once per slot (shared by all agents'
+  // decisions at that slot).
+  std::vector<std::vector<env::UgvObservation>> slots;
+  // Decision sequences, one per UGV.
+  std::vector<std::vector<UgvDecision>> agents;
+
+  int64_t TotalDecisions() const {
+    int64_t n = 0;
+    for (const auto& a : agents) n += static_cast<int64_t>(a.size());
+    return n;
+  }
+};
+
+// One UAV flight decision (every airborne slot).
+struct UavDecision {
+  env::UavObservation obs;
+  float action_x = 0.0f;
+  float action_y = 0.0f;
+  float old_log_prob = 0.0f;
+  float value = 0.0f;
+  float reward = 0.0f;
+  float advantage = 0.0f;
+  float ret = 0.0f;
+};
+
+struct UavRollout {
+  std::vector<std::vector<UavDecision>> agents;  // one sequence per UAV
+};
+
+// Samples a UGV action from policy heads. When `greedy`, takes the argmax
+// of both heads. Returns action plus log pi(a) and V for the buffers.
+struct SampledUgvAction {
+  env::UgvAction action;
+  float log_prob = 0.0f;
+  float value = 0.0f;
+};
+SampledUgvAction SampleUgvAction(const UgvPolicyOutput& output, Rng& rng,
+                                 bool greedy);
+
+// Differentiable log pi of a stored UGV action under fresh heads (release
+// head always contributes; the target head only for move actions), plus the
+// heads' entropy. Used by the PPO update.
+struct UgvLogProbEntropy {
+  nn::Tensor log_prob;  // scalar
+  nn::Tensor entropy;   // scalar
+};
+UgvLogProbEntropy UgvActionLogProb(const UgvPolicyOutput& output,
+                                   const UgvDecision& decision);
+
+// Fills advantages/returns on every agent sequence with GAE and normalizes
+// advantages across the whole rollout.
+void FinalizeUgvRollout(UgvRollout& rollout, float gamma, float lambda);
+void FinalizeUavRollout(UavRollout& rollout, float gamma, float lambda);
+
+}  // namespace garl::rl
+
+#endif  // GARL_RL_ROLLOUT_H_

@@ -1,0 +1,77 @@
+#include "rl/uav_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/distributions.h"
+#include "nn/ops.h"
+
+namespace garl::rl {
+
+env::UavAction GreedyUavController::Act(const env::World& world, int64_t v,
+                                        Rng& rng) {
+  const env::UavState& uav = world.uavs()[static_cast<size_t>(v)];
+  const env::WorldParams& params = world.params();
+  const env::Vec2 carrier =
+      world.ugvs()[static_cast<size_t>(uav.carrier)].position;
+
+  // Budget check: always keep enough battery to fly home.
+  double range_left = uav.energy_kj / params.energy_per_meter;
+  double home_dist = env::Distance(uav.position, carrier);
+  bool must_return = range_left <= home_dist + params.uav_max_dist;
+
+  env::Vec2 target = carrier;
+  if (!must_return) {
+    // Nearest sensor with data that the battery can actually reach and
+    // come back from.
+    double best = 1e18;
+    bool found = false;
+    for (const env::SensorState& s : world.sensors()) {
+      if (s.remaining_mb <= 0.0) continue;
+      double d = env::Distance(uav.position, s.position);
+      double back = env::Distance(s.position, carrier);
+      if (d + back > range_left) continue;  // would strand the UAV
+      if (d < best) {
+        best = d;
+        target = s.position;
+        found = true;
+      }
+    }
+    if (!found) target = carrier;
+  }
+  env::Vec2 delta = target - uav.position;
+  double dist = delta.Norm();
+  if (dist > params.uav_max_dist && dist > 0.0) {
+    delta = delta * (params.uav_max_dist / dist);
+  }
+  // Small random tangential jitter helps slide around building corners.
+  double jitter = params.uav_max_dist * 0.08;
+  delta.x += rng.Uniform(-jitter, jitter);
+  delta.y += rng.Uniform(-jitter, jitter);
+  return {delta.x, delta.y};
+}
+
+env::UavAction RandomUavController::Act(const env::World& world, int64_t v,
+                                        Rng& rng) {
+  (void)v;
+  double limit = world.params().uav_max_dist;
+  return {rng.Uniform(-limit, limit), rng.Uniform(-limit, limit)};
+}
+
+env::UavAction LearnedUavController::Act(const env::World& world, int64_t v,
+                                         Rng& rng) {
+  nn::NoGradGuard no_grad;
+  UavPolicyOutput out = network_->Forward(world.ObserveUav(v));
+  std::vector<float> action;
+  if (deterministic_) {
+    action = out.mean.data();
+  } else {
+    nn::DiagGaussian dist(out.mean, out.log_std);
+    action = dist.Sample(rng);
+  }
+  double limit = world.params().uav_max_dist;
+  return {std::clamp(static_cast<double>(action[0]), -limit, limit),
+          std::clamp(static_cast<double>(action[1]), -limit, limit)};
+}
+
+}  // namespace garl::rl

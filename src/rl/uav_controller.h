@@ -1,0 +1,58 @@
+#ifndef GARL_RL_UAV_CONTROLLER_H_
+#define GARL_RL_UAV_CONTROLLER_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "env/world.h"
+#include "rl/policy.h"
+
+// UAV movement controllers. The paper trains a CNN policy per Eq. (17); we
+// provide both that learned controller and a scripted greedy controller
+// (fly to the nearest unharvested sensor, come home when the battery runs
+// low) which is the evaluation default — the paper's contribution is the
+// UGV side, and the scripted controller makes single-core experiments
+// tractable (see DESIGN.md, Substitutions).
+
+namespace garl::rl {
+
+class UavController {
+ public:
+  virtual ~UavController() = default;
+  // Movement command for airborne UAV v.
+  virtual env::UavAction Act(const env::World& world, int64_t v,
+                             Rng& rng) = 0;
+};
+
+// Scripted controller operating on simulator state. Targets the nearest
+// sensor that still holds data AND is reachable within the remaining
+// battery (there-and-back); returns to the carrier otherwise.
+class GreedyUavController : public UavController {
+ public:
+  env::UavAction Act(const env::World& world, int64_t v, Rng& rng) override;
+};
+
+// Uniform random flight (the paper's "Random" baseline randomizes UAV
+// actions as well as UGV actions).
+class RandomUavController : public UavController {
+ public:
+  env::UavAction Act(const env::World& world, int64_t v, Rng& rng) override;
+};
+
+// Wraps a UavPolicyNetwork; samples from the Gaussian head (or takes the
+// mean when `deterministic`).
+class LearnedUavController : public UavController {
+ public:
+  LearnedUavController(UavPolicyNetwork* network, bool deterministic)
+      : network_(network), deterministic_(deterministic) {}
+
+  env::UavAction Act(const env::World& world, int64_t v, Rng& rng) override;
+
+ private:
+  UavPolicyNetwork* network_;  // not owned
+  bool deterministic_;
+};
+
+}  // namespace garl::rl
+
+#endif  // GARL_RL_UAV_CONTROLLER_H_

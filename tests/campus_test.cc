@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "env/campus.h"
+#include "env/campus_factory.h"
+#include "env/stop_network.h"
+
+namespace garl::env {
+namespace {
+
+TEST(CampusFactoryTest, KaistMatchesPaperStatistics) {
+  CampusSpec kaist = MakeKaistCampus();
+  EXPECT_EQ(kaist.name, "KAIST");
+  EXPECT_NEAR(kaist.width, 1539.63, 1e-6);
+  EXPECT_NEAR(kaist.height, 1433.37, 1e-6);
+  EXPECT_EQ(kaist.buildings.size(), 85u);
+  EXPECT_EQ(kaist.sensors.size(), 138u);
+}
+
+TEST(CampusFactoryTest, UclaMatchesPaperStatistics) {
+  CampusSpec ucla = MakeUclaCampus();
+  EXPECT_EQ(ucla.name, "UCLA");
+  EXPECT_NEAR(ucla.width, 1675.36, 1e-6);
+  EXPECT_NEAR(ucla.height, 1737.15, 1e-6);
+  EXPECT_EQ(ucla.buildings.size(), 163u);
+  EXPECT_EQ(ucla.sensors.size(), 236u);
+}
+
+TEST(CampusFactoryTest, SensorDataInPaperRange) {
+  for (const CampusSpec& campus : {MakeKaistCampus(), MakeUclaCampus()}) {
+    for (const SensorSpec& s : campus.sensors) {
+      EXPECT_GE(s.initial_data_mb, 1000.0);
+      EXPECT_LE(s.initial_data_mb, 1500.0);
+    }
+  }
+}
+
+TEST(CampusFactoryTest, DeterministicForSeed) {
+  CampusSpec a = MakeKaistCampus(7);
+  CampusSpec b = MakeKaistCampus(7);
+  ASSERT_EQ(a.sensors.size(), b.sensors.size());
+  for (size_t i = 0; i < a.sensors.size(); ++i) {
+    EXPECT_EQ(a.sensors[i].position, b.sensors[i].position);
+    EXPECT_DOUBLE_EQ(a.sensors[i].initial_data_mb,
+                     b.sensors[i].initial_data_mb);
+  }
+}
+
+TEST(CampusFactoryTest, DifferentSeedsDiffer) {
+  CampusSpec a = MakeKaistCampus(7);
+  CampusSpec b = MakeKaistCampus(8);
+  bool any_differ = false;
+  for (size_t i = 0; i < a.sensors.size() && i < b.sensors.size(); ++i) {
+    if (!(a.sensors[i].position == b.sensors[i].position)) {
+      any_differ = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(CampusFactoryTest, BothCampusesValidate) {
+  EXPECT_TRUE(ValidateCampus(MakeKaistCampus(), /*reach=*/260.0).ok());
+  EXPECT_TRUE(ValidateCampus(MakeUclaCampus(), /*reach=*/360.0).ok());
+}
+
+TEST(CampusFactoryTest, UclaCenterIsSparse) {
+  CampusSpec ucla = MakeUclaCampus();
+  int centre = 0, west = 0, east = 0;
+  for (const Rect& b : ucla.buildings) {
+    double fx = b.Center().x / ucla.width;
+    if (fx > 0.42 && fx < 0.58) ++centre;
+    else if (fx <= 0.42) ++west;
+    else ++east;
+  }
+  EXPECT_LT(centre, 12);  // lawn centre
+  EXPECT_GT(west, 40);
+  EXPECT_GT(east, 40);
+}
+
+TEST(CampusValidateTest, RejectsBadSpecs) {
+  CampusSpec campus;
+  campus.width = -1;
+  EXPECT_FALSE(ValidateCampus(campus, 100).ok());
+
+  campus = MakeKaistCampus();
+  campus.sensors[0].position = {-10, -10};
+  EXPECT_FALSE(ValidateCampus(campus, 260).ok());
+
+  campus = MakeKaistCampus();
+  campus.sensors[0].initial_data_mb = 0;
+  EXPECT_FALSE(ValidateCampus(campus, 260).ok());
+
+  campus = MakeKaistCampus();
+  campus.roads.clear();
+  EXPECT_FALSE(ValidateCampus(campus, 260).ok());
+}
+
+TEST(CampusValidateTest, RejectsRoadThroughBuilding) {
+  CampusSpec campus = MakeKaistCampus();
+  const Rect& b = campus.buildings[0];
+  campus.roads.push_back({{b.x0 - 10, b.Center().y},
+                          {b.x1 + 10, b.Center().y}});
+  EXPECT_FALSE(ValidateCampus(campus, 260).ok());
+}
+
+TEST(StopNetworkTest, KaistIsConnectedAndSpaced) {
+  CampusSpec kaist = MakeKaistCampus();
+  StopNetwork net = BuildStopNetwork(kaist, 100.0);
+  EXPECT_GT(net.num_stops(), 100);
+  EXPECT_TRUE(net.graph.IsConnected());
+  // Edge lengths stay near the requested spacing.
+  for (int64_t b = 0; b < net.num_stops(); ++b) {
+    for (const auto& e : net.graph.Neighbors(b)) {
+      EXPECT_LE(e.weight, 160.0);
+    }
+  }
+}
+
+TEST(StopNetworkTest, UclaIsConnectedViaConnector) {
+  CampusSpec ucla = MakeUclaCampus();
+  StopNetwork net = BuildStopNetwork(ucla, 100.0);
+  EXPECT_TRUE(net.graph.IsConnected());
+}
+
+TEST(StopNetworkTest, IntersectionsBecomeSharedNodes) {
+  CampusSpec campus;
+  campus.name = "cross";
+  campus.width = 200;
+  campus.height = 200;
+  campus.roads.push_back({{0, 100}, {200, 100}});
+  campus.roads.push_back({{100, 0}, {100, 200}});
+  StopNetwork net = BuildStopNetwork(campus, 100.0);
+  EXPECT_TRUE(net.graph.IsConnected());
+  // The crossing point (100,100) must be a node of degree 4.
+  int64_t cross = net.NearestStop({100, 100});
+  EXPECT_NEAR(net.positions[cross].x, 100.0, 1.0);
+  EXPECT_NEAR(net.positions[cross].y, 100.0, 1.0);
+  EXPECT_EQ(net.graph.Degree(cross), 4);
+}
+
+TEST(StopNetworkTest, NearestStopFindsClosest) {
+  CampusSpec campus;
+  campus.name = "line";
+  campus.width = 300;
+  campus.height = 100;
+  campus.roads.push_back({{0, 50}, {300, 50}});
+  StopNetwork net = BuildStopNetwork(campus, 100.0);
+  int64_t stop = net.NearestStop({290, 60});
+  EXPECT_NEAR(net.positions[stop].x, 300.0, 1.0);
+}
+
+TEST(StopNetworkTest, SpacingControlsDensity) {
+  CampusSpec campus = MakeKaistCampus();
+  StopNetwork coarse = BuildStopNetwork(campus, 200.0);
+  StopNetwork fine = BuildStopNetwork(campus, 50.0);
+  EXPECT_GT(fine.num_stops(), coarse.num_stops());
+}
+
+}  // namespace
+}  // namespace garl::env

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/distributions.h"
+#include "nn/ops.h"
+
+namespace garl::nn {
+namespace {
+
+TEST(CategoricalTest, ProbabilitiesMatchSoftmax) {
+  Tensor logits = Tensor::FromVector({3}, {0, 1, 2});
+  Categorical dist(logits);
+  auto p = dist.Probabilities();
+  float z = std::exp(0.0f) + std::exp(1.0f) + std::exp(2.0f);
+  EXPECT_NEAR(p[0], std::exp(0.0f) / z, 1e-5f);
+  EXPECT_NEAR(p[2], std::exp(2.0f) / z, 1e-5f);
+}
+
+TEST(CategoricalTest, ModeIsArgmax) {
+  Categorical dist(Tensor::FromVector({4}, {0, 5, 2, 3}));
+  EXPECT_EQ(dist.Mode(), 1);
+}
+
+TEST(CategoricalTest, SampleFrequenciesApproachProbabilities) {
+  Categorical dist(Tensor::FromVector({3}, {0, 0, std::log(8.0f)}));
+  Rng rng(21);
+  std::vector<int> counts(3, 0);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) ++counts[dist.Sample(rng)];
+  // probs = {0.1, 0.1, 0.8}
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.8, 0.03);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.03);
+}
+
+TEST(CategoricalTest, LogProbMatchesManual) {
+  Tensor logits = Tensor::FromVector({3}, {1, 2, 3});
+  Categorical dist(logits);
+  auto p = dist.Probabilities();
+  for (int64_t a = 0; a < 3; ++a) {
+    EXPECT_NEAR(dist.LogProb(a).item(), std::log(p[a]), 1e-5f);
+  }
+}
+
+TEST(CategoricalTest, LogProbGradFlowsToLogits) {
+  Tensor logits = Tensor::FromVector({3}, {0.1f, 0.2f, 0.3f},
+                                     /*requires_grad=*/true);
+  Categorical dist(logits);
+  dist.LogProb(1).Backward();
+  // d logp(a)/d logit_j = 1{j=a} - p_j: positive at the action, negative
+  // elsewhere.
+  EXPECT_GT(logits.grad()[1], 0.0f);
+  EXPECT_LT(logits.grad()[0], 0.0f);
+  EXPECT_LT(logits.grad()[2], 0.0f);
+}
+
+TEST(CategoricalTest, EntropyOfUniformIsLogK) {
+  Categorical dist(Tensor::FromVector({4}, {0, 0, 0, 0}));
+  EXPECT_NEAR(dist.Entropy().item(), std::log(4.0f), 1e-5f);
+}
+
+TEST(CategoricalTest, EntropyOfPeakedIsSmall) {
+  Categorical dist(Tensor::FromVector({4}, {100, 0, 0, 0}));
+  EXPECT_LT(dist.Entropy().item(), 1e-3f);
+}
+
+TEST(DiagGaussianTest, ModeIsMean) {
+  DiagGaussian dist(Tensor::FromVector({2}, {1, -2}),
+                    Tensor::FromVector({2}, {0, 0}));
+  auto mode = dist.Mode();
+  EXPECT_FLOAT_EQ(mode[0], 1.0f);
+  EXPECT_FLOAT_EQ(mode[1], -2.0f);
+}
+
+TEST(DiagGaussianTest, SampleMomentsMatch) {
+  DiagGaussian dist(Tensor::FromVector({1}, {2.0f}),
+                    Tensor::FromVector({1}, {std::log(0.5f)}));
+  Rng rng(33);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    float v = dist.Sample(rng)[0];
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.02);
+  EXPECT_NEAR(var, 0.25, 0.02);
+}
+
+TEST(DiagGaussianTest, LogProbMatchesClosedForm) {
+  float mu = 0.7f, sigma = 1.3f, a = -0.2f;
+  DiagGaussian dist(Tensor::FromVector({1}, {mu}),
+                    Tensor::FromVector({1}, {std::log(sigma)}));
+  float expected = -0.5f * (std::pow((a - mu) / sigma, 2.0f) +
+                            std::log(2.0f * static_cast<float>(M_PI)) +
+                            2.0f * std::log(sigma));
+  EXPECT_NEAR(dist.LogProb({a}).item(), expected, 1e-5f);
+}
+
+TEST(DiagGaussianTest, LogProbHighestAtMean) {
+  DiagGaussian dist(Tensor::FromVector({2}, {1, 1}),
+                    Tensor::FromVector({2}, {0, 0}));
+  float at_mean = dist.LogProb({1, 1}).item();
+  float off_mean = dist.LogProb({2, 0.5f}).item();
+  EXPECT_GT(at_mean, off_mean);
+}
+
+TEST(DiagGaussianTest, EntropyGrowsWithStd) {
+  DiagGaussian narrow(Tensor::FromVector({1}, {0}),
+                      Tensor::FromVector({1}, {-1.0f}));
+  DiagGaussian wide(Tensor::FromVector({1}, {0}),
+                    Tensor::FromVector({1}, {1.0f}));
+  EXPECT_GT(wide.Entropy().item(), narrow.Entropy().item());
+}
+
+TEST(DiagGaussianTest, LogProbGradMovesMeanTowardAction) {
+  Tensor mean = Tensor::FromVector({1}, {0.0f}, /*requires_grad=*/true);
+  Tensor log_std = Tensor::FromVector({1}, {0.0f});
+  DiagGaussian dist(mean, log_std);
+  dist.LogProb({2.0f}).Backward();
+  // d logp / d mu = (a - mu) / sigma^2 = 2 > 0.
+  EXPECT_NEAR(mean.grad()[0], 2.0f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace garl::nn

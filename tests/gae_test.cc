@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/gae.h"
+
+namespace garl::rl {
+namespace {
+
+TEST(GaeTest, SingleStepIsTdError) {
+  GaeResult r = ComputeGae({1.0f}, {0.5f}, 0.9f, 0.95f);
+  // delta = r + gamma*0 - v = 0.5.
+  EXPECT_NEAR(r.advantages[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(r.returns[0], 1.0f, 1e-6f);
+}
+
+TEST(GaeTest, ZeroLambdaIsOneStepTd) {
+  std::vector<float> rewards = {1, 1, 1};
+  std::vector<float> values = {0.5f, 0.5f, 0.5f};
+  GaeResult r = ComputeGae(rewards, values, 0.9f, 0.0f);
+  // Each advantage = r + gamma*v' - v.
+  EXPECT_NEAR(r.advantages[0], 1 + 0.9f * 0.5f - 0.5f, 1e-6f);
+  EXPECT_NEAR(r.advantages[2], 1 - 0.5f, 1e-6f);
+}
+
+TEST(GaeTest, LambdaOneIsMonteCarlo) {
+  std::vector<float> rewards = {1, 2, 3};
+  std::vector<float> values = {0, 0, 0};
+  GaeResult r = ComputeGae(rewards, values, 0.5f, 1.0f);
+  // Discounted returns: 3; 2+0.5*3=3.5; 1+0.5*3.5=2.75.
+  EXPECT_NEAR(r.returns[2], 3.0f, 1e-6f);
+  EXPECT_NEAR(r.returns[1], 3.5f, 1e-6f);
+  EXPECT_NEAR(r.returns[0], 2.75f, 1e-6f);
+}
+
+TEST(GaeTest, ReturnsEqualAdvantagePlusValue) {
+  std::vector<float> rewards = {0.2f, -0.5f, 1.0f, 0.0f};
+  std::vector<float> values = {0.1f, 0.3f, -0.2f, 0.4f};
+  GaeResult r = ComputeGae(rewards, values, 0.99f, 0.9f);
+  for (size_t i = 0; i < rewards.size(); ++i) {
+    EXPECT_NEAR(r.returns[i], r.advantages[i] + values[i], 1e-6f);
+  }
+}
+
+TEST(GaeTest, EmptyInput) {
+  GaeResult r = ComputeGae({}, {}, 0.9f, 0.9f);
+  EXPECT_TRUE(r.advantages.empty());
+  EXPECT_TRUE(r.returns.empty());
+}
+
+TEST(GaeTest, PerfectCriticGivesZeroAdvantageAtLambdaOne) {
+  // values == discounted returns -> advantages ~ 0.
+  float gamma = 0.5f;
+  std::vector<float> rewards = {1, 1, 1};
+  std::vector<float> values = {1.75f, 1.5f, 1.0f};
+  GaeResult r = ComputeGae(rewards, values, gamma, 1.0f);
+  for (float a : r.advantages) EXPECT_NEAR(a, 0.0f, 1e-5f);
+}
+
+TEST(NormalizeAdvantagesTest, ZeroMeanUnitVar) {
+  std::vector<float> a = {1, 2, 3, 4, 5};
+  NormalizeAdvantages(a);
+  float mean = 0;
+  for (float v : a) mean += v;
+  mean /= a.size();
+  EXPECT_NEAR(mean, 0.0f, 1e-5f);
+  float var = 0;
+  for (float v : a) var += v * v;
+  var /= a.size();
+  EXPECT_NEAR(var, 1.0f, 1e-4f);
+}
+
+TEST(NormalizeAdvantagesTest, ShortInputsNoop) {
+  std::vector<float> one = {5.0f};
+  NormalizeAdvantages(one);
+  EXPECT_FLOAT_EQ(one[0], 5.0f);
+  std::vector<float> empty;
+  NormalizeAdvantages(empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+}  // namespace
+}  // namespace garl::rl

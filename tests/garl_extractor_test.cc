@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/garl_extractor.h"
+#include "core/uav_policy.h"
+#include "env/campus_factory.h"
+#include "env/world.h"
+#include "nn/distributions.h"
+#include "nn/ops.h"
+#include "rl/ippo_trainer.h"
+
+namespace garl::core {
+namespace {
+
+env::CampusSpec TinyCampus() {
+  env::CampusSpec campus;
+  campus.name = "tiny";
+  campus.width = 400;
+  campus.height = 400;
+  campus.roads.push_back({{0, 200}, {400, 200}});
+  campus.roads.push_back({{200, 0}, {200, 400}});
+  campus.sensors.push_back({{150, 210}, 1000.0});
+  campus.sensors.push_back({{260, 190}, 1200.0});
+  campus.sensors.push_back({{200, 320}, 900.0});
+  return campus;
+}
+
+env::WorldParams TinyParams() {
+  env::WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 16;
+  params.release_slots = 2;
+  return params;
+}
+
+struct Fixture {
+  Fixture(bool use_mc, bool use_e)
+      : world(TinyCampus(), TinyParams()),
+        context(rl::MakeEnvContext(world)),
+        rng(7) {
+    GarlConfig config;
+    config.use_mc = use_mc;
+    config.use_e = use_e;
+    config.mc_gcn.layers = 2;
+    config.e_comm.layers = 2;
+    extractor = std::make_unique<GarlExtractor>(context, config, rng);
+  }
+  env::World world;
+  rl::EnvContext context;
+  Rng rng;
+  std::unique_ptr<GarlExtractor> extractor;
+
+  std::vector<env::UgvObservation> Observe() {
+    return {world.ObserveUgv(0), world.ObserveUgv(1)};
+  }
+};
+
+class GarlVariantTest
+    : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+TEST_P(GarlVariantTest, ExtractShapesAndFiniteness) {
+  auto [use_mc, use_e] = GetParam();
+  Fixture f(use_mc, use_e);
+  auto features = f.extractor->Extract(f.Observe());
+  ASSERT_EQ(features.size(), 2u);
+  for (const auto& feature : features) {
+    EXPECT_EQ(feature.shape(),
+              (std::vector<int64_t>{f.extractor->feature_dim()}));
+    for (float v : feature.data()) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_P(GarlVariantTest, PriorsMatchObservations) {
+  auto [use_mc, use_e] = GetParam();
+  Fixture f(use_mc, use_e);
+  auto obs = f.Observe();
+  f.extractor->Extract(obs);
+  rl::UgvPriors priors = f.extractor->Priors(obs);
+  ASSERT_EQ(priors.target.size(), 2u);
+  EXPECT_EQ(priors.target[0].shape(),
+            (std::vector<int64_t>{f.context.num_stops}));
+  if (use_mc) {
+    ASSERT_EQ(priors.release.size(), 2u);
+    EXPECT_EQ(priors.release[0].shape(), (std::vector<int64_t>{2}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, GarlVariantTest,
+    ::testing::Values(std::pair<bool, bool>{true, true},
+                      std::pair<bool, bool>{false, true},
+                      std::pair<bool, bool>{true, false},
+                      std::pair<bool, bool>{false, false}),
+    [](const ::testing::TestParamInfo<std::pair<bool, bool>>& info) {
+      std::string name = info.param.first ? "mc" : "nomc";
+      name += info.param.second ? "_e" : "_noe";
+      return name;
+    });
+
+TEST(GarlExtractorTest, NamesFollowAblation) {
+  Fixture full(true, true), no_mc(false, true), no_e(true, false),
+      none(false, false);
+  EXPECT_EQ(full.extractor->name(), "GARL");
+  EXPECT_EQ(no_mc.extractor->name(), "GARL w/o MC");
+  EXPECT_EQ(no_e.extractor->name(), "GARL w/o E");
+  EXPECT_EQ(none.extractor->name(), "GARL w/o MC, E");
+}
+
+TEST(GarlExtractorTest, MultiCenterPriorAvoidsCrowding) {
+  // Both UGVs start at the same stop: the release prior must be negative
+  // (peer within one hop -> competition).
+  Fixture f(true, true);
+  auto obs = f.Observe();
+  rl::UgvPriors priors = f.extractor->Priors(obs);
+  ASSERT_EQ(priors.release.size(), 2u);
+  EXPECT_LT(priors.release[0].data()[1], 0.0f);
+  // And the target prior is depressed around the other UGV's position,
+  // compared to the single-center variant.
+  Fixture single(false, true);
+  rl::UgvPriors single_priors = single.extractor->Priors(obs);
+  int64_t stop = obs[0].ugv_stops[1];
+  EXPECT_LT(priors.target[0].data()[stop],
+            single_priors.target[0].data()[stop] + 1e-6f);
+}
+
+TEST(GarlExtractorTest, TrainsEndToEndWithIppo) {
+  Fixture f(true, true);
+  rl::FeaturePolicyOptions options;
+  auto policy = std::make_unique<rl::FeatureUgvPolicy>(
+      std::move(f.extractor), f.context, options, f.rng);
+  rl::TrainConfig config;
+  config.iterations = 1;
+  config.epochs = 1;
+  config.seed = 3;
+  rl::IppoTrainer trainer(&f.world, policy.get(), nullptr, config);
+  rl::IterationStats stats = trainer.RunIteration();
+  EXPECT_TRUE(std::isfinite(stats.policy_loss));
+  EXPECT_TRUE(std::isfinite(stats.value_loss));
+}
+
+TEST(UavCnnPolicyTest, OutputShapesAndBounds) {
+  Rng rng(5);
+  UavPolicyConfig config;
+  UavCnnPolicy policy(config, rng);
+  env::World world(TinyCampus(), TinyParams());
+  std::vector<env::UgvAction> release(2, {true, -1});
+  std::vector<env::UavAction> idle(2);
+  world.Step(release, idle);
+  rl::UavPolicyOutput out = policy.Forward(world.ObserveUav(0));
+  EXPECT_EQ(out.mean.shape(), (std::vector<int64_t>{2}));
+  EXPECT_EQ(out.log_std.shape(), (std::vector<int64_t>{2}));
+  EXPECT_EQ(out.value.numel(), 1);
+  for (float v : out.mean.data()) {
+    EXPECT_LE(std::fabs(v), config.max_displacement);
+  }
+}
+
+TEST(UavCnnPolicyTest, GradientsReachConvs) {
+  Rng rng(6);
+  UavCnnPolicy policy(UavPolicyConfig{}, rng);
+  env::World world(TinyCampus(), TinyParams());
+  std::vector<env::UgvAction> release(2, {true, -1});
+  std::vector<env::UavAction> idle(2);
+  world.Step(release, idle);
+  rl::UavPolicyOutput out = policy.Forward(world.ObserveUav(0));
+  nn::DiagGaussian dist(out.mean, out.log_std);
+  nn::Tensor loss = nn::Add(nn::Neg(dist.LogProb({10.0f, -5.0f})),
+                            nn::Square(out.value));
+  loss.Backward();
+  int with_grad = 0;
+  for (const nn::Tensor& p : policy.Parameters()) {
+    float norm = 0.0f;
+    for (float g : p.grad()) norm += g * g;
+    if (norm > 0.0f) ++with_grad;
+  }
+  EXPECT_GE(with_grad, static_cast<int>(policy.Parameters().size()) - 1);
+}
+
+TEST(UavCnnPolicyTest, TrainsWithIppo) {
+  env::World world(TinyCampus(), TinyParams());
+  rl::EnvContext context = rl::MakeEnvContext(world);
+  Rng rng(9);
+  GarlConfig gconfig;
+  gconfig.mc_gcn.layers = 1;
+  gconfig.e_comm.layers = 1;
+  auto policy = std::make_unique<rl::FeatureUgvPolicy>(
+      std::make_unique<GarlExtractor>(context, gconfig, rng), context,
+      rl::FeaturePolicyOptions{}, rng);
+  auto uav_policy = std::make_unique<UavCnnPolicy>(UavPolicyConfig{}, rng);
+  rl::TrainConfig config;
+  config.iterations = 1;
+  config.epochs = 1;
+  config.train_uav = true;
+  config.seed = 21;
+  rl::IppoTrainer trainer(&world, policy.get(), uav_policy.get(), config);
+  rl::IterationStats stats = trainer.RunIteration();
+  EXPECT_TRUE(std::isfinite(stats.uav_episode_reward));
+}
+
+}  // namespace
+}  // namespace garl::core

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "env/geometry.h"
+
+namespace garl::env {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  Vec2 a{1, 2}, b{3, 4};
+  EXPECT_EQ((a + b), (Vec2{4, 6}));
+  EXPECT_EQ((b - a), (Vec2{2, 2}));
+  EXPECT_EQ((a * 2.0), (Vec2{2, 4}));
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), std::sqrt(8.0));
+}
+
+TEST(RectTest, ContainsAndCenter) {
+  Rect r{0, 0, 10, 20};
+  EXPECT_TRUE(r.Contains({5, 10}));
+  EXPECT_TRUE(r.Contains({0, 0}));  // boundary inclusive
+  EXPECT_FALSE(r.Contains({-1, 5}));
+  EXPECT_EQ(r.Center(), (Vec2{5, 10}));
+  EXPECT_DOUBLE_EQ(r.Width(), 10);
+  EXPECT_DOUBLE_EQ(r.Height(), 20);
+}
+
+TEST(RectTest, ExpandedAndIntersects) {
+  Rect r{0, 0, 10, 10};
+  Rect e = r.Expanded(5);
+  EXPECT_TRUE(e.Contains({-4, -4}));
+  EXPECT_TRUE(r.Intersects(Rect{5, 5, 15, 15}));
+  EXPECT_FALSE(r.Intersects(Rect{11, 0, 20, 10}));
+}
+
+TEST(SegmentRectTest, CrossingSegment) {
+  Rect r{4, 4, 6, 6};
+  EXPECT_TRUE(SegmentIntersectsRect({0, 5}, {10, 5}, r));   // through
+  EXPECT_TRUE(SegmentIntersectsRect({5, 5}, {20, 20}, r));  // starts inside
+  EXPECT_FALSE(SegmentIntersectsRect({0, 0}, {10, 0}, r));  // below
+  EXPECT_FALSE(SegmentIntersectsRect({0, 0}, {3, 3}, r));   // short of it
+}
+
+TEST(SegmentRectTest, DiagonalGrazes) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(SegmentIntersectsRect({-5, 5}, {5, 5}, r));
+  EXPECT_FALSE(SegmentIntersectsRect({-5, 20}, {20, 20}, r));
+}
+
+TEST(MoveWithObstaclesTest, FreeSpaceCapsAtMaxDist) {
+  bool blocked = true;
+  Vec2 end = MoveWithObstacles({0, 0}, {100, 0}, 30.0, {}, &blocked);
+  EXPECT_FALSE(blocked);
+  EXPECT_NEAR(end.x, 30.0, 1e-9);
+  EXPECT_NEAR(end.y, 0.0, 1e-9);
+}
+
+TEST(MoveWithObstaclesTest, ReachesNearTarget) {
+  bool blocked = true;
+  Vec2 end = MoveWithObstacles({0, 0}, {5, 5}, 100.0, {}, &blocked);
+  EXPECT_FALSE(blocked);
+  EXPECT_NEAR(end.x, 5.0, 1e-9);
+}
+
+TEST(MoveWithObstaclesTest, StopsBeforeBuilding) {
+  std::vector<Rect> obstacles = {{10, -5, 20, 5}};
+  bool blocked = false;
+  Vec2 end = MoveWithObstacles({0, 0}, {30, 0}, 100.0, obstacles, &blocked);
+  EXPECT_TRUE(blocked);
+  EXPECT_LT(end.x, 10.0);
+  EXPECT_GT(end.x, 8.0);  // stops just short of the wall
+}
+
+TEST(MoveWithObstaclesTest, PassesBesideBuilding) {
+  std::vector<Rect> obstacles = {{10, 10, 20, 20}};
+  bool blocked = true;
+  Vec2 end = MoveWithObstacles({0, 0}, {30, 0}, 100.0, obstacles, &blocked);
+  EXPECT_FALSE(blocked);
+  EXPECT_NEAR(end.x, 30.0, 1e-9);
+}
+
+TEST(MoveWithObstaclesTest, StartingInsideStaysPut) {
+  std::vector<Rect> obstacles = {{-5, -5, 5, 5}};
+  bool blocked = false;
+  Vec2 end = MoveWithObstacles({0, 0}, {30, 0}, 100.0, obstacles, &blocked);
+  EXPECT_TRUE(blocked);
+  EXPECT_EQ(end, (Vec2{0, 0}));
+}
+
+TEST(ClampToFieldTest, ClampsBothAxes) {
+  Vec2 p = ClampToField({-5, 300}, 100, 200);
+  EXPECT_EQ(p, (Vec2{0, 200}));
+  EXPECT_EQ(ClampToField({50, 50}, 100, 200), (Vec2{50, 50}));
+}
+
+}  // namespace
+}  // namespace garl::env

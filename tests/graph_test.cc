@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph.h"
+#include "graph/laplacian.h"
+#include "graph/shortest_path.h"
+
+namespace garl::graph {
+namespace {
+
+// Path graph 0-1-2-3 with unit weights.
+Graph PathGraph(int64_t n) {
+  Graph g(n);
+  for (int64_t i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1, 1.0);
+  return g;
+}
+
+TEST(GraphTest, BasicProperties) {
+  Graph g = PathGraph(4);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(1), 2);
+}
+
+TEST(GraphTest, Connectivity) {
+  Graph g = PathGraph(4);
+  EXPECT_TRUE(g.IsConnected());
+  Graph h(3);
+  h.AddEdge(0, 1);
+  EXPECT_FALSE(h.IsConnected());
+  EXPECT_TRUE(Graph(0).IsConnected());
+  EXPECT_TRUE(Graph(1).IsConnected());
+}
+
+TEST(DijkstraTest, PathDistances) {
+  Graph g = PathGraph(5);
+  ShortestPaths sp = Dijkstra(g, 0);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(sp.dist[i], static_cast<double>(i));
+  }
+  EXPECT_EQ(sp.parent[4], 3);
+  EXPECT_EQ(sp.parent[0], -1);
+}
+
+TEST(DijkstraTest, PrefersLighterPath) {
+  // 0-1 (10) vs 0-2-1 (1+1).
+  Graph g(3);
+  g.AddEdge(0, 1, 10.0);
+  g.AddEdge(0, 2, 1.0);
+  g.AddEdge(2, 1, 1.0);
+  ShortestPaths sp = Dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.dist[1], 2.0);
+  EXPECT_EQ(sp.parent[1], 2);
+}
+
+TEST(DijkstraTest, UnreachableIsInfinite) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  ShortestPaths sp = Dijkstra(g, 0);
+  EXPECT_TRUE(std::isinf(sp.dist[2]));
+  EXPECT_EQ(sp.parent[2], -1);
+}
+
+TEST(BfsHopsTest, CountsHopsIgnoringWeights) {
+  Graph g(4);
+  g.AddEdge(0, 1, 100.0);
+  g.AddEdge(1, 2, 100.0);
+  g.AddEdge(0, 3, 0.5);
+  auto hops = BfsHops(g, 0);
+  EXPECT_EQ(hops[0], 0);
+  EXPECT_EQ(hops[1], 1);
+  EXPECT_EQ(hops[2], 2);
+  EXPECT_EQ(hops[3], 1);
+}
+
+TEST(AllPairsTest, SymmetricOnUndirected) {
+  Graph g = PathGraph(4);
+  auto dist = AllPairsDistances(g);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(dist[i][j], dist[j][i]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(dist[0][3], 3.0);
+}
+
+TEST(NextHopTest, RoutesAlongShortestPath) {
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 3, 1.0);
+  g.AddEdge(0, 2, 5.0);
+  g.AddEdge(2, 3, 5.0);
+  auto next = NextHopTable(g);
+  EXPECT_EQ(next[0][3], 1);  // via the light path
+  EXPECT_EQ(next[0][0], 0);
+  EXPECT_EQ(next[3][0], 1);
+}
+
+TEST(NextHopTest, UnreachableIsMinusOne) {
+  Graph g(2);
+  auto next = NextHopTable(g);
+  EXPECT_EQ(next[0][1], -1);
+}
+
+TEST(NextHopTest, FollowingNextHopsReachesTarget) {
+  // Grid-ish graph; property: iterating next hops terminates at target.
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(2, 5);
+  auto next = NextHopTable(g);
+  for (int64_t s = 0; s < 6; ++s) {
+    for (int64_t t = 0; t < 6; ++t) {
+      int64_t node = s, steps = 0;
+      while (node != t) {
+        node = next[node][t];
+        ASSERT_GE(node, 0);
+        ASSERT_LE(++steps, 6);
+      }
+    }
+  }
+}
+
+TEST(LaplacianTest, RowsOfAdjacencyHaveSelfLoops) {
+  Graph g = PathGraph(3);
+  nn::Tensor a = AdjacencyWithSelfLoops(g);
+  EXPECT_EQ(a.at({0, 0}), 1.0f);
+  EXPECT_EQ(a.at({0, 1}), 1.0f);
+  EXPECT_EQ(a.at({0, 2}), 0.0f);
+}
+
+TEST(LaplacianTest, SymmetricNormalization) {
+  Graph g = PathGraph(3);
+  nn::Tensor l = NormalizedLaplacian(g);
+  // Node 1 has degree 3 (with self loop), nodes 0 and 2 degree 2.
+  EXPECT_NEAR(l.at({0, 0}), 0.5f, 1e-6f);
+  EXPECT_NEAR(l.at({1, 1}), 1.0f / 3.0f, 1e-6f);
+  EXPECT_NEAR(l.at({0, 1}), 1.0f / std::sqrt(6.0f), 1e-6f);
+  // Symmetry.
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(l.at({i, j}), l.at({j, i}));
+    }
+  }
+}
+
+TEST(LaplacianTest, RowSumsAtMostOne) {
+  // Property of symmetric normalization: spectral radius <= 1, and for
+  // regular graphs row sums are exactly 1.
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 0);
+  nn::Tensor l = NormalizedLaplacian(g);
+  for (int64_t i = 0; i < 4; ++i) {
+    float row = 0;
+    for (int64_t j = 0; j < 4; ++j) row += l.at({i, j});
+    EXPECT_NEAR(row, 1.0f, 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace garl::graph

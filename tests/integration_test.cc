@@ -1,0 +1,250 @@
+// Cross-module integration and property tests: full train/evaluate cycles
+// through the public API, conservation laws of the simulator under random
+// play, and checkpoint round-trips of complete policies.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "baselines/runner.h"
+#include "core/garl_extractor.h"
+#include "env/campus_factory.h"
+#include "env/world.h"
+#include "nn/serialization.h"
+#include "rl/evaluator.h"
+#include "rl/feature_policy.h"
+#include "rl/ippo_trainer.h"
+#include "rl/uav_controller.h"
+
+namespace garl {
+namespace {
+
+env::CampusSpec CrossCampus() {
+  env::CampusSpec campus;
+  campus.name = "cross";
+  campus.width = 600;
+  campus.height = 600;
+  campus.roads.push_back({{0, 300}, {600, 300}});
+  campus.roads.push_back({{300, 0}, {300, 600}});
+  campus.sensors.push_back({{100, 310}, 1000.0});
+  campus.sensors.push_back({{500, 290}, 1100.0});
+  campus.sensors.push_back({{310, 100}, 1200.0});
+  campus.sensors.push_back({{290, 500}, 900.0});
+  return campus;
+}
+
+// Random play over many configurations must keep the simulator's books
+// balanced: data never negative or created, energy accounting exact,
+// metrics in range.
+struct WorldConfig {
+  int64_t ugvs;
+  int64_t uavs;
+  uint64_t seed;
+};
+
+class WorldInvariantsTest : public ::testing::TestWithParam<WorldConfig> {};
+
+TEST_P(WorldInvariantsTest, RandomPlayKeepsInvariants) {
+  WorldConfig config = GetParam();
+  env::WorldParams params;
+  params.num_ugvs = config.ugvs;
+  params.uavs_per_ugv = config.uavs;
+  params.horizon = 30;
+  params.release_slots = 3;
+  env::World world(CrossCampus(), params);
+  Rng rng(config.seed);
+
+  double total_initial = 0;
+  for (const auto& s : world.sensors()) total_initial += s.initial_mb;
+
+  double reward_sum = 0.0;
+  while (!world.Done()) {
+    std::vector<env::UgvAction> ugv_actions(
+        static_cast<size_t>(world.num_ugvs()));
+    for (int64_t u = 0; u < world.num_ugvs(); ++u) {
+      ugv_actions[static_cast<size_t>(u)].release = rng.Bernoulli(0.4);
+      ugv_actions[static_cast<size_t>(u)].target_stop =
+          rng.UniformInt(0, world.stops().num_stops() - 1);
+    }
+    std::vector<env::UavAction> uav_actions(
+        static_cast<size_t>(world.num_uavs()));
+    for (int64_t v = 0; v < world.num_uavs(); ++v) {
+      uav_actions[static_cast<size_t>(v)] = {rng.Uniform(-120, 120),
+                                             rng.Uniform(-120, 120)};
+    }
+    env::StepResult step = world.Step(ugv_actions, uav_actions);
+    for (double r : step.ugv_rewards) reward_sum += r;
+
+    // Per-slot invariants.
+    double remaining = 0;
+    for (const auto& s : world.sensors()) {
+      ASSERT_GE(s.remaining_mb, 0.0);
+      ASSERT_LE(s.remaining_mb, s.initial_mb + 1e-6);
+      remaining += s.remaining_mb;
+    }
+    ASSERT_LE(remaining, total_initial + 1e-6);
+    for (const auto& uav : world.uavs()) {
+      ASSERT_GE(uav.energy_kj, -1e-9);
+      ASSERT_LE(uav.energy_kj, params.uav_energy_kj + 1e-9);
+      // UAVs never end a slot inside a building.
+      for (const auto& b : world.campus().buildings) {
+        ASSERT_FALSE(b.Contains(uav.position));
+      }
+    }
+  }
+  // Total UGV reward equals the data removed from sensors (Eq. 12).
+  double collected = 0;
+  for (const auto& s : world.sensors()) {
+    collected += s.initial_mb - s.remaining_mb;
+  }
+  EXPECT_NEAR(reward_sum, collected, 1e-3);
+
+  env::EpisodeMetrics m = world.Metrics();
+  EXPECT_GE(m.data_collection_ratio, 0.0);
+  EXPECT_LE(m.data_collection_ratio, 1.0);
+  EXPECT_GE(m.fairness, 0.0);
+  EXPECT_LE(m.fairness, 1.0 + 1e-9);
+  EXPECT_GE(m.cooperation_factor, 0.0);
+  EXPECT_LE(m.cooperation_factor, 1.0);
+  EXPECT_GE(m.energy_ratio, 0.0);
+  EXPECT_LE(m.energy_ratio, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, WorldInvariantsTest,
+    ::testing::Values(WorldConfig{1, 1, 1}, WorldConfig{2, 1, 2},
+                      WorldConfig{2, 2, 3}, WorldConfig{3, 2, 4},
+                      WorldConfig{4, 3, 5}),
+    [](const ::testing::TestParamInfo<WorldConfig>& info) {
+      return "U" + std::to_string(info.param.ugvs) + "V" +
+             std::to_string(info.param.uavs) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(IntegrationTest, TrainedGarlBeatsRandomOnAverage) {
+  env::WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 40;
+  env::World world(CrossCampus(), params);
+
+  baselines::RunOptions garl_options;
+  garl_options.train_iterations = 2;
+  garl_options.eval_episodes = 2;
+  garl_options.seed = 7;
+  double garl = baselines::TrainAndEvaluate(world, "GARL", garl_options)
+                    .metrics.efficiency;
+
+  baselines::RunOptions random_options;
+  random_options.train_iterations = 0;
+  random_options.eval_episodes = 2;
+  random_options.seed = 7;
+  double random = baselines::TrainAndEvaluate(world, "Random",
+                                              random_options)
+                      .metrics.efficiency;
+  EXPECT_GT(garl, random);
+}
+
+TEST(IntegrationTest, DeterministicGivenSeeds) {
+  env::WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 20;
+  env::World world(CrossCampus(), params);
+  baselines::RunOptions options;
+  options.train_iterations = 1;
+  options.seed = 13;
+  double a = baselines::TrainAndEvaluate(world, "GARL", options)
+                 .metrics.efficiency;
+  double b = baselines::TrainAndEvaluate(world, "GARL", options)
+                 .metrics.efficiency;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(IntegrationTest, GarlPolicyCheckpointRoundTrip) {
+  env::WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 20;
+  env::World world(CrossCampus(), params);
+  rl::EnvContext context = rl::MakeEnvContext(world);
+  Rng rng(3);
+  auto policy = std::move(baselines::MakeUgvPolicy(
+                              "GARL", context, baselines::MethodOptions(),
+                              rng))
+                    .value();
+  std::string path = "/tmp/garl_integration_ckpt.bin";
+  ASSERT_TRUE(nn::SaveParameters(policy->Parameters(), path).ok());
+
+  Rng rng2(99);
+  auto restored = std::move(baselines::MakeUgvPolicy(
+                                "GARL", context, baselines::MethodOptions(),
+                                rng2))
+                      .value();
+  std::vector<nn::Tensor> restored_params = restored->Parameters();
+  ASSERT_TRUE(nn::LoadParameters(path, restored_params).ok());
+
+  // Identical parameters -> identical outputs.
+  std::vector<env::UgvObservation> obs = {world.ObserveUgv(0),
+                                          world.ObserveUgv(1)};
+  auto out_a = policy->Forward(obs);
+  auto out_b = restored->Forward(obs);
+  for (size_t u = 0; u < out_a.size(); ++u) {
+    EXPECT_EQ(out_a[u].target_logits.data(), out_b[u].target_logits.data());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, EvaluatorWorksWithAllControllers) {
+  env::WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 20;
+  env::World world(CrossCampus(), params);
+  rl::EnvContext context = rl::MakeEnvContext(world);
+  Rng rng(5);
+  auto policy = std::move(baselines::MakeUgvPolicy(
+                              "GAT", context, baselines::MethodOptions(),
+                              rng))
+                    .value();
+  rl::EvalOptions options;
+  options.episodes = 1;
+  rl::GreedyUavController greedy;
+  rl::RandomUavController random;
+  env::EpisodeMetrics with_greedy =
+      rl::EvaluatePolicy(world, *policy, greedy, options);
+  env::EpisodeMetrics with_random =
+      rl::EvaluatePolicy(world, *policy, random, options);
+  // The purposeful controller should collect at least as much data.
+  EXPECT_GE(with_greedy.data_collection_ratio,
+            with_random.data_collection_ratio);
+}
+
+TEST(IntegrationTest, LayerSweepConfigsAllTrain) {
+  // Table II machinery: every (L^MC, L^E) in the sweep grid must train.
+  env::WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 16;
+  env::World world(CrossCampus(), params);
+  rl::EnvContext context = rl::MakeEnvContext(world);
+  for (int64_t layers : {1, 3, 5}) {
+    Rng rng(7);
+    baselines::MethodOptions method;
+    method.mc_layers = layers;
+    method.e_layers = layers;
+    auto policy = std::move(
+        baselines::MakeUgvPolicy("GARL", context, method, rng)).value();
+    rl::TrainConfig config;
+    config.iterations = 1;
+    config.epochs = 1;
+    config.seed = 2;
+    rl::IppoTrainer trainer(&world, policy.get(), nullptr, config);
+    rl::IterationStats stats = trainer.RunIteration();
+    EXPECT_TRUE(std::isfinite(stats.policy_loss)) << layers;
+  }
+}
+
+}  // namespace
+}  // namespace garl

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "core/mc_gcn.h"
+
+#include "graph/shortest_path.h"
+#include "graph/laplacian.h"
+#include "nn/ops.h"
+
+namespace garl::core {
+namespace {
+
+// Path graph of 6 stops at x = 0..5.
+rl::EnvContext PathContext(int64_t n = 6) {
+  graph::Graph g(n);
+  for (int64_t i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1, 1.0);
+  rl::EnvContext context;
+  context.num_stops = n;
+  context.num_ugvs = 2;
+  context.laplacian = graph::NormalizedLaplacian(g);
+  for (int64_t b = 0; b < n; ++b) {
+    context.hops.push_back(graph::BfsHops(g, b));
+  }
+  context.stop_xy = nn::Tensor::Zeros({n, 2});
+  for (int64_t b = 0; b < n; ++b) {
+    context.stop_xy.set({b, 0}, static_cast<float>(b) / n);
+  }
+  return context;
+}
+
+nn::Tensor UniformStopFeatures(const rl::EnvContext& context) {
+  nn::Tensor x = nn::Tensor::Zeros({context.num_stops, 3});
+  for (int64_t b = 0; b < context.num_stops; ++b) {
+    x.set({b, 0}, context.stop_xy.at({b, 0}));
+    x.set({b, 2}, 0.5f);
+  }
+  return x;
+}
+
+TEST(HopRelevanceTest, ReciprocalOfHops) {
+  rl::EnvContext context = PathContext();
+  nn::Tensor s = HopRelevance(context, 0, /*threshold=*/8);
+  EXPECT_FLOAT_EQ(s.data()[0], 1.0f);        // self: 1/(0+1)
+  EXPECT_FLOAT_EQ(s.data()[1], 0.5f);        // 1/(1+1)
+  EXPECT_FLOAT_EQ(s.data()[3], 0.25f);
+}
+
+TEST(HopRelevanceTest, ThresholdCutsFarNodes) {
+  rl::EnvContext context = PathContext();
+  nn::Tensor s = HopRelevance(context, 0, /*threshold=*/2);
+  EXPECT_GT(s.data()[2], 0.0f);
+  EXPECT_FLOAT_EQ(s.data()[3], 0.0f);  // beyond q: unreachable
+  EXPECT_FLOAT_EQ(s.data()[5], 0.0f);
+}
+
+TEST(McGcnTest, StructureFeaturesSubtractOtherCenters) {
+  rl::EnvContext context = PathContext();
+  Rng rng(1);
+  McGcn mc(context, McGcnConfig{}, rng);
+  // UGV 0 at node 0, UGV 1 at node 5.
+  nn::Tensor s = mc.StructureFeatures({0, 5}, 0);
+  // Node 0: own 1.0 minus other's 1/6 -> strongly positive.
+  EXPECT_GT(s.data()[0], 0.5f);
+  // Node 5: own 1/6 minus other's 1.0 -> strongly negative.
+  EXPECT_LT(s.data()[5], -0.5f);
+  // Antisymmetry between the two viewpoints.
+  nn::Tensor s1 = mc.StructureFeatures({0, 5}, 1);
+  for (int64_t b = 0; b < 6; ++b) {
+    EXPECT_NEAR(s.data()[b], -s1.data()[b], 1e-6f);
+  }
+}
+
+TEST(McGcnTest, StructureFeaturesSingleUgvIsPlainRelevance) {
+  rl::EnvContext context = PathContext();
+  context.num_ugvs = 1;
+  Rng rng(2);
+  McGcn mc(context, McGcnConfig{}, rng);
+  nn::Tensor s = mc.StructureFeatures({2}, 0);
+  nn::Tensor r = mc.Relevance(2);
+  EXPECT_EQ(s.data(), r.data());
+}
+
+TEST(McGcnTest, ForwardShapes) {
+  rl::EnvContext context = PathContext();
+  Rng rng(3);
+  McGcnConfig config;
+  config.layers = 2;
+  config.out_dim = 24;
+  McGcn mc(context, config, rng);
+  McGcn::Output out = mc.Forward(UniformStopFeatures(context), {0, 5}, 0);
+  EXPECT_EQ(out.feature.shape(), (std::vector<int64_t>{24}));
+  EXPECT_EQ(out.attention.shape(), (std::vector<int64_t>{6}));
+}
+
+TEST(McGcnTest, AttentionIsPositiveAndNormalized) {
+  rl::EnvContext context = PathContext();
+  Rng rng(4);
+  McGcn mc(context, McGcnConfig{}, rng);
+  McGcn::Output out = mc.Forward(UniformStopFeatures(context), {0, 5}, 0);
+  float sum = 0.0f;
+  for (float c : out.attention.data()) {
+    EXPECT_GT(c, 0.0f);
+    sum += c;
+  }
+  // Softmax scaled by B: weights sum to B.
+  EXPECT_NEAR(sum, 6.0f, 1e-3f);
+}
+
+TEST(McGcnTest, DifferentUgvsGetDifferentFeatures) {
+  rl::EnvContext context = PathContext();
+  context.num_ugvs = 3;
+  Rng rng(5);
+  McGcn mc(context, McGcnConfig{}, rng);
+  nn::Tensor x = UniformStopFeatures(context);
+  McGcn::Output a = mc.Forward(x, {0, 5, 2}, 0);
+  McGcn::Output b = mc.Forward(x, {0, 5, 2}, 1);
+  float diff = 0.0f;
+  for (int64_t i = 0; i < a.feature.numel(); ++i) {
+    diff += std::fabs(a.feature.data()[i] - b.feature.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(McGcnTest, GradientsFlowToAllParameters) {
+  rl::EnvContext context = PathContext();
+  Rng rng(6);
+  McGcnConfig config;
+  config.layers = 2;
+  McGcn mc(context, config, rng);
+  McGcn::Output out = mc.Forward(UniformStopFeatures(context), {1, 4}, 0);
+  nn::Sum(nn::Square(out.feature)).Backward();
+  for (const nn::Tensor& p : mc.Parameters()) {
+    float norm = 0.0f;
+    for (float g : p.grad()) norm += g * g;
+    EXPECT_GT(norm, 0.0f) << "parameter with zero grad, shape "
+                          << p.ShapeString();
+  }
+}
+
+// Layer-count sweep: forward stays finite for L^MC in 1..5 (Table II range).
+class McGcnLayersTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(McGcnLayersTest, ForwardFiniteAcrossDepths) {
+  rl::EnvContext context = PathContext();
+  Rng rng(7);
+  McGcnConfig config;
+  config.layers = GetParam();
+  McGcn mc(context, config, rng);
+  McGcn::Output out = mc.Forward(UniformStopFeatures(context), {0, 3}, 0);
+  for (float v : out.feature.data()) EXPECT_TRUE(std::isfinite(v));
+  for (float v : out.attention.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, McGcnLayersTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace garl::core

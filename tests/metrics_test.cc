@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "env/metrics.h"
+
+namespace garl::env {
+namespace {
+
+std::vector<SensorState> Sensors(std::vector<std::pair<double, double>>
+                                     initial_remaining) {
+  std::vector<SensorState> sensors;
+  for (auto [init, rem] : initial_remaining) {
+    sensors.push_back({{0, 0}, init, rem});
+  }
+  return sensors;
+}
+
+TEST(MetricsTest, DataCollectionRatioBounds) {
+  EXPECT_DOUBLE_EQ(
+      DataCollectionRatio(Sensors({{100, 100}, {200, 200}})), 0.0);
+  EXPECT_DOUBLE_EQ(DataCollectionRatio(Sensors({{100, 0}, {200, 0}})), 1.0);
+  EXPECT_DOUBLE_EQ(DataCollectionRatio(Sensors({{100, 50}, {100, 50}})),
+                   0.5);
+}
+
+TEST(MetricsTest, DataCollectionRatioEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(DataCollectionRatio({}), 0.0);
+}
+
+TEST(MetricsTest, FairnessOneWhenUniform) {
+  // Equal collected fractions -> Jain index ~ 1.
+  EXPECT_NEAR(Fairness(Sensors({{100, 50}, {200, 100}, {300, 150}})), 1.0,
+              1e-6);
+}
+
+TEST(MetricsTest, FairnessDropsWhenSkewed) {
+  double skewed = Fairness(Sensors({{100, 0}, {100, 100}, {100, 100}}));
+  EXPECT_NEAR(skewed, 1.0 / 3.0, 1e-6);
+}
+
+TEST(MetricsTest, FairnessZeroWhenNothingCollected) {
+  EXPECT_NEAR(Fairness(Sensors({{100, 100}, {100, 100}})), 0.0, 1e-6);
+}
+
+TEST(MetricsTest, CooperationFactor) {
+  EXPECT_DOUBLE_EQ(CooperationFactor(10, 7), 0.7);
+  EXPECT_DOUBLE_EQ(CooperationFactor(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(CooperationFactor(5, 5), 1.0);
+}
+
+TEST(MetricsTest, EnergyRatioWithCharging) {
+  // consumed / (initial + charged).
+  EXPECT_DOUBLE_EQ(EnergyRatio(10.0, 20.0, 5.0), 0.4);
+  EXPECT_DOUBLE_EQ(EnergyRatio(0.0, 20.0, 0.0), 0.0);
+}
+
+TEST(MetricsTest, EfficiencyComposition) {
+  EXPECT_NEAR(Efficiency(0.5, 0.8, 0.9, 0.4), 0.5 * 0.8 * 0.9 / 0.4, 1e-9);
+}
+
+TEST(MetricsTest, EfficiencyFiniteAtZeroBeta) {
+  double lambda = Efficiency(0.5, 0.5, 0.5, 0.0);
+  EXPECT_TRUE(std::isfinite(lambda));
+}
+
+TEST(MetricsTest, MakeMetricsBundles) {
+  EpisodeMetrics m = MakeMetrics(0.6, 0.7, 0.8, 0.3);
+  EXPECT_DOUBLE_EQ(m.data_collection_ratio, 0.6);
+  EXPECT_DOUBLE_EQ(m.fairness, 0.7);
+  EXPECT_DOUBLE_EQ(m.cooperation_factor, 0.8);
+  EXPECT_DOUBLE_EQ(m.energy_ratio, 0.3);
+  EXPECT_NEAR(m.efficiency, 0.6 * 0.7 * 0.8 / 0.3, 1e-9);
+}
+
+// Property sweep: Jain fairness always lies in (0, 1].
+class FairnessPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairnessPropertyTest, StaysInUnitInterval) {
+  int seed = GetParam();
+  std::vector<SensorState> sensors;
+  unsigned state = static_cast<unsigned>(seed) * 2654435761u + 1u;
+  auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return (state >> 8) % 1000 / 1000.0;
+  };
+  for (int i = 0; i < 20; ++i) {
+    double init = 100.0 + 100.0 * next();
+    double rem = init * next();
+    sensors.push_back({{0, 0}, init, rem});
+  }
+  double xi = Fairness(sensors);
+  EXPECT_GE(xi, 0.0);
+  EXPECT_LE(xi, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairnessPropertyTest,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace garl::env

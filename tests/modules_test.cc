@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/lstm_cell.h"
+#include "nn/mlp.h"
+#include "nn/ops.h"
+#include "nn/serialization.h"
+
+namespace garl::nn {
+namespace {
+
+TEST(LinearTest, OutputShape) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  Tensor x = Tensor::Zeros({5, 4});
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{5, 3}));
+}
+
+TEST(LinearTest, VectorInputYieldsVector) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  Tensor y = layer.Forward(Tensor::Zeros({4}));
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{3}));
+}
+
+TEST(LinearTest, ZeroInputGivesBias) {
+  Rng rng(2);
+  Linear layer(2, 2, rng);
+  layer.bias().set({0}, 7.0f);
+  layer.bias().set({1}, -1.0f);
+  Tensor y = layer.Forward(Tensor::Zeros({2}));
+  EXPECT_FLOAT_EQ(y.data()[0], 7.0f);
+  EXPECT_FLOAT_EQ(y.data()[1], -1.0f);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(3);
+  Linear layer(2, 2, rng, /*with_bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+  Tensor y = layer.Forward(Tensor::Zeros({2}));
+  EXPECT_FLOAT_EQ(y.data()[0], 0.0f);
+}
+
+TEST(LinearTest, GradientsReachParameters) {
+  Rng rng(4);
+  Linear layer(3, 2, rng);
+  Tensor x = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor loss = Sum(Square(layer.Forward(x)));
+  loss.Backward();
+  float weight_grad_norm = 0;
+  for (float g : layer.weight().grad()) weight_grad_norm += g * g;
+  EXPECT_GT(weight_grad_norm, 0.0f);
+}
+
+TEST(MlpTest, ParametersCount) {
+  Rng rng(5);
+  Mlp mlp({4, 8, 2}, Activation::kTanh, rng);
+  // Two Linear layers, each weight + bias.
+  EXPECT_EQ(mlp.Parameters().size(), 4u);
+  EXPECT_EQ(mlp.NumParameters(), 4 * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(MlpTest, ForwardShapes) {
+  Rng rng(6);
+  Mlp mlp({4, 8, 8, 2}, Activation::kRelu, rng);
+  EXPECT_EQ(mlp.Forward(Tensor::Zeros({4})).shape(),
+            (std::vector<int64_t>{2}));
+  EXPECT_EQ(mlp.Forward(Tensor::Zeros({7, 4})).shape(),
+            (std::vector<int64_t>{7, 2}));
+}
+
+TEST(MlpTest, ActivateOutputBoundsTanh) {
+  Rng rng(7);
+  Mlp mlp({2, 4, 3}, Activation::kTanh, rng, /*activate_output=*/true);
+  Tensor y = mlp.Forward(Tensor::FromVector({2}, {100, -100}));
+  for (float v : y.data()) {
+    EXPECT_LE(v, 1.0f);
+    EXPECT_GE(v, -1.0f);
+  }
+}
+
+TEST(ActivateTest, AllVariants) {
+  Tensor x = Tensor::FromVector({2}, {-1, 1});
+  EXPECT_EQ(Activate(x, Activation::kNone).data(), x.data());
+  EXPECT_EQ(Activate(x, Activation::kRelu).data(),
+            (std::vector<float>{0, 1}));
+  EXPECT_NEAR(Activate(x, Activation::kSigmoid).data()[1], 0.7310586f,
+              1e-5f);
+}
+
+TEST(LstmCellTest, StateShapesAndEvolution) {
+  Rng rng(8);
+  LstmCell cell(3, 5, rng);
+  auto state = cell.InitialState();
+  EXPECT_EQ(state.h.shape(), (std::vector<int64_t>{5}));
+  auto next = cell.Forward(Tensor::FromVector({3}, {1, 0, -1}), state);
+  EXPECT_EQ(next.h.shape(), (std::vector<int64_t>{5}));
+  // A nonzero input must change the state.
+  float diff = 0;
+  for (int i = 0; i < 5; ++i) diff += std::fabs(next.h.data()[i]);
+  EXPECT_GT(diff, 0.0f);
+}
+
+TEST(LstmCellTest, HiddenStaysBounded) {
+  Rng rng(9);
+  LstmCell cell(2, 4, rng);
+  auto state = cell.InitialState();
+  for (int t = 0; t < 50; ++t) {
+    state = cell.Forward(Tensor::FromVector({2}, {5, -5}), state);
+  }
+  for (float v : state.h.data()) {
+    EXPECT_LE(std::fabs(v), 1.0f);  // |h| <= |tanh(c)| <= 1
+  }
+}
+
+TEST(LstmCellTest, GradFlowsThroughTime) {
+  Rng rng(10);
+  LstmCell cell(2, 3, rng);
+  auto state = cell.InitialState();
+  Tensor x = Tensor::FromVector({2}, {0.5f, -0.5f});
+  for (int t = 0; t < 3; ++t) state = cell.Forward(x, state);
+  Sum(Square(state.h)).Backward();
+  float norm = 0;
+  for (const Tensor& p : cell.Parameters()) {
+    for (float g : p.grad()) norm += g * g;
+  }
+  EXPECT_GT(norm, 0.0f);
+}
+
+TEST(Conv2dLayerTest, OutputSizeFormula) {
+  Rng rng(11);
+  Conv2dLayer layer(1, 4, /*kernel=*/3, /*stride=*/2, /*padding=*/1, rng);
+  EXPECT_EQ(layer.OutputSize(15), 8);
+  Tensor out = layer.Forward(Tensor::Zeros({1, 1, 15, 15}));
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 4, 8, 8}));
+}
+
+TEST(Conv2dLayerTest, ParameterCount) {
+  Rng rng(12);
+  Conv2dLayer layer(3, 8, 3, 1, 0, rng);
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+  EXPECT_EQ(layer.Parameters()[0].numel(), 8 * 3 * 3 * 3);
+}
+
+TEST(SerializationTest, RoundTripPreservesValues) {
+  Rng rng(13);
+  Mlp mlp({3, 4, 2}, Activation::kTanh, rng);
+  std::string path = "/tmp/garl_test_params.bin";
+  ASSERT_TRUE(SaveParameters(mlp.Parameters(), path).ok());
+
+  Rng rng2(99);  // different init
+  Mlp loaded({3, 4, 2}, Activation::kTanh, rng2);
+  std::vector<Tensor> params = loaded.Parameters();
+  ASSERT_TRUE(LoadParameters(path, params).ok());
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(params[i].data(), mlp.Parameters()[i].data());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ShapeMismatchIsError) {
+  Rng rng(14);
+  Mlp small({2, 2}, Activation::kNone, rng);
+  std::string path = "/tmp/garl_test_params2.bin";
+  ASSERT_TRUE(SaveParameters(small.Parameters(), path).ok());
+  Mlp big({3, 3}, Activation::kNone, rng);
+  std::vector<Tensor> params = big.Parameters();
+  EXPECT_FALSE(LoadParameters(path, params).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsError) {
+  std::vector<Tensor> params;
+  EXPECT_FALSE(LoadParameters("/tmp/does_not_exist_garl.bin", params).ok());
+}
+
+}  // namespace
+}  // namespace garl::nn

@@ -1,0 +1,156 @@
+// Stress / robustness tests for the tensor engine: larger shapes,
+// numerical stability, end-to-end learning on a nonlinear task, and
+// memory-behaviour checks of the autograd graph.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/distributions.h"
+#include "nn/mlp.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+
+namespace garl::nn {
+namespace {
+
+TEST(NnStressTest, LargeMatMulMatchesAccumulation) {
+  // [64x128] x [128x32] against a direct scalar accumulation on a probe.
+  Rng rng(1);
+  Tensor a = Tensor::Zeros({64, 128});
+  Tensor b = Tensor::Zeros({128, 32});
+  for (float& v : a.mutable_data()) v = rng.UniformF(-1, 1);
+  for (float& v : b.mutable_data()) v = rng.UniformF(-1, 1);
+  Tensor c = MatMul(a, b);
+  double expect = 0;
+  for (int64_t k = 0; k < 128; ++k) {
+    expect += static_cast<double>(a.at({17, k})) * b.at({k, 29});
+  }
+  EXPECT_NEAR(c.at({17, 29}), static_cast<float>(expect), 1e-3f);
+}
+
+TEST(NnStressTest, SoftmaxStableAtExtremeLogits) {
+  Tensor logits = Tensor::FromVector({3}, {1000.0f, -1000.0f, 999.0f});
+  auto p = Softmax(logits).data();
+  for (float v : p) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0f, 1e-5f);
+  EXPECT_GT(p[0], p[2]);
+  EXPECT_NEAR(p[1], 0.0f, 1e-6f);
+}
+
+TEST(NnStressTest, LogSoftmaxStableAtExtremeLogits) {
+  Tensor logits = Tensor::FromVector({2}, {800.0f, -800.0f});
+  auto ls = LogSoftmax(logits).data();
+  EXPECT_NEAR(ls[0], 0.0f, 1e-5f);
+  EXPECT_TRUE(std::isfinite(ls[1]));
+}
+
+TEST(NnStressTest, ExpOverflowStaysIEEE) {
+  Tensor t = Tensor::FromVector({1}, {200.0f});
+  EXPECT_TRUE(std::isinf(Exp(t).data()[0]));  // inf, not UB
+}
+
+TEST(NnStressTest, DeepChainBackwardCompletes) {
+  // 200-deep elementwise chain: recursion-free topological backward.
+  Tensor x = Tensor::FromVector({4}, {0.1f, 0.2f, 0.3f, 0.4f},
+                                /*requires_grad=*/true);
+  Tensor y = x;
+  for (int i = 0; i < 200; ++i) y = Tanh(y);
+  Sum(y).Backward();
+  for (float g : x.grad()) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(NnStressTest, MlpLearnsXor) {
+  Rng rng(3);
+  Mlp mlp({2, 8, 1}, Activation::kTanh, rng);
+  Adam opt(mlp.Parameters(), 0.05f);
+  const float inputs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const float targets[4] = {0, 1, 1, 0};
+  for (int epoch = 0; epoch < 500; ++epoch) {
+    opt.ZeroGrad();
+    std::vector<Tensor> losses;
+    for (int i = 0; i < 4; ++i) {
+      Tensor x = Tensor::FromVector({2}, {inputs[i][0], inputs[i][1]});
+      Tensor pred = mlp.Forward(x);
+      losses.push_back(nn::Reshape(
+          MseLoss(pred, Tensor::FromVector({1}, {targets[i]})), {1}));
+    }
+    MulScalar(Sum(Concat(losses, 0)), 0.25f).Backward();
+    opt.Step();
+  }
+  for (int i = 0; i < 4; ++i) {
+    Tensor x = Tensor::FromVector({2}, {inputs[i][0], inputs[i][1]});
+    float pred = mlp.Forward(x).data()[0];
+    EXPECT_NEAR(pred, targets[i], 0.25f) << "case " << i;
+  }
+}
+
+TEST(NnStressTest, NoGradForwardLeavesNoGraph) {
+  Tensor w = Tensor::FromVector({2}, {1, 2}, /*requires_grad=*/true);
+  Tensor out;
+  {
+    NoGradGuard guard;
+    out = Mul(w, w);
+  }
+  EXPECT_FALSE(out.requires_grad());
+  EXPECT_TRUE(out.impl()->parents.empty());
+}
+
+TEST(NnStressTest, RepeatedForwardsDoNotAccumulateLeakedParents) {
+  // Each fresh forward builds its own graph; the previous one must be
+  // droppable (shared_ptr graph, no cycles).
+  Tensor w = Tensor::FromVector({4}, {1, 2, 3, 4}, /*requires_grad=*/true);
+  std::weak_ptr<internal::TensorImpl> probe;
+  {
+    Tensor out = Sum(Square(w));
+    probe = out.impl();
+  }
+  EXPECT_TRUE(probe.expired());  // graph freed once the handle is gone
+}
+
+TEST(NnStressTest, CategoricalEntropyGradientDirection) {
+  // Maximizing entropy should flatten the distribution.
+  Tensor logits = Tensor::FromVector({3}, {2.0f, 0.0f, -2.0f},
+                                     /*requires_grad=*/true);
+  Adam opt({logits}, 0.1f);
+  for (int step = 0; step < 200; ++step) {
+    opt.ZeroGrad();
+    Categorical dist(logits);
+    Neg(dist.Entropy()).Backward();
+    opt.Step();
+  }
+  auto p = Categorical(logits).Probabilities();
+  for (float v : p) EXPECT_NEAR(v, 1.0f / 3.0f, 0.02f);
+}
+
+TEST(NnStressTest, ClipGradNormHandlesZeroGradients) {
+  Tensor w = Tensor::FromVector({3}, {1, 2, 3}, /*requires_grad=*/true);
+  Adam opt({w}, 0.1f);
+  opt.ZeroGrad();
+  EXPECT_FLOAT_EQ(opt.ClipGradNorm(1.0f), 0.0f);  // no NaN from 0/0
+}
+
+TEST(NnStressTest, Conv2dBatchMatchesPerSample) {
+  Rng rng(5);
+  Tensor weight = Tensor::Zeros({2, 1, 3, 3});
+  for (float& v : weight.mutable_data()) v = rng.UniformF(-1, 1);
+  Tensor a = Tensor::Zeros({1, 1, 5, 5});
+  Tensor b = Tensor::Zeros({1, 1, 5, 5});
+  for (float& v : a.mutable_data()) v = rng.UniformF(-1, 1);
+  for (float& v : b.mutable_data()) v = rng.UniformF(-1, 1);
+  std::vector<float> batched_data = a.data();
+  batched_data.insert(batched_data.end(), b.data().begin(),
+                      b.data().end());
+  Tensor batch = Tensor::FromVector({2, 1, 5, 5}, batched_data);
+  Tensor out_batch = Conv2d(batch, weight, Tensor(), 1, 1);
+  Tensor out_a = Conv2d(a, weight, Tensor(), 1, 1);
+  Tensor out_b = Conv2d(b, weight, Tensor(), 1, 1);
+  for (int64_t i = 0; i < out_a.numel(); ++i) {
+    EXPECT_FLOAT_EQ(out_batch.data()[i], out_a.data()[i]);
+    EXPECT_FLOAT_EQ(out_batch.data()[out_a.numel() + i], out_b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace garl::nn

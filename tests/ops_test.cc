@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+// Forward-value tests for every op; gradients are covered in autograd_test.
+
+namespace garl::nn {
+namespace {
+
+Tensor Vec(std::vector<float> v) {
+  int64_t n = static_cast<int64_t>(v.size());
+  return Tensor::FromVector({n}, std::move(v));
+}
+
+TEST(OpsTest, AddSubMulDiv) {
+  Tensor a = Vec({1, 2, 3});
+  Tensor b = Vec({4, 5, 6});
+  EXPECT_EQ(Add(a, b).data(), (std::vector<float>{5, 7, 9}));
+  EXPECT_EQ(Sub(a, b).data(), (std::vector<float>{-3, -3, -3}));
+  EXPECT_EQ(Mul(a, b).data(), (std::vector<float>{4, 10, 18}));
+  EXPECT_FLOAT_EQ(Div(a, b).data()[0], 0.25f);
+}
+
+TEST(OpsTest, ScalarOps) {
+  Tensor a = Vec({1, -2});
+  EXPECT_EQ(AddScalar(a, 3).data(), (std::vector<float>{4, 1}));
+  EXPECT_EQ(MulScalar(a, -2).data(), (std::vector<float>{-2, 4}));
+  EXPECT_EQ((-a).data(), (std::vector<float>{-1, 2}));
+}
+
+TEST(OpsTest, AddRowVector) {
+  Tensor m = Tensor::FromVector({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor b = Vec({10, 20, 30});
+  Tensor out = AddRowVector(m, b);
+  EXPECT_EQ(out.data(), (std::vector<float>{10, 20, 30, 11, 21, 31}));
+}
+
+TEST(OpsTest, UnaryMath) {
+  Tensor a = Vec({0.0f, 1.0f});
+  EXPECT_FLOAT_EQ(Exp(a).data()[1], std::exp(1.0f));
+  EXPECT_FLOAT_EQ(Log(Vec({std::exp(2.0f)})).data()[0], 2.0f);
+  EXPECT_FLOAT_EQ(Sqrt(Vec({9.0f})).data()[0], 3.0f);
+  EXPECT_FLOAT_EQ(Square(Vec({-3.0f})).data()[0], 9.0f);
+}
+
+TEST(OpsTest, Activations) {
+  Tensor a = Vec({-1.0f, 2.0f});
+  EXPECT_EQ(Relu(a).data(), (std::vector<float>{0, 2}));
+  EXPECT_FLOAT_EQ(Tanh(a).data()[1], std::tanh(2.0f));
+  EXPECT_NEAR(Sigmoid(Vec({0.0f})).data()[0], 0.5f, 1e-6f);
+}
+
+TEST(OpsTest, ClipClamps) {
+  Tensor a = Vec({-5, 0.5, 5});
+  EXPECT_EQ(Clip(a, -1, 1).data(), (std::vector<float>{-1, 0.5, 1}));
+}
+
+TEST(OpsTest, MatMul) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<int64_t>{2, 2}));
+  EXPECT_EQ(c.data(), (std::vector<float>{58, 64, 139, 154}));
+}
+
+TEST(OpsTest, MatMulIdentity) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor c = MatMul(a, Tensor::Eye(2));
+  EXPECT_EQ(c.data(), a.data());
+}
+
+TEST(OpsTest, Transpose) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(a);
+  EXPECT_EQ(t.shape(), (std::vector<int64_t>{3, 2}));
+  EXPECT_EQ(t.data(), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(Sum(a).item(), 21.0f);
+  EXPECT_FLOAT_EQ(Mean(a).item(), 3.5f);
+  EXPECT_EQ(SumDim(a, 0).data(), (std::vector<float>{5, 7, 9}));
+  EXPECT_EQ(SumDim(a, 1).data(), (std::vector<float>{6, 15}));
+}
+
+TEST(OpsTest, NormAndDot) {
+  Tensor a = Vec({3, 4});
+  EXPECT_NEAR(Norm(a).item(), 5.0f, 1e-4f);
+  EXPECT_FLOAT_EQ(Dot(a, Vec({1, 2})).item(), 11.0f);
+}
+
+TEST(OpsTest, SoftmaxSumsToOne) {
+  Tensor a = Vec({1, 2, 3});
+  auto p = Softmax(a).data();
+  float total = p[0] + p[1] + p[2];
+  EXPECT_NEAR(total, 1.0f, 1e-6f);
+  EXPECT_GT(p[2], p[1]);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(OpsTest, SoftmaxShiftInvariant) {
+  auto p1 = Softmax(Vec({1, 2, 3})).data();
+  auto p2 = Softmax(Vec({101, 102, 103})).data();
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(p1[i], p2[i], 1e-6f);
+}
+
+TEST(OpsTest, SoftmaxRowwiseFor2d) {
+  Tensor a = Tensor::FromVector({2, 2}, {0, 0, 10, 0});
+  auto p = Softmax(a).data();
+  EXPECT_NEAR(p[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(p[1], 0.5f, 1e-6f);
+  EXPECT_GT(p[2], 0.99f);
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor a = Vec({0.3f, -1.2f, 2.0f});
+  auto ls = LogSoftmax(a).data();
+  auto s = Softmax(a).data();
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(ls[i], std::log(s[i]), 1e-5f);
+}
+
+TEST(OpsTest, ReshapePreservesData) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(a, {3, 2});
+  EXPECT_EQ(r.shape(), (std::vector<int64_t>{3, 2}));
+  EXPECT_EQ(r.data(), a.data());
+}
+
+TEST(OpsTest, RowsSlice) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Rows(a, 1, 2);
+  EXPECT_EQ(r.data(), (std::vector<float>{3, 4, 5, 6}));
+}
+
+TEST(OpsTest, IndexRowsGathersAndRepeats) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = IndexRows(a, {2, 0, 2});
+  EXPECT_EQ(g.data(), (std::vector<float>{5, 6, 1, 2, 5, 6}));
+}
+
+TEST(OpsTest, Gather1d) {
+  EXPECT_FLOAT_EQ(Gather1d(Vec({1, 2, 3}), 1).item(), 2.0f);
+}
+
+TEST(OpsTest, ConcatDim0AndDim1) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({1, 2}, {3, 4});
+  EXPECT_EQ(Concat({a, b}, 0).data(), (std::vector<float>{1, 2, 3, 4}));
+  EXPECT_EQ(Concat({a, b}, 1).data(), (std::vector<float>{1, 2, 3, 4}));
+  EXPECT_EQ(Concat({a, b}, 1).shape(), (std::vector<int64_t>{1, 4}));
+  EXPECT_EQ(Concat({Vec({1}), Vec({2, 3})}, 0).data(),
+            (std::vector<float>{1, 2, 3}));
+}
+
+TEST(OpsTest, StackMakesMatrix) {
+  Tensor s = Stack({Vec({1, 2}), Vec({3, 4}), Vec({5, 6})});
+  EXPECT_EQ(s.shape(), (std::vector<int64_t>{3, 2}));
+  EXPECT_EQ(s.data(), (std::vector<float>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(OpsTest, MseLoss) {
+  Tensor pred = Vec({1, 2});
+  Tensor target = Vec({0, 0});
+  EXPECT_FLOAT_EQ(MseLoss(pred, target).item(), 2.5f);
+}
+
+TEST(OpsTest, Conv2dIdentityKernel) {
+  // 1x1 kernel with weight 1 reproduces the input.
+  Tensor input = Tensor::FromVector({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor weight = Tensor::FromVector({1, 1, 1, 1}, {1});
+  Tensor out = Conv2d(input, weight, Tensor(), 1, 0);
+  EXPECT_EQ(out.data(), input.data());
+}
+
+TEST(OpsTest, Conv2dSumKernel) {
+  // 2x2 all-ones kernel, stride 1, no padding: sums each window.
+  Tensor input = Tensor::FromVector({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor weight = Tensor::FromVector({1, 1, 2, 2}, {1, 1, 1, 1});
+  Tensor out = Conv2d(input, weight, Tensor(), 1, 0);
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(out.data()[0], 10.0f);
+}
+
+TEST(OpsTest, Conv2dStrideAndPadding) {
+  Tensor input = Tensor::FromVector({1, 1, 3, 3},
+                                    {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor weight = Tensor::FromVector({1, 1, 3, 3},
+                                     {0, 0, 0, 0, 1, 0, 0, 0, 0});
+  // Center-tap kernel with padding 1 and stride 2 samples corners of
+  // the padded image's valid centers.
+  Tensor out = Conv2d(input, weight, Tensor(), 2, 1);
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 1, 2, 2}));
+  EXPECT_EQ(out.data(), (std::vector<float>{1, 3, 7, 9}));
+}
+
+TEST(OpsTest, Conv2dBiasApplied) {
+  Tensor input = Tensor::FromVector({1, 1, 1, 1}, {0});
+  Tensor weight = Tensor::FromVector({2, 1, 1, 1}, {1, 1});
+  Tensor bias = Vec({5, -3});
+  Tensor out = Conv2d(input, weight, bias, 1, 0);
+  EXPECT_EQ(out.data(), (std::vector<float>{5, -3}));
+}
+
+TEST(OpsTest, NoGradGuardDisablesGraph) {
+  Tensor a = Tensor::FromVector({2}, {1, 2}, /*requires_grad=*/true);
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(GradModeEnabled());
+    Tensor b = MulScalar(a, 2.0f);
+    EXPECT_FALSE(b.requires_grad());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+  Tensor c = MulScalar(a, 2.0f);
+  EXPECT_TRUE(c.requires_grad());
+}
+
+}  // namespace
+}  // namespace garl::nn

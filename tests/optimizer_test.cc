@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+
+namespace garl::nn {
+namespace {
+
+// Minimizes f(x) = sum((x - target)^2) and returns the final x.
+template <typename Opt, typename... Args>
+std::vector<float> Minimize(std::vector<float> start, float target,
+                            int steps, Args... args) {
+  const int64_t n = static_cast<int64_t>(start.size());
+  Tensor x = Tensor::FromVector({n}, std::move(start), /*requires_grad=*/true);
+  Opt opt({x}, args...);
+  for (int i = 0; i < steps; ++i) {
+    opt.ZeroGrad();
+    Tensor loss = Sum(Square(AddScalar(x, -target)));
+    loss.Backward();
+    opt.Step();
+  }
+  return x.data();
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  auto x = Minimize<Sgd>({10.0f, -4.0f}, 3.0f, 200, 0.1f);
+  EXPECT_NEAR(x[0], 3.0f, 1e-3f);
+  EXPECT_NEAR(x[1], 3.0f, 1e-3f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  auto x = Minimize<Adam>({10.0f, -4.0f}, 3.0f, 500, 0.1f);
+  EXPECT_NEAR(x[0], 3.0f, 1e-2f);
+  EXPECT_NEAR(x[1], 3.0f, 1e-2f);
+}
+
+TEST(AdamTest, HandlesScaleImbalance) {
+  // Adam should make progress on both coordinates despite gradient scale
+  // differences (classic failure mode for plain SGD with one LR).
+  Tensor x = Tensor::FromVector({2}, {1.0f, 1.0f}, /*requires_grad=*/true);
+  Adam opt({x}, 0.05f);
+  for (int i = 0; i < 400; ++i) {
+    opt.ZeroGrad();
+    // f = 1000*x0^2 + 0.001*x1^2
+    Tensor x0 = Gather1d(x, 0);
+    Tensor x1 = Gather1d(x, 1);
+    Tensor loss = Add(MulScalar(Square(x0), 1000.0f),
+                      MulScalar(Square(x1), 0.001f));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.data()[0], 0.0f, 1e-2f);
+  EXPECT_LT(std::fabs(x.data()[1]), 1.0f);
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+  Tensor x = Tensor::FromVector({2}, {1, 2}, /*requires_grad=*/true);
+  Sgd opt({x}, 0.1f);
+  Sum(Square(x)).Backward();
+  EXPECT_NE(x.grad()[0], 0.0f);
+  opt.ZeroGrad();
+  EXPECT_EQ(x.grad()[0], 0.0f);
+  EXPECT_EQ(x.grad()[1], 0.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  Tensor x = Tensor::FromVector({2}, {0, 0}, /*requires_grad=*/true);
+  Sgd opt({x}, 0.1f);
+  x.impl()->grad = {3.0f, 4.0f};  // norm 5
+  float pre = opt.ClipGradNorm(1.0f);
+  EXPECT_NEAR(pre, 5.0f, 1e-5f);
+  float post = std::hypot(x.grad()[0], x.grad()[1]);
+  EXPECT_NEAR(post, 1.0f, 1e-4f);
+}
+
+TEST(OptimizerTest, ClipGradNormNoopWhenSmall) {
+  Tensor x = Tensor::FromVector({2}, {0, 0}, /*requires_grad=*/true);
+  Sgd opt({x}, 0.1f);
+  x.impl()->grad = {0.3f, 0.4f};
+  opt.ClipGradNorm(10.0f);
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.3f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 0.4f);
+}
+
+TEST(OptimizerTest, TrainsLinearRegression) {
+  // y = 2a - b, fit from samples; sanity check for the whole training loop.
+  Rng rng(3);
+  Linear model(2, 1, rng);
+  Adam opt(model.Parameters(), 0.05f);
+  Rng data_rng(17);
+  for (int step = 0; step < 300; ++step) {
+    float a = data_rng.UniformF(-1, 1), b = data_rng.UniformF(-1, 1);
+    Tensor x = Tensor::FromVector({2}, {a, b});
+    Tensor target = Tensor::FromVector({1}, {2 * a - b});
+    opt.ZeroGrad();
+    MseLoss(model.Forward(x), target).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(model.weight().at({0, 0}), 2.0f, 0.1f);
+  EXPECT_NEAR(model.weight().at({0, 1}), -1.0f, 0.1f);
+  EXPECT_NEAR(model.bias().at({0}), 0.0f, 0.1f);
+}
+
+}  // namespace
+}  // namespace garl::nn

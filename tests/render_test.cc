@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "env/campus_factory.h"
+#include "env/render.h"
+#include "env/stop_network.h"
+
+namespace garl::env {
+namespace {
+
+CampusSpec SmallCampus() {
+  CampusSpec campus;
+  campus.name = "small";
+  campus.width = 300;
+  campus.height = 200;
+  campus.roads.push_back({{0, 100}, {300, 100}});
+  campus.buildings.push_back({50, 120, 120, 180});
+  campus.sensors.push_back({{60, 115}, 1000.0});
+  return campus;
+}
+
+TEST(RenderTest, CampusSvgIsWellFormed) {
+  CampusSpec campus = SmallCampus();
+  StopNetwork stops = BuildStopNetwork(campus, 100.0);
+  std::string svg = RenderCampusSvg(campus, &stops);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);    // building
+  EXPECT_NE(svg.find("<line"), std::string::npos);    // road
+  EXPECT_NE(svg.find("<circle"), std::string::npos);  // sensor/stop
+}
+
+TEST(RenderTest, NoStopsVariant) {
+  CampusSpec campus = SmallCampus();
+  std::string svg = RenderCampusSvg(campus, nullptr);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(RenderTest, TracesProducePolylines) {
+  CampusSpec campus = SmallCampus();
+  StopNetwork stops = BuildStopNetwork(campus, 100.0);
+  std::vector<std::vector<Vec2>> ugv = {{{10, 10}, {50, 50}, {90, 90}}};
+  std::vector<std::vector<Vec2>> uav = {{{10, 10}, {30, 80}}};
+  std::string svg = RenderTracesSvg(campus, &stops, ugv, uav);
+  // One solid UGV polyline + one dashed UAV polyline.
+  size_t first = svg.find("<polyline");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(svg.find("<polyline", first + 1), std::string::npos);
+  EXPECT_NE(svg.find("stroke-dasharray"), std::string::npos);
+}
+
+TEST(RenderTest, SinglePointTraceIsSkipped) {
+  CampusSpec campus = SmallCampus();
+  std::vector<std::vector<Vec2>> ugv = {{{10, 10}}};
+  std::string svg = RenderTracesSvg(campus, nullptr, ugv, {});
+  EXPECT_EQ(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(RenderTest, WriteSvgRoundTrip) {
+  std::string path = "/tmp/garl_render_test/out.svg";
+  ASSERT_TRUE(WriteSvg("<svg></svg>", path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "<svg></svg>");
+  std::remove(path.c_str());
+}
+
+TEST(RenderTest, KaistRendersAllBuildings) {
+  CampusSpec kaist = MakeKaistCampus();
+  std::string svg = RenderCampusSvg(kaist, nullptr,
+                                    {.scale = 0.2, .draw_stops = false});
+  size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    ++pos;
+  }
+  EXPECT_EQ(rects, kaist.buildings.size() + 1);  // +1 background
+}
+
+}  // namespace
+}  // namespace garl::env

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "env/campus_factory.h"
+#include "env/world.h"
+#include "nn/mlp.h"
+#include "nn/ops.h"
+#include "rl/evaluator.h"
+#include "rl/feature_policy.h"
+#include "rl/ippo_trainer.h"
+#include "rl/replay_buffer.h"
+#include "rl/rollout.h"
+#include "rl/uav_controller.h"
+
+namespace garl::rl {
+namespace {
+
+env::CampusSpec TinyCampus() {
+  env::CampusSpec campus;
+  campus.name = "tiny";
+  campus.width = 400;
+  campus.height = 400;
+  campus.roads.push_back({{0, 200}, {400, 200}});
+  campus.roads.push_back({{200, 0}, {200, 400}});
+  campus.sensors.push_back({{150, 210}, 1000.0});
+  campus.sensors.push_back({{260, 190}, 1200.0});
+  campus.sensors.push_back({{200, 320}, 900.0});
+  return campus;
+}
+
+env::WorldParams TinyParams() {
+  env::WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 20;
+  params.release_slots = 2;
+  return params;
+}
+
+// Minimal extractor: mean-pooled stop features + own position.
+class PoolExtractor : public UgvFeatureExtractor {
+ public:
+  PoolExtractor(const EnvContext& context, Rng& rng)
+      : proj_(std::make_unique<nn::Linear>(5, 16, rng)) {
+    (void)context;
+  }
+
+  std::vector<nn::Tensor> Extract(
+      const std::vector<env::UgvObservation>& observations) override {
+    std::vector<nn::Tensor> features;
+    for (const auto& obs : observations) {
+      nn::Tensor pooled = nn::MulScalar(
+          nn::SumDim(obs.stop_features, 0),
+          1.0f / static_cast<float>(obs.stop_features.size(0)));
+      nn::Tensor self = nn::Reshape(
+          nn::Rows(obs.ugv_positions, obs.self, 1), {2});
+      features.push_back(
+          nn::Tanh(proj_->Forward(nn::Concat({pooled, self}, 0))));
+    }
+    return features;
+  }
+
+  int64_t feature_dim() const override { return 16; }
+  std::string name() const override { return "pool"; }
+  std::vector<nn::Tensor> Parameters() const override {
+    return proj_->Parameters();
+  }
+
+ private:
+  std::unique_ptr<nn::Linear> proj_;
+};
+
+std::unique_ptr<FeatureUgvPolicy> MakePolicy(const env::World& world,
+                                             Rng& rng) {
+  EnvContext context = MakeEnvContext(world);
+  return std::make_unique<FeatureUgvPolicy>(
+      std::make_unique<PoolExtractor>(context, rng), context,
+      FeaturePolicyOptions{}, rng);
+}
+
+TEST(FeaturePolicyTest, OutputShapes) {
+  env::World world(TinyCampus(), TinyParams());
+  Rng rng(1);
+  auto policy = MakePolicy(world, rng);
+  std::vector<env::UgvObservation> obs = {world.ObserveUgv(0),
+                                          world.ObserveUgv(1)};
+  auto outputs = policy->Forward(obs);
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(outputs[0].release_logits.shape(), (std::vector<int64_t>{2}));
+  EXPECT_EQ(outputs[0].target_logits.shape(),
+            (std::vector<int64_t>{world.stops().num_stops()}));
+  EXPECT_EQ(outputs[0].value.numel(), 1);
+}
+
+TEST(FeaturePolicyTest, ParametersIncludeExtractorAndHeads) {
+  env::World world(TinyCampus(), TinyParams());
+  Rng rng(1);
+  auto policy = MakePolicy(world, rng);
+  // Extractor (2) + trunk/release/target/value heads (2 each).
+  EXPECT_EQ(policy->Parameters().size(), 10u);
+  EXPECT_GT(policy->NumParameters(), 0);
+}
+
+TEST(SampleUgvActionTest, GreedyPicksArgmax) {
+  UgvPolicyOutput out;
+  out.release_logits = nn::Tensor::FromVector({2}, {5.0f, -5.0f});
+  out.target_logits = nn::Tensor::FromVector({4}, {0, 0, 9, 0});
+  out.value = nn::Tensor::Scalar(0.7f);
+  Rng rng(3);
+  SampledUgvAction a = SampleUgvAction(out, rng, /*greedy=*/true);
+  EXPECT_FALSE(a.action.release);
+  EXPECT_EQ(a.action.target_stop, 2);
+  EXPECT_FLOAT_EQ(a.value, 0.7f);
+  EXPECT_LT(a.log_prob, 0.0f);
+}
+
+TEST(SampleUgvActionTest, ReleaseSkipsTargetLogProb) {
+  UgvPolicyOutput out;
+  out.release_logits = nn::Tensor::FromVector({2}, {-9.0f, 9.0f});
+  out.target_logits = nn::Tensor::FromVector({4}, {0, 0, 0, 0});
+  out.value = nn::Tensor::Scalar(0.0f);
+  Rng rng(3);
+  SampledUgvAction a = SampleUgvAction(out, rng, /*greedy=*/true);
+  EXPECT_TRUE(a.action.release);
+  EXPECT_EQ(a.action.target_stop, -1);
+  // log prob ~ log(1) = 0 for the near-certain release choice only.
+  EXPECT_NEAR(a.log_prob, 0.0f, 1e-3f);
+}
+
+TEST(UgvActionLogProbTest, MatchesSampledLogProb) {
+  UgvPolicyOutput out;
+  out.release_logits = nn::Tensor::FromVector({2}, {0.3f, -0.2f});
+  out.target_logits = nn::Tensor::FromVector({3}, {0.1f, 0.5f, -0.4f});
+  out.value = nn::Tensor::Scalar(0.0f);
+  Rng rng(5);
+  SampledUgvAction a = SampleUgvAction(out, rng, /*greedy=*/false);
+  UgvDecision d;
+  d.release = a.action.release ? 1 : 0;
+  d.target = a.action.target_stop;
+  UgvLogProbEntropy lp = UgvActionLogProb(out, d);
+  EXPECT_NEAR(lp.log_prob.item(), a.log_prob, 1e-5f);
+  EXPECT_GT(lp.entropy.item(), 0.0f);
+}
+
+TEST(GreedyUavControllerTest, FliesTowardNearestSensor) {
+  env::World world(TinyCampus(), TinyParams());
+  std::vector<env::UgvAction> release(2, {true, -1});
+  std::vector<env::UavAction> idle(2);
+  world.Step(release, idle);
+  ASSERT_TRUE(world.UavAirborne(0));
+  GreedyUavController controller;
+  Rng rng(7);
+  env::UavAction act = controller.Act(world, 0, rng);
+  // The two sensors near the start stop were drained during the release
+  // slot; the nearest sensor still holding data decides the heading.
+  const env::UavState& uav = world.uavs()[0];
+  const env::SensorState* nearest = nullptr;
+  double best = 1e18;
+  for (const env::SensorState& s : world.sensors()) {
+    if (s.remaining_mb <= 0.0) continue;
+    double d = env::Distance(uav.position, s.position);
+    if (d < best) {
+      best = d;
+      nearest = &s;
+    }
+  }
+  ASSERT_NE(nearest, nullptr);
+  double want_dx = nearest->position.x - uav.position.x;
+  if (want_dx != 0.0) {
+    EXPECT_GT(act.dx * want_dx, 0.0);  // same sign as the bearing
+  }
+  double norm = std::hypot(act.dx, act.dy);
+  EXPECT_LE(norm, world.params().uav_max_dist * 1.2);
+}
+
+TEST(GreedyUavControllerTest, CollectsDataOverEpisode) {
+  env::World world(TinyCampus(), TinyParams());
+  GreedyUavController controller;
+  Rng rng(11);
+  std::vector<env::UgvAction> release(2, {true, -1});
+  while (!world.Done()) {
+    std::vector<env::UavAction> uav_actions(2);
+    for (int64_t v = 0; v < 2; ++v) {
+      if (world.UavAirborne(v)) {
+        uav_actions[static_cast<size_t>(v)] = controller.Act(world, v, rng);
+      }
+    }
+    world.Step(release, uav_actions);
+  }
+  EXPECT_GT(world.Metrics().data_collection_ratio, 0.1);
+}
+
+TEST(IppoTrainerTest, RunsIterationsAndImprovesOrHolds) {
+  env::World world(TinyCampus(), TinyParams());
+  Rng rng(13);
+  auto policy = MakePolicy(world, rng);
+  TrainConfig config;
+  config.iterations = 2;
+  config.epochs = 2;
+  config.seed = 99;
+  IppoTrainer trainer(&world, policy.get(), nullptr, config);
+  auto history = trainer.Train();
+  ASSERT_EQ(history.size(), 2u);
+  for (const auto& it : history) {
+    EXPECT_TRUE(std::isfinite(it.policy_loss));
+    EXPECT_TRUE(std::isfinite(it.value_loss));
+    EXPECT_GE(it.entropy, 0.0);
+    EXPECT_GE(it.metrics.data_collection_ratio, 0.0);
+  }
+}
+
+TEST(IppoTrainerTest, ParametersChangeAfterTraining) {
+  env::World world(TinyCampus(), TinyParams());
+  Rng rng(17);
+  auto policy = MakePolicy(world, rng);
+  std::vector<std::vector<float>> before;
+  for (const auto& p : policy->Parameters()) before.push_back(p.data());
+  TrainConfig config;
+  config.iterations = 1;
+  config.seed = 5;
+  IppoTrainer trainer(&world, policy.get(), nullptr, config);
+  trainer.RunIteration();
+  bool changed = false;
+  auto params = policy->Parameters();
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i].data() != before[i]) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(EvaluatorTest, ReturnsFiniteMetricsAndIsDeterministic) {
+  env::World world(TinyCampus(), TinyParams());
+  Rng rng(19);
+  auto policy = MakePolicy(world, rng);
+  GreedyUavController uav;
+  EvalOptions options;
+  options.episodes = 2;
+  options.seed = 42;
+  env::EpisodeMetrics a = EvaluatePolicy(world, *policy, uav, options);
+  env::EpisodeMetrics b = EvaluatePolicy(world, *policy, uav, options);
+  EXPECT_DOUBLE_EQ(a.efficiency, b.efficiency);
+  EXPECT_GE(a.data_collection_ratio, 0.0);
+  EXPECT_LE(a.data_collection_ratio, 1.0);
+  EXPECT_GE(a.fairness, 0.0);
+  EXPECT_LE(a.fairness, 1.0 + 1e-9);
+}
+
+TEST(ReplayBufferTest, AddAndSample) {
+  ReplayBuffer<int> buffer(4);
+  EXPECT_TRUE(buffer.empty());
+  for (int i = 0; i < 3; ++i) buffer.Add(i);
+  EXPECT_EQ(buffer.size(), 3);
+  Rng rng(1);
+  auto sample = buffer.Sample(10, rng);
+  EXPECT_EQ(sample.size(), 10u);
+  for (const int* v : sample) {
+    EXPECT_GE(*v, 0);
+    EXPECT_LT(*v, 3);
+  }
+}
+
+TEST(ReplayBufferTest, OverwritesOldestWhenFull) {
+  ReplayBuffer<int> buffer(3);
+  for (int i = 0; i < 5; ++i) buffer.Add(i);
+  EXPECT_EQ(buffer.size(), 3);
+  Rng rng(2);
+  // Only values {2,3,4} remain.
+  for (const int* v : buffer.Sample(30, rng)) {
+    EXPECT_GE(*v, 2);
+    EXPECT_LE(*v, 4);
+  }
+}
+
+TEST(EnvContextTest, BuiltFromWorld) {
+  env::World world(TinyCampus(), TinyParams());
+  EnvContext context = MakeEnvContext(world);
+  EXPECT_EQ(context.num_stops, world.stops().num_stops());
+  EXPECT_EQ(context.num_ugvs, 2);
+  EXPECT_EQ(context.laplacian.shape(),
+            (std::vector<int64_t>{context.num_stops, context.num_stops}));
+  EXPECT_EQ(context.stop_xy.shape(),
+            (std::vector<int64_t>{context.num_stops, 2}));
+  for (float v : context.stop_xy.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  EXPECT_GT(context.neighbor_radius_norm, 0.0);
+}
+
+}  // namespace
+}  // namespace garl::rl

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace garl::nn {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.dim(), 2);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(1), 3);
+  EXPECT_EQ(t.numel(), 6);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+  EXPECT_FALSE(t.requires_grad());
+}
+
+TEST(TensorTest, FullFillsValue) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(TensorTest, FromVectorKeepsData) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at({0, 0}), 1.0f);
+  EXPECT_EQ(t.at({0, 1}), 2.0f);
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_EQ(t.at({1, 1}), 4.0f);
+}
+
+TEST(TensorTest, ScalarItem) {
+  Tensor t = Tensor::Scalar(3.5f);
+  EXPECT_EQ(t.dim(), 0);
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_EQ(t.item(), 3.5f);
+}
+
+TEST(TensorTest, EyeIsIdentity) {
+  Tensor t = Tensor::Eye(3);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(t.at({i, j}), i == j ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(TensorTest, SetMutatesValue) {
+  Tensor t = Tensor::Zeros({2, 2});
+  t.set({1, 0}, 9.0f);
+  EXPECT_EQ(t.at({1, 0}), 9.0f);
+}
+
+TEST(TensorTest, FlatIndexRowMajor) {
+  EXPECT_EQ(FlatIndex({2, 3}, {0, 0}), 0);
+  EXPECT_EQ(FlatIndex({2, 3}, {0, 2}), 2);
+  EXPECT_EQ(FlatIndex({2, 3}, {1, 0}), 3);
+  EXPECT_EQ(FlatIndex({2, 3, 4}, {1, 2, 3}), 23);
+}
+
+TEST(TensorTest, DetachCopiesValueDropsGraph) {
+  Tensor t = Tensor::FromVector({2}, {1, 2}, /*requires_grad=*/true);
+  Tensor d = t.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.data(), t.data());
+  d.mutable_data()[0] = 100.0f;
+  EXPECT_EQ(t.data()[0], 1.0f);  // no aliasing
+}
+
+TEST(TensorTest, HandleSharesStorage) {
+  Tensor t = Tensor::Zeros({2});
+  Tensor alias = t;
+  alias.mutable_data()[0] = 5.0f;
+  EXPECT_EQ(t.data()[0], 5.0f);
+  EXPECT_TRUE(t.IsSameAs(alias));
+}
+
+TEST(TensorTest, ShapeStringFormats) {
+  EXPECT_EQ(Tensor::Zeros({2, 3}).ShapeString(), "[2, 3]");
+  EXPECT_EQ(Tensor::Scalar(1.0f).ShapeString(), "[]");
+  EXPECT_EQ(Tensor().ShapeString(), "<null>");
+}
+
+TEST(TensorTest, GradBufferStartsZero) {
+  Tensor t = Tensor::Zeros({3}, /*requires_grad=*/true);
+  const auto& g = t.grad();
+  EXPECT_EQ(g.size(), 3u);
+  for (float v : g) EXPECT_EQ(v, 0.0f);
+}
+
+}  // namespace
+}  // namespace garl::nn

@@ -1,0 +1,188 @@
+// Edge-case behaviour of the simulator and policy heads that the main
+// suites do not exercise: degenerate fleets, unreachable targets, drained
+// worlds, and prior toggles.
+
+#include <gtest/gtest.h>
+
+#include "env/campus_factory.h"
+#include "env/world.h"
+#include "nn/ops.h"
+#include "rl/feature_policy.h"
+#include "rl/rollout.h"
+
+namespace garl {
+namespace {
+
+env::CampusSpec LineCampus() {
+  env::CampusSpec campus;
+  campus.name = "line";
+  campus.width = 500;
+  campus.height = 100;
+  campus.roads.push_back({{0, 50}, {500, 50}});
+  campus.sensors.push_back({{100, 60}, 800.0});
+  campus.sensors.push_back({{400, 40}, 800.0});
+  return campus;
+}
+
+TEST(WorldEdgeTest, SingleUgvSingleUavWorks) {
+  env::WorldParams params;
+  params.num_ugvs = 1;
+  params.uavs_per_ugv = 1;
+  params.horizon = 10;
+  env::World world(LineCampus(), params);
+  std::vector<env::UgvAction> actions = {{true, -1}};
+  std::vector<env::UavAction> uav = {{50, 0}};
+  while (!world.Done()) world.Step(actions, uav);
+  EXPECT_EQ(world.slot(), 10);
+}
+
+TEST(WorldEdgeTest, TargetOwnStopIsNoOpMove) {
+  env::WorldParams params;
+  params.num_ugvs = 1;
+  params.uavs_per_ugv = 1;
+  params.horizon = 5;
+  env::World world(LineCampus(), params);
+  int64_t here = world.ugvs()[0].current_stop;
+  std::vector<env::UgvAction> actions = {{false, here}};
+  std::vector<env::UavAction> uav(1);
+  world.Step(actions, uav);
+  EXPECT_EQ(world.ugvs()[0].current_stop, here);
+  EXPECT_DOUBLE_EQ(world.ugvs()[0].distance_traveled, 0.0);
+}
+
+TEST(WorldEdgeTest, NegativeTargetIsIgnored) {
+  env::WorldParams params;
+  params.num_ugvs = 1;
+  params.uavs_per_ugv = 1;
+  params.horizon = 5;
+  env::World world(LineCampus(), params);
+  int64_t here = world.ugvs()[0].current_stop;
+  std::vector<env::UgvAction> actions = {{false, -1}};
+  std::vector<env::UavAction> uav(1);
+  world.Step(actions, uav);
+  EXPECT_EQ(world.ugvs()[0].current_stop, here);
+}
+
+TEST(WorldEdgeTest, FarTargetTakesMultipleSlots) {
+  env::WorldParams params;
+  params.num_ugvs = 1;
+  params.uavs_per_ugv = 1;
+  params.horizon = 10;
+  params.ugv_max_dist = 120.0;  // just over one 100 m hop per slot
+  env::World world(LineCampus(), params);
+  int64_t far = world.stops().NearestStop({500, 50});
+  std::vector<env::UgvAction> actions = {{false, far}};
+  std::vector<env::UavAction> uav(1);
+  world.Step(actions, uav);
+  EXPECT_NE(world.ugvs()[0].current_stop, far);
+  EXPECT_GT(world.ugvs()[0].target_stop, -1);  // still en route
+  for (int t = 0; t < 4; ++t) world.Step(actions, uav);
+  EXPECT_EQ(world.ugvs()[0].current_stop, far);
+}
+
+TEST(WorldEdgeTest, FullyDrainedWorldMetrics) {
+  env::WorldParams params;
+  params.num_ugvs = 1;
+  params.uavs_per_ugv = 1;
+  params.horizon = 40;
+  params.release_slots = 10;
+  env::World world(LineCampus(), params);
+  // Park a UAV over each sensor in turn by hovering.
+  std::vector<env::UgvAction> release = {{true, -1}};
+  std::vector<env::UavAction> west = {{-100, 0}};
+  std::vector<env::UavAction> east = {{100, 0}};
+  int64_t west_stop = world.stops().NearestStop({100, 50});
+  int64_t east_stop = world.stops().NearestStop({400, 50});
+  std::vector<env::UgvAction> go_west = {{false, west_stop}};
+  std::vector<env::UgvAction> go_east = {{false, east_stop}};
+  world.Step(go_west, west);
+  for (int t = 0; t < 12 && !world.Done(); ++t) world.Step(release, west);
+  world.Step(go_east, east);
+  while (!world.Done()) world.Step(release, east);
+  env::EpisodeMetrics m = world.Metrics();
+  EXPECT_GT(m.data_collection_ratio, 0.85);
+  // Near-uniform drain -> fairness near 1.
+  EXPECT_GT(m.fairness, 0.85);
+}
+
+TEST(WorldEdgeTest, ObservationSeenSlotTracksRecency) {
+  env::WorldParams params;
+  params.num_ugvs = 1;
+  params.uavs_per_ugv = 1;
+  params.horizon = 10;
+  env::World world(LineCampus(), params);
+  std::vector<env::UgvAction> stay = {
+      {false, world.ugvs()[0].current_stop}};
+  std::vector<env::UavAction> uav(1);
+  world.Step(stay, uav);
+  world.Step(stay, uav);
+  env::UgvObservation obs = world.ObserveUgv(0);
+  int64_t here = obs.current_stop;
+  // The stop under the UGV was refreshed this slot.
+  EXPECT_EQ(obs.stop_seen_slot[static_cast<size_t>(here)],
+            world.slot() - 1);
+  // A far stop has never been approached.
+  int64_t far = world.stops().NearestStop({500, 50});
+  EXPECT_EQ(obs.stop_seen_slot[static_cast<size_t>(far)], -1);
+}
+
+TEST(FeaturePolicyEdgeTest, ZeroPriorScalesDisableBiases) {
+  env::WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 5;
+  env::World world(LineCampus(), params);
+  rl::EnvContext context = rl::MakeEnvContext(world);
+  Rng rng(3);
+
+  // A null extractor exposing raw zeros: head outputs become pure priors.
+  class ZeroExtractor : public rl::UgvFeatureExtractor {
+   public:
+    std::vector<nn::Tensor> Extract(
+        const std::vector<env::UgvObservation>& observations) override {
+      return std::vector<nn::Tensor>(observations.size(),
+                                     nn::Tensor::Zeros({4}));
+    }
+    int64_t feature_dim() const override { return 4; }
+    std::string name() const override { return "zero"; }
+    std::vector<nn::Tensor> Parameters() const override { return {}; }
+  };
+
+  rl::FeaturePolicyOptions options;
+  options.direction_prior_scale = 0.0f;
+  options.release_prior_scale = 0.0f;
+  rl::FeatureUgvPolicy policy(std::make_unique<ZeroExtractor>(), context,
+                              options, rng);
+  std::vector<env::UgvObservation> obs = {world.ObserveUgv(0),
+                                          world.ObserveUgv(1)};
+  auto outputs = policy.Forward(obs);
+  // With zero features and no priors, both agents' logits coincide.
+  EXPECT_EQ(outputs[0].target_logits.data(),
+            outputs[1].target_logits.data());
+
+  // Turning the direction prior on must separate them.
+  rl::FeaturePolicyOptions with_direction;
+  with_direction.release_prior_scale = 0.0f;
+  Rng rng2(3);
+  rl::FeatureUgvPolicy policy2(std::make_unique<ZeroExtractor>(), context,
+                               with_direction, rng2);
+  auto outputs2 = policy2.Forward(obs);
+  EXPECT_NE(outputs2[0].target_logits.data(),
+            outputs2[1].target_logits.data());
+}
+
+TEST(SampleUgvActionEdgeTest, PeakedLogitsSampleDeterministically) {
+  rl::UgvPolicyOutput out;
+  out.release_logits = nn::Tensor::FromVector({2}, {50.0f, -50.0f});
+  out.target_logits = nn::Tensor::FromVector({3}, {-40.0f, 60.0f, -40.0f});
+  out.value = nn::Tensor::Scalar(0.0f);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    rl::SampledUgvAction a = rl::SampleUgvAction(out, rng, false);
+    EXPECT_FALSE(a.action.release);
+    EXPECT_EQ(a.action.target_stop, 1);
+  }
+}
+
+}  // namespace
+}  // namespace garl

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "env/campus_factory.h"
+#include "env/world.h"
+
+namespace garl::env {
+namespace {
+
+// Small synthetic campus: 400x400 cross roads, one building, two sensors.
+CampusSpec TinyCampus() {
+  CampusSpec campus;
+  campus.name = "tiny";
+  campus.width = 400;
+  campus.height = 400;
+  campus.roads.push_back({{0, 200}, {400, 200}});
+  campus.roads.push_back({{200, 0}, {200, 400}});
+  campus.buildings.push_back({40, 40, 110, 110});
+  campus.sensors.push_back({{120, 200}, 1000.0});  // on the west road
+  campus.sensors.push_back({{200, 320}, 1200.0});  // on the north road
+  return campus;
+}
+
+WorldParams TinyParams() {
+  WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 30;
+  params.release_slots = 3;
+  return params;
+}
+
+TEST(WorldTest, InitialConfiguration) {
+  World world(TinyCampus(), TinyParams());
+  EXPECT_EQ(world.num_ugvs(), 2);
+  EXPECT_EQ(world.num_uavs(), 2);
+  EXPECT_EQ(world.slot(), 0);
+  EXPECT_FALSE(world.Done());
+  // All UGVs start at the stop nearest the campus centre.
+  for (const UgvState& ugv : world.ugvs()) {
+    EXPECT_NEAR(ugv.position.x, 200.0, 1.0);
+    EXPECT_NEAR(ugv.position.y, 200.0, 1.0);
+  }
+  for (const UavState& uav : world.uavs()) {
+    EXPECT_FALSE(uav.airborne);
+    EXPECT_DOUBLE_EQ(uav.energy_kj, world.params().uav_energy_kj);
+  }
+}
+
+TEST(WorldTest, UgvMovesAlongRoadTowardTarget) {
+  World world(TinyCampus(), TinyParams());
+  int64_t start = world.ugvs()[0].current_stop;
+  // Target: a far stop to the east along the horizontal road.
+  int64_t target = world.stops().NearestStop({400, 200});
+  ASSERT_NE(start, target);
+  std::vector<UgvAction> ugv_actions(2);
+  ugv_actions[0] = {false, target};
+  ugv_actions[1] = {false, start};  // stay
+  std::vector<UavAction> uav_actions(2);
+  world.Step(ugv_actions, uav_actions);
+  // 200 m away, budget 400 m/slot: should arrive within one slot.
+  EXPECT_EQ(world.ugvs()[0].current_stop, target);
+  EXPECT_NEAR(world.ugvs()[0].distance_traveled, 200.0, 20.0);
+  EXPECT_EQ(world.ugvs()[1].current_stop, start);
+}
+
+TEST(WorldTest, UgvRespectsSpeedLimit) {
+  CampusSpec campus = TinyCampus();
+  WorldParams params = TinyParams();
+  params.ugv_max_dist = 150.0;  // less than one 200 m leg? stops allow 100m hops
+  World world(campus, params);
+  int64_t target = world.stops().NearestStop({400, 200});
+  std::vector<UgvAction> ugv_actions(2);
+  ugv_actions[0] = {false, target};
+  ugv_actions[1] = {false, world.ugvs()[1].current_stop};
+  std::vector<UavAction> uav_actions(2);
+  world.Step(ugv_actions, uav_actions);
+  EXPECT_LE(world.ugvs()[0].distance_traveled, 150.0 + 1e-6);
+  EXPECT_NE(world.ugvs()[0].current_stop, target);  // not there yet
+}
+
+TEST(WorldTest, ReleaseLaunchesAndRecoversUavs) {
+  World world(TinyCampus(), TinyParams());
+  std::vector<UgvAction> release(2);
+  release[0] = {true, -1};
+  release[1] = {true, -1};
+  std::vector<UavAction> hover(2);
+  world.Step(release, hover);
+  EXPECT_TRUE(world.UavAirborne(0));
+  EXPECT_TRUE(world.UavAirborne(1));
+  EXPECT_FALSE(world.UgvNeedsAction(0));
+  EXPECT_EQ(world.total_releases(), 2);
+  // The window spans release_slots slots including the launch slot; two
+  // more steps complete it. Pass non-release actions so the UGVs do not
+  // immediately relaunch once free.
+  std::vector<UgvAction> stay(2);
+  stay[0] = {false, world.ugvs()[0].current_stop};
+  stay[1] = {false, world.ugvs()[1].current_stop};
+  for (int t = 0; t < 2; ++t) {
+    ASSERT_TRUE(world.UavAirborne(0));
+    world.Step(stay, hover);  // UGV entries ignored while waiting
+  }
+  EXPECT_FALSE(world.UavAirborne(0));
+  EXPECT_TRUE(world.UgvNeedsAction(0));
+  EXPECT_DOUBLE_EQ(world.uavs()[0].energy_kj, world.params().uav_energy_kj);
+}
+
+TEST(WorldTest, UavCollectsDataWithinRange) {
+  World world(TinyCampus(), TinyParams());
+  std::vector<UgvAction> release(2);
+  release[0] = {true, -1};
+  release[1] = {false, world.ugvs()[1].current_stop};
+  // Sensor 1 at (200,320) is 120 m north of the start stop (200,200);
+  // flying 100 m north puts the UAV within the 60 m sensing range in the
+  // same slot, so collection starts immediately.
+  std::vector<UavAction> uav_actions(2);
+  uav_actions[0] = {0.0, 100.0};  // fly north
+  StepResult r1 = world.Step(release, uav_actions);
+  EXPECT_GT(r1.ugv_rewards[0], 0.0);
+  EXPECT_GT(r1.uav_rewards[0], 0.0);
+  // Hovering keeps collecting on the following slot.
+  uav_actions[0] = {0.0, 0.0};
+  StepResult r2 = world.Step(release, uav_actions);
+  EXPECT_GT(r2.ugv_rewards[0], 0.0);
+  double remaining = world.sensors()[1].remaining_mb;
+  EXPECT_LT(remaining, 1200.0);
+}
+
+TEST(WorldTest, SensorNeverGoesNegative) {
+  World world(TinyCampus(), TinyParams());
+  std::vector<UgvAction> release(2, {true, -1});
+  std::vector<UavAction> north(2);
+  north[0] = {0.0, 100.0};
+  north[1] = {0.0, 100.0};
+  for (int t = 0; t < 20 && !world.Done(); ++t) {
+    world.Step(release, north);
+  }
+  for (const SensorState& s : world.sensors()) {
+    EXPECT_GE(s.remaining_mb, 0.0);
+    EXPECT_LE(s.remaining_mb, s.initial_mb);
+  }
+}
+
+TEST(WorldTest, UavBlockedByBuildingGetsPenalty) {
+  CampusSpec campus = TinyCampus();
+  // Building directly north of the start stop.
+  campus.buildings.clear();
+  campus.buildings.push_back({150, 240, 250, 340});
+  World world(campus, TinyParams());
+  std::vector<UgvAction> release(2, {true, -1});
+  std::vector<UavAction> north(2);
+  north[0] = {0.0, 100.0};
+  StepResult r = world.Step(release, north);
+  EXPECT_LT(r.uav_rewards[0], 0.0);  // crash penalty
+  // UAV stopped south of the building wall.
+  EXPECT_LT(world.uavs()[0].position.y, 240.0);
+}
+
+TEST(WorldTest, EnergyAccountingConsistent) {
+  World world(TinyCampus(), TinyParams());
+  std::vector<UgvAction> release(2, {true, -1});
+  std::vector<UavAction> east(2);
+  east[0] = {100.0, 0.0};
+  east[1] = {-100.0, 0.0};
+  for (int t = 0; t < 8 && !world.Done(); ++t) world.Step(release, east);
+  EpisodeMetrics m = world.Metrics();
+  EXPECT_GT(m.energy_ratio, 0.0);
+  EXPECT_LE(m.energy_ratio, 1.0);
+  // Distance flown * eta == consumed energy.
+  double flown = 0;
+  for (const UavState& uav : world.uavs()) flown += uav.distance_flown;
+  EXPECT_GT(flown, 0.0);
+}
+
+TEST(WorldTest, BatteryEmptyForcesEarlyLanding) {
+  CampusSpec campus = TinyCampus();
+  WorldParams params = TinyParams();
+  params.uav_energy_kj = 1.0;  // 100 m of flight only
+  params.release_slots = 5;
+  World world(campus, params);
+  std::vector<UgvAction> release(2, {true, -1});
+  std::vector<UavAction> east(2);
+  east[0] = {100.0, 0.0};
+  world.Step(release, east);  // consumes the full 1 kJ
+  EXPECT_FALSE(world.UavAirborne(0));  // forced return before window end
+  EXPECT_DOUBLE_EQ(world.uavs()[0].energy_kj, 1.0);  // recharged
+}
+
+TEST(WorldTest, EffectiveReleaseCountedOnlyWithData) {
+  World world(TinyCampus(), TinyParams());
+  std::vector<UgvAction> release(2, {true, -1});
+  std::vector<UavAction> idle(2);  // hover: no data in range at start stop
+  for (int t = 0; t < 4; ++t) world.Step(release, idle);
+  // Releases happened (twice per UGV cycle) but nothing was collected.
+  EXPECT_GT(world.total_releases(), 0);
+  EXPECT_EQ(world.effective_releases(), 0);
+  EXPECT_DOUBLE_EQ(world.Metrics().cooperation_factor, 0.0);
+}
+
+TEST(WorldTest, ObservationMasksUnseenStops) {
+  World world(TinyCampus(), TinyParams());
+  UgvObservation obs = world.ObserveUgv(0);
+  int64_t num_stops = world.stops().num_stops();
+  EXPECT_EQ(obs.stop_features.shape(),
+            (std::vector<int64_t>{num_stops, 3}));
+  int unseen = 0, seen = 0;
+  for (int64_t b = 0; b < num_stops; ++b) {
+    float d = obs.stop_features.at({b, 2});
+    if (d < 0.0f) ++unseen;
+    else ++seen;
+  }
+  EXPECT_GT(unseen, 0);  // far stops start masked
+  EXPECT_GT(seen, 0);    // stops near the start are visible
+}
+
+TEST(WorldTest, KnowledgeGoesStaleNotOmniscient) {
+  World world(TinyCampus(), TinyParams());
+  // UGV 0 stays at centre; UGV 1 drives west and releases near sensor 0.
+  int64_t west = world.stops().NearestStop({100, 200});
+  std::vector<UgvAction> actions(2);
+  std::vector<UavAction> uav_actions(2);
+  actions[0] = {false, world.ugvs()[0].current_stop};
+  actions[1] = {false, west};
+  world.Step(actions, uav_actions);
+  actions[1] = {true, -1};
+  // UAV 1 hovers right next to sensor 0 (120,200): collect for 3 slots.
+  uav_actions[1] = {-60.0, 0.0};
+  int64_t sensor_stop = world.stops().NearestStop({100, 200});
+  double before = world.ObserveUgv(0).stop_features.at({sensor_stop, 2});
+  for (int t = 0; t < 3; ++t) world.Step(actions, uav_actions);
+  // UGV 1 saw the drained stop; UGV 0's view of it is unchanged (stale or
+  // masked), since UGV 0 never approached.
+  double after_u0 = world.ObserveUgv(0).stop_features.at({sensor_stop, 2});
+  EXPECT_FLOAT_EQ(after_u0, before);
+}
+
+TEST(WorldTest, UavObservationShapesAndChannels) {
+  World world(TinyCampus(), TinyParams());
+  std::vector<UgvAction> release(2, {true, -1});
+  std::vector<UavAction> idle(2);
+  world.Step(release, idle);
+  UavObservation obs = world.ObserveUav(0);
+  int64_t g = world.params().obs_grid;
+  EXPECT_EQ(obs.grid.shape(), (std::vector<int64_t>{3, g, g}));
+  EXPECT_NEAR(obs.energy_fraction, 1.0, 1e-9);
+  // Carrier marker: exactly one cell set in channel 2 (UAV sits on carrier).
+  float carrier_sum = 0;
+  for (int64_t iy = 0; iy < g; ++iy) {
+    for (int64_t ix = 0; ix < g; ++ix) {
+      carrier_sum += obs.grid.at({2, iy, ix});
+    }
+  }
+  EXPECT_FLOAT_EQ(carrier_sum, 1.0f);
+}
+
+TEST(WorldTest, MetricsImproveWhenCollecting) {
+  World world(TinyCampus(), TinyParams());
+  std::vector<UgvAction> release(2, {true, -1});
+  std::vector<UavAction> north(2);
+  north[0] = {0.0, 100.0};
+  north[1] = {0.0, 100.0};
+  for (int t = 0; t < 10 && !world.Done(); ++t) world.Step(release, north);
+  EpisodeMetrics m = world.Metrics();
+  EXPECT_GT(m.data_collection_ratio, 0.0);
+  EXPECT_GT(m.fairness, 0.0);
+  EXPECT_GT(m.cooperation_factor, 0.0);
+  EXPECT_GT(m.efficiency, 0.0);
+}
+
+TEST(WorldTest, ResetRestoresEverything) {
+  World world(TinyCampus(), TinyParams());
+  std::vector<UgvAction> release(2, {true, -1});
+  std::vector<UavAction> north(2);
+  north[0] = {0.0, 100.0};
+  for (int t = 0; t < 5; ++t) world.Step(release, north);
+  world.Reset(1);
+  EXPECT_EQ(world.slot(), 0);
+  EXPECT_EQ(world.total_releases(), 0);
+  for (const SensorState& s : world.sensors()) {
+    EXPECT_DOUBLE_EQ(s.remaining_mb, s.initial_mb);
+  }
+  EXPECT_DOUBLE_EQ(world.Metrics().data_collection_ratio, 0.0);
+}
+
+TEST(WorldTest, TracesRecordEverySlot) {
+  World world(TinyCampus(), TinyParams());
+  std::vector<UgvAction> actions(2);
+  actions[0] = {false, world.stops().NearestStop({400, 200})};
+  actions[1] = {true, -1};
+  std::vector<UavAction> idle(2);
+  for (int t = 0; t < 6; ++t) world.Step(actions, idle);
+  EXPECT_EQ(world.ugv_trace()[0].size(), 6u);
+  EXPECT_EQ(world.uav_trace()[1].size(), 6u);
+}
+
+TEST(WorldTest, RunsFullHorizonOnKaist) {
+  WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 10;
+  World world(MakeKaistCampus(), params);
+  std::vector<UgvAction> actions(2, {true, -1});
+  std::vector<UavAction> uav_actions(2);
+  uav_actions[0] = {70.0, 70.0};
+  uav_actions[1] = {-70.0, -70.0};
+  while (!world.Done()) world.Step(actions, uav_actions);
+  EXPECT_EQ(world.slot(), 10);
+  EpisodeMetrics m = world.Metrics();
+  EXPECT_GE(m.data_collection_ratio, 0.0);
+  EXPECT_LE(m.data_collection_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace garl::env
