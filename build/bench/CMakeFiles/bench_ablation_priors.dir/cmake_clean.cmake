@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_priors.dir/bench_ablation_priors.cc.o"
+  "CMakeFiles/bench_ablation_priors.dir/bench_ablation_priors.cc.o.d"
+  "bench_ablation_priors"
+  "bench_ablation_priors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_priors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

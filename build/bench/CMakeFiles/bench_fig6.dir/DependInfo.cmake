@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6.cc" "bench/CMakeFiles/bench_fig6.dir/bench_fig6.cc.o" "gcc" "bench/CMakeFiles/bench_fig6.dir/bench_fig6.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/garl_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/garl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/garl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/garl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/garl_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/garl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/garl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/garl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

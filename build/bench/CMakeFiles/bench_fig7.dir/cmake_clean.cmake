@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7.dir/bench_fig7.cc.o"
+  "CMakeFiles/bench_fig7.dir/bench_fig7.cc.o.d"
+  "bench_fig7"
+  "bench_fig7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3.dir/bench_table3.cc.o"
+  "CMakeFiles/bench_table3.dir/bench_table3.cc.o.d"
+  "bench_table3"
+  "bench_table3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garl_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/garl_bench_common.dir/bench_common.cc.o.d"
+  "libgarl_bench_common.a"
+  "libgarl_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

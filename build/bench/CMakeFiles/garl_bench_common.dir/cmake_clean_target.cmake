@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgarl_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_campus.dir/custom_campus.cpp.o"
+  "CMakeFiles/custom_campus.dir/custom_campus.cpp.o.d"
+  "custom_campus"
+  "custom_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

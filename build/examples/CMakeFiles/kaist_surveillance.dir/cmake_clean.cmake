@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kaist_surveillance.dir/kaist_surveillance.cpp.o"
+  "CMakeFiles/kaist_surveillance.dir/kaist_surveillance.cpp.o.d"
+  "kaist_surveillance"
+  "kaist_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kaist_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

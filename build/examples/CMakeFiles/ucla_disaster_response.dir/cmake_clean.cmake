@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucla_disaster_response.dir/ucla_disaster_response.cpp.o"
+  "CMakeFiles/ucla_disaster_response.dir/ucla_disaster_response.cpp.o.d"
+  "ucla_disaster_response"
+  "ucla_disaster_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucla_disaster_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

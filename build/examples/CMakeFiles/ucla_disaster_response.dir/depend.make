@@ -1,0 +1,2 @@
+# Empty dependencies file for ucla_disaster_response.
+# This may be replaced when dependencies are built.

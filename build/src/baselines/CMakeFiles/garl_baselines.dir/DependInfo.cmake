@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ae_comm.cc" "src/baselines/CMakeFiles/garl_baselines.dir/ae_comm.cc.o" "gcc" "src/baselines/CMakeFiles/garl_baselines.dir/ae_comm.cc.o.d"
+  "/root/repo/src/baselines/commnet.cc" "src/baselines/CMakeFiles/garl_baselines.dir/commnet.cc.o" "gcc" "src/baselines/CMakeFiles/garl_baselines.dir/commnet.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/garl_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/garl_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/cubic_map.cc" "src/baselines/CMakeFiles/garl_baselines.dir/cubic_map.cc.o" "gcc" "src/baselines/CMakeFiles/garl_baselines.dir/cubic_map.cc.o.d"
+  "/root/repo/src/baselines/dgn.cc" "src/baselines/CMakeFiles/garl_baselines.dir/dgn.cc.o" "gcc" "src/baselines/CMakeFiles/garl_baselines.dir/dgn.cc.o.d"
+  "/root/repo/src/baselines/gam.cc" "src/baselines/CMakeFiles/garl_baselines.dir/gam.cc.o" "gcc" "src/baselines/CMakeFiles/garl_baselines.dir/gam.cc.o.d"
+  "/root/repo/src/baselines/gat.cc" "src/baselines/CMakeFiles/garl_baselines.dir/gat.cc.o" "gcc" "src/baselines/CMakeFiles/garl_baselines.dir/gat.cc.o.d"
+  "/root/repo/src/baselines/ic3net.cc" "src/baselines/CMakeFiles/garl_baselines.dir/ic3net.cc.o" "gcc" "src/baselines/CMakeFiles/garl_baselines.dir/ic3net.cc.o.d"
+  "/root/repo/src/baselines/maddpg.cc" "src/baselines/CMakeFiles/garl_baselines.dir/maddpg.cc.o" "gcc" "src/baselines/CMakeFiles/garl_baselines.dir/maddpg.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/baselines/CMakeFiles/garl_baselines.dir/registry.cc.o" "gcc" "src/baselines/CMakeFiles/garl_baselines.dir/registry.cc.o.d"
+  "/root/repo/src/baselines/runner.cc" "src/baselines/CMakeFiles/garl_baselines.dir/runner.cc.o" "gcc" "src/baselines/CMakeFiles/garl_baselines.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/garl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/garl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/garl_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/garl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/garl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/garl_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

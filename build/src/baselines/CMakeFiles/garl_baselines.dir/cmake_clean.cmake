@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garl_baselines.dir/ae_comm.cc.o"
+  "CMakeFiles/garl_baselines.dir/ae_comm.cc.o.d"
+  "CMakeFiles/garl_baselines.dir/commnet.cc.o"
+  "CMakeFiles/garl_baselines.dir/commnet.cc.o.d"
+  "CMakeFiles/garl_baselines.dir/common.cc.o"
+  "CMakeFiles/garl_baselines.dir/common.cc.o.d"
+  "CMakeFiles/garl_baselines.dir/cubic_map.cc.o"
+  "CMakeFiles/garl_baselines.dir/cubic_map.cc.o.d"
+  "CMakeFiles/garl_baselines.dir/dgn.cc.o"
+  "CMakeFiles/garl_baselines.dir/dgn.cc.o.d"
+  "CMakeFiles/garl_baselines.dir/gam.cc.o"
+  "CMakeFiles/garl_baselines.dir/gam.cc.o.d"
+  "CMakeFiles/garl_baselines.dir/gat.cc.o"
+  "CMakeFiles/garl_baselines.dir/gat.cc.o.d"
+  "CMakeFiles/garl_baselines.dir/ic3net.cc.o"
+  "CMakeFiles/garl_baselines.dir/ic3net.cc.o.d"
+  "CMakeFiles/garl_baselines.dir/maddpg.cc.o"
+  "CMakeFiles/garl_baselines.dir/maddpg.cc.o.d"
+  "CMakeFiles/garl_baselines.dir/registry.cc.o"
+  "CMakeFiles/garl_baselines.dir/registry.cc.o.d"
+  "CMakeFiles/garl_baselines.dir/runner.cc.o"
+  "CMakeFiles/garl_baselines.dir/runner.cc.o.d"
+  "libgarl_baselines.a"
+  "libgarl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

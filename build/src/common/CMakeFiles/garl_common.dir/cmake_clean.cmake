@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garl_common.dir/env_flags.cc.o"
+  "CMakeFiles/garl_common.dir/env_flags.cc.o.d"
+  "CMakeFiles/garl_common.dir/rng.cc.o"
+  "CMakeFiles/garl_common.dir/rng.cc.o.d"
+  "CMakeFiles/garl_common.dir/status.cc.o"
+  "CMakeFiles/garl_common.dir/status.cc.o.d"
+  "CMakeFiles/garl_common.dir/string_util.cc.o"
+  "CMakeFiles/garl_common.dir/string_util.cc.o.d"
+  "CMakeFiles/garl_common.dir/table_writer.cc.o"
+  "CMakeFiles/garl_common.dir/table_writer.cc.o.d"
+  "libgarl_common.a"
+  "libgarl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/e_comm.cc" "src/core/CMakeFiles/garl_core.dir/e_comm.cc.o" "gcc" "src/core/CMakeFiles/garl_core.dir/e_comm.cc.o.d"
+  "/root/repo/src/core/garl_extractor.cc" "src/core/CMakeFiles/garl_core.dir/garl_extractor.cc.o" "gcc" "src/core/CMakeFiles/garl_core.dir/garl_extractor.cc.o.d"
+  "/root/repo/src/core/gcn.cc" "src/core/CMakeFiles/garl_core.dir/gcn.cc.o" "gcc" "src/core/CMakeFiles/garl_core.dir/gcn.cc.o.d"
+  "/root/repo/src/core/mc_gcn.cc" "src/core/CMakeFiles/garl_core.dir/mc_gcn.cc.o" "gcc" "src/core/CMakeFiles/garl_core.dir/mc_gcn.cc.o.d"
+  "/root/repo/src/core/uav_policy.cc" "src/core/CMakeFiles/garl_core.dir/uav_policy.cc.o" "gcc" "src/core/CMakeFiles/garl_core.dir/uav_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/garl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/garl_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/garl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/garl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/garl_rl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

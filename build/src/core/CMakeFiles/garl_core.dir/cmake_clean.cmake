@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garl_core.dir/e_comm.cc.o"
+  "CMakeFiles/garl_core.dir/e_comm.cc.o.d"
+  "CMakeFiles/garl_core.dir/garl_extractor.cc.o"
+  "CMakeFiles/garl_core.dir/garl_extractor.cc.o.d"
+  "CMakeFiles/garl_core.dir/gcn.cc.o"
+  "CMakeFiles/garl_core.dir/gcn.cc.o.d"
+  "CMakeFiles/garl_core.dir/mc_gcn.cc.o"
+  "CMakeFiles/garl_core.dir/mc_gcn.cc.o.d"
+  "CMakeFiles/garl_core.dir/uav_policy.cc.o"
+  "CMakeFiles/garl_core.dir/uav_policy.cc.o.d"
+  "libgarl_core.a"
+  "libgarl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

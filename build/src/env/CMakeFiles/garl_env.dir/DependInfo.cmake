@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/campus.cc" "src/env/CMakeFiles/garl_env.dir/campus.cc.o" "gcc" "src/env/CMakeFiles/garl_env.dir/campus.cc.o.d"
+  "/root/repo/src/env/campus_factory.cc" "src/env/CMakeFiles/garl_env.dir/campus_factory.cc.o" "gcc" "src/env/CMakeFiles/garl_env.dir/campus_factory.cc.o.d"
+  "/root/repo/src/env/geometry.cc" "src/env/CMakeFiles/garl_env.dir/geometry.cc.o" "gcc" "src/env/CMakeFiles/garl_env.dir/geometry.cc.o.d"
+  "/root/repo/src/env/metrics.cc" "src/env/CMakeFiles/garl_env.dir/metrics.cc.o" "gcc" "src/env/CMakeFiles/garl_env.dir/metrics.cc.o.d"
+  "/root/repo/src/env/render.cc" "src/env/CMakeFiles/garl_env.dir/render.cc.o" "gcc" "src/env/CMakeFiles/garl_env.dir/render.cc.o.d"
+  "/root/repo/src/env/stop_network.cc" "src/env/CMakeFiles/garl_env.dir/stop_network.cc.o" "gcc" "src/env/CMakeFiles/garl_env.dir/stop_network.cc.o.d"
+  "/root/repo/src/env/world.cc" "src/env/CMakeFiles/garl_env.dir/world.cc.o" "gcc" "src/env/CMakeFiles/garl_env.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/garl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/garl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/garl_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

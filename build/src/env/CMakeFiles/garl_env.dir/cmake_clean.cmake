@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garl_env.dir/campus.cc.o"
+  "CMakeFiles/garl_env.dir/campus.cc.o.d"
+  "CMakeFiles/garl_env.dir/campus_factory.cc.o"
+  "CMakeFiles/garl_env.dir/campus_factory.cc.o.d"
+  "CMakeFiles/garl_env.dir/geometry.cc.o"
+  "CMakeFiles/garl_env.dir/geometry.cc.o.d"
+  "CMakeFiles/garl_env.dir/metrics.cc.o"
+  "CMakeFiles/garl_env.dir/metrics.cc.o.d"
+  "CMakeFiles/garl_env.dir/render.cc.o"
+  "CMakeFiles/garl_env.dir/render.cc.o.d"
+  "CMakeFiles/garl_env.dir/stop_network.cc.o"
+  "CMakeFiles/garl_env.dir/stop_network.cc.o.d"
+  "CMakeFiles/garl_env.dir/world.cc.o"
+  "CMakeFiles/garl_env.dir/world.cc.o.d"
+  "libgarl_env.a"
+  "libgarl_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garl_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/garl_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/garl_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/laplacian.cc" "src/graph/CMakeFiles/garl_graph.dir/laplacian.cc.o" "gcc" "src/graph/CMakeFiles/garl_graph.dir/laplacian.cc.o.d"
+  "/root/repo/src/graph/shortest_path.cc" "src/graph/CMakeFiles/garl_graph.dir/shortest_path.cc.o" "gcc" "src/graph/CMakeFiles/garl_graph.dir/shortest_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/garl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/garl_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garl_graph.dir/graph.cc.o"
+  "CMakeFiles/garl_graph.dir/graph.cc.o.d"
+  "CMakeFiles/garl_graph.dir/laplacian.cc.o"
+  "CMakeFiles/garl_graph.dir/laplacian.cc.o.d"
+  "CMakeFiles/garl_graph.dir/shortest_path.cc.o"
+  "CMakeFiles/garl_graph.dir/shortest_path.cc.o.d"
+  "libgarl_graph.a"
+  "libgarl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

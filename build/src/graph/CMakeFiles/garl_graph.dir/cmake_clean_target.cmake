@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgarl_graph.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv2d.cc" "src/nn/CMakeFiles/garl_nn.dir/conv2d.cc.o" "gcc" "src/nn/CMakeFiles/garl_nn.dir/conv2d.cc.o.d"
+  "/root/repo/src/nn/distributions.cc" "src/nn/CMakeFiles/garl_nn.dir/distributions.cc.o" "gcc" "src/nn/CMakeFiles/garl_nn.dir/distributions.cc.o.d"
+  "/root/repo/src/nn/grad_check.cc" "src/nn/CMakeFiles/garl_nn.dir/grad_check.cc.o" "gcc" "src/nn/CMakeFiles/garl_nn.dir/grad_check.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/garl_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/garl_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/garl_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/garl_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/lstm_cell.cc" "src/nn/CMakeFiles/garl_nn.dir/lstm_cell.cc.o" "gcc" "src/nn/CMakeFiles/garl_nn.dir/lstm_cell.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/garl_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/garl_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/nn/CMakeFiles/garl_nn.dir/ops.cc.o" "gcc" "src/nn/CMakeFiles/garl_nn.dir/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/garl_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/garl_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/nn/CMakeFiles/garl_nn.dir/serialization.cc.o" "gcc" "src/nn/CMakeFiles/garl_nn.dir/serialization.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/garl_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/garl_nn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/garl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garl_nn.dir/conv2d.cc.o"
+  "CMakeFiles/garl_nn.dir/conv2d.cc.o.d"
+  "CMakeFiles/garl_nn.dir/distributions.cc.o"
+  "CMakeFiles/garl_nn.dir/distributions.cc.o.d"
+  "CMakeFiles/garl_nn.dir/grad_check.cc.o"
+  "CMakeFiles/garl_nn.dir/grad_check.cc.o.d"
+  "CMakeFiles/garl_nn.dir/init.cc.o"
+  "CMakeFiles/garl_nn.dir/init.cc.o.d"
+  "CMakeFiles/garl_nn.dir/linear.cc.o"
+  "CMakeFiles/garl_nn.dir/linear.cc.o.d"
+  "CMakeFiles/garl_nn.dir/lstm_cell.cc.o"
+  "CMakeFiles/garl_nn.dir/lstm_cell.cc.o.d"
+  "CMakeFiles/garl_nn.dir/mlp.cc.o"
+  "CMakeFiles/garl_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/garl_nn.dir/ops.cc.o"
+  "CMakeFiles/garl_nn.dir/ops.cc.o.d"
+  "CMakeFiles/garl_nn.dir/optimizer.cc.o"
+  "CMakeFiles/garl_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/garl_nn.dir/serialization.cc.o"
+  "CMakeFiles/garl_nn.dir/serialization.cc.o.d"
+  "CMakeFiles/garl_nn.dir/tensor.cc.o"
+  "CMakeFiles/garl_nn.dir/tensor.cc.o.d"
+  "libgarl_nn.a"
+  "libgarl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

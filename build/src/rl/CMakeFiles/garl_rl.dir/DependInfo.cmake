@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/evaluator.cc" "src/rl/CMakeFiles/garl_rl.dir/evaluator.cc.o" "gcc" "src/rl/CMakeFiles/garl_rl.dir/evaluator.cc.o.d"
+  "/root/repo/src/rl/feature_policy.cc" "src/rl/CMakeFiles/garl_rl.dir/feature_policy.cc.o" "gcc" "src/rl/CMakeFiles/garl_rl.dir/feature_policy.cc.o.d"
+  "/root/repo/src/rl/gae.cc" "src/rl/CMakeFiles/garl_rl.dir/gae.cc.o" "gcc" "src/rl/CMakeFiles/garl_rl.dir/gae.cc.o.d"
+  "/root/repo/src/rl/ippo_trainer.cc" "src/rl/CMakeFiles/garl_rl.dir/ippo_trainer.cc.o" "gcc" "src/rl/CMakeFiles/garl_rl.dir/ippo_trainer.cc.o.d"
+  "/root/repo/src/rl/policy.cc" "src/rl/CMakeFiles/garl_rl.dir/policy.cc.o" "gcc" "src/rl/CMakeFiles/garl_rl.dir/policy.cc.o.d"
+  "/root/repo/src/rl/rollout.cc" "src/rl/CMakeFiles/garl_rl.dir/rollout.cc.o" "gcc" "src/rl/CMakeFiles/garl_rl.dir/rollout.cc.o.d"
+  "/root/repo/src/rl/uav_controller.cc" "src/rl/CMakeFiles/garl_rl.dir/uav_controller.cc.o" "gcc" "src/rl/CMakeFiles/garl_rl.dir/uav_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/garl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/garl_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/garl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/garl_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

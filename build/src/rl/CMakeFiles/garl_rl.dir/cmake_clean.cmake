@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garl_rl.dir/evaluator.cc.o"
+  "CMakeFiles/garl_rl.dir/evaluator.cc.o.d"
+  "CMakeFiles/garl_rl.dir/feature_policy.cc.o"
+  "CMakeFiles/garl_rl.dir/feature_policy.cc.o.d"
+  "CMakeFiles/garl_rl.dir/gae.cc.o"
+  "CMakeFiles/garl_rl.dir/gae.cc.o.d"
+  "CMakeFiles/garl_rl.dir/ippo_trainer.cc.o"
+  "CMakeFiles/garl_rl.dir/ippo_trainer.cc.o.d"
+  "CMakeFiles/garl_rl.dir/policy.cc.o"
+  "CMakeFiles/garl_rl.dir/policy.cc.o.d"
+  "CMakeFiles/garl_rl.dir/rollout.cc.o"
+  "CMakeFiles/garl_rl.dir/rollout.cc.o.d"
+  "CMakeFiles/garl_rl.dir/uav_controller.cc.o"
+  "CMakeFiles/garl_rl.dir/uav_controller.cc.o.d"
+  "libgarl_rl.a"
+  "libgarl_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garl_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for garl_rl.
+# This may be replaced when dependencies are built.

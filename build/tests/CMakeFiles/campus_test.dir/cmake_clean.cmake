@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_test.dir/campus_test.cc.o"
+  "CMakeFiles/campus_test.dir/campus_test.cc.o.d"
+  "campus_test"
+  "campus_test.pdb"
+  "campus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

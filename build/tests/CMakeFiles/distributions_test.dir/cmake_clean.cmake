@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributions_test.dir/distributions_test.cc.o"
+  "CMakeFiles/distributions_test.dir/distributions_test.cc.o.d"
+  "distributions_test"
+  "distributions_test.pdb"
+  "distributions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e_comm_test.dir/e_comm_test.cc.o"
+  "CMakeFiles/e_comm_test.dir/e_comm_test.cc.o.d"
+  "e_comm_test"
+  "e_comm_test.pdb"
+  "e_comm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e_comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_test.dir/gae_test.cc.o"
+  "CMakeFiles/gae_test.dir/gae_test.cc.o.d"
+  "gae_test"
+  "gae_test.pdb"
+  "gae_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garl_extractor_test.dir/garl_extractor_test.cc.o"
+  "CMakeFiles/garl_extractor_test.dir/garl_extractor_test.cc.o.d"
+  "garl_extractor_test"
+  "garl_extractor_test.pdb"
+  "garl_extractor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garl_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_gcn_test.dir/mc_gcn_test.cc.o"
+  "CMakeFiles/mc_gcn_test.dir/mc_gcn_test.cc.o.d"
+  "mc_gcn_test"
+  "mc_gcn_test.pdb"
+  "mc_gcn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_gcn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

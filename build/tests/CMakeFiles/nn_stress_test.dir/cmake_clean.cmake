@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_stress_test.dir/nn_stress_test.cc.o"
+  "CMakeFiles/nn_stress_test.dir/nn_stress_test.cc.o.d"
+  "nn_stress_test"
+  "nn_stress_test.pdb"
+  "nn_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_test.dir/render_test.cc.o"
+  "CMakeFiles/render_test.dir/render_test.cc.o.d"
+  "render_test"
+  "render_test.pdb"
+  "render_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

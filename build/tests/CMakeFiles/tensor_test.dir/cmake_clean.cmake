@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_test.dir/tensor_test.cc.o"
+  "CMakeFiles/tensor_test.dir/tensor_test.cc.o.d"
+  "tensor_test"
+  "tensor_test.pdb"
+  "tensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_edge_test.dir/world_edge_test.cc.o"
+  "CMakeFiles/world_edge_test.dir/world_edge_test.cc.o.d"
+  "world_edge_test"
+  "world_edge_test.pdb"
+  "world_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
