@@ -53,7 +53,8 @@ env::EpisodeMetrics RunVariant(const Variant& variant,
     train.iterations = options.train_iterations;
     train.seed = static_cast<uint64_t>(seed);
     rl::IppoTrainer trainer(world.get(), &policy, nullptr, train);
-    trainer.Train();
+    auto train_result = trainer.Train();
+    GARL_CHECK_MSG(train_result.ok(), train_result.status().ToString());
     rl::GreedyUavController uav;
     rl::EvalOptions eval;
     eval.episodes = options.eval_episodes;

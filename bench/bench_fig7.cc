@@ -48,7 +48,8 @@ TraceStats RunTrace(const std::string& campus, const std::string& method,
   train.iterations = options.train_iterations;
   train.seed = 5;
   rl::IppoTrainer trainer(world.get(), policy.get(), nullptr, train);
-  trainer.Train();
+  auto train_result = trainer.Train();
+  GARL_CHECK_MSG(train_result.ok(), train_result.status().ToString());
 
   // One recorded evaluation episode.
   world->Reset(99);

@@ -38,7 +38,8 @@ int main() {
   train.iterations = 3;
   train.seed = 3;
   rl::IppoTrainer trainer(&world, policy.get(), nullptr, train);
-  trainer.Train();
+  auto train_result = trainer.Train();
+  GARL_CHECK_MSG(train_result.ok(), train_result.status().ToString());
 
   // Replay one episode and watch the district split.
   world.Reset(77);

@@ -28,7 +28,8 @@ RunResult TrainAndEvaluate(env::World& world, const std::string& method,
     config.iterations = options.train_iterations;
     config.seed = options.seed;
     rl::IppoTrainer trainer(&world, policy.get(), nullptr, config);
-    trainer.Train();
+    auto train_result = trainer.Train();
+    GARL_CHECK_MSG(train_result.ok(), train_result.status().ToString());
   }
 
   rl::EvalOptions eval;

@@ -1,0 +1,98 @@
+#include "common/fs_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace garl {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return StrPrintf("%s: %s: %s", what.c_str(), path.c_str(),
+                   std::strerror(errno));
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open: " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) return InternalError("read failed: " + path);
+  return contents.str();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp_path = path + ".tmp";
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return InternalError(ErrnoMessage("cannot open for write", tmp_path));
+
+  size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = InternalError(ErrnoMessage("write failed", tmp_path));
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  // Durability point: the payload must reach the disk before the rename
+  // makes it visible, or a crash could publish an empty/partial file.
+  if (::fsync(fd) != 0) {
+    Status status = InternalError(ErrnoMessage("fsync failed", tmp_path));
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp_path.c_str());
+    return InternalError(ErrnoMessage("close failed", tmp_path));
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    Status status = InternalError(ErrnoMessage("rename failed", path));
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  return Status::Ok();
+}
+
+}  // namespace garl

@@ -1,0 +1,35 @@
+#ifndef GARL_COMMON_FS_UTIL_H_
+#define GARL_COMMON_FS_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+// Filesystem helpers for durable checkpoints: whole-file read, crash-safe
+// atomic replace (temp file + flush + fsync + rename) and a CRC-32 used as
+// an end-to-end integrity footer on every checkpoint artifact.
+
+namespace garl {
+
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+// Crc32("123456789") == 0xCBF43926. `seed` chains incremental updates:
+// Crc32(b, Crc32(a)) == Crc32(a + b).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+// Reads the entire file at `path` into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Atomically creates-or-replaces `path` with `contents`: writes a temporary
+// file in the same directory, fsyncs it, then renames over `path`. A crash
+// at any point leaves either the old file or the new file, never a
+// truncated mix. The stray temp file from an interrupted write is removed
+// on the next successful call for the same path.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+}  // namespace garl
+
+#endif  // GARL_COMMON_FS_UTIL_H_

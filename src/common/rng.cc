@@ -1,10 +1,27 @@
 #include "common/rng.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.h"
 
 namespace garl {
+
+std::string Rng::SerializeState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+Status Rng::DeserializeState(const std::string& text) {
+  // Parse into a scratch engine so malformed input leaves `engine_` intact.
+  std::mt19937_64 engine;
+  std::istringstream in(text);
+  in >> engine;
+  if (in.fail()) return InvalidArgumentError("malformed RNG state");
+  engine_ = engine;
+  return Status::Ok();
+}
 
 int64_t Rng::SampleIndex(const std::vector<double>& weights) {
   GARL_CHECK(!weights.empty());

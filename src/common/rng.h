@@ -4,7 +4,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
+
+#include "common/status.h"
 
 // Deterministic, splittable pseudo-random number generator. Every stochastic
 // component in the library receives an explicit Rng so that campus
@@ -60,6 +63,12 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+
+  // Full engine state (the textual operator<< form of std::mt19937_64), so
+  // a checkpointed trainer resumes its random stream bit-identically.
+  // SerializeState does not perturb the stream.
+  std::string SerializeState() const;
+  Status DeserializeState(const std::string& text);
 
  private:
   std::mt19937_64 engine_;

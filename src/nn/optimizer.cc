@@ -1,10 +1,48 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
+#include "common/fs_util.h"
+#include "common/string_util.h"
 
 namespace garl::nn {
+
+namespace {
+
+constexpr uint32_t kAdamMagic = 0x4741444Du;  // "GADM"
+constexpr uint32_t kAdamVersion = 1;
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::string_view bytes, size_t* pos, T* value) {
+  if (bytes.size() - *pos < sizeof(T)) return false;
+  std::memcpy(value, bytes.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+bool ReadFloats(std::string_view bytes, size_t* pos, std::vector<float>& dst) {
+  size_t want = dst.size() * sizeof(float);
+  if (want == 0) return true;
+  if (bytes.size() - *pos < want) return false;
+  std::memcpy(dst.data(), bytes.data() + *pos, want);
+  *pos += want;
+  return true;
+}
+
+void AppendFloats(std::string* out, const std::vector<float>& src) {
+  if (src.empty()) return;
+  out->append(reinterpret_cast<const char*>(src.data()),
+              src.size() * sizeof(float));
+}
+
+}  // namespace
 
 Optimizer::Optimizer(std::vector<Tensor> parameters)
     : parameters_(std::move(parameters)) {
@@ -26,6 +64,7 @@ float Optimizer::ClipGradNorm(float max_norm) {
     for (float g : p.grad()) sq += static_cast<double>(g) * g;
   }
   float norm = static_cast<float>(std::sqrt(sq));
+  if (!std::isfinite(norm)) return norm;
   if (norm > max_norm) {
     float scale = max_norm / (norm + 1e-8f);
     for (Tensor& p : parameters_) {
@@ -78,6 +117,97 @@ void Adam::Step() {
       value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
     }
   }
+}
+
+void Adam::SerializeState(std::string* out) const {
+  AppendPod(out, kAdamMagic);
+  AppendPod(out, kAdamVersion);
+  AppendPod(out, step_count_);
+  AppendPod(out, lr_);
+  AppendPod(out, beta1_);
+  AppendPod(out, beta2_);
+  AppendPod(out, eps_);
+  AppendPod(out, static_cast<uint64_t>(m_.size()));
+  for (size_t i = 0; i < m_.size(); ++i) {
+    AppendPod(out, static_cast<uint64_t>(m_[i].size()));
+    AppendFloats(out, m_[i]);
+    AppendFloats(out, v_[i]);
+  }
+}
+
+Status Adam::DeserializeState(std::string_view bytes) {
+  size_t pos = 0;
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(bytes, &pos, &magic) || magic != kAdamMagic) {
+    return InvalidArgumentError("bad Adam state magic");
+  }
+  if (!ReadPod(bytes, &pos, &version) || version != kAdamVersion) {
+    return InvalidArgumentError(
+        StrPrintf("unsupported Adam state version %u", version));
+  }
+  int64_t step_count = 0;
+  float lr = 0, beta1 = 0, beta2 = 0, eps = 0;
+  uint64_t num_params = 0;
+  if (!ReadPod(bytes, &pos, &step_count) || !ReadPod(bytes, &pos, &lr) ||
+      !ReadPod(bytes, &pos, &beta1) || !ReadPod(bytes, &pos, &beta2) ||
+      !ReadPod(bytes, &pos, &eps) || !ReadPod(bytes, &pos, &num_params)) {
+    return InvalidArgumentError("truncated Adam state header");
+  }
+  if (num_params != m_.size()) {
+    return InvalidArgumentError(StrPrintf(
+        "Adam state parameter count mismatch: state has %llu, optimizer "
+        "has %zu",
+        static_cast<unsigned long long>(num_params), m_.size()));
+  }
+  // Parse into scratch buffers first so a corrupt tail cannot leave the
+  // optimizer half-restored.
+  std::vector<std::vector<float>> m(m_.size()), v(v_.size());
+  for (size_t i = 0; i < m_.size(); ++i) {
+    uint64_t numel = 0;
+    if (!ReadPod(bytes, &pos, &numel) || numel != m_[i].size()) {
+      return InvalidArgumentError(
+          StrPrintf("Adam state size mismatch at parameter %zu", i));
+    }
+    m[i].resize(m_[i].size());
+    v[i].resize(v_[i].size());
+    if (!ReadFloats(bytes, &pos, m[i]) || !ReadFloats(bytes, &pos, v[i])) {
+      return InvalidArgumentError("truncated Adam state");
+    }
+  }
+  if (pos != bytes.size()) {
+    return InvalidArgumentError("trailing bytes after Adam state");
+  }
+  step_count_ = step_count;
+  lr_ = lr;
+  beta1_ = beta1;
+  beta2_ = beta2;
+  eps_ = eps;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::Ok();
+}
+
+Status Adam::SaveState(const std::string& path) const {
+  std::string payload;
+  SerializeState(&payload);
+  AppendPod(&payload, Crc32(payload));
+  return AtomicWriteFile(path, payload);
+}
+
+Status Adam::LoadState(const std::string& path) {
+  StatusOr<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& bytes = contents.value();
+  if (bytes.size() < 2 * sizeof(uint32_t)) {
+    return InvalidArgumentError("truncated Adam state file: " + path);
+  }
+  size_t payload_size = bytes.size() - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + payload_size, sizeof(stored_crc));
+  if (stored_crc != Crc32(bytes.data(), payload_size)) {
+    return InvalidArgumentError("Adam state CRC mismatch in " + path);
+  }
+  return DeserializeState(std::string_view(bytes.data(), payload_size));
 }
 
 }  // namespace garl::nn

@@ -1,8 +1,11 @@
 #ifndef GARL_NN_OPTIMIZER_H_
 #define GARL_NN_OPTIMIZER_H_
 
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "nn/tensor.h"
 
 // First-order optimizers over flat parameter lists.
@@ -21,7 +24,10 @@ class Optimizer {
   virtual void Step() = 0;
 
   // Scales gradients so the global L2 norm is at most `max_norm`.
-  // Returns the pre-clip norm.
+  // Returns the pre-clip norm. A non-finite norm (NaN/Inf gradients) is
+  // returned unmodified and NO scaling is applied — clipping would smear
+  // the NaN into every parameter; the caller's divergence sentinel decides
+  // what to do with the poisoned step.
   float ClipGradNorm(float max_norm);
 
   const std::vector<Tensor>& parameters() const { return parameters_; }
@@ -44,6 +50,19 @@ class Adam : public Optimizer {
   Adam(std::vector<Tensor> parameters, float lr, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f);
   void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+  // Full optimizer state (hyperparameters, step count, first/second moment
+  // buffers), so a restored trainer continues bit-identically. Serialize*
+  // work on in-memory buffers (used by the divergence sentinel's rollback
+  // snapshots); Save/LoadState wrap them with a CRC-32 footer and atomic
+  // file replacement for durable checkpoints.
+  void SerializeState(std::string* out) const;
+  Status DeserializeState(std::string_view bytes);  // strict, sizes must match
+  Status SaveState(const std::string& path) const;
+  Status LoadState(const std::string& path);
 
  private:
   float lr_, beta1_, beta2_, eps_;

@@ -1,0 +1,185 @@
+#include "rl/checkpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "common/fs_util.h"
+#include "common/string_util.h"
+
+namespace garl::rl {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kTrainerStateMagic = 0x47545253u;  // "GTRS"
+constexpr uint32_t kTrainerStateVersion = 1;
+constexpr char kManifestHeader[] = "garl-checkpoint-manifest v1";
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::string_view bytes, size_t* pos, T* value) {
+  if (bytes.size() - *pos < sizeof(T)) return false;
+  std::memcpy(value, bytes.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void SerializeTrainerState(const TrainerState& state, std::string* out) {
+  AppendPod(out, kTrainerStateMagic);
+  AppendPod(out, kTrainerStateVersion);
+  AppendPod(out, state.episode_counter);
+  AppendPod(out, static_cast<uint8_t>(state.has_uav ? 1 : 0));
+  AppendPod(out, static_cast<uint64_t>(state.rng_state.size()));
+  out->append(state.rng_state);
+}
+
+Status DeserializeTrainerState(std::string_view bytes, TrainerState* state) {
+  size_t pos = 0;
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(bytes, &pos, &magic) || magic != kTrainerStateMagic) {
+    return InvalidArgumentError("bad trainer state magic");
+  }
+  if (!ReadPod(bytes, &pos, &version) || version != kTrainerStateVersion) {
+    return InvalidArgumentError(
+        StrPrintf("unsupported trainer state version %u", version));
+  }
+  TrainerState parsed;
+  uint8_t has_uav = 0;
+  uint64_t rng_size = 0;
+  if (!ReadPod(bytes, &pos, &parsed.episode_counter) ||
+      !ReadPod(bytes, &pos, &has_uav) || !ReadPod(bytes, &pos, &rng_size)) {
+    return InvalidArgumentError("truncated trainer state header");
+  }
+  if (bytes.size() - pos != rng_size) {
+    return InvalidArgumentError("trainer state RNG length mismatch");
+  }
+  parsed.has_uav = has_uav != 0;
+  parsed.rng_state.assign(bytes.data() + pos, rng_size);
+  *state = std::move(parsed);
+  return Status::Ok();
+}
+
+Status SaveTrainerState(const TrainerState& state, const std::string& path) {
+  std::string payload;
+  SerializeTrainerState(state, &payload);
+  AppendPod(&payload, Crc32(payload));
+  return AtomicWriteFile(path, payload);
+}
+
+StatusOr<TrainerState> LoadTrainerState(const std::string& path) {
+  StatusOr<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& bytes = contents.value();
+  if (bytes.size() < 2 * sizeof(uint32_t)) {
+    return InvalidArgumentError("truncated trainer state file: " + path);
+  }
+  size_t payload_size = bytes.size() - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + payload_size, sizeof(stored_crc));
+  if (stored_crc != Crc32(bytes.data(), payload_size)) {
+    return InvalidArgumentError("trainer state CRC mismatch in " + path);
+  }
+  TrainerState state;
+  GARL_RETURN_IF_ERROR(DeserializeTrainerState(
+      std::string_view(bytes.data(), payload_size), &state));
+  return state;
+}
+
+StatusOr<std::vector<CheckpointInfo>> ReadCheckpointManifest(
+    const std::string& dir) {
+  const std::string path = dir + "/" + kManifestFile;
+  StatusOr<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  std::vector<std::string> lines = Split(contents.value(), '\n');
+  if (lines.empty() || lines[0] != kManifestHeader) {
+    return InvalidArgumentError("bad manifest header in " + path);
+  }
+  std::vector<CheckpointInfo> entries;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    std::vector<std::string> fields = Split(lines[i], ' ');
+    if (fields.size() != 3 || fields[0] != "checkpoint") {
+      return InvalidArgumentError(
+          StrPrintf("bad manifest line %zu in %s", i + 1, path.c_str()));
+    }
+    CheckpointInfo info;
+    info.name = fields[1];
+    // Reject path-traversal in checkpoint names read back from disk.
+    if (info.name.empty() || info.name.find('/') != std::string::npos ||
+        info.name == "." || info.name == "..") {
+      return InvalidArgumentError("bad checkpoint name in " + path);
+    }
+    char* end = nullptr;
+    info.episode = std::strtoll(fields[2].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return InvalidArgumentError("bad episode number in " + path);
+    }
+    entries.push_back(std::move(info));
+  }
+  return entries;
+}
+
+Status WriteCheckpointManifest(const std::string& dir,
+                               const std::vector<CheckpointInfo>& entries) {
+  std::string out = kManifestHeader;
+  out += '\n';
+  for (const CheckpointInfo& info : entries) {
+    out += StrPrintf("checkpoint %s %lld\n", info.name.c_str(),
+                     static_cast<long long>(info.episode));
+  }
+  return AtomicWriteFile(dir + "/" + kManifestFile, out);
+}
+
+StatusOr<CheckpointInfo> LatestCheckpoint(const std::string& dir) {
+  StatusOr<std::vector<CheckpointInfo>> entries = ReadCheckpointManifest(dir);
+  if (!entries.ok()) return entries.status();
+  if (entries.value().empty()) {
+    return NotFoundError("no checkpoints in manifest: " + dir);
+  }
+  return entries.value().back();
+}
+
+Status RegisterCheckpoint(const std::string& dir, const CheckpointInfo& info,
+                          int64_t keep_last) {
+  std::vector<CheckpointInfo> entries;
+  StatusOr<std::vector<CheckpointInfo>> existing = ReadCheckpointManifest(dir);
+  if (existing.ok()) {
+    entries = std::move(existing).value();
+  } else if (existing.status().code() != StatusCode::kNotFound) {
+    return existing.status();
+  }
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [&info](const CheckpointInfo& e) {
+                                 return e.name == info.name;
+                               }),
+                entries.end());
+  entries.push_back(info);
+
+  std::vector<CheckpointInfo> pruned;
+  if (keep_last > 0 && static_cast<int64_t>(entries.size()) > keep_last) {
+    pruned.assign(entries.begin(),
+                  entries.end() - static_cast<size_t>(keep_last));
+    entries.erase(entries.begin(),
+                  entries.end() - static_cast<size_t>(keep_last));
+  }
+  // Publish the manifest before deleting anything: a crash between the two
+  // steps strands stale directories (harmless) rather than dangling entries.
+  GARL_RETURN_IF_ERROR(WriteCheckpointManifest(dir, entries));
+  for (const CheckpointInfo& old : pruned) {
+    std::error_code ec;
+    fs::remove_all(fs::path(dir) / old.name, ec);
+    // Best effort: a leftover directory wastes disk but breaks nothing.
+  }
+  return Status::Ok();
+}
+
+}  // namespace garl::rl

@@ -1,0 +1,74 @@
+#ifndef GARL_RL_CHECKPOINT_H_
+#define GARL_RL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+// Durable training checkpoints for IppoTrainer.
+//
+// A checkpoint directory holds a text manifest plus one subdirectory per
+// retained checkpoint:
+//
+//   <dir>/manifest.txt            index, newest entry last, written atomically
+//   <dir>/ckpt_<episode>/
+//     ugv_params.bin              nn::SaveParameters v2 (CRC-32 footer)
+//     ugv_adam.bin                Adam::SaveState (CRC-32 footer)
+//     uav_params.bin, uav_adam.bin  only when the UAV policy is trained
+//     trainer_state.bin           episode counter + RNG stream (CRC-32 footer)
+//
+// Every file is written via AtomicWriteFile, so a crash mid-save leaves the
+// previous checkpoint fully intact; the half-written subdirectory is simply
+// absent from the manifest. Retention keeps the newest K entries and deletes
+// the rest.
+
+namespace garl::rl {
+
+inline constexpr char kManifestFile[] = "manifest.txt";
+inline constexpr char kUgvParamsFile[] = "ugv_params.bin";
+inline constexpr char kUgvAdamFile[] = "ugv_adam.bin";
+inline constexpr char kUavParamsFile[] = "uav_params.bin";
+inline constexpr char kUavAdamFile[] = "uav_adam.bin";
+inline constexpr char kTrainerStateFile[] = "trainer_state.bin";
+
+// One manifest entry.
+struct CheckpointInfo {
+  std::string name;     // subdirectory name, e.g. "ckpt_00000012"
+  int64_t episode = 0;  // trainer episode counter at save time
+};
+
+// Scalar trainer state stored in trainer_state.bin.
+struct TrainerState {
+  int64_t episode_counter = 0;
+  bool has_uav = false;   // whether UAV files are part of the checkpoint
+  std::string rng_state;  // Rng::SerializeState text
+};
+
+void SerializeTrainerState(const TrainerState& state, std::string* out);
+Status DeserializeTrainerState(std::string_view bytes, TrainerState* state);
+Status SaveTrainerState(const TrainerState& state, const std::string& path);
+StatusOr<TrainerState> LoadTrainerState(const std::string& path);
+
+// Parses <dir>/manifest.txt. NotFound when the manifest does not exist.
+StatusOr<std::vector<CheckpointInfo>> ReadCheckpointManifest(
+    const std::string& dir);
+
+// Atomically rewrites <dir>/manifest.txt with `entries` (oldest first).
+Status WriteCheckpointManifest(const std::string& dir,
+                               const std::vector<CheckpointInfo>& entries);
+
+// Newest manifest entry, or NotFound on an empty/absent manifest.
+StatusOr<CheckpointInfo> LatestCheckpoint(const std::string& dir);
+
+// Appends `info` to the manifest (replacing an existing entry of the same
+// name), then deletes all but the newest `keep_last` checkpoint
+// subdirectories. `keep_last <= 0` disables pruning.
+Status RegisterCheckpoint(const std::string& dir, const CheckpointInfo& info,
+                          int64_t keep_last);
+
+}  // namespace garl::rl
+
+#endif  // GARL_RL_CHECKPOINT_H_

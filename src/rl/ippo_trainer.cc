@@ -2,12 +2,40 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <limits>
 
 #include "common/check.h"
+#include "common/string_util.h"
 #include "nn/distributions.h"
 #include "nn/ops.h"
+#include "nn/serialization.h"
+#include "rl/checkpoint.h"
 
 namespace garl::rl {
+
+namespace {
+
+bool AnyNonFinite(const std::vector<nn::Tensor>& tensors) {
+  for (const nn::Tensor& t : tensors) {
+    for (float v : t.data()) {
+      if (!std::isfinite(v)) return true;
+    }
+  }
+  return false;
+}
+
+// Folds a pre-clip gradient norm into the running per-iteration maximum;
+// a non-finite norm is sticky so the sentinel always sees it.
+void RecordGradNorm(double* accumulator, float norm) {
+  if (!std::isfinite(norm)) {
+    *accumulator = static_cast<double>(norm);
+  } else if (std::isfinite(*accumulator)) {
+    *accumulator = std::max(*accumulator, static_cast<double>(norm));
+  }
+}
+
+}  // namespace
 
 IppoTrainer::IppoTrainer(env::World* world, UgvPolicyNetwork* ugv_network,
                          UavPolicyNetwork* uav_network, TrainConfig config)
@@ -234,7 +262,9 @@ void IppoTrainer::UpdateUgv(UgvRollout& rollout, IterationStats& stats) {
       }
       ugv_optimizer_->ZeroGrad();
       batch_loss.Backward();
-      ugv_optimizer_->ClipGradNorm(config_.max_grad_norm);
+      MaybeInjectNanGrad(*ugv_optimizer_);
+      RecordGradNorm(&stats.ugv_grad_norm,
+                     ugv_optimizer_->ClipGradNorm(config_.max_grad_norm));
       ugv_optimizer_->Step();
     }
   }
@@ -246,7 +276,6 @@ void IppoTrainer::UpdateUgv(UgvRollout& rollout, IterationStats& stats) {
 }
 
 void IppoTrainer::UpdateUav(UavRollout& rollout, IterationStats& stats) {
-  (void)stats;
   FinalizeUavRollout(rollout, config_.gamma, config_.gae_lambda);
   // Flatten decisions.
   std::vector<const UavDecision*> all;
@@ -290,7 +319,8 @@ void IppoTrainer::UpdateUav(UavRollout& rollout, IterationStats& stats) {
           1.0f / static_cast<float>(losses.size()));
       uav_optimizer_->ZeroGrad();
       batch_loss.Backward();
-      uav_optimizer_->ClipGradNorm(config_.max_grad_norm);
+      RecordGradNorm(&stats.uav_grad_norm,
+                     uav_optimizer_->ClipGradNorm(config_.max_grad_norm));
       uav_optimizer_->Step();
     }
   }
@@ -303,11 +333,159 @@ IterationStats IppoTrainer::RunIteration() {
   return collected.stats;
 }
 
-std::vector<IterationStats> IppoTrainer::Train() {
+void IppoTrainer::MaybeInjectNanGrad(nn::Optimizer& optimizer) {
+  if (fault_.nan_grad_iteration != current_iteration_) return;
+  if (!fault_.sticky) fault_.nan_grad_iteration = -1;
+  const std::vector<nn::Tensor>& params = optimizer.parameters();
+  if (params.empty()) return;
+  auto& grad = params.front().impl()->grad;
+  if (!grad.empty()) grad[0] = std::numeric_limits<float>::quiet_NaN();
+}
+
+bool IppoTrainer::Diverged(const IterationStats& stats) const {
+  if (!std::isfinite(stats.policy_loss) || !std::isfinite(stats.value_loss) ||
+      !std::isfinite(stats.entropy) || !std::isfinite(stats.ugv_grad_norm) ||
+      !std::isfinite(stats.uav_grad_norm)) {
+    return true;
+  }
+  if (AnyNonFinite(ugv_network_->Parameters())) return true;
+  if (uav_optimizer_ && AnyNonFinite(uav_network_->Parameters())) return true;
+  return false;
+}
+
+void IppoTrainer::TakeSnapshot(Snapshot* snapshot) const {
+  *snapshot = Snapshot();
+  nn::SerializeParameters(ugv_network_->Parameters(), &snapshot->ugv_params);
+  ugv_optimizer_->SerializeState(&snapshot->ugv_adam);
+  if (uav_optimizer_) {
+    nn::SerializeParameters(uav_network_->Parameters(),
+                            &snapshot->uav_params);
+    uav_optimizer_->SerializeState(&snapshot->uav_adam);
+  }
+  snapshot->rng = rng_.SerializeState();
+  snapshot->episode_counter = episode_counter_;
+}
+
+Status IppoTrainer::RestoreSnapshot(const Snapshot& snapshot) {
+  std::vector<nn::Tensor> ugv_params = ugv_network_->Parameters();
+  GARL_RETURN_IF_ERROR(
+      nn::DeserializeParameters(snapshot.ugv_params, ugv_params));
+  GARL_RETURN_IF_ERROR(ugv_optimizer_->DeserializeState(snapshot.ugv_adam));
+  if (uav_optimizer_) {
+    std::vector<nn::Tensor> uav_params = uav_network_->Parameters();
+    GARL_RETURN_IF_ERROR(
+        nn::DeserializeParameters(snapshot.uav_params, uav_params));
+    GARL_RETURN_IF_ERROR(uav_optimizer_->DeserializeState(snapshot.uav_adam));
+  }
+  GARL_RETURN_IF_ERROR(rng_.DeserializeState(snapshot.rng));
+  episode_counter_ = snapshot.episode_counter;
+  return Status::Ok();
+}
+
+Status IppoTrainer::SaveCheckpoint(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return InternalError("cannot create checkpoint dir " + dir + ": " +
+                         ec.message());
+  }
+  CheckpointInfo info;
+  info.episode = episode_counter_;
+  info.name =
+      StrPrintf("ckpt_%08lld", static_cast<long long>(episode_counter_));
+  const std::string sub = dir + "/" + info.name;
+  fs::create_directories(sub, ec);
+  if (ec) {
+    return InternalError("cannot create checkpoint dir " + sub + ": " +
+                         ec.message());
+  }
+  GARL_RETURN_IF_ERROR(nn::SaveParameters(ugv_network_->Parameters(),
+                                          sub + "/" + kUgvParamsFile));
+  GARL_RETURN_IF_ERROR(ugv_optimizer_->SaveState(sub + "/" + kUgvAdamFile));
+  if (uav_optimizer_) {
+    GARL_RETURN_IF_ERROR(nn::SaveParameters(uav_network_->Parameters(),
+                                            sub + "/" + kUavParamsFile));
+    GARL_RETURN_IF_ERROR(uav_optimizer_->SaveState(sub + "/" + kUavAdamFile));
+  }
+  TrainerState state;
+  state.episode_counter = episode_counter_;
+  state.has_uav = uav_optimizer_ != nullptr;
+  state.rng_state = rng_.SerializeState();
+  GARL_RETURN_IF_ERROR(
+      SaveTrainerState(state, sub + "/" + kTrainerStateFile));
+  return RegisterCheckpoint(dir, info, config_.checkpoint_keep_last);
+}
+
+Status IppoTrainer::RestoreCheckpoint(const std::string& dir) {
+  StatusOr<CheckpointInfo> latest = LatestCheckpoint(dir);
+  if (!latest.ok()) return latest.status();
+  const std::string sub = dir + "/" + latest.value().name;
+  StatusOr<TrainerState> state =
+      LoadTrainerState(sub + "/" + kTrainerStateFile);
+  if (!state.ok()) return state.status();
+  if (state.value().has_uav != (uav_optimizer_ != nullptr)) {
+    return FailedPreconditionError(
+        "checkpoint UAV configuration does not match trainer: " + sub);
+  }
+  std::vector<nn::Tensor> ugv_params = ugv_network_->Parameters();
+  GARL_RETURN_IF_ERROR(
+      nn::LoadParameters(sub + "/" + kUgvParamsFile, ugv_params));
+  GARL_RETURN_IF_ERROR(ugv_optimizer_->LoadState(sub + "/" + kUgvAdamFile));
+  if (uav_optimizer_) {
+    std::vector<nn::Tensor> uav_params = uav_network_->Parameters();
+    GARL_RETURN_IF_ERROR(
+        nn::LoadParameters(sub + "/" + kUavParamsFile, uav_params));
+    GARL_RETURN_IF_ERROR(uav_optimizer_->LoadState(sub + "/" + kUavAdamFile));
+  }
+  GARL_RETURN_IF_ERROR(rng_.DeserializeState(state.value().rng_state));
+  episode_counter_ = state.value().episode_counter;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<IterationStats>> IppoTrainer::Train() {
   std::vector<IterationStats> history;
   history.reserve(static_cast<size_t>(config_.iterations));
-  for (int64_t m = 0; m < config_.iterations; ++m) {
-    history.push_back(RunIteration());
+  Snapshot snapshot;
+  if (config_.sentinel) TakeSnapshot(&snapshot);
+  float healthy_ugv_lr = ugv_optimizer_->lr();
+  float healthy_uav_lr = uav_optimizer_ ? uav_optimizer_->lr() : 0.0f;
+  int64_t trips = 0;  // consecutive sentinel trips on the current iteration
+  for (int64_t m = 0; m < config_.iterations;) {
+    current_iteration_ = m;
+    IterationStats stats = RunIteration();
+    if (config_.sentinel && Diverged(stats)) {
+      ++trips;
+      if (trips > config_.max_divergence_retries) {
+        return InternalError(StrPrintf(
+            "iteration %lld diverged %lld consecutive times; giving up",
+            static_cast<long long>(m), static_cast<long long>(trips)));
+      }
+      GARL_RETURN_IF_ERROR(RestoreSnapshot(snapshot));
+      // The snapshot restored the pre-divergence learning rate; decay it
+      // geometrically in the number of consecutive trips before retrying.
+      float decay =
+          std::pow(config_.divergence_lr_decay, static_cast<float>(trips));
+      ugv_optimizer_->set_lr(healthy_ugv_lr * decay);
+      if (uav_optimizer_) uav_optimizer_->set_lr(healthy_uav_lr * decay);
+      continue;  // retry iteration m from the last healthy state
+    }
+    if (trips > 0) {
+      stats.diverged = true;
+      stats.recovered = true;
+      trips = 0;
+    }
+    history.push_back(stats);
+    if (config_.sentinel) {
+      TakeSnapshot(&snapshot);
+      healthy_ugv_lr = ugv_optimizer_->lr();
+      if (uav_optimizer_) healthy_uav_lr = uav_optimizer_->lr();
+    }
+    if (!config_.checkpoint_dir.empty() && config_.checkpoint_interval > 0 &&
+        (m + 1) % config_.checkpoint_interval == 0) {
+      GARL_RETURN_IF_ERROR(SaveCheckpoint(config_.checkpoint_dir));
+    }
+    ++m;
   }
   return history;
 }

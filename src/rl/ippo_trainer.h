@@ -2,9 +2,11 @@
 #define GARL_RL_IPPO_TRAINER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "env/world.h"
 #include "nn/optimizer.h"
 #include "rl/policy.h"
@@ -14,6 +16,16 @@
 // IPPO training loop (Algorithm 1). One trainer drives any
 // UgvPolicyNetwork; UAVs fly either a shared learned CNN policy (Eq. 17,
 // also PPO-trained) or the scripted greedy controller.
+//
+// Fault tolerance: Train() snapshots the full trainer state (parameters,
+// Adam moments, RNG stream, episode counter) after every healthy iteration.
+// A divergence sentinel checks losses, pre-clip gradient norms and
+// parameters for NaN/Inf after each update; on a trip it rolls back to the
+// last healthy snapshot, decays the learning rate, and retries the
+// iteration, giving up with a non-OK Status after a bounded number of
+// consecutive trips. With `checkpoint_dir` set, the same state is also
+// persisted to disk (crash-safe, CRC-verified, last-K retained) so a killed
+// run resumes bit-identically via RestoreCheckpoint().
 
 namespace garl::rl {
 
@@ -32,6 +44,14 @@ struct TrainConfig {
   float ugv_reward_scale = 1e-3f;  // MB -> ~unit scale
   bool train_uav = false;          // false: scripted greedy UAVs
   uint64_t seed = 1;
+
+  // --- Fault tolerance ---
+  std::string checkpoint_dir;          // empty: no durable checkpoints
+  int64_t checkpoint_interval = 1;     // save every N successful iterations
+  int64_t checkpoint_keep_last = 3;    // manifest retention (<=0: keep all)
+  bool sentinel = true;                // divergence detection + rollback
+  int64_t max_divergence_retries = 3;  // consecutive trips before giving up
+  float divergence_lr_decay = 0.5f;    // lr multiplier per consecutive trip
 };
 
 struct IterationStats {
@@ -40,7 +60,20 @@ struct IterationStats {
   double policy_loss = 0.0;
   double value_loss = 0.0;
   double entropy = 0.0;
+  double ugv_grad_norm = 0.0;       // max pre-clip norm over minibatches
+  double uav_grad_norm = 0.0;
+  bool diverged = false;   // sentinel tripped at least once this iteration
+  bool recovered = false;  // ...and the rolled-back retry succeeded
   env::EpisodeMetrics metrics;  // end-of-episode task metrics
+};
+
+// Test-only deterministic fault injection (see set_fault_injection_for_test).
+struct TrainFaultInjection {
+  // Train() iteration index whose UGV gradients get a NaN injected right
+  // after backprop; -1 disables. One-shot unless `sticky`, so the sentinel's
+  // rolled-back retry runs clean.
+  int64_t nan_grad_iteration = -1;
+  bool sticky = false;  // re-inject on every retry (exercises the give-up path)
 };
 
 class IppoTrainer {
@@ -53,10 +86,27 @@ class IppoTrainer {
   // lines 3-23). Returns sampling statistics.
   IterationStats RunIteration();
 
-  // Runs `config.iterations` iterations; returns per-iteration stats.
-  std::vector<IterationStats> Train();
+  // Runs `config.iterations` iterations under the divergence sentinel;
+  // returns per-iteration stats, or a non-OK Status when an iteration keeps
+  // diverging past `max_divergence_retries` (or a checkpoint write fails).
+  StatusOr<std::vector<IterationStats>> Train();
+
+  // Persists the full trainer state (UGV/UAV parameters, both Adam
+  // optimizers, RNG stream, episode counter) into `dir` and registers it in
+  // the manifest with last-K retention. Crash-safe: every file is written
+  // atomically and carries a CRC-32 footer.
+  Status SaveCheckpoint(const std::string& dir);
+
+  // Restores the newest manifest entry in `dir`. After a successful
+  // restore, continued training is bit-identical to the run that saved the
+  // checkpoint. Any corrupt or truncated file yields a non-OK Status.
+  Status RestoreCheckpoint(const std::string& dir);
 
   const TrainConfig& config() const { return config_; }
+
+  void set_fault_injection_for_test(const TrainFaultInjection& fault) {
+    fault_ = fault;
+  }
 
  private:
   struct CollectResult {
@@ -64,9 +114,18 @@ class IppoTrainer {
     UavRollout uav;
     IterationStats stats;
   };
+  // In-memory serialized trainer state for sentinel rollback.
+  struct Snapshot {
+    std::string ugv_params, ugv_adam, uav_params, uav_adam, rng;
+    int64_t episode_counter = 0;
+  };
   CollectResult CollectEpisode();
   void UpdateUgv(UgvRollout& rollout, IterationStats& stats);
   void UpdateUav(UavRollout& rollout, IterationStats& stats);
+  void TakeSnapshot(Snapshot* snapshot) const;
+  Status RestoreSnapshot(const Snapshot& snapshot);
+  bool Diverged(const IterationStats& stats) const;
+  void MaybeInjectNanGrad(nn::Optimizer& optimizer);
 
   env::World* world_;
   UgvPolicyNetwork* ugv_network_;
@@ -77,6 +136,8 @@ class IppoTrainer {
   std::unique_ptr<nn::Adam> uav_optimizer_;
   std::unique_ptr<UavController> rollout_uav_controller_;
   int64_t episode_counter_ = 0;
+  int64_t current_iteration_ = 0;  // Train() loop index, for fault injection
+  TrainFaultInjection fault_;
 };
 
 }  // namespace garl::rl

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <memory>
 
+#include "common/fs_util.h"
 #include "env/campus_factory.h"
 #include "env/world.h"
+#include "rl/checkpoint.h"
 #include "nn/mlp.h"
 #include "nn/ops.h"
 #include "rl/evaluator.h"
@@ -200,7 +204,9 @@ TEST(IppoTrainerTest, RunsIterationsAndImprovesOrHolds) {
   config.epochs = 2;
   config.seed = 99;
   IppoTrainer trainer(&world, policy.get(), nullptr, config);
-  auto history = trainer.Train();
+  auto result = trainer.Train();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& history = result.value();
   ASSERT_EQ(history.size(), 2u);
   for (const auto& it : history) {
     EXPECT_TRUE(std::isfinite(it.policy_loss));
@@ -270,6 +276,236 @@ TEST(ReplayBufferTest, OverwritesOldestWhenFull) {
     EXPECT_GE(*v, 2);
     EXPECT_LE(*v, 4);
   }
+}
+
+std::string TestDir(const std::string& name) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+void ExpectStatsBitIdentical(const IterationStats& a,
+                             const IterationStats& b) {
+  EXPECT_EQ(a.ugv_episode_reward, b.ugv_episode_reward);
+  EXPECT_EQ(a.uav_episode_reward, b.uav_episode_reward);
+  EXPECT_EQ(a.policy_loss, b.policy_loss);
+  EXPECT_EQ(a.value_loss, b.value_loss);
+  EXPECT_EQ(a.entropy, b.entropy);
+  EXPECT_EQ(a.ugv_grad_norm, b.ugv_grad_norm);
+  EXPECT_EQ(a.uav_grad_norm, b.uav_grad_norm);
+  EXPECT_EQ(a.metrics.data_collection_ratio, b.metrics.data_collection_ratio);
+  EXPECT_EQ(a.metrics.fairness, b.metrics.fairness);
+  EXPECT_EQ(a.metrics.cooperation_factor, b.metrics.cooperation_factor);
+  EXPECT_EQ(a.metrics.energy_ratio, b.metrics.energy_ratio);
+  EXPECT_EQ(a.metrics.efficiency, b.metrics.efficiency);
+}
+
+// Kill-and-resume equivalence on both paper campuses: training 8 iterations
+// straight through must be bit-identical to training 4, checkpointing,
+// restoring into a fresh trainer (different construction seed), and
+// training 4 more.
+TEST(CheckpointTest, KillAndResumeIsBitIdenticalOnBothCampuses) {
+  struct Case {
+    const char* label;
+    env::CampusSpec campus;
+  };
+  std::vector<Case> cases = {{"kaist", env::MakeKaistCampus()},
+                             {"ucla", env::MakeUclaCampus()}};
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.label);
+    env::WorldParams params;
+    params.num_ugvs = 2;
+    params.uavs_per_ugv = 1;
+    params.horizon = 10;
+    params.release_slots = 2;
+    TrainConfig config;
+    config.epochs = 2;
+    config.seed = 7;
+
+    // Uninterrupted reference run.
+    env::World world_a(c.campus, params);
+    Rng rng_a(23);
+    auto policy_a = MakePolicy(world_a, rng_a);
+    config.iterations = 8;
+    IppoTrainer trainer_a(&world_a, policy_a.get(), nullptr, config);
+    auto full = trainer_a.Train();
+    ASSERT_TRUE(full.ok()) << full.status().ToString();
+
+    // First half, then a durable checkpoint.
+    std::string dir = TestDir(std::string("resume_") + c.label);
+    env::World world_b(c.campus, params);
+    Rng rng_b(23);
+    auto policy_b = MakePolicy(world_b, rng_b);
+    config.iterations = 4;
+    IppoTrainer trainer_b(&world_b, policy_b.get(), nullptr, config);
+    auto first = trainer_b.Train();
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    ASSERT_TRUE(trainer_b.SaveCheckpoint(dir).ok());
+
+    // "Fresh process": new world/policy/trainer with a different
+    // construction seed, state coming entirely from the checkpoint.
+    env::World world_c(c.campus, params);
+    Rng rng_c(999);
+    auto policy_c = MakePolicy(world_c, rng_c);
+    IppoTrainer trainer_c(&world_c, policy_c.get(), nullptr, config);
+    Status restored = trainer_c.RestoreCheckpoint(dir);
+    ASSERT_TRUE(restored.ok()) << restored.ToString();
+    auto second = trainer_c.Train();
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+    ASSERT_EQ(full.value().size(), 8u);
+    ASSERT_EQ(first.value().size(), 4u);
+    ASSERT_EQ(second.value().size(), 4u);
+    for (size_t i = 0; i < 4; ++i) {
+      SCOPED_TRACE("iteration " + std::to_string(i));
+      ExpectStatsBitIdentical(full.value()[i], first.value()[i]);
+      ExpectStatsBitIdentical(full.value()[i + 4], second.value()[i]);
+    }
+  }
+}
+
+TEST(CheckpointTest, RetentionKeepsOnlyLastK) {
+  std::string dir = TestDir("retention");
+  env::World world(TinyCampus(), TinyParams());
+  Rng rng(31);
+  auto policy = MakePolicy(world, rng);
+  TrainConfig config;
+  config.iterations = 5;
+  config.epochs = 1;
+  config.seed = 3;
+  config.checkpoint_dir = dir;
+  config.checkpoint_keep_last = 2;
+  IppoTrainer trainer(&world, policy.get(), nullptr, config);
+  auto result = trainer.Train();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto manifest = ReadCheckpointManifest(dir);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  ASSERT_EQ(manifest.value().size(), 2u);
+  EXPECT_EQ(manifest.value().back().episode, 5);
+  // Pruned subdirectories are really gone; retained ones restore.
+  namespace fs = std::filesystem;
+  size_t subdirs = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_directory()) ++subdirs;
+  }
+  EXPECT_EQ(subdirs, 2u);
+  EXPECT_TRUE(trainer.RestoreCheckpoint(dir).ok());
+}
+
+// Every corrupted-checkpoint case must be rejected with a non-OK Status —
+// never an abort, never silently restored garbage.
+TEST(CheckpointTest, CorruptedCheckpointFilesRejected) {
+  namespace fs = std::filesystem;
+  std::string dir = TestDir("corrupt");
+  env::World world(TinyCampus(), TinyParams());
+  Rng rng(37);
+  auto policy = MakePolicy(world, rng);
+  TrainConfig config;
+  config.iterations = 1;
+  config.epochs = 1;
+  config.seed = 9;
+  IppoTrainer trainer(&world, policy.get(), nullptr, config);
+  auto result = trainer.Train();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(trainer.SaveCheckpoint(dir).ok());
+
+  auto latest = LatestCheckpoint(dir);
+  ASSERT_TRUE(latest.ok());
+  std::string sub = dir + "/" + latest.value().name;
+
+  auto write_raw = [](const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+  };
+
+  for (const char* file :
+       {kUgvParamsFile, kUgvAdamFile, kTrainerStateFile}) {
+    SCOPED_TRACE(file);
+    std::string path = sub + "/" + file;
+    auto original = ReadFileToString(path);
+    ASSERT_TRUE(original.ok());
+    const std::string& bytes = original.value();
+
+    // Truncate at every 64-byte boundary (and just before the CRC footer).
+    for (size_t cut = 0; cut < bytes.size(); cut += 64) {
+      write_raw(path, bytes.substr(0, cut));
+      EXPECT_FALSE(trainer.RestoreCheckpoint(dir).ok())
+          << file << " accepted truncation at " << cut;
+    }
+    write_raw(path, bytes.substr(0, bytes.size() - 1));
+    EXPECT_FALSE(trainer.RestoreCheckpoint(dir).ok());
+
+    // Flip a header byte and a payload byte.
+    for (size_t pos : {size_t{2}, bytes.size() / 2}) {
+      std::string corrupted = bytes;
+      corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x20);
+      write_raw(path, corrupted);
+      EXPECT_FALSE(trainer.RestoreCheckpoint(dir).ok())
+          << file << " accepted bit flip at " << pos;
+    }
+
+    // Restore the good bytes; the checkpoint must work again.
+    write_raw(path, bytes);
+    EXPECT_TRUE(trainer.RestoreCheckpoint(dir).ok());
+  }
+
+  // Manifest pointing at a missing checkpoint, then no manifest at all.
+  fs::remove_all(sub);
+  EXPECT_FALSE(trainer.RestoreCheckpoint(dir).ok());
+  fs::remove(fs::path(dir) / kManifestFile);
+  EXPECT_FALSE(trainer.RestoreCheckpoint(dir).ok());
+}
+
+TEST(SentinelTest, RecoversFromInjectedNanGradients) {
+  env::World world(TinyCampus(), TinyParams());
+  Rng rng(29);
+  auto policy = MakePolicy(world, rng);
+  TrainConfig config;
+  config.iterations = 3;
+  config.epochs = 2;
+  config.seed = 11;
+  IppoTrainer trainer(&world, policy.get(), nullptr, config);
+  TrainFaultInjection fault;
+  fault.nan_grad_iteration = 1;
+  trainer.set_fault_injection_for_test(fault);
+  auto result = trainer.Train();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& history = result.value();
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_FALSE(history[0].diverged);
+  EXPECT_TRUE(history[1].diverged);
+  EXPECT_TRUE(history[1].recovered);
+  EXPECT_FALSE(history[2].diverged);
+  for (const auto& it : history) {
+    EXPECT_TRUE(std::isfinite(it.policy_loss));
+    EXPECT_TRUE(std::isfinite(it.value_loss));
+    EXPECT_TRUE(std::isfinite(it.ugv_grad_norm));
+  }
+  for (const auto& p : policy->Parameters()) {
+    for (float v : p.data()) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(SentinelTest, GivesUpAfterBoundedRetries) {
+  env::World world(TinyCampus(), TinyParams());
+  Rng rng(41);
+  auto policy = MakePolicy(world, rng);
+  TrainConfig config;
+  config.iterations = 3;
+  config.epochs = 1;
+  config.seed = 13;
+  config.max_divergence_retries = 2;
+  IppoTrainer trainer(&world, policy.get(), nullptr, config);
+  TrainFaultInjection fault;
+  fault.nan_grad_iteration = 1;
+  fault.sticky = true;  // every retry diverges again
+  trainer.set_fault_injection_for_test(fault);
+  auto result = trainer.Train();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
 }
 
 TEST(EnvContextTest, BuiltFromWorld) {
