@@ -1,0 +1,167 @@
+// Threading benchmark for the training hot path. Measures (a) MatMul
+// forward+backward on GEMM shapes taken from the GARL model on KAIST and
+// (b) end-to-end IPPO seconds/iteration with parallel episode collection,
+// each at 1 thread vs GARL_NUM_THREADS (default 4), and writes
+// BENCH_kernels.json into the working directory.
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "bench_common.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "rl/ippo_trainer.h"
+#include "rl/policy.h"
+
+namespace garl::bench {
+namespace {
+
+int64_t BenchThreads() {
+  const char* env = std::getenv("GARL_NUM_THREADS");
+  if (env != nullptr && *env != '\0') {
+    return std::max<int64_t>(1, std::atoll(env));
+  }
+  return 4;
+}
+
+double SecondsFor(const std::function<void()>& fn, int64_t reps) {
+  auto start = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < reps; ++i) fn();
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count() / static_cast<double>(reps);
+}
+
+nn::Tensor RandomMatrix(int64_t rows, int64_t cols, Rng& rng) {
+  std::vector<float> values(static_cast<size_t>(rows * cols));
+  for (float& v : values) v = rng.UniformF(-1.0f, 1.0f);
+  return nn::Tensor::FromVector({rows, cols}, std::move(values),
+                                /*requires_grad=*/true);
+}
+
+struct GemmCase {
+  std::string label;
+  int64_t n, k, m;
+  double sec_one = 0.0;
+  double sec_many = 0.0;
+};
+
+// One training-step-shaped unit of work: forward GEMM, scalar loss,
+// backward (which itself runs two GEMMs against the packed transposes).
+double TimeGemm(const GemmCase& gemm, int64_t reps) {
+  Rng rng(17);
+  nn::Tensor a = RandomMatrix(gemm.n, gemm.k, rng);
+  nn::Tensor b = RandomMatrix(gemm.k, gemm.m, rng);
+  return SecondsFor(
+      [&] {
+        nn::Tensor loss = nn::Sum(nn::MatMul(a, b));
+        loss.Backward();
+      },
+      reps);
+}
+
+struct EndToEnd {
+  int64_t episodes_per_iteration = 0;
+  double sec_one = 0.0;
+  double sec_many = 0.0;
+};
+
+double TimeIterations(env::World& world, int64_t episodes, int64_t reps) {
+  Rng rng(5);
+  rl::EnvContext context = rl::MakeEnvContext(world);
+  auto policy = baselines::MakeUgvPolicy("GARL", context,
+                                         baselines::MethodOptions(), rng);
+  GARL_CHECK(policy.ok());
+  rl::TrainConfig config;
+  config.episodes_per_iteration = episodes;
+  config.epochs = 1;
+  config.seed = 1;
+  rl::IppoTrainer trainer(&world, policy.value().get(), nullptr, config);
+  return SecondsFor([&] { trainer.RunIteration(); }, reps);
+}
+
+void WriteJson(const std::string& path, int64_t threads,
+               const std::vector<GemmCase>& gemms, const EndToEnd& e2e) {
+  std::ofstream out(path);
+  GARL_CHECK(out.good());
+  // hardware_concurrency bounds the achievable speedup; on a 1-core box
+  // every ratio is ~1 regardless of thread count.
+  out << "{\n  \"threads\": " << threads << ",\n  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n  \"gemm\": [\n";
+  for (size_t i = 0; i < gemms.size(); ++i) {
+    const GemmCase& g = gemms[i];
+    out << "    {\"label\": \"" << g.label << "\", \"n\": " << g.n
+        << ", \"k\": " << g.k << ", \"m\": " << g.m
+        << ", \"seconds_1_thread\": " << g.sec_one
+        << ", \"seconds_n_threads\": " << g.sec_many
+        << ", \"speedup\": " << (g.sec_many > 0 ? g.sec_one / g.sec_many : 0.0)
+        << "}" << (i + 1 < gemms.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"end_to_end\": {\"campus\": \"KAIST\", "
+      << "\"episodes_per_iteration\": " << e2e.episodes_per_iteration
+      << ", \"seconds_per_iteration_1_thread\": " << e2e.sec_one
+      << ", \"seconds_per_iteration_n_threads\": " << e2e.sec_many
+      << ", \"speedup\": "
+      << (e2e.sec_many > 0 ? e2e.sec_one / e2e.sec_many : 0.0) << "}\n}\n";
+}
+
+int Main() {
+  const int64_t threads = BenchThreads();
+  BenchOptions options = LoadBenchOptions();
+
+  // GEMM shapes as they occur in the GARL forward pass on KAIST: Laplacian
+  // propagation L[B,B] x H[B,d], hidden projections H[B,d] x W[d,d], and the
+  // stacked-slot policy/value heads.
+  std::unique_ptr<env::World> world = MakeWorld("KAIST", 4, 2, options.horizon);
+  const int64_t stops = world->stops().num_stops();
+  std::vector<GemmCase> gemms = {
+      {"laplacian_propagation", stops, stops, 64},
+      {"hidden_projection", stops, 64, 64},
+      {"policy_head_batch", 256, 64, 64},
+  };
+
+  const int64_t gemm_reps = 20;
+  for (GemmCase& g : gemms) {
+    ThreadPool::SetGlobalThreads(1);
+    g.sec_one = TimeGemm(g, gemm_reps);
+    ThreadPool::SetGlobalThreads(threads);
+    g.sec_many = TimeGemm(g, gemm_reps);
+    std::cout << "gemm " << g.label << " [" << g.n << "x" << g.k << "x" << g.m
+              << "]  1t=" << g.sec_one << "s  " << threads
+              << "t=" << g.sec_many << "s  speedup="
+              << (g.sec_many > 0 ? g.sec_one / g.sec_many : 0.0) << "\n";
+  }
+
+  EndToEnd e2e;
+  e2e.episodes_per_iteration = threads;
+  const int64_t iter_reps = 2;
+  ThreadPool::SetGlobalThreads(1);
+  e2e.sec_one = TimeIterations(*world, e2e.episodes_per_iteration, iter_reps);
+  ThreadPool::SetGlobalThreads(threads);
+  e2e.sec_many = TimeIterations(*world, e2e.episodes_per_iteration, iter_reps);
+  ThreadPool::SetGlobalThreads(1);
+  std::cout << "end-to-end KAIST E=" << e2e.episodes_per_iteration
+            << "  1t=" << e2e.sec_one << "s/iter  " << threads
+            << "t=" << e2e.sec_many << "s/iter  speedup="
+            << (e2e.sec_many > 0 ? e2e.sec_one / e2e.sec_many : 0.0) << "\n";
+
+  WriteJson("BENCH_kernels.json", threads, gemms, e2e);
+  std::cout << "wrote BENCH_kernels.json\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace garl::bench
+
+int main() { return garl::bench::Main(); }

@@ -1,0 +1,36 @@
+# Configures a ThreadSanitizer sub-build of the tree and runs the
+# concurrency-sensitive tests under it. Invoked by the `tsan_thread_tests`
+# ctest entry registered from the top-level CMakeLists.txt.
+#
+# Expects: SOURCE_DIR, BINARY_DIR.
+
+if(NOT SOURCE_DIR OR NOT BINARY_DIR)
+  message(FATAL_ERROR "run_tsan_tests.cmake needs -DSOURCE_DIR and -DBINARY_DIR")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BINARY_DIR}
+          -DGARL_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE configure_result)
+if(NOT configure_result EQUAL 0)
+  message(FATAL_ERROR "TSan sub-build configure failed")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR}
+          --target thread_pool_test parallel_rollout_test -j
+  RESULT_VARIABLE build_result)
+if(NOT build_result EQUAL 0)
+  message(FATAL_ERROR "TSan sub-build compile failed")
+endif()
+
+# halt_on_error makes any race a hard test failure rather than a log line.
+set(ENV{TSAN_OPTIONS} "halt_on_error=1")
+foreach(test_binary thread_pool_test parallel_rollout_test)
+  execute_process(
+    COMMAND ${BINARY_DIR}/tests/${test_binary}
+    RESULT_VARIABLE run_result)
+  if(NOT run_result EQUAL 0)
+    message(FATAL_ERROR "${test_binary} failed under ThreadSanitizer")
+  endif()
+endforeach()

@@ -57,6 +57,19 @@ class Rng {
   // Derives an independent child generator; the parent's stream advances.
   Rng Split() { return Rng(engine_() ^ 0x9E3779B97F4A7C15ULL); }
 
+  // Stateless stream derivation (SplitMix64 finalizer over seed + stream):
+  // the seed for stream `stream` of base seed `seed` is a pure function of
+  // its inputs, so parallel workers can reconstruct their streams from
+  // (trainer seed, episode number) alone — no parent stream to advance, and
+  // the result is identical no matter which thread asks. Used by parallel
+  // rollout collection to keep metrics bit-identical for any thread count.
+  static uint64_t StreamSeed(uint64_t seed, uint64_t stream) {
+    uint64_t z = seed + stream * 0x9E3779B97F4A7C15ULL + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
   template <typename T>
   void Shuffle(std::vector<T>& items) {
     std::shuffle(items.begin(), items.end(), engine_);

@@ -1,0 +1,150 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "common/env_flags.h"
+
+namespace garl {
+
+namespace {
+
+thread_local bool t_in_pool_worker = false;
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+int64_t DefaultThreads() {
+  int64_t hw = static_cast<int64_t>(std::thread::hardware_concurrency());
+  return std::max<int64_t>(EnvInt("GARL_NUM_THREADS", std::max<int64_t>(hw, 1)),
+                           1);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int64_t num_threads)
+    : num_threads_(std::max<int64_t>(num_threads, 1)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int64_t i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (workers_.empty()) {
+    packaged();  // inline: future still carries result/exception
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body) {
+  if (end <= begin) return;
+  int64_t span = end - begin;
+  grain = std::max<int64_t>(grain, 1);
+  // Inline when parallelism cannot help or must not be used (reentrancy).
+  if (span <= grain || num_threads_ <= 1 || workers_.empty() ||
+      t_in_pool_worker) {
+    body(begin, end);
+    return;
+  }
+  int64_t chunks = std::min(num_threads_, (span + grain - 1) / grain);
+  int64_t chunk_size = (span + chunks - 1) / chunks;
+
+  // First-exception slot shared by all chunks.
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::atomic<int64_t> remaining(chunks - 1);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  auto run_chunk = [&](int64_t chunk_begin, int64_t chunk_end) {
+    try {
+      body(chunk_begin, chunk_end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  // Chunks 1..N-1 go to workers; the caller runs chunk 0 itself.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int64_t c = 1; c < chunks; ++c) {
+      int64_t chunk_begin = begin + c * chunk_size;
+      int64_t chunk_end = std::min(chunk_begin + chunk_size, end);
+      queue_.emplace_back([&, chunk_begin, chunk_end] {
+        run_chunk(chunk_begin, chunk_end);
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> done_lock(done_mutex);
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+  run_chunk(begin, std::min(begin + chunk_size, end));
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+bool ThreadPool::InWorker() { return t_in_pool_worker; }
+
+ThreadPool::InlineScope::InlineScope() : previous_(t_in_pool_worker) {
+  t_in_pool_worker = true;
+}
+
+ThreadPool::InlineScope::~InlineScope() { t_in_pool_worker = previous_; }
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(DefaultThreads());
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::SetGlobalThreads(int64_t num_threads) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+}  // namespace garl

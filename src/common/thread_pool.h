@@ -1,0 +1,95 @@
+#ifndef GARL_COMMON_THREAD_POOL_H_
+#define GARL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// Fixed-size thread pool shared by the tensor kernels (blocked GEMM, conv,
+// row-wise reductions) and the rollout layer (parallel episode collection).
+//
+// Sizing: ThreadPool::Global() is created on first use with
+// GARL_NUM_THREADS threads (default: std::thread::hardware_concurrency).
+// `num_threads` counts the caller too, so a pool of N spawns N-1 workers;
+// N == 1 means everything runs inline on the caller's thread.
+//
+// Determinism contract: ParallelFor partitions [begin, end) into disjoint
+// chunks and the caller blocks until all chunks finish. Kernels built on it
+// assign each output location to exactly one chunk and keep the within-chunk
+// accumulation order identical to the sequential loop, so results are
+// bit-identical for every thread count (see DESIGN.md, Threading model).
+//
+// Reentrancy: a ParallelFor issued from inside a pool task runs inline and
+// sequential on that worker (no nested fan-out, no deadlock).
+
+namespace garl {
+
+class ThreadPool {
+ public:
+  // `num_threads` <= 1 creates a pool that runs everything inline.
+  explicit ThreadPool(int64_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total concurrency including the calling thread (>= 1).
+  int64_t num_threads() const { return num_threads_; }
+
+  // Enqueues `task` on a worker (runs inline when there are no workers).
+  // The future rethrows any exception the task threw.
+  std::future<void> Submit(std::function<void()> task);
+
+  // Runs body(chunk_begin, chunk_end) over a partition of [begin, end).
+  // At most num_threads() chunks; no chunk smaller than `grain` (except the
+  // last). Runs inline when the range fits one grain, the pool has one
+  // thread, or the caller is itself a pool worker. Blocks until every chunk
+  // completed; the first exception thrown by any chunk is rethrown.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+  // True when the calling thread is one of this process's pool workers.
+  static bool InWorker();
+
+  // RAII: while alive, ParallelFor calls issued from this thread run inline
+  // instead of enqueuing chunks. The rollout layer wraps the episode it runs
+  // on the calling thread with this so its kernel chunks don't queue behind
+  // whole-episode tasks already handed to the workers.
+  class InlineScope {
+   public:
+    InlineScope();
+    ~InlineScope();
+    InlineScope(const InlineScope&) = delete;
+    InlineScope& operator=(const InlineScope&) = delete;
+
+   private:
+    bool previous_;
+  };
+
+  // Process-wide pool, created on first use with GARL_NUM_THREADS threads
+  // (default hardware_concurrency).
+  static ThreadPool& Global();
+
+  // Replaces the global pool (benchmarks / determinism tests). Must not be
+  // called while kernels or rollouts are in flight.
+  static void SetGlobalThreads(int64_t num_threads);
+
+ private:
+  void WorkerLoop();
+
+  int64_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace garl
+
+#endif  // GARL_COMMON_THREAD_POOL_H_

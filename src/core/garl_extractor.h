@@ -44,6 +44,11 @@ class GarlExtractor : public rl::UgvFeatureExtractor {
   rl::UgvPriors Priors(
       const std::vector<env::UgvObservation>& observations) override;
 
+  // Extract/Priors build everything from locals (GCN stack, attention,
+  // E-Comm preferences); no member is written, so concurrent rollout
+  // workers may share one extractor.
+  bool ThreadSafeExtract() const override { return true; }
+
   int64_t feature_dim() const override;
   std::string name() const override;
   std::vector<nn::Tensor> Parameters() const override;

@@ -30,6 +30,9 @@ class UavCnnPolicy : public rl::UavPolicyNetwork {
 
   std::vector<nn::Tensor> Parameters() const override;
 
+  // Pure feed-forward CNN; no member state is written during Forward.
+  bool ThreadSafeInference() const override { return true; }
+
  private:
   UavPolicyConfig config_;
   std::unique_ptr<nn::Conv2dLayer> conv1_;

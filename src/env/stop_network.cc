@@ -51,6 +51,29 @@ class NodePool {
 
 }  // namespace
 
+const graph::ShortestPaths& StopNetwork::PathsFrom(int64_t source) const {
+  GARL_CHECK_GE(source, 0);
+  GARL_CHECK_LT(source, num_stops());
+  if (route_cache_.size() != static_cast<size_t>(num_stops())) {
+    route_cache_.assign(static_cast<size_t>(num_stops()), std::nullopt);
+  }
+  std::optional<graph::ShortestPaths>& entry =
+      route_cache_[static_cast<size_t>(source)];
+  if (entry.has_value()) {
+    ++route_cache_hits_;
+  } else {
+    entry = graph::Dijkstra(graph, source);
+    ++route_cache_misses_;
+  }
+  return *entry;
+}
+
+void StopNetwork::InvalidateRouteCache() {
+  route_cache_.clear();
+  route_cache_hits_ = 0;
+  route_cache_misses_ = 0;
+}
+
 int64_t StopNetwork::NearestStop(const Vec2& p) const {
   GARL_CHECK(!positions.empty());
   int64_t best = 0;
@@ -122,6 +145,8 @@ StopNetwork BuildStopNetwork(const CampusSpec& campus, double spacing) {
       network.graph.AddEdge(u, v, std::max(w, 0.5));
     }
   }
+  // The graph was just (re)built; any memoized routes are stale.
+  network.InvalidateRouteCache();
   return network;
 }
 

@@ -1,10 +1,12 @@
 #ifndef GARL_ENV_STOP_NETWORK_H_
 #define GARL_ENV_STOP_NETWORK_H_
 
+#include <optional>
 #include <vector>
 
 #include "env/campus.h"
 #include "graph/graph.h"
+#include "graph/shortest_path.h"
 
 // Builds the UGV stop graph G = {B, E} from a campus's road polylines:
 // virtual stop nodes are placed at regular intervals along the roads and
@@ -21,6 +23,25 @@ struct StopNetwork {
 
   // Nearest stop node to `p` (euclidean).
   int64_t NearestStop(const Vec2& p) const;
+
+  // Memoized single-source shortest paths over the (static) stop graph:
+  // Dijkstra runs at most once per source, repeated queries return the
+  // cached result. The cache is lazy (first query per source pays the
+  // sweep) and must be cleared with InvalidateRouteCache() whenever `graph`
+  // is rebuilt or mutated. Not safe for concurrent first-queries on the
+  // same instance — parallel rollout workers each own a World copy, so
+  // their caches are private.
+  const graph::ShortestPaths& PathsFrom(int64_t source) const;
+  void InvalidateRouteCache();
+
+  // Cache instrumentation for tests.
+  int64_t route_cache_hits() const { return route_cache_hits_; }
+  int64_t route_cache_misses() const { return route_cache_misses_; }
+
+ private:
+  mutable std::vector<std::optional<graph::ShortestPaths>> route_cache_;
+  mutable int64_t route_cache_hits_ = 0;
+  mutable int64_t route_cache_misses_ = 0;
 };
 
 // `spacing` is the target stop interval in meters (100 m in the paper).

@@ -22,8 +22,15 @@ World::World(CampusSpec campus, WorldParams params)
   for (int64_t b = 0; b < num_stops; ++b) {
     hop_table_.push_back(graph::BfsHops(stops_.graph, b));
   }
-  distance_table_ = graph::AllPairsDistances(stops_.graph);
-  next_hop_ = graph::NextHopTable(stops_.graph);
+  // One cached Dijkstra per source feeds both the distance table and the
+  // routing table (previously two independent all-pairs sweeps).
+  distance_table_.reserve(static_cast<size_t>(num_stops));
+  next_hop_.reserve(static_cast<size_t>(num_stops));
+  for (int64_t b = 0; b < num_stops; ++b) {
+    const graph::ShortestPaths& paths = stops_.PathsFrom(b);
+    distance_table_.push_back(paths.dist);
+    next_hop_.push_back(graph::NextHopsFromPaths(paths, b));
+  }
 
   // Sensor coverage per stop.
   stop_cover_.assign(static_cast<size_t>(num_stops), {});

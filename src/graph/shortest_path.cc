@@ -62,24 +62,31 @@ std::vector<std::vector<double>> AllPairsDistances(const Graph& graph) {
   return dist;
 }
 
-std::vector<std::vector<int64_t>> NextHopTable(const Graph& graph) {
-  size_t n = static_cast<size_t>(graph.num_nodes());
-  std::vector<std::vector<int64_t>> next(n, std::vector<int64_t>(n, -1));
-  for (int64_t s = 0; s < graph.num_nodes(); ++s) {
-    ShortestPaths sp = Dijkstra(graph, s);
-    for (int64_t t = 0; t < graph.num_nodes(); ++t) {
-      if (t == s) {
-        next[s][t] = s;
-        continue;
-      }
-      if (sp.parent[static_cast<size_t>(t)] < 0) continue;  // unreachable
-      // Walk back from t until the node whose parent is s.
-      int64_t node = t;
-      while (sp.parent[static_cast<size_t>(node)] != s) {
-        node = sp.parent[static_cast<size_t>(node)];
-      }
-      next[s][t] = node;
+std::vector<int64_t> NextHopsFromPaths(const ShortestPaths& paths,
+                                       int64_t source) {
+  size_t n = paths.parent.size();
+  std::vector<int64_t> next(n, -1);
+  for (int64_t t = 0; t < static_cast<int64_t>(n); ++t) {
+    if (t == source) {
+      next[static_cast<size_t>(t)] = source;
+      continue;
     }
+    if (paths.parent[static_cast<size_t>(t)] < 0) continue;  // unreachable
+    // Walk back from t until the node whose parent is the source.
+    int64_t node = t;
+    while (paths.parent[static_cast<size_t>(node)] != source) {
+      node = paths.parent[static_cast<size_t>(node)];
+    }
+    next[static_cast<size_t>(t)] = node;
+  }
+  return next;
+}
+
+std::vector<std::vector<int64_t>> NextHopTable(const Graph& graph) {
+  std::vector<std::vector<int64_t>> next;
+  next.reserve(static_cast<size_t>(graph.num_nodes()));
+  for (int64_t s = 0; s < graph.num_nodes(); ++s) {
+    next.push_back(NextHopsFromPaths(Dijkstra(graph, s), s));
   }
   return next;
 }

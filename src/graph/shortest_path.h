@@ -24,6 +24,13 @@ struct ShortestPaths {
 // Single-source Dijkstra.
 ShortestPaths Dijkstra(const Graph& graph, int64_t source);
 
+// next_hop[t] = neighbor of `source` on a shortest source->t path (source
+// when t==source, -1 when unreachable), derived from an existing Dijkstra
+// result. Lets callers that already hold `paths` (e.g. the stop network's
+// route cache) build routing tables without a second Dijkstra sweep.
+std::vector<int64_t> NextHopsFromPaths(const ShortestPaths& paths,
+                                       int64_t source);
+
 // Unweighted hop counts from `source` (-1 when unreachable).
 std::vector<int64_t> BfsHops(const Graph& graph, int64_t source);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace garl::nn {
 
@@ -14,7 +15,75 @@ namespace {
 
 constexpr float kLogFloor = 1e-12f;
 
+// thread_local so pool workers can run inference concurrently: each rollout
+// worker installs its own NoGradGuard without touching the other threads'
+// grad mode.
 thread_local bool g_grad_mode = true;
+
+// --- Parallelism helpers ----------------------------------------------------
+//
+// Every parallel kernel partitions its output locations into disjoint chunks
+// (ThreadPool::ParallelFor) and keeps the within-chunk accumulation order
+// identical to the sequential loop, so results are bit-identical for any
+// GARL_NUM_THREADS (the determinism contract in DESIGN.md).
+
+// Fused multiply-add count below which a kernel stays on the calling thread;
+// GARL's smallest layers (16-64 wide) never pay pool overhead.
+constexpr int64_t kParallelCutoff = 1 << 15;
+// Elementwise loops: elements per chunk.
+constexpr int64_t kElementwiseGrain = 1 << 14;
+
+// Rows per chunk so each chunk carries at least kParallelCutoff FMAs of
+// per-row work `row_cost`.
+int64_t RowGrain(int64_t row_cost) {
+  return std::max<int64_t>(1, kParallelCutoff / std::max<int64_t>(row_cost, 1));
+}
+
+// C[n,m] += A[n,k] * B[k,m], all row-major. Cache-blocked over the inner
+// dimension and parallel over row blocks of C. Each row of C is owned by
+// exactly one chunk and accumulates in ascending-p order, so the result is
+// bit-identical for every thread count. Zero entries of A are skipped (the
+// graph ops multiply by Laplacians that are mostly zeros).
+void GemmAccumulate(const float* a, const float* b, float* c, int64_t n,
+                    int64_t k, int64_t m) {
+  constexpr int64_t kPanel = 256;  // B-panel depth kept hot in cache
+  auto rows = [a, b, c, k, m](int64_t row_begin, int64_t row_end) {
+    for (int64_t pb = 0; pb < k; pb += kPanel) {
+      int64_t pe = std::min(pb + kPanel, k);
+      for (int64_t i = row_begin; i < row_end; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * m;
+        for (int64_t p = pb; p < pe; ++p) {
+          float aip = arow[p];
+          if (aip == 0.0f) continue;
+          const float* brow = b + p * m;
+          for (int64_t j = 0; j < m; ++j) crow[j] += aip * brow[j];
+        }
+      }
+    }
+  };
+  ThreadPool::Global().ParallelFor(0, n, RowGrain(k * m), rows);
+}
+
+// Contiguous [cols, rows] transpose of a row-major [rows, cols] matrix, so
+// the two backward GEMMs of MatMul stream both operands with unit stride.
+std::vector<float> PackTranspose(const float* src, int64_t rows,
+                                 int64_t cols) {
+  std::vector<float> out(static_cast<size_t>(rows * cols));
+  constexpr int64_t kBlock = 64;  // tile so src and out lines both stay hot
+  for (int64_t ib = 0; ib < rows; ib += kBlock) {
+    int64_t ie = std::min(ib + kBlock, rows);
+    for (int64_t jb = 0; jb < cols; jb += kBlock) {
+      int64_t je = std::min(jb + kBlock, cols);
+      for (int64_t i = ib; i < ie; ++i) {
+        for (int64_t j = jb; j < je; ++j) {
+          out[j * rows + i] = src[i * cols + j];
+        }
+      }
+    }
+  }
+  return out;
+}
 
 bool AnyRequiresGrad(const std::vector<Tensor>& inputs) {
   for (const Tensor& t : inputs) {
@@ -48,23 +117,33 @@ void CheckSameShape(const Tensor& a, const Tensor& b) {
 }
 
 // Elementwise binary helper: fwd(a_i, b_i) -> out_i and backward producing
-// (dL/da_i, dL/db_i) from (a_i, b_i, dL/dout_i).
+// (dL/da_i, dL/db_i) from (a_i, b_i, dL/dout_i). Forward and backward chunk
+// the index space; each index is touched by exactly one chunk (grads for
+// index i go to slot i of each parent, even when the parents alias).
 template <typename Fwd, typename Bwd>
 Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, Fwd fwd, Bwd bwd) {
   CheckSameShape(a, b);
   const auto& av = a.data();
   const auto& bv = b.data();
   std::vector<float> out(av.size());
-  for (size_t i = 0; i < av.size(); ++i) out[i] = fwd(av[i], bv[i]);
+  ThreadPool::Global().ParallelFor(
+      0, static_cast<int64_t>(av.size()), kElementwiseGrain,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) out[i] = fwd(av[i], bv[i]);
+      });
   Impl ai = a.impl(), bi = b.impl();
   return MakeOp(a.shape(), std::move(out), {a, b},
                 [ai, bi, bwd](TensorImpl& self) {
-                  for (size_t i = 0; i < self.value.size(); ++i) {
-                    auto [da, db] = bwd(ai->value[i], bi->value[i],
-                                        self.grad[i]);
-                    ai->grad[i] += da;
-                    bi->grad[i] += db;
-                  }
+                  ThreadPool::Global().ParallelFor(
+                      0, static_cast<int64_t>(self.value.size()),
+                      kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i) {
+                          auto [da, db] = bwd(ai->value[i], bi->value[i],
+                                              self.grad[i]);
+                          ai->grad[i] += da;
+                          bi->grad[i] += db;
+                        }
+                      });
                 });
 }
 
@@ -73,14 +152,22 @@ template <typename Fwd, typename Bwd>
 Tensor ElementwiseUnary(const Tensor& a, Fwd fwd, Bwd bwd) {
   const auto& av = a.data();
   std::vector<float> out(av.size());
-  for (size_t i = 0; i < av.size(); ++i) out[i] = fwd(av[i]);
+  ThreadPool::Global().ParallelFor(
+      0, static_cast<int64_t>(av.size()), kElementwiseGrain,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) out[i] = fwd(av[i]);
+      });
   Impl ai = a.impl();
   return MakeOp(a.shape(), std::move(out), {a},
                 [ai, bwd](TensorImpl& self) {
-                  for (size_t i = 0; i < self.value.size(); ++i) {
-                    ai->grad[i] += bwd(ai->value[i], self.value[i],
-                                       self.grad[i]);
-                  }
+                  ThreadPool::Global().ParallelFor(
+                      0, static_cast<int64_t>(self.value.size()),
+                      kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i) {
+                          ai->grad[i] += bwd(ai->value[i], self.value[i],
+                                             self.grad[i]);
+                        }
+                      });
                 });
 }
 
@@ -240,41 +327,44 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                                      a.ShapeString() + " x " +
                                      b.ShapeString());
   std::vector<float> out(static_cast<size_t>(n * m), 0.0f);
-  const auto& av = a.data();
-  const auto& bv = b.data();
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      float aip = av[i * k + p];
-      if (aip == 0.0f) continue;
-      const float* brow = &bv[p * m];
-      float* orow = &out[i * m];
-      for (int64_t j = 0; j < m; ++j) orow[j] += aip * brow[j];
-    }
-  }
+  GemmAccumulate(a.data().data(), b.data().data(), out.data(), n, k, m);
   Impl ai = a.impl(), bi = b.impl();
   return MakeOp({n, m}, std::move(out), {a, b},
                 [ai, bi, n, k, m](TensorImpl& self) {
-                  // dA = dOut * B^T ; dB = A^T * dOut.
-                  for (int64_t i = 0; i < n; ++i) {
-                    for (int64_t j = 0; j < m; ++j) {
-                      float g = self.grad[i * m + j];
-                      if (g == 0.0f) continue;
-                      for (int64_t p = 0; p < k; ++p) {
-                        ai->grad[i * k + p] += g * bi->value[p * m + j];
-                        bi->grad[p * m + j] += g * ai->value[i * k + p];
-                      }
-                    }
-                  }
+                  // Two explicit GEMMs instead of one scalar triple-loop
+                  // striding both grads: dA = dOut * B^T and dB = A^T * dOut,
+                  // each against a packed transpose so all operands stream
+                  // with unit stride. Row blocks of dA / dB parallelize
+                  // independently; when a and b alias the two passes run
+                  // back-to-back on the same grad buffer, never racing.
+                  std::vector<float> bt =
+                      PackTranspose(bi->value.data(), k, m);  // [m, k]
+                  GemmAccumulate(self.grad.data(), bt.data(), ai->grad.data(),
+                                 n, m, k);
+                  std::vector<float> at =
+                      PackTranspose(ai->value.data(), n, k);  // [k, n]
+                  GemmAccumulate(at.data(), self.grad.data(), bi->grad.data(),
+                                 k, n, m);
                 });
 }
 
 Tensor Transpose(const Tensor& a) {
   GARL_CHECK_EQ(a.dim(), 2);
   int64_t n = a.size(0), m = a.size(1);
-  std::vector<float> out(static_cast<size_t>(n * m));
-  const auto& av = a.data();
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < m; ++j) out[j * n + i] = av[i * m + j];
+  // Single up-front resize (every element is overwritten below) and a tiled
+  // walk so both the source rows and destination columns stay cache-hot.
+  std::vector<float> out;
+  out.resize(static_cast<size_t>(n * m));
+  const float* src = a.data().data();
+  constexpr int64_t kBlock = 64;
+  for (int64_t ib = 0; ib < n; ib += kBlock) {
+    int64_t ie = std::min(ib + kBlock, n);
+    for (int64_t jb = 0; jb < m; jb += kBlock) {
+      int64_t je = std::min(jb + kBlock, m);
+      for (int64_t i = ib; i < ie; ++i) {
+        for (int64_t j = jb; j < je; ++j) out[j * n + i] = src[i * m + j];
+      }
+    }
   }
   Impl ai = a.impl();
   return MakeOp({m, n}, std::move(out), {a}, [ai, n, m](TensorImpl& self) {
@@ -309,24 +399,43 @@ Tensor SumDim(const Tensor& a, int64_t dim) {
   const auto& av = a.data();
   Impl ai = a.impl();
   if (dim == 0) {
+    // Column reduction: chunk the columns; each output column accumulates
+    // over ascending rows within one chunk (deterministic for any thread
+    // count).
     std::vector<float> out(static_cast<size_t>(m), 0.0f);
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t j = 0; j < m; ++j) out[j] += av[i * m + j];
-    }
+    ThreadPool::Global().ParallelFor(
+        0, m, RowGrain(n), [&](int64_t jb, int64_t je) {
+          for (int64_t i = 0; i < n; ++i) {
+            for (int64_t j = jb; j < je; ++j) out[j] += av[i * m + j];
+          }
+        });
     return MakeOp({m}, std::move(out), {a}, [ai, n, m](TensorImpl& self) {
-      for (int64_t i = 0; i < n; ++i) {
-        for (int64_t j = 0; j < m; ++j) ai->grad[i * m + j] += self.grad[j];
-      }
+      ThreadPool::Global().ParallelFor(
+          0, n, RowGrain(m), [&](int64_t ib, int64_t ie) {
+            for (int64_t i = ib; i < ie; ++i) {
+              for (int64_t j = 0; j < m; ++j) {
+                ai->grad[i * m + j] += self.grad[j];
+              }
+            }
+          });
     });
   }
   std::vector<float> out(static_cast<size_t>(n), 0.0f);
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < m; ++j) out[i] += av[i * m + j];
-  }
+  ThreadPool::Global().ParallelFor(
+      0, n, RowGrain(m), [&](int64_t ib, int64_t ie) {
+        for (int64_t i = ib; i < ie; ++i) {
+          for (int64_t j = 0; j < m; ++j) out[i] += av[i * m + j];
+        }
+      });
   return MakeOp({n}, std::move(out), {a}, [ai, n, m](TensorImpl& self) {
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t j = 0; j < m; ++j) ai->grad[i * m + j] += self.grad[i];
-    }
+    ThreadPool::Global().ParallelFor(
+        0, n, RowGrain(m), [&](int64_t ib, int64_t ie) {
+          for (int64_t i = ib; i < ie; ++i) {
+            for (int64_t j = 0; j < m; ++j) {
+              ai->grad[i * m + j] += self.grad[i];
+            }
+          }
+        });
   });
 }
 
@@ -352,21 +461,25 @@ Tensor Dot(const Tensor& a, const Tensor& b) {
 
 namespace {
 
-// Softmax over contiguous rows of length `m`.
+// Softmax over contiguous rows of length `m`; rows are independent, so they
+// chunk across the pool.
 void SoftmaxRows(const std::vector<float>& in, int64_t rows, int64_t m,
                  std::vector<float>& out) {
   out.resize(in.size());
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* x = &in[r * m];
-    float* y = &out[r * m];
-    float max_v = *std::max_element(x, x + m);
-    float total = 0.0f;
-    for (int64_t j = 0; j < m; ++j) {
-      y[j] = std::exp(x[j] - max_v);
-      total += y[j];
-    }
-    for (int64_t j = 0; j < m; ++j) y[j] /= total;
-  }
+  ThreadPool::Global().ParallelFor(
+      0, rows, RowGrain(m), [&](int64_t rb, int64_t re) {
+        for (int64_t r = rb; r < re; ++r) {
+          const float* x = &in[r * m];
+          float* y = &out[r * m];
+          float max_v = *std::max_element(x, x + m);
+          float total = 0.0f;
+          for (int64_t j = 0; j < m; ++j) {
+            y[j] = std::exp(x[j] - max_v);
+            total += y[j];
+          }
+          for (int64_t j = 0; j < m; ++j) y[j] /= total;
+        }
+      });
 }
 
 }  // namespace
@@ -380,16 +493,19 @@ Tensor Softmax(const Tensor& a) {
   Impl ai = a.impl();
   return MakeOp(a.shape(), std::move(out), {a},
                 [ai, rows, m](TensorImpl& self) {
-                  // dx_j = y_j * (g_j - sum_k g_k y_k).
-                  for (int64_t r = 0; r < rows; ++r) {
-                    const float* y = &self.value[r * m];
-                    const float* g = &self.grad[r * m];
-                    float dot = 0.0f;
-                    for (int64_t j = 0; j < m; ++j) dot += g[j] * y[j];
-                    for (int64_t j = 0; j < m; ++j) {
-                      ai->grad[r * m + j] += y[j] * (g[j] - dot);
-                    }
-                  }
+                  // dx_j = y_j * (g_j - sum_k g_k y_k); rows independent.
+                  ThreadPool::Global().ParallelFor(
+                      0, rows, RowGrain(m), [&](int64_t rb, int64_t re) {
+                        for (int64_t r = rb; r < re; ++r) {
+                          const float* y = &self.value[r * m];
+                          const float* g = &self.grad[r * m];
+                          float dot = 0.0f;
+                          for (int64_t j = 0; j < m; ++j) dot += g[j] * y[j];
+                          for (int64_t j = 0; j < m; ++j) {
+                            ai->grad[r * m + j] += y[j] * (g[j] - dot);
+                          }
+                        }
+                      });
                 });
 }
 
@@ -407,14 +523,18 @@ Tensor LogSoftmax(const Tensor& a) {
   // Keep softmax values for backward: dx_j = g_j - y_j * sum_k g_k.
   return MakeOp(a.shape(), std::move(out), {a},
                 [ai, rows, m, soft = std::move(soft)](TensorImpl& self) {
-                  for (int64_t r = 0; r < rows; ++r) {
-                    const float* g = &self.grad[r * m];
-                    float total = 0.0f;
-                    for (int64_t j = 0; j < m; ++j) total += g[j];
-                    for (int64_t j = 0; j < m; ++j) {
-                      ai->grad[r * m + j] += g[j] - soft[r * m + j] * total;
-                    }
-                  }
+                  ThreadPool::Global().ParallelFor(
+                      0, rows, RowGrain(m), [&](int64_t rb, int64_t re) {
+                        for (int64_t r = rb; r < re; ++r) {
+                          const float* g = &self.grad[r * m];
+                          float total = 0.0f;
+                          for (int64_t j = 0; j < m; ++j) total += g[j];
+                          for (int64_t j = 0; j < m; ++j) {
+                            ai->grad[r * m + j] +=
+                                g[j] - soft[r * m + j] * total;
+                          }
+                        }
+                      });
                 });
 }
 
@@ -451,13 +571,17 @@ Tensor Rows(const Tensor& a, int64_t start, int64_t len) {
 Tensor IndexRows(const Tensor& a, const std::vector<int64_t>& indices) {
   GARL_CHECK_EQ(a.dim(), 2);
   int64_t m = a.size(1);
-  std::vector<float> out;
-  out.reserve(indices.size() * static_cast<size_t>(m));
+  // Validate first, then gather in one reserved append pass — no
+  // zero-initialize-then-overwrite and no incremental regrowth.
   for (int64_t idx : indices) {
     GARL_CHECK_GE(idx, 0);
     GARL_CHECK_LT(idx, a.size(0));
-    out.insert(out.end(), a.data().begin() + idx * m,
-               a.data().begin() + (idx + 1) * m);
+  }
+  const float* src = a.data().data();
+  std::vector<float> out;
+  out.reserve(indices.size() * static_cast<size_t>(m));
+  for (int64_t idx : indices) {
+    out.insert(out.end(), src + idx * m, src + (idx + 1) * m);
   }
   Impl ai = a.impl();
   return MakeOp({static_cast<int64_t>(indices.size()), m}, std::move(out),
@@ -489,10 +613,13 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
   GARL_CHECK_LT(dim, rank);
   if (rank == 1) {
     int64_t total = 0;
-    std::vector<float> out;
     for (const Tensor& p : parts) {
       GARL_CHECK_EQ(p.dim(), 1);
       total += p.size(0);
+    }
+    std::vector<float> out;
+    out.reserve(static_cast<size_t>(total));
+    for (const Tensor& p : parts) {
       out.insert(out.end(), p.data().begin(), p.data().end());
     }
     std::vector<Impl> impls;
@@ -510,11 +637,14 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
   if (dim == 0) {
     int64_t m = parts[0].size(1);
     int64_t total = 0;
-    std::vector<float> out;
     for (const Tensor& p : parts) {
       GARL_CHECK_EQ(p.dim(), 2);
       GARL_CHECK_EQ(p.size(1), m);
       total += p.size(0);
+    }
+    std::vector<float> out;
+    out.reserve(static_cast<size_t>(total * m));
+    for (const Tensor& p : parts) {
       out.insert(out.end(), p.data().begin(), p.data().end());
     }
     std::vector<Impl> impls;
@@ -531,6 +661,8 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
                   });
   }
   // dim == 1: column-wise concat of 2-D tensors with equal row counts.
+  // Append row-major — row i of every part in turn — so the output is built
+  // in one reserved pass instead of zero-filled and then re-copied.
   int64_t n = parts[0].size(0);
   int64_t total_m = 0;
   for (const Tensor& p : parts) {
@@ -538,15 +670,14 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
     GARL_CHECK_EQ(p.size(0), n);
     total_m += p.size(1);
   }
-  std::vector<float> out(static_cast<size_t>(n * total_m));
-  int64_t col = 0;
-  for (const Tensor& p : parts) {
-    int64_t m = p.size(1);
-    for (int64_t i = 0; i < n; ++i) {
-      std::copy(p.data().begin() + i * m, p.data().begin() + (i + 1) * m,
-                out.begin() + i * total_m + col);
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(n * total_m));
+  for (int64_t i = 0; i < n; ++i) {
+    for (const Tensor& p : parts) {
+      int64_t m = p.size(1);
+      const float* row = p.data().data() + i * m;
+      out.insert(out.end(), row, row + m);
     }
-    col += m;
   }
   std::vector<Impl> impls;
   std::vector<int64_t> widths;
@@ -607,32 +738,39 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
 
   const auto& in = input.data();
   const auto& wt = weight.data();
+  const float* bias_data = bias.defined() ? bias.data().data() : nullptr;
   std::vector<float> out(static_cast<size_t>(batch * filters * oh * ow),
                          0.0f);
   auto in_at = [&](int64_t b, int64_t c, int64_t y, int64_t x) -> float {
     if (y < 0 || y >= height || x < 0 || x >= width) return 0.0f;
     return in[((b * channels + c) * height + y) * width + x];
   };
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t f = 0; f < filters; ++f) {
-      float bias_v = bias.defined() ? bias.data()[f] : 0.0f;
-      for (int64_t y = 0; y < oh; ++y) {
-        for (int64_t x = 0; x < ow; ++x) {
-          float acc = bias_v;
-          for (int64_t c = 0; c < channels; ++c) {
-            for (int64_t dy = 0; dy < kh; ++dy) {
-              for (int64_t dx = 0; dx < kw; ++dx) {
-                acc += in_at(b, c, y * stride + dy - padding,
-                             x * stride + dx - padding) *
-                       wt[((f * channels + c) * kh + dy) * kw + dx];
+  // Forward parallelizes over (batch, filter) planes; every output cell is
+  // written by exactly one chunk.
+  int64_t plane_cost = oh * ow * channels * kh * kw;
+  ThreadPool::Global().ParallelFor(
+      0, batch * filters, RowGrain(plane_cost),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t bf = lo; bf < hi; ++bf) {
+          int64_t b = bf / filters, f = bf % filters;
+          float bias_v = bias_data != nullptr ? bias_data[f] : 0.0f;
+          for (int64_t y = 0; y < oh; ++y) {
+            for (int64_t x = 0; x < ow; ++x) {
+              float acc = bias_v;
+              for (int64_t c = 0; c < channels; ++c) {
+                for (int64_t dy = 0; dy < kh; ++dy) {
+                  for (int64_t dx = 0; dx < kw; ++dx) {
+                    acc += in_at(b, c, y * stride + dy - padding,
+                                 x * stride + dx - padding) *
+                           wt[((f * channels + c) * kh + dy) * kw + dx];
+                  }
+                }
               }
+              out[((b * filters + f) * oh + y) * ow + x] = acc;
             }
           }
-          out[((b * filters + f) * oh + y) * ow + x] = acc;
         }
-      }
-    }
-  }
+      });
   std::vector<Tensor> inputs = {input, weight};
   if (bias.defined()) inputs.push_back(bias);
   Impl ii = input.impl(), wi = weight.impl();
@@ -640,35 +778,81 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   return MakeOp(
       {batch, filters, oh, ow}, std::move(out), inputs,
       [ii, wi, bi, batch, channels, height, width, filters, kh, kw, oh, ow,
-       stride, padding](TensorImpl& self) {
-        for (int64_t b = 0; b < batch; ++b) {
-          for (int64_t f = 0; f < filters; ++f) {
-            for (int64_t y = 0; y < oh; ++y) {
-              for (int64_t x = 0; x < ow; ++x) {
-                float g = self.grad[((b * filters + f) * oh + y) * ow + x];
-                if (g == 0.0f) continue;
-                if (bi) bi->grad[f] += g;
-                for (int64_t c = 0; c < channels; ++c) {
-                  for (int64_t dy = 0; dy < kh; ++dy) {
-                    for (int64_t dx = 0; dx < kw; ++dx) {
-                      int64_t iy = y * stride + dy - padding;
-                      int64_t ix = x * stride + dx - padding;
-                      if (iy < 0 || iy >= height || ix < 0 || ix >= width) {
-                        continue;
+       stride, padding, plane_cost](TensorImpl& self) {
+        // Two passes with disjoint write sets: input grads parallelize over
+        // batch entries (each dI[b] owned by one chunk), weight/bias grads
+        // over filters (each dW[f], dBias[f] owned by one chunk). Within a
+        // chunk the accumulation order matches the sequential loops, so
+        // grads are bit-identical for any thread count.
+        ThreadPool::Global().ParallelFor(
+            0, batch, RowGrain(filters * plane_cost),
+            [&](int64_t blo, int64_t bhi) {
+              for (int64_t b = blo; b < bhi; ++b) {
+                for (int64_t f = 0; f < filters; ++f) {
+                  for (int64_t y = 0; y < oh; ++y) {
+                    for (int64_t x = 0; x < ow; ++x) {
+                      float g =
+                          self.grad[((b * filters + f) * oh + y) * ow + x];
+                      if (g == 0.0f) continue;
+                      for (int64_t c = 0; c < channels; ++c) {
+                        for (int64_t dy = 0; dy < kh; ++dy) {
+                          for (int64_t dx = 0; dx < kw; ++dx) {
+                            int64_t iy = y * stride + dy - padding;
+                            int64_t ix = x * stride + dx - padding;
+                            if (iy < 0 || iy >= height || ix < 0 ||
+                                ix >= width) {
+                              continue;
+                            }
+                            ii->grad[((b * channels + c) * height + iy) *
+                                         width +
+                                     ix] +=
+                                g *
+                                wi->value[((f * channels + c) * kh + dy) *
+                                              kw +
+                                          dx];
+                          }
+                        }
                       }
-                      int64_t in_idx =
-                          ((b * channels + c) * height + iy) * width + ix;
-                      int64_t w_idx =
-                          ((f * channels + c) * kh + dy) * kw + dx;
-                      ii->grad[in_idx] += g * wi->value[w_idx];
-                      wi->grad[w_idx] += g * ii->value[in_idx];
                     }
                   }
                 }
               }
-            }
-          }
-        }
+            });
+        ThreadPool::Global().ParallelFor(
+            0, filters, RowGrain(batch * plane_cost / std::max<int64_t>(
+                                                          filters, 1)),
+            [&](int64_t flo, int64_t fhi) {
+              for (int64_t f = flo; f < fhi; ++f) {
+                for (int64_t b = 0; b < batch; ++b) {
+                  for (int64_t y = 0; y < oh; ++y) {
+                    for (int64_t x = 0; x < ow; ++x) {
+                      float g =
+                          self.grad[((b * filters + f) * oh + y) * ow + x];
+                      if (g == 0.0f) continue;
+                      if (bi) bi->grad[f] += g;
+                      for (int64_t c = 0; c < channels; ++c) {
+                        for (int64_t dy = 0; dy < kh; ++dy) {
+                          for (int64_t dx = 0; dx < kw; ++dx) {
+                            int64_t iy = y * stride + dy - padding;
+                            int64_t ix = x * stride + dx - padding;
+                            if (iy < 0 || iy >= height || ix < 0 ||
+                                ix >= width) {
+                              continue;
+                            }
+                            wi->grad[((f * channels + c) * kh + dy) * kw +
+                                     dx] +=
+                                g * ii->value[((b * channels + c) * height +
+                                               iy) *
+                                                  width +
+                                              ix];
+                          }
+                        }
+                      }
+                    }
+                  }
+                }
+              }
+            });
       });
 }
 

@@ -1,51 +1,105 @@
 #include "rl/evaluator.h"
 
+#include <future>
+#include <vector>
+
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "env/metrics.h"
 #include "nn/ops.h"
 #include "rl/rollout.h"
 
 namespace garl::rl {
 
+namespace {
+
+// One evaluation episode on `world`. The action RNG is a stateless stream
+// split of (options.seed, episode), so results do not depend on which
+// thread runs the episode or how many episodes share a worker.
+env::EpisodeMetrics RunEvalEpisode(env::World& world,
+                                   UgvPolicyNetwork& policy,
+                                   UavController& uav_controller,
+                                   const EvalOptions& options,
+                                   int64_t episode) {
+  Rng rng(Rng::StreamSeed(options.seed, static_cast<uint64_t>(episode)));
+  world.Reset(options.seed + static_cast<uint64_t>(episode));
+  while (!world.Done()) {
+    std::vector<env::UgvObservation> observations;
+    for (int64_t u = 0; u < world.num_ugvs(); ++u) {
+      observations.push_back(world.ObserveUgv(u));
+    }
+    std::vector<UgvPolicyOutput> outputs;
+    {
+      nn::NoGradGuard no_grad;
+      outputs = policy.Forward(observations);
+    }
+    std::vector<env::UgvAction> ugv_actions(
+        static_cast<size_t>(world.num_ugvs()));
+    for (int64_t u = 0; u < world.num_ugvs(); ++u) {
+      if (!world.UgvNeedsAction(u)) continue;
+      ugv_actions[static_cast<size_t>(u)] =
+          SampleUgvAction(outputs[static_cast<size_t>(u)], rng,
+                          options.greedy)
+              .action;
+    }
+    std::vector<env::UavAction> uav_actions(
+        static_cast<size_t>(world.num_uavs()));
+    for (int64_t v = 0; v < world.num_uavs(); ++v) {
+      if (world.UavAirborne(v)) {
+        uav_actions[static_cast<size_t>(v)] =
+            uav_controller.Act(world, v, rng);
+      }
+    }
+    world.Step(ugv_actions, uav_actions);
+  }
+  return world.Metrics();
+}
+
+}  // namespace
+
 env::EpisodeMetrics EvaluatePolicy(env::World& world,
                                    UgvPolicyNetwork& policy,
                                    UavController& uav_controller,
                                    const EvalOptions& options) {
   GARL_CHECK_GT(options.episodes, 0);
-  Rng rng(options.seed);
-  double psi = 0.0, xi = 0.0, zeta = 0.0, beta = 0.0;
-  for (int64_t episode = 0; episode < options.episodes; ++episode) {
-    world.Reset(options.seed + static_cast<uint64_t>(episode));
-    while (!world.Done()) {
-      std::vector<env::UgvObservation> observations;
-      for (int64_t u = 0; u < world.num_ugvs(); ++u) {
-        observations.push_back(world.ObserveUgv(u));
-      }
-      std::vector<UgvPolicyOutput> outputs;
-      {
-        nn::NoGradGuard no_grad;
-        outputs = policy.Forward(observations);
-      }
-      std::vector<env::UgvAction> ugv_actions(
-          static_cast<size_t>(world.num_ugvs()));
-      for (int64_t u = 0; u < world.num_ugvs(); ++u) {
-        if (!world.UgvNeedsAction(u)) continue;
-        ugv_actions[static_cast<size_t>(u)] =
-            SampleUgvAction(outputs[static_cast<size_t>(u)], rng,
-                            options.greedy)
-                .action;
-      }
-      std::vector<env::UavAction> uav_actions(
-          static_cast<size_t>(world.num_uavs()));
-      for (int64_t v = 0; v < world.num_uavs(); ++v) {
-        if (world.UavAirborne(v)) {
-          uav_actions[static_cast<size_t>(v)] =
-              uav_controller.Act(world, v, rng);
-        }
-      }
-      world.Step(ugv_actions, uav_actions);
+  std::vector<env::EpisodeMetrics> per_episode(
+      static_cast<size_t>(options.episodes));
+
+  ThreadPool& pool = ThreadPool::Global();
+  if (options.episodes > 1 && pool.num_threads() > 1 &&
+      !ThreadPool::InWorker() && policy.ThreadSafeInference() &&
+      uav_controller.ThreadSafe()) {
+    // Episodes 0..E-2 run on private world copies; the last runs on the
+    // caller's world, preserving the contract that `world` is left in its
+    // final episode's end state.
+    std::vector<env::World> worlds(static_cast<size_t>(options.episodes - 1),
+                                   world);
+    std::vector<std::future<void>> done;
+    done.reserve(worlds.size());
+    for (int64_t e = 0; e < options.episodes - 1; ++e) {
+      done.push_back(pool.Submit([&, e] {
+        per_episode[static_cast<size_t>(e)] = RunEvalEpisode(
+            worlds[static_cast<size_t>(e)], policy, uav_controller, options,
+            e);
+      }));
     }
-    env::EpisodeMetrics m = world.Metrics();
+    {
+      ThreadPool::InlineScope inline_kernels;
+      per_episode.back() = RunEvalEpisode(world, policy, uav_controller,
+                                          options, options.episodes - 1);
+    }
+    for (std::future<void>& f : done) f.get();
+  } else {
+    for (int64_t e = 0; e < options.episodes; ++e) {
+      per_episode[static_cast<size_t>(e)] =
+          RunEvalEpisode(world, policy, uav_controller, options, e);
+    }
+  }
+
+  // Average in episode order, so the sum is bit-identical for any thread
+  // count.
+  double psi = 0.0, xi = 0.0, zeta = 0.0, beta = 0.0;
+  for (const env::EpisodeMetrics& m : per_episode) {
     psi += m.data_collection_ratio;
     xi += m.fairness;
     zeta += m.cooperation_factor;

@@ -42,6 +42,11 @@ class UgvFeatureExtractor : public nn::Module {
   }
   // See UgvPolicyNetwork::ConsumeAuxLoss.
   virtual nn::Tensor ConsumeAuxLoss() { return nn::Tensor(); }
+
+  // True iff Extract/Priors touch no member state (see
+  // UgvPolicyNetwork::ThreadSafeInference). Stateful extractors keep the
+  // default false.
+  virtual bool ThreadSafeExtract() const { return false; }
 };
 
 struct FeaturePolicyOptions {
@@ -71,6 +76,11 @@ class FeatureUgvPolicy : public UgvPolicyNetwork {
   std::string name() const override { return extractor_->name(); }
   nn::Tensor ConsumeAuxLoss() override {
     return extractor_->ConsumeAuxLoss();
+  }
+  // The shared trunk/heads are stateless, so thread safety reduces to the
+  // extractor's.
+  bool ThreadSafeInference() const override {
+    return extractor_->ThreadSafeExtract();
   }
 
   UgvFeatureExtractor& extractor() { return *extractor_; }

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "nn/distributions.h"
 #include "nn/ops.h"
 #include "nn/serialization.h"
@@ -60,28 +61,31 @@ IppoTrainer::IppoTrainer(env::World* world, UgvPolicyNetwork* ugv_network,
   }
 }
 
-IppoTrainer::CollectResult IppoTrainer::CollectEpisode() {
+IppoTrainer::CollectResult IppoTrainer::RunEpisode(env::World& world,
+                                                   uint64_t reset_seed,
+                                                   uint64_t rng_seed) const {
   CollectResult result;
-  world_->Reset(config_.seed + static_cast<uint64_t>(++episode_counter_));
-  int64_t num_ugvs = world_->num_ugvs();
-  int64_t num_uavs = world_->num_uavs();
+  Rng rng(rng_seed);
+  world.Reset(reset_seed);
+  int64_t num_ugvs = world.num_ugvs();
+  int64_t num_uavs = world.num_uavs();
   result.ugv.agents.resize(static_cast<size_t>(num_ugvs));
   result.uav.agents.resize(static_cast<size_t>(num_uavs));
 
   // Index of each agent's latest decision, for reward credit assignment.
   std::vector<int64_t> last_decision(static_cast<size_t>(num_ugvs), -1);
 
-  while (!world_->Done()) {
+  while (!world.Done()) {
     // Observe everyone once per slot.
     std::vector<env::UgvObservation> observations;
     observations.reserve(static_cast<size_t>(num_ugvs));
     for (int64_t u = 0; u < num_ugvs; ++u) {
-      observations.push_back(world_->ObserveUgv(u));
+      observations.push_back(world.ObserveUgv(u));
     }
 
     bool anyone_acts = false;
     for (int64_t u = 0; u < num_ugvs; ++u) {
-      if (world_->UgvNeedsAction(u)) anyone_acts = true;
+      if (world.UgvNeedsAction(u)) anyone_acts = true;
     }
 
     std::vector<env::UgvAction> ugv_actions(static_cast<size_t>(num_ugvs));
@@ -94,13 +98,14 @@ IppoTrainer::CollectResult IppoTrainer::CollectEpisode() {
       int64_t slot_index = static_cast<int64_t>(result.ugv.slots.size());
       result.ugv.slots.push_back(observations);
       for (int64_t u = 0; u < num_ugvs; ++u) {
-        if (!world_->UgvNeedsAction(u)) continue;
+        if (!world.UgvNeedsAction(u)) continue;
         SampledUgvAction sampled =
-            SampleUgvAction(outputs[static_cast<size_t>(u)], rng_,
+            SampleUgvAction(outputs[static_cast<size_t>(u)], rng,
                             /*greedy=*/false);
         ugv_actions[static_cast<size_t>(u)] = sampled.action;
         UgvDecision decision;
         decision.slot = slot_index;
+        decision.ugv = u;
         decision.release = sampled.action.release ? 1 : 0;
         decision.target = sampled.action.target_stop;
         decision.old_log_prob = sampled.log_prob;
@@ -116,18 +121,18 @@ IppoTrainer::CollectResult IppoTrainer::CollectEpisode() {
     std::vector<env::UavAction> uav_actions(static_cast<size_t>(num_uavs));
     std::vector<bool> uav_acted(static_cast<size_t>(num_uavs), false);
     for (int64_t v = 0; v < num_uavs; ++v) {
-      if (!world_->UavAirborne(v)) continue;
+      if (!world.UavAirborne(v)) continue;
       uav_acted[static_cast<size_t>(v)] = true;
       if (config_.train_uav) {
-        env::UavObservation obs = world_->ObserveUav(v);
+        env::UavObservation obs = world.ObserveUav(v);
         UavPolicyOutput out;
         {
           nn::NoGradGuard no_grad;
           out = uav_network_->Forward(obs);
         }
         nn::DiagGaussian dist(out.mean, out.log_std);
-        std::vector<float> action = dist.Sample(rng_);
-        double limit = world_->params().uav_max_dist;
+        std::vector<float> action = dist.Sample(rng);
+        double limit = world.params().uav_max_dist;
         env::UavAction act{
             std::clamp(static_cast<double>(action[0]), -limit, limit),
             std::clamp(static_cast<double>(action[1]), -limit, limit)};
@@ -141,11 +146,11 @@ IppoTrainer::CollectResult IppoTrainer::CollectEpisode() {
         result.uav.agents[static_cast<size_t>(v)].push_back(decision);
       } else {
         uav_actions[static_cast<size_t>(v)] =
-            rollout_uav_controller_->Act(*world_, v, rng_);
+            rollout_uav_controller_->Act(world, v, rng);
       }
     }
 
-    env::StepResult step = world_->Step(ugv_actions, uav_actions);
+    env::StepResult step = world.Step(ugv_actions, uav_actions);
 
     for (int64_t u = 0; u < num_ugvs; ++u) {
       float reward = static_cast<float>(step.ugv_rewards[static_cast<size_t>(
@@ -168,8 +173,83 @@ IppoTrainer::CollectResult IppoTrainer::CollectEpisode() {
       }
     }
   }
-  result.stats.metrics = world_->Metrics();
+  result.stats.metrics = world.Metrics();
   return result;
+}
+
+bool IppoTrainer::ParallelRolloutsSafe() const {
+  if (!ugv_network_->ThreadSafeInference()) return false;
+  if (config_.train_uav) return uav_network_->ThreadSafeInference();
+  return rollout_uav_controller_->ThreadSafe();
+}
+
+IppoTrainer::CollectResult IppoTrainer::CollectEpisodes() {
+  int64_t episodes = std::max<int64_t>(config_.episodes_per_iteration, 1);
+  // Episode numbering continues PR 1's checkpoint scheme: global episode n
+  // resets the world with seed + n and n is persisted, so a resumed run
+  // replays the same episode stream. The sampling RNG for episode n is the
+  // stateless stream split StreamSeed(seed, n) — a pure function of the
+  // episode number, identical no matter which worker (or how many) runs it.
+  int64_t first = episode_counter_ + 1;
+  episode_counter_ += episodes;
+  std::vector<CollectResult> parts(static_cast<size_t>(episodes));
+  auto run = [this](env::World& world, int64_t n) {
+    return RunEpisode(world, config_.seed + static_cast<uint64_t>(n),
+                      Rng::StreamSeed(config_.seed, static_cast<uint64_t>(n)));
+  };
+
+  ThreadPool& pool = ThreadPool::Global();
+  if (episodes > 1 && pool.num_threads() > 1 && !ThreadPool::InWorker() &&
+      ParallelRolloutsSafe()) {
+    // Episodes 0..E-2 run on private world copies; the last runs on the
+    // trainer's world so it ends in the final episode's end state exactly
+    // as in the sequential path.
+    std::vector<env::World> worlds(static_cast<size_t>(episodes - 1),
+                                   *world_);
+    std::vector<std::future<void>> done;
+    done.reserve(worlds.size());
+    for (int64_t e = 0; e < episodes - 1; ++e) {
+      done.push_back(pool.Submit([&, e] {
+        parts[static_cast<size_t>(e)] = run(worlds[static_cast<size_t>(e)],
+                                            first + e);
+      }));
+    }
+    {
+      // Keep this thread's kernel ParallelFors inline so they don't queue
+      // behind the whole-episode tasks above.
+      ThreadPool::InlineScope inline_kernels;
+      parts.back() = run(*world_, first + episodes - 1);
+    }
+    for (std::future<void>& f : done) f.get();
+  } else {
+    for (int64_t e = 0; e < episodes; ++e) {
+      parts[static_cast<size_t>(e)] = run(*world_, first + e);
+    }
+  }
+
+  // Merge in episode order (independent of completion order). Slots are
+  // renumbered with a per-episode base; each episode's per-agent decision
+  // sequence becomes its own entry in `agents`, so GAE (which runs per
+  // sequence) never crosses an episode boundary. Metrics report the final
+  // episode, matching the single-episode behaviour.
+  CollectResult merged;
+  for (CollectResult& part : parts) {
+    int64_t slot_base = static_cast<int64_t>(merged.ugv.slots.size());
+    for (auto& slot : part.ugv.slots) {
+      merged.ugv.slots.push_back(std::move(slot));
+    }
+    for (auto& seq : part.ugv.agents) {
+      for (UgvDecision& d : seq) d.slot += slot_base;
+      merged.ugv.agents.push_back(std::move(seq));
+    }
+    for (auto& seq : part.uav.agents) {
+      merged.uav.agents.push_back(std::move(seq));
+    }
+    merged.stats.ugv_episode_reward += part.stats.ugv_episode_reward;
+    merged.stats.uav_episode_reward += part.stats.uav_episode_reward;
+    merged.stats.metrics = part.stats.metrics;
+  }
+  return merged;
 }
 
 void IppoTrainer::UpdateUgv(UgvRollout& rollout, IterationStats& stats) {
@@ -178,12 +258,14 @@ void IppoTrainer::UpdateUgv(UgvRollout& rollout, IterationStats& stats) {
   if (num_slots == 0) return;
 
   // Decisions grouped by slot so one joint forward serves a whole slot.
-  std::vector<std::vector<std::pair<int64_t, const UgvDecision*>>> by_slot(
+  // Each decision carries its own UGV index (`ugv`), because with multiple
+  // episodes per iteration `agents` holds one sequence per (episode, UGV)
+  // pair and the sequence index no longer equals the UGV index.
+  std::vector<std::vector<const UgvDecision*>> by_slot(
       static_cast<size_t>(num_slots));
-  for (size_t u = 0; u < rollout.agents.size(); ++u) {
-    for (const UgvDecision& d : rollout.agents[u]) {
-      by_slot[static_cast<size_t>(d.slot)].push_back(
-          {static_cast<int64_t>(u), &d});
+  for (const auto& seq : rollout.agents) {
+    for (const UgvDecision& d : seq) {
+      by_slot[static_cast<size_t>(d.slot)].push_back(&d);
     }
   }
 
@@ -204,8 +286,9 @@ void IppoTrainer::UpdateUgv(UgvRollout& rollout, IterationStats& stats) {
         if (by_slot[static_cast<size_t>(slot)].empty()) continue;
         std::vector<UgvPolicyOutput> outputs =
             ugv_network_->Forward(rollout.slots[static_cast<size_t>(slot)]);
-        for (auto [u, decision] : by_slot[static_cast<size_t>(slot)]) {
-          const UgvPolicyOutput& out = outputs[static_cast<size_t>(u)];
+        for (const UgvDecision* decision : by_slot[static_cast<size_t>(slot)]) {
+          const UgvPolicyOutput& out =
+              outputs[static_cast<size_t>(decision->ugv)];
           UgvLogProbEntropy lp = UgvActionLogProb(out, *decision);
           // Clipped surrogate (Eq. 15).
           nn::Tensor ratio = nn::Exp(
@@ -327,7 +410,7 @@ void IppoTrainer::UpdateUav(UavRollout& rollout, IterationStats& stats) {
 }
 
 IterationStats IppoTrainer::RunIteration() {
-  CollectResult collected = CollectEpisode();
+  CollectResult collected = CollectEpisodes();
   UpdateUgv(collected.ugv, collected.stats);
   if (config_.train_uav) UpdateUav(collected.uav, collected.stats);
   return collected.stats;

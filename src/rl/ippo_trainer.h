@@ -30,7 +30,13 @@
 namespace garl::rl {
 
 struct TrainConfig {
-  int64_t iterations = 10;     // M (outer loop; one episode per iteration)
+  int64_t iterations = 10;     // M (outer loop)
+  // Episodes collected per iteration before the PPO update. When > 1 and
+  // both networks report ThreadSafeInference(), episodes run concurrently
+  // on pool workers, each with a private world copy and an RNG stream
+  // derived statelessly from (seed, episode number) — so losses and metrics
+  // are bit-identical for any GARL_NUM_THREADS.
+  int64_t episodes_per_iteration = 1;
   int64_t epochs = 3;          // J optimization passes per iteration
   int64_t minibatch_slots = 8;  // slots per PPO minibatch
   float gamma = 0.95f;
@@ -119,7 +125,18 @@ class IppoTrainer {
     std::string ugv_params, ugv_adam, uav_params, uav_adam, rng;
     int64_t episode_counter = 0;
   };
-  CollectResult CollectEpisode();
+  // Collects config_.episodes_per_iteration episodes (concurrently when
+  // safe; see TrainConfig) and merges them into one rollout: slots are
+  // renumbered with a per-episode base and every episode's per-agent
+  // sequence stays a separate GAE sequence, so advantage estimation never
+  // crosses an episode boundary.
+  CollectResult CollectEpisodes();
+  // One full episode on `world`: resets with `reset_seed`, samples actions
+  // from a private Rng seeded with `rng_seed`. Touches no trainer state
+  // besides the (conditionally thread-safe) networks.
+  CollectResult RunEpisode(env::World& world, uint64_t reset_seed,
+                           uint64_t rng_seed) const;
+  bool ParallelRolloutsSafe() const;
   void UpdateUgv(UgvRollout& rollout, IterationStats& stats);
   void UpdateUav(UavRollout& rollout, IterationStats& stats);
   void TakeSnapshot(Snapshot* snapshot) const;

@@ -49,6 +49,13 @@ class UgvPolicyNetwork : public nn::Module {
   // AE-Comm reconstruction loss). Returns an undefined tensor when the
   // method has none; calling it clears the accumulator.
   virtual nn::Tensor ConsumeAuxLoss() { return nn::Tensor(); }
+
+  // True iff concurrent Forward calls from different threads are safe
+  // (forward touches no member state). Methods that accumulate state across
+  // Forward calls — AE-Comm's aux loss, CubicMap's memory, GAT's cached
+  // masks — must keep the default; the trainer/evaluator then fall back to
+  // sequential episode collection.
+  virtual bool ThreadSafeInference() const { return false; }
 };
 
 // UAV actor-critic heads (Eq. 17).
@@ -61,6 +68,9 @@ struct UavPolicyOutput {
 class UavPolicyNetwork : public nn::Module {
  public:
   virtual UavPolicyOutput Forward(const env::UavObservation& obs) = 0;
+
+  // See UgvPolicyNetwork::ThreadSafeInference.
+  virtual bool ThreadSafeInference() const { return false; }
 };
 
 }  // namespace garl::rl

@@ -16,6 +16,7 @@ namespace garl::rl {
 // decision that opened it (Eq. 12).
 struct UgvDecision {
   int64_t slot = 0;  // index into UgvRollout::slots
+  int64_t ugv = 0;   // index into the slot's joint observation/outputs
   int64_t release = 0;
   int64_t target = -1;  // sampled only when release == 0
   float old_log_prob = 0.0f;

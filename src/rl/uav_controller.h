@@ -22,6 +22,10 @@ class UavController {
   // Movement command for airborne UAV v.
   virtual env::UavAction Act(const env::World& world, int64_t v,
                              Rng& rng) = 0;
+  // True iff Act may be called concurrently from different threads (with
+  // distinct worlds/rngs). Scripted controllers are stateless and say yes;
+  // learned ones defer to the wrapped network.
+  virtual bool ThreadSafe() const { return false; }
 };
 
 // Scripted controller operating on simulator state. Targets the nearest
@@ -30,6 +34,7 @@ class UavController {
 class GreedyUavController : public UavController {
  public:
   env::UavAction Act(const env::World& world, int64_t v, Rng& rng) override;
+  bool ThreadSafe() const override { return true; }
 };
 
 // Uniform random flight (the paper's "Random" baseline randomizes UAV
@@ -37,6 +42,7 @@ class GreedyUavController : public UavController {
 class RandomUavController : public UavController {
  public:
   env::UavAction Act(const env::World& world, int64_t v, Rng& rng) override;
+  bool ThreadSafe() const override { return true; }
 };
 
 // Wraps a UavPolicyNetwork; samples from the Gaussian head (or takes the
@@ -47,6 +53,7 @@ class LearnedUavController : public UavController {
       : network_(network), deterministic_(deterministic) {}
 
   env::UavAction Act(const env::World& world, int64_t v, Rng& rng) override;
+  bool ThreadSafe() const override { return network_->ThreadSafeInference(); }
 
  private:
   UavPolicyNetwork* network_;  // not owned

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "nn/ops.h"
 #include "nn/tensor.h"
 
@@ -216,6 +218,34 @@ TEST(OpsTest, NoGradGuardDisablesGraph) {
   EXPECT_TRUE(GradModeEnabled());
   Tensor c = MulScalar(a, 2.0f);
   EXPECT_TRUE(c.requires_grad());
+}
+
+// Kernel determinism contract: parallel GEMM/conv/reduction kernels chunk
+// their outputs so results are bit-identical for any thread count.
+TEST(OpsTest, KernelsBitIdenticalAcrossThreadCounts) {
+  auto random_matrix = [](int64_t n, int64_t m, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<float> v(static_cast<size_t>(n * m));
+    for (float& x : v) x = rng.NormalF();
+    // Sprinkle zeros to exercise the sparse-skip path.
+    for (size_t i = 0; i < v.size(); i += 7) v[i] = 0.0f;
+    return Tensor::FromVector({n, m}, std::move(v), /*requires_grad=*/true);
+  };
+  auto run = [&](int64_t threads) {
+    ThreadPool::SetGlobalThreads(threads);
+    Tensor a = random_matrix(37, 53, 1);
+    Tensor b = random_matrix(53, 29, 2);
+    Tensor c = MatMul(a, b);
+    Tensor loss = Sum(Mul(Softmax(c), c));
+    loss.Backward();
+    std::vector<std::vector<float>> out = {c.data(), a.grad(), b.grad()};
+    ThreadPool::SetGlobalThreads(1);
+    return out;
+  };
+  auto one = run(1);
+  auto four = run(4);
+  // Bitwise equality, not approximate: the accumulation order is fixed.
+  EXPECT_EQ(one, four);
 }
 
 }  // namespace

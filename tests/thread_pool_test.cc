@@ -1,0 +1,126 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace garl {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Submit([&ran_on] { ran_on = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  // Chunks are disjoint, so plain ints need no synchronization.
+  std::vector<int> hits(1000, 0);
+  pool.ParallelFor(0, 1000, 1, [&hits](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesOffsetAndEmptyRanges) {
+  ThreadPool pool(3);
+  std::vector<int> hits(20, 0);
+  pool.ParallelFor(5, 15, 2, [&hits](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)], (i >= 5 && i < 15) ? 1 : 0) << i;
+  }
+  bool called = false;
+  pool.ParallelFor(7, 7, 1, [&called](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(4);
+  std::future<void> f =
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 100, 1,
+                                [](int64_t, int64_t) {
+                                  throw std::runtime_error("chunk failed");
+                                }),
+               std::runtime_error);
+  // The pool survives the exception and keeps serving work.
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 64, 1, [&total](int64_t begin, int64_t end) {
+    total += end - begin;
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ReentrantParallelForCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  // Nested ParallelFor from pool workers must run inline (no deadlock).
+  pool.ParallelFor(0, 4, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      pool.ParallelFor(0, 10, 1, [&total](int64_t nb, int64_t ne) {
+        total += ne - nb;
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 40);
+}
+
+TEST(ThreadPoolTest, InWorkerFlag) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(ThreadPool::InWorker());
+  bool in_worker = false;
+  pool.Submit([&in_worker] { in_worker = ThreadPool::InWorker(); }).get();
+  EXPECT_TRUE(in_worker);
+  EXPECT_FALSE(ThreadPool::InWorker());
+}
+
+TEST(ThreadPoolTest, InlineScopeForcesInlineExecution) {
+  ThreadPool pool(4);
+  int invocations = 0;
+  std::thread::id caller = std::this_thread::get_id();
+  {
+    ThreadPool::InlineScope inline_scope;
+    pool.ParallelFor(0, 1000, 1, [&](int64_t, int64_t) {
+      ++invocations;
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+  }
+  // Inline execution means one body call covering the whole range.
+  EXPECT_EQ(invocations, 1);
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsResizesGlobalPool) {
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 3);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace garl

@@ -311,5 +311,45 @@ TEST(WorldTest, RunsFullHorizonOnKaist) {
   EXPECT_LE(m.data_collection_ratio, 1.0);
 }
 
+TEST(StopNetworkCacheTest, RepeatedQueriesHitCache) {
+  StopNetwork network = BuildStopNetwork(TinyCampus(), 100.0);
+  ASSERT_GT(network.num_stops(), 1);
+  EXPECT_EQ(network.route_cache_misses(), 0);
+  EXPECT_EQ(network.route_cache_hits(), 0);
+
+  const graph::ShortestPaths& first = network.PathsFrom(0);
+  EXPECT_EQ(network.route_cache_misses(), 1);
+  EXPECT_EQ(network.route_cache_hits(), 0);
+
+  // A repeated query returns the very same cached object without another
+  // Dijkstra sweep.
+  const graph::ShortestPaths& again = network.PathsFrom(0);
+  EXPECT_EQ(network.route_cache_misses(), 1);
+  EXPECT_EQ(network.route_cache_hits(), 1);
+  EXPECT_EQ(&first, &again);
+
+  // Cached answers match a fresh computation.
+  graph::ShortestPaths fresh = graph::Dijkstra(network.graph, 0);
+  EXPECT_EQ(fresh.dist, again.dist);
+  EXPECT_EQ(fresh.parent, again.parent);
+
+  // A different source is its own miss; invalidation resets everything.
+  network.PathsFrom(1);
+  EXPECT_EQ(network.route_cache_misses(), 2);
+  network.InvalidateRouteCache();
+  EXPECT_EQ(network.route_cache_misses(), 0);
+  EXPECT_EQ(network.route_cache_hits(), 0);
+  network.PathsFrom(0);
+  EXPECT_EQ(network.route_cache_misses(), 1);
+}
+
+TEST(StopNetworkCacheTest, WorldConstructionWarmsTheCache) {
+  // The World constructor routes its distance and next-hop tables through
+  // the cache: exactly one Dijkstra per source.
+  World world(TinyCampus(), TinyParams());
+  EXPECT_EQ(world.stops().route_cache_misses(), world.stops().num_stops());
+  EXPECT_EQ(world.stops().route_cache_hits(), 0);
+}
+
 }  // namespace
 }  // namespace garl::env
