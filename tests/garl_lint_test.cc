@@ -1,0 +1,161 @@
+// Tests for tools/garl_lint: each rule fires exactly where the fixture tree
+// under tests/lint_fixtures/tree/ seeds a violation, exemption paths and
+// suppressions stay quiet, and the helper passes behave.
+//
+// Note: suppression directives in THIS file's strings are inert by design —
+// the linter only honours directives found in comments.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/garl_lint/lint.h"
+
+namespace garl::lint {
+namespace {
+
+std::vector<Finding> FixtureFindings() {
+  static const std::vector<Finding> kFindings =
+      LintTree(GARL_LINT_FIXTURE_TREE, {"src", "bench"});
+  return kFindings;
+}
+
+// All (line, rule) pairs reported for one fixture file.
+std::vector<std::pair<int, std::string>> FindingsFor(const std::string& file) {
+  std::vector<std::pair<int, std::string>> result;
+  for (const auto& finding : FixtureFindings()) {
+    if (finding.file == file) {
+      result.emplace_back(finding.line, finding.rule);
+    }
+  }
+  return result;
+}
+
+using Expected = std::vector<std::pair<int, std::string>>;
+
+TEST(GarlLintFixtures, NondetRandFiresPerSourceAndSkipsProse) {
+  EXPECT_EQ(FindingsFor("src/bad_rand.cc"),
+            (Expected{{13, "nondet-rand"},
+                      {17, "nondet-rand"},
+                      {21, "nondet-rand"}}));
+}
+
+TEST(GarlLintFixtures, NondetTimeFiresOnWallClockReads) {
+  EXPECT_EQ(FindingsFor("src/bad_time.cc"),
+            (Expected{{6, "nondet-time"}, {10, "nondet-time"}}));
+}
+
+TEST(GarlLintFixtures, StatusDiscardFiresOnDroppedAndVoidedResults) {
+  EXPECT_EQ(FindingsFor("src/bad_discard.cc"),
+            (Expected{{34, "status-discard"},
+                      {38, "status-discard"},
+                      {42, "status-discard"},
+                      {47, "status-discard"}}));
+}
+
+TEST(GarlLintFixtures, UnorderedSerializeFiresOnlyInSerializeishFunctions) {
+  EXPECT_EQ(FindingsFor("src/bad_serialize.cc"),
+            (Expected{{15, "unordered-serialize"},
+                      {23, "unordered-serialize"}}));
+}
+
+TEST(GarlLintFixtures, RawNewDeleteFiresOutsideTensorAllocator) {
+  EXPECT_EQ(FindingsFor("src/bad_new.cc"),
+            (Expected{{10, "raw-new-delete"}, {14, "raw-new-delete"}}));
+}
+
+TEST(GarlLintFixtures, IncludeGuardFiresOnWrongAndMissingGuards) {
+  EXPECT_EQ(FindingsFor("src/bad_guard.h"),
+            (Expected{{1, "include-guard"}}));
+  EXPECT_EQ(FindingsFor("src/missing_guard.h"),
+            (Expected{{1, "include-guard"}}));
+}
+
+TEST(GarlLintFixtures, SuppressionsSilenceOnlyTheNamedRule) {
+  EXPECT_EQ(FindingsFor("src/suppressed.cc"),
+            (Expected{{26, "nondet-rand"}}));
+}
+
+TEST(GarlLintFixtures, UnknownRuleInSuppressionIsAFinding) {
+  EXPECT_EQ(FindingsFor("src/bad_suppression.cc"),
+            (Expected{{5, "bad-suppression"}}));
+}
+
+TEST(GarlLintFixtures, ExemptPathsStayClean) {
+  EXPECT_TRUE(FindingsFor("src/common/rng.cc").empty());
+  EXPECT_TRUE(FindingsFor("src/nn/tensor.cc").empty());
+  EXPECT_TRUE(FindingsFor("bench/timing.cc").empty());
+  EXPECT_TRUE(FindingsFor("src/good.h").empty());
+}
+
+TEST(GarlLintFixtures, HotPathDoubleFiresOnceInFixtureOps) {
+  EXPECT_EQ(FindingsFor("src/nn/ops.cc"),
+            (Expected{{5, "float-double-drift"}}));
+}
+
+TEST(GarlLintFixtures, NoUnexpectedFindings) {
+  // Every finding in the fixture tree is one the tests above asserted; a new
+  // rule misfire shows up here with its full location.
+  std::set<std::string> expected_files = {
+      "src/bad_rand.cc",    "src/bad_time.cc",       "src/bad_discard.cc",
+      "src/bad_serialize.cc", "src/bad_new.cc",      "src/bad_guard.h",
+      "src/missing_guard.h", "src/suppressed.cc",    "src/bad_suppression.cc",
+      "src/nn/ops.cc"};
+  for (const auto& finding : FixtureFindings()) {
+    EXPECT_TRUE(expected_files.count(finding.file))
+        << "unexpected finding: " << finding.ToString();
+  }
+}
+
+TEST(GarlLintUnit, CanonicalGuardDerivation) {
+  EXPECT_EQ(CanonicalGuard("src/common/rng.h"), "GARL_COMMON_RNG_H_");
+  EXPECT_EQ(CanonicalGuard("bench/bench_common.h"), "GARL_BENCH_BENCH_COMMON_H_");
+  EXPECT_EQ(CanonicalGuard("tools/garl_lint/lint.h"),
+            "GARL_TOOLS_GARL_LINT_LINT_H_");
+}
+
+TEST(GarlLintUnit, StripRemovesCommentsAndLiteralContents) {
+  const std::string stripped = StripCommentsAndStrings(
+      "int x = 0; // std::rand()\n"
+      "const char* s = \"srand(1)\";\n"
+      "/* time(nullptr) */ int y;\n");
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("time"), std::string::npos);
+  EXPECT_NE(stripped.find("int x = 0;"), std::string::npos);
+  EXPECT_NE(stripped.find("int y;"), std::string::npos);
+}
+
+TEST(GarlLintUnit, CollectFallibleFunctionsFindsDeclarations) {
+  const auto names = CollectFallibleFunctions(
+      "Status DoThing(int x);\n"
+      "[[nodiscard]] StatusOr<std::vector<int>> Parse(const std::string& s);\n"
+      "  Status member_decl_;\n"          // member variable: not a function
+      "static Status Helper();\n"
+      "Status Ok();\n");                  // factory on Status itself: skipped
+  EXPECT_EQ(names, (std::vector<std::string>{"DoThing", "Helper", "Parse"}));
+}
+
+TEST(GarlLintUnit, LintFileContentsHonoursFallibleSet) {
+  const auto findings = LintFileContents(
+      "src/example.cc", "void F() {\n  DoThing(1);\n}\n", {"DoThing"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[0].rule, "status-discard");
+}
+
+TEST(GarlLintUnit, KnownRulesIsStable) {
+  const auto& rules = KnownRules();
+  for (const auto& rule :
+       {"nondet-rand", "nondet-time", "status-discard", "include-guard",
+        "float-double-drift", "raw-new-delete", "unordered-serialize",
+        "bad-suppression"}) {
+    EXPECT_TRUE(rules.count(rule)) << rule;
+  }
+}
+
+}  // namespace
+}  // namespace garl::lint

@@ -1,0 +1,50 @@
+// Fixture: status-discard fires on dropped and (void)-laundered results of
+// functions declared to return Status/StatusOr, including multi-line calls,
+// and stays quiet on handled results.
+
+namespace garl {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Fallible();
+Status Fallible(int arg);
+
+template <typename T>
+class StatusOr {};
+
+StatusOr<int> FallibleOr(int arg);
+
+struct Saver {
+  Status SaveState(const char* path);
+};
+
+void Handled(Saver& saver) {
+  Status status = Fallible();
+  if (!status.ok()) {
+    return;
+  }
+  Status other = saver.SaveState("x");
+  (void)other;  // a named-then-voided Status is visible in review; fine
+}
+
+void BadBareCall() {
+  Fallible();  // line 34: status-discard
+}
+
+void BadVoidLaunder() {
+  (void)Fallible(7);  // line 38: status-discard
+}
+
+void BadMemberCall(Saver& saver) {
+  saver.SaveState(  // line 42: status-discard (multi-line statement)
+      "checkpoint.bin");
+}
+
+void BadStatusOr() {
+  FallibleOr(3);  // line 47: status-discard
+}
+
+}  // namespace garl

@@ -1,0 +1,6 @@
+#ifndef WRONG_GUARD_NAME_H  // line 1: include-guard (canonical: GARL_BAD_GUARD_H_)
+#define WRONG_GUARD_NAME_H
+
+int FixtureFunction();
+
+#endif  // WRONG_GUARD_NAME_H

@@ -1,0 +1,15 @@
+// Fixture: raw-new-delete fires outside the tensor allocator; deleted
+// special member functions are not raw deletes.
+
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;             // fine: deleted function
+  NoCopy& operator=(const NoCopy&) = delete;  // fine: deleted function
+};
+
+int* BadNew() {
+  return new int(42);  // line 10: raw-new-delete
+}
+
+void BadDelete(int* pointer) {
+  delete pointer;  // line 14: raw-new-delete
+}

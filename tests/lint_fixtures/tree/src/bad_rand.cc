@@ -1,0 +1,23 @@
+// Fixture: nondet-rand must fire on every C/std randomness source, and the
+// same tokens in comments or strings must NOT fire.
+#include <cstdlib>
+#include <random>
+
+int CommentsAndStringsAreSafe() {
+  // std::rand() in a comment is fine; so is srand(1).
+  const char* text = "std::rand() inside a string literal";
+  return text[0];
+}
+
+int BadCRand() {
+  return std::rand();  // line 13: nondet-rand
+}
+
+void BadSeed() {
+  srand(42);  // line 17: nondet-rand
+}
+
+unsigned BadDevice() {
+  std::random_device device;  // line 21: nondet-rand
+  return device();
+}

@@ -1,0 +1,37 @@
+// Fixture: unordered-serialize fires on hash-order iteration inside
+// serialize/save/write-like functions and stays quiet elsewhere.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace garl {
+
+struct Blob {
+  std::unordered_map<std::string, int> fields;
+};
+
+std::string SerializeBlob(const Blob& blob) {
+  std::string out;
+  for (const auto& [key, value] : blob.fields) {  // line 15: unordered-serialize
+    out += key;
+  }
+  return out;
+}
+
+void SaveCounts(const std::unordered_map<int, int>& counts,
+                std::vector<int>* out) {
+  for (const auto& [key, value] : counts) {  // line 23: unordered-serialize
+    out->push_back(value);
+  }
+}
+
+int LookupOnly(const Blob& blob) {
+  // Not serialize-ish: hash-order iteration is allowed in pure queries.
+  int total = 0;
+  for (const auto& [key, value] : blob.fields) {
+    total += value;
+  }
+  return total;
+}
+
+}  // namespace garl

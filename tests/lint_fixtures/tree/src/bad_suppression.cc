@@ -1,0 +1,6 @@
+// Fixture: a typo'd rule name in a suppression is itself a finding, so a
+// misspelled allow() can never silently do nothing.
+
+int Harmless() {
+  return 1;  // garl-lint: allow(nondet-rnd) -- line 5: bad-suppression
+}

@@ -1,0 +1,17 @@
+// Fixture: nondet-time fires on wall-clock reads in library code.
+#include <chrono>
+#include <ctime>
+
+long BadTime() {
+  return time(nullptr);  // line 6: nondet-time
+}
+
+long BadChrono() {
+  auto now = std::chrono::steady_clock::now();  // line 10: nondet-time
+  return now.time_since_epoch().count();
+}
+
+long FineRuntime(long timestamp) {
+  // Passing timestamps in is the sanctioned pattern; "time(" in prose is ok.
+  return timestamp + 1;
+}

@@ -1,0 +1,9 @@
+// Fixture: src/common/rng.* is the one place randomness sources are allowed
+// (the real rng.cc seeds deterministic engines; a hardware fallback would
+// live here too).
+#include <random>
+
+unsigned HardwareEntropy() {
+  std::random_device device;  // clean: rng.* exemption
+  return device();
+}

@@ -1,0 +1,12 @@
+#ifndef GARL_GOOD_H_
+#define GARL_GOOD_H_
+
+// Fixture: canonical guard (path relative to src/), no violations.
+
+namespace garl {
+
+int EntirelyCleanFunction(int value);
+
+}  // namespace garl
+
+#endif  // GARL_GOOD_H_

@@ -1,0 +1,3 @@
+// Fixture: a header with no guard at all -> include-guard at line 1.
+
+int AnotherFixtureFunction();

@@ -1,0 +1,18 @@
+// Fixture: float-double-drift fires on `double` in kernel hot-path files
+// (this path matches the real hot-path list entry src/nn/ops.cc).
+
+float DriftyAccumulate(const float* values, int count) {
+  double accumulator = 0.0;  // line 5: float-double-drift
+  for (int i = 0; i < count; ++i) {
+    accumulator += values[i];
+  }
+  return static_cast<float>(accumulator);  // no `double` token: clean
+}
+
+float FloatAccumulate(const float* values, int count) {
+  float accumulator = 0.0f;
+  for (int i = 0; i < count; ++i) {
+    accumulator += values[i];
+  }
+  return accumulator;
+}

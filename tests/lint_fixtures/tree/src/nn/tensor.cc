@@ -1,0 +1,9 @@
+// Fixture: the tensor allocator is the one place raw new/delete is allowed.
+
+float* AllocateBuffer(int count) {
+  return new float[count];  // clean: tensor allocator exemption
+}
+
+void ReleaseBuffer(float* buffer) {
+  delete[] buffer;  // clean: tensor allocator exemption
+}

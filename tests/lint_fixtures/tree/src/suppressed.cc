@@ -1,0 +1,27 @@
+// Fixture: every suppression form silences its rule (and only its rule).
+#include <cstdlib>
+#include <ctime>
+
+int SameLineSuppression() {
+  return std::rand();  // garl-lint: allow(nondet-rand) fixture justification
+}
+
+long NextLineSuppression() {
+  // garl-lint: allow-next-line(nondet-time)
+  return time(nullptr);
+}
+
+// garl-lint: allow-file(raw-new-delete)
+
+int* FileSuppression() {
+  return new int(1);  // clean: file-level allow
+}
+
+void FileSuppressionDelete(int* pointer) {
+  delete pointer;  // clean: file-level allow
+}
+
+int WrongRuleDoesNotSuppress() {
+  // The allow() names a different rule, so nondet-rand still fires.
+  return std::rand();  // garl-lint: allow(nondet-time) -- line 26: nondet-rand
+}

@@ -1,0 +1,729 @@
+#include "tools/garl_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <tuple>
+
+namespace garl::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Tokenization: split each line into code text and comment text. Rules run on
+// code (so prose and string literals can't trip token matches); suppression
+// directives are honoured only in comments (so a directive inside a string
+// literal — e.g. in the linter's own tests — has no effect).
+// ---------------------------------------------------------------------------
+
+struct LineView {
+  std::string code;     // line with comments and literal contents blanked
+  std::string comment;  // concatenated comment text on this line
+};
+
+std::vector<LineView> Tokenize(const std::string& contents) {
+  std::vector<LineView> lines;
+  LineView current;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+
+  for (size_t i = 0; i < contents.size(); ++i) {
+    char c = contents[i];
+    char next = i + 1 < contents.size() ? contents[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      lines.push_back(std::move(current));
+      current = LineView();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   contents[i - 1])) &&
+                               contents[i - 1] != '_'))) {
+          // Raw string literal: R"delim( ... )delim".
+          size_t paren = contents.find('(', i + 2);
+          if (paren != std::string::npos) {
+            raw_delim = ")" + contents.substr(i + 2, paren - i - 2) + "\"";
+            current.code += "R\"\"";
+            state = State::kRaw;
+            i = paren;  // skip past the opening paren
+          } else {
+            current.code += c;
+          }
+        } else if (c == '"') {
+          current.code += '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          current.code += '\'';
+          state = State::kChar;
+        } else {
+          current.code += c;
+        }
+        break;
+      case State::kLineComment:
+        current.comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          current.comment += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // skip escaped char (escaped newlines don't occur in practice)
+        } else if (c == '"') {
+          current.code += '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          current.code += '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRaw:
+        if (contents.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  lines.push_back(std::move(current));
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+  std::set<std::string> file_level;               // allow-file(rule)
+  std::map<int, std::set<std::string>> by_line;   // allow(rule) on that line
+  std::map<int, std::set<std::string>> next_line; // allow-next-line(rule)
+};
+
+void SplitRuleList(const std::string& list, int line, const std::string& kind,
+                   std::set<std::string>* out, std::vector<Finding>* findings,
+                   const std::string& rel_path) {
+  std::string token;
+  std::stringstream ss(list);
+  while (std::getline(ss, token, ',')) {
+    token.erase(std::remove_if(token.begin(), token.end(), ::isspace),
+                token.end());
+    if (token.empty()) continue;
+    // `<...>` tokens are documentation placeholders (e.g. the syntax examples
+    // in lint.h), not suppressions.
+    if (token.front() == '<' && token.back() == '>') continue;
+    if (!KnownRules().count(token)) {
+      findings->push_back({rel_path, line, "bad-suppression",
+                           "suppression " + kind + "(" + token +
+                               ") names an unknown rule; see --rules"});
+      continue;
+    }
+    out->insert(token);
+  }
+}
+
+Suppressions ParseSuppressions(const std::vector<LineView>& lines,
+                               const std::string& rel_path,
+                               std::vector<Finding>* findings) {
+  static const std::regex kDirective(
+      R"(garl-lint:\s*(allow|allow-next-line|allow-file)\s*\(([^)]*)\))");
+  Suppressions supp;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& comment = lines[i].comment;
+    if (comment.find("garl-lint") == std::string::npos) continue;
+    int line = static_cast<int>(i) + 1;
+    auto begin =
+        std::sregex_iterator(comment.begin(), comment.end(), kDirective);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const std::string kind = (*it)[1];
+      const std::string list = (*it)[2];
+      std::set<std::string>* out = nullptr;
+      if (kind == "allow") {
+        out = &supp.by_line[line];
+      } else if (kind == "allow-next-line") {
+        out = &supp.next_line[line];
+      } else {
+        out = &supp.file_level;
+      }
+      SplitRuleList(list, line, kind, out, findings, rel_path);
+    }
+  }
+  return supp;
+}
+
+bool IsSuppressed(const Suppressions& supp, const std::string& rule,
+                  int line) {
+  if (supp.file_level.count(rule)) return true;
+  auto at = supp.by_line.find(line);
+  if (at != supp.by_line.end() && at->second.count(rule)) return true;
+  auto prev = supp.next_line.find(line - 1);
+  return prev != supp.next_line.end() && prev->second.count(rule);
+}
+
+// ---------------------------------------------------------------------------
+// Path helpers.
+// ---------------------------------------------------------------------------
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool IsHeader(const std::string& path) {
+  return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+// Kernel hot-path files where every arithmetic temporary must stay float:
+// a stray double accumulator changes rounding, which changes losses, which
+// breaks the bit-identical-for-any-thread-count contract.
+bool IsHotPathFile(const std::string& rel) {
+  static const std::set<std::string> kHot = {
+      "src/nn/ops.cc", "src/nn/conv2d.cc", "src/nn/linear.cc",
+      "src/nn/lstm_cell.cc", "src/nn/tensor.cc"};
+  return kHot.count(rel) > 0;
+}
+
+bool IsRngFile(const std::string& rel) {
+  return StartsWith(rel, "src/common/rng.");
+}
+
+bool IsBenchFile(const std::string& rel) { return StartsWith(rel, "bench/"); }
+
+bool IsTensorAllocatorFile(const std::string& rel) {
+  return StartsWith(rel, "src/nn/tensor.");
+}
+
+// ---------------------------------------------------------------------------
+// Rule: include-guard.
+// ---------------------------------------------------------------------------
+
+void CheckIncludeGuard(const std::string& rel_path,
+                       const std::vector<LineView>& lines,
+                       std::vector<Finding>* findings) {
+  std::string expected = CanonicalGuard(rel_path);
+  static const std::regex kIfndef(R"(^\s*#\s*ifndef\s+([A-Za-z_]\w*))");
+  static const std::regex kDefine(R"(^\s*#\s*define\s+([A-Za-z_]\w*))");
+  static const std::regex kPragmaOnce(R"(^\s*#\s*pragma\s+once\b)");
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    if (std::regex_search(code, kPragmaOnce)) return;
+    std::smatch m;
+    if (std::regex_search(code, m, kIfndef)) {
+      int line = static_cast<int>(i) + 1;
+      if (m[1] != expected) {
+        findings->push_back({rel_path, line, "include-guard",
+                             "guard '" + m[1].str() +
+                                 "' does not match the canonical '" +
+                                 expected + "'"});
+        return;
+      }
+      // The matching #define must follow on the next code line.
+      for (size_t j = i + 1; j < lines.size(); ++j) {
+        std::string trimmed = lines[j].code;
+        trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+        if (trimmed.empty()) continue;
+        std::smatch d;
+        if (!std::regex_search(lines[j].code, d, kDefine) || d[1] != expected) {
+          findings->push_back({rel_path, static_cast<int>(j) + 1,
+                               "include-guard",
+                               "#ifndef " + expected +
+                                   " is not followed by #define " + expected});
+        }
+        return;
+      }
+      return;
+    }
+    // Any real code before the guard means there is no guard.
+    std::string trimmed = code;
+    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+    if (!trimmed.empty()) break;
+  }
+  findings->push_back({rel_path, 1, "include-guard",
+                       "header has neither '#pragma once' nor the canonical '#ifndef " +
+                           expected + "' guard"});
+}
+
+// ---------------------------------------------------------------------------
+// Rule: status-discard. Statements are accumulated across lines (splitting
+// on ';' at paren depth 0, resetting at braces) and flagged when they start
+// with a call — optionally behind a (void) cast — to a known fallible
+// function.
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& CallKeywords() {
+  static const std::set<std::string> kKeywords = {
+      "if",     "while",  "for",    "switch", "return", "sizeof",
+      "catch",  "assert", "static_assert",    "alignof", "decltype",
+      "typeid", "new",    "delete", "throw"};
+  return kKeywords;
+}
+
+void CheckStatusDiscard(const std::string& rel_path,
+                        const std::vector<LineView>& lines,
+                        const std::set<std::string>& fallible,
+                        std::vector<Finding>* findings) {
+  static const std::regex kCallChain(
+      R"(^(\(\s*void\s*\)\s*)?((?:[A-Za-z_]\w*\s*(?:::|\.|->)\s*)*)([A-Za-z_]\w*)\s*\()");
+  std::string stmt;
+  int stmt_line = 0;
+  int paren_depth = 0;
+
+  auto analyze = [&]() {
+    if (stmt.empty()) return;
+    std::string trimmed = stmt;
+    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+    std::smatch m;
+    if (!std::regex_search(trimmed, m, kCallChain)) return;
+    bool voided = m[1].matched && m[1].length() > 0;
+    std::string name = m[3];
+    if (CallKeywords().count(name) || !fallible.count(name)) return;
+    if (voided) {
+      findings->push_back(
+          {rel_path, stmt_line, "status-discard",
+           "'(void)' discards the Status from '" + name +
+               "'; handle it (WarnIfError / GARL_CHECK) or suppress with a "
+               "reason"});
+    } else {
+      findings->push_back(
+          {rel_path, stmt_line, "status-discard",
+           "result of fallible function '" + name +
+               "' is ignored; assign it, GARL_RETURN_IF_ERROR it, or handle "
+               "the error"});
+    }
+  };
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    std::string check = code;
+    check.erase(0, check.find_first_not_of(" \t"));
+    if (StartsWith(check, "#")) continue;  // preprocessor line
+    for (char c : code) {
+      if (c == '(') {
+        ++paren_depth;
+      } else if (c == ')') {
+        if (paren_depth > 0) --paren_depth;
+      }
+      if (paren_depth == 0 && (c == '{' || c == '}')) {
+        stmt.clear();
+        stmt_line = 0;
+        continue;
+      }
+      if (c == ';' && paren_depth == 0) {
+        analyze();
+        stmt.clear();
+        stmt_line = 0;
+        continue;
+      }
+      if (stmt.empty() && std::isspace(static_cast<unsigned char>(c))) {
+        continue;
+      }
+      if (stmt.empty()) stmt_line = static_cast<int>(i) + 1;
+      stmt += c;
+    }
+    if (!stmt.empty()) {
+      stmt += ' ';  // line break acts as whitespace inside a statement
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unordered-serialize. Tracks the innermost function context with a
+// small brace-depth state machine and flags unordered-container iteration
+// inside serialize/save/write/dump-like functions.
+// ---------------------------------------------------------------------------
+
+bool IsSerializeishName(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  for (const char* marker :
+       {"serial", "save", "write", "dump", "store", "checkpoint", "tobytes",
+        "marshal"}) {
+    if (lower.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void CheckHashOrderRule(const std::string& rel_path,
+                        const std::vector<LineView>& lines,
+                        std::vector<Finding>* findings) {
+  // Variables (locals or members) declared with an unordered container type
+  // anywhere in the file.
+  static const std::regex kUnorderedDecl(
+      R"(unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*[&*]*\s*([A-Za-z_]\w*))");
+  std::set<std::string> unordered_vars;
+  for (const auto& lv : lines) {
+    auto begin = std::sregex_iterator(lv.code.begin(), lv.code.end(),
+                                      kUnorderedDecl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      unordered_vars.insert((*it)[1]);
+    }
+  }
+
+  // A definition-looking header: a name followed by '(' on a line that is
+  // not a plain statement (no ';' before any '{').
+  static const std::regex kFnHeader(
+      R"(^[\w:&<>,*\s\[\]~]*?\b((?:[A-Za-z_]\w*::)*([A-Za-z_]\w*))\s*\()");
+  static const std::regex kRangeFor(R"(for\s*\([^:;)]*:\s*([^)]+)\))");
+
+  struct FnCtx {
+    std::string name;
+    int depth_at_open;  // brace depth just inside the function body
+  };
+  std::vector<FnCtx> stack;
+  int depth = 0;
+  std::string pending;  // function name awaiting its opening '{'
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    int line = static_cast<int>(i) + 1;
+
+    // Rule check first, against the current innermost context.
+    if (!stack.empty() && IsSerializeishName(stack.back().name)) {
+      bool hit = false;
+      if (code.find("unordered_") != std::string::npos &&
+          code.find("for") != std::string::npos) {
+        hit = true;
+      } else {
+        std::smatch m;
+        if (std::regex_search(code, m, kRangeFor)) {
+          const std::string expr = m[1];
+          for (const auto& var : unordered_vars) {
+            std::regex word("\\b" + var + "\\b");
+            if (std::regex_search(expr, word)) {
+              hit = true;
+              break;
+            }
+          }
+        }
+      }
+      if (hit) {
+        findings->push_back(
+            {rel_path, line, "unordered-serialize",
+             "iteration over an unordered container inside '" +
+                 stack.back().name +
+                 "' feeds hash-order into serialized output; iterate a "
+                 "sorted copy or an ordered container"});
+      }
+    }
+
+    // Context tracking.
+    std::smatch m;
+    std::string trimmed = code;
+    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+    if (!StartsWith(trimmed, "#") && std::regex_search(code, m, kFnHeader)) {
+      const std::string name = m[2];
+      if (!CallKeywords().count(name)) pending = name;
+    }
+    for (char c : code) {
+      if (c == '{') {
+        ++depth;
+        if (!pending.empty()) {
+          stack.push_back({pending, depth});
+          pending.clear();
+        }
+      } else if (c == '}') {
+        --depth;
+        while (!stack.empty() && depth < stack.back().depth_at_open) {
+          stack.pop_back();
+        }
+      } else if (c == ';' && pending.size()) {
+        pending.clear();  // was a declaration, not a definition
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simple token rules.
+// ---------------------------------------------------------------------------
+
+struct TokenRule {
+  std::string rule;
+  std::regex pattern;
+  std::string message;
+};
+
+const std::vector<TokenRule>& NondetRandRules() {
+  static const std::vector<TokenRule> kRules = [] {
+    std::vector<TokenRule> rules;
+    rules.push_back({"nondet-rand", std::regex(R"(\bstd\s*::\s*rand\b|\bsrand\s*\(|(^|[^:\w.>])rand\s*\()"),
+                     "C rand()/srand() is banned; draw from an explicit "
+                     "garl::Rng so seeds determine behaviour"});
+    rules.push_back({"nondet-rand", std::regex(R"(\brandom_device\b)"),
+                     "std::random_device is a nondeterminism source; seed an "
+                     "explicit garl::Rng instead"});
+    return rules;
+  }();
+  return kRules;
+}
+
+const std::vector<TokenRule>& NondetTimeRules() {
+  static const std::vector<TokenRule> kRules = [] {
+    std::vector<TokenRule> rules;
+    rules.push_back({"nondet-time",
+                     std::regex(R"((^|[^:\w.>])time\s*\(|\bgettimeofday\b|(^|[^:\w.>_])clock\s*\()"),
+                     "wall-clock reads are banned in library code; pass "
+                     "timestamps in or move timing into bench/"});
+    rules.push_back({"nondet-time",
+                     std::regex(R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"),
+                     "std::chrono clocks are banned outside bench/; library "
+                     "behaviour must not depend on the clock"});
+    return rules;
+  }();
+  return kRules;
+}
+
+void ApplyTokenRules(const std::string& rel_path,
+                     const std::vector<LineView>& lines,
+                     const std::vector<TokenRule>& rules,
+                     std::vector<Finding>* findings) {
+  for (size_t i = 0; i < lines.size(); ++i) {
+    for (const auto& rule : rules) {
+      if (std::regex_search(lines[i].code, rule.pattern)) {
+        findings->push_back({rel_path, static_cast<int>(i) + 1, rule.rule,
+                             rule.message});
+      }
+    }
+  }
+}
+
+void CheckFloatDoubleDrift(const std::string& rel_path,
+                           const std::vector<LineView>& lines,
+                           std::vector<Finding>* findings) {
+  static const std::regex kDouble(R"(\bdouble\b)");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (std::regex_search(lines[i].code, kDouble)) {
+      findings->push_back(
+          {rel_path, static_cast<int>(i) + 1, "float-double-drift",
+           "'double' in a kernel hot path; keep accumulation in float so "
+           "results stay bit-identical across builds and thread counts"});
+    }
+  }
+}
+
+void CheckRawNewDelete(const std::string& rel_path,
+                       const std::vector<LineView>& lines,
+                       std::vector<Finding>* findings) {
+  static const std::regex kNew(R"(\bnew\b)");
+  static const std::regex kDelete(R"(\bdelete\b)");
+  static const std::regex kDeletedFn(R"(=\s*delete\b)");
+  static const std::regex kOperatorNewDelete(R"(operator\s+(new|delete)\b)");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    int line = static_cast<int>(i) + 1;
+    if (std::regex_search(code, kNew) &&
+        !std::regex_search(code, kOperatorNewDelete)) {
+      findings->push_back(
+          {rel_path, line, "raw-new-delete",
+           "raw 'new' outside the tensor allocator; use make_unique/"
+           "make_shared or the tensor arena"});
+    }
+    if (std::regex_search(code, kDelete) &&
+        !std::regex_search(code, kDeletedFn) &&
+        !std::regex_search(code, kOperatorNewDelete)) {
+      findings->push_back(
+          {rel_path, line, "raw-new-delete",
+           "raw 'delete' outside the tensor allocator; ownership must flow "
+           "through smart pointers"});
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+std::string Finding::ToString() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << rule << "] " << message;
+  return os.str();
+}
+
+const std::set<std::string>& KnownRules() {
+  static const std::set<std::string> kRules = {
+      "nondet-rand",        "nondet-time",     "status-discard",
+      "include-guard",      "float-double-drift", "raw-new-delete",
+      "unordered-serialize", "bad-suppression"};
+  return kRules;
+}
+
+std::string CanonicalGuard(const std::string& rel_path) {
+  std::string path = rel_path;
+  if (StartsWith(path, "src/")) path = path.substr(4);
+  std::string guard = "GARL_";
+  for (char c : path) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+std::string StripCommentsAndStrings(const std::string& contents) {
+  std::string out;
+  const std::vector<LineView> lines = Tokenize(contents);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (i) out += '\n';
+    out += lines[i].code;
+  }
+  return out;
+}
+
+std::vector<std::string> CollectFallibleFunctions(const std::string& contents) {
+  // A declaration whose return type is Status or StatusOr<...>. The name must
+  // be directly followed by '(' so member variables (`Status status_;`) and
+  // constructors don't match.
+  static const std::regex kDecl(
+      R"((?:^|[;{}]\s*|\n\s*)(?:template\s*<[^;{}]*>\s*)?(?:(?:static|virtual|inline|constexpr|friend|explicit|\[\[nodiscard\]\])\s+)*(?:::)?(?:garl::)?Status(?:Or\s*<[^;={}]*>)?\s+((?:[A-Za-z_]\w*::)*([A-Za-z_]\w*))\s*\()");
+  std::vector<std::string> names;
+  const std::string code = StripCommentsAndStrings(contents);
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kDecl);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[2];
+    if (name == "Status" || name == "StatusOr" || name == "Ok") continue;
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::vector<Finding> LintFileContents(const std::string& rel_path,
+                                      const std::string& contents,
+                                      const std::set<std::string>& fallible) {
+  std::vector<Finding> raw_findings;
+  const std::vector<LineView> lines = Tokenize(contents);
+  Suppressions supp = ParseSuppressions(lines, rel_path, &raw_findings);
+
+  if (!IsRngFile(rel_path)) {
+    ApplyTokenRules(rel_path, lines, NondetRandRules(), &raw_findings);
+  }
+  if (!IsBenchFile(rel_path)) {
+    ApplyTokenRules(rel_path, lines, NondetTimeRules(), &raw_findings);
+  }
+  if (IsHeader(rel_path)) {
+    CheckIncludeGuard(rel_path, lines, &raw_findings);
+  }
+  if (IsHotPathFile(rel_path)) {
+    CheckFloatDoubleDrift(rel_path, lines, &raw_findings);
+  }
+  if (!IsTensorAllocatorFile(rel_path)) {
+    CheckRawNewDelete(rel_path, lines, &raw_findings);
+  }
+  CheckStatusDiscard(rel_path, lines, fallible, &raw_findings);
+  CheckHashOrderRule(rel_path, lines, &raw_findings);
+
+  std::vector<Finding> findings;
+  for (auto& f : raw_findings) {
+    // bad-suppression is never suppressible — that would defeat its point.
+    if (f.rule != "bad-suppression" && IsSuppressed(supp, f.rule, f.line)) {
+      continue;
+    }
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
+namespace {
+
+bool ShouldSkipDir(const std::string& name, const LintOptions& options) {
+  for (const auto& skip : options.skip_dir_names) {
+    if (name == skip) return true;
+  }
+  for (const auto& prefix : options.skip_dir_prefixes) {
+    if (StartsWith(name, prefix)) return true;
+  }
+  return false;
+}
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string ReadFileOrEmpty(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<Finding> LintTree(const std::string& repo_root,
+                              const std::vector<std::string>& roots,
+                              const LintOptions& options) {
+  std::vector<std::pair<std::string, std::string>> files;  // rel path, contents
+  for (const auto& root : roots) {
+    fs::path base = fs::path(repo_root) / root;
+    if (!fs::exists(base)) continue;
+    for (auto it = fs::recursive_directory_iterator(base);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory() &&
+          ShouldSkipDir(it->path().filename().string(), options)) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file() || !IsSourceFile(it->path())) continue;
+      std::string rel =
+          fs::relative(it->path(), fs::path(repo_root)).generic_string();
+      files.emplace_back(std::move(rel), ReadFileOrEmpty(it->path()));
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::set<std::string> fallible(options.extra_fallible_functions.begin(),
+                                 options.extra_fallible_functions.end());
+  for (const auto& [rel, contents] : files) {
+    for (auto& name : CollectFallibleFunctions(contents)) {
+      fallible.insert(std::move(name));
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (const auto& [rel, contents] : files) {
+    auto file_findings = LintFileContents(rel, contents, fallible);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+}  // namespace garl::lint

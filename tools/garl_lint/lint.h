@@ -1,0 +1,106 @@
+#ifndef GARL_TOOLS_GARL_LINT_LINT_H_
+#define GARL_TOOLS_GARL_LINT_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+// garl_lint — dependency-free, line/token-heuristic linter that machine-checks
+// the repo invariants behind the determinism and fault-tolerance guarantees
+// (bit-identical losses for any thread count, crash-safe resume). It is NOT a
+// parser: every rule is a regex/token heuristic over comment- and
+// string-stripped source, tuned to this codebase and kept honest by the
+// fixture tests in tests/lint_fixtures/.
+//
+// Rules (ids are stable, used in suppressions and tests):
+//   nondet-rand        std::rand / srand / rand() / std::random_device outside
+//                      src/common/rng.* — all randomness flows through
+//                      garl::Rng so seeds fully determine behaviour.
+//   nondet-time        time() / clock() / gettimeofday / std::chrono wall or
+//                      monotonic clocks outside bench/ — wall-clock reads in
+//                      library code are hidden nondeterminism.
+//   status-discard     a statement (or `(void)` cast) that calls a function
+//                      returning Status/StatusOr and drops the result. The
+//                      fallible-function set is harvested from declarations
+//                      across the scanned tree. Complements [[nodiscard]]:
+//                      the linter also rejects `(void)` laundering.
+//   include-guard      headers must open with the canonical
+//                      `#ifndef GARL_<PATH>_H_` guard (path relative to src/,
+//                      else to the repo root) or `#pragma once`.
+//   float-double-drift `double` in kernel hot-path files (src/nn GEMM/conv/
+//                      LSTM/tensor kernels) — mixed-precision accumulation
+//                      changes results between builds and breaks bit-identical
+//                      replay.
+//   raw-new-delete     raw `new` / `delete` outside the tensor allocator
+//                      (src/nn/tensor.*) — ownership flows through
+//                      make_unique/shared or the arena.
+//   unordered-serialize iteration over an unordered container inside a
+//                      serialize/save/write/dump-like function — hash-order
+//                      iteration feeding bytes makes checkpoints
+//                      machine-dependent.
+//   bad-suppression    a garl-lint suppression naming an unknown rule (so
+//                      typos cannot silently disable nothing).
+//
+// Suppression syntax (same forms clang-tidy users expect from NOLINT; the
+// `<...>` placeholders below are ignored by the directive parser):
+//   ... code ...  // garl-lint: allow(<rule-id>, <rule-id>)
+//   // garl-lint: allow-next-line(<rule-id>)
+//   // garl-lint: allow-file(<rule-id>)     (anywhere in the file)
+
+namespace garl::lint {
+
+struct Finding {
+  std::string file;   // path as given to the linter (repo-relative)
+  int line = 0;       // 1-based
+  std::string rule;   // stable rule id
+  std::string message;
+
+  std::string ToString() const;  // "file:line: [rule] message"
+};
+
+struct LintOptions {
+  // Directory names skipped entirely during tree walks. Fixture sources are
+  // deliberately rule-breaking; build trees are generated.
+  std::vector<std::string> skip_dir_names = {"lint_fixtures"};
+  // Directory name prefixes skipped during tree walks (build/, build-asan/...).
+  std::vector<std::string> skip_dir_prefixes = {"build"};
+  // Extra function names treated as fallible (returning Status/StatusOr) on
+  // top of the ones harvested from declarations in the scanned files.
+  std::vector<std::string> extra_fallible_functions;
+};
+
+// Returns every rule id the linter knows (sorted); suppressions naming
+// anything else are themselves findings.
+const std::set<std::string>& KnownRules();
+
+// Harvests names of functions declared to return Status or StatusOr<...>
+// from one file's contents. Exposed for tests.
+std::vector<std::string> CollectFallibleFunctions(const std::string& contents);
+
+// Lints a single file. `rel_path` is the repo-relative path ("src/..."), used
+// for per-rule file exemptions and include-guard derivation. `fallible` is
+// the set of known Status-returning function names.
+std::vector<Finding> LintFileContents(const std::string& rel_path,
+                                      const std::string& contents,
+                                      const std::set<std::string>& fallible);
+
+// Walks `roots` (repo-relative directories under `repo_root`), harvests
+// fallible functions from every .h/.cc/.cpp, then lints each file.
+// Findings are sorted by (file, line, rule).
+std::vector<Finding> LintTree(const std::string& repo_root,
+                              const std::vector<std::string>& roots,
+                              const LintOptions& options = {});
+
+// The canonical include guard for a repo-relative header path:
+// "src/common/rng.h" -> "GARL_COMMON_RNG_H_", "bench/bench_common.h" ->
+// "GARL_BENCH_BENCH_COMMON_H_".
+std::string CanonicalGuard(const std::string& rel_path);
+
+// Strips // and /* */ comments and the contents of string/char literals
+// (preserving line structure) so token rules don't fire on prose. Exposed
+// for tests.
+std::string StripCommentsAndStrings(const std::string& contents);
+
+}  // namespace garl::lint
+
+#endif  // GARL_TOOLS_GARL_LINT_LINT_H_
