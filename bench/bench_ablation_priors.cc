@@ -91,7 +91,8 @@ void Run() {
   }
   std::printf("\nPrior-mechanism ablation, GARL on KAIST (U=4, V'=2)\n");
   table.Print(std::cout);
-  (void)table.WriteCsv(options.out_dir + "/ablation_priors.csv");
+  WarnIfError(table.WriteCsv(options.out_dir + "/ablation_priors.csv"),
+              "bench_ablation_priors: write csv");
 }
 
 }  // namespace

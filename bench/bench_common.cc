@@ -44,7 +44,7 @@ class SweepCache {
  public:
   explicit SweepCache(const std::string& out_dir)
       : path_(out_dir + "/sweep_cache.csv") {
-    (void)EnsureDirectory(out_dir);
+    WarnIfError(EnsureDirectory(out_dir), "bench: create output dir " + out_dir);
     std::ifstream in(path_);
     std::string line;
     while (std::getline(in, line)) {
@@ -86,7 +86,8 @@ env::EpisodeMetrics AveragedRun(
     const std::string& campus, int64_t u, int64_t v_prime,
     const std::string& method, const BenchOptions& options,
     const baselines::MethodOptions& method_options) {
-  static SweepCache* cache = new SweepCache(LoadBenchOptions().out_dir);
+  static SweepCache* cache =  // garl-lint: allow-next-line(raw-new-delete) leaky static
+      new SweepCache(LoadBenchOptions().out_dir);
   std::string key = StrPrintf(
       "%s|U=%lld|V=%lld|%s|mc=%lld|e=%lld|it=%lld|ep=%lld|T=%lld|s=%lld",
       campus.c_str(), static_cast<long long>(u),

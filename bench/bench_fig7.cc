@@ -93,7 +93,7 @@ TraceStats RunTrace(const std::string& campus, const std::string& method,
                                            world->ugv_trace(),
                                            world->uav_trace());
     std::string svg_path = csv.substr(0, csv.size() - 4) + ".svg";
-    (void)env::WriteSvg(svg, svg_path);
+    WarnIfError(env::WriteSvg(svg, svg_path), "bench_fig7: write " + svg_path);
   }
 
   // Dump traces.
@@ -116,7 +116,7 @@ TraceStats RunTrace(const std::string& campus, const std::string& method,
                     StrPrintf("%.1f", points[t].y)});
     }
   }
-  (void)trace.WriteCsv(csv);
+  WarnIfError(trace.WriteCsv(csv), "bench_fig7: write " + csv);
 
   TraceStats stats;
   for (const env::UgvState& ugv : world->ugvs()) {

@@ -51,7 +51,7 @@ void Run() {
       table.Print(std::cout);
       std::string csv = options.out_dir + "/table2_" + campus + "_" +
                         (sweep_mc ? "Lmc" : "Le") + ".csv";
-      (void)table.WriteCsv(csv);
+      WarnIfError(table.WriteCsv(csv), "bench_table2: write " + csv);
     }
   }
   std::printf(

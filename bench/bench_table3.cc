@@ -32,7 +32,8 @@ void Run() {
     std::printf("\nTable III (%s) — ablation study (U=4, V'=2)\n",
                 campus.c_str());
     table.Print(std::cout);
-    (void)table.WriteCsv(options.out_dir + "/table3_" + campus + ".csv");
+    WarnIfError(table.WriteCsv(options.out_dir + "/table3_" + campus + ".csv"),
+                "bench_table3: write csv");
   }
 }
 

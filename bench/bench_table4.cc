@@ -106,7 +106,8 @@ void PrintSummaryTable() {
   }
   std::printf("\nTable IV — computational complexity of all methods\n");
   table.Print(std::cout);
-  (void)table.WriteCsv(LoadBenchOptions().out_dir + "/table4.csv");
+  WarnIfError(table.WriteCsv(LoadBenchOptions().out_dir + "/table4.csv"),
+              "bench_table4: write csv");
 }
 
 }  // namespace

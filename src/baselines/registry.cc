@@ -16,7 +16,7 @@ namespace garl::baselines {
 
 const std::vector<std::string>& AllMethods() {
   static const std::vector<std::string>* methods =
-      new std::vector<std::string>{
+      new std::vector<std::string>{  // garl-lint: allow(raw-new-delete) leaky static, destruction-order safe
           "GARL",   "CubicMap", "GAM",    "GAT",    "AE-Comm",
           "DGN",    "IC3Net",   "MADDPG", "Random",
       };
@@ -25,7 +25,7 @@ const std::vector<std::string>& AllMethods() {
 
 const std::vector<std::string>& AblationMethods() {
   static const std::vector<std::string>* methods =
-      new std::vector<std::string>{
+      new std::vector<std::string>{  // garl-lint: allow(raw-new-delete) leaky static, destruction-order safe
           "GARL",
           "GARL w/o MC",
           "GARL w/o E",

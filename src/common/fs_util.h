@@ -21,14 +21,14 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
 uint32_t Crc32(std::string_view data, uint32_t seed = 0);
 
 // Reads the entire file at `path` into a string.
-StatusOr<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] StatusOr<std::string> ReadFileToString(const std::string& path);
 
 // Atomically creates-or-replaces `path` with `contents`: writes a temporary
 // file in the same directory, fsyncs it, then renames over `path`. A crash
 // at any point leaves either the old file or the new file, never a
 // truncated mix. The stray temp file from an interrupted write is removed
 // on the next successful call for the same path.
-Status AtomicWriteFile(const std::string& path, std::string_view contents);
+[[nodiscard]] Status AtomicWriteFile(const std::string& path, std::string_view contents);
 
 }  // namespace garl
 

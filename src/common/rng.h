@@ -81,7 +81,7 @@ class Rng {
   // a checkpointed trainer resumes its random stream bit-identically.
   // SerializeState does not perturb the stream.
   std::string SerializeState() const;
-  Status DeserializeState(const std::string& text);
+  [[nodiscard]] Status DeserializeState(const std::string& text);
 
  private:
   std::mt19937_64 engine_;

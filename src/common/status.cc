@@ -1,6 +1,15 @@
 #include "common/status.h"
 
+#include <cstdio>
+
 namespace garl {
+
+void WarnIfError(const Status& status, std::string_view context) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "[garl] WARNING: %.*s: %s\n",
+               static_cast<int>(context.size()), context.data(),
+               status.ToString().c_str());
+}
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {

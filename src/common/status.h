@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/check.h"
@@ -11,6 +12,12 @@
 // Functions whose failure is an expected runtime condition (bad config,
 // malformed input file) return Status or StatusOr<T>; invariant violations
 // use GARL_CHECK.
+//
+// Both types are [[nodiscard]]: a dropped Status is a dropped error, and the
+// fault-tolerance guarantees (crash-safe checkpoints, bit-identical resume)
+// only hold if every Load/Save failure is either propagated or deliberately
+// acknowledged. Best-effort call sites use WarnIfError; the garl_lint
+// `status-discard` rule additionally rejects bare `(void)` laundering.
 
 namespace garl {
 
@@ -26,7 +33,7 @@ enum class StatusCode {
 // Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -64,7 +71,7 @@ inline Status InternalError(std::string message) {
 
 // Holds either a value or a non-OK Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status)  // NOLINT: implicit on purpose, mirrors absl.
       : status_(std::move(status)) {
@@ -93,6 +100,11 @@ class StatusOr {
   Status status_;
   std::optional<T> value_;
 };
+
+// Logs a non-OK `status` to stderr and carries on. The sanctioned way to
+// acknowledge a best-effort failure (benchmark CSV dumps, optional SVG
+// renders) without tripping [[nodiscard]] or the lint status-discard rule.
+void WarnIfError(const Status& status, std::string_view context);
 
 #define GARL_RETURN_IF_ERROR(expr)        \
   do {                                    \

@@ -27,7 +27,7 @@ class TableWriter {
   void Print(std::ostream& os) const;
 
   // Writes the table as CSV to `path`. Creates parent directory if needed.
-  Status WriteCsv(const std::string& path) const;
+  [[nodiscard]] Status WriteCsv(const std::string& path) const;
 
   int num_rows() const { return static_cast<int>(rows_.size()); }
 
@@ -37,7 +37,7 @@ class TableWriter {
 };
 
 // Creates `path`'s directory chain (mkdir -p semantics).
-Status EnsureDirectory(const std::string& path);
+[[nodiscard]] Status EnsureDirectory(const std::string& path);
 
 }  // namespace garl
 

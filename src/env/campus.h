@@ -40,7 +40,7 @@ struct CampusSpec {
 // Structural sanity checks: positive extent, sensors inside the field,
 // roads not crossing buildings, every sensor within `reach` meters of some
 // road (so a carried UAV can ever reach it).
-Status ValidateCampus(const CampusSpec& campus, double reach);
+[[nodiscard]] Status ValidateCampus(const CampusSpec& campus, double reach);
 
 }  // namespace garl::env
 

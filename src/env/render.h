@@ -35,7 +35,7 @@ std::string RenderTracesSvg(const CampusSpec& campus,
                             const RenderOptions& options = RenderOptions());
 
 // Writes `svg` to `path`, creating parent directories.
-Status WriteSvg(const std::string& svg, const std::string& path);
+[[nodiscard]] Status WriteSvg(const std::string& svg, const std::string& path);
 
 }  // namespace garl::env
 

@@ -60,9 +60,9 @@ class Adam : public Optimizer {
   // snapshots); Save/LoadState wrap them with a CRC-32 footer and atomic
   // file replacement for durable checkpoints.
   void SerializeState(std::string* out) const;
-  Status DeserializeState(std::string_view bytes);  // strict, sizes must match
-  Status SaveState(const std::string& path) const;
-  Status LoadState(const std::string& path);
+  [[nodiscard]] Status DeserializeState(std::string_view bytes);  // strict, sizes must match
+  [[nodiscard]] Status SaveState(const std::string& path) const;
+  [[nodiscard]] Status LoadState(const std::string& path);
 
  private:
   float lr_, beta1_, beta2_, eps_;

@@ -31,16 +31,16 @@ void SerializeParameters(const std::vector<Tensor>& parameters,
 // Strict inverse of SerializeParameters: `bytes` must contain exactly one
 // v2 stream whose count/ranks/shapes match `parameters`. Trailing bytes are
 // rejected so count/shape corruption cannot slip through.
-Status DeserializeParameters(std::string_view bytes,
+[[nodiscard]] Status DeserializeParameters(std::string_view bytes,
                              std::vector<Tensor>& parameters);
 
 // Atomically writes `parameters` to `path` in format v2.
-Status SaveParameters(const std::vector<Tensor>& parameters,
+[[nodiscard]] Status SaveParameters(const std::vector<Tensor>& parameters,
                       const std::string& path);
 
 // Loads values from `path` into `parameters` (shapes must match exactly).
 // Accepts v2 (CRC-validated before any tensor is touched) and legacy v1.
-Status LoadParameters(const std::string& path,
+[[nodiscard]] Status LoadParameters(const std::string& path,
                       std::vector<Tensor>& parameters);
 
 }  // namespace garl::nn

@@ -48,25 +48,25 @@ struct TrainerState {
 };
 
 void SerializeTrainerState(const TrainerState& state, std::string* out);
-Status DeserializeTrainerState(std::string_view bytes, TrainerState* state);
-Status SaveTrainerState(const TrainerState& state, const std::string& path);
-StatusOr<TrainerState> LoadTrainerState(const std::string& path);
+[[nodiscard]] Status DeserializeTrainerState(std::string_view bytes, TrainerState* state);
+[[nodiscard]] Status SaveTrainerState(const TrainerState& state, const std::string& path);
+[[nodiscard]] StatusOr<TrainerState> LoadTrainerState(const std::string& path);
 
 // Parses <dir>/manifest.txt. NotFound when the manifest does not exist.
 StatusOr<std::vector<CheckpointInfo>> ReadCheckpointManifest(
     const std::string& dir);
 
 // Atomically rewrites <dir>/manifest.txt with `entries` (oldest first).
-Status WriteCheckpointManifest(const std::string& dir,
+[[nodiscard]] Status WriteCheckpointManifest(const std::string& dir,
                                const std::vector<CheckpointInfo>& entries);
 
 // Newest manifest entry, or NotFound on an empty/absent manifest.
-StatusOr<CheckpointInfo> LatestCheckpoint(const std::string& dir);
+[[nodiscard]] StatusOr<CheckpointInfo> LatestCheckpoint(const std::string& dir);
 
 // Appends `info` to the manifest (replacing an existing entry of the same
 // name), then deletes all but the newest `keep_last` checkpoint
 // subdirectories. `keep_last <= 0` disables pruning.
-Status RegisterCheckpoint(const std::string& dir, const CheckpointInfo& info,
+[[nodiscard]] Status RegisterCheckpoint(const std::string& dir, const CheckpointInfo& info,
                           int64_t keep_last);
 
 }  // namespace garl::rl

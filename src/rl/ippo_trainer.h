@@ -101,12 +101,12 @@ class IppoTrainer {
   // optimizers, RNG stream, episode counter) into `dir` and registers it in
   // the manifest with last-K retention. Crash-safe: every file is written
   // atomically and carries a CRC-32 footer.
-  Status SaveCheckpoint(const std::string& dir);
+  [[nodiscard]] Status SaveCheckpoint(const std::string& dir);
 
   // Restores the newest manifest entry in `dir`. After a successful
   // restore, continued training is bit-identical to the run that saved the
   // checkpoint. Any corrupt or truncated file yields a non-OK Status.
-  Status RestoreCheckpoint(const std::string& dir);
+  [[nodiscard]] Status RestoreCheckpoint(const std::string& dir);
 
   const TrainConfig& config() const { return config_; }
 
@@ -140,7 +140,7 @@ class IppoTrainer {
   void UpdateUgv(UgvRollout& rollout, IterationStats& stats);
   void UpdateUav(UavRollout& rollout, IterationStats& stats);
   void TakeSnapshot(Snapshot* snapshot) const;
-  Status RestoreSnapshot(const Snapshot& snapshot);
+  [[nodiscard]] Status RestoreSnapshot(const Snapshot& snapshot);
   bool Diverged(const IterationStats& stats) const;
   void MaybeInjectNanGrad(nn::Optimizer& optimizer);
 
