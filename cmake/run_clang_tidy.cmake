@@ -1,0 +1,65 @@
+# Standalone clang-tidy driver: runs the .clang-tidy check set over every
+# translation unit listed in a build tree's compile_commands.json.
+#
+#   cmake -DBUILD_DIR=<build-dir> [-DSOURCE_DIR=<repo>] [-DSTRICT=ON] \
+#         -P cmake/run_clang_tidy.cmake
+#
+# Exit behaviour: FATAL_ERROR on any tidy finding. When clang-tidy is not
+# installed the gate is unavailable: with STRICT=ON that is a hard failure,
+# otherwise a loud skip (so machines without LLVM — like the default CI
+# container — still run the other two layers).
+
+if(NOT SOURCE_DIR)
+  get_filename_component(SOURCE_DIR ${CMAKE_CURRENT_LIST_DIR} DIRECTORY)
+endif()
+if(NOT BUILD_DIR)
+  set(BUILD_DIR ${SOURCE_DIR}/build)
+endif()
+
+find_program(GARL_CLANG_TIDY_EXE
+  NAMES clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16
+        clang-tidy-15 clang-tidy-14)
+if(NOT GARL_CLANG_TIDY_EXE)
+  if(STRICT)
+    message(FATAL_ERROR "clang-tidy not found and STRICT=ON")
+  endif()
+  message(STATUS "clang-tidy not found — tidy layer SKIPPED "
+                 "(install clang-tidy to enable; garl_lint and the sanitizer "
+                 "gates still apply)")
+  return()
+endif()
+
+if(NOT EXISTS ${BUILD_DIR}/compile_commands.json)
+  message(FATAL_ERROR
+      "${BUILD_DIR}/compile_commands.json not found — configure the build "
+      "first (CMAKE_EXPORT_COMPILE_COMMANDS is ON by default)")
+endif()
+
+# Every first-party translation unit; third-party none exist, and gtest main
+# stubs are compiled from our own test sources anyway.
+file(GLOB_RECURSE GARL_TIDY_SOURCES
+  ${SOURCE_DIR}/src/*.cc
+  ${SOURCE_DIR}/tools/*.cc
+  ${SOURCE_DIR}/bench/*.cc
+  ${SOURCE_DIR}/tests/*.cc
+  ${SOURCE_DIR}/examples/*.cpp)
+list(FILTER GARL_TIDY_SOURCES EXCLUDE REGEX "lint_fixtures")
+
+set(failures 0)
+foreach(source ${GARL_TIDY_SOURCES})
+  execute_process(
+    COMMAND ${GARL_CLANG_TIDY_EXE} -p ${BUILD_DIR} --quiet ${source}
+    RESULT_VARIABLE tidy_result
+    OUTPUT_VARIABLE tidy_output
+    ERROR_VARIABLE tidy_stderr)
+  if(NOT tidy_result EQUAL 0)
+    math(EXPR failures "${failures} + 1")
+    message(STATUS "clang-tidy FAILED: ${source}\n${tidy_output}")
+  endif()
+endforeach()
+
+list(LENGTH GARL_TIDY_SOURCES total)
+if(failures GREATER 0)
+  message(FATAL_ERROR "clang-tidy: ${failures}/${total} files with findings")
+endif()
+message(STATUS "clang-tidy: ${total} files clean")
