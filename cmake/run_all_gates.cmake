@@ -37,6 +37,12 @@ garl_run_step("build with -Wall -Wextra -Werror"
 garl_run_step("garl_lint invariants"
   ${GATES_DIR}/lint/tools/garl_lint/garl_lint --root ${SOURCE_DIR})
 
+# --- 2b: observability golden-run + schema tests (fast, catch det drift). ---
+garl_run_step("observability test suite"
+  ${CMAKE_CTEST_COMMAND} --test-dir ${GATES_DIR}/lint --output-on-failure
+  -R "HistogramTest|MetricsRegistryTest|TraceTest|RunLogRecordTest|TracecatTest|GoldenRunTest|StopNetworkCacheTest"
+  -j4)
+
 # --- 3: clang-tidy over the same build's compile commands. ------------------
 garl_run_step("clang-tidy (skips loudly if unavailable)"
   ${CMAKE_COMMAND} -DSOURCE_DIR=${SOURCE_DIR} -DBUILD_DIR=${GATES_DIR}/lint

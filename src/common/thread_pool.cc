@@ -57,6 +57,7 @@ void ThreadPool::WorkerLoop() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   if (workers_.empty()) {
@@ -75,11 +76,13 @@ void ThreadPool::ParallelFor(
     int64_t begin, int64_t end, int64_t grain,
     const std::function<void(int64_t, int64_t)>& body) {
   if (end <= begin) return;
+  parallel_fors_.fetch_add(1, std::memory_order_relaxed);
   int64_t span = end - begin;
   grain = std::max<int64_t>(grain, 1);
   // Inline when parallelism cannot help or must not be used (reentrancy).
   if (span <= grain || num_threads_ <= 1 || workers_.empty() ||
       t_in_pool_worker) {
+    inline_parallel_fors_.fetch_add(1, std::memory_order_relaxed);
     body(begin, end);
     return;
   }

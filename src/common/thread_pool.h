@@ -1,6 +1,7 @@
 #ifndef GARL_COMMON_THREAD_POOL_H_
 #define GARL_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -40,6 +41,23 @@ class ThreadPool {
 
   // Total concurrency including the calling thread (>= 1).
   int64_t num_threads() const { return num_threads_; }
+
+  // Lifetime usage counters, for the observability layer (run-log `rt`
+  // section). Values depend on thread count and scheduling — they are
+  // runtime data, never deterministic payload.
+  struct Stats {
+    int64_t tasks_submitted = 0;    // Submit() calls
+    int64_t parallel_fors = 0;      // non-empty ParallelFor() calls
+    int64_t inline_parallel_fors = 0;  // ...of which ran fully inline
+  };
+  Stats stats() const {
+    Stats s;
+    s.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+    s.parallel_fors = parallel_fors_.load(std::memory_order_relaxed);
+    s.inline_parallel_fors =
+        inline_parallel_fors_.load(std::memory_order_relaxed);
+    return s;
+  }
 
   // Enqueues `task` on a worker (runs inline when there are no workers).
   // The future rethrows any exception the task threw.
@@ -83,6 +101,9 @@ class ThreadPool {
   void WorkerLoop();
 
   int64_t num_threads_;
+  std::atomic<int64_t> tasks_submitted_{0};
+  std::atomic<int64_t> parallel_fors_{0};
+  std::atomic<int64_t> inline_parallel_fors_{0};
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
   std::mutex mutex_;

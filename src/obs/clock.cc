@@ -1,0 +1,13 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace garl::obs {
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace garl::obs

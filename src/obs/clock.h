@@ -1,0 +1,26 @@
+#ifndef GARL_OBS_CLOCK_H_
+#define GARL_OBS_CLOCK_H_
+
+#include <cstdint>
+
+// The single sanctioned monotonic clock. Library code must not read wall or
+// monotonic clocks directly — the garl_lint `nondet-time` rule bans
+// std::chrono clocks and the C time APIs everywhere outside bench/ — because
+// hidden clock reads are hidden nondeterminism. Observability code is the one
+// legitimate consumer of time in the library, so this translation unit
+// (src/obs/clock.*) is whitelisted the same way src/common/rng.* is for
+// randomness, and everything else goes through MonotonicNowNs().
+//
+// Timing values obtained here are *runtime* data: they may feed the `rt`
+// section of a run log or a trace span, never a deterministic payload field,
+// a decision, or serialized model state (see DESIGN.md, Observability).
+
+namespace garl::obs {
+
+// Nanoseconds on a monotonic clock with an arbitrary epoch. Differences are
+// meaningful; absolute values are not.
+int64_t MonotonicNowNs();
+
+}  // namespace garl::obs
+
+#endif  // GARL_OBS_CLOCK_H_

@@ -1,0 +1,174 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace garl::obs {
+
+Histogram::Histogram(std::vector<double> bucket_upper_bounds)
+    : bounds_(std::move(bucket_upper_bounds)),
+      counts_(bounds_.size() + 1, 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  GARL_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket");
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    GARL_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                   "histogram bounds must be strictly increasing");
+  }
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound admits `value`; past-the-end = overflow.
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  GARL_CHECK_MSG(bounds_ == other.bounds_,
+                 "cannot merge histograms with different bucket bounds");
+  // Copy the source under its own lock first so self-merge or opposite-order
+  // merges cannot deadlock on the pair of mutexes.
+  std::vector<int64_t> other_counts;
+  int64_t other_count;
+  double other_sum, other_min, other_max;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    other_counts = other.counts_;
+    other_count = other.count_;
+    other_sum = other.sum_;
+    other_min = other.min_;
+    other_max = other.max_;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other_counts[i];
+  count_ += other_count;
+  sum_ += other_sum;
+  min_ = std::min(min_, other_min);
+  max_ = std::max(max_, other_max);
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  // Rank of the requested observation, 1-based; q = 0 asks for the first.
+  int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))));
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) return bounds_[i];
+  }
+  return max_;  // rank lands in the overflow bucket
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = counters_.try_emplace(name, nullptr);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = gauges_.try_emplace(name, nullptr);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(
+    const std::string& name, const std::vector<double>& bucket_upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = histograms_.try_emplace(name, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<Histogram>(bucket_upper_bounds);
+  } else {
+    GARL_CHECK_MSG(it->second->bucket_bounds() == bucket_upper_bounds,
+                   "histogram '" + name + "' re-registered with new bounds");
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramStats stats;
+    stats.name = name;
+    stats.count = histogram->count();
+    stats.sum = histogram->sum();
+    stats.min = histogram->min();
+    stats.max = histogram->max();
+    stats.p50 = histogram->P50();
+    stats.p95 = histogram->P95();
+    stats.p99 = histogram->P99();
+    snapshot.histograms.push_back(std::move(stats));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_) entry.second->Reset();
+  for (auto& entry : gauges_) entry.second->Reset();
+  for (auto& entry : histograms_) entry.second->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Immortal for the same reason as TraceCollector::Global(): pool workers
+  // may still touch metrics while draining during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry;  // garl-lint: allow(raw-new-delete)
+  return *registry;
+}
+
+}  // namespace garl::obs

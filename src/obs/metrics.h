@@ -1,0 +1,140 @@
+#ifndef GARL_OBS_METRICS_H_
+#define GARL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms. Thread-safe; snapshots iterate in deterministic (name-sorted)
+// order so anything serialized from a snapshot is machine-independent.
+//
+// Metric *values* that depend on timing or thread scheduling (span
+// durations, queue depths) are runtime data and must stay out of
+// deterministic run-log payloads; the registry itself does not distinguish,
+// the emitter does (see src/obs/run_log.h).
+
+namespace garl::obs {
+
+// Monotonically increasing integer metric. Increment is lock-free.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-write-wins floating-point metric.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram with deterministic quantile readout.
+//
+// Buckets are defined by strictly increasing upper bounds b_0 < ... < b_{n-1}
+// plus an implicit overflow bucket. An observation v lands in the first
+// bucket with v <= b_i, else in overflow. Quantile(q) returns the upper bound
+// of the bucket containing the rank-ceil(q*count) observation — a
+// deterministic function of the bucket counts (the overflow bucket reports
+// the exact maximum observed). This trades resolution for a bounded, mergeable
+// representation: per-thread shards combine exactly with MergeFrom.
+class Histogram {
+ public:
+  // `bucket_upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> bucket_upper_bounds);
+
+  void Observe(double value);
+
+  // Exact shard merge: counts add, min/max combine. Bucket bounds must match.
+  void MergeFrom(const Histogram& other);
+
+  int64_t count() const;
+  double sum() const;
+  double min() const;  // +inf when empty
+  double max() const;  // -inf when empty
+
+  // Deterministic bucket-resolution quantile (see class comment); q is
+  // clamped to [0, 1]. Returns 0.0 on an empty histogram.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+  // Per-bucket counts; the last entry is the overflow bucket.
+  std::vector<int64_t> bucket_counts() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::vector<int64_t> counts_;  // bounds_.size() + 1, last = overflow
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Point-in-time copy of every metric, sorted by name within each kind.
+struct MetricsSnapshot {
+  struct HistogramStats {
+    std::string name;
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramStats> histograms;
+};
+
+// Name -> metric map. Get* registers on first use and returns a reference
+// that stays valid for the registry's lifetime (Reset zeroes values, it never
+// invalidates references). All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  // Repeat lookups of the same name must pass identical bounds.
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>& bucket_upper_bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every registered metric (values only; references stay valid).
+  // Test/benchmark hook — not meaningful mid-run.
+  void Reset();
+
+  // The process-wide registry used by library instrumentation.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace garl::obs
+
+#endif  // GARL_OBS_METRICS_H_

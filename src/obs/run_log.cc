@@ -1,0 +1,663 @@
+#include "obs/run_log.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace garl::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON writing. Doubles use "%.17g" (shortest form that still round-trips a
+// binary64 exactly is not needed — 17 significant digits always round-trips
+// and is byte-stable for equal values). Non-finite doubles become `null`,
+// keeping every line legal JSON.
+// ---------------------------------------------------------------------------
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrPrintf(
+              "\\u%04x",
+              static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void AppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  *out += StrPrintf("%.17g", v);
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  *out += StrPrintf("%lld", static_cast<long long>(v));
+}
+
+void AppendBool(std::string* out, bool v) { *out += v ? "true" : "false"; }
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (objects keep member order so the validator can pin
+// the exact schema, not just the key set).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+  std::vector<JsonValue> elements;                         // kArray
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue value;
+    GARL_RETURN_IF_ERROR(ParseValue(&value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return InvalidArgumentError(
+        StrPrintf("JSON parse error at offset %lld: %s",
+                  static_cast<long long>(pos_), what.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string_value);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseKeyword(JsonValue* out) {
+    auto matches = [&](const char* word) {
+      size_t len = std::string(word).size();
+      return text_.compare(pos_, len, word) == 0;
+    };
+    if (matches("true")) {
+      pos_ += 4;
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = true;
+      return Status::Ok();
+    }
+    if (matches("false")) {
+      pos_ += 5;
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = false;
+      return Status::Ok();
+    }
+    if (matches("null")) {
+      pos_ += 4;
+      out->type = JsonValue::Type::kNull;
+      return Status::Ok();
+    }
+    return Error("unrecognized keyword");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    Consume('-');
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Error("malformed number '" + token + "'");
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number_value = value;
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+            // Only the BMP subset our writer emits (control chars) is
+            // supported; decode as a single byte.
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            char* end = nullptr;
+            long code = std::strtol(hex.c_str(), &end, 16);
+            if (end == nullptr || *end != '\0' || code < 0 || code > 0xFF) {
+              return Error("unsupported \\u escape '" + hex + "'");
+            }
+            *out += static_cast<char>(code);
+            break;
+          }
+          default:
+            return Error(std::string("unsupported escape '\\") + esc + "'");
+        }
+        continue;
+      }
+      *out += c;
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseObject(JsonValue* out) {
+    if (!Consume('{')) return Error("expected '{'");
+    out->type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      GARL_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      GARL_RETURN_IF_ERROR(ParseValue(&value));
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    if (!Consume('[')) return Error("expected '['");
+    out->type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      JsonValue value;
+      GARL_RETURN_IF_ERROR(ParseValue(&value));
+      out->elements.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Schema. The validator pins the exact member *order*, not just the set —
+// field order is part of the byte-stable contract.
+// ---------------------------------------------------------------------------
+
+enum class FieldType {
+  kInt,     // JSON number holding an integer
+  kDouble,  // JSON number, or null for a non-finite value
+  kBool,
+  kObject,
+  kArray,
+};
+
+struct FieldSpec {
+  const char* name;
+  FieldType type;
+};
+
+constexpr FieldSpec kTopLevelSchema[] = {
+    {"v", FieldType::kInt},
+    {"det", FieldType::kObject},
+    {"rt", FieldType::kObject},
+};
+
+constexpr FieldSpec kDetSchema[] = {
+    {"iter", FieldType::kInt},
+    {"episodes", FieldType::kInt},
+    {"ugv_reward", FieldType::kDouble},
+    {"uav_reward", FieldType::kDouble},
+    {"policy_loss", FieldType::kDouble},
+    {"value_loss", FieldType::kDouble},
+    {"entropy", FieldType::kDouble},
+    {"ugv_grad_norm", FieldType::kDouble},
+    {"uav_grad_norm", FieldType::kDouble},
+    {"lr", FieldType::kDouble},
+    {"diverged", FieldType::kBool},
+    {"recovered", FieldType::kBool},
+    {"psi", FieldType::kDouble},
+    {"xi", FieldType::kDouble},
+    {"zeta", FieldType::kDouble},
+    {"beta", FieldType::kDouble},
+    {"efficiency", FieldType::kDouble},
+};
+
+constexpr FieldSpec kRtSchema[] = {
+    {"wall_ns", FieldType::kInt},
+    {"cache_hits", FieldType::kInt},
+    {"cache_misses", FieldType::kInt},
+    {"pool", FieldType::kObject},
+    {"spans", FieldType::kArray},
+};
+
+constexpr FieldSpec kPoolSchema[] = {
+    {"threads", FieldType::kInt},
+    {"tasks", FieldType::kInt},
+    {"parallel_fors", FieldType::kInt},
+    {"inline_fors", FieldType::kInt},
+};
+
+constexpr FieldSpec kSpanSchema[] = {
+    {"name", FieldType::kInt},  // type checked specially (string)
+    {"count", FieldType::kInt},
+    {"total_ns", FieldType::kInt},
+};
+
+bool TypeMatches(const JsonValue& value, FieldType type) {
+  switch (type) {
+    case FieldType::kInt:
+      return value.type == JsonValue::Type::kNumber;
+    case FieldType::kDouble:
+      return value.type == JsonValue::Type::kNumber ||
+             value.type == JsonValue::Type::kNull;
+    case FieldType::kBool:
+      return value.type == JsonValue::Type::kBool;
+    case FieldType::kObject:
+      return value.type == JsonValue::Type::kObject;
+    case FieldType::kArray:
+      return value.type == JsonValue::Type::kArray;
+  }
+  return false;
+}
+
+template <size_t N>
+Status CheckObjectSchema(const JsonValue& object, const FieldSpec (&schema)[N],
+                         const char* context) {
+  if (object.type != JsonValue::Type::kObject) {
+    return InvalidArgumentError(StrPrintf("'%s' is not an object", context));
+  }
+  if (object.members.size() != N) {
+    return InvalidArgumentError(StrPrintf(
+        "'%s' has %lld field(s), schema v%d requires %lld", context,
+        static_cast<long long>(object.members.size()), kRunLogSchemaVersion,
+        static_cast<long long>(N)));
+  }
+  for (size_t i = 0; i < N; ++i) {
+    const auto& [key, value] = object.members[i];
+    if (key != schema[i].name) {
+      return InvalidArgumentError(
+          StrPrintf("'%s' field %lld is '%s', schema requires '%s'", context,
+                    static_cast<long long>(i), key.c_str(), schema[i].name));
+    }
+    if (!TypeMatches(value, schema[i].type)) {
+      return InvalidArgumentError(StrPrintf(
+          "'%s.%s' has the wrong JSON type", context, schema[i].name));
+    }
+  }
+  return Status::Ok();
+}
+
+double AsDouble(const JsonValue& value) {
+  if (value.type == JsonValue::Type::kNull) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return value.number_value;
+}
+
+int64_t AsInt(const JsonValue& value) {
+  return static_cast<int64_t>(std::llround(value.number_value));
+}
+
+// Validated view of a parsed record; `record` filled on success.
+Status DecodeRecord(const JsonValue& root, IterationRecord* record) {
+  GARL_RETURN_IF_ERROR(CheckObjectSchema(root, kTopLevelSchema, "record"));
+  if (AsInt(root.members[0].second) != kRunLogSchemaVersion) {
+    return InvalidArgumentError(
+        StrPrintf("unsupported run-log schema version %lld (expected %d)",
+                  static_cast<long long>(AsInt(root.members[0].second)),
+                  kRunLogSchemaVersion));
+  }
+  const JsonValue& det = root.members[1].second;
+  const JsonValue& rt = root.members[2].second;
+  GARL_RETURN_IF_ERROR(CheckObjectSchema(det, kDetSchema, "det"));
+  GARL_RETURN_IF_ERROR(CheckObjectSchema(rt, kRtSchema, "rt"));
+  const JsonValue& pool = rt.members[3].second;
+  GARL_RETURN_IF_ERROR(CheckObjectSchema(pool, kPoolSchema, "rt.pool"));
+
+  record->iteration = AsInt(det.members[0].second);
+  record->episode_counter = AsInt(det.members[1].second);
+  record->ugv_episode_reward = AsDouble(det.members[2].second);
+  record->uav_episode_reward = AsDouble(det.members[3].second);
+  record->policy_loss = AsDouble(det.members[4].second);
+  record->value_loss = AsDouble(det.members[5].second);
+  record->entropy = AsDouble(det.members[6].second);
+  record->ugv_grad_norm = AsDouble(det.members[7].second);
+  record->uav_grad_norm = AsDouble(det.members[8].second);
+  record->lr = AsDouble(det.members[9].second);
+  record->diverged = det.members[10].second.bool_value;
+  record->recovered = det.members[11].second.bool_value;
+  record->psi = AsDouble(det.members[12].second);
+  record->xi = AsDouble(det.members[13].second);
+  record->zeta = AsDouble(det.members[14].second);
+  record->beta = AsDouble(det.members[15].second);
+  record->efficiency = AsDouble(det.members[16].second);
+
+  record->wall_ns = AsInt(rt.members[0].second);
+  record->route_cache_hits = AsInt(rt.members[1].second);
+  record->route_cache_misses = AsInt(rt.members[2].second);
+  record->pool_threads = AsInt(pool.members[0].second);
+  record->pool_tasks = AsInt(pool.members[1].second);
+  record->pool_parallel_fors = AsInt(pool.members[2].second);
+  record->pool_inline_fors = AsInt(pool.members[3].second);
+
+  const JsonValue& spans = rt.members[4].second;
+  record->spans.clear();
+  for (size_t i = 0; i < spans.elements.size(); ++i) {
+    const JsonValue& span = spans.elements[i];
+    if (span.type != JsonValue::Type::kObject ||
+        span.members.size() != 3) {
+      return InvalidArgumentError(
+          StrPrintf("rt.spans[%lld] is not a {name,count,total_ns} object",
+                    static_cast<long long>(i)));
+    }
+    for (size_t f = 0; f < 3; ++f) {
+      if (span.members[f].first != kSpanSchema[f].name) {
+        return InvalidArgumentError(StrPrintf(
+            "rt.spans[%lld] field %lld is '%s', schema requires '%s'",
+            static_cast<long long>(i), static_cast<long long>(f),
+            span.members[f].first.c_str(), kSpanSchema[f].name));
+      }
+    }
+    if (span.members[0].second.type != JsonValue::Type::kString ||
+        span.members[1].second.type != JsonValue::Type::kNumber ||
+        span.members[2].second.type != JsonValue::Type::kNumber) {
+      return InvalidArgumentError(
+          StrPrintf("rt.spans[%lld] has the wrong field types",
+                    static_cast<long long>(i)));
+    }
+    SpanTiming timing;
+    timing.name = span.members[0].second.string_value;
+    timing.count = AsInt(span.members[1].second);
+    timing.total_ns = AsInt(span.members[2].second);
+    record->spans.push_back(std::move(timing));
+  }
+  return Status::Ok();
+}
+
+// Per-line driver shared by validation and summarization. `visit` is called
+// with each decoded record.
+template <typename Visitor>
+Status ForEachRecord(const std::string& path, Visitor&& visit) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return NotFoundError("cannot open run log: " + path);
+  }
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    StatusOr<IterationRecord> record = ParseIterationRecord(line);
+    if (!record.ok()) {
+      return InvalidArgumentError(
+          StrPrintf("%s:%lld: %s", path.c_str(),
+                    static_cast<long long>(line_number),
+                    record.status().message().c_str()));
+    }
+    visit(std::move(record).value());
+  }
+  if (in.bad()) {
+    return InternalError("I/O error reading run log: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string FormatIterationRecord(const IterationRecord& record) {
+  std::string out;
+  out.reserve(512);
+  out += "{\"v\":";
+  AppendInt(&out, kRunLogSchemaVersion);
+  out += ",\"det\":{\"iter\":";
+  AppendInt(&out, record.iteration);
+  out += ",\"episodes\":";
+  AppendInt(&out, record.episode_counter);
+  out += ",\"ugv_reward\":";
+  AppendDouble(&out, record.ugv_episode_reward);
+  out += ",\"uav_reward\":";
+  AppendDouble(&out, record.uav_episode_reward);
+  out += ",\"policy_loss\":";
+  AppendDouble(&out, record.policy_loss);
+  out += ",\"value_loss\":";
+  AppendDouble(&out, record.value_loss);
+  out += ",\"entropy\":";
+  AppendDouble(&out, record.entropy);
+  out += ",\"ugv_grad_norm\":";
+  AppendDouble(&out, record.ugv_grad_norm);
+  out += ",\"uav_grad_norm\":";
+  AppendDouble(&out, record.uav_grad_norm);
+  out += ",\"lr\":";
+  AppendDouble(&out, record.lr);
+  out += ",\"diverged\":";
+  AppendBool(&out, record.diverged);
+  out += ",\"recovered\":";
+  AppendBool(&out, record.recovered);
+  out += ",\"psi\":";
+  AppendDouble(&out, record.psi);
+  out += ",\"xi\":";
+  AppendDouble(&out, record.xi);
+  out += ",\"zeta\":";
+  AppendDouble(&out, record.zeta);
+  out += ",\"beta\":";
+  AppendDouble(&out, record.beta);
+  out += ",\"efficiency\":";
+  AppendDouble(&out, record.efficiency);
+  out += "},\"rt\":{\"wall_ns\":";
+  AppendInt(&out, record.wall_ns);
+  out += ",\"cache_hits\":";
+  AppendInt(&out, record.route_cache_hits);
+  out += ",\"cache_misses\":";
+  AppendInt(&out, record.route_cache_misses);
+  out += ",\"pool\":{\"threads\":";
+  AppendInt(&out, record.pool_threads);
+  out += ",\"tasks\":";
+  AppendInt(&out, record.pool_tasks);
+  out += ",\"parallel_fors\":";
+  AppendInt(&out, record.pool_parallel_fors);
+  out += ",\"inline_fors\":";
+  AppendInt(&out, record.pool_inline_fors);
+  out += "},\"spans\":[";
+  for (size_t i = 0; i < record.spans.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"name\":";
+    AppendJsonString(&out, record.spans[i].name);
+    out += ",\"count\":";
+    AppendInt(&out, record.spans[i].count);
+    out += ",\"total_ns\":";
+    AppendInt(&out, record.spans[i].total_ns);
+    out += '}';
+  }
+  out += "]}}";
+  return out;
+}
+
+StatusOr<IterationRecord> ParseIterationRecord(const std::string& line) {
+  JsonParser parser(line);
+  StatusOr<JsonValue> root = parser.Parse();
+  if (!root.ok()) return root.status();
+  IterationRecord record;
+  GARL_RETURN_IF_ERROR(DecodeRecord(root.value(), &record));
+  return record;
+}
+
+StatusOr<std::string> DeterministicPayload(const std::string& line) {
+  static const std::string kKey = "\"det\":";
+  size_t at = line.find(kKey);
+  if (at == std::string::npos) {
+    return InvalidArgumentError("record has no \"det\" payload");
+  }
+  size_t start = at + kKey.size();
+  if (start >= line.size() || line[start] != '{') {
+    return InvalidArgumentError("\"det\" payload is not an object");
+  }
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (size_t i = start; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) return line.substr(start, i - start + 1);
+    }
+  }
+  return InvalidArgumentError("unterminated \"det\" object");
+}
+
+Status RunLog::AppendRecord(const IterationRecord& record) {
+  (*out_) << FormatIterationRecord(record) << '\n';
+  out_->flush();
+  if (!out_->good()) {
+    return InternalError("run-log write failed: " + path_);
+  }
+  return Status::Ok();
+}
+
+StatusOr<RunLog> OpenRunLog(const std::string& path) {
+  auto out = std::make_unique<std::ofstream>(
+      path, std::ios::binary | std::ios::trunc);
+  if (!out->is_open()) {
+    return InternalError("cannot open run log for writing: " + path);
+  }
+  return RunLog(path, std::move(out));
+}
+
+Status ValidateRunLogFile(const std::string& path) {
+  return ForEachRecord(path, [](IterationRecord&&) {});
+}
+
+StatusOr<RunLogSummary> SummarizeRunLogFile(const std::string& path) {
+  RunLogSummary summary;
+  double policy = 0.0, value = 0.0, entropy = 0.0;
+  Status status = ForEachRecord(path, [&](IterationRecord&& record) {
+    if (summary.records == 0) summary.first = record;
+    policy += record.policy_loss;
+    value += record.value_loss;
+    entropy += record.entropy;
+    if (record.diverged) ++summary.diverged_iterations;
+    summary.total_wall_ns += record.wall_ns;
+    for (const SpanTiming& span : record.spans) {
+      SpanTiming& agg = summary.spans[span.name];
+      if (agg.name.empty()) agg.name = span.name;
+      agg.count += span.count;
+      agg.total_ns += span.total_ns;
+    }
+    summary.last = std::move(record);
+    ++summary.records;
+  });
+  if (!status.ok()) return status;
+  if (summary.records > 0) {
+    double n = static_cast<double>(summary.records);
+    summary.mean_policy_loss = policy / n;
+    summary.mean_value_loss = value / n;
+    summary.mean_entropy = entropy / n;
+  }
+  return summary;
+}
+
+}  // namespace garl::obs

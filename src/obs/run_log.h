@@ -1,0 +1,138 @@
+#ifndef GARL_OBS_RUN_LOG_H_
+#define GARL_OBS_RUN_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// Structured JSONL run log: one record per training iteration, streamed to
+// disk as it happens. Every record is a single line of the form
+//
+//   {"v":1,"det":{...},"rt":{...}}
+//
+// with a hard contract separating the two payloads:
+//
+//  * `det` — deterministic fields: a pure function of (seed, config). The
+//    golden-run tests byte-compare this object across repeat runs and across
+//    GARL_NUM_THREADS settings. Fields are emitted in a fixed order with a
+//    fixed ("%.17g") float encoding, so equality of values implies equality
+//    of bytes.
+//  * `rt` — runtime fields: wall-clock span timings (from the sanctioned
+//    clock, src/obs/clock.h), route-cache and thread-pool statistics. These
+//    legitimately vary run-to-run and thread-count-to-thread-count and are
+//    excluded from golden comparisons.
+//
+// Nothing may move from `rt` into `det` without a determinism argument, and
+// no clock-derived value may ever appear in `det`. See DESIGN.md,
+// Observability.
+
+namespace garl::obs {
+
+inline constexpr int kRunLogSchemaVersion = 1;
+
+// One span's aggregate inside a record's `rt` section.
+struct SpanTiming {
+  std::string name;
+  int64_t count = 0;
+  int64_t total_ns = 0;
+};
+
+// One training iteration. Field groups mirror the det/rt split above.
+struct IterationRecord {
+  // --- deterministic payload (`det`) ---
+  int64_t iteration = 0;         // Train() loop index
+  int64_t episode_counter = 0;   // global episodes collected so far
+  double ugv_episode_reward = 0.0;
+  double uav_episode_reward = 0.0;
+  double policy_loss = 0.0;
+  double value_loss = 0.0;
+  double entropy = 0.0;
+  double ugv_grad_norm = 0.0;
+  double uav_grad_norm = 0.0;
+  double lr = 0.0;               // UGV optimizer LR after this iteration
+  bool diverged = false;         // sentinel tripped at least once
+  bool recovered = false;        // ...and the rolled-back retry succeeded
+  double psi = 0.0;              // data collection ratio (Eq. 3)
+  double xi = 0.0;               // fairness (Eq. 4)
+  double zeta = 0.0;             // cooperation factor (Eq. 5)
+  double beta = 0.0;             // energy ratio (Eq. 6)
+  double efficiency = 0.0;       // lambda (Eq. 7)
+  // --- runtime payload (`rt`) ---
+  int64_t wall_ns = 0;           // iteration wall time
+  int64_t route_cache_hits = 0;    // cumulative, trainer world
+  int64_t route_cache_misses = 0;  // cumulative, trainer world
+  int64_t pool_threads = 0;
+  int64_t pool_tasks = 0;          // cumulative tasks submitted
+  int64_t pool_parallel_fors = 0;  // cumulative ParallelFor calls
+  int64_t pool_inline_fors = 0;    // ...of which ran inline
+  std::vector<SpanTiming> spans;   // this iteration's spans, sorted by name
+};
+
+// Renders one record as a single JSONL line (no trailing newline). Field
+// order and float encoding are part of the schema: byte-stable for equal
+// values.
+std::string FormatIterationRecord(const IterationRecord& record);
+
+// Parses one JSONL line. Any malformed JSON, missing/extra field, or
+// type mismatch yields a non-OK Status naming the problem.
+[[nodiscard]] StatusOr<IterationRecord> ParseIterationRecord(
+    const std::string& line);
+
+// Extracts the raw bytes of the `det` object from one JSONL line (for
+// golden byte-comparisons that must not depend on parser round-trips).
+[[nodiscard]] StatusOr<std::string> DeterministicPayload(
+    const std::string& line);
+
+// Streaming writer. Opens (truncates) `path` on construction via OpenRunLog;
+// AppendRecord writes one line and flushes, so a crashed run keeps every
+// completed iteration.
+class RunLog {
+ public:
+  [[nodiscard]] Status AppendRecord(const IterationRecord& record);
+  const std::string& path() const { return path_; }
+
+  RunLog(RunLog&&) = default;
+  RunLog& operator=(RunLog&&) = default;
+
+ private:
+  friend StatusOr<RunLog> OpenRunLog(const std::string& path);
+  RunLog(std::string path, std::unique_ptr<std::ofstream> out)
+      : path_(std::move(path)), out_(std::move(out)) {}
+
+  std::string path_;
+  std::unique_ptr<std::ofstream> out_;
+};
+
+[[nodiscard]] StatusOr<RunLog> OpenRunLog(const std::string& path);
+
+// Whole-file schema check: every line must parse as a valid record with
+// exactly the documented field set. Empty files are valid (a run that died
+// before its first iteration). Returns the first problem found, with its
+// 1-based line number.
+[[nodiscard]] Status ValidateRunLogFile(const std::string& path);
+
+// Aggregate view of a run log, for `garl_tracecat`.
+struct RunLogSummary {
+  int64_t records = 0;
+  IterationRecord first;  // valid when records > 0
+  IterationRecord last;
+  double mean_policy_loss = 0.0;
+  double mean_value_loss = 0.0;
+  double mean_entropy = 0.0;
+  int64_t diverged_iterations = 0;
+  int64_t total_wall_ns = 0;
+  // Per-span totals accumulated across all records, keyed by name.
+  std::map<std::string, SpanTiming> spans;
+};
+
+[[nodiscard]] StatusOr<RunLogSummary> SummarizeRunLogFile(
+    const std::string& path);
+
+}  // namespace garl::obs
+
+#endif  // GARL_OBS_RUN_LOG_H_

@@ -1,0 +1,90 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace garl::obs {
+
+namespace {
+
+void FoldInto(std::map<std::string, SpanStats>& dest, const SpanStats& s) {
+  SpanStats& agg = dest[s.name];
+  if (agg.name.empty()) agg.name = s.name;
+  agg.count += s.count;
+  agg.total_ns += s.total_ns;
+  agg.max_ns = std::max(agg.max_ns, s.max_ns);
+}
+
+}  // namespace
+
+struct TraceCollector::ShardHandle {
+  explicit ShardHandle(TraceCollector* collector) : owner(collector) {}
+  ~ShardHandle() { owner->Retire(&shard); }
+  TraceCollector* owner;
+  Shard shard;
+};
+
+TraceCollector::Shard& TraceCollector::LocalShard() {
+  // The collector is a process-lifetime singleton (private ctor), so the
+  // pointer a thread's handle keeps to it can never dangle; the handle's
+  // destructor runs at thread exit and folds the shard into retired_.
+  thread_local std::unique_ptr<ShardHandle> handle;
+  if (handle == nullptr) {
+    handle = std::make_unique<ShardHandle>(this);
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(&handle->shard);
+  }
+  return handle->shard;
+}
+
+void TraceCollector::Record(const std::string& name, int64_t duration_ns) {
+  Shard& shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  SpanStats& agg = shard.spans[name];
+  if (agg.name.empty()) agg.name = name;
+  agg.count += 1;
+  agg.total_ns += duration_ns;
+  agg.max_ns = std::max(agg.max_ns, duration_ns);
+}
+
+void TraceCollector::Retire(Shard* shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (const auto& entry : shard->spans) FoldInto(retired_, entry.second);
+  }
+  shards_.erase(std::remove(shards_.begin(), shards_.end(), shard),
+                shards_.end());
+}
+
+std::vector<SpanStats> TraceCollector::Snapshot() const {
+  std::map<std::string, SpanStats> merged;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : retired_) FoldInto(merged, entry.second);
+  for (Shard* shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (const auto& entry : shard->spans) FoldInto(merged, entry.second);
+  }
+  std::vector<SpanStats> result;
+  result.reserve(merged.size());
+  for (auto& entry : merged) result.push_back(std::move(entry.second));
+  return result;  // std::map iteration: already sorted by name
+}
+
+void TraceCollector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retired_.clear();
+  for (Shard* shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    shard->spans.clear();
+  }
+}
+
+TraceCollector& TraceCollector::Global() {
+  // Deliberately immortal: shards retire into the collector from thread-exit
+  // destructors, and the global thread pool joins its workers during static
+  // destruction — a destructible singleton could be gone by then.
+  static TraceCollector* collector = new TraceCollector;  // garl-lint: allow(raw-new-delete)
+  return *collector;
+}
+
+}  // namespace garl::obs

@@ -1,0 +1,103 @@
+#ifndef GARL_OBS_TRACE_H_
+#define GARL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+
+// Scoped trace spans: `GARL_TRACE_SPAN("trainer/collect");` measures the
+// enclosing scope's wall time on the sanctioned monotonic clock and folds it
+// into a process-wide aggregate keyed by span name. Spans nest freely — each
+// nested span records its own inclusive wall time.
+//
+// Aggregation is sharded per thread: a span records into its thread's shard
+// (one uncontended mutex), and TraceCollector::Snapshot() merges every live
+// shard plus the retired totals of exited threads. Shard merge order never
+// affects the result (sums and maxima commute) and snapshots are sorted by
+// name, so readout order is deterministic even though the durations are not.
+//
+// Span *names, counts and nesting* are deterministic properties of the
+// control flow; span *durations* are runtime data and must only ever feed
+// the `rt` section of a run log (see DESIGN.md, Observability).
+
+namespace garl::obs {
+
+// Aggregate for one span name.
+struct SpanStats {
+  std::string name;
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  int64_t max_ns = 0;
+};
+
+// Process-wide span aggregator. Deliberately a singleton: per-thread shards
+// hold a pointer to their collector across the whole thread lifetime, which
+// is only safe because the collector is immortal.
+class TraceCollector {
+ public:
+  // Folds one completed span into the calling thread's shard.
+  void Record(const std::string& name, int64_t duration_ns);
+
+  // Merged view of every shard, sorted by span name.
+  std::vector<SpanStats> Snapshot() const;
+
+  // Clears all shards and retired totals (test / run-boundary hook).
+  void Reset();
+
+  // The process-wide collector GARL_TRACE_SPAN records into.
+  static TraceCollector& Global();
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+ private:
+  TraceCollector() = default;
+
+  struct Shard {
+    std::mutex mutex;
+    std::map<std::string, SpanStats> spans;
+  };
+  // Owns one shard for the lifetime of its thread; flushes into the
+  // collector's retired totals on thread exit.
+  struct ShardHandle;
+  friend struct ShardHandle;
+
+  Shard& LocalShard();
+  void Retire(Shard* shard);
+
+  mutable std::mutex mutex_;
+  std::vector<Shard*> shards_;  // live shards, owned by their ShardHandle
+  std::map<std::string, SpanStats> retired_;
+};
+
+// RAII span: records `MonotonicNowNs()` elapsed between construction and
+// destruction under `name`. `name` must outlive the span (string literals).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name), start_ns_(MonotonicNowNs()) {}
+  ~TraceSpan() {
+    TraceCollector::Global().Record(name_, MonotonicNowNs() - start_ns_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_ns_;
+};
+
+#define GARL_TRACE_CONCAT_INNER_(a, b) a##b
+#define GARL_TRACE_CONCAT_(a, b) GARL_TRACE_CONCAT_INNER_(a, b)
+// Times the enclosing scope under `name` (a string literal).
+#define GARL_TRACE_SPAN(name) \
+  ::garl::obs::TraceSpan GARL_TRACE_CONCAT_(garl_trace_span_, __LINE__)(name)
+
+}  // namespace garl::obs
+
+#endif  // GARL_OBS_TRACE_H_

@@ -7,6 +7,8 @@
 #include "common/thread_pool.h"
 #include "env/metrics.h"
 #include "nn/ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rl/rollout.h"
 
 namespace garl::rl {
@@ -21,6 +23,7 @@ env::EpisodeMetrics RunEvalEpisode(env::World& world,
                                    UavController& uav_controller,
                                    const EvalOptions& options,
                                    int64_t episode) {
+  GARL_TRACE_SPAN("eval/episode");
   Rng rng(Rng::StreamSeed(options.seed, static_cast<uint64_t>(episode)));
   world.Reset(options.seed + static_cast<uint64_t>(episode));
   while (!world.Done()) {
@@ -61,7 +64,11 @@ env::EpisodeMetrics EvaluatePolicy(env::World& world,
                                    UgvPolicyNetwork& policy,
                                    UavController& uav_controller,
                                    const EvalOptions& options) {
+  GARL_TRACE_SPAN("eval/run");
   GARL_CHECK_GT(options.episodes, 0);
+  obs::MetricsRegistry::Global()
+      .GetCounter("eval.episodes")
+      .Increment(options.episodes);
   std::vector<env::EpisodeMetrics> per_episode(
       static_cast<size_t>(options.episodes));
 

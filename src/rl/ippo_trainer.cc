@@ -4,6 +4,8 @@
 #include <cmath>
 #include <filesystem>
 #include <limits>
+#include <map>
+#include <optional>
 
 #include "common/check.h"
 #include "common/string_util.h"
@@ -11,6 +13,10 @@
 #include "nn/distributions.h"
 #include "nn/ops.h"
 #include "nn/serialization.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/run_log.h"
+#include "obs/trace.h"
 #include "rl/checkpoint.h"
 
 namespace garl::rl {
@@ -34,6 +40,26 @@ void RecordGradNorm(double* accumulator, float norm) {
   } else if (std::isfinite(*accumulator)) {
     *accumulator = std::max(*accumulator, static_cast<double>(norm));
   }
+}
+
+// Per-iteration span deltas between two TraceCollector snapshots (both
+// name-sorted). Entries with no activity in the window are dropped; the
+// result stays name-sorted.
+std::vector<obs::SpanTiming> SpanDelta(
+    const std::vector<obs::SpanStats>& before,
+    const std::vector<obs::SpanStats>& after) {
+  std::map<std::string, obs::SpanStats> prior;
+  for (const obs::SpanStats& s : before) prior[s.name] = s;
+  std::vector<obs::SpanTiming> delta;
+  for (const obs::SpanStats& s : after) {
+    auto it = prior.find(s.name);
+    int64_t count = s.count - (it == prior.end() ? 0 : it->second.count);
+    int64_t total_ns =
+        s.total_ns - (it == prior.end() ? 0 : it->second.total_ns);
+    if (count == 0 && total_ns == 0) continue;
+    delta.push_back({s.name, count, total_ns});
+  }
+  return delta;
 }
 
 }  // namespace
@@ -64,6 +90,7 @@ IppoTrainer::IppoTrainer(env::World* world, UgvPolicyNetwork* ugv_network,
 IppoTrainer::CollectResult IppoTrainer::RunEpisode(env::World& world,
                                                    uint64_t reset_seed,
                                                    uint64_t rng_seed) const {
+  GARL_TRACE_SPAN("trainer/episode");
   CollectResult result;
   Rng rng(rng_seed);
   world.Reset(reset_seed);
@@ -184,6 +211,7 @@ bool IppoTrainer::ParallelRolloutsSafe() const {
 }
 
 IppoTrainer::CollectResult IppoTrainer::CollectEpisodes() {
+  GARL_TRACE_SPAN("trainer/collect");
   int64_t episodes = std::max<int64_t>(config_.episodes_per_iteration, 1);
   // Episode numbering continues PR 1's checkpoint scheme: global episode n
   // resets the world with seed + n and n is persisted, so a resumed run
@@ -253,6 +281,7 @@ IppoTrainer::CollectResult IppoTrainer::CollectEpisodes() {
 }
 
 void IppoTrainer::UpdateUgv(UgvRollout& rollout, IterationStats& stats) {
+  GARL_TRACE_SPAN("trainer/update_ugv");
   FinalizeUgvRollout(rollout, config_.gamma, config_.gae_lambda);
   int64_t num_slots = static_cast<int64_t>(rollout.slots.size());
   if (num_slots == 0) return;
@@ -359,6 +388,7 @@ void IppoTrainer::UpdateUgv(UgvRollout& rollout, IterationStats& stats) {
 }
 
 void IppoTrainer::UpdateUav(UavRollout& rollout, IterationStats& stats) {
+  GARL_TRACE_SPAN("trainer/update_uav");
   FinalizeUavRollout(rollout, config_.gamma, config_.gae_lambda);
   // Flatten decisions.
   std::vector<const UavDecision*> all;
@@ -466,6 +496,7 @@ Status IppoTrainer::RestoreSnapshot(const Snapshot& snapshot) {
 }
 
 Status IppoTrainer::SaveCheckpoint(const std::string& dir) {
+  GARL_TRACE_SPAN("checkpoint/save");
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(dir, ec);
@@ -501,6 +532,7 @@ Status IppoTrainer::SaveCheckpoint(const std::string& dir) {
 }
 
 Status IppoTrainer::RestoreCheckpoint(const std::string& dir) {
+  GARL_TRACE_SPAN("checkpoint/restore");
   StatusOr<CheckpointInfo> latest = LatestCheckpoint(dir);
   if (!latest.ok()) return latest.status();
   const std::string sub = dir + "/" + latest.value().name;
@@ -534,11 +566,30 @@ StatusOr<std::vector<IterationStats>> IppoTrainer::Train() {
   float healthy_ugv_lr = ugv_optimizer_->lr();
   float healthy_uav_lr = uav_optimizer_ ? uav_optimizer_->lr() : 0.0f;
   int64_t trips = 0;  // consecutive sentinel trips on the current iteration
+
+  // Observability: the run log streams one record per successful iteration;
+  // the span baseline lets each record report only its own window's timings.
+  // Everything gathered here is read-only — no RNG draw, no learned state.
+  std::optional<obs::RunLog> run_log;
+  if (!config_.run_log_path.empty()) {
+    StatusOr<obs::RunLog> opened = obs::OpenRunLog(config_.run_log_path);
+    if (!opened.ok()) return opened.status();
+    run_log.emplace(std::move(opened).value());
+  }
+  obs::Counter& trip_counter =
+      obs::MetricsRegistry::Global().GetCounter("trainer.sentinel_trips");
+  obs::Counter& iteration_counter =
+      obs::MetricsRegistry::Global().GetCounter("trainer.iterations");
+  std::vector<obs::SpanStats> span_baseline =
+      obs::TraceCollector::Global().Snapshot();
+
   for (int64_t m = 0; m < config_.iterations;) {
     current_iteration_ = m;
+    int64_t iteration_start_ns = obs::MonotonicNowNs();
     IterationStats stats = RunIteration();
     if (config_.sentinel && Diverged(stats)) {
       ++trips;
+      trip_counter.Increment();
       if (trips > config_.max_divergence_retries) {
         return InternalError(StrPrintf(
             "iteration %lld diverged %lld consecutive times; giving up",
@@ -559,6 +610,7 @@ StatusOr<std::vector<IterationStats>> IppoTrainer::Train() {
       trips = 0;
     }
     history.push_back(stats);
+    iteration_counter.Increment();
     if (config_.sentinel) {
       TakeSnapshot(&snapshot);
       healthy_ugv_lr = ugv_optimizer_->lr();
@@ -568,9 +620,52 @@ StatusOr<std::vector<IterationStats>> IppoTrainer::Train() {
         (m + 1) % config_.checkpoint_interval == 0) {
       GARL_RETURN_IF_ERROR(SaveCheckpoint(config_.checkpoint_dir));
     }
+    if (run_log.has_value()) {
+      GARL_RETURN_IF_ERROR(run_log->AppendRecord(
+          MakeIterationRecord(m, stats, iteration_start_ns, &span_baseline)));
+    }
     ++m;
   }
   return history;
+}
+
+obs::IterationRecord IppoTrainer::MakeIterationRecord(
+    int64_t iteration, const IterationStats& stats, int64_t start_ns,
+    std::vector<obs::SpanStats>* span_baseline) const {
+  obs::IterationRecord record;
+  // Deterministic payload: a pure function of (seed, config).
+  record.iteration = iteration;
+  record.episode_counter = episode_counter_;
+  record.ugv_episode_reward = stats.ugv_episode_reward;
+  record.uav_episode_reward = stats.uav_episode_reward;
+  record.policy_loss = stats.policy_loss;
+  record.value_loss = stats.value_loss;
+  record.entropy = stats.entropy;
+  record.ugv_grad_norm = stats.ugv_grad_norm;
+  record.uav_grad_norm = stats.uav_grad_norm;
+  record.lr = static_cast<double>(ugv_optimizer_->lr());
+  record.diverged = stats.diverged;
+  record.recovered = stats.recovered;
+  record.psi = stats.metrics.data_collection_ratio;
+  record.xi = stats.metrics.fairness;
+  record.zeta = stats.metrics.cooperation_factor;
+  record.beta = stats.metrics.energy_ratio;
+  record.efficiency = stats.metrics.efficiency;
+  // Runtime payload: clock- and thread-count-dependent, excluded from
+  // golden comparisons.
+  record.wall_ns = obs::MonotonicNowNs() - start_ns;
+  record.route_cache_hits = world_->stops().route_cache_hits();
+  record.route_cache_misses = world_->stops().route_cache_misses();
+  ThreadPool& pool = ThreadPool::Global();
+  ThreadPool::Stats pool_stats = pool.stats();
+  record.pool_threads = pool.num_threads();
+  record.pool_tasks = pool_stats.tasks_submitted;
+  record.pool_parallel_fors = pool_stats.parallel_fors;
+  record.pool_inline_fors = pool_stats.inline_parallel_fors;
+  std::vector<obs::SpanStats> now = obs::TraceCollector::Global().Snapshot();
+  record.spans = SpanDelta(*span_baseline, now);
+  *span_baseline = std::move(now);
+  return record;
 }
 
 }  // namespace garl::rl

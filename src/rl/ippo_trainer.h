@@ -9,6 +9,8 @@
 #include "common/status.h"
 #include "env/world.h"
 #include "nn/optimizer.h"
+#include "obs/run_log.h"
+#include "obs/trace.h"
 #include "rl/policy.h"
 #include "rl/rollout.h"
 #include "rl/uav_controller.h"
@@ -26,6 +28,11 @@
 // consecutive trips. With `checkpoint_dir` set, the same state is also
 // persisted to disk (crash-safe, CRC-verified, last-K retained) so a killed
 // run resumes bit-identically via RestoreCheckpoint().
+//
+// Observability: the collect/update/checkpoint phases run under trace spans
+// (GARL_TRACE_SPAN) and, with `run_log_path` set, Train() emits one JSONL
+// record per iteration whose deterministic payload is byte-identical across
+// repeat runs and thread counts (pinned by tests/golden_run_test.cc).
 
 namespace garl::rl {
 
@@ -58,6 +65,15 @@ struct TrainConfig {
   bool sentinel = true;                // divergence detection + rollback
   int64_t max_divergence_retries = 3;  // consecutive trips before giving up
   float divergence_lr_decay = 0.5f;    // lr multiplier per consecutive trip
+
+  // --- Observability ---
+  // When non-empty, Train() streams one JSONL record per successful
+  // iteration to this path (losses, grad norms, metrics, sentinel state in
+  // the deterministic `det` payload; span timings, route-cache and
+  // thread-pool stats in `rt` — see src/obs/run_log.h). Instrumentation is
+  // read-only: it never touches the RNG or any learned state, so losses are
+  // bit-identical with and without a run log.
+  std::string run_log_path;
 };
 
 struct IterationStats {
@@ -143,6 +159,12 @@ class IppoTrainer {
   [[nodiscard]] Status RestoreSnapshot(const Snapshot& snapshot);
   bool Diverged(const IterationStats& stats) const;
   void MaybeInjectNanGrad(nn::Optimizer& optimizer);
+  // Builds the run-log record for a just-finished iteration. Advances
+  // `span_baseline` to the current trace snapshot so the next record reports
+  // only its own window. Read-only with respect to trainer state.
+  obs::IterationRecord MakeIterationRecord(
+      int64_t iteration, const IterationStats& stats, int64_t start_ns,
+      std::vector<obs::SpanStats>* span_baseline) const;
 
   env::World* world_;
   UgvPolicyNetwork* ugv_network_;

@@ -90,6 +90,12 @@ TEST(GarlLintFixtures, ExemptPathsStayClean) {
   EXPECT_TRUE(FindingsFor("src/nn/tensor.cc").empty());
   EXPECT_TRUE(FindingsFor("bench/timing.cc").empty());
   EXPECT_TRUE(FindingsFor("src/good.h").empty());
+  EXPECT_TRUE(FindingsFor("src/obs/clock.cc").empty());
+}
+
+TEST(GarlLintFixtures, ClockExemptionIsFileScopedNotDirectoryScoped) {
+  EXPECT_EQ(FindingsFor("src/obs/bad_obs_time.cc"),
+            (Expected{{6, "nondet-time"}}));
 }
 
 TEST(GarlLintFixtures, HotPathDoubleFiresOnceInFixtureOps) {
@@ -104,7 +110,7 @@ TEST(GarlLintFixtures, NoUnexpectedFindings) {
       "src/bad_rand.cc",    "src/bad_time.cc",       "src/bad_discard.cc",
       "src/bad_serialize.cc", "src/bad_new.cc",      "src/bad_guard.h",
       "src/missing_guard.h", "src/suppressed.cc",    "src/bad_suppression.cc",
-      "src/nn/ops.cc"};
+      "src/nn/ops.cc",       "src/obs/bad_obs_time.cc"};
   for (const auto& finding : FixtureFindings()) {
     EXPECT_TRUE(expected_files.count(finding.file))
         << "unexpected finding: " << finding.ToString();

@@ -1,0 +1,198 @@
+// Golden-run determinism for the observability layer: a seeded training run
+// emits a JSONL run log whose deterministic (`det`) payload is byte-identical
+// across repeat runs and across GARL_NUM_THREADS settings, and the
+// instrumentation itself never perturbs training (losses bit-identical with
+// and without a run log). See DESIGN.md, Observability.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "env/world.h"
+#include "nn/linear.h"
+#include "nn/ops.h"
+#include "obs/run_log.h"
+#include "rl/feature_policy.h"
+#include "rl/ippo_trainer.h"
+
+namespace garl::rl {
+namespace {
+
+env::CampusSpec TinyCampus() {
+  env::CampusSpec campus;
+  campus.name = "tiny";
+  campus.width = 400;
+  campus.height = 400;
+  campus.roads.push_back({{0, 200}, {400, 200}});
+  campus.roads.push_back({{200, 0}, {200, 400}});
+  campus.sensors.push_back({{150, 210}, 1000.0});
+  campus.sensors.push_back({{260, 190}, 1200.0});
+  campus.sensors.push_back({{200, 320}, 900.0});
+  return campus;
+}
+
+env::WorldParams TinyParams() {
+  env::WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 20;
+  params.release_slots = 2;
+  return params;
+}
+
+// Stateless mean-pool extractor declaring thread-safe inference, so the
+// trainer takes the parallel collection path (same as parallel_rollout_test).
+class SafePoolExtractor : public UgvFeatureExtractor {
+ public:
+  explicit SafePoolExtractor(Rng& rng)
+      : proj_(std::make_unique<nn::Linear>(5, 16, rng)) {}
+
+  std::vector<nn::Tensor> Extract(
+      const std::vector<env::UgvObservation>& observations) override {
+    std::vector<nn::Tensor> features;
+    for (const auto& obs : observations) {
+      nn::Tensor pooled = nn::MulScalar(
+          nn::SumDim(obs.stop_features, 0),
+          1.0f / static_cast<float>(obs.stop_features.size(0)));
+      nn::Tensor self =
+          nn::Reshape(nn::Rows(obs.ugv_positions, obs.self, 1), {2});
+      features.push_back(
+          nn::Tanh(proj_->Forward(nn::Concat({pooled, self}, 0))));
+    }
+    return features;
+  }
+
+  int64_t feature_dim() const override { return 16; }
+  std::string name() const override { return "safe_pool"; }
+  bool ThreadSafeExtract() const override { return true; }
+  std::vector<nn::Tensor> Parameters() const override {
+    return proj_->Parameters();
+  }
+
+ private:
+  std::unique_ptr<nn::Linear> proj_;
+};
+
+std::string TempLogPath(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+// One seeded 3-iteration training run; when `run_log_path` is non-empty the
+// run streams its JSONL log there.
+std::vector<IterationStats> TrainOnce(int64_t threads,
+                                      const std::string& run_log_path) {
+  ThreadPool::SetGlobalThreads(threads);
+  env::World world(TinyCampus(), TinyParams());
+  Rng rng(7);
+  EnvContext context = MakeEnvContext(world);
+  FeatureUgvPolicy policy(std::make_unique<SafePoolExtractor>(rng), context,
+                          FeaturePolicyOptions{}, rng);
+  TrainConfig config;
+  config.iterations = 3;
+  config.episodes_per_iteration = 3;
+  config.seed = 11;
+  config.run_log_path = run_log_path;
+  IppoTrainer trainer(&world, &policy, nullptr, config);
+  auto result = trainer.Train();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  ThreadPool::SetGlobalThreads(1);
+  return result.ok() ? result.value() : std::vector<IterationStats>{};
+}
+
+// The `det` object's raw bytes from every line of a run log.
+std::vector<std::string> DetPayloads(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<std::string> payloads;
+  std::string line;
+  while (std::getline(in, line)) {
+    StatusOr<std::string> det = obs::DeterministicPayload(line);
+    EXPECT_TRUE(det.ok()) << det.status().ToString();
+    payloads.push_back(det.ok() ? det.value() : "");
+  }
+  return payloads;
+}
+
+TEST(GoldenRunTest, DetPayloadByteIdenticalAcrossRepeatRuns) {
+  const std::string log_a = TempLogPath("golden_repeat_a.jsonl");
+  const std::string log_b = TempLogPath("golden_repeat_b.jsonl");
+  TrainOnce(1, log_a);
+  TrainOnce(1, log_b);
+  std::vector<std::string> a = DetPayloads(log_a);
+  std::vector<std::string> b = DetPayloads(log_b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GoldenRunTest, DetPayloadByteIdenticalAcrossThreadCounts) {
+  const std::string log_one = TempLogPath("golden_threads_1.jsonl");
+  const std::string log_four = TempLogPath("golden_threads_4.jsonl");
+  TrainOnce(1, log_one);
+  TrainOnce(4, log_four);
+  std::vector<std::string> one = DetPayloads(log_one);
+  std::vector<std::string> four = DetPayloads(log_four);
+  ASSERT_EQ(one.size(), 3u);
+  EXPECT_EQ(one, four);
+}
+
+TEST(GoldenRunTest, EmittedLogPassesSchemaValidation) {
+  const std::string log = TempLogPath("golden_schema.jsonl");
+  TrainOnce(2, log);
+  Status status = obs::ValidateRunLogFile(log);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  StatusOr<obs::RunLogSummary> summary = obs::SummarizeRunLogFile(log);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary.value().records, 3);
+  // The trainer's phase spans must actually show up in the log.
+  EXPECT_GT(summary.value().spans.count("trainer/collect"), 0u);
+  EXPECT_GT(summary.value().spans.count("trainer/update_ugv"), 0u);
+}
+
+TEST(GoldenRunTest, InstrumentationDoesNotPerturbTraining) {
+  std::vector<IterationStats> logged =
+      TrainOnce(2, TempLogPath("golden_perturb.jsonl"));
+  std::vector<IterationStats> bare = TrainOnce(2, "");
+  ASSERT_EQ(logged.size(), bare.size());
+  for (size_t i = 0; i < logged.size(); ++i) {
+    EXPECT_EQ(logged[i].ugv_episode_reward, bare[i].ugv_episode_reward) << i;
+    EXPECT_EQ(logged[i].policy_loss, bare[i].policy_loss) << i;
+    EXPECT_EQ(logged[i].value_loss, bare[i].value_loss) << i;
+    EXPECT_EQ(logged[i].entropy, bare[i].entropy) << i;
+    EXPECT_EQ(logged[i].ugv_grad_norm, bare[i].ugv_grad_norm) << i;
+    EXPECT_EQ(logged[i].metrics.data_collection_ratio,
+              bare[i].metrics.data_collection_ratio)
+        << i;
+    EXPECT_EQ(logged[i].metrics.fairness, bare[i].metrics.fairness) << i;
+    EXPECT_EQ(logged[i].metrics.energy_ratio, bare[i].metrics.energy_ratio)
+        << i;
+  }
+}
+
+TEST(GoldenRunTest, RecordedLossesMatchReturnedStats) {
+  const std::string log = TempLogPath("golden_stats.jsonl");
+  std::vector<IterationStats> stats = TrainOnce(1, log);
+  ASSERT_EQ(stats.size(), 3u);
+  std::ifstream in(log);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  for (size_t i = 0; i < stats.size(); ++i) {
+    ASSERT_TRUE(std::getline(in, line)) << i;
+    StatusOr<obs::IterationRecord> record = obs::ParseIterationRecord(line);
+    ASSERT_TRUE(record.ok()) << record.status().ToString();
+    EXPECT_EQ(record.value().iteration, static_cast<int64_t>(i));
+    EXPECT_EQ(record.value().policy_loss, stats[i].policy_loss) << i;
+    EXPECT_EQ(record.value().value_loss, stats[i].value_loss) << i;
+    EXPECT_EQ(record.value().entropy, stats[i].entropy) << i;
+    EXPECT_EQ(record.value().psi, stats[i].metrics.data_collection_ratio)
+        << i;
+  }
+  EXPECT_FALSE(std::getline(in, line));  // exactly one line per iteration
+}
+
+}  // namespace
+}  // namespace garl::rl

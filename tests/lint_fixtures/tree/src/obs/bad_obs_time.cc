@@ -1,0 +1,8 @@
+// Fixture: the clock exemption is file-scoped, not directory-scoped — the
+// rest of src/obs/ must route time reads through obs::MonotonicNowNs().
+#include <chrono>
+
+long SneakyWallClock() {
+  auto now = std::chrono::system_clock::now();  // line 6: nondet-time
+  return now.time_since_epoch().count();
+}

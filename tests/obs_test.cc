@@ -1,0 +1,331 @@
+// Tests for the observability layer (src/obs/): histogram/quantile math and
+// shard merges, registry determinism under concurrent updates, trace span
+// nesting and per-thread aggregation, and the run-log record format's
+// byte-stability and round-trip.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/run_log.h"
+#include "obs/trace.h"
+
+namespace garl::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);  // bucket 0
+  h.Observe(1.0);  // bucket 0 (v <= b_i)
+  h.Observe(1.5);  // bucket 1
+  h.Observe(4.0);  // bucket 2
+  h.Observe(9.0);  // overflow
+  EXPECT_EQ(h.bucket_counts(), (std::vector<int64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.min(), 0.5);
+  EXPECT_EQ(h.max(), 9.0);
+  EXPECT_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+}
+
+TEST(HistogramTest, QuantilesOnSkewedDataReadBucketUpperBounds) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (int i = 0; i < 99; ++i) h.Observe(0.5);
+  h.Observe(50.0);  // the single tail observation
+  // rank ceil(0.50 * 100) = 50 and ceil(0.99 * 100) = 99 both land in the
+  // first bucket; only the exact maximum reaches the tail's bucket.
+  EXPECT_EQ(h.P50(), 1.0);
+  EXPECT_EQ(h.P99(), 1.0);
+  EXPECT_EQ(h.Quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, OverflowBucketReportsExactMaximum) {
+  Histogram h({1.0});
+  h.Observe(5.0);
+  h.Observe(7.0);
+  EXPECT_EQ(h.Quantile(0.99), 7.0);
+  EXPECT_EQ(h.P50(), 7.0);  // both observations live in overflow
+}
+
+TEST(HistogramTest, EmptyHistogramQuantileIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.P50(), 0.0);
+  EXPECT_EQ(h.P99(), 0.0);
+}
+
+TEST(HistogramTest, MergeFromCombinesShardsExactly) {
+  Histogram a({1.0, 2.0, 4.0});
+  Histogram b({1.0, 2.0, 4.0});
+  Histogram all({1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.5, 3.0}) {
+    a.Observe(v);
+    all.Observe(v);
+  }
+  for (double v : {0.25, 8.0}) {
+    b.Observe(v);
+    all.Observe(v);
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_EQ(a.bucket_counts(), all.bucket_counts());
+  EXPECT_EQ(a.P50(), all.P50());
+  EXPECT_EQ(a.P95(), all.P95());
+  EXPECT_EQ(a.P99(), all.P99());
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, ReferencesSurviveResetAndRepeatLookup) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("a.count");
+  c.Increment(3);
+  EXPECT_EQ(registry.GetCounter("a.count").value(), 3);
+  EXPECT_EQ(&registry.GetCounter("a.count"), &c);
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();  // the pre-Reset reference still works
+  EXPECT_EQ(registry.GetCounter("a.count").value(), 1);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameSortedAndDeterministicUnderThreads) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kIncrements; ++i) {
+        registry.GetCounter("zeta").Increment();
+        registry.GetCounter("alpha").Increment();
+        registry.GetCounter("mid").Increment();
+        registry.GetGauge("gauge.last").Set(42.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].first, "alpha");
+  EXPECT_EQ(snapshot.counters[1].first, "mid");
+  EXPECT_EQ(snapshot.counters[2].first, "zeta");
+  for (const auto& [name, value] : snapshot.counters) {
+    EXPECT_EQ(value, kThreads * kIncrements) << name;
+  }
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].second, 42.0);
+}
+
+TEST(MetricsRegistryTest, HistogramSnapshotCarriesQuantiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("lat", {1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].name, "lat");
+  EXPECT_EQ(snapshot.histograms[0].count, 2);
+  EXPECT_EQ(snapshot.histograms[0].p50, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans.
+// ---------------------------------------------------------------------------
+
+SpanStats FindSpan(const std::vector<SpanStats>& spans,
+                   const std::string& name) {
+  for (const SpanStats& s : spans) {
+    if (s.name == name) return s;
+  }
+  return SpanStats{};
+}
+
+TEST(TraceTest, NestedSpansEachRecordInclusiveTime) {
+  TraceCollector::Global().Reset();
+  {
+    GARL_TRACE_SPAN("outer");
+    {
+      GARL_TRACE_SPAN("inner");
+    }
+    {
+      GARL_TRACE_SPAN("inner");
+    }
+  }
+  std::vector<SpanStats> spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Snapshot is name-sorted.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(FindSpan(spans, "inner").count, 2);
+  EXPECT_EQ(FindSpan(spans, "outer").count, 1);
+  // Outer's inclusive time covers both inner spans.
+  EXPECT_GE(FindSpan(spans, "outer").total_ns,
+            FindSpan(spans, "inner").total_ns);
+  EXPECT_GE(FindSpan(spans, "inner").max_ns, 0);
+}
+
+TEST(TraceTest, PerThreadShardsMergeExactly) {
+  TraceCollector::Global().Reset();
+  constexpr int kThreads = 6;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        GARL_TRACE_SPAN("worker/span");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Threads have exited: their shards are retired, counts must be exact.
+  SpanStats merged =
+      FindSpan(TraceCollector::Global().Snapshot(), "worker/span");
+  EXPECT_EQ(merged.count, kThreads * kSpansPerThread);
+  EXPECT_GE(merged.total_ns, 0);
+  EXPECT_GE(merged.max_ns, 0);
+  TraceCollector::Global().Reset();
+  EXPECT_TRUE(TraceCollector::Global().Snapshot().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Run-log records.
+// ---------------------------------------------------------------------------
+
+IterationRecord SampleRecord() {
+  IterationRecord r;
+  r.iteration = 2;
+  r.episode_counter = 9;
+  r.ugv_episode_reward = 1.25;
+  r.uav_episode_reward = -0.5;
+  r.policy_loss = 0.0625;
+  r.value_loss = 3.0;
+  r.entropy = 1.0986122886681098;
+  r.ugv_grad_norm = 0.75;
+  r.uav_grad_norm = 0.0;
+  r.lr = 3e-4;
+  r.diverged = true;
+  r.recovered = true;
+  r.psi = 0.5;
+  r.xi = 0.875;
+  r.zeta = 0.25;
+  r.beta = 0.125;
+  r.efficiency = 0.109375;
+  r.wall_ns = 123456789;
+  r.route_cache_hits = 40;
+  r.route_cache_misses = 2;
+  r.pool_threads = 4;
+  r.pool_tasks = 12;
+  r.pool_parallel_fors = 30;
+  r.pool_inline_fors = 5;
+  r.spans = {{"trainer/collect", 3, 1000}, {"trainer/update_ugv", 3, 2000}};
+  return r;
+}
+
+TEST(RunLogRecordTest, FormatIsByteStableAndSingleLine) {
+  IterationRecord r = SampleRecord();
+  std::string a = FormatIterationRecord(r);
+  std::string b = FormatIterationRecord(r);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.find('\n'), std::string::npos);
+}
+
+TEST(RunLogRecordTest, RoundTripPreservesEveryField) {
+  IterationRecord r = SampleRecord();
+  StatusOr<IterationRecord> parsed =
+      ParseIterationRecord(FormatIterationRecord(r));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const IterationRecord& p = parsed.value();
+  EXPECT_EQ(p.iteration, r.iteration);
+  EXPECT_EQ(p.episode_counter, r.episode_counter);
+  EXPECT_EQ(p.ugv_episode_reward, r.ugv_episode_reward);
+  EXPECT_EQ(p.uav_episode_reward, r.uav_episode_reward);
+  EXPECT_EQ(p.policy_loss, r.policy_loss);
+  EXPECT_EQ(p.value_loss, r.value_loss);
+  EXPECT_EQ(p.entropy, r.entropy);
+  EXPECT_EQ(p.ugv_grad_norm, r.ugv_grad_norm);
+  EXPECT_EQ(p.uav_grad_norm, r.uav_grad_norm);
+  EXPECT_EQ(p.lr, r.lr);
+  EXPECT_EQ(p.diverged, r.diverged);
+  EXPECT_EQ(p.recovered, r.recovered);
+  EXPECT_EQ(p.psi, r.psi);
+  EXPECT_EQ(p.xi, r.xi);
+  EXPECT_EQ(p.zeta, r.zeta);
+  EXPECT_EQ(p.beta, r.beta);
+  EXPECT_EQ(p.efficiency, r.efficiency);
+  EXPECT_EQ(p.wall_ns, r.wall_ns);
+  EXPECT_EQ(p.route_cache_hits, r.route_cache_hits);
+  EXPECT_EQ(p.route_cache_misses, r.route_cache_misses);
+  EXPECT_EQ(p.pool_threads, r.pool_threads);
+  EXPECT_EQ(p.pool_tasks, r.pool_tasks);
+  EXPECT_EQ(p.pool_parallel_fors, r.pool_parallel_fors);
+  EXPECT_EQ(p.pool_inline_fors, r.pool_inline_fors);
+  ASSERT_EQ(p.spans.size(), 2u);
+  EXPECT_EQ(p.spans[0].name, "trainer/collect");
+  EXPECT_EQ(p.spans[0].count, 3);
+  EXPECT_EQ(p.spans[1].total_ns, 2000);
+}
+
+TEST(RunLogRecordTest, NonFiniteDoublesBecomeNullAndParseAsNaN) {
+  IterationRecord r = SampleRecord();
+  r.policy_loss = std::nan("");
+  std::string line = FormatIterationRecord(r);
+  EXPECT_NE(line.find("\"policy_loss\":null"), std::string::npos);
+  StatusOr<IterationRecord> parsed = ParseIterationRecord(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(std::isnan(parsed.value().policy_loss));
+}
+
+TEST(RunLogRecordTest, DeterministicPayloadIgnoresRuntimeFields) {
+  IterationRecord a = SampleRecord();
+  IterationRecord b = SampleRecord();
+  b.wall_ns = 1;  // rt-only differences...
+  b.route_cache_hits = 0;
+  b.pool_threads = 1;
+  b.spans.clear();
+  StatusOr<std::string> det_a =
+      DeterministicPayload(FormatIterationRecord(a));
+  StatusOr<std::string> det_b =
+      DeterministicPayload(FormatIterationRecord(b));
+  ASSERT_TRUE(det_a.ok());
+  ASSERT_TRUE(det_b.ok());
+  EXPECT_EQ(det_a.value(), det_b.value());  // ...leave `det` byte-identical
+
+  b.policy_loss += 1.0;  // a det difference must show up
+  StatusOr<std::string> det_c =
+      DeterministicPayload(FormatIterationRecord(b));
+  ASSERT_TRUE(det_c.ok());
+  EXPECT_NE(det_a.value(), det_c.value());
+}
+
+TEST(RunLogRecordTest, ParserRejectsSchemaViolations) {
+  // Wrong field order inside det.
+  std::string line = FormatIterationRecord(SampleRecord());
+  size_t at = line.find("\"iter\"");
+  ASSERT_NE(at, std::string::npos);
+  std::string reordered = line;
+  reordered.replace(at, 6, "\"retI\"");
+  EXPECT_FALSE(ParseIterationRecord(reordered).ok());
+  // Truncation.
+  EXPECT_FALSE(ParseIterationRecord(line.substr(0, line.size() / 2)).ok());
+  // Trailing garbage.
+  EXPECT_FALSE(ParseIterationRecord(line + "x").ok());
+  // Not JSON at all.
+  EXPECT_FALSE(ParseIterationRecord("plain text").ok());
+}
+
+}  // namespace
+}  // namespace garl::obs

@@ -1,0 +1,94 @@
+// StopNetwork route-cache semantics: the Dijkstra memo is lazy (first query
+// per source pays the sweep, repeats are cache hits), invalidation clears
+// both memo and counters, and copies — including whole-World copies taken by
+// the parallel rollout layer — get private caches.
+
+#include <gtest/gtest.h>
+
+#include "env/stop_network.h"
+#include "env/world.h"
+
+namespace garl::env {
+namespace {
+
+CampusSpec CrossCampus() {
+  CampusSpec campus;
+  campus.name = "cross";
+  campus.width = 400;
+  campus.height = 400;
+  campus.roads.push_back({{0, 200}, {400, 200}});
+  campus.roads.push_back({{200, 0}, {200, 400}});
+  campus.sensors.push_back({{150, 210}, 1000.0});
+  return campus;
+}
+
+TEST(StopNetworkCacheTest, FirstQueryMissesRepeatHits) {
+  StopNetwork network = BuildStopNetwork(CrossCampus(), 100.0);
+  ASSERT_GE(network.num_stops(), 2);
+  EXPECT_EQ(network.route_cache_hits(), 0);
+  EXPECT_EQ(network.route_cache_misses(), 0);
+
+  const graph::ShortestPaths& first = network.PathsFrom(0);
+  EXPECT_EQ(network.route_cache_misses(), 1);
+  EXPECT_EQ(network.route_cache_hits(), 0);
+
+  const graph::ShortestPaths& again = network.PathsFrom(0);
+  EXPECT_EQ(network.route_cache_misses(), 1);
+  EXPECT_EQ(network.route_cache_hits(), 1);
+  EXPECT_EQ(&first, &again);  // memoized object, not a recompute
+
+  network.PathsFrom(1);  // new source: another lazy fill
+  EXPECT_EQ(network.route_cache_misses(), 2);
+  EXPECT_EQ(network.route_cache_hits(), 1);
+}
+
+TEST(StopNetworkCacheTest, InvalidateClearsMemoAndCounters) {
+  StopNetwork network = BuildStopNetwork(CrossCampus(), 100.0);
+  network.PathsFrom(0);
+  network.PathsFrom(0);
+  EXPECT_EQ(network.route_cache_misses(), 1);
+  EXPECT_EQ(network.route_cache_hits(), 1);
+
+  network.InvalidateRouteCache();
+  EXPECT_EQ(network.route_cache_misses(), 0);
+  EXPECT_EQ(network.route_cache_hits(), 0);
+  network.PathsFrom(0);  // must re-run the sweep
+  EXPECT_EQ(network.route_cache_misses(), 1);
+}
+
+TEST(StopNetworkCacheTest, CopiesGetPrivateCaches) {
+  StopNetwork original = BuildStopNetwork(CrossCampus(), 100.0);
+  original.PathsFrom(0);
+  StopNetwork copy = original;  // snapshot: memo and counters come along
+  EXPECT_EQ(copy.route_cache_misses(), 1);
+
+  copy.PathsFrom(0);  // warm in the copied memo
+  copy.PathsFrom(1);  // cold in both
+  EXPECT_EQ(copy.route_cache_hits(), 1);
+  EXPECT_EQ(copy.route_cache_misses(), 2);
+  // The original never saw the copy's queries.
+  EXPECT_EQ(original.route_cache_hits(), 0);
+  EXPECT_EQ(original.route_cache_misses(), 1);
+}
+
+TEST(StopNetworkCacheTest, WorldCopiesGetPrivateCaches) {
+  WorldParams params;
+  params.num_ugvs = 1;
+  params.uavs_per_ugv = 1;
+  params.horizon = 5;
+  World world(CrossCampus(), params);
+  int64_t base_misses = world.stops().route_cache_misses();
+  int64_t base_hits = world.stops().route_cache_hits();
+
+  // This is the isolation the parallel rollout layer relies on: each worker
+  // owns a World copy, so concurrent lazy fills never share a memo.
+  World copy = world;
+  copy.stops().PathsFrom(0);
+  copy.stops().PathsFrom(0);
+  EXPECT_EQ(world.stops().route_cache_misses(), base_misses);
+  EXPECT_EQ(world.stops().route_cache_hits(), base_hits);
+  EXPECT_GT(copy.stops().route_cache_hits(), base_hits);
+}
+
+}  // namespace
+}  // namespace garl::env

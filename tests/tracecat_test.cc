@@ -1,0 +1,123 @@
+// Run-log file round trip as exercised by `garl_tracecat`: files written via
+// OpenRunLog/AppendRecord validate and summarize, while truncated or corrupt
+// lines yield a non-OK Status naming the offending line — never a crash.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/status.h"
+#include "obs/run_log.h"
+
+namespace garl::obs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+IterationRecord MakeRecord(int64_t iteration) {
+  IterationRecord r;
+  r.iteration = iteration;
+  r.episode_counter = (iteration + 1) * 3;
+  r.policy_loss = 0.5 - 0.125 * static_cast<double>(iteration);
+  r.value_loss = 2.0;
+  r.entropy = 1.0;
+  r.lr = 3e-4;
+  r.diverged = iteration == 1;
+  r.psi = 0.5;
+  r.wall_ns = 1000 * (iteration + 1);
+  r.spans = {{"trainer/collect", 3, 500}, {"trainer/update_ugv", 1, 300}};
+  return r;
+}
+
+std::string WriteValidLog(const std::string& name, int64_t records) {
+  std::string path = TempPath(name);
+  StatusOr<RunLog> log = OpenRunLog(path);
+  EXPECT_TRUE(log.ok()) << log.status().ToString();
+  for (int64_t i = 0; i < records; ++i) {
+    Status status = log.value().AppendRecord(MakeRecord(i));
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  return path;
+}
+
+TEST(TracecatTest, ValidFileValidates) {
+  std::string path = WriteValidLog("tracecat_valid.jsonl", 3);
+  Status status = ValidateRunLogFile(path);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(TracecatTest, EmptyFileIsValid) {
+  std::string path = WriteValidLog("tracecat_empty.jsonl", 0);
+  Status status = ValidateRunLogFile(path);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(TracecatTest, MissingFileIsNotFound) {
+  Status status = ValidateRunLogFile(TempPath("tracecat_does_not_exist"));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(TracecatTest, TruncatedLineReportsItsLineNumber) {
+  std::string path = WriteValidLog("tracecat_truncated.jsonl", 2);
+  {
+    std::ifstream in(path);
+    std::string first, second;
+    ASSERT_TRUE(std::getline(in, first));
+    ASSERT_TRUE(std::getline(in, second));
+    in.close();
+    std::ofstream out(path, std::ios::trunc);
+    out << first << "\n" << second.substr(0, second.size() / 2) << "\n";
+  }
+  Status status = ValidateRunLogFile(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(":2:"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(TracecatTest, CorruptLineIsAnErrorNotACrash) {
+  std::string path = WriteValidLog("tracecat_corrupt.jsonl", 1);
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"v\":1,\"det\":{},\"rt\":{}}\n";  // right shape, wrong schema
+  }
+  Status status = ValidateRunLogFile(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(":2:"), std::string::npos)
+      << status.ToString();
+  // An unsupported schema version is also a clean error.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    std::string line = FormatIterationRecord(MakeRecord(0));
+    line.replace(line.find("\"v\":1"), 5, "\"v\":9");
+    out << line << "\n";
+  }
+  status = ValidateRunLogFile(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("version"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(TracecatTest, SummaryAggregatesRecordsAndSpans) {
+  std::string path = WriteValidLog("tracecat_summary.jsonl", 3);
+  StatusOr<RunLogSummary> summary = SummarizeRunLogFile(path);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  const RunLogSummary& s = summary.value();
+  EXPECT_EQ(s.records, 3);
+  EXPECT_EQ(s.first.iteration, 0);
+  EXPECT_EQ(s.last.iteration, 2);
+  EXPECT_EQ(s.mean_policy_loss, (0.5 + 0.375 + 0.25) / 3.0);
+  EXPECT_EQ(s.diverged_iterations, 1);
+  EXPECT_EQ(s.total_wall_ns, 1000 + 2000 + 3000);
+  ASSERT_EQ(s.spans.size(), 2u);
+  EXPECT_EQ(s.spans.at("trainer/collect").count, 9);
+  EXPECT_EQ(s.spans.at("trainer/collect").total_ns, 1500);
+  EXPECT_EQ(s.spans.at("trainer/update_ugv").total_ns, 900);
+}
+
+}  // namespace
+}  // namespace garl::obs

@@ -211,6 +211,14 @@ bool IsRngFile(const std::string& rel) {
 
 bool IsBenchFile(const std::string& rel) { return StartsWith(rel, "bench/"); }
 
+// The one sanctioned monotonic time source (src/obs/clock.*). Everything
+// else in the library — including the rest of src/obs/ — must go through
+// obs::MonotonicNowNs() instead of touching std::chrono directly, so the
+// nondet-time ban stays enforceable by path.
+bool IsClockFile(const std::string& rel) {
+  return StartsWith(rel, "src/obs/clock.");
+}
+
 bool IsTensorAllocatorFile(const std::string& rel) {
   return StartsWith(rel, "src/nn/tensor.");
 }
@@ -629,7 +637,7 @@ std::vector<Finding> LintFileContents(const std::string& rel_path,
   if (!IsRngFile(rel_path)) {
     ApplyTokenRules(rel_path, lines, NondetRandRules(), &raw_findings);
   }
-  if (!IsBenchFile(rel_path)) {
+  if (!IsBenchFile(rel_path) && !IsClockFile(rel_path)) {
     ApplyTokenRules(rel_path, lines, NondetTimeRules(), &raw_findings);
   }
   if (IsHeader(rel_path)) {

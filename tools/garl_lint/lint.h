@@ -18,7 +18,10 @@
 //                      garl::Rng so seeds fully determine behaviour.
 //   nondet-time        time() / clock() / gettimeofday / std::chrono wall or
 //                      monotonic clocks outside bench/ — wall-clock reads in
-//                      library code are hidden nondeterminism.
+//                      library code are hidden nondeterminism. The single
+//                      sanctioned exception is src/obs/clock.*, which wraps
+//                      the monotonic clock behind obs::MonotonicNowNs(); the
+//                      rest of src/obs/ is still checked.
 //   status-discard     a statement (or `(void)` cast) that calls a function
 //                      returning Status/StatusOr and drops the result. The
 //                      fallible-function set is harvested from declarations

@@ -1,0 +1,123 @@
+// garl_tracecat: summarize or validate a training run log (JSONL, one record
+// per iteration — see src/obs/run_log.h for the schema).
+//
+//   garl_tracecat <run_log.jsonl>             print a run summary and a
+//                                             per-phase span timing table
+//   garl_tracecat --validate <run_log.jsonl>  schema-check every line
+//
+// Exit codes: 0 = OK, 1 = invalid log or I/O error, 2 = usage error.
+
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "obs/run_log.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: garl_tracecat [--validate] <run_log.jsonl>\n";
+  return 2;
+}
+
+std::string FormatMs(int64_t ns) {
+  return garl::StrPrintf("%.3f", static_cast<double>(ns) / 1e6);
+}
+
+int Summarize(const std::string& path) {
+  garl::StatusOr<garl::obs::RunLogSummary> summary =
+      garl::obs::SummarizeRunLogFile(path);
+  if (!summary.ok()) {
+    std::cerr << "garl_tracecat: " << summary.status().ToString() << "\n";
+    return 1;
+  }
+  const garl::obs::RunLogSummary& s = summary.value();
+  std::cout << "run log: " << path << "\n";
+  std::cout << "iterations: " << s.records << "\n";
+  if (s.records == 0) return 0;
+  std::cout << garl::StrPrintf(
+      "episodes: %lld\n", static_cast<long long>(s.last.episode_counter));
+  std::cout << garl::StrPrintf(
+      "policy_loss: %.6g -> %.6g (mean %.6g)\n", s.first.policy_loss,
+      s.last.policy_loss, s.mean_policy_loss);
+  std::cout << garl::StrPrintf(
+      "value_loss:  %.6g -> %.6g (mean %.6g)\n", s.first.value_loss,
+      s.last.value_loss, s.mean_value_loss);
+  std::cout << garl::StrPrintf(
+      "entropy:     %.6g -> %.6g (mean %.6g)\n", s.first.entropy,
+      s.last.entropy, s.mean_entropy);
+  std::cout << garl::StrPrintf(
+      "metrics (last): psi=%.4f xi=%.4f zeta=%.4f beta=%.4f "
+      "efficiency=%.4f\n",
+      s.last.psi, s.last.xi, s.last.zeta, s.last.beta, s.last.efficiency);
+  std::cout << garl::StrPrintf(
+      "diverged iterations: %lld\n",
+      static_cast<long long>(s.diverged_iterations));
+  std::cout << garl::StrPrintf(
+      "route cache (last): %lld hits / %lld misses\n",
+      static_cast<long long>(s.last.route_cache_hits),
+      static_cast<long long>(s.last.route_cache_misses));
+  std::cout << garl::StrPrintf(
+      "pool (last): %lld threads, %lld tasks, %lld parallel-fors "
+      "(%lld inline)\n",
+      static_cast<long long>(s.last.pool_threads),
+      static_cast<long long>(s.last.pool_tasks),
+      static_cast<long long>(s.last.pool_parallel_fors),
+      static_cast<long long>(s.last.pool_inline_fors));
+  std::cout << "total wall: " << FormatMs(s.total_wall_ns) << " ms\n";
+
+  if (!s.spans.empty()) {
+    std::cout << "\n";
+    garl::TableWriter table({"phase", "count", "total_ms", "mean_ms",
+                             "share_%"});
+    double wall = static_cast<double>(s.total_wall_ns);
+    for (const auto& entry : s.spans) {
+      const garl::obs::SpanTiming& span = entry.second;
+      double total_ns = static_cast<double>(span.total_ns);
+      double mean_ms =
+          span.count > 0 ? total_ns / static_cast<double>(span.count) / 1e6
+                         : 0.0;
+      double share = wall > 0.0 ? 100.0 * total_ns / wall : 0.0;
+      table.AddRow({span.name,
+                    garl::StrPrintf("%lld", static_cast<long long>(span.count)),
+                    FormatMs(span.total_ns), garl::StrPrintf("%.3f", mean_ms),
+                    garl::StrPrintf("%.1f", share)});
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}
+
+int Validate(const std::string& path) {
+  garl::Status status = garl::obs::ValidateRunLogFile(path);
+  if (!status.ok()) {
+    std::cerr << "garl_tracecat: " << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << path << ": OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool validate = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--validate") {
+      validate = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+  return validate ? Validate(path) : Summarize(path);
+}
