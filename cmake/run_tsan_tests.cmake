@@ -19,7 +19,7 @@ endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR}
           --target thread_pool_test parallel_rollout_test obs_test
-                   golden_run_test -j
+                   golden_run_test chaos_test -j
   RESULT_VARIABLE build_result)
 if(NOT build_result EQUAL 0)
   message(FATAL_ERROR "TSan sub-build compile failed")
@@ -28,7 +28,7 @@ endif()
 # halt_on_error makes any race a hard test failure rather than a log line.
 set(ENV{TSAN_OPTIONS} "halt_on_error=1")
 foreach(test_binary thread_pool_test parallel_rollout_test obs_test
-        golden_run_test)
+        golden_run_test chaos_test)
   execute_process(
     COMMAND ${BINARY_DIR}/tests/${test_binary}
     RESULT_VARIABLE run_result)

@@ -1,14 +1,22 @@
 #include "common/fs_util.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <system_error>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -31,6 +39,58 @@ std::array<uint32_t, 256> MakeCrcTable() {
 std::string ErrnoMessage(const std::string& what, const std::string& path) {
   return StrPrintf("%s: %s: %s", what.c_str(), path.c_str(),
                    std::strerror(errno));
+}
+
+std::mutex& HookMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+WriteFaultHook& HookStorage() {
+  static WriteFaultHook hook;
+  return hook;
+}
+
+// Copies the hook out under the lock, then invokes it unlocked: the hook is
+// user code (a fault schedule) and may itself take locks.
+InjectedWriteFault ConsultWriteFaultHook(std::string_view path) {
+  WriteFaultHook hook;
+  {
+    std::lock_guard<std::mutex> lock(HookMutex());
+    hook = HookStorage();
+  }
+  if (!hook) return InjectedWriteFault{};
+  return hook(path);
+}
+
+void SleepMs(const RetryPolicy& policy, int64_t ms) {
+  if (policy.sleep_fn) {
+    policy.sleep_fn(ms);
+    return;
+  }
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000L);
+  ::nanosleep(&ts, nullptr);
+}
+
+// Writes all of [data, data+size) to `fd`, retrying EINTR. Returns 0 on
+// success or the failing errno; *written_out gets the byte count that
+// actually reached the fd either way.
+int WriteAll(int fd, const char* data, size_t size, size_t* written_out) {
+  size_t written = 0;
+  int error_number = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_number = errno;
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (written_out != nullptr) *written_out = written;
+  return error_number;
 }
 
 }  // namespace
@@ -58,10 +118,36 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
   return contents.str();
 }
 
+void SetWriteFaultHook(WriteFaultHook hook) {
+  std::lock_guard<std::mutex> lock(HookMutex());
+  HookStorage() = std::move(hook);
+}
+
+ScopedWriteFaultHook::ScopedWriteFaultHook(WriteFaultHook hook) {
+  SetWriteFaultHook(std::move(hook));
+}
+
+ScopedWriteFaultHook::~ScopedWriteFaultHook() { SetWriteFaultHook(nullptr); }
+
 Status AtomicWriteFile(const std::string& path, std::string_view contents) {
   const std::string tmp_path = path + ".tmp";
   int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return InternalError(ErrnoMessage("cannot open for write", tmp_path));
+
+  InjectedWriteFault fault = ConsultWriteFaultHook(path);
+  if (fault.error_number != 0) {
+    if (fault.short_write && !contents.empty()) {
+      // Model a crash mid-write: leave a torn temp file behind. The retry's
+      // O_TRUNC reopen (and the rename barrier) must mask it.
+      (void)WriteAll(fd, contents.data(), (contents.size() + 1) / 2, nullptr);
+      ::close(fd);
+    } else {
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+    }
+    errno = fault.error_number;
+    return InternalError(ErrnoMessage("injected write fault", tmp_path));
+  }
 
   size_t written = 0;
   while (written < contents.size()) {
@@ -93,6 +179,116 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
     return status;
   }
   return Status::Ok();
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view contents,
+                        const RetryPolicy& policy) {
+  if (policy.max_attempts < 1) {
+    return InvalidArgumentError("RetryPolicy.max_attempts must be >= 1");
+  }
+  Status last = Status::Ok();
+  int64_t backoff_ms = policy.initial_backoff_ms;
+  for (int64_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    last = AtomicWriteFile(path, contents);
+    if (last.ok()) return last;
+    if (attempt == policy.max_attempts) break;
+    SleepMs(policy, backoff_ms);
+    backoff_ms = std::min(backoff_ms * 2, policy.max_backoff_ms);
+  }
+  return Status(last.code(),
+                StrPrintf("durable write failed after %lld attempts: %s",
+                          static_cast<long long>(policy.max_attempts),
+                          last.message().c_str()));
+}
+
+StatusOr<AppendFile> AppendFile::Open(const std::string& path,
+                                      RetryPolicy policy) {
+  if (policy.max_attempts < 1) {
+    return InvalidArgumentError("RetryPolicy.max_attempts must be >= 1");
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return InternalError(ErrnoMessage("cannot open for append", path));
+  return AppendFile(path, fd, std::move(policy));
+}
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      policy_(std::move(other.policy_)) {
+  other.fd_ = -1;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    policy_ = std::move(other.policy_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status AppendFile::Append(std::string_view data) {
+  if (fd_ < 0) return InternalError("append to moved-from AppendFile: " + path_);
+  // Bytes of `data` already in the file; a retry resumes here so a short
+  // write neither duplicates nor drops log bytes.
+  size_t offset = 0;
+  Status last = Status::Ok();
+  int64_t backoff_ms = policy_.initial_backoff_ms;
+  for (int64_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    InjectedWriteFault fault = ConsultWriteFaultHook(path_);
+    int error_number = 0;
+    if (fault.error_number != 0) {
+      size_t remaining = data.size() - offset;
+      if (fault.short_write && remaining > 1) {
+        size_t torn = 0;
+        error_number = WriteAll(fd_, data.data() + offset, remaining / 2, &torn);
+        offset += torn;
+      }
+      if (error_number == 0) error_number = fault.error_number;
+    } else {
+      size_t wrote = 0;
+      error_number = WriteAll(fd_, data.data() + offset, data.size() - offset,
+                              &wrote);
+      offset += wrote;
+      if (error_number == 0 && ::fsync(fd_) != 0) error_number = errno;
+      if (error_number == 0) return Status::Ok();
+    }
+    errno = error_number;
+    last = InternalError(ErrnoMessage("append failed", path_));
+    if (attempt == policy_.max_attempts) break;
+    SleepMs(policy_, backoff_ms);
+    backoff_ms = std::min(backoff_ms * 2, policy_.max_backoff_ms);
+  }
+  return Status(last.code(),
+                StrPrintf("durable append failed after %lld attempts: %s",
+                          static_cast<long long>(policy_.max_attempts),
+                          last.message().c_str()));
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (path.empty()) return Status::Ok();
+  std::string partial = (path[0] == '/') ? "/" : "";
+  for (const std::string& part : Split(path, '/')) {
+    if (part.empty()) continue;
+    if (!partial.empty() && partial.back() != '/') partial += "/";
+    partial += part;
+    if (partial == ".") continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return InternalError(ErrnoMessage("mkdir failed", partial));
+    }
+  }
+  return Status::Ok();
+}
+
+void RemoveAllBestEffort(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(std::filesystem::path(path), ec);
 }
 
 }  // namespace garl

@@ -3,14 +3,23 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
 #include "common/status.h"
 
-// Filesystem helpers for durable checkpoints: whole-file read, crash-safe
-// atomic replace (temp file + flush + fsync + rename) and a CRC-32 used as
-// an end-to-end integrity footer on every checkpoint artifact.
+// Filesystem helpers for durable artifacts (checkpoints, run logs, table
+// dumps): whole-file read, crash-safe atomic replace (temp file + flush +
+// fsync + rename), retry-with-exponential-backoff wrappers for transient
+// I/O errors, a durable line appender, and a CRC-32 used as an end-to-end
+// integrity footer on every checkpoint artifact.
+//
+// This is the repo's ONE durable-write path: library code outside this file
+// must not open std::ofstream or call mutating std::filesystem operations
+// directly (machine-checked by garl_lint's `direct-io` rule). Funnelling
+// every write through here keeps the retry/atomicity semantics uniform and
+// makes the whole I/O surface fault-injectable for tests.
 
 namespace garl {
 
@@ -23,12 +32,92 @@ uint32_t Crc32(std::string_view data, uint32_t seed = 0);
 // Reads the entire file at `path` into a string.
 [[nodiscard]] StatusOr<std::string> ReadFileToString(const std::string& path);
 
+// Retry discipline for transient write failures (EIO, short writes, injected
+// faults). Attempt k sleeps initial_backoff_ms * 2^(k-1) ms before retrying,
+// capped at max_backoff_ms. `sleep_fn` is the test seam: when set it replaces
+// the real nanosleep, so chaos tests run at full speed and can record the
+// exact backoff sequence.
+struct RetryPolicy {
+  int64_t max_attempts = 5;
+  int64_t initial_backoff_ms = 1;
+  int64_t max_backoff_ms = 64;
+  std::function<void(int64_t ms)> sleep_fn;  // null: real sleep
+};
+
+// A fault to inject into the next write attempt. error_number == 0 means no
+// fault; otherwise the attempt fails with that errno, after first writing
+// roughly half the payload when `short_write` is set (modelling a torn
+// write that a later retry must mask).
+struct InjectedWriteFault {
+  int error_number = 0;
+  bool short_write = false;
+};
+
+// Process-wide write-fault hook, consulted once per write attempt with the
+// destination path. Installing a hook replaces any previous one; install an
+// empty function to clear. Deterministic schedules (src/sim/faults.*) and
+// chaos tests are the only intended users.
+using WriteFaultHook = std::function<InjectedWriteFault(std::string_view path)>;
+void SetWriteFaultHook(WriteFaultHook hook);
+
+// RAII installer: sets the hook on construction, clears it on destruction.
+class ScopedWriteFaultHook {
+ public:
+  explicit ScopedWriteFaultHook(WriteFaultHook hook);
+  ~ScopedWriteFaultHook();
+  ScopedWriteFaultHook(const ScopedWriteFaultHook&) = delete;
+  ScopedWriteFaultHook& operator=(const ScopedWriteFaultHook&) = delete;
+};
+
 // Atomically creates-or-replaces `path` with `contents`: writes a temporary
 // file in the same directory, fsyncs it, then renames over `path`. A crash
 // at any point leaves either the old file or the new file, never a
 // truncated mix. The stray temp file from an interrupted write is removed
-// on the next successful call for the same path.
+// on the next successful call for the same path. Single attempt: transient
+// failures surface immediately (WriteFileDurable adds the retry loop).
 [[nodiscard]] Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+// AtomicWriteFile behind the retry policy: transient failures (including
+// injected ones) are retried with exponential backoff; the last error is
+// returned once the attempt budget is exhausted. This is the call every
+// durable artifact writer in the repo should use.
+[[nodiscard]] Status WriteFileDurable(const std::string& path, std::string_view contents,
+                                      const RetryPolicy& policy = {});
+
+// Durable line appender for streaming logs (JSONL run logs). Open truncates
+// `path`; Append pushes bytes with the same retry discipline as
+// WriteFileDurable and tracks how much of the current payload already
+// reached the file, so a short write followed by a retry never duplicates
+// or drops bytes.
+class AppendFile {
+ public:
+  [[nodiscard]] static StatusOr<AppendFile> Open(const std::string& path,
+                                                 RetryPolicy policy = {});
+  ~AppendFile();
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  [[nodiscard]] Status Append(std::string_view data);
+  const std::string& path() const { return path_; }
+
+ private:
+  AppendFile(std::string path, int fd, RetryPolicy policy)
+      : path_(std::move(path)), fd_(fd), policy_(std::move(policy)) {}
+
+  std::string path_;
+  int fd_ = -1;
+  RetryPolicy policy_;
+};
+
+// Creates `path`'s directory chain (mkdir -p semantics).
+[[nodiscard]] Status EnsureDirectory(const std::string& path);
+
+// Recursively removes `path` (file or directory). Best effort by contract:
+// callers use it for retention pruning where a leftover directory wastes
+// disk but breaks nothing.
+void RemoveAllBestEffort(const std::string& path);
 
 }  // namespace garl
 

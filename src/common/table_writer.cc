@@ -1,12 +1,10 @@
 #include "common/table_writer.h"
 
-#include <sys/stat.h>
-#include <sys/types.h>
-
 #include <algorithm>
-#include <fstream>
+#include <sstream>
 
 #include "common/check.h"
+#include "common/fs_util.h"
 #include "common/string_util.h"
 
 namespace garl {
@@ -77,8 +75,7 @@ Status TableWriter::WriteCsv(const std::string& path) const {
   if (slash != std::string::npos) {
     GARL_RETURN_IF_ERROR(EnsureDirectory(path.substr(0, slash)));
   }
-  std::ofstream out(path);
-  if (!out) return InternalError("cannot open for write: " + path);
+  std::ostringstream out;
   auto write_row = [&](const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c) {
       if (c > 0) out << ",";
@@ -88,22 +85,7 @@ Status TableWriter::WriteCsv(const std::string& path) const {
   };
   write_row(header_);
   for (const auto& row : rows_) write_row(row);
-  return Status::Ok();
-}
-
-Status EnsureDirectory(const std::string& path) {
-  if (path.empty()) return Status::Ok();
-  std::string partial = (path[0] == '/') ? "/" : "";
-  for (const std::string& part : Split(path, '/')) {
-    if (part.empty()) continue;
-    if (!partial.empty() && partial.back() != '/') partial += "/";
-    partial += part;
-    if (partial == ".") continue;
-    if (mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
-      return InternalError("mkdir failed: " + partial);
-    }
-  }
-  return Status::Ok();
+  return WriteFileDurable(path, out.str());
 }
 
 }  // namespace garl

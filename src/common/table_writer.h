@@ -5,6 +5,9 @@
 #include <string>
 #include <vector>
 
+// fs_util.h re-exported for EnsureDirectory, which historically lived here;
+// includers of table_writer.h keep compiling unchanged.
+#include "common/fs_util.h"
 #include "common/status.h"
 
 // Console table / CSV emission used by the benchmark harnesses to print the
@@ -35,9 +38,6 @@ class TableWriter {
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
-
-// Creates `path`'s directory chain (mkdir -p semantics).
-[[nodiscard]] Status EnsureDirectory(const std::string& path);
 
 }  // namespace garl
 

@@ -51,6 +51,24 @@ std::vector<std::vector<int64_t>> EComm::BuildNeighborhoods(
   return neighbors;
 }
 
+void EComm::MaskNeighborhoods(
+    const std::vector<std::vector<uint8_t>>& blocked,
+    std::vector<std::vector<int64_t>>* neighbors) {
+  auto link_blocked = [&blocked](size_t a, size_t b) {
+    return a < blocked.size() && b < blocked[a].size() && blocked[a][b] != 0;
+  };
+  for (size_t u = 0; u < neighbors->size(); ++u) {
+    auto& peers = (*neighbors)[u];
+    peers.erase(std::remove_if(peers.begin(), peers.end(),
+                               [&](int64_t o) {
+                                 size_t so = static_cast<size_t>(o);
+                                 return link_blocked(u, so) ||
+                                        link_blocked(so, u);
+                               }),
+                peers.end());
+  }
+}
+
 EComm::State EComm::Communicate(
     const std::vector<nn::Tensor>& h0, const std::vector<nn::Tensor>& g0,
     const std::vector<std::vector<int64_t>>& neighbors) const {

@@ -70,6 +70,15 @@ class EComm : public nn::Module {
   static std::vector<std::vector<int64_t>> BuildNeighborhoods(
       const std::vector<nn::Tensor>& g0, double radius);
 
+  // Cuts blacked-out links out of `neighbors` in place: link u<->o is
+  // removed when either endpoint's mask row flags the other (blocked[u] is
+  // UGV u's [U] comm_blocked row; an empty row blocks nothing). A fully
+  // isolated UGV simply ends up with no peers, which Communicate already
+  // treats as a zero-message node — degraded, never NaN.
+  static void MaskNeighborhoods(
+      const std::vector<std::vector<uint8_t>>& blocked,
+      std::vector<std::vector<int64_t>>* neighbors);
+
   std::vector<nn::Tensor> Parameters() const override;
 
   int64_t out_dim() const { return config_.hidden; }

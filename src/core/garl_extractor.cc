@@ -73,6 +73,18 @@ std::vector<nn::Tensor> GarlExtractor::Extract(
     }
     auto neighbors =
         EComm::BuildNeighborhoods(g0, context_->neighbor_radius_norm);
+    // Comm blackouts (injected faults) cut links before message passing;
+    // no observation carries a mask on the fault-free path.
+    bool any_blocked = false;
+    for (const auto& obs : observations) {
+      any_blocked = any_blocked || !obs.comm_blocked.empty();
+    }
+    if (any_blocked) {
+      std::vector<std::vector<uint8_t>> blocked;
+      blocked.reserve(observations.size());
+      for (const auto& obs : observations) blocked.push_back(obs.comm_blocked);
+      EComm::MaskNeighborhoods(blocked, &neighbors);
+    }
     EComm::State state = e_comm_->Communicate(spatial, g0, neighbors);
     for (int64_t u = 0; u < num_ugvs; ++u) {
       EComm::Readout readout = e_comm_->ReadOut(

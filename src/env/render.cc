@@ -1,7 +1,6 @@
 #include "env/render.h"
 
-#include <fstream>
-
+#include "common/fs_util.h"
 #include "common/string_util.h"
 #include "common/table_writer.h"
 
@@ -146,10 +145,7 @@ Status WriteSvg(const std::string& svg, const std::string& path) {
   if (slash != std::string::npos) {
     GARL_RETURN_IF_ERROR(EnsureDirectory(path.substr(0, slash)));
   }
-  std::ofstream out(path);
-  if (!out) return InternalError("cannot open for write: " + path);
-  out << svg;
-  return Status::Ok();
+  return WriteFileDurable(path, svg);
 }
 
 }  // namespace garl::env

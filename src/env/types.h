@@ -65,6 +65,9 @@ struct UavState {
   int64_t carrier = 0;  // owning UGV index
   double flight_collected_mb = 0.0;  // within the current release window
   double distance_flown = 0.0;
+  // Hardware failure (injected fault): the airframe crash-landed where it
+  // was and never flies again this episode.
+  bool failed = false;
 };
 
 struct SensorState {
@@ -90,6 +93,31 @@ struct UgvObservation {
   // approached). Eq. 9b masks with the *newest* information, so recency is
   // part of the observation semantics.
   std::vector<int64_t> stop_seen_slot;
+  // This UGV's row of the comm-blackout mask ([U]; nonzero = the link to
+  // that UGV carries no message this slot). Empty when no blackout is
+  // active, which is also the only state the fault-free path ever sees.
+  std::vector<uint8_t> comm_blocked;
+};
+
+// Faults injected into one slot (produced by src/sim/faults.*; the env layer
+// only consumes them so it stays independent of the scheduler). All vectors
+// may be empty, meaning "no fault of that class this slot" — a
+// default-constructed SlotFaults is the fault-free slot.
+struct SlotFaults {
+  // UAV indices whose airframe fails this slot (permanent for the episode).
+  std::vector<int64_t> uav_dropouts;
+  // [U] flags; nonzero = the UGV is stalled and neither acts nor moves.
+  std::vector<uint8_t> ugv_stalled;
+  // [U*U] row-major symmetric link mask; nonzero = blacked-out link.
+  std::vector<uint8_t> comm_blocked;
+  // [P] per-sensor read gain: 1.0 = healthy, 0.0 = read failure, values in
+  // between = degraded/noisy read.
+  std::vector<double> sensor_gain;
+
+  bool Empty() const {
+    return uav_dropouts.empty() && ugv_stalled.empty() &&
+           comm_blocked.empty() && sensor_gain.empty();
+  }
 };
 
 // Per-UAV observation o_t^v (Eq. 11): [C, G, G] local crop channels =

@@ -53,6 +53,7 @@ World::World(CampusSpec campus, WorldParams params)
 void World::Reset(uint64_t seed) {
   (void)seed;  // dynamics are currently deterministic given actions
   slot_ = 0;
+  slot_faults_ = SlotFaults{};
   releases_ = 0;
   effective_releases_ = 0;
   energy_consumed_kj_ = 0.0;
@@ -138,10 +139,32 @@ void World::RefreshUgvKnowledge() {
   }
 }
 
+void World::SetSlotFaults(SlotFaults faults) {
+  if (!faults.ugv_stalled.empty()) {
+    GARL_CHECK_EQ(static_cast<int64_t>(faults.ugv_stalled.size()),
+                  params_.num_ugvs);
+  }
+  if (!faults.comm_blocked.empty()) {
+    GARL_CHECK_EQ(static_cast<int64_t>(faults.comm_blocked.size()),
+                  params_.num_ugvs * params_.num_ugvs);
+  }
+  if (!faults.sensor_gain.empty()) {
+    GARL_CHECK_EQ(faults.sensor_gain.size(), sensors_.size());
+  }
+  slot_faults_ = std::move(faults);
+}
+
+bool World::IsUgvStalled(int64_t u) const {
+  return !slot_faults_.ugv_stalled.empty() &&
+         slot_faults_.ugv_stalled[static_cast<size_t>(u)] != 0;
+}
+
 bool World::UgvNeedsAction(int64_t u) const {
   GARL_CHECK_GE(u, 0);
   GARL_CHECK_LT(u, params_.num_ugvs);
-  return ugvs_[static_cast<size_t>(u)].release_left == 0;
+  // A stalled UGV does not accept an action, so the policy never samples
+  // (or draws RNG) for it — freezing must not shift anyone's streams.
+  return ugvs_[static_cast<size_t>(u)].release_left == 0 && !IsUgvStalled(u);
 }
 
 bool World::UavAirborne(int64_t v) const {
@@ -169,6 +192,19 @@ void World::MoveUgv(int64_t u, int64_t target, double budget) {
     ugv.position = stops_.positions[static_cast<size_t>(next)];
   }
   if (ugv.current_stop == target) ugv.target_stop = -1;
+}
+
+void World::FailUav(int64_t v) {
+  UavState& uav = uavs_[static_cast<size_t>(v)];
+  if (uav.failed) return;
+  uav.failed = true;
+  if (uav.airborne) {
+    // Crash-lands where it is: no recharge, no effective-release credit,
+    // and the flight's collected payload is lost with the airframe (zeta
+    // feels the failure through the wasted release).
+    uav.airborne = false;
+    uav.flight_collected_mb = 0.0;
+  }
 }
 
 void World::LandUav(int64_t v) {
@@ -199,10 +235,41 @@ StepResult World::Step(const std::vector<UgvAction>& ugv_actions,
   std::vector<double> uav_spent(static_cast<size_t>(num_uavs()), 0.0);
   std::vector<bool> uav_blocked(static_cast<size_t>(num_uavs()), false);
 
+  // 0. Injected UAV dropouts land before decisions, so a release in the
+  // same slot lifts only the survivors.
+  for (int64_t v : slot_faults_.uav_dropouts) {
+    GARL_CHECK_GE(v, 0);
+    GARL_CHECK_LT(v, num_uavs());
+    FailUav(v);
+  }
+  // Re-dispatch: surviving coalition members absorb a failed peer's share
+  // of the collection work — their collect rate scales by squad size over
+  // survivors. Computed only when a failure exists, so the fault-free path
+  // stays bitwise identical.
+  bool any_failed = false;
+  for (const UavState& uav : uavs_) any_failed = any_failed || uav.failed;
+  std::vector<double> collect_boost;
+  if (any_failed) {
+    collect_boost.assign(static_cast<size_t>(params_.num_ugvs), 1.0);
+    for (int64_t u = 0; u < params_.num_ugvs; ++u) {
+      int64_t alive = 0;
+      for (int64_t v = u * params_.uavs_per_ugv;
+           v < (u + 1) * params_.uavs_per_ugv; ++v) {
+        if (!uavs_[static_cast<size_t>(v)].failed) ++alive;
+      }
+      if (alive > 0) {
+        collect_boost[static_cast<size_t>(u)] =
+            static_cast<double>(params_.uavs_per_ugv) /
+            static_cast<double>(alive);
+      }
+    }
+  }
+
   // 1. UGV decisions.
   for (int64_t u = 0; u < params_.num_ugvs; ++u) {
     UgvState& ugv = ugvs_[static_cast<size_t>(u)];
     if (ugv.release_left > 0) continue;  // waiting for its UAVs
+    if (IsUgvStalled(u)) continue;       // frozen: neither releases nor moves
     const UgvAction& action = ugv_actions[static_cast<size_t>(u)];
     if (action.release) {
       ugv.release_left = params_.release_slots;
@@ -210,6 +277,7 @@ StepResult World::Step(const std::vector<UgvAction>& ugv_actions,
       for (int64_t v = u * params_.uavs_per_ugv;
            v < (u + 1) * params_.uavs_per_ugv; ++v) {
         UavState& uav = uavs_[static_cast<size_t>(v)];
+        if (uav.failed) continue;  // zero survivors ⇒ an empty window
         uav.airborne = true;
         uav.position = ugv.position;
         uav.flight_collected_mb = 0.0;
@@ -245,15 +313,23 @@ StepResult World::Step(const std::vector<UgvAction>& ugv_actions,
     uav.energy_kj -= spent;
     energy_consumed_kj_ += spent;
 
-    // Sensing (Eq. Delta d): every in-range sensor yields up to the rate.
+    // Sensing (Eq. Delta d): every in-range sensor yields up to the rate,
+    // scaled by the coalition re-dispatch boost and the per-sensor read
+    // gain when faults are armed (both branches untaken fault-free).
+    double rate = params_.collect_per_slot_mb;
+    if (any_failed) rate *= collect_boost[static_cast<size_t>(uav.carrier)];
     double collected = 0.0;
-    for (SensorState& sensor : sensors_) {
+    for (size_t p = 0; p < sensors_.size(); ++p) {
+      SensorState& sensor = sensors_[p];
       if (sensor.remaining_mb <= 0.0) continue;
       if (Distance(uav.position, sensor.position) > params_.sense_range) {
         continue;
       }
-      double take = std::min(params_.collect_per_slot_mb,
-                             sensor.remaining_mb);
+      double sensor_rate = rate;
+      if (!slot_faults_.sensor_gain.empty()) {
+        sensor_rate *= slot_faults_.sensor_gain[p];
+      }
+      double take = std::min(sensor_rate, sensor.remaining_mb);
       sensor.remaining_mb -= take;
       collected += take;
     }
@@ -310,6 +386,7 @@ StepResult World::Step(const std::vector<UgvAction>& ugv_actions,
   }
 
   ++slot_;
+  slot_faults_ = SlotFaults{};  // faults are armed per slot, never carry over
   result.done = Done();
   return result;
 }
@@ -357,6 +434,10 @@ UgvObservation World::ObserveUgv(int64_t u) const {
     obs.ugv_positions_raw.push_back(state.position);
   }
   obs.stop_seen_slot = last_seen_slot_[static_cast<size_t>(u)];
+  if (!slot_faults_.comm_blocked.empty()) {
+    auto row = slot_faults_.comm_blocked.begin() + u * params_.num_ugvs;
+    obs.comm_blocked.assign(row, row + params_.num_ugvs);
+  }
   return obs;
 }
 

@@ -38,6 +38,16 @@ class World {
   StepResult Step(const std::vector<UgvAction>& ugv_actions,
                   const std::vector<UavAction>& uav_actions);
 
+  // Arms fault injection for the upcoming slot (call before ObserveUgv /
+  // Step; consumed and cleared by Step). Degradation is graceful, never a
+  // crash: a dropped-out UAV crash-lands and its coalition's survivors pick
+  // up its collection share, a stalled UGV simply freezes (UgvNeedsAction
+  // goes false, so no action — and no RNG draw — is consumed for it), and
+  // comm blackouts only surface through UgvObservation.comm_blocked. With a
+  // default-constructed argument (the default state) the world is bitwise
+  // identical to one without fault support.
+  void SetSlotFaults(SlotFaults faults);
+
   // --- Observations ---------------------------------------------------------
   UgvObservation ObserveUgv(int64_t u) const;
   UavObservation ObserveUav(int64_t v) const;
@@ -97,6 +107,8 @@ class World {
   void RecomputeStopData();
   void RefreshUgvKnowledge();
   void LandUav(int64_t v);
+  void FailUav(int64_t v);
+  bool IsUgvStalled(int64_t u) const;
   void MoveUgv(int64_t u, int64_t target, double budget);
 
   CampusSpec campus_;
@@ -109,6 +121,7 @@ class World {
   std::vector<std::vector<int64_t>> stop_cover_;
 
   int64_t slot_ = 0;
+  SlotFaults slot_faults_;  // armed for the current slot only
   std::vector<UgvState> ugvs_;
   std::vector<UavState> uavs_;
   std::vector<SensorState> sensors_;

@@ -191,7 +191,7 @@ Status Adam::SaveState(const std::string& path) const {
   std::string payload;
   SerializeState(&payload);
   AppendPod(&payload, Crc32(payload));
-  return AtomicWriteFile(path, payload);
+  return WriteFileDurable(path, payload);
 }
 
 Status Adam::LoadState(const std::string& path) {

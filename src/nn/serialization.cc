@@ -122,7 +122,7 @@ Status SaveParameters(const std::vector<Tensor>& parameters,
   std::string payload;
   SerializeParameters(parameters, &payload);
   AppendPod(&payload, Crc32(payload));
-  return AtomicWriteFile(path, payload);
+  return WriteFileDurable(path, payload);
 }
 
 Status LoadParameters(const std::string& path,

@@ -3,7 +3,9 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -279,6 +281,7 @@ enum class FieldType {
   kInt,     // JSON number holding an integer
   kDouble,  // JSON number, or null for a non-finite value
   kBool,
+  kString,
   kObject,
   kArray,
 };
@@ -335,6 +338,27 @@ constexpr FieldSpec kSpanSchema[] = {
     {"total_ns", FieldType::kInt},
 };
 
+// Optional trailing members carried only by fault-injection runs: `det`
+// gains the schedule-digest chain (8 hex chars — kept out of JSON numbers
+// so no consumer rounds a 32-bit value through a double), `rt` gains the
+// event-count object. They must appear together or not at all.
+constexpr FieldSpec kDetFaultSchema[] = {
+    {"fault_digest", FieldType::kString},
+};
+
+constexpr FieldSpec kRtFaultSchema[] = {
+    {"faults", FieldType::kObject},
+};
+
+constexpr FieldSpec kFaultsSchema[] = {
+    {"uav_dropouts", FieldType::kInt},
+    {"ugv_stalls", FieldType::kInt},
+    {"comm_blackouts", FieldType::kInt},
+    {"sensor_faults", FieldType::kInt},
+    {"fs_injected", FieldType::kInt},
+    {"fs_recovered", FieldType::kInt},
+};
+
 bool TypeMatches(const JsonValue& value, FieldType type) {
   switch (type) {
     case FieldType::kInt:
@@ -344,6 +368,8 @@ bool TypeMatches(const JsonValue& value, FieldType type) {
              value.type == JsonValue::Type::kNull;
     case FieldType::kBool:
       return value.type == JsonValue::Type::kBool;
+    case FieldType::kString:
+      return value.type == JsonValue::Type::kString;
     case FieldType::kObject:
       return value.type == JsonValue::Type::kObject;
     case FieldType::kArray:
@@ -379,6 +405,66 @@ Status CheckObjectSchema(const JsonValue& object, const FieldSpec (&schema)[N],
   return Status::Ok();
 }
 
+// Like CheckObjectSchema, but the object may additionally carry the
+// `optional` members (in order) after the required ones. `*has_optional`
+// reports which form was seen. Any other member count is an error — partial
+// optional suffixes are rejected.
+template <size_t N, size_t M>
+Status CheckObjectSchemaWithOptional(const JsonValue& object,
+                                     const FieldSpec (&schema)[N],
+                                     const FieldSpec (&optional)[M],
+                                     const char* context,
+                                     bool* has_optional) {
+  if (object.type != JsonValue::Type::kObject) {
+    return InvalidArgumentError(StrPrintf("'%s' is not an object", context));
+  }
+  if (object.members.size() != N && object.members.size() != N + M) {
+    return InvalidArgumentError(StrPrintf(
+        "'%s' has %lld field(s), schema v%d requires %lld or %lld", context,
+        static_cast<long long>(object.members.size()), kRunLogSchemaVersion,
+        static_cast<long long>(N), static_cast<long long>(N + M)));
+  }
+  *has_optional = object.members.size() == N + M;
+  for (size_t i = 0; i < object.members.size(); ++i) {
+    const FieldSpec& spec = i < N ? schema[i] : optional[i - N];
+    const auto& [key, value] = object.members[i];
+    if (key != spec.name) {
+      return InvalidArgumentError(
+          StrPrintf("'%s' field %lld is '%s', schema requires '%s'", context,
+                    static_cast<long long>(i), key.c_str(), spec.name));
+    }
+    if (!TypeMatches(value, spec.type)) {
+      return InvalidArgumentError(
+          StrPrintf("'%s.%s' has the wrong JSON type", context, spec.name));
+    }
+  }
+  return Status::Ok();
+}
+
+// Decodes the det payload's "fault_digest" value: exactly 8 lowercase hex
+// characters, as FormatIterationRecord emits.
+Status ParseFaultDigest(const std::string& hex, uint32_t* out) {
+  if (hex.size() != 8) {
+    return InvalidArgumentError(
+        "'det.fault_digest' must be exactly 8 hex characters");
+  }
+  uint32_t value = 0;
+  for (char c : hex) {
+    uint32_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint32_t>(c - 'a') + 10;
+    } else {
+      return InvalidArgumentError(
+          "'det.fault_digest' has a non-hex character");
+    }
+    value = (value << 4) | nibble;
+  }
+  *out = value;
+  return Status::Ok();
+}
+
 double AsDouble(const JsonValue& value) {
   if (value.type == JsonValue::Type::kNull) {
     return std::numeric_limits<double>::quiet_NaN();
@@ -401,8 +487,16 @@ Status DecodeRecord(const JsonValue& root, IterationRecord* record) {
   }
   const JsonValue& det = root.members[1].second;
   const JsonValue& rt = root.members[2].second;
-  GARL_RETURN_IF_ERROR(CheckObjectSchema(det, kDetSchema, "det"));
-  GARL_RETURN_IF_ERROR(CheckObjectSchema(rt, kRtSchema, "rt"));
+  bool det_has_faults = false;
+  bool rt_has_faults = false;
+  GARL_RETURN_IF_ERROR(CheckObjectSchemaWithOptional(
+      det, kDetSchema, kDetFaultSchema, "det", &det_has_faults));
+  GARL_RETURN_IF_ERROR(CheckObjectSchemaWithOptional(
+      rt, kRtSchema, kRtFaultSchema, "rt", &rt_has_faults));
+  if (det_has_faults != rt_has_faults) {
+    return InvalidArgumentError(
+        "fault fields must appear in both 'det' and 'rt' or in neither");
+  }
   const JsonValue& pool = rt.members[3].second;
   GARL_RETURN_IF_ERROR(CheckObjectSchema(pool, kPoolSchema, "rt.pool"));
 
@@ -423,6 +517,21 @@ Status DecodeRecord(const JsonValue& root, IterationRecord* record) {
   record->zeta = AsDouble(det.members[14].second);
   record->beta = AsDouble(det.members[15].second);
   record->efficiency = AsDouble(det.members[16].second);
+
+  record->faults_enabled = det_has_faults;
+  if (det_has_faults) {
+    GARL_RETURN_IF_ERROR(ParseFaultDigest(det.members[17].second.string_value,
+                                          &record->fault_digest));
+    const JsonValue& faults = rt.members[5].second;
+    GARL_RETURN_IF_ERROR(CheckObjectSchema(faults, kFaultsSchema,
+                                           "rt.faults"));
+    record->fault_uav_dropouts = AsInt(faults.members[0].second);
+    record->fault_ugv_stalls = AsInt(faults.members[1].second);
+    record->fault_comm_blackouts = AsInt(faults.members[2].second);
+    record->fault_sensor_faults = AsInt(faults.members[3].second);
+    record->fault_fs_injected = AsInt(faults.members[4].second);
+    record->fault_fs_recovered = AsInt(faults.members[5].second);
+  }
 
   record->wall_ns = AsInt(rt.members[0].second);
   record->route_cache_hits = AsInt(rt.members[1].second);
@@ -534,6 +643,10 @@ std::string FormatIterationRecord(const IterationRecord& record) {
   AppendDouble(&out, record.beta);
   out += ",\"efficiency\":";
   AppendDouble(&out, record.efficiency);
+  if (record.faults_enabled) {
+    out += ",\"fault_digest\":";
+    AppendJsonString(&out, StrPrintf("%08x", record.fault_digest));
+  }
   out += "},\"rt\":{\"wall_ns\":";
   AppendInt(&out, record.wall_ns);
   out += ",\"cache_hits\":";
@@ -559,7 +672,23 @@ std::string FormatIterationRecord(const IterationRecord& record) {
     AppendInt(&out, record.spans[i].total_ns);
     out += '}';
   }
-  out += "]}}";
+  out += ']';
+  if (record.faults_enabled) {
+    out += ",\"faults\":{\"uav_dropouts\":";
+    AppendInt(&out, record.fault_uav_dropouts);
+    out += ",\"ugv_stalls\":";
+    AppendInt(&out, record.fault_ugv_stalls);
+    out += ",\"comm_blackouts\":";
+    AppendInt(&out, record.fault_comm_blackouts);
+    out += ",\"sensor_faults\":";
+    AppendInt(&out, record.fault_sensor_faults);
+    out += ",\"fs_injected\":";
+    AppendInt(&out, record.fault_fs_injected);
+    out += ",\"fs_recovered\":";
+    AppendInt(&out, record.fault_fs_recovered);
+    out += '}';
+  }
+  out += "}}";
   return out;
 }
 
@@ -610,21 +739,14 @@ StatusOr<std::string> DeterministicPayload(const std::string& line) {
 }
 
 Status RunLog::AppendRecord(const IterationRecord& record) {
-  (*out_) << FormatIterationRecord(record) << '\n';
-  out_->flush();
-  if (!out_->good()) {
-    return InternalError("run-log write failed: " + path_);
-  }
-  return Status::Ok();
+  return file_.Append(FormatIterationRecord(record) + '\n');
 }
 
 StatusOr<RunLog> OpenRunLog(const std::string& path) {
-  auto out = std::make_unique<std::ofstream>(
-      path, std::ios::binary | std::ios::trunc);
-  if (!out->is_open()) {
-    return InternalError("cannot open run log for writing: " + path);
-  }
-  return RunLog(path, std::move(out));
+  // AppendFile::Open truncates, so a reused path starts from a clean slate.
+  StatusOr<AppendFile> file = AppendFile::Open(path);
+  if (!file.ok()) return file.status();
+  return RunLog(std::move(file).value());
 }
 
 Status ValidateRunLogFile(const std::string& path) {
@@ -641,6 +763,13 @@ StatusOr<RunLogSummary> SummarizeRunLogFile(const std::string& path) {
     entropy += record.entropy;
     if (record.diverged) ++summary.diverged_iterations;
     summary.total_wall_ns += record.wall_ns;
+    if (record.faults_enabled) {
+      ++summary.fault_records;
+      summary.fault_events += record.fault_uav_dropouts +
+                              record.fault_ugv_stalls +
+                              record.fault_comm_blackouts +
+                              record.fault_sensor_faults;
+    }
     for (const SpanTiming& span : record.spans) {
       SpanTiming& agg = summary.spans[span.name];
       if (agg.name.empty()) agg.name = span.name;

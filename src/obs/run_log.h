@@ -2,12 +2,11 @@
 #define GARL_OBS_RUN_LOG_H_
 
 #include <cstdint>
-#include <fstream>
 #include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/fs_util.h"
 #include "common/status.h"
 
 // Structured JSONL run log: one record per training iteration, streamed to
@@ -62,6 +61,22 @@ struct IterationRecord {
   double zeta = 0.0;             // cooperation factor (Eq. 5)
   double beta = 0.0;             // energy ratio (Eq. 6)
   double efficiency = 0.0;       // lambda (Eq. 7)
+  // --- fault injection (optional trailing fields in BOTH payloads) ---
+  // When false (the default), no fault field is emitted and the record's
+  // bytes are exactly the pre-fault schema — golden logs stay untouched.
+  // When true, `det` gains a trailing "fault_digest" (the episode-ordered
+  // schedule-digest chain as an 8-hex-char string: JSON numbers cannot hold
+  // 32-bit digests faithfully in every consumer) and `rt` gains a trailing
+  // "faults" object with event counts. All-or-nothing: a record carrying
+  // one side but not the other fails validation.
+  bool faults_enabled = false;
+  uint32_t fault_digest = 0;
+  int64_t fault_uav_dropouts = 0;
+  int64_t fault_ugv_stalls = 0;
+  int64_t fault_comm_blackouts = 0;
+  int64_t fault_sensor_faults = 0;
+  int64_t fault_fs_injected = 0;   // cumulative injected write faults
+  int64_t fault_fs_recovered = 0;  // cumulative retry recoveries
   // --- runtime payload (`rt`) ---
   int64_t wall_ns = 0;           // iteration wall time
   int64_t route_cache_hits = 0;    // cumulative, trainer world
@@ -89,23 +104,23 @@ std::string FormatIterationRecord(const IterationRecord& record);
     const std::string& line);
 
 // Streaming writer. Opens (truncates) `path` on construction via OpenRunLog;
-// AppendRecord writes one line and flushes, so a crashed run keeps every
-// completed iteration.
+// AppendRecord writes one line through fs_util's durable append path
+// (fsync'd, retried with backoff on transient faults), so a crashed run
+// keeps every completed iteration and a transient write error costs
+// nothing but the retries.
 class RunLog {
  public:
   [[nodiscard]] Status AppendRecord(const IterationRecord& record);
-  const std::string& path() const { return path_; }
+  const std::string& path() const { return file_.path(); }
 
   RunLog(RunLog&&) = default;
   RunLog& operator=(RunLog&&) = default;
 
  private:
   friend StatusOr<RunLog> OpenRunLog(const std::string& path);
-  RunLog(std::string path, std::unique_ptr<std::ofstream> out)
-      : path_(std::move(path)), out_(std::move(out)) {}
+  explicit RunLog(AppendFile file) : file_(std::move(file)) {}
 
-  std::string path_;
-  std::unique_ptr<std::ofstream> out_;
+  AppendFile file_;
 };
 
 [[nodiscard]] StatusOr<RunLog> OpenRunLog(const std::string& path);
@@ -128,6 +143,10 @@ struct RunLogSummary {
   int64_t total_wall_ns = 0;
   // Per-span totals accumulated across all records, keyed by name.
   std::map<std::string, SpanTiming> spans;
+  // Fault-injection aggregates (zero for fault-free logs). Cumulative fs
+  // counters live in `last`.
+  int64_t fault_records = 0;  // records carrying fault fields
+  int64_t fault_events = 0;   // env fault events summed over all records
 };
 
 [[nodiscard]] StatusOr<RunLogSummary> SummarizeRunLogFile(

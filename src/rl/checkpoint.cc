@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
-#include <filesystem>
 
 #include "common/fs_util.h"
 #include "common/string_util.h"
@@ -11,8 +10,6 @@
 namespace garl::rl {
 
 namespace {
-
-namespace fs = std::filesystem;
 
 constexpr uint32_t kTrainerStateMagic = 0x47545253u;  // "GTRS"
 constexpr uint32_t kTrainerStateVersion = 1;
@@ -72,7 +69,7 @@ Status SaveTrainerState(const TrainerState& state, const std::string& path) {
   std::string payload;
   SerializeTrainerState(state, &payload);
   AppendPod(&payload, Crc32(payload));
-  return AtomicWriteFile(path, payload);
+  return WriteFileDurable(path, payload);
 }
 
 StatusOr<TrainerState> LoadTrainerState(const std::string& path) {
@@ -136,7 +133,7 @@ Status WriteCheckpointManifest(const std::string& dir,
     out += StrPrintf("checkpoint %s %lld\n", info.name.c_str(),
                      static_cast<long long>(info.episode));
   }
-  return AtomicWriteFile(dir + "/" + kManifestFile, out);
+  return WriteFileDurable(dir + "/" + kManifestFile, out);
 }
 
 StatusOr<CheckpointInfo> LatestCheckpoint(const std::string& dir) {
@@ -175,9 +172,8 @@ Status RegisterCheckpoint(const std::string& dir, const CheckpointInfo& info,
   // steps strands stale directories (harmless) rather than dangling entries.
   GARL_RETURN_IF_ERROR(WriteCheckpointManifest(dir, entries));
   for (const CheckpointInfo& old : pruned) {
-    std::error_code ec;
-    fs::remove_all(fs::path(dir) / old.name, ec);
     // Best effort: a leftover directory wastes disk but breaks nothing.
+    RemoveAllBestEffort(dir + "/" + old.name);
   }
   return Status::Ok();
 }

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <filesystem>
 #include <limits>
 #include <map>
 #include <optional>
 
 #include "common/check.h"
+#include "common/fs_util.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "nn/distributions.h"
@@ -89,7 +89,8 @@ IppoTrainer::IppoTrainer(env::World* world, UgvPolicyNetwork* ugv_network,
 
 IppoTrainer::CollectResult IppoTrainer::RunEpisode(env::World& world,
                                                    uint64_t reset_seed,
-                                                   uint64_t rng_seed) const {
+                                                   uint64_t rng_seed,
+                                                   int64_t episode) const {
   GARL_TRACE_SPAN("trainer/episode");
   CollectResult result;
   Rng rng(rng_seed);
@@ -99,10 +100,32 @@ IppoTrainer::CollectResult IppoTrainer::RunEpisode(env::World& world,
   result.ugv.agents.resize(static_cast<size_t>(num_ugvs));
   result.uav.agents.resize(static_cast<size_t>(num_uavs));
 
+  // Fault injection: the episode's schedule is a pure function of
+  // (seed, faults.seed, episode), so it survives thread-count changes and
+  // kill-and-resume. Disabled, this block is never entered and the episode
+  // runs the exact pre-fault instruction stream.
+  const bool faults_on = config_.faults.enabled;
+  sim::EpisodeFaultPlan fault_plan;
+  if (faults_on) {
+    sim::WorldDims dims;
+    dims.num_ugvs = world.num_ugvs();
+    dims.num_uavs = world.num_uavs();
+    dims.num_sensors = static_cast<int64_t>(world.sensors().size());
+    dims.horizon = world.params().horizon;
+    fault_plan =
+        sim::BuildEpisodeFaultPlan(config_.faults, config_.seed, episode, dims);
+    result.stats.fault_counts = fault_plan.Counts();
+    result.stats.fault_digest = fault_plan.Digest();
+    sim::CountFaultEvents(fault_plan);
+  }
+
   // Index of each agent's latest decision, for reward credit assignment.
   std::vector<int64_t> last_decision(static_cast<size_t>(num_ugvs), -1);
 
   while (!world.Done()) {
+    if (faults_on) {
+      world.SetSlotFaults(sim::SlotFaultsAt(fault_plan, world.slot()));
+    }
     // Observe everyone once per slot.
     std::vector<env::UgvObservation> observations;
     observations.reserve(static_cast<size_t>(num_ugvs));
@@ -223,7 +246,8 @@ IppoTrainer::CollectResult IppoTrainer::CollectEpisodes() {
   std::vector<CollectResult> parts(static_cast<size_t>(episodes));
   auto run = [this](env::World& world, int64_t n) {
     return RunEpisode(world, config_.seed + static_cast<uint64_t>(n),
-                      Rng::StreamSeed(config_.seed, static_cast<uint64_t>(n)));
+                      Rng::StreamSeed(config_.seed, static_cast<uint64_t>(n)),
+                      n);
   };
 
   ThreadPool& pool = ThreadPool::Global();
@@ -276,6 +300,13 @@ IppoTrainer::CollectResult IppoTrainer::CollectEpisodes() {
     merged.stats.ugv_episode_reward += part.stats.ugv_episode_reward;
     merged.stats.uav_episode_reward += part.stats.uav_episode_reward;
     merged.stats.metrics = part.stats.metrics;
+    if (config_.faults.enabled) {
+      // Digest chain follows episode order (this loop), not completion
+      // order, so the iteration fingerprint is thread-count-invariant.
+      merged.stats.fault_counts += part.stats.fault_counts;
+      merged.stats.fault_digest = sim::ChainFaultDigest(
+          merged.stats.fault_digest, part.stats.fault_digest);
+    }
   }
   return merged;
 }
@@ -497,23 +528,13 @@ Status IppoTrainer::RestoreSnapshot(const Snapshot& snapshot) {
 
 Status IppoTrainer::SaveCheckpoint(const std::string& dir) {
   GARL_TRACE_SPAN("checkpoint/save");
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return InternalError("cannot create checkpoint dir " + dir + ": " +
-                         ec.message());
-  }
+  GARL_RETURN_IF_ERROR(EnsureDirectory(dir));
   CheckpointInfo info;
   info.episode = episode_counter_;
   info.name =
       StrPrintf("ckpt_%08lld", static_cast<long long>(episode_counter_));
   const std::string sub = dir + "/" + info.name;
-  fs::create_directories(sub, ec);
-  if (ec) {
-    return InternalError("cannot create checkpoint dir " + sub + ": " +
-                         ec.message());
-  }
+  GARL_RETURN_IF_ERROR(EnsureDirectory(sub));
   GARL_RETURN_IF_ERROR(nn::SaveParameters(ugv_network_->Parameters(),
                                           sub + "/" + kUgvParamsFile));
   GARL_RETURN_IF_ERROR(ugv_optimizer_->SaveState(sub + "/" + kUgvAdamFile));
@@ -566,6 +587,14 @@ StatusOr<std::vector<IterationStats>> IppoTrainer::Train() {
   float healthy_ugv_lr = ugv_optimizer_->lr();
   float healthy_uav_lr = uav_optimizer_ ? uav_optimizer_->lr() : 0.0f;
   int64_t trips = 0;  // consecutive sentinel trips on the current iteration
+
+  // Filesystem fault injection: arms fs_util's write-fault hook for the
+  // duration of Train(), so checkpoint and run-log writes see transient
+  // EIO / short-write faults (bounded per path; retries always recover).
+  std::optional<sim::ScheduledFsFaults> fs_faults;
+  if (config_.faults.enabled && config_.faults.fs_fault_prob > 0.0) {
+    fs_faults.emplace(config_.faults, config_.seed);
+  }
 
   // Observability: the run log streams one record per successful iteration;
   // the span baseline lets each record report only its own window's timings.
@@ -622,7 +651,8 @@ StatusOr<std::vector<IterationStats>> IppoTrainer::Train() {
     }
     if (run_log.has_value()) {
       GARL_RETURN_IF_ERROR(run_log->AppendRecord(
-          MakeIterationRecord(m, stats, iteration_start_ns, &span_baseline)));
+          MakeIterationRecord(m, stats, iteration_start_ns, &span_baseline,
+                              fs_faults.has_value() ? &*fs_faults : nullptr)));
     }
     ++m;
   }
@@ -631,7 +661,8 @@ StatusOr<std::vector<IterationStats>> IppoTrainer::Train() {
 
 obs::IterationRecord IppoTrainer::MakeIterationRecord(
     int64_t iteration, const IterationStats& stats, int64_t start_ns,
-    std::vector<obs::SpanStats>* span_baseline) const {
+    std::vector<obs::SpanStats>* span_baseline,
+    const sim::ScheduledFsFaults* fs_faults) const {
   obs::IterationRecord record;
   // Deterministic payload: a pure function of (seed, config).
   record.iteration = iteration;
@@ -651,6 +682,20 @@ obs::IterationRecord IppoTrainer::MakeIterationRecord(
   record.zeta = stats.metrics.cooperation_factor;
   record.beta = stats.metrics.energy_ratio;
   record.efficiency = stats.metrics.efficiency;
+  // Fault fields ride in both payloads only when injection is enabled, so
+  // fault-free logs keep the exact pre-fault byte layout. The schedule
+  // digest is deterministic (det); event counts are bookkeeping (rt).
+  record.faults_enabled = config_.faults.enabled;
+  if (config_.faults.enabled) {
+    record.fault_digest = stats.fault_digest;
+    record.fault_uav_dropouts = stats.fault_counts.uav_dropouts;
+    record.fault_ugv_stalls = stats.fault_counts.ugv_stalls;
+    record.fault_comm_blackouts = stats.fault_counts.comm_blackouts;
+    record.fault_sensor_faults = stats.fault_counts.sensor_faults;
+    record.fault_fs_injected = fs_faults != nullptr ? fs_faults->injected() : 0;
+    record.fault_fs_recovered =
+        fs_faults != nullptr ? fs_faults->recovered() : 0;
+  }
   // Runtime payload: clock- and thread-count-dependent, excluded from
   // golden comparisons.
   record.wall_ns = obs::MonotonicNowNs() - start_ns;

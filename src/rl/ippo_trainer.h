@@ -14,6 +14,7 @@
 #include "rl/policy.h"
 #include "rl/rollout.h"
 #include "rl/uav_controller.h"
+#include "sim/faults.h"
 
 // IPPO training loop (Algorithm 1). One trainer drives any
 // UgvPolicyNetwork; UAVs fly either a shared learned CNN policy (Eq. 17,
@@ -74,6 +75,14 @@ struct TrainConfig {
   // read-only: it never touches the RNG or any learned state, so losses are
   // bit-identical with and without a run log.
   std::string run_log_path;
+
+  // --- Fault injection (chaos testing) ---
+  // Off by default; disabled it is a bitwise no-op (golden_run_test pins
+  // this). When enabled, each episode's fault schedule is a pure function
+  // of (seed, faults.seed, episode number) — bit-reproducible, invariant
+  // under GARL_NUM_THREADS, and resume-safe. Schedule digests land in the
+  // run log's det payload, event counts in rt. See src/sim/faults.h.
+  sim::FaultConfig faults;
 };
 
 struct IterationStats {
@@ -87,6 +96,11 @@ struct IterationStats {
   bool diverged = false;   // sentinel tripped at least once this iteration
   bool recovered = false;  // ...and the rolled-back retry succeeded
   env::EpisodeMetrics metrics;  // end-of-episode task metrics
+  // Fault-injection fingerprint (zero / empty unless faults are enabled):
+  // event totals over the iteration's episodes and the episode-ordered
+  // chain of schedule digests.
+  sim::FaultCounts fault_counts;
+  uint32_t fault_digest = 0;
 };
 
 // Test-only deterministic fault injection (see set_fault_injection_for_test).
@@ -148,10 +162,12 @@ class IppoTrainer {
   // crosses an episode boundary.
   CollectResult CollectEpisodes();
   // One full episode on `world`: resets with `reset_seed`, samples actions
-  // from a private Rng seeded with `rng_seed`. Touches no trainer state
-  // besides the (conditionally thread-safe) networks.
+  // from a private Rng seeded with `rng_seed`. `episode` is the global
+  // episode number, which also keys the fault schedule when fault injection
+  // is enabled. Touches no trainer state besides the (conditionally
+  // thread-safe) networks.
   CollectResult RunEpisode(env::World& world, uint64_t reset_seed,
-                           uint64_t rng_seed) const;
+                           uint64_t rng_seed, int64_t episode) const;
   bool ParallelRolloutsSafe() const;
   void UpdateUgv(UgvRollout& rollout, IterationStats& stats);
   void UpdateUav(UavRollout& rollout, IterationStats& stats);
@@ -164,7 +180,8 @@ class IppoTrainer {
   // only its own window. Read-only with respect to trainer state.
   obs::IterationRecord MakeIterationRecord(
       int64_t iteration, const IterationStats& stats, int64_t start_ns,
-      std::vector<obs::SpanStats>* span_baseline) const;
+      std::vector<obs::SpanStats>* span_baseline,
+      const sim::ScheduledFsFaults* fs_faults) const;
 
   env::World* world_;
   UgvPolicyNetwork* ugv_network_;

@@ -1,0 +1,253 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace garl::sim {
+
+namespace {
+
+// Stream tag separating the fault stream from the trainer's episode
+// streams (which use the raw episode number); any fixed odd constant works.
+constexpr uint64_t kFaultStreamTag = 0xFA17B075u;
+
+// Canonical little-endian serialization buffer for digesting plans.
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  AppendU64(out, static_cast<uint64_t>(v));
+}
+
+void AppendF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+int64_t WindowSlots(int64_t configured) { return std::max<int64_t>(1, configured); }
+
+}  // namespace
+
+FaultCounts& FaultCounts::operator+=(const FaultCounts& other) {
+  uav_dropouts += other.uav_dropouts;
+  ugv_stalls += other.ugv_stalls;
+  comm_blackouts += other.comm_blackouts;
+  sensor_faults += other.sensor_faults;
+  return *this;
+}
+
+bool FaultCounts::operator==(const FaultCounts& other) const {
+  return uav_dropouts == other.uav_dropouts &&
+         ugv_stalls == other.ugv_stalls &&
+         comm_blackouts == other.comm_blackouts &&
+         sensor_faults == other.sensor_faults;
+}
+
+FaultCounts EpisodeFaultPlan::Counts() const {
+  FaultCounts counts;
+  counts.uav_dropouts = static_cast<int64_t>(uav_dropouts.size());
+  counts.ugv_stalls = static_cast<int64_t>(ugv_stalls.size());
+  counts.comm_blackouts = static_cast<int64_t>(comm_blackouts.size());
+  counts.sensor_faults = static_cast<int64_t>(sensor_faults.size());
+  return counts;
+}
+
+uint32_t EpisodeFaultPlan::Digest() const {
+  std::string buffer;
+  AppendI64(&buffer, episode);
+  AppendI64(&buffer, dims.num_ugvs);
+  AppendI64(&buffer, dims.num_uavs);
+  AppendI64(&buffer, dims.num_sensors);
+  AppendI64(&buffer, dims.horizon);
+  AppendI64(&buffer, static_cast<int64_t>(uav_dropouts.size()));
+  for (const UavDropoutEvent& e : uav_dropouts) {
+    AppendI64(&buffer, e.uav);
+    AppendI64(&buffer, e.slot);
+  }
+  AppendI64(&buffer, static_cast<int64_t>(ugv_stalls.size()));
+  for (const UgvStallEvent& e : ugv_stalls) {
+    AppendI64(&buffer, e.ugv);
+    AppendI64(&buffer, e.begin);
+    AppendI64(&buffer, e.end);
+  }
+  AppendI64(&buffer, static_cast<int64_t>(comm_blackouts.size()));
+  for (const CommBlackoutEvent& e : comm_blackouts) {
+    AppendI64(&buffer, e.a);
+    AppendI64(&buffer, e.b);
+    AppendI64(&buffer, e.begin);
+    AppendI64(&buffer, e.end);
+  }
+  AppendI64(&buffer, static_cast<int64_t>(sensor_faults.size()));
+  for (const SensorFaultEvent& e : sensor_faults) {
+    AppendI64(&buffer, e.sensor);
+    AppendI64(&buffer, e.begin);
+    AppendI64(&buffer, e.end);
+    AppendF64(&buffer, e.gain);
+  }
+  return Crc32(buffer);
+}
+
+EpisodeFaultPlan BuildEpisodeFaultPlan(const FaultConfig& config,
+                                       uint64_t base_seed, int64_t episode,
+                                       const WorldDims& dims) {
+  GARL_CHECK_GT(dims.horizon, 0);
+  EpisodeFaultPlan plan;
+  plan.episode = episode;
+  plan.dims = dims;
+  if (!config.enabled) return plan;
+
+  // Two-level stream split: the fault lineage first (so fault and
+  // trajectory streams never alias for any trainer seed), then the episode
+  // within it. Pure function of (base_seed, config.seed, episode) —
+  // thread-count-invariant and reconstructible after resume.
+  Rng rng(Rng::StreamSeed(Rng::StreamSeed(base_seed, config.seed ^ kFaultStreamTag),
+                          static_cast<uint64_t>(episode)));
+
+  // Sampling order is part of the determinism contract: UAVs, then UGVs,
+  // then ordered pairs, then sensors. Draws happen only for entities whose
+  // Bernoulli fires, which is itself a deterministic function of the stream.
+  for (int64_t v = 0; v < dims.num_uavs; ++v) {
+    if (!rng.Bernoulli(config.uav_dropout_prob)) continue;
+    plan.uav_dropouts.push_back({v, rng.UniformInt(0, dims.horizon - 1)});
+  }
+  for (int64_t u = 0; u < dims.num_ugvs; ++u) {
+    if (!rng.Bernoulli(config.ugv_stall_prob)) continue;
+    int64_t begin = rng.UniformInt(0, dims.horizon - 1);
+    int64_t end = std::min(begin + WindowSlots(config.ugv_stall_slots),
+                           dims.horizon);
+    plan.ugv_stalls.push_back({u, begin, end});
+  }
+  for (int64_t a = 0; a < dims.num_ugvs; ++a) {
+    for (int64_t b = a + 1; b < dims.num_ugvs; ++b) {
+      if (!rng.Bernoulli(config.comm_blackout_prob)) continue;
+      int64_t begin = rng.UniformInt(0, dims.horizon - 1);
+      int64_t end = std::min(begin + WindowSlots(config.comm_blackout_slots),
+                             dims.horizon);
+      plan.comm_blackouts.push_back({a, b, begin, end});
+    }
+  }
+  for (int64_t p = 0; p < dims.num_sensors; ++p) {
+    if (!rng.Bernoulli(config.sensor_fault_prob)) continue;
+    int64_t begin = rng.UniformInt(0, dims.horizon - 1);
+    int64_t end = std::min(begin + WindowSlots(config.sensor_fault_slots),
+                           dims.horizon);
+    double gain = 0.0;  // hard read failure
+    if (!rng.Bernoulli(0.5)) {
+      gain = std::clamp(1.0 - config.sensor_noise_sigma * rng.Uniform(0.0, 1.0),
+                        0.0, 1.0);
+    }
+    plan.sensor_faults.push_back({p, begin, end, gain});
+  }
+  return plan;
+}
+
+env::SlotFaults SlotFaultsAt(const EpisodeFaultPlan& plan, int64_t slot) {
+  env::SlotFaults faults;
+  for (const UavDropoutEvent& e : plan.uav_dropouts) {
+    if (e.slot == slot) faults.uav_dropouts.push_back(e.uav);
+  }
+  for (const UgvStallEvent& e : plan.ugv_stalls) {
+    if (slot < e.begin || slot >= e.end) continue;
+    if (faults.ugv_stalled.empty()) {
+      faults.ugv_stalled.assign(static_cast<size_t>(plan.dims.num_ugvs), 0);
+    }
+    faults.ugv_stalled[static_cast<size_t>(e.ugv)] = 1;
+  }
+  for (const CommBlackoutEvent& e : plan.comm_blackouts) {
+    if (slot < e.begin || slot >= e.end) continue;
+    if (faults.comm_blocked.empty()) {
+      faults.comm_blocked.assign(
+          static_cast<size_t>(plan.dims.num_ugvs * plan.dims.num_ugvs), 0);
+    }
+    faults.comm_blocked[static_cast<size_t>(e.a * plan.dims.num_ugvs + e.b)] = 1;
+    faults.comm_blocked[static_cast<size_t>(e.b * plan.dims.num_ugvs + e.a)] = 1;
+  }
+  for (const SensorFaultEvent& e : plan.sensor_faults) {
+    if (slot < e.begin || slot >= e.end) continue;
+    if (faults.sensor_gain.empty()) {
+      faults.sensor_gain.assign(static_cast<size_t>(plan.dims.num_sensors),
+                                1.0);
+    }
+    faults.sensor_gain[static_cast<size_t>(e.sensor)] = e.gain;
+  }
+  return faults;
+}
+
+uint32_t ChainFaultDigest(uint32_t chained, uint32_t episode_digest) {
+  std::string buffer;
+  AppendU64(&buffer, episode_digest);
+  return Crc32(buffer, chained);
+}
+
+void CountFaultEvents(const EpisodeFaultPlan& plan) {
+  FaultCounts counts = plan.Counts();
+  auto& registry = obs::MetricsRegistry::Global();
+  if (counts.uav_dropouts > 0) {
+    registry.GetCounter("faults.uav_dropouts").Increment(counts.uav_dropouts);
+  }
+  if (counts.ugv_stalls > 0) {
+    registry.GetCounter("faults.ugv_stalls").Increment(counts.ugv_stalls);
+  }
+  if (counts.comm_blackouts > 0) {
+    registry.GetCounter("faults.comm_blackouts")
+        .Increment(counts.comm_blackouts);
+  }
+  if (counts.sensor_faults > 0) {
+    registry.GetCounter("faults.sensor_faults").Increment(counts.sensor_faults);
+  }
+}
+
+ScheduledFsFaults::ScheduledFsFaults(const FaultConfig& config,
+                                     uint64_t base_seed)
+    : config_(config),
+      rng_(Rng::StreamSeed(Rng::StreamSeed(base_seed,
+                                           config.seed ^ kFaultStreamTag),
+                           0xF5F5F5F5u)),
+      hook_([this](std::string_view path) { return OnWriteAttempt(path); }) {}
+
+int64_t ScheduledFsFaults::injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+int64_t ScheduledFsFaults::recovered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recovered_;
+}
+
+InjectedWriteFault ScheduledFsFaults::OnWriteAttempt(std::string_view path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key(path);
+  int64_t& consecutive = consecutive_[key];
+  bool inject = config_.fs_fault_prob > 0.0 &&
+                consecutive < std::max<int64_t>(config_.fs_max_consecutive, 0) &&
+                rng_.Bernoulli(config_.fs_fault_prob);
+  if (!inject) {
+    if (consecutive > 0) {
+      ++recovered_;
+      obs::MetricsRegistry::Global().GetCounter("faults.fs_recovered")
+          .Increment();
+    }
+    consecutive = 0;
+    return InjectedWriteFault{};
+  }
+  ++consecutive;
+  ++injected_;
+  obs::MetricsRegistry::Global().GetCounter("faults.fs_injected").Increment();
+  InjectedWriteFault fault;
+  fault.error_number = EIO;
+  fault.short_write = (injected_ % 2) == 0;  // alternate EIO / torn-write
+  return fault;
+}
+
+}  // namespace garl::sim

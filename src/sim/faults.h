@@ -1,0 +1,175 @@
+#ifndef GARL_SIM_FAULTS_H_
+#define GARL_SIM_FAULTS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fs_util.h"
+#include "common/rng.h"
+#include "env/types.h"
+
+// Deterministic fault-injection harness (see DESIGN.md, "Fault model &
+// graceful degradation").
+//
+// An episode's fault schedule is a pure function of (trainer seed, fault
+// seed, episode number): BuildEpisodeFaultPlan derives its RNG through the
+// same SplitMix64 stream-splitting the trainer uses for episode sampling,
+// so schedules are bit-reproducible per seed, invariant under
+// GARL_NUM_THREADS, and resume-safe (the episode counter is already part of
+// checkpoints). Four fault classes:
+//
+//   * UAV dropout      — the airframe fails at a slot and never flies again
+//   * UGV stall        — the vehicle freezes for a window of slots
+//   * comm blackout    — a pairwise UGV link carries no messages for a window
+//   * sensor fault     — a sensor reads zero (hard) or attenuated (soft)
+//
+// plus filesystem faults (transient EIO / short-write on durable-write
+// paths) driven through fs_util's write-fault hook by ScheduledFsFaults.
+// The env layer consumes the first four through env::SlotFaults; nothing
+// here touches World directly, keeping sim → env a one-way dependency.
+
+namespace garl::sim {
+
+// All probabilities are per entity per episode (fs_fault_prob is per write
+// attempt). Default-constructed config is fully disabled; the trainer's
+// fault path is a bitwise no-op in that state.
+struct FaultConfig {
+  bool enabled = false;
+  // Fault stream selector, independent of the trainer seed: the same
+  // trajectory seed can be replayed under different fault schedules.
+  uint64_t seed = 0;
+
+  double uav_dropout_prob = 0.0;
+  double ugv_stall_prob = 0.0;
+  int64_t ugv_stall_slots = 5;
+  double comm_blackout_prob = 0.0;
+  int64_t comm_blackout_slots = 5;
+  double sensor_fault_prob = 0.0;
+  int64_t sensor_fault_slots = 5;
+  // Soft sensor faults attenuate the read rate by up to this fraction;
+  // hard faults (half of them) read zero.
+  double sensor_noise_sigma = 0.5;
+  double fs_fault_prob = 0.0;
+  // Transient-fault guarantee: never more than this many consecutive
+  // injected failures per path, so a default RetryPolicy always recovers.
+  int64_t fs_max_consecutive = 2;
+};
+
+// Entity counts the schedule is drawn against (must match the World).
+struct WorldDims {
+  int64_t num_ugvs = 0;
+  int64_t num_uavs = 0;
+  int64_t num_sensors = 0;
+  int64_t horizon = 0;
+};
+
+struct UavDropoutEvent {
+  int64_t uav = 0;
+  int64_t slot = 0;
+};
+
+// Windows are [begin, end) in slot numbers.
+struct UgvStallEvent {
+  int64_t ugv = 0;
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+struct CommBlackoutEvent {
+  int64_t a = 0;  // a < b
+  int64_t b = 0;
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+struct SensorFaultEvent {
+  int64_t sensor = 0;
+  int64_t begin = 0;
+  int64_t end = 0;
+  double gain = 0.0;  // 0 = hard read failure, (0,1) = attenuated
+};
+
+struct FaultCounts {
+  int64_t uav_dropouts = 0;
+  int64_t ugv_stalls = 0;
+  int64_t comm_blackouts = 0;
+  int64_t sensor_faults = 0;
+
+  FaultCounts& operator+=(const FaultCounts& other);
+  bool operator==(const FaultCounts& other) const;
+};
+
+// One episode's complete fault schedule.
+struct EpisodeFaultPlan {
+  int64_t episode = 0;
+  WorldDims dims;
+  std::vector<UavDropoutEvent> uav_dropouts;
+  std::vector<UgvStallEvent> ugv_stalls;
+  std::vector<CommBlackoutEvent> comm_blackouts;
+  std::vector<SensorFaultEvent> sensor_faults;
+
+  FaultCounts Counts() const;
+  // CRC-32 over the canonical little-endian serialization of the whole
+  // plan (episode, dims, every event). Two plans digest equal iff they
+  // schedule the same faults — this is what the run log's det payload
+  // carries as the schedule fingerprint.
+  uint32_t Digest() const;
+};
+
+// Derives the episode's schedule. `base_seed` is the trainer seed; the
+// fault stream is split off it with config.seed so fault and trajectory
+// randomness never alias. Sampling order is fixed (UAVs, UGVs, ordered
+// pairs, sensors) and independent of which events fire.
+EpisodeFaultPlan BuildEpisodeFaultPlan(const FaultConfig& config,
+                                       uint64_t base_seed, int64_t episode,
+                                       const WorldDims& dims);
+
+// Projects the plan onto one slot in the env layer's vocabulary. Empty
+// vectors mean "no fault of that class this slot".
+env::SlotFaults SlotFaultsAt(const EpisodeFaultPlan& plan, int64_t slot);
+
+// Order-dependent digest chain for merging per-episode digests into one
+// per-iteration fingerprint (episode order, not completion order, so the
+// merge is thread-count-invariant).
+uint32_t ChainFaultDigest(uint32_t chained, uint32_t episode_digest);
+
+// Bumps the global obs counters (faults.uav_dropouts, faults.ugv_stalls,
+// faults.comm_blackouts, faults.sensor_faults) by the plan's event counts.
+void CountFaultEvents(const EpisodeFaultPlan& plan);
+
+// Drives fs_util's write-fault hook from a deterministic per-attempt
+// stream: each durable-write attempt fails with fs_fault_prob (alternating
+// EIO and short-write flavors), but never more than fs_max_consecutive
+// times in a row for the same path, so retrying callers always recover.
+// Registers the hook on construction and unregisters on destruction;
+// injections/recoveries are also counted into the obs counters
+// faults.fs_injected / faults.fs_recovered.
+class ScheduledFsFaults {
+ public:
+  ScheduledFsFaults(const FaultConfig& config, uint64_t base_seed);
+  ~ScheduledFsFaults() = default;
+  ScheduledFsFaults(const ScheduledFsFaults&) = delete;
+  ScheduledFsFaults& operator=(const ScheduledFsFaults&) = delete;
+
+  int64_t injected() const;
+  int64_t recovered() const;
+
+ private:
+  InjectedWriteFault OnWriteAttempt(std::string_view path);
+
+  mutable std::mutex mutex_;
+  FaultConfig config_;
+  Rng rng_;
+  std::unordered_map<std::string, int64_t> consecutive_;
+  int64_t injected_ = 0;
+  int64_t recovered_ = 0;
+  ScopedWriteFaultHook hook_;  // last member: armed only once state is ready
+};
+
+}  // namespace garl::sim
+
+#endif  // GARL_SIM_FAULTS_H_

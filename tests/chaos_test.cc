@@ -1,0 +1,418 @@
+// Chaos suite for the deterministic fault-injection harness (ISSUE 5):
+// hostile fault schedules degrade training gracefully instead of aborting,
+// schedules are bit-reproducible per (seed, fault seed) across repeat runs,
+// thread counts and kill-and-resume, transient filesystem faults are
+// retried to success while persistent ones surface as Status, and faulty
+// run logs still pass schema validation. See DESIGN.md, "Fault model &
+// graceful degradation".
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fs_util.h"
+#include "common/thread_pool.h"
+#include "env/world.h"
+#include "nn/linear.h"
+#include "nn/ops.h"
+#include "obs/run_log.h"
+#include "rl/feature_policy.h"
+#include "rl/ippo_trainer.h"
+#include "sim/faults.h"
+
+namespace garl::rl {
+namespace {
+
+env::CampusSpec TinyCampus() {
+  env::CampusSpec campus;
+  campus.name = "tiny";
+  campus.width = 400;
+  campus.height = 400;
+  campus.roads.push_back({{0, 200}, {400, 200}});
+  campus.roads.push_back({{200, 0}, {200, 400}});
+  campus.sensors.push_back({{150, 210}, 1000.0});
+  campus.sensors.push_back({{260, 190}, 1200.0});
+  campus.sensors.push_back({{200, 320}, 900.0});
+  return campus;
+}
+
+env::WorldParams TinyParams() {
+  env::WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 20;
+  params.release_slots = 2;
+  return params;
+}
+
+// Stateless mean-pool extractor declaring thread-safe inference, so the
+// trainer takes the parallel collection path (same as golden_run_test).
+class SafePoolExtractor : public UgvFeatureExtractor {
+ public:
+  explicit SafePoolExtractor(Rng& rng)
+      : proj_(std::make_unique<nn::Linear>(5, 16, rng)) {}
+
+  std::vector<nn::Tensor> Extract(
+      const std::vector<env::UgvObservation>& observations) override {
+    std::vector<nn::Tensor> features;
+    for (const auto& obs : observations) {
+      nn::Tensor pooled = nn::MulScalar(
+          nn::SumDim(obs.stop_features, 0),
+          1.0f / static_cast<float>(obs.stop_features.size(0)));
+      nn::Tensor self =
+          nn::Reshape(nn::Rows(obs.ugv_positions, obs.self, 1), {2});
+      features.push_back(
+          nn::Tanh(proj_->Forward(nn::Concat({pooled, self}, 0))));
+    }
+    return features;
+  }
+
+  int64_t feature_dim() const override { return 16; }
+  std::string name() const override { return "safe_pool"; }
+  bool ThreadSafeExtract() const override { return true; }
+  std::vector<nn::Tensor> Parameters() const override {
+    return proj_->Parameters();
+  }
+
+ private:
+  std::unique_ptr<nn::Linear> proj_;
+};
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+// Fresh scratch directory (checkpoints); removes leftovers from prior runs.
+std::string TestDir(const std::string& label) {
+  const std::string dir = TempPath(label);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+// Every env-level fault class armed at once, aggressively.
+sim::FaultConfig HostileFaults() {
+  sim::FaultConfig faults;
+  faults.enabled = true;
+  faults.seed = 5;
+  faults.uav_dropout_prob = 0.8;
+  faults.ugv_stall_prob = 0.8;
+  faults.comm_blackout_prob = 0.8;
+  faults.sensor_fault_prob = 0.8;
+  return faults;
+}
+
+// Moderate schedule for the degradation bound: faults fire most episodes
+// but leave the fleet partially operational.
+sim::FaultConfig ModerateFaults() {
+  sim::FaultConfig faults;
+  faults.enabled = true;
+  faults.seed = 5;
+  faults.uav_dropout_prob = 0.4;
+  faults.ugv_stall_prob = 0.4;
+  faults.comm_blackout_prob = 0.4;
+  faults.sensor_fault_prob = 0.4;
+  return faults;
+}
+
+struct ChaosRunOptions {
+  int64_t threads = 1;
+  int64_t iterations = 3;
+  std::string run_log_path;
+  std::string checkpoint_dir;
+  sim::FaultConfig faults;
+};
+
+// One seeded training run under the given fault schedule. Mirrors
+// golden_run_test's TrainOnce so clean/faulty runs differ only in faults.
+StatusOr<std::vector<IterationStats>> ChaosTrain(const ChaosRunOptions& opts) {
+  ThreadPool::SetGlobalThreads(opts.threads);
+  env::World world(TinyCampus(), TinyParams());
+  Rng rng(7);
+  EnvContext context = MakeEnvContext(world);
+  FeatureUgvPolicy policy(std::make_unique<SafePoolExtractor>(rng), context,
+                          FeaturePolicyOptions{}, rng);
+  TrainConfig config;
+  config.iterations = opts.iterations;
+  config.episodes_per_iteration = 3;
+  config.seed = 11;
+  config.run_log_path = opts.run_log_path;
+  config.checkpoint_dir = opts.checkpoint_dir;
+  config.faults = opts.faults;
+  IppoTrainer trainer(&world, &policy, nullptr, config);
+  StatusOr<std::vector<IterationStats>> result = trainer.Train();
+  ThreadPool::SetGlobalThreads(1);
+  return result;
+}
+
+std::vector<IterationStats> ChaosTrainOk(const ChaosRunOptions& opts) {
+  StatusOr<std::vector<IterationStats>> result = ChaosTrain(opts);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result.value() : std::vector<IterationStats>{};
+}
+
+// The `det` object's raw bytes from every line of a run log.
+std::vector<std::string> DetPayloads(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<std::string> payloads;
+  std::string line;
+  while (std::getline(in, line)) {
+    StatusOr<std::string> det = obs::DeterministicPayload(line);
+    EXPECT_TRUE(det.ok()) << det.status().ToString();
+    payloads.push_back(det.ok() ? det.value() : "");
+  }
+  return payloads;
+}
+
+sim::FaultCounts TotalFaults(const std::vector<IterationStats>& stats) {
+  sim::FaultCounts total;
+  for (const auto& iteration : stats) total += iteration.fault_counts;
+  return total;
+}
+
+double MeanEfficiency(const std::vector<IterationStats>& stats) {
+  double sum = 0.0;
+  for (const auto& iteration : stats) sum += iteration.metrics.efficiency;
+  return stats.empty() ? 0.0 : sum / static_cast<double>(stats.size());
+}
+
+void ExpectStatsBitIdentical(const IterationStats& a, const IterationStats& b,
+                             size_t index) {
+  EXPECT_EQ(a.ugv_episode_reward, b.ugv_episode_reward) << index;
+  EXPECT_EQ(a.policy_loss, b.policy_loss) << index;
+  EXPECT_EQ(a.value_loss, b.value_loss) << index;
+  EXPECT_EQ(a.entropy, b.entropy) << index;
+  EXPECT_EQ(a.ugv_grad_norm, b.ugv_grad_norm) << index;
+  EXPECT_EQ(a.metrics.data_collection_ratio, b.metrics.data_collection_ratio)
+      << index;
+  EXPECT_EQ(a.metrics.fairness, b.metrics.fairness) << index;
+  EXPECT_EQ(a.metrics.energy_ratio, b.metrics.energy_ratio) << index;
+  EXPECT_EQ(a.metrics.efficiency, b.metrics.efficiency) << index;
+  EXPECT_TRUE(a.fault_counts == b.fault_counts) << index;
+  EXPECT_EQ(a.fault_digest, b.fault_digest) << index;
+}
+
+TEST(ChaosTest, HostileScheduleTrainsWithoutAbort) {
+  ChaosRunOptions opts;
+  opts.faults = HostileFaults();
+  std::vector<IterationStats> stats = ChaosTrainOk(opts);
+  ASSERT_EQ(stats.size(), 3u);
+  const sim::FaultCounts total = TotalFaults(stats);
+  EXPECT_GT(total.uav_dropouts + total.ugv_stalls + total.comm_blackouts +
+                total.sensor_faults,
+            0);
+  for (size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(stats[i].policy_loss)) << i;
+    EXPECT_TRUE(std::isfinite(stats[i].value_loss)) << i;
+    EXPECT_TRUE(std::isfinite(stats[i].metrics.efficiency)) << i;
+    EXPECT_GE(stats[i].metrics.data_collection_ratio, 0.0) << i;
+    EXPECT_LE(stats[i].metrics.data_collection_ratio, 1.0) << i;
+    EXPECT_NE(stats[i].fault_digest, 0u) << i;
+  }
+}
+
+TEST(ChaosTest, FaultSeedSelectsTheSchedule) {
+  ChaosRunOptions opts;
+  opts.faults = ModerateFaults();
+  std::vector<IterationStats> a = ChaosTrainOk(opts);
+  opts.faults.seed = 6;
+  std::vector<IterationStats> b = ChaosTrainOk(opts);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_digest_differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_digest_differs |= a[i].fault_digest != b[i].fault_digest;
+  }
+  EXPECT_TRUE(any_digest_differs);
+}
+
+TEST(ChaosTest, DegradationUnderModerateFaultsIsBounded) {
+  std::vector<IterationStats> clean = ChaosTrainOk(ChaosRunOptions{});
+  ChaosRunOptions faulty_opts;
+  faulty_opts.faults = ModerateFaults();
+  std::vector<IterationStats> faulty = ChaosTrainOk(faulty_opts);
+  ASSERT_EQ(clean.size(), faulty.size());
+  const double clean_eff = MeanEfficiency(clean);
+  const double faulty_eff = MeanEfficiency(faulty);
+  ASSERT_GT(clean_eff, 0.0);
+  EXPECT_TRUE(std::isfinite(faulty_eff));
+  // Graceful degradation: surviving coalition members absorb failed peers'
+  // collection share, so a moderately hostile schedule costs efficiency but
+  // never collapses the run.
+  EXPECT_GE(faulty_eff, 0.2 * clean_eff)
+      << "clean=" << clean_eff << " faulty=" << faulty_eff;
+}
+
+TEST(ChaosTest, DetPayloadByteIdenticalAcrossRepeatRunsUnderFaults) {
+  ChaosRunOptions opts;
+  opts.faults = HostileFaults();
+  opts.run_log_path = TempPath("chaos_repeat_a.jsonl");
+  ChaosTrainOk(opts);
+  const std::string log_a = opts.run_log_path;
+  opts.run_log_path = TempPath("chaos_repeat_b.jsonl");
+  ChaosTrainOk(opts);
+  std::vector<std::string> a = DetPayloads(log_a);
+  std::vector<std::string> b = DetPayloads(opts.run_log_path);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ChaosTest, DetPayloadByteIdenticalAcrossThreadCountsUnderFaults) {
+  ChaosRunOptions opts;
+  opts.faults = HostileFaults();
+  opts.run_log_path = TempPath("chaos_threads_1.jsonl");
+  std::vector<IterationStats> one_stats = ChaosTrainOk(opts);
+  const std::string log_one = opts.run_log_path;
+  opts.threads = 4;
+  opts.run_log_path = TempPath("chaos_threads_4.jsonl");
+  std::vector<IterationStats> four_stats = ChaosTrainOk(opts);
+  std::vector<std::string> one = DetPayloads(log_one);
+  std::vector<std::string> four = DetPayloads(opts.run_log_path);
+  ASSERT_EQ(one.size(), 3u);
+  EXPECT_EQ(one, four);
+  ASSERT_EQ(one_stats.size(), four_stats.size());
+  for (size_t i = 0; i < one_stats.size(); ++i) {
+    ExpectStatsBitIdentical(one_stats[i], four_stats[i], i);
+  }
+}
+
+TEST(ChaosTest, KillAndResumeInsideFaultWindowIsBitIdentical) {
+  const sim::FaultConfig faults = HostileFaults();
+
+  // Reference: six uninterrupted iterations under the hostile schedule.
+  ChaosRunOptions full_opts;
+  full_opts.iterations = 6;
+  full_opts.faults = faults;
+  std::vector<IterationStats> full = ChaosTrainOk(full_opts);
+  ASSERT_EQ(full.size(), 6u);
+
+  const std::string dir = TestDir("chaos_resume_ckpt");
+
+  // First half: three iterations, then persist the full trainer state.
+  ThreadPool::SetGlobalThreads(1);
+  env::World world_b(TinyCampus(), TinyParams());
+  Rng rng_b(7);
+  EnvContext context_b = MakeEnvContext(world_b);
+  FeatureUgvPolicy policy_b(std::make_unique<SafePoolExtractor>(rng_b),
+                            context_b, FeaturePolicyOptions{}, rng_b);
+  TrainConfig config;
+  config.iterations = 3;
+  config.episodes_per_iteration = 3;
+  config.seed = 11;
+  config.faults = faults;
+  IppoTrainer trainer_b(&world_b, &policy_b, nullptr, config);
+  StatusOr<std::vector<IterationStats>> first = trainer_b.Train();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  Status saved = trainer_b.SaveCheckpoint(dir);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+
+  // Second half: a freshly-built trainer (different construction seed, so
+  // the restore must overwrite everything) resumes mid-schedule.
+  env::World world_c(TinyCampus(), TinyParams());
+  Rng rng_c(999);
+  EnvContext context_c = MakeEnvContext(world_c);
+  FeatureUgvPolicy policy_c(std::make_unique<SafePoolExtractor>(rng_c),
+                            context_c, FeaturePolicyOptions{}, rng_c);
+  IppoTrainer trainer_c(&world_c, &policy_c, nullptr, config);
+  Status restored = trainer_c.RestoreCheckpoint(dir);
+  ASSERT_TRUE(restored.ok()) << restored.ToString();
+  StatusOr<std::vector<IterationStats>> second = trainer_c.Train();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(second.value().size(), 3u);
+
+  // The resumed run replays the exact fault schedule (keyed by the restored
+  // episode counter) and the exact trajectory stream.
+  for (size_t i = 0; i < second.value().size(); ++i) {
+    ExpectStatsBitIdentical(full[i + 3], second.value()[i], i);
+  }
+}
+
+TEST(ChaosTest, TransientFsFaultsAreRetriedToSuccess) {
+  ChaosRunOptions opts;
+  opts.faults = ModerateFaults();
+  opts.faults.fs_fault_prob = 0.6;
+  opts.faults.fs_max_consecutive = 2;
+  opts.run_log_path = TempPath("chaos_fs.jsonl");
+  opts.checkpoint_dir = TestDir("chaos_fs_ckpt");
+  ChaosTrainOk(opts);
+
+  // Every injected failure was masked by a retry: the log is complete and
+  // the last record carries non-zero fs bookkeeping in its rt payload.
+  std::ifstream in(opts.run_log_path);
+  ASSERT_TRUE(in.is_open());
+  std::string line, last;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    last = line;
+    ++lines;
+  }
+  ASSERT_EQ(lines, 3u);
+  StatusOr<obs::IterationRecord> record = obs::ParseIterationRecord(last);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  EXPECT_TRUE(record.value().faults_enabled);
+  EXPECT_GT(record.value().fault_fs_injected, 0);
+  EXPECT_GT(record.value().fault_fs_recovered, 0);
+  EXPECT_GE(record.value().fault_fs_injected,
+            record.value().fault_fs_recovered);
+}
+
+TEST(ChaosTest, PersistentFsFaultSurfacesAsStatusNotAbort) {
+  const std::string dir = TestDir("chaos_persist_ckpt");
+  // A hook that fails every write attempt against the checkpoint directory:
+  // the retry budget runs out and Train() must surface a Status, not abort.
+  ScopedWriteFaultHook hook([&dir](std::string_view path) {
+    InjectedWriteFault fault;
+    if (path.find(dir) != std::string_view::npos) fault.error_number = EIO;
+    return fault;
+  });
+  ChaosRunOptions opts;
+  opts.checkpoint_dir = dir;
+  StatusOr<std::vector<IterationStats>> result = ChaosTrain(opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("durable write failed"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ChaosTest, FaultyLogPassesValidationAndRecordsEvents) {
+  ChaosRunOptions opts;
+  opts.faults = HostileFaults();
+  opts.run_log_path = TempPath("chaos_schema.jsonl");
+  std::vector<IterationStats> stats = ChaosTrainOk(opts);
+  ASSERT_EQ(stats.size(), 3u);
+
+  Status valid = obs::ValidateRunLogFile(opts.run_log_path);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  StatusOr<obs::RunLogSummary> summary =
+      obs::SummarizeRunLogFile(opts.run_log_path);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary.value().records, 3);
+  EXPECT_EQ(summary.value().fault_records, 3);
+  EXPECT_GT(summary.value().fault_events, 0);
+
+  // Parsed records round-trip the schedule digest the trainer reported.
+  std::ifstream in(opts.run_log_path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  for (size_t i = 0; i < stats.size(); ++i) {
+    ASSERT_TRUE(std::getline(in, line)) << i;
+    StatusOr<obs::IterationRecord> record = obs::ParseIterationRecord(line);
+    ASSERT_TRUE(record.ok()) << record.status().ToString();
+    EXPECT_TRUE(record.value().faults_enabled) << i;
+    EXPECT_EQ(record.value().fault_digest, stats[i].fault_digest) << i;
+    EXPECT_EQ(record.value().fault_uav_dropouts,
+              stats[i].fault_counts.uav_dropouts)
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace garl::rl

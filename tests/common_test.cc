@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/env_flags.h"
+#include "common/fs_util.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -167,6 +171,131 @@ TEST(TableWriterTest, EnsureDirectoryCreatesChain) {
   ASSERT_TRUE(EnsureDirectory(dir).ok());
   std::ofstream probe(dir + "/f.txt");
   EXPECT_TRUE(static_cast<bool>(probe));
+}
+
+// --- fs_util durable-write path (retry, fault hook, append) ----------------
+
+RetryPolicy FastRetry(std::vector<int64_t>* sleeps = nullptr) {
+  RetryPolicy policy;
+  policy.sleep_fn = [sleeps](int64_t ms) {
+    if (sleeps != nullptr) sleeps->push_back(ms);
+  };
+  return policy;
+}
+
+TEST(FsUtilTest, WriteFileDurableRecoversFromTransientFaults) {
+  const std::string path = "/tmp/garl_fs_util_transient.bin";
+  int attempts = 0;
+  ScopedWriteFaultHook hook([&](std::string_view) {
+    InjectedWriteFault fault;
+    if (++attempts <= 2) fault.error_number = EIO;
+    return fault;
+  });
+  std::vector<int64_t> sleeps;
+  ASSERT_TRUE(WriteFileDurable(path, "payload", FastRetry(&sleeps)).ok());
+  EXPECT_EQ(attempts, 3);
+  // Exponential backoff: 1 ms, then 2 ms, before the succeeding attempt.
+  EXPECT_EQ(sleeps, (std::vector<int64_t>{1, 2}));
+  StatusOr<std::string> read_back = ReadFileToString(path);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), "payload");
+  std::remove(path.c_str());
+}
+
+TEST(FsUtilTest, WriteFileDurableSurfacesAPersistentFaultAsStatus) {
+  const std::string path = "/tmp/garl_fs_util_persistent.bin";
+  ScopedWriteFaultHook hook([](std::string_view) {
+    return InjectedWriteFault{EIO, false};
+  });
+  Status status = WriteFileDurable(path, "payload", FastRetry());
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("durable write failed after 5 attempts"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FsUtilTest, ShortWriteNeverPublishesATornFile) {
+  const std::string path = "/tmp/garl_fs_util_torn.bin";
+  int attempts = 0;
+  ScopedWriteFaultHook hook([&](std::string_view) {
+    InjectedWriteFault fault;
+    if (++attempts == 1) {
+      fault.error_number = EIO;
+      fault.short_write = true;  // crash model: torn temp file left behind
+    }
+    return fault;
+  });
+  ASSERT_TRUE(WriteFileDurable(path, "full contents", FastRetry()).ok());
+  StatusOr<std::string> read_back = ReadFileToString(path);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), "full contents");
+  // The retry's O_TRUNC reopen + rename consumed the torn temp file.
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+  std::remove(path.c_str());
+}
+
+TEST(FsUtilTest, AppendFileRetriesWithoutDuplicatingOrDroppingBytes) {
+  const std::string path = "/tmp/garl_fs_util_append.jsonl";
+  StatusOr<AppendFile> file = AppendFile::Open(path, FastRetry());
+  ASSERT_TRUE(file.ok());
+  int attempts = 0;
+  {
+    ScopedWriteFaultHook hook([&](std::string_view) {
+      InjectedWriteFault fault;
+      if (++attempts == 1) {
+        fault.error_number = EIO;
+        fault.short_write = true;  // half the line reaches the fd, then EIO
+      }
+      return fault;
+    });
+    ASSERT_TRUE(file.value().Append("first line\n").ok());
+  }
+  ASSERT_TRUE(file.value().Append("second line\n").ok());
+  StatusOr<std::string> read_back = ReadFileToString(path);
+  ASSERT_TRUE(read_back.ok());
+  // Offset tracking resumes after the torn prefix: every byte exactly once.
+  EXPECT_EQ(read_back.value(), "first line\nsecond line\n");
+  std::remove(path.c_str());
+}
+
+TEST(FsUtilTest, AppendFilePersistentFaultReturnsStatusNotAbort) {
+  const std::string path = "/tmp/garl_fs_util_append_fail.jsonl";
+  StatusOr<AppendFile> file = AppendFile::Open(path, FastRetry());
+  ASSERT_TRUE(file.ok());
+  ScopedWriteFaultHook hook([](std::string_view) {
+    return InjectedWriteFault{EIO, false};
+  });
+  Status status = file.value().Append("doomed\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("durable append failed"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FsUtilTest, ScopedHookUninstallsOnDestruction) {
+  const std::string path = "/tmp/garl_fs_util_scoped.bin";
+  {
+    ScopedWriteFaultHook hook([](std::string_view) {
+      return InjectedWriteFault{EIO, false};
+    });
+    EXPECT_FALSE(AtomicWriteFile(path, "x").ok());
+  }
+  EXPECT_TRUE(AtomicWriteFile(path, "x").ok());
+  std::remove(path.c_str());
+}
+
+TEST(FsUtilTest, FaultHookReceivesTheDestinationPath) {
+  const std::string path = "/tmp/garl_fs_util_path.bin";
+  std::string seen;
+  ScopedWriteFaultHook hook([&](std::string_view p) {
+    seen = std::string(p);
+    return InjectedWriteFault{};
+  });
+  ASSERT_TRUE(AtomicWriteFile(path, "x").ok());
+  // The hook sees the destination (not the temp file), so schedules can
+  // target specific artifacts.
+  EXPECT_EQ(seen, path);
+  std::remove(path.c_str());
 }
 
 TEST(EnvFlagsTest, DefaultsWhenUnset) {

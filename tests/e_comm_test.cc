@@ -200,6 +200,56 @@ TEST(ECommTest, BuildNeighborhoodsRadius) {
   ASSERT_EQ(neighbors[2].size(), 1u);
 }
 
+TEST(ECommTest, MaskNeighborhoodsCutsLinksBothWays) {
+  auto neighbors = AllNeighbors(3);
+  // UGV 0 flags its link to 2; the cut must apply in both directions even
+  // though only one row carries the flag.
+  std::vector<std::vector<uint8_t>> blocked = {
+      {0, 0, 1}, {0, 0, 0}, {0, 0, 0}};
+  EComm::MaskNeighborhoods(blocked, &neighbors);
+  EXPECT_EQ(neighbors[0], (std::vector<int64_t>{1}));
+  EXPECT_EQ(neighbors[1], (std::vector<int64_t>{0, 2}));
+  EXPECT_EQ(neighbors[2], (std::vector<int64_t>{1}));
+}
+
+TEST(ECommTest, MaskNeighborhoodsCanIsolateANode) {
+  auto neighbors = AllNeighbors(3);
+  std::vector<std::vector<uint8_t>> blocked = {
+      {0, 1, 1}, {0, 0, 0}, {0, 0, 0}};
+  EComm::MaskNeighborhoods(blocked, &neighbors);
+  EXPECT_TRUE(neighbors[0].empty());
+  EXPECT_EQ(neighbors[1], (std::vector<int64_t>{2}));
+  EXPECT_EQ(neighbors[2], (std::vector<int64_t>{1}));
+}
+
+TEST(ECommTest, IsolatedNodeCommunicatesWithZeroMessageNotNaN) {
+  rl::EnvContext context = SimpleContext();
+  Rng rng(5);
+  ECommConfig config;
+  config.hidden = 8;
+  config.layers = 2;
+  EComm comm(context, config, rng);
+  auto h0 = RandomH(3, 8, 11);
+  auto g0 = Positions({{0.1f, 0.2f}, {0.5f, 0.5f}, {0.8f, 0.3f}});
+  // A comm blackout severs every link of UGV 0 for the slot.
+  auto neighbors = AllNeighbors(3);
+  std::vector<std::vector<uint8_t>> blocked = {
+      {0, 1, 1}, {0, 0, 0}, {0, 0, 0}};
+  EComm::MaskNeighborhoods(blocked, &neighbors);
+  EComm::State state = comm.Communicate(h0, g0, neighbors);
+  ASSERT_EQ(state.h.size(), 3u);
+  for (const nn::Tensor& h : state.h) {
+    for (float v : h.data()) EXPECT_TRUE(std::isfinite(v));
+  }
+  for (const nn::Tensor& g : state.g) {
+    for (float v : g.data()) EXPECT_TRUE(std::isfinite(v));
+  }
+  // The isolated node's geometric feature never moves: no peers, no update.
+  for (int64_t d = 0; d < 2; ++d) {
+    EXPECT_FLOAT_EQ(state.g[0].data()[d], g0[0].data()[d]);
+  }
+}
+
 TEST(ECommTest, GradientsFlowToAllParameters) {
   rl::EnvContext context = SimpleContext();
   Rng rng(17);

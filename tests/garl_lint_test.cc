@@ -85,8 +85,16 @@ TEST(GarlLintFixtures, UnknownRuleInSuppressionIsAFinding) {
             (Expected{{5, "bad-suppression"}}));
 }
 
+TEST(GarlLintFixtures, DirectIoFiresOnOfstreamFilesystemAndMkdir) {
+  EXPECT_EQ(FindingsFor("src/bad_io.cc"),
+            (Expected{{8, "direct-io"},
+                      {13, "direct-io"},
+                      {17, "direct-io"}}));
+}
+
 TEST(GarlLintFixtures, ExemptPathsStayClean) {
   EXPECT_TRUE(FindingsFor("src/common/rng.cc").empty());
+  EXPECT_TRUE(FindingsFor("src/common/fs_util.cc").empty());
   EXPECT_TRUE(FindingsFor("src/nn/tensor.cc").empty());
   EXPECT_TRUE(FindingsFor("bench/timing.cc").empty());
   EXPECT_TRUE(FindingsFor("src/good.h").empty());
@@ -110,7 +118,7 @@ TEST(GarlLintFixtures, NoUnexpectedFindings) {
       "src/bad_rand.cc",    "src/bad_time.cc",       "src/bad_discard.cc",
       "src/bad_serialize.cc", "src/bad_new.cc",      "src/bad_guard.h",
       "src/missing_guard.h", "src/suppressed.cc",    "src/bad_suppression.cc",
-      "src/nn/ops.cc",       "src/obs/bad_obs_time.cc"};
+      "src/nn/ops.cc",       "src/obs/bad_obs_time.cc", "src/bad_io.cc"};
   for (const auto& finding : FixtureFindings()) {
     EXPECT_TRUE(expected_files.count(finding.file))
         << "unexpected finding: " << finding.ToString();

@@ -1,0 +1,18 @@
+// Fixture: direct file I/O outside src/common/fs_util.* — every write must
+// flow through the durable path (crash-safe, retried, fault-injectable).
+#include <filesystem>
+#include <fstream>
+#include <sys/stat.h>
+
+void WriteDirectly(const char* path) {
+  std::ofstream out(path);  // finding: direct-io (ofstream)
+  out << "payload";
+}
+
+void MutateTree(const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);  // finding: direct-io
+}
+
+void MakeDirRaw(const char* path) {
+  ::mkdir(path, 0755);  // finding: direct-io (raw mkdir)
+}

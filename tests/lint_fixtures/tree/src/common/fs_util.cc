@@ -1,0 +1,12 @@
+// Fixture: src/common/fs_util.* is the one sanctioned durable-write path;
+// the direct-io rule must stay quiet here (the real fs_util.cc implements
+// the atomic-rename write and EnsureDirectory on top of these primitives).
+#include <filesystem>
+#include <fstream>
+#include <sys/stat.h>
+
+void DurablePrimitives(const char* path) {
+  std::ofstream out(path);  // clean: fs_util exemption
+  ::mkdir(path, 0755);      // clean: fs_util exemption
+  std::filesystem::remove_all(path);  // clean: fs_util exemption
+}

@@ -2,6 +2,8 @@
 // suites do not exercise: degenerate fleets, unreachable targets, drained
 // worlds, and prior toggles.
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "env/campus_factory.h"
@@ -124,6 +126,125 @@ TEST(WorldEdgeTest, ObservationSeenSlotTracksRecency) {
   // A far stop has never been approached.
   int64_t far = world.stops().NearestStop({500, 50});
   EXPECT_EQ(obs.stop_seen_slot[static_cast<size_t>(far)], -1);
+}
+
+// --- Degraded-coalition edge cases (fault injection, graceful paths) -------
+
+env::WorldParams TwoUavParams() {
+  env::WorldParams params;
+  params.num_ugvs = 1;
+  params.uavs_per_ugv = 2;
+  params.horizon = 10;
+  params.release_slots = 2;
+  return params;
+}
+
+TEST(WorldFaultTest, ReleaseWithZeroSurvivingUavsIsAnEmptyWindow) {
+  env::World world(LineCampus(), TwoUavParams());
+  env::SlotFaults faults;
+  faults.uav_dropouts = {0, 1};  // the whole squad fails before the release
+  world.SetSlotFaults(std::move(faults));
+  std::vector<env::UgvAction> release = {{true, -1}};
+  std::vector<env::UavAction> uav(2);
+  world.Step(release, uav);
+  // Nobody lifted: no release credit, no airborne UAV, the window still
+  // counts down and the UGV waits it out without crashing.
+  EXPECT_EQ(world.total_releases(), 0);
+  EXPECT_FALSE(world.UavAirborne(0));
+  EXPECT_FALSE(world.UavAirborne(1));
+  EXPECT_FALSE(world.UgvNeedsAction(0));  // mid-window
+  while (!world.Done()) world.Step(release, uav);
+  env::EpisodeMetrics m = world.Metrics();
+  EXPECT_TRUE(std::isfinite(m.efficiency));
+  EXPECT_DOUBLE_EQ(m.data_collection_ratio, 0.0);
+}
+
+TEST(WorldFaultTest, SurvivorAbsorbsFailedPeersCollectionShare) {
+  env::World world(LineCampus(), TwoUavParams());
+  env::World clean(LineCampus(), TwoUavParams());
+  // Hover both worlds' UAVs over the west sensor; in the faulty world UAV 1
+  // drops out first, so UAV 0 flies with a 2x re-dispatch boost.
+  int64_t west_stop = world.stops().NearestStop({100, 50});
+  std::vector<env::UgvAction> go_west = {{false, west_stop}};
+  std::vector<env::UgvAction> release = {{true, -1}};
+  std::vector<env::UavAction> hover = {{0, 10}, {0, -10}};
+  world.Step(go_west, hover);
+  clean.Step(go_west, hover);
+
+  env::SlotFaults faults;
+  faults.uav_dropouts = {1};
+  world.SetSlotFaults(std::move(faults));
+  world.Step(release, hover);
+  clean.Step(release, hover);
+  // One boosted survivor collects as much as the clean two-UAV squad whose
+  // members sit in range of the same single sensor.
+  EXPECT_TRUE(world.uavs()[1].failed);
+  EXPECT_FALSE(world.UavAirborne(1));
+  EXPECT_GT(world.uavs()[0].flight_collected_mb, 0.0);
+  EXPECT_DOUBLE_EQ(world.uavs()[0].flight_collected_mb,
+                   clean.uavs()[0].flight_collected_mb +
+                       clean.uavs()[1].flight_collected_mb);
+}
+
+TEST(WorldFaultTest, AllSensorReadsFailingDrainsNothingAndStaysFinite) {
+  env::World world(LineCampus(), TwoUavParams());
+  std::vector<env::UgvAction> release = {{true, -1}};
+  std::vector<env::UavAction> hover = {{0, 5}, {0, -5}};
+  while (!world.Done()) {
+    env::SlotFaults faults;
+    faults.sensor_gain.assign(world.sensors().size(), 0.0);
+    world.SetSlotFaults(std::move(faults));
+    world.Step(release, hover);
+  }
+  for (const env::SensorState& sensor : world.sensors()) {
+    EXPECT_DOUBLE_EQ(sensor.remaining_mb, sensor.initial_mb);
+  }
+  env::EpisodeMetrics m = world.Metrics();
+  EXPECT_TRUE(std::isfinite(m.fairness));
+  EXPECT_TRUE(std::isfinite(m.efficiency));
+  EXPECT_DOUBLE_EQ(m.data_collection_ratio, 0.0);
+}
+
+TEST(WorldFaultTest, StalledUgvFreezesWithoutConsumingAnAction) {
+  env::WorldParams params = TwoUavParams();
+  params.num_ugvs = 2;
+  env::World world(LineCampus(), params);
+  int64_t far = world.stops().NearestStop({500, 50});
+  env::SlotFaults faults;
+  faults.ugv_stalled = {1, 0};  // UGV 0 stalled, UGV 1 healthy
+  world.SetSlotFaults(std::move(faults));
+  EXPECT_FALSE(world.UgvNeedsAction(0));
+  EXPECT_TRUE(world.UgvNeedsAction(1));
+  std::vector<env::UgvAction> actions = {{false, far}, {false, far}};
+  std::vector<env::UavAction> uav(4);
+  world.Step(actions, uav);
+  // The stalled UGV ignored its action entirely; the healthy one moved.
+  EXPECT_DOUBLE_EQ(world.ugvs()[0].distance_traveled, 0.0);
+  EXPECT_GT(world.ugvs()[1].distance_traveled, 0.0);
+  // Faults are per-slot: next slot the stall is gone.
+  EXPECT_TRUE(world.UgvNeedsAction(0));
+}
+
+TEST(WorldFaultTest, CommMaskSurfacesOnlyThroughObservationRows) {
+  env::WorldParams params = TwoUavParams();
+  params.num_ugvs = 2;
+  env::World world(LineCampus(), params);
+  env::UgvObservation before = world.ObserveUgv(0);
+  EXPECT_TRUE(before.comm_blocked.empty());  // fault-free: empty, not zeros
+
+  env::SlotFaults faults;
+  faults.comm_blocked = {0, 1, 1, 0};  // link 0<->1 blacked out
+  world.SetSlotFaults(std::move(faults));
+  env::UgvObservation obs0 = world.ObserveUgv(0);
+  env::UgvObservation obs1 = world.ObserveUgv(1);
+  ASSERT_EQ(obs0.comm_blocked.size(), 2u);
+  EXPECT_EQ(obs0.comm_blocked[1], 1);
+  EXPECT_EQ(obs1.comm_blocked[0], 1);
+  // The mask never touches dynamics: stepping is identical to a clean step.
+  std::vector<env::UgvAction> stay = {{false, -1}, {false, -1}};
+  std::vector<env::UavAction> uav(4);
+  world.Step(stay, uav);
+  EXPECT_TRUE(world.ObserveUgv(0).comm_blocked.empty());  // cleared
 }
 
 TEST(FeaturePolicyEdgeTest, ZeroPriorScalesDisableBiases) {

@@ -223,6 +223,17 @@ bool IsTensorAllocatorFile(const std::string& rel) {
   return StartsWith(rel, "src/nn/tensor.");
 }
 
+// The one sanctioned durable-write path (src/common/fs_util.*). Everything
+// else under src/ and tools/ must write through it, so crash-safety, retry
+// and the fault-injection hook cover every byte that reaches disk.
+bool IsFsUtilFile(const std::string& rel) {
+  return StartsWith(rel, "src/common/fs_util.");
+}
+
+bool IsDirectIoScope(const std::string& rel) {
+  return StartsWith(rel, "src/") || StartsWith(rel, "tools/");
+}
+
 // ---------------------------------------------------------------------------
 // Rule: include-guard.
 // ---------------------------------------------------------------------------
@@ -507,6 +518,29 @@ const std::vector<TokenRule>& NondetTimeRules() {
   return kRules;
 }
 
+const std::vector<TokenRule>& DirectIoRules() {
+  static const std::vector<TokenRule> kRules = [] {
+    std::vector<TokenRule> rules;
+    rules.push_back(
+        {"direct-io", std::regex(R"(\bofstream\b)"),
+         "std::ofstream bypasses the durable-write path; use "
+         "WriteFileDurable/AtomicWriteFile (whole files) or AppendFile "
+         "(logs) from common/fs_util.h"});
+    rules.push_back(
+        {"direct-io",
+         std::regex(
+             R"((?:filesystem|fs)\s*::\s*(?:create_director|remove|rename|resize_file|copy|permissions)\w*\s*\()"),
+         "mutating std::filesystem call bypasses the durable-write path; "
+         "use EnsureDirectory/RemoveAllBestEffort from common/fs_util.h"});
+    rules.push_back(
+        {"direct-io", std::regex(R"((^|[^\w.>])mkdir\s*\()"),
+         "raw mkdir() bypasses the durable-write path; use EnsureDirectory "
+         "from common/fs_util.h"});
+    return rules;
+  }();
+  return kRules;
+}
+
 void ApplyTokenRules(const std::string& rel_path,
                      const std::vector<LineView>& lines,
                      const std::vector<TokenRule>& rules,
@@ -579,7 +613,7 @@ const std::set<std::string>& KnownRules() {
   static const std::set<std::string> kRules = {
       "nondet-rand",        "nondet-time",     "status-discard",
       "include-guard",      "float-double-drift", "raw-new-delete",
-      "unordered-serialize", "bad-suppression"};
+      "unordered-serialize", "direct-io",      "bad-suppression"};
   return kRules;
 }
 
@@ -648,6 +682,9 @@ std::vector<Finding> LintFileContents(const std::string& rel_path,
   }
   if (!IsTensorAllocatorFile(rel_path)) {
     CheckRawNewDelete(rel_path, lines, &raw_findings);
+  }
+  if (IsDirectIoScope(rel_path) && !IsFsUtilFile(rel_path)) {
+    ApplyTokenRules(rel_path, lines, DirectIoRules(), &raw_findings);
   }
   CheckStatusDiscard(rel_path, lines, fallible, &raw_findings);
   CheckHashOrderRule(rel_path, lines, &raw_findings);

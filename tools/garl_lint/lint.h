@@ -41,6 +41,14 @@
 //                      serialize/save/write/dump-like function — hash-order
 //                      iteration feeding bytes makes checkpoints
 //                      machine-dependent.
+//   direct-io          std::ofstream, mkdir(), or a mutating std::filesystem
+//                      call in src/ or tools/ outside src/common/fs_util.* —
+//                      every write must flow through the one durable path
+//                      (AtomicWriteFile / WriteFileDurable / AppendFile /
+//                      EnsureDirectory), which is crash-safe (fsync + atomic
+//                      rename), retried on transient errors, and honours the
+//                      fault-injection hook. bench/ is exempt: benchmark
+//                      side-car output is not part of the durability story.
 //   bad-suppression    a garl-lint suppression naming an unknown rule (so
 //                      typos cannot silently disable nothing).
 //

@@ -56,6 +56,15 @@ int Summarize(const std::string& path) {
   std::cout << garl::StrPrintf(
       "diverged iterations: %lld\n",
       static_cast<long long>(s.diverged_iterations));
+  if (s.fault_records > 0) {
+    std::cout << garl::StrPrintf(
+        "faults: %lld records, %lld env events; fs (last): %lld injected / "
+        "%lld recovered\n",
+        static_cast<long long>(s.fault_records),
+        static_cast<long long>(s.fault_events),
+        static_cast<long long>(s.last.fault_fs_injected),
+        static_cast<long long>(s.last.fault_fs_recovered));
+  }
   std::cout << garl::StrPrintf(
       "route cache (last): %lld hits / %lld misses\n",
       static_cast<long long>(s.last.route_cache_hits),
