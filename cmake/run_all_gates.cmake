@@ -40,7 +40,7 @@ garl_run_step("garl_lint invariants"
 # --- 2b: observability golden-run + schema tests (fast, catch det drift). ---
 garl_run_step("observability test suite"
   ${CMAKE_CTEST_COMMAND} --test-dir ${GATES_DIR}/lint --output-on-failure
-  -R "HistogramTest|MetricsRegistryTest|TraceTest|RunLogRecordTest|TracecatTest|GoldenRunTest|ChaosTest|StopNetworkCacheTest"
+  -R "HistogramTest|MetricsRegistryTest|TraceTest|RunLogRecordTest|TracecatTest|GoldenRunTest|ChaosTest|StopNetworkCacheTest|FleetTest"
   -j4)
 
 # --- 3: clang-tidy over the same build's compile commands. ------------------

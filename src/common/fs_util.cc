@@ -201,12 +201,23 @@ Status WriteFileDurable(const std::string& path, std::string_view contents,
                           last.message().c_str()));
 }
 
+StatusOr<int64_t> FileSizeBytes(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return NotFoundError("no such file: " + path);
+    return InternalError(ErrnoMessage("stat failed", path));
+  }
+  return static_cast<int64_t>(st.st_size);
+}
+
 StatusOr<AppendFile> AppendFile::Open(const std::string& path,
-                                      RetryPolicy policy) {
+                                      RetryPolicy policy, AppendMode mode) {
   if (policy.max_attempts < 1) {
     return InvalidArgumentError("RetryPolicy.max_attempts must be >= 1");
   }
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  int flags = O_WRONLY | O_CREAT |
+              (mode == AppendMode::kTruncate ? O_TRUNC : O_APPEND);
+  int fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) return InternalError(ErrnoMessage("cannot open for append", path));
   return AppendFile(path, fd, std::move(policy));
 }
@@ -269,6 +280,58 @@ Status AppendFile::Append(std::string_view data) {
                 StrPrintf("durable append failed after %lld attempts: %s",
                           static_cast<long long>(policy_.max_attempts),
                           last.message().c_str()));
+}
+
+std::string RotatingAppendFile::SegmentPath(const std::string& base_path,
+                                            int64_t max_segment_bytes,
+                                            int64_t index) {
+  if (max_segment_bytes <= 0) return base_path;
+  return base_path + StrPrintf(".%06lld", static_cast<long long>(index));
+}
+
+StatusOr<RotatingAppendFile> RotatingAppendFile::Open(
+    const std::string& base_path, int64_t max_segment_bytes,
+    RetryPolicy policy, AppendMode mode, int64_t start_segment) {
+  if (max_segment_bytes < 0) {
+    return InvalidArgumentError("max_segment_bytes must be >= 0");
+  }
+  if (start_segment < 0) {
+    return InvalidArgumentError("start_segment must be >= 0");
+  }
+  const std::string path =
+      SegmentPath(base_path, max_segment_bytes, start_segment);
+  StatusOr<AppendFile> file = AppendFile::Open(path, policy, mode);
+  if (!file.ok()) return file.status();
+  int64_t bytes = 0;
+  if (mode == AppendMode::kContinue) {
+    StatusOr<int64_t> size = FileSizeBytes(path);
+    if (!size.ok()) return size.status();
+    bytes = size.value();
+  }
+  return RotatingAppendFile(base_path, max_segment_bytes, std::move(policy),
+                            start_segment, bytes, std::move(file).value());
+}
+
+Status RotatingAppendFile::Append(std::string_view record) {
+  if (!file_.has_value()) {
+    return InternalError("append to moved-from RotatingAppendFile: " +
+                         base_path_);
+  }
+  if (max_segment_bytes_ > 0 && segment_bytes_ > 0 &&
+      segment_bytes_ + static_cast<int64_t>(record.size()) >
+          max_segment_bytes_) {
+    const std::string next =
+        SegmentPath(base_path_, max_segment_bytes_, segment_index_ + 1);
+    StatusOr<AppendFile> file =
+        AppendFile::Open(next, policy_, AppendMode::kTruncate);
+    if (!file.ok()) return file.status();
+    file_ = std::move(file).value();
+    ++segment_index_;
+    segment_bytes_ = 0;
+  }
+  GARL_RETURN_IF_ERROR(file_->Append(record));
+  segment_bytes_ += static_cast<int64_t>(record.size());
+  return Status::Ok();
 }
 
 Status EnsureDirectory(const std::string& path) {

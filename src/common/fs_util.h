@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -84,15 +85,28 @@ class ScopedWriteFaultHook {
 [[nodiscard]] Status WriteFileDurable(const std::string& path, std::string_view contents,
                                       const RetryPolicy& policy = {});
 
+// Whether opening an append target starts fresh (truncate) or resumes after
+// existing bytes (the crash-recovery path: a restarted trainer continues the
+// same heartbeat or log file).
+enum class AppendMode {
+  kTruncate,
+  kContinue,
+};
+
+// Size of the file at `path` in bytes (stat; read-only, so not part of the
+// durable-write funnel). NotFound if the file does not exist.
+[[nodiscard]] StatusOr<int64_t> FileSizeBytes(const std::string& path);
+
 // Durable line appender for streaming logs (JSONL run logs). Open truncates
-// `path`; Append pushes bytes with the same retry discipline as
-// WriteFileDurable and tracks how much of the current payload already
-// reached the file, so a short write followed by a retry never duplicates
-// or drops bytes.
+// `path` (or seeks to its end under AppendMode::kContinue); Append pushes
+// bytes with the same retry discipline as WriteFileDurable and tracks how
+// much of the current payload already reached the file, so a short write
+// followed by a retry never duplicates or drops bytes.
 class AppendFile {
  public:
-  [[nodiscard]] static StatusOr<AppendFile> Open(const std::string& path,
-                                                 RetryPolicy policy = {});
+  [[nodiscard]] static StatusOr<AppendFile> Open(
+      const std::string& path, RetryPolicy policy = {},
+      AppendMode mode = AppendMode::kTruncate);
   ~AppendFile();
   AppendFile(AppendFile&& other) noexcept;
   AppendFile& operator=(AppendFile&& other) noexcept;
@@ -109,6 +123,56 @@ class AppendFile {
   std::string path_;
   int fd_ = -1;
   RetryPolicy policy_;
+};
+
+// Size-bounded appender for week-long streaming logs: writes through
+// AppendFile, but rolls over to a new segment once the current one has
+// reached `max_segment_bytes`. Rollover happens only at record boundaries
+// (one Append call == one record), so a record never straddles segments; a
+// segment may therefore exceed the cap by at most one record.
+//
+// Segment naming is deterministic: segment k lives at
+// SegmentPath(base_path, k) == base_path + ".%06lld" % k, so readers
+// (obs::CollectRunLogInputs, garl_tracecat) can stitch segments back in
+// order by name alone. max_segment_bytes == 0 disables rotation entirely:
+// all bytes go to `base_path` itself, byte-for-byte identical to a plain
+// AppendFile (which keeps unrotated golden logs stable).
+class RotatingAppendFile {
+ public:
+  // `start_segment` is the segment index to open first; resuming writers
+  // pass the highest existing segment with AppendMode::kContinue.
+  [[nodiscard]] static StatusOr<RotatingAppendFile> Open(
+      const std::string& base_path, int64_t max_segment_bytes,
+      RetryPolicy policy = {}, AppendMode mode = AppendMode::kTruncate,
+      int64_t start_segment = 0);
+
+  [[nodiscard]] Status Append(std::string_view record);
+
+  // Path of the segment Append currently writes to.
+  const std::string& current_path() const { return file_->path(); }
+  int64_t segment_index() const { return segment_index_; }
+
+  // base_path itself when rotation is disabled (max_segment_bytes == 0).
+  static std::string SegmentPath(const std::string& base_path,
+                                 int64_t max_segment_bytes, int64_t index);
+
+ private:
+  RotatingAppendFile(std::string base_path, int64_t max_segment_bytes,
+                     RetryPolicy policy, int64_t segment_index,
+                     int64_t segment_bytes, AppendFile file)
+      : base_path_(std::move(base_path)),
+        max_segment_bytes_(max_segment_bytes),
+        policy_(std::move(policy)),
+        segment_index_(segment_index),
+        segment_bytes_(segment_bytes),
+        file_(std::move(file)) {}
+
+  std::string base_path_;
+  int64_t max_segment_bytes_ = 0;
+  RetryPolicy policy_;
+  int64_t segment_index_ = 0;
+  int64_t segment_bytes_ = 0;
+  std::optional<AppendFile> file_;
 };
 
 // Creates `path`'s directory chain (mkdir -p semantics).

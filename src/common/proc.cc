@@ -1,0 +1,136 @@
+#include "common/proc.h"
+
+#include <csignal>
+#include <cstring>
+#include <ctime>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/string_util.h"
+
+namespace garl::proc {
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void HandleShutdownSignal(int /*sig*/) {
+  // Async-signal-safe by construction: a single sig_atomic_t store.
+  g_shutdown_requested = 1;
+}
+
+std::string ErrnoMessage(const std::string& what) {
+  return StrPrintf("%s: %s", what.c_str(), std::strerror(errno));
+}
+
+ExitStatus DecodeWaitStatus(int wait_status) {
+  ExitStatus result;
+  if (WIFEXITED(wait_status)) {
+    result.exited = true;
+    result.exit_code = WEXITSTATUS(wait_status);
+  } else if (WIFSIGNALED(wait_status)) {
+    result.signaled = true;
+    result.term_signal = WTERMSIG(wait_status);
+  }
+  return result;
+}
+
+}  // namespace
+
+Status InstallShutdownSignalHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a shutdown signal should interrupt blocking syscalls so
+  // the poll loop notices promptly.
+  action.sa_flags = 0;
+  if (::sigaction(SIGTERM, &action, nullptr) != 0) {
+    return InternalError(ErrnoMessage("sigaction(SIGTERM) failed"));
+  }
+  if (::sigaction(SIGINT, &action, nullptr) != 0) {
+    return InternalError(ErrnoMessage("sigaction(SIGINT) failed"));
+  }
+  return Status::Ok();
+}
+
+bool ShutdownRequested() { return g_shutdown_requested != 0; }
+
+void ResetShutdownRequestForTest() { g_shutdown_requested = 0; }
+
+StatusOr<int64_t> SpawnProcess(const std::vector<std::string>& argv) {
+  if (argv.empty()) return InvalidArgumentError("SpawnProcess: empty argv");
+  std::vector<char*> c_argv;
+  c_argv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    c_argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  c_argv.push_back(nullptr);
+
+  pid_t pid = ::fork();
+  if (pid < 0) return InternalError(ErrnoMessage("fork failed"));
+  if (pid == 0) {
+    ::execv(c_argv[0], c_argv.data());
+    // Only reached when exec fails; _exit skips atexit handlers the child
+    // inherited from the parent image.
+    ::_exit(127);
+  }
+  return static_cast<int64_t>(pid);
+}
+
+StatusOr<ExitStatus> PollProcess(int64_t pid) {
+  int wait_status = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(static_cast<pid_t>(pid), &wait_status, WNOHANG);
+  } while (reaped < 0 && errno == EINTR);
+  if (reaped < 0) {
+    return InternalError(
+        ErrnoMessage(StrPrintf("waitpid(%lld) failed",
+                               static_cast<long long>(pid))));
+  }
+  if (reaped == 0) {
+    ExitStatus result;
+    result.running = true;
+    return result;
+  }
+  return DecodeWaitStatus(wait_status);
+}
+
+StatusOr<ExitStatus> WaitProcess(int64_t pid) {
+  int wait_status = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(static_cast<pid_t>(pid), &wait_status, 0);
+  } while (reaped < 0 && errno == EINTR);
+  if (reaped < 0) {
+    return InternalError(
+        ErrnoMessage(StrPrintf("waitpid(%lld) failed",
+                               static_cast<long long>(pid))));
+  }
+  return DecodeWaitStatus(wait_status);
+}
+
+Status SendSignal(int64_t pid, int sig) {
+  if (::kill(static_cast<pid_t>(pid), sig) != 0) {
+    if (errno == ESRCH) {
+      return NotFoundError(
+          StrPrintf("no such process: %lld", static_cast<long long>(pid)));
+    }
+    return InternalError(
+        ErrnoMessage(StrPrintf("kill(%lld, %d) failed",
+                               static_cast<long long>(pid), sig)));
+  }
+  return Status::Ok();
+}
+
+void SleepMs(int64_t ms) {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000L);
+  ::nanosleep(&ts, nullptr);
+}
+
+}  // namespace garl::proc

@@ -1,0 +1,71 @@
+#ifndef GARL_COMMON_PROC_H_
+#define GARL_COMMON_PROC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// Process-control helpers for the fleet supervisor (tools/garl_fleet):
+// spawn, poll/wait, signal, sleep, plus the process-wide signal-safe
+// shutdown flag that lets SIGTERM/SIGINT request a graceful
+// checkpoint-and-exit from the training loop.
+//
+// This is the repo's ONE process-spawn path: library code outside this file
+// must not call fork/exec*/system/popen/posix_spawn directly (machine-checked
+// by garl_lint's `process-spawn` rule, mirroring the `direct-io` funnel).
+// Funnelling process control through here keeps error handling uniform
+// (EINTR retries, errno -> Status) and keeps the signal handler down to the
+// one async-signal-safe store it is allowed to do.
+
+namespace garl::proc {
+
+// ---- Graceful shutdown flag -------------------------------------------------
+//
+// InstallShutdownSignalHandlers() routes SIGTERM and SIGINT to a handler that
+// does exactly one thing: store 1 into a volatile sig_atomic_t. Long-running
+// loops poll ShutdownRequested() at iteration boundaries and wind down
+// cleanly (checkpoint, then exit with a distinct status). Installing twice
+// is harmless.
+
+[[nodiscard]] Status InstallShutdownSignalHandlers();
+bool ShutdownRequested();
+// Clears the flag (tests raise() a signal at themselves, then reset).
+void ResetShutdownRequestForTest();
+
+// ---- Child processes --------------------------------------------------------
+
+// Result of polling or waiting on a child.
+struct ExitStatus {
+  bool running = false;   // still alive (PollProcess only)
+  bool exited = false;    // terminated via exit(); exit_code valid
+  int exit_code = 0;
+  bool signaled = false;  // terminated by a signal; term_signal valid
+  int term_signal = 0;
+};
+
+// fork + execv. `argv[0]` is the binary path (absolute or on PATH as execv
+// resolves it — callers pass absolute paths). Returns the child pid. If the
+// exec itself fails in the child, the child _exits with code 127.
+[[nodiscard]] StatusOr<int64_t> SpawnProcess(
+    const std::vector<std::string>& argv);
+
+// Non-blocking waitpid. ExitStatus.running is true while the child lives;
+// a reaped child reports exited/exit_code or signaled/term_signal. Each
+// child is reaped at most once.
+[[nodiscard]] StatusOr<ExitStatus> PollProcess(int64_t pid);
+
+// Blocking waitpid (EINTR-tolerant).
+[[nodiscard]] StatusOr<ExitStatus> WaitProcess(int64_t pid);
+
+// kill(pid, sig). NotFound once the process is gone.
+[[nodiscard]] Status SendSignal(int64_t pid, int sig);
+
+// EINTR-tolerant nanosleep, so a signal (e.g. the supervisor's own SIGTERM)
+// interrupts at most one slice of the wait.
+void SleepMs(int64_t ms);
+
+}  // namespace garl::proc
+
+#endif  // GARL_COMMON_PROC_H_

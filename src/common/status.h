@@ -28,6 +28,7 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  kCancelled,
 };
 
 // Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -67,6 +68,12 @@ inline Status FailedPreconditionError(std::string message) {
 }
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+inline Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+inline bool IsCancelled(const Status& status) {
+  return status.code() == StatusCode::kCancelled;
 }
 
 // Holds either a value or a non-OK Status.

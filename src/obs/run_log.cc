@@ -1,10 +1,13 @@
 #include "obs/run_log.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <limits>
+#include <system_error>
 #include <utility>
 
 #include "common/string_util.h"
@@ -576,7 +579,7 @@ Status DecodeRecord(const JsonValue& root, IterationRecord* record) {
 }
 
 // Per-line driver shared by validation and summarization. `visit` is called
-// with each decoded record.
+// with each decoded record and may return a non-OK Status to stop the scan.
 template <typename Visitor>
 Status ForEachRecord(const std::string& path, Visitor&& visit) {
   std::ifstream in(path, std::ios::binary);
@@ -594,12 +597,105 @@ Status ForEachRecord(const std::string& path, Visitor&& visit) {
                     static_cast<long long>(line_number),
                     record.status().message().c_str()));
     }
-    visit(std::move(record).value());
+    GARL_RETURN_IF_ERROR(visit(std::move(record).value()));
   }
   if (in.bad()) {
     return InternalError("I/O error reading run log: " + path);
   }
   return Status::Ok();
+}
+
+// Drives `visit` over the concatenated record stream of `paths`, enforcing
+// the cross-file iteration-continuity contract.
+template <typename Visitor>
+Status ForEachRecordInFiles(const std::vector<std::string>& paths,
+                            Visitor&& visit) {
+  bool have_previous = false;
+  int64_t previous_iteration = 0;
+  std::string previous_path;
+  for (const std::string& path : paths) {
+    Status status = ForEachRecord(path, [&](IterationRecord&& record) {
+      if (have_previous && record.iteration != previous_iteration + 1) {
+        return InvalidArgumentError(StrPrintf(
+            "iteration continuity broken: record iter=%lld in %s follows "
+            "iter=%lld in %s (expected %lld)",
+            static_cast<long long>(record.iteration), path.c_str(),
+            static_cast<long long>(previous_iteration), previous_path.c_str(),
+            static_cast<long long>(previous_iteration + 1)));
+      }
+      have_previous = true;
+      previous_iteration = record.iteration;
+      previous_path = path;
+      return visit(std::move(record));
+    });
+    GARL_RETURN_IF_ERROR(status);
+  }
+  return Status::Ok();
+}
+
+// Enumerates the on-disk segment chain for `base_path` (just the base file
+// when rotation is off). Missing files simply end the chain.
+std::vector<std::string> ExistingSegments(const std::string& base_path,
+                                          int64_t max_segment_bytes) {
+  std::vector<std::string> segments;
+  if (max_segment_bytes <= 0) {
+    if (FileSizeBytes(base_path).ok()) segments.push_back(base_path);
+    return segments;
+  }
+  for (int64_t k = 0;; ++k) {
+    std::string segment =
+        RotatingAppendFile::SegmentPath(base_path, max_segment_bytes, k);
+    if (!FileSizeBytes(segment).ok()) break;
+    segments.push_back(std::move(segment));
+  }
+  return segments;
+}
+
+// Cuts the existing log at the resume point: keeps every record with
+// iter < resume_iteration, truncates at the first record at-or-past the
+// resume point or the first torn/unparseable line, and deletes later
+// segments. Returns the segment index appending should continue at.
+StatusOr<int64_t> TrimForResume(const std::vector<std::string>& segments,
+                                int64_t resume_iteration) {
+  int64_t continue_segment =
+      segments.empty() ? 0 : static_cast<int64_t>(segments.size()) - 1;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    StatusOr<std::string> contents = ReadFileToString(segments[i]);
+    if (!contents.ok()) return contents.status();
+    const std::string& text = contents.value();
+    size_t kept = 0;
+    bool cut = false;
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t newline = text.find('\n', pos);
+      if (newline == std::string::npos) {
+        // Torn tail from a mid-append kill. Every record before the resume
+        // point was fully appended (newline included) and fsync'd before
+        // the checkpoint existed, so a torn line is always safe to drop.
+        cut = true;
+        break;
+      }
+      const std::string line = text.substr(pos, newline - pos);
+      StatusOr<IterationRecord> record = ParseIterationRecord(line);
+      if (!record.ok() || record.value().iteration >= resume_iteration) {
+        cut = true;
+        break;
+      }
+      pos = newline + 1;
+      kept = pos;
+    }
+    if (!cut) continue;
+    if (kept != text.size()) {
+      GARL_RETURN_IF_ERROR(
+          WriteFileDurable(segments[i], std::string_view(text).substr(0, kept)));
+    }
+    for (size_t j = i + 1; j < segments.size(); ++j) {
+      RemoveAllBestEffort(segments[j]);
+    }
+    continue_segment = static_cast<int64_t>(i);
+    break;
+  }
+  return continue_segment;
 }
 
 }  // namespace
@@ -742,51 +838,139 @@ Status RunLog::AppendRecord(const IterationRecord& record) {
   return file_.Append(FormatIterationRecord(record) + '\n');
 }
 
-StatusOr<RunLog> OpenRunLog(const std::string& path) {
-  // AppendFile::Open truncates, so a reused path starts from a clean slate.
-  StatusOr<AppendFile> file = AppendFile::Open(path);
+StatusOr<RunLog> OpenRunLog(const std::string& path,
+                            const RunLogOptions& options) {
+  if (options.resume_iteration < 0) {
+    // Fresh start. Remove any stale segment chain first: a shorter new run
+    // must not leave old tail segments behind for readers to stitch in.
+    for (const std::string& segment :
+         ExistingSegments(path, options.max_segment_bytes)) {
+      if (segment != path) RemoveAllBestEffort(segment);
+    }
+    StatusOr<RotatingAppendFile> file = RotatingAppendFile::Open(
+        path, options.max_segment_bytes, {}, AppendMode::kTruncate, 0);
+    if (!file.ok()) return file.status();
+    return RunLog(std::move(file).value());
+  }
+  StatusOr<int64_t> continue_segment =
+      TrimForResume(ExistingSegments(path, options.max_segment_bytes),
+                    options.resume_iteration);
+  if (!continue_segment.ok()) return continue_segment.status();
+  StatusOr<RotatingAppendFile> file =
+      RotatingAppendFile::Open(path, options.max_segment_bytes, {},
+                               AppendMode::kContinue,
+                               continue_segment.value());
   if (!file.ok()) return file.status();
   return RunLog(std::move(file).value());
 }
 
 Status ValidateRunLogFile(const std::string& path) {
-  return ForEachRecord(path, [](IterationRecord&&) {});
+  return ForEachRecord(path,
+                       [](IterationRecord&&) { return Status::Ok(); });
 }
 
-StatusOr<RunLogSummary> SummarizeRunLogFile(const std::string& path) {
-  RunLogSummary summary;
-  double policy = 0.0, value = 0.0, entropy = 0.0;
-  Status status = ForEachRecord(path, [&](IterationRecord&& record) {
-    if (summary.records == 0) summary.first = record;
-    policy += record.policy_loss;
-    value += record.value_loss;
-    entropy += record.entropy;
-    if (record.diverged) ++summary.diverged_iterations;
-    summary.total_wall_ns += record.wall_ns;
+namespace {
+
+// Shared accumulator behind SummarizeRunLogFile(s).
+class SummaryBuilder {
+ public:
+  Status AddRecord(IterationRecord&& record) {
+    if (summary_.records == 0) summary_.first = record;
+    policy_ += record.policy_loss;
+    value_ += record.value_loss;
+    entropy_ += record.entropy;
+    if (record.diverged) ++summary_.diverged_iterations;
+    summary_.total_wall_ns += record.wall_ns;
     if (record.faults_enabled) {
-      ++summary.fault_records;
-      summary.fault_events += record.fault_uav_dropouts +
-                              record.fault_ugv_stalls +
-                              record.fault_comm_blackouts +
-                              record.fault_sensor_faults;
+      ++summary_.fault_records;
+      summary_.fault_events += record.fault_uav_dropouts +
+                               record.fault_ugv_stalls +
+                               record.fault_comm_blackouts +
+                               record.fault_sensor_faults;
     }
     for (const SpanTiming& span : record.spans) {
-      SpanTiming& agg = summary.spans[span.name];
+      SpanTiming& agg = summary_.spans[span.name];
       if (agg.name.empty()) agg.name = span.name;
       agg.count += span.count;
       agg.total_ns += span.total_ns;
     }
-    summary.last = std::move(record);
-    ++summary.records;
+    summary_.last = std::move(record);
+    ++summary_.records;
+    return Status::Ok();
+  }
+
+  RunLogSummary Finish() {
+    if (summary_.records > 0) {
+      double n = static_cast<double>(summary_.records);
+      summary_.mean_policy_loss = policy_ / n;
+      summary_.mean_value_loss = value_ / n;
+      summary_.mean_entropy = entropy_ / n;
+    }
+    return std::move(summary_);
+  }
+
+ private:
+  RunLogSummary summary_;
+  double policy_ = 0.0;
+  double value_ = 0.0;
+  double entropy_ = 0.0;
+};
+
+}  // namespace
+
+StatusOr<RunLogSummary> SummarizeRunLogFile(const std::string& path) {
+  SummaryBuilder builder;
+  Status status = ForEachRecord(path, [&](IterationRecord&& record) {
+    return builder.AddRecord(std::move(record));
   });
   if (!status.ok()) return status;
-  if (summary.records > 0) {
-    double n = static_cast<double>(summary.records);
-    summary.mean_policy_loss = policy / n;
-    summary.mean_value_loss = value / n;
-    summary.mean_entropy = entropy / n;
+  return builder.Finish();
+}
+
+StatusOr<std::vector<std::string>> CollectRunLogInputs(
+    const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (!std::filesystem::is_directory(std::filesystem::path(path), ec)) {
+      files.push_back(path);
+      continue;
+    }
+    std::vector<std::string> entries;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(std::filesystem::path(path), ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.find(".jsonl") == std::string::npos) continue;
+      entries.push_back(entry.path().string());
+    }
+    if (ec) {
+      return InternalError("cannot list directory: " + path);
+    }
+    if (entries.empty()) {
+      return NotFoundError("no run-log files (*.jsonl*) in directory: " +
+                           path);
+    }
+    // The zero-padded segment suffix makes name order == segment order.
+    std::sort(entries.begin(), entries.end());
+    files.insert(files.end(), entries.begin(), entries.end());
   }
-  return summary;
+  return files;
+}
+
+Status ValidateRunLogFiles(const std::vector<std::string>& paths) {
+  return ForEachRecordInFiles(
+      paths, [](IterationRecord&&) { return Status::Ok(); });
+}
+
+StatusOr<RunLogSummary> SummarizeRunLogFiles(
+    const std::vector<std::string>& paths) {
+  SummaryBuilder builder;
+  Status status = ForEachRecordInFiles(paths, [&](IterationRecord&& record) {
+    return builder.AddRecord(std::move(record));
+  });
+  if (!status.ok()) return status;
+  return builder.Finish();
 }
 
 }  // namespace garl::obs

@@ -103,7 +103,27 @@ std::string FormatIterationRecord(const IterationRecord& record);
 [[nodiscard]] StatusOr<std::string> DeterministicPayload(
     const std::string& line);
 
-// Streaming writer. Opens (truncates) `path` on construction via OpenRunLog;
+// How OpenRunLog treats the path and any bytes already there.
+struct RunLogOptions {
+  // > 0: rotate to a new segment (base + ".%06lld") once the current one
+  // reaches this many bytes, rolling over only at record boundaries.
+  // 0: no rotation — all records go to the base path itself, byte-for-byte
+  // identical to the pre-rotation format.
+  int64_t max_segment_bytes = 0;
+  // >= 0: resume a crashed run that restarts at this iteration. Existing
+  // records with iter < resume_iteration are kept verbatim (they are
+  // already durable — appended and fsync'd before the checkpoint that
+  // defined the resume point); the log is cut at the first record with
+  // iter >= resume_iteration or the first torn/unparseable line, later
+  // segments are deleted, and appending continues in place. The re-run
+  // iterations re-emit identical `det` bytes, so a resumed run's det stream
+  // matches an uninterrupted one.
+  // -1 (default): start fresh — truncate, removing stale segments.
+  int64_t resume_iteration = -1;
+};
+
+// Streaming writer. Opens `path` on construction via OpenRunLog (truncating,
+// or trimming-and-continuing under RunLogOptions::resume_iteration);
 // AppendRecord writes one line through fs_util's durable append path
 // (fsync'd, retried with backoff on transient faults), so a crashed run
 // keeps every completed iteration and a transient write error costs
@@ -111,19 +131,26 @@ std::string FormatIterationRecord(const IterationRecord& record);
 class RunLog {
  public:
   [[nodiscard]] Status AppendRecord(const IterationRecord& record);
-  const std::string& path() const { return file_.path(); }
+  // The segment currently being appended to (the base path itself when
+  // rotation is off).
+  const std::string& path() const { return file_.current_path(); }
 
   RunLog(RunLog&&) = default;
   RunLog& operator=(RunLog&&) = default;
 
  private:
-  friend StatusOr<RunLog> OpenRunLog(const std::string& path);
-  explicit RunLog(AppendFile file) : file_(std::move(file)) {}
+  friend StatusOr<RunLog> OpenRunLog(const std::string& path,
+                                     const RunLogOptions& options);
+  explicit RunLog(RotatingAppendFile file) : file_(std::move(file)) {}
 
-  AppendFile file_;
+  RotatingAppendFile file_;
 };
 
-[[nodiscard]] StatusOr<RunLog> OpenRunLog(const std::string& path);
+[[nodiscard]] StatusOr<RunLog> OpenRunLog(const std::string& path,
+                                          const RunLogOptions& options);
+[[nodiscard]] inline StatusOr<RunLog> OpenRunLog(const std::string& path) {
+  return OpenRunLog(path, RunLogOptions{});
+}
 
 // Whole-file schema check: every line must parse as a valid record with
 // exactly the documented field set. Empty files are valid (a run that died
@@ -151,6 +178,33 @@ struct RunLogSummary {
 
 [[nodiscard]] StatusOr<RunLogSummary> SummarizeRunLogFile(
     const std::string& path);
+
+// ---- Multi-file (rotated-segment) reads ------------------------------------
+//
+// A rotated run log is the ordered concatenation of its segments
+// (base.000000, base.000001, ...). The helpers below stitch that stream back
+// together for garl_tracecat and the fleet supervisor's results merge.
+
+// Expands `paths` into an ordered list of run-log files: a directory is
+// replaced by the ".jsonl"-named files inside it (sorted by name — the
+// zero-padded segment suffix makes lexicographic order == segment order);
+// plain files pass through in the order given. Errors if a directory holds
+// no run-log files.
+[[nodiscard]] StatusOr<std::vector<std::string>> CollectRunLogInputs(
+    const std::vector<std::string>& paths);
+
+// Schema-checks every line of every file AND the cross-file iteration
+// continuity contract: over the concatenated stream, each record's `iter`
+// must be exactly the previous record's + 1 (the first record anchors the
+// sequence). A dropped, duplicated, or mis-ordered segment surfaces as a
+// continuity error naming both records.
+[[nodiscard]] Status ValidateRunLogFiles(const std::vector<std::string>& paths);
+
+// Aggregates the concatenated stream into one summary (same semantics as
+// SummarizeRunLogFile over the stitched records), enforcing the same
+// continuity contract.
+[[nodiscard]] StatusOr<RunLogSummary> SummarizeRunLogFiles(
+    const std::vector<std::string>& paths);
 
 }  // namespace garl::obs
 

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/fs_util.h"
+#include "common/proc.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "nn/distributions.h"
@@ -601,7 +602,16 @@ StatusOr<std::vector<IterationStats>> IppoTrainer::Train() {
   // Everything gathered here is read-only — no RNG draw, no learned state.
   std::optional<obs::RunLog> run_log;
   if (!config_.run_log_path.empty()) {
-    StatusOr<obs::RunLog> opened = obs::OpenRunLog(config_.run_log_path);
+    obs::RunLogOptions log_options;
+    log_options.max_segment_bytes = config_.run_log_max_segment_bytes;
+    // Resuming at iteration k: keep records 0..k-1, trim anything at or
+    // past k (a record whose checkpoint never landed gets re-emitted with
+    // identical det bytes).
+    if (config_.start_iteration > 0) {
+      log_options.resume_iteration = config_.start_iteration;
+    }
+    StatusOr<obs::RunLog> opened =
+        obs::OpenRunLog(config_.run_log_path, log_options);
     if (!opened.ok()) return opened.status();
     run_log.emplace(std::move(opened).value());
   }
@@ -612,7 +622,19 @@ StatusOr<std::vector<IterationStats>> IppoTrainer::Train() {
   std::vector<obs::SpanStats> span_baseline =
       obs::TraceCollector::Global().Snapshot();
 
-  for (int64_t m = 0; m < config_.iterations;) {
+  for (int64_t m = config_.start_iteration; m < config_.iterations;) {
+    // Graceful shutdown: SIGTERM/SIGINT (routed through proc's
+    // async-signal-safe flag) wins over starting another iteration. The
+    // checkpoint makes the interruption resumable; the distinct CANCELLED
+    // code tells supervisors this was a requested stop, not a failure.
+    if (proc::ShutdownRequested()) {
+      if (!config_.checkpoint_dir.empty()) {
+        GARL_RETURN_IF_ERROR(SaveCheckpoint(config_.checkpoint_dir));
+      }
+      return CancelledError(StrPrintf(
+          "shutdown requested; stopped before iteration %lld",
+          static_cast<long long>(m)));
+    }
     current_iteration_ = m;
     int64_t iteration_start_ns = obs::MonotonicNowNs();
     IterationStats stats = RunIteration();
@@ -645,15 +667,21 @@ StatusOr<std::vector<IterationStats>> IppoTrainer::Train() {
       healthy_ugv_lr = ugv_optimizer_->lr();
       if (uav_optimizer_) healthy_uav_lr = uav_optimizer_->lr();
     }
-    if (!config_.checkpoint_dir.empty() && config_.checkpoint_interval > 0 &&
-        (m + 1) % config_.checkpoint_interval == 0) {
-      GARL_RETURN_IF_ERROR(SaveCheckpoint(config_.checkpoint_dir));
-    }
+    // Run-log append strictly BEFORE the checkpoint: the checkpoint defines
+    // the resume point, so every record below it must already be durable.
+    // (A kill between the two leaves record m on disk with no checkpoint m;
+    // the resume trim drops it and iteration m re-emits identical det
+    // bytes.)
     if (run_log.has_value()) {
       GARL_RETURN_IF_ERROR(run_log->AppendRecord(
           MakeIterationRecord(m, stats, iteration_start_ns, &span_baseline,
                               fs_faults.has_value() ? &*fs_faults : nullptr)));
     }
+    if (!config_.checkpoint_dir.empty() && config_.checkpoint_interval > 0 &&
+        (m + 1) % config_.checkpoint_interval == 0) {
+      GARL_RETURN_IF_ERROR(SaveCheckpoint(config_.checkpoint_dir));
+    }
+    if (config_.iteration_callback) config_.iteration_callback(m);
     ++m;
   }
   return history;

@@ -1,6 +1,7 @@
 #ifndef GARL_RL_IPPO_TRAINER_H_
 #define GARL_RL_IPPO_TRAINER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -75,6 +76,21 @@ struct TrainConfig {
   // read-only: it never touches the RNG or any learned state, so losses are
   // bit-identical with and without a run log.
   std::string run_log_path;
+  // Run-log rotation cap (0: off). Passed through to obs::RunLogOptions;
+  // rotation changes only where record bytes land, never the bytes.
+  int64_t run_log_max_segment_bytes = 0;
+
+  // --- Fleet supervision ---
+  // First Train() loop index. A supervised restart sets this to
+  // (restored episode counter / episodes_per_iteration) after
+  // RestoreCheckpoint(), so iteration numbering, the run log's resume trim,
+  // and the RNG stream all line up and the resumed run's `det` log bytes
+  // match an uninterrupted run's.
+  int64_t start_iteration = 0;
+  // Called after each successful iteration (post run-log append and
+  // checkpoint) with the iteration index. The fleet child uses it to emit
+  // heartbeats; it must not touch trainer state.
+  std::function<void(int64_t iteration)> iteration_callback;
 
   // --- Fault injection (chaos testing) ---
   // Off by default; disabled it is a bitwise no-op (golden_run_test pins
@@ -125,6 +141,12 @@ class IppoTrainer {
   // Runs `config.iterations` iterations under the divergence sentinel;
   // returns per-iteration stats, or a non-OK Status when an iteration keeps
   // diverging past `max_divergence_retries` (or a checkpoint write fails).
+  //
+  // Signal-safe shutdown: when a prior proc::InstallShutdownSignalHandlers()
+  // has seen SIGTERM or SIGINT, the loop notices at the next iteration
+  // boundary, saves a checkpoint (when checkpoint_dir is set) and returns
+  // CancelledError — the distinct status supervisors use to tell "told to
+  // stop" from "crashed".
   StatusOr<std::vector<IterationStats>> Train();
 
   // Persists the full trainer state (UGV/UAV parameters, both Adam

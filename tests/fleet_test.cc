@@ -1,0 +1,401 @@
+// End-to-end coverage for the self-healing fleet supervisor
+// (tools/garl_fleet) and the signal-safe trainer shutdown underneath it:
+//
+//  * a child SIGKILLed mid-run is restarted from its last CRC-valid
+//    checkpoint and the stitched `det` log bytes match an uninterrupted run;
+//  * a SIGSTOPped child trips the stalled-heartbeat watchdog, is SIGKILLed
+//    and restarted, and the run still completes;
+//  * a child that always fails exhausts its restart budget and surfaces a
+//    clean per-run Status (the rest of the fleet keeps going, nothing hangs);
+//  * SIGTERM delivered to a training process makes Train() checkpoint and
+//    return CANCELLED, and resuming from that checkpoint reproduces the
+//    uninterrupted det stream byte-for-byte;
+//  * RotatingAppendFile rolls over exactly at record boundaries with the
+//    deterministic segment naming the stitch readers rely on.
+//
+// The supervised-run tests exec the real garl_fleet binary (path injected as
+// GARL_FLEET_BINARY) so the full spawn/heartbeat/resume path is exercised
+// across process boundaries.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fs_util.h"
+#include "common/proc.h"
+#include "common/rng.h"
+#include "env/world.h"
+#include "nn/linear.h"
+#include "nn/ops.h"
+#include "obs/run_log.h"
+#include "rl/checkpoint.h"
+#include "rl/feature_policy.h"
+#include "rl/ippo_trainer.h"
+#include "tools/garl_fleet/fleet.h"
+
+namespace garl::fleet {
+namespace {
+
+std::string TestRoot(const std::string& name) {
+  std::string root =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  RemoveAllBestEffort(root);  // stale state from a previous test run
+  return root;
+}
+
+bool FileContains(const std::string& path, const std::string& needle) {
+  StatusOr<std::string> contents = ReadFileToString(path);
+  return contents.ok() &&
+         contents.value().find(needle) != std::string::npos;
+}
+
+// The `det` object's raw bytes from every record of a (possibly rotated)
+// run log, stitched in segment order.
+std::vector<std::string> DetPayloadsForRun(const std::string& run_dir) {
+  StatusOr<std::vector<std::string>> files =
+      obs::CollectRunLogInputs({run_dir});
+  EXPECT_TRUE(files.ok()) << files.status().ToString();
+  std::vector<std::string> payloads;
+  if (!files.ok()) return payloads;
+  for (const std::string& file : files.value()) {
+    StatusOr<std::string> contents = ReadFileToString(file);
+    EXPECT_TRUE(contents.ok()) << contents.status().ToString();
+    if (!contents.ok()) continue;
+    size_t start = 0;
+    const std::string& text = contents.value();
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      StatusOr<std::string> det =
+          obs::DeterministicPayload(text.substr(start, end - start));
+      EXPECT_TRUE(det.ok()) << det.status().ToString();
+      payloads.push_back(det.ok() ? det.value() : "");
+      start = end + 1;
+    }
+  }
+  return payloads;
+}
+
+SupervisorConfig FastConfig(const std::string& root) {
+  SupervisorConfig config;
+  config.child_binary = GARL_FLEET_BINARY;
+  config.root_dir = root;
+  config.initial_backoff_ms = 1;
+  config.max_backoff_ms = 5;
+  config.poll_interval_ms = 2;
+  config.sleep_fn = [](int64_t) { proc::SleepMs(2); };
+  return config;
+}
+
+RunSpec BenchmarkSpec(const std::string& name, int64_t iterations,
+                      int64_t segment_bytes) {
+  RunSpec spec;
+  spec.name = name;
+  spec.seed = 5;
+  spec.iterations = iterations;
+  spec.episodes_per_iteration = 2;
+  spec.run_log_max_segment_bytes = segment_bytes;
+  return spec;
+}
+
+TEST(FleetTest, SigkillMidRunResumesByteIdentical) {
+  // Reference: the same run spec supervised with no interference.
+  const std::string ref_root = TestRoot("fleet_ref");
+  StatusOr<std::vector<RunResult>> ref = SuperviseFleet(
+      FastConfig(ref_root), {BenchmarkSpec("run", 8, 700)});
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  ASSERT_EQ(ref.value().size(), 1u);
+  ASSERT_TRUE(ref.value()[0].status.ok())
+      << ref.value()[0].status.ToString();
+
+  // Interrupted: SIGKILL the child once it has completed iteration 1 (of 8),
+  // from the supervisor's own poll loop via the sleep seam.
+  const std::string killed_root = TestRoot("fleet_killed");
+  SupervisorConfig config = FastConfig(killed_root);
+  const std::string heartbeat =
+      HeartbeatPath(RunDir(killed_root, "run"));
+  std::atomic<int64_t> child_pid{-1};
+  std::atomic<bool> killed{false};
+  config.on_spawn = [&](const std::string&, int64_t pid, int64_t) {
+    child_pid.store(pid);
+  };
+  config.sleep_fn = [&](int64_t) {
+    proc::SleepMs(2);
+    if (!killed.load() && child_pid.load() > 0 &&
+        FileContains(heartbeat, "hb 1\n")) {
+      killed.store(true);
+      Status sent = proc::SendSignal(child_pid.load(), SIGKILL);
+      EXPECT_TRUE(sent.ok()) << sent.ToString();
+    }
+  };
+  StatusOr<std::vector<RunResult>> interrupted =
+      SuperviseFleet(config, {BenchmarkSpec("run", 8, 700)});
+  ASSERT_TRUE(interrupted.ok()) << interrupted.status().ToString();
+  const RunResult& result = interrupted.value()[0];
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(killed.load()) << "child finished before the test could kill "
+                                "it; raise the iteration count";
+  EXPECT_GE(result.restarts, 1);
+
+  // The supervised, killed-and-resumed run must emit the exact det bytes of
+  // the uninterrupted one, across rotated segment boundaries.
+  std::vector<std::string> expected =
+      DetPayloadsForRun(RunDir(ref_root, "run"));
+  std::vector<std::string> actual =
+      DetPayloadsForRun(RunDir(killed_root, "run"));
+  ASSERT_EQ(expected.size(), 8u);
+  EXPECT_EQ(actual, expected);
+
+  // And the rotated segments round-trip through the stitch readers with the
+  // schema + continuity contract intact.
+  StatusOr<std::vector<std::string>> files =
+      obs::CollectRunLogInputs({RunDir(killed_root, "run")});
+  ASSERT_TRUE(files.ok()) << files.status().ToString();
+  EXPECT_GT(files.value().size(), 1u) << "expected rotation to kick in";
+  Status valid = obs::ValidateRunLogFiles(files.value());
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  StatusOr<obs::RunLogSummary> summary =
+      obs::SummarizeRunLogFiles(files.value());
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary.value().records, 8);
+  EXPECT_EQ(summary.value().last.episode_counter, 16);
+}
+
+TEST(FleetTest, StalledHeartbeatIsKilledAndRestarted) {
+  const std::string root = TestRoot("fleet_hang");
+  SupervisorConfig config = FastConfig(root);
+  config.heartbeat_deadline_ms = 400;
+  const std::string heartbeat = HeartbeatPath(RunDir(root, "run"));
+  std::atomic<int64_t> child_pid{-1};
+  std::atomic<bool> stopped{false};
+  config.on_spawn = [&](const std::string&, int64_t pid, int64_t) {
+    child_pid.store(pid);
+  };
+  // Freeze the first child right after its proof-of-life beat: the
+  // heartbeat file stops growing, the watchdog must SIGKILL and restart.
+  config.sleep_fn = [&](int64_t) {
+    proc::SleepMs(2);
+    if (!stopped.load() && child_pid.load() > 0 &&
+        FileContains(heartbeat, "hb start\n")) {
+      stopped.store(true);
+      Status sent = proc::SendSignal(child_pid.load(), SIGSTOP);
+      EXPECT_TRUE(sent.ok()) << sent.ToString();
+    }
+  };
+  StatusOr<std::vector<RunResult>> results =
+      SuperviseFleet(config, {BenchmarkSpec("run", 3, 0)});
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  const RunResult& result = results.value()[0];
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_GE(result.hang_kills, 1);
+  EXPECT_GE(result.restarts, 1);
+}
+
+TEST(FleetTest, RestartBudgetExhaustsCleanlyAndFleetContinues) {
+  const std::string root = TestRoot("fleet_budget");
+  SupervisorConfig config = FastConfig(root);
+  config.max_restarts = 2;
+  RunSpec healthy = BenchmarkSpec("healthy", 2, 0);
+  RunSpec doomed = BenchmarkSpec("doomed", 2, 0);
+  doomed.extra_child_args = {"--fail-with", "1"};
+  StatusOr<std::vector<RunResult>> results =
+      SuperviseFleet(config, {healthy, doomed});
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results.value().size(), 2u);
+  const RunResult& ok_run = results.value()[0];
+  const RunResult& failed_run = results.value()[1];
+  EXPECT_TRUE(ok_run.status.ok()) << ok_run.status.ToString();
+  ASSERT_FALSE(failed_run.status.ok());
+  EXPECT_NE(failed_run.status.message().find("restart budget"),
+            std::string::npos)
+      << failed_run.status.ToString();
+  EXPECT_EQ(failed_run.restarts, 2);
+
+  Status aggregate = AggregateStatus(results.value());
+  ASSERT_FALSE(aggregate.ok());
+  EXPECT_NE(aggregate.message().find("doomed"), std::string::npos)
+      << aggregate.ToString();
+
+  // The results merge handles mixed outcomes: numbers for the healthy run,
+  // placeholders for the failed one.
+  ASSERT_TRUE(WriteResultsTable(config, results.value()).ok());
+  const std::string table = root + "/RESULTS.md";
+  EXPECT_TRUE(FileContains(table, "healthy"));
+  EXPECT_TRUE(FileContains(table, "doomed"));
+  EXPECT_TRUE(FileContains(table, "INTERNAL"));
+}
+
+// ---- In-process trainer shutdown + resume -----------------------------------
+
+env::CampusSpec TinyCampus() {
+  env::CampusSpec campus;
+  campus.name = "fleet_test_tiny";
+  campus.width = 400;
+  campus.height = 400;
+  campus.roads.push_back({{0, 200}, {400, 200}});
+  campus.roads.push_back({{200, 0}, {200, 400}});
+  campus.sensors.push_back({{150, 210}, 1000.0});
+  campus.sensors.push_back({{260, 190}, 1200.0});
+  campus.sensors.push_back({{200, 320}, 900.0});
+  return campus;
+}
+
+env::WorldParams TinyParams() {
+  env::WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 20;
+  params.release_slots = 2;
+  return params;
+}
+
+class PoolExtractor : public rl::UgvFeatureExtractor {
+ public:
+  explicit PoolExtractor(Rng& rng)
+      : proj_(std::make_unique<nn::Linear>(5, 16, rng)) {}
+
+  std::vector<nn::Tensor> Extract(
+      const std::vector<env::UgvObservation>& observations) override {
+    std::vector<nn::Tensor> features;
+    for (const auto& obs : observations) {
+      nn::Tensor pooled = nn::MulScalar(
+          nn::SumDim(obs.stop_features, 0),
+          1.0f / static_cast<float>(obs.stop_features.size(0)));
+      nn::Tensor self =
+          nn::Reshape(nn::Rows(obs.ugv_positions, obs.self, 1), {2});
+      features.push_back(
+          nn::Tanh(proj_->Forward(nn::Concat({pooled, self}, 0))));
+    }
+    return features;
+  }
+
+  int64_t feature_dim() const override { return 16; }
+  std::string name() const override { return "fleet_test_pool"; }
+  bool ThreadSafeExtract() const override { return true; }
+  std::vector<nn::Tensor> Parameters() const override {
+    return proj_->Parameters();
+  }
+
+ private:
+  std::unique_ptr<nn::Linear> proj_;
+};
+
+rl::TrainConfig TinyTrainConfig(const std::string& dir, int64_t iterations,
+                                int64_t start_iteration) {
+  rl::TrainConfig config;
+  config.iterations = iterations;
+  config.episodes_per_iteration = 1;
+  config.seed = 11;
+  config.checkpoint_dir = dir + "/checkpoints";
+  config.checkpoint_interval = 1;
+  config.run_log_path = dir + "/run_log.jsonl";
+  config.start_iteration = start_iteration;
+  return config;
+}
+
+// Runs the tiny scenario for [start_iteration, iterations); `on_iteration`
+// (optional) observes each completed iteration.
+StatusOr<std::vector<rl::IterationStats>> TrainTiny(
+    const std::string& dir, int64_t iterations, int64_t start_iteration,
+    std::function<void(int64_t)> on_iteration = nullptr) {
+  env::World world(TinyCampus(), TinyParams());
+  Rng rng(7);
+  rl::EnvContext context = rl::MakeEnvContext(world);
+  rl::FeatureUgvPolicy policy(std::make_unique<PoolExtractor>(rng), context,
+                              rl::FeaturePolicyOptions{}, rng);
+  rl::TrainConfig config = TinyTrainConfig(dir, iterations, start_iteration);
+  config.iteration_callback = std::move(on_iteration);
+  rl::IppoTrainer trainer(&world, &policy, nullptr, config);
+  if (start_iteration > 0) {
+    Status restored = trainer.RestoreCheckpoint(config.checkpoint_dir);
+    if (!restored.ok()) return restored;
+  }
+  return trainer.Train();
+}
+
+TEST(FleetTest, TrainerCheckpointsAndCancelsOnShutdownSignal) {
+  proc::ResetShutdownRequestForTest();
+  ASSERT_TRUE(proc::InstallShutdownSignalHandlers().ok());
+
+  // Uninterrupted reference run.
+  const std::string ref_dir = TestRoot("fleet_cancel_ref");
+  ASSERT_TRUE(EnsureDirectory(ref_dir).ok());
+  StatusOr<std::vector<rl::IterationStats>> ref = TrainTiny(ref_dir, 4, 0);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  // Interrupted run: the process signals ITSELF with SIGTERM after
+  // iteration 1, exactly like a supervisor-initiated graceful shutdown.
+  const std::string dir = TestRoot("fleet_cancel");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  StatusOr<std::vector<rl::IterationStats>> interrupted =
+      TrainTiny(dir, 4, 0, [](int64_t iteration) {
+        if (iteration == 1) {
+          Status sent = proc::SendSignal(
+              static_cast<int64_t>(::getpid()), SIGTERM);
+          EXPECT_TRUE(sent.ok()) << sent.ToString();
+        }
+      });
+  ASSERT_FALSE(interrupted.ok());
+  EXPECT_TRUE(IsCancelled(interrupted.status()))
+      << interrupted.status().ToString();
+
+  // The cancel path wrote a checkpoint covering both completed iterations.
+  StatusOr<rl::CheckpointInfo> latest =
+      rl::LatestCheckpoint(dir + "/checkpoints");
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest.value().episode, 2);
+
+  // Resume from it; the stitched det stream matches the uninterrupted run.
+  proc::ResetShutdownRequestForTest();
+  StatusOr<std::vector<rl::IterationStats>> resumed = TrainTiny(dir, 4, 2);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(DetPayloadsForRun(dir), DetPayloadsForRun(ref_dir));
+
+  proc::ResetShutdownRequestForTest();
+}
+
+// ---- Rotation primitives ----------------------------------------------------
+
+TEST(FleetTest, RotatingAppendFileRollsAtRecordBoundaries) {
+  const std::string root = TestRoot("fleet_rotate");
+  ASSERT_TRUE(EnsureDirectory(root).ok());
+  const std::string base = root + "/log.jsonl";
+  StatusOr<RotatingAppendFile> file =
+      RotatingAppendFile::Open(base, /*max_segment_bytes=*/10);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ(file.value().current_path(),
+            RotatingAppendFile::SegmentPath(base, 10, 0));
+  ASSERT_TRUE(file.value().Append("aaaa\n").ok());
+  ASSERT_TRUE(file.value().Append("bbbb\n").ok());  // exactly at the cap
+  ASSERT_TRUE(file.value().Append("cccc\n").ok());  // must open segment 1
+  EXPECT_EQ(file.value().segment_index(), 1);
+  EXPECT_EQ(file.value().current_path(), base + ".000001");
+
+  StatusOr<std::string> seg0 = ReadFileToString(base + ".000000");
+  ASSERT_TRUE(seg0.ok());
+  EXPECT_EQ(seg0.value(), "aaaa\nbbbb\n");
+  StatusOr<std::string> seg1 = ReadFileToString(base + ".000001");
+  ASSERT_TRUE(seg1.ok());
+  EXPECT_EQ(seg1.value(), "cccc\n");
+
+  // Rotation off: everything lands in the base path itself.
+  EXPECT_EQ(RotatingAppendFile::SegmentPath(base, 0, 3), base);
+  StatusOr<RotatingAppendFile> plain = RotatingAppendFile::Open(base, 0);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(plain.value().Append("dddd\n").ok());
+  StatusOr<std::string> contents = ReadFileToString(base);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "dddd\n");
+}
+
+}  // namespace
+}  // namespace garl::fleet

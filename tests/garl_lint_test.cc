@@ -92,9 +92,19 @@ TEST(GarlLintFixtures, DirectIoFiresOnOfstreamFilesystemAndMkdir) {
                       {17, "direct-io"}}));
 }
 
+TEST(GarlLintFixtures, ProcessSpawnFiresOutsideProcFunnel) {
+  EXPECT_EQ(FindingsFor("src/bad_spawn.cc"),
+            (Expected{{9, "process-spawn"},
+                      {10, "process-spawn"},
+                      {15, "process-spawn"},
+                      {16, "process-spawn"},
+                      {20, "process-spawn"}}));
+}
+
 TEST(GarlLintFixtures, ExemptPathsStayClean) {
   EXPECT_TRUE(FindingsFor("src/common/rng.cc").empty());
   EXPECT_TRUE(FindingsFor("src/common/fs_util.cc").empty());
+  EXPECT_TRUE(FindingsFor("src/common/proc.cc").empty());
   EXPECT_TRUE(FindingsFor("src/nn/tensor.cc").empty());
   EXPECT_TRUE(FindingsFor("bench/timing.cc").empty());
   EXPECT_TRUE(FindingsFor("src/good.h").empty());
@@ -118,7 +128,8 @@ TEST(GarlLintFixtures, NoUnexpectedFindings) {
       "src/bad_rand.cc",    "src/bad_time.cc",       "src/bad_discard.cc",
       "src/bad_serialize.cc", "src/bad_new.cc",      "src/bad_guard.h",
       "src/missing_guard.h", "src/suppressed.cc",    "src/bad_suppression.cc",
-      "src/nn/ops.cc",       "src/obs/bad_obs_time.cc", "src/bad_io.cc"};
+      "src/nn/ops.cc",       "src/obs/bad_obs_time.cc", "src/bad_io.cc",
+      "src/bad_spawn.cc"};
   for (const auto& finding : FixtureFindings()) {
     EXPECT_TRUE(expected_files.count(finding.file))
         << "unexpected finding: " << finding.ToString();
@@ -166,7 +177,7 @@ TEST(GarlLintUnit, KnownRulesIsStable) {
   for (const auto& rule :
        {"nondet-rand", "nondet-time", "status-discard", "include-guard",
         "float-double-drift", "raw-new-delete", "unordered-serialize",
-        "bad-suppression"}) {
+        "direct-io", "process-spawn", "bad-suppression"}) {
     EXPECT_TRUE(rules.count(rule)) << rule;
   }
 }

@@ -1,0 +1,25 @@
+// Fixture: raw process control outside src/common/proc.* — every child
+// process must be spawned and signalled through the supervised funnel
+// (proc::SpawnProcess / SendSignal in common/proc.h).
+#include <cstdlib>
+#include <spawn.h>
+#include <unistd.h>
+
+void SpawnDirectly(char* const* argv) {
+  if (::fork() == 0) {       // finding: process-spawn (fork)
+    ::execv(argv[0], argv);  // finding: process-spawn (execv)
+  }
+}
+
+void ShellOut(const char* command) {
+  std::system(command);  // finding: process-spawn (system)
+  ::popen(command, "r");  // finding: process-spawn (popen)
+}
+
+void SpawnPosix(pid_t* pid, char* const* argv, char* const* envp) {
+  ::posix_spawnp(pid, argv[0], nullptr, nullptr, argv, envp);  // finding
+}
+
+int UseMemberNamedFork(TaskRunner& runner) {
+  return runner.fork(2);  // clean: member call, not a process fork
+}

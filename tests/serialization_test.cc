@@ -12,8 +12,9 @@
 #include "nn/optimizer.h"
 
 // Crash-safety and corruption-rejection coverage for the v2 checkpoint
-// format: CRC known answers, atomic replacement, legacy v1 compatibility,
-// strict trailing-byte rejection, and truncation/bit-flip fuzzing. Every
+// format: CRC known answers, atomic replacement, legacy v1 retirement and
+// one-shot migration, strict trailing-byte rejection, and truncation/bit-flip
+// fuzzing. Every
 // corrupted input must come back as a non-OK Status — never an abort, never
 // silently loaded garbage.
 
@@ -132,10 +133,9 @@ TEST(SerializationTest, CountAndShapeMismatchesRejected) {
   EXPECT_FALSE(LoadParameters(path, reshaped).ok());
 }
 
-TEST(SerializationTest, LegacyV1StillLoads) {
-  std::string path = TestPath("legacy_v1.bin");
-  std::vector<Tensor> params = MakeParams(7);
-  // Hand-write the v1 layout: magic "GARL", u64 count, rank/shape/payload.
+// Hand-writes the retired v1 layout: magic "GARL", u64 count, then
+// rank/shape/payload per tensor (no CRC footer).
+std::string MakeV1Bytes(const std::vector<Tensor>& params) {
   std::string bytes;
   uint32_t magic = 0x4741524Cu;
   uint64_t count = params.size();
@@ -150,15 +150,47 @@ TEST(SerializationTest, LegacyV1StillLoads) {
     bytes.append(reinterpret_cast<const char*>(p.data().data()),
                  static_cast<size_t>(p.numel()) * sizeof(float));
   }
-  WriteRaw(path, bytes);
+  return bytes;
+}
+
+TEST(SerializationTest, LegacyV1IsRetiredAndPointsAtMigration) {
+  std::string path = TestPath("legacy_v1.bin");
+  WriteRaw(path, MakeV1Bytes(MakeParams(7)));
   std::vector<Tensor> loaded = MakeParams(8);
-  ASSERT_TRUE(LoadParameters(path, loaded).ok());
+  Status status = LoadParameters(path, loaded);
+  ASSERT_FALSE(status.ok()) << "retired v1 format loaded";
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("migrate-v1"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(SerializationTest, MigrateV1RoundTripsThroughV2) {
+  std::string src = TestPath("migrate_src.bin");
+  std::string dst = TestPath("migrate_dst.bin");
+  std::vector<Tensor> params = MakeParams(7);
+  WriteRaw(src, MakeV1Bytes(params));
+  ASSERT_TRUE(MigrateV1ParameterFile(src, dst).ok());
+  std::vector<Tensor> loaded = MakeParams(8);
+  ASSERT_TRUE(LoadParameters(dst, loaded).ok());
   for (size_t i = 0; i < params.size(); ++i) {
     EXPECT_EQ(loaded[i].data(), params[i].data());
   }
-  // v1 files get the same strict trailing-byte treatment.
-  WriteRaw(path, bytes + "zz");
-  EXPECT_FALSE(LoadParameters(path, loaded).ok());
+}
+
+TEST(SerializationTest, MigrateV1RejectsCorruptInputs) {
+  std::string src = TestPath("migrate_bad.bin");
+  std::string dst = TestPath("migrate_bad_out.bin");
+  std::string bytes = MakeV1Bytes(MakeParams(7));
+  // Trailing bytes after the last tensor payload.
+  WriteRaw(src, bytes + "zz");
+  EXPECT_FALSE(MigrateV1ParameterFile(src, dst).ok());
+  // Truncated mid-payload.
+  WriteRaw(src, bytes.substr(0, bytes.size() - 3));
+  EXPECT_FALSE(MigrateV1ParameterFile(src, dst).ok());
+  // A v2 file is not a migration input.
+  std::string v2 = TestPath("migrate_v2_in.bin");
+  ASSERT_TRUE(SaveParameters(MakeParams(7), v2).ok());
+  EXPECT_FALSE(MigrateV1ParameterFile(v2, dst).ok());
 }
 
 TEST(SerializationFuzzTest, TruncationAtEvery64ByteBoundaryRejected) {

@@ -1,0 +1,174 @@
+#include "tools/garl_fleet/child.h"
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/fs_util.h"
+#include "common/proc.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "env/world.h"
+#include "nn/linear.h"
+#include "nn/ops.h"
+#include "rl/checkpoint.h"
+#include "rl/feature_policy.h"
+#include "rl/ippo_trainer.h"
+#include "tools/garl_fleet/fleet.h"
+
+namespace garl::fleet {
+
+namespace {
+
+// The fleet's builtin benchmark scenario: the same tiny campus the golden
+// and chaos tests train on, so supervised-run byte-identity is anchored to
+// the exact workload those tests pin.
+env::CampusSpec FleetCampus() {
+  env::CampusSpec campus;
+  campus.name = "fleet_tiny";
+  campus.width = 400;
+  campus.height = 400;
+  campus.roads.push_back({{0, 200}, {400, 200}});
+  campus.roads.push_back({{200, 0}, {200, 400}});
+  campus.sensors.push_back({{150, 210}, 1000.0});
+  campus.sensors.push_back({{260, 190}, 1200.0});
+  campus.sensors.push_back({{200, 320}, 900.0});
+  return campus;
+}
+
+env::WorldParams FleetParams() {
+  env::WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 20;
+  params.release_slots = 2;
+  return params;
+}
+
+// Stateless mean-pool extractor with thread-safe inference (mirrors the
+// golden-run test policy).
+class MeanPoolExtractor : public rl::UgvFeatureExtractor {
+ public:
+  explicit MeanPoolExtractor(Rng& rng)
+      : proj_(std::make_unique<nn::Linear>(5, 16, rng)) {}
+
+  std::vector<nn::Tensor> Extract(
+      const std::vector<env::UgvObservation>& observations) override {
+    std::vector<nn::Tensor> features;
+    for (const auto& obs : observations) {
+      nn::Tensor pooled = nn::MulScalar(
+          nn::SumDim(obs.stop_features, 0),
+          1.0f / static_cast<float>(obs.stop_features.size(0)));
+      nn::Tensor self =
+          nn::Reshape(nn::Rows(obs.ugv_positions, obs.self, 1), {2});
+      features.push_back(
+          nn::Tanh(proj_->Forward(nn::Concat({pooled, self}, 0))));
+    }
+    return features;
+  }
+
+  int64_t feature_dim() const override { return 16; }
+  std::string name() const override { return "fleet_mean_pool"; }
+  bool ThreadSafeExtract() const override { return true; }
+  std::vector<nn::Tensor> Parameters() const override {
+    return proj_->Parameters();
+  }
+
+ private:
+  std::unique_ptr<nn::Linear> proj_;
+};
+
+int FailChild(const Status& status, const char* what) {
+  std::fprintf(stderr, "garl_fleet child: %s: %s\n", what,
+               status.ToString().c_str());
+  return kChildExitFailure;
+}
+
+}  // namespace
+
+int RunChildTrainer(const ChildOptions& options) {
+  if (options.run_dir.empty() || options.iterations <= 0 ||
+      options.episodes_per_iteration <= 0) {
+    std::fprintf(stderr, "garl_fleet child: bad options\n");
+    return kChildExitUsage;
+  }
+  // Graceful shutdown: SIGTERM/SIGINT set the flag the training loop polls
+  // at iteration boundaries.
+  Status signals = proc::InstallShutdownSignalHandlers();
+  if (!signals.ok()) return FailChild(signals, "installing signal handlers");
+
+  Status dirs = EnsureDirectory(CheckpointDir(options.run_dir));
+  if (!dirs.ok()) return FailChild(dirs, "creating run directory");
+
+  // Heartbeat: opened in kContinue so the liveness record spans restarts;
+  // one line at startup (proof of life before the first, possibly slow,
+  // iteration) and one per completed iteration.
+  StatusOr<AppendFile> heartbeat =
+      AppendFile::Open(HeartbeatPath(options.run_dir), RetryPolicy{},
+                       AppendMode::kContinue);
+  if (!heartbeat.ok()) {
+    return FailChild(heartbeat.status(), "opening heartbeat");
+  }
+  Status first_beat = heartbeat.value().Append("hb start\n");
+  if (!first_beat.ok()) return FailChild(first_beat, "writing heartbeat");
+
+  if (options.fail_with >= 0) return options.fail_with;
+
+  // Resume point: the newest manifest entry's episode counter determines
+  // which Train() iteration to continue from (each iteration consumes
+  // exactly episodes_per_iteration episodes; the child checkpoints every
+  // iteration).
+  int64_t start_iteration = 0;
+  bool resume = false;
+  StatusOr<rl::CheckpointInfo> latest =
+      rl::LatestCheckpoint(CheckpointDir(options.run_dir));
+  if (latest.ok()) {
+    resume = true;
+    start_iteration = latest.value().episode / options.episodes_per_iteration;
+  } else if (latest.status().code() != StatusCode::kNotFound) {
+    return FailChild(latest.status(), "reading checkpoint manifest");
+  }
+
+  env::World world(FleetCampus(), FleetParams());
+  Rng rng(7);
+  rl::EnvContext context = rl::MakeEnvContext(world);
+  rl::FeatureUgvPolicy policy(std::make_unique<MeanPoolExtractor>(rng),
+                              context, rl::FeaturePolicyOptions{}, rng);
+
+  rl::TrainConfig config;
+  config.iterations = options.iterations;
+  config.episodes_per_iteration = options.episodes_per_iteration;
+  config.seed = options.seed;
+  config.checkpoint_dir = CheckpointDir(options.run_dir);
+  config.checkpoint_interval = 1;
+  config.run_log_path = RunLogBase(options.run_dir);
+  config.run_log_max_segment_bytes = options.run_log_max_segment_bytes;
+  config.start_iteration = start_iteration;
+  AppendFile& beat = heartbeat.value();
+  config.iteration_callback = [&beat](int64_t iteration) {
+    // Heartbeats are liveness, not ground truth: a failed beat must not
+    // kill an otherwise healthy trainer.
+    WarnIfError(beat.Append(StrPrintf("hb %lld\n",
+                                      static_cast<long long>(iteration))),
+                "fleet heartbeat");
+  };
+
+  rl::IppoTrainer trainer(&world, &policy, nullptr, config);
+  if (resume) {
+    Status restored = trainer.RestoreCheckpoint(config.checkpoint_dir);
+    if (!restored.ok()) return FailChild(restored, "restoring checkpoint");
+  }
+
+  StatusOr<std::vector<rl::IterationStats>> result = trainer.Train();
+  if (result.ok()) return kChildExitOk;
+  if (IsCancelled(result.status())) {
+    std::fprintf(stderr, "garl_fleet child: %s\n",
+                 result.status().ToString().c_str());
+    return kChildExitCancelled;
+  }
+  return FailChild(result.status(), "training");
+}
+
+}  // namespace garl::fleet

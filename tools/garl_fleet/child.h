@@ -1,0 +1,41 @@
+#ifndef GARL_TOOLS_GARL_FLEET_CHILD_H_
+#define GARL_TOOLS_GARL_FLEET_CHILD_H_
+
+#include <cstdint>
+#include <string>
+
+// The fleet child: one supervised trainer process (`garl_fleet --child`).
+//
+// Protocol with the supervisor (see fleet.h):
+//  * emits one heartbeat line to <run_dir>/heartbeat at startup and one per
+//    completed training iteration, via the durable-append funnel in
+//    AppendMode::kContinue (a restarted child keeps appending to the same
+//    file, so the supervisor's size-growth liveness check spans restarts);
+//  * checkpoints every iteration into <run_dir>/checkpoints and, on
+//    restart, resumes from the latest CRC-valid checkpoint with
+//    start_iteration = episode_counter / episodes_per_iteration — the run
+//    log is trimmed to the resume point so the final `det` bytes match an
+//    uninterrupted run;
+//  * SIGTERM/SIGINT → checkpoint-and-exit with kChildExitCancelled;
+//    completion → kChildExitOk; any error → kChildExitFailure.
+
+namespace garl::fleet {
+
+struct ChildOptions {
+  std::string run_dir;
+  uint64_t seed = 1;
+  int64_t iterations = 10;
+  int64_t episodes_per_iteration = 1;
+  int64_t run_log_max_segment_bytes = 0;
+  // Test hook: exit with this code right after the startup heartbeat
+  // (models a child that always crashes, for retry-budget tests). -1: off.
+  int fail_with = -1;
+};
+
+// Runs the child trainer to completion; returns the process exit code per
+// the contract above.
+int RunChildTrainer(const ChildOptions& options);
+
+}  // namespace garl::fleet
+
+#endif  // GARL_TOOLS_GARL_FLEET_CHILD_H_

@@ -1,0 +1,321 @@
+#include "tools/garl_fleet/fleet.h"
+
+#include <csignal>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/fs_util.h"
+#include "common/proc.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "obs/clock.h"
+#include "obs/run_log.h"
+
+namespace garl::fleet {
+
+namespace {
+
+// Per-run supervision state machine: a run is either waiting out a backoff
+// window, running, or done.
+struct RunState {
+  const RunSpec* spec = nullptr;
+  RunResult result;
+  int64_t pid = -1;
+  bool running = false;
+  bool done = false;
+  int64_t backoff_ms = 0;          // next restart's backoff
+  int64_t restart_at_ns = 0;       // monotonic deadline for the next spawn
+  int64_t heartbeat_bytes = -1;    // last observed heartbeat size
+  int64_t heartbeat_fresh_ns = 0;  // when it last grew
+};
+
+std::vector<std::string> ChildArgv(const SupervisorConfig& config,
+                                   const RunSpec& spec) {
+  std::vector<std::string> argv = {
+      config.child_binary,
+      "--child",
+      "--run-dir",
+      RunDir(config.root_dir, spec.name),
+      "--seed",
+      StrPrintf("%llu", static_cast<unsigned long long>(spec.seed)),
+      "--iterations",
+      StrPrintf("%lld", static_cast<long long>(spec.iterations)),
+      "--episodes",
+      StrPrintf("%lld", static_cast<long long>(spec.episodes_per_iteration)),
+      "--segment-bytes",
+      StrPrintf("%lld",
+                static_cast<long long>(spec.run_log_max_segment_bytes)),
+  };
+  argv.insert(argv.end(), spec.extra_child_args.begin(),
+              spec.extra_child_args.end());
+  return argv;
+}
+
+void SleepFor(const SupervisorConfig& config, int64_t ms) {
+  if (config.sleep_fn) {
+    config.sleep_fn(ms);
+    return;
+  }
+  proc::SleepMs(ms);
+}
+
+// Spawns (or respawns) `state`'s child and re-anchors its heartbeat clock.
+Status SpawnRun(const SupervisorConfig& config, RunState* state, int64_t now_ns) {
+  GARL_RETURN_IF_ERROR(EnsureDirectory(RunDir(config.root_dir, state->spec->name)));
+  StatusOr<int64_t> pid = proc::SpawnProcess(ChildArgv(config, *state->spec));
+  if (!pid.ok()) return pid.status();
+  state->pid = pid.value();
+  state->running = true;
+  // The liveness clock starts at spawn: a child that never writes its first
+  // heartbeat is itself a hang.
+  StatusOr<int64_t> size = FileSizeBytes(HeartbeatPath(
+      RunDir(config.root_dir, state->spec->name)));
+  state->heartbeat_bytes = size.ok() ? size.value() : 0;
+  state->heartbeat_fresh_ns = now_ns;
+  if (config.on_spawn) {
+    config.on_spawn(state->spec->name, state->pid, state->result.restarts);
+  }
+  return Status::Ok();
+}
+
+// A child stopped running (crash, hang kill, or failure exit): either
+// schedule a backoff restart or fail the run for good.
+void ScheduleRestartOrFail(const SupervisorConfig& config, RunState* state,
+                           int64_t now_ns, const std::string& reason) {
+  state->running = false;
+  state->pid = -1;
+  if (state->result.restarts >= config.max_restarts) {
+    state->done = true;
+    state->result.status = InternalError(StrPrintf(
+        "run '%s' exhausted its restart budget (%lld restarts): last "
+        "failure: %s",
+        state->spec->name.c_str(), static_cast<long long>(config.max_restarts),
+        reason.c_str()));
+    return;
+  }
+  ++state->result.restarts;
+  state->backoff_ms =
+      state->backoff_ms <= 0
+          ? config.initial_backoff_ms
+          : std::min(state->backoff_ms * 2, config.max_backoff_ms);
+  state->restart_at_ns = now_ns + state->backoff_ms * 1000000;
+}
+
+// Reaped `exit` classifies the child's end.
+void HandleExit(const SupervisorConfig& config, RunState* state,
+                const proc::ExitStatus& exit, int64_t now_ns) {
+  if (exit.exited && exit.exit_code == kChildExitOk) {
+    state->running = false;
+    state->done = true;
+    return;
+  }
+  if (exit.exited && exit.exit_code == kChildExitCancelled) {
+    state->running = false;
+    state->done = true;
+    state->result.cancelled = true;
+    state->result.status = CancelledError(StrPrintf(
+        "run '%s' stopped on a shutdown request (checkpointed)",
+        state->spec->name.c_str()));
+    return;
+  }
+  std::string reason =
+      exit.exited
+          ? StrPrintf("exit code %d", exit.exit_code)
+          : StrPrintf("killed by signal %d", exit.term_signal);
+  ScheduleRestartOrFail(config, state, now_ns, reason);
+}
+
+// SIGTERMs every running child and reaps it (graceful fleet shutdown).
+void ShutDownFleet(std::vector<RunState>* states) {
+  for (RunState& state : *states) {
+    if (!state.running) continue;
+    WarnIfError(proc::SendSignal(state.pid, SIGTERM),
+                "forwarding SIGTERM to child");
+  }
+  for (RunState& state : *states) {
+    if (!state.running) continue;
+    StatusOr<proc::ExitStatus> exit = proc::WaitProcess(state.pid);
+    state.running = false;
+    state.done = true;
+    state.result.cancelled = true;
+    if (exit.ok() && exit.value().exited &&
+        exit.value().exit_code == kChildExitCancelled) {
+      state.result.status = CancelledError(StrPrintf(
+          "run '%s' stopped on supervisor shutdown (checkpointed)",
+          state.result.name.c_str()));
+    } else {
+      state.result.status = CancelledError(StrPrintf(
+          "run '%s' stopped on supervisor shutdown", state.result.name.c_str()));
+    }
+  }
+}
+
+}  // namespace
+
+std::string RunDir(const std::string& root_dir, const std::string& run_name) {
+  return root_dir + "/" + run_name;
+}
+
+std::string RunLogBase(const std::string& run_dir) {
+  return run_dir + "/run_log.jsonl";
+}
+
+std::string HeartbeatPath(const std::string& run_dir) {
+  return run_dir + "/heartbeat";
+}
+
+std::string CheckpointDir(const std::string& run_dir) {
+  return run_dir + "/checkpoints";
+}
+
+StatusOr<std::vector<RunResult>> SuperviseFleet(
+    const SupervisorConfig& config, const std::vector<RunSpec>& specs) {
+  if (config.child_binary.empty()) {
+    return InvalidArgumentError("SupervisorConfig.child_binary is empty");
+  }
+  if (config.root_dir.empty()) {
+    return InvalidArgumentError("SupervisorConfig.root_dir is empty");
+  }
+  if (specs.empty()) {
+    return InvalidArgumentError("no runs to supervise");
+  }
+  {
+    std::map<std::string, int> names;
+    for (const RunSpec& spec : specs) {
+      if (spec.name.empty()) return InvalidArgumentError("RunSpec.name is empty");
+      if (++names[spec.name] > 1) {
+        return InvalidArgumentError("duplicate run name: " + spec.name);
+      }
+    }
+  }
+  GARL_RETURN_IF_ERROR(EnsureDirectory(config.root_dir));
+
+  std::vector<RunState> states(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    states[i].spec = &specs[i];
+    states[i].result.name = specs[i].name;
+    // First spawn happens immediately (restart_at_ns == 0 is in the past).
+  }
+
+  for (;;) {
+    const int64_t now_ns = obs::MonotonicNowNs();
+    if (proc::ShutdownRequested()) {
+      ShutDownFleet(&states);
+      break;
+    }
+    bool all_done = true;
+    for (RunState& state : states) {
+      if (state.done) continue;
+      all_done = false;
+      if (!state.running) {
+        if (now_ns < state.restart_at_ns) continue;
+        Status spawned = SpawnRun(config, &state, now_ns);
+        if (!spawned.ok()) {
+          // Could not even fork/exec: burn a restart attempt so a
+          // persistently unspawnable child still exhausts the budget
+          // instead of spinning forever.
+          ScheduleRestartOrFail(config, &state, now_ns, spawned.ToString());
+        }
+        continue;
+      }
+      StatusOr<proc::ExitStatus> polled = proc::PollProcess(state.pid);
+      if (!polled.ok()) {
+        ScheduleRestartOrFail(config, &state, now_ns, polled.status().ToString());
+        continue;
+      }
+      if (!polled.value().running) {
+        HandleExit(config, &state, polled.value(), now_ns);
+        continue;
+      }
+      // Liveness: the heartbeat file must keep growing. A stalled child is
+      // SIGKILLed (works even on a SIGSTOPped process) and restarted.
+      StatusOr<int64_t> size = FileSizeBytes(
+          HeartbeatPath(RunDir(config.root_dir, state.spec->name)));
+      int64_t bytes = size.ok() ? size.value() : 0;
+      if (bytes > state.heartbeat_bytes) {
+        state.heartbeat_bytes = bytes;
+        state.heartbeat_fresh_ns = now_ns;
+      } else if (now_ns - state.heartbeat_fresh_ns >
+                 config.heartbeat_deadline_ms * 1000000) {
+        WarnIfError(proc::SendSignal(state.pid, SIGKILL),
+                    "killing hung child");
+        StatusOr<proc::ExitStatus> reaped = proc::WaitProcess(state.pid);
+        if (!reaped.ok()) WarnIfError(reaped.status(), "reaping hung child");
+        ++state.result.hang_kills;
+        ScheduleRestartOrFail(
+            config, &state, now_ns,
+            StrPrintf("heartbeat stalled for %lld ms",
+                      static_cast<long long>(config.heartbeat_deadline_ms)));
+        continue;
+      }
+    }
+    if (all_done) break;
+    SleepFor(config, config.poll_interval_ms);
+  }
+
+  std::vector<RunResult> results;
+  results.reserve(states.size());
+  for (RunState& state : states) {
+    results.push_back(std::move(state.result));
+  }
+  return results;
+}
+
+Status AggregateStatus(const std::vector<RunResult>& results) {
+  std::string failures;
+  for (const RunResult& result : results) {
+    if (result.status.ok()) continue;
+    if (!failures.empty()) failures += "; ";
+    failures += result.name + ": " + result.status.ToString();
+  }
+  if (failures.empty()) return Status::Ok();
+  return InternalError("fleet finished with failed runs: " + failures);
+}
+
+Status WriteResultsTable(const SupervisorConfig& config,
+                         const std::vector<RunResult>& results) {
+  // Deterministic merge: rows sorted by run name, values taken from the
+  // stitched (rotation-aware) run logs.
+  std::vector<const RunResult*> ordered;
+  ordered.reserve(results.size());
+  for (const RunResult& result : results) ordered.push_back(&result);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const RunResult* a, const RunResult* b) {
+              return a->name < b->name;
+            });
+
+  TableWriter table({"run", "status", "restarts", "iterations", "episodes",
+                     "policy_loss", "value_loss", "efficiency"});
+  for (const RunResult* result : ordered) {
+    std::string iterations = "-", episodes = "-", policy = "-", value = "-",
+                efficiency = "-";
+    StatusOr<std::vector<std::string>> inputs = obs::CollectRunLogInputs(
+        {RunDir(config.root_dir, result->name)});
+    if (inputs.ok()) {
+      StatusOr<obs::RunLogSummary> summary =
+          obs::SummarizeRunLogFiles(inputs.value());
+      if (summary.ok() && summary.value().records > 0) {
+        const obs::RunLogSummary& s = summary.value();
+        iterations = StrPrintf("%lld", static_cast<long long>(s.records));
+        episodes = StrPrintf("%lld",
+                             static_cast<long long>(s.last.episode_counter));
+        policy = StrPrintf("%.6g", s.last.policy_loss);
+        value = StrPrintf("%.6g", s.last.value_loss);
+        efficiency = StrPrintf("%.4f", s.last.efficiency);
+      }
+    }
+    table.AddRow({result->name, StatusCodeName(result->status.code()),
+                  StrPrintf("%lld", static_cast<long long>(result->restarts)),
+                  iterations, episodes, policy, value, efficiency});
+  }
+
+  std::ostringstream out;
+  out << "# Fleet results\n\n";
+  table.Print(out);
+  return WriteFileDurable(config.root_dir + "/RESULTS.md", out.str());
+}
+
+}  // namespace garl::fleet

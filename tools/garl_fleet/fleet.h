@@ -1,0 +1,112 @@
+#ifndef GARL_TOOLS_GARL_FLEET_FLEET_H_
+#define GARL_TOOLS_GARL_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// garl_fleet — self-healing multi-process experiment supervisor.
+//
+// The supervisor spawns one child trainer process per run (N seeds × M
+// configs), then keeps the fleet alive for week-long sweeps:
+//
+//  * crash detection   — non-blocking waitpid; a child that exits non-zero
+//                        or dies on a signal is restarted.
+//  * hang detection    — each child appends a heartbeat line per training
+//                        iteration (through the fs_util durable-append
+//                        funnel); a heartbeat file that stops growing past
+//                        the deadline gets the child SIGKILLed and
+//                        restarted.
+//  * bounded restarts  — exponential backoff between restarts; once a run
+//                        exhausts its retry budget it is marked failed with
+//                        a clean Status (the rest of the fleet keeps going).
+//  * exact resume      — children checkpoint every iteration and restart
+//                        from the last CRC-valid checkpoint with the run
+//                        log trimmed to the resume point, so a supervised
+//                        run's final `det` log bytes match an uninterrupted
+//                        run (PR 1's bit-identical resume, exercised for
+//                        real).
+//  * graceful shutdown — SIGTERM/SIGINT to the supervisor forwards SIGTERM
+//                        to every child; children checkpoint and exit with
+//                        a distinct code, and their runs finish CANCELLED.
+//
+// On completion the per-run logs are deterministically merged into an
+// EXPERIMENTS.md-ready markdown table at <root_dir>/RESULTS.md.
+
+namespace garl::fleet {
+
+// Child process exit-code contract (see RunChildTrainer in child.h).
+inline constexpr int kChildExitOk = 0;
+inline constexpr int kChildExitFailure = 1;
+inline constexpr int kChildExitUsage = 2;
+inline constexpr int kChildExitCancelled = 3;  // graceful-shutdown checkpoint
+inline constexpr int kChildExitExecFailed = 127;
+
+// One supervised run (one seed × config cell of the sweep).
+struct RunSpec {
+  std::string name;  // unique; doubles as the run's directory name
+  uint64_t seed = 1;
+  int64_t iterations = 10;
+  int64_t episodes_per_iteration = 1;
+  int64_t run_log_max_segment_bytes = 0;  // 0: no rotation
+  // Extra argv appended to the child command line (test hooks).
+  std::vector<std::string> extra_child_args;
+};
+
+struct SupervisorConfig {
+  std::string child_binary;  // absolute path to the garl_fleet binary
+  std::string root_dir;      // per-run dirs + RESULTS.md live here
+  int64_t max_restarts = 3;  // per run; exceeding it fails the run
+  int64_t initial_backoff_ms = 100;
+  int64_t max_backoff_ms = 5000;
+  // A heartbeat file that has not grown for this long marks the child hung.
+  int64_t heartbeat_deadline_ms = 30000;
+  int64_t poll_interval_ms = 50;
+  // Test seam: replaces the real inter-poll sleep (backoff waits are
+  // realized as deadlines checked by the poll loop, so this also
+  // accelerates them).
+  std::function<void(int64_t ms)> sleep_fn;
+  // Test hook: observes every (re)spawn with the child's pid.
+  std::function<void(const std::string& run_name, int64_t pid,
+                     int64_t restarts)>
+      on_spawn;
+};
+
+// Outcome of one supervised run.
+struct RunResult {
+  std::string name;
+  Status status = Status::Ok();
+  int64_t restarts = 0;    // crash + hang restarts actually performed
+  int64_t hang_kills = 0;  // ...of which were stalled-heartbeat SIGKILLs
+  bool cancelled = false;  // graceful shutdown, not a failure
+};
+
+// Directory layout helpers (shared with the child runner).
+std::string RunDir(const std::string& root_dir, const std::string& run_name);
+std::string RunLogBase(const std::string& run_dir);     // run_log.jsonl
+std::string HeartbeatPath(const std::string& run_dir);  // heartbeat
+std::string CheckpointDir(const std::string& run_dir);  // checkpoints/
+
+// Supervises every run to completion (or budget exhaustion / shutdown).
+// Never hangs: every child is either reaped, killed after a stalled
+// heartbeat, or SIGTERMed on supervisor shutdown. Returns one result per
+// spec, in spec order. Only fails outright on invalid configuration.
+[[nodiscard]] StatusOr<std::vector<RunResult>> SuperviseFleet(
+    const SupervisorConfig& config, const std::vector<RunSpec>& specs);
+
+// OK when every run completed (cancelled counts as not-OK); otherwise an
+// error naming each failed run. Never hangs or aborts — budget exhaustion
+// surfaces here as a Status.
+[[nodiscard]] Status AggregateStatus(const std::vector<RunResult>& results);
+
+// Deterministically merges per-run log summaries (runs sorted by name) into
+// a markdown table written durably to <root_dir>/RESULTS.md.
+[[nodiscard]] Status WriteResultsTable(const SupervisorConfig& config,
+                                       const std::vector<RunResult>& results);
+
+}  // namespace garl::fleet
+
+#endif  // GARL_TOOLS_GARL_FLEET_FLEET_H_

@@ -234,6 +234,14 @@ bool IsDirectIoScope(const std::string& rel) {
   return StartsWith(rel, "src/") || StartsWith(rel, "tools/");
 }
 
+// The one sanctioned process-spawn path (src/common/proc.*). Everything else
+// under src/ and tools/ must spawn, signal and reap through it, so the fleet
+// supervisor's crash/hang semantics (EINTR retries, exit-status decoding,
+// exec-failure exit code) hold for every child process the repo creates.
+bool IsProcFile(const std::string& rel) {
+  return StartsWith(rel, "src/common/proc.");
+}
+
 // ---------------------------------------------------------------------------
 // Rule: include-guard.
 // ---------------------------------------------------------------------------
@@ -541,6 +549,31 @@ const std::vector<TokenRule>& DirectIoRules() {
   return kRules;
 }
 
+const std::vector<TokenRule>& ProcessSpawnRules() {
+  static const std::vector<TokenRule> kRules = [] {
+    std::vector<TokenRule> rules;
+    rules.push_back(
+        {"process-spawn", std::regex(R"((^|[^\w.>])v?fork\s*\()"),
+         "raw fork() bypasses the process funnel; use proc::SpawnProcess "
+         "from common/proc.h"});
+    rules.push_back(
+        {"process-spawn",
+         std::regex(R"((^|[^\w.>])(?:exec[lv]p?e?|fexecve)\s*\()"),
+         "raw exec*() bypasses the process funnel; use proc::SpawnProcess "
+         "from common/proc.h"});
+    rules.push_back(
+        {"process-spawn", std::regex(R"((^|[^\w.>])(?:system|popen)\s*\()"),
+         "system()/popen() runs a shell outside the process funnel; use "
+         "proc::SpawnProcess from common/proc.h"});
+    rules.push_back(
+        {"process-spawn", std::regex(R"(\bposix_spawn\w*\s*\()"),
+         "posix_spawn bypasses the process funnel; use proc::SpawnProcess "
+         "from common/proc.h"});
+    return rules;
+  }();
+  return kRules;
+}
+
 void ApplyTokenRules(const std::string& rel_path,
                      const std::vector<LineView>& lines,
                      const std::vector<TokenRule>& rules,
@@ -613,7 +646,8 @@ const std::set<std::string>& KnownRules() {
   static const std::set<std::string> kRules = {
       "nondet-rand",        "nondet-time",     "status-discard",
       "include-guard",      "float-double-drift", "raw-new-delete",
-      "unordered-serialize", "direct-io",      "bad-suppression"};
+      "unordered-serialize", "direct-io",      "process-spawn",
+      "bad-suppression"};
   return kRules;
 }
 
@@ -685,6 +719,9 @@ std::vector<Finding> LintFileContents(const std::string& rel_path,
   }
   if (IsDirectIoScope(rel_path) && !IsFsUtilFile(rel_path)) {
     ApplyTokenRules(rel_path, lines, DirectIoRules(), &raw_findings);
+  }
+  if (IsDirectIoScope(rel_path) && !IsProcFile(rel_path)) {
+    ApplyTokenRules(rel_path, lines, ProcessSpawnRules(), &raw_findings);
   }
   CheckStatusDiscard(rel_path, lines, fallible, &raw_findings);
   CheckHashOrderRule(rel_path, lines, &raw_findings);

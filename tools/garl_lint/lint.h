@@ -49,6 +49,12 @@
 //                      rename), retried on transient errors, and honours the
 //                      fault-injection hook. bench/ is exempt: benchmark
 //                      side-car output is not part of the durability story.
+//   process-spawn      fork / vfork / exec* / posix_spawn / system() / popen()
+//                      in src/ or tools/ outside src/common/proc.* — every
+//                      child process must flow through the one supervised
+//                      spawn path (proc::SpawnProcess / PollProcess /
+//                      SendSignal), which retries EINTR, decodes exit status
+//                      uniformly, and reports exec failure as exit code 127.
 //   bad-suppression    a garl-lint suppression naming an unknown rule (so
 //                      typos cannot silently disable nothing).
 //

@@ -1,9 +1,16 @@
 // garl_tracecat: summarize or validate a training run log (JSONL, one record
 // per iteration — see src/obs/run_log.h for the schema).
 //
-//   garl_tracecat <run_log.jsonl>             print a run summary and a
-//                                             per-phase span timing table
-//   garl_tracecat --validate <run_log.jsonl>  schema-check every line
+//   garl_tracecat <input ...>             print one merged run summary and a
+//                                         per-phase span timing table
+//   garl_tracecat --validate <input ...>  schema-check every line and the
+//                                         cross-segment iteration continuity
+//
+// Each <input> is a run-log file, a rotated segment, or a directory (its
+// *.jsonl* files are stitched in segment order — the zero-padded suffix of
+// rotated segments makes name order == segment order). Multiple inputs are
+// read as one concatenated record stream; every record's iteration must be
+// exactly the previous one's + 1.
 //
 // Exit codes: 0 = OK, 1 = invalid log or I/O error, 2 = usage error.
 
@@ -11,6 +18,7 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
 #include "common/table_writer.h"
@@ -19,7 +27,8 @@
 namespace {
 
 int Usage() {
-  std::cerr << "usage: garl_tracecat [--validate] <run_log.jsonl>\n";
+  std::cerr << "usage: garl_tracecat [--validate] "
+               "<run_log.jsonl | segment | directory> ...\n";
   return 2;
 }
 
@@ -27,15 +36,21 @@ std::string FormatMs(int64_t ns) {
   return garl::StrPrintf("%.3f", static_cast<double>(ns) / 1e6);
 }
 
-int Summarize(const std::string& path) {
+int Summarize(const std::vector<std::string>& files) {
   garl::StatusOr<garl::obs::RunLogSummary> summary =
-      garl::obs::SummarizeRunLogFile(path);
+      files.size() == 1 ? garl::obs::SummarizeRunLogFile(files[0])
+                        : garl::obs::SummarizeRunLogFiles(files);
   if (!summary.ok()) {
     std::cerr << "garl_tracecat: " << summary.status().ToString() << "\n";
     return 1;
   }
   const garl::obs::RunLogSummary& s = summary.value();
-  std::cout << "run log: " << path << "\n";
+  if (files.size() == 1) {
+    std::cout << "run log: " << files[0] << "\n";
+  } else {
+    std::cout << "run log: " << files.size() << " stitched segments ("
+              << files.front() << " .. " << files.back() << ")\n";
+  }
   std::cout << "iterations: " << s.records << "\n";
   if (s.records == 0) return 0;
   std::cout << garl::StrPrintf(
@@ -100,13 +115,21 @@ int Summarize(const std::string& path) {
   return 0;
 }
 
-int Validate(const std::string& path) {
-  garl::Status status = garl::obs::ValidateRunLogFile(path);
+int Validate(const std::vector<std::string>& files) {
+  // Multi-file validation adds the cross-segment iteration-continuity
+  // contract on top of the per-line schema check.
+  garl::Status status = files.size() == 1
+                            ? garl::obs::ValidateRunLogFile(files[0])
+                            : garl::obs::ValidateRunLogFiles(files);
   if (!status.ok()) {
     std::cerr << "garl_tracecat: " << status.ToString() << "\n";
     return 1;
   }
-  std::cout << path << ": OK\n";
+  if (files.size() == 1) {
+    std::cout << files[0] << ": OK\n";
+  } else {
+    std::cout << files.size() << " stitched segments: OK\n";
+  }
   return 0;
 }
 
@@ -114,19 +137,23 @@ int Validate(const std::string& path) {
 
 int main(int argc, char** argv) {
   bool validate = false;
-  std::string path;
+  std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--validate") {
       validate = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
-    } else if (path.empty()) {
-      path = arg;
     } else {
-      return Usage();
+      inputs.push_back(arg);
     }
   }
-  if (path.empty()) return Usage();
-  return validate ? Validate(path) : Summarize(path);
+  if (inputs.empty()) return Usage();
+  garl::StatusOr<std::vector<std::string>> files =
+      garl::obs::CollectRunLogInputs(inputs);
+  if (!files.ok()) {
+    std::cerr << "garl_tracecat: " << files.status().ToString() << "\n";
+    return 1;
+  }
+  return validate ? Validate(files.value()) : Summarize(files.value());
 }
