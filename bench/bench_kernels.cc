@@ -1,8 +1,17 @@
-// Threading benchmark for the training hot path. Measures (a) MatMul
-// forward+backward on GEMM shapes taken from the GARL model on KAIST and
-// (b) end-to-end IPPO seconds/iteration with parallel episode collection,
-// each at 1 thread vs GARL_NUM_THREADS (default 4), and writes
-// BENCH_kernels.json into the working directory.
+// Kernel benchmark for the training hot path. Measures (a) MatMul
+// forward+backward on GEMM shapes taken from the GARL model on KAIST, each
+// scalar vs SIMD (simd::SetEnabledForTest A/B in one process) and 1 thread
+// vs GARL_NUM_THREADS (default 4), (b) the arena allocator's steady-state
+// heap traffic per iteration after warmup (must be zero), and (c) end-to-end
+// IPPO seconds/iteration with parallel episode collection. Writes a JSON
+// report (default BENCH_kernels.json in the working directory).
+//
+// Flags:
+//   --json <path>      output path for the report
+//   --baseline <path>  compare mode: read a previous report and exit 1 if
+//                      any GEMM case or the end-to-end time regressed >10%
+//   --reps <n>         GEMM repetitions per timing (default 20; the CI smoke
+//                      run uses 1)
 
 #include <chrono>
 #include <cstdlib>
@@ -10,6 +19,7 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,7 +29,9 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "nn/arena.h"
 #include "nn/ops.h"
+#include "nn/simd.h"
 #include "nn/tensor.h"
 #include "rl/ippo_trainer.h"
 #include "rl/policy.h"
@@ -53,8 +65,9 @@ nn::Tensor RandomMatrix(int64_t rows, int64_t cols, Rng& rng) {
 struct GemmCase {
   std::string label;
   int64_t n, k, m;
-  double sec_one = 0.0;
-  double sec_many = 0.0;
+  double sec_scalar = 0.0;  // SIMD off, 1 thread
+  double sec_simd = 0.0;    // SIMD on, 1 thread
+  double sec_many = 0.0;    // SIMD on, N threads
 };
 
 // One training-step-shaped unit of work: forward GEMM, scalar loss,
@@ -69,6 +82,25 @@ double TimeGemm(const GemmCase& gemm, int64_t reps) {
         loss.Backward();
       },
       reps);
+}
+
+// Steady-state allocator traffic: after a warmup pass has populated the
+// recycling pool, a GEMM iteration must run entirely on reused buffers.
+// Returns heap allocations per iteration (arena counter delta / iterations).
+double SteadyStateAllocsPerIter(const GemmCase& gemm) {
+  Rng rng(23);
+  nn::Tensor a = RandomMatrix(gemm.n, gemm.k, rng);
+  nn::Tensor b = RandomMatrix(gemm.k, gemm.m, rng);
+  auto step = [&] {
+    nn::Tensor loss = nn::Sum(nn::MatMul(a, b));
+    loss.Backward();
+  };
+  for (int i = 0; i < 3; ++i) step();  // warmup: fill the pool
+  constexpr int64_t kIters = 10;
+  int64_t before = nn::arena::GlobalStats().heap_allocs;
+  for (int64_t i = 0; i < kIters; ++i) step();
+  int64_t after = nn::arena::GlobalStats().heap_allocs;
+  return static_cast<double>(after - before) / static_cast<double>(kIters);
 }
 
 struct EndToEnd {
@@ -92,23 +124,35 @@ double TimeIterations(env::World& world, int64_t episodes, int64_t reps) {
 }
 
 void WriteJson(const std::string& path, int64_t threads,
-               const std::vector<GemmCase>& gemms, const EndToEnd& e2e) {
+               const std::vector<GemmCase>& gemms, double allocs_per_iter,
+               const EndToEnd& e2e) {
   std::ofstream out(path);
   GARL_CHECK(out.good());
-  // hardware_concurrency bounds the achievable speedup; on a 1-core box
-  // every ratio is ~1 regardless of thread count.
+  nn::arena::ArenaStats arena = nn::arena::GlobalStats();
+  // hardware_concurrency bounds the achievable thread speedup; on a 1-core
+  // box those ratios are ~1 and the SIMD ratio carries the signal.
   out << "{\n  \"threads\": " << threads << ",\n  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n  \"gemm\": [\n";
+      << std::thread::hardware_concurrency()
+      << ",\n  \"simd_compiled\": " << (GARL_SIMD_COMPILED ? "true" : "false")
+      << ",\n  \"gemm\": [\n";
   for (size_t i = 0; i < gemms.size(); ++i) {
     const GemmCase& g = gemms[i];
     out << "    {\"label\": \"" << g.label << "\", \"n\": " << g.n
         << ", \"k\": " << g.k << ", \"m\": " << g.m
-        << ", \"seconds_1_thread\": " << g.sec_one
+        << ", \"seconds_scalar\": " << g.sec_scalar
+        << ", \"seconds_simd\": " << g.sec_simd << ", \"simd_speedup\": "
+        << (g.sec_simd > 0 ? g.sec_scalar / g.sec_simd : 0.0)
         << ", \"seconds_n_threads\": " << g.sec_many
-        << ", \"speedup\": " << (g.sec_many > 0 ? g.sec_one / g.sec_many : 0.0)
-        << "}" << (i + 1 < gemms.size() ? "," : "") << "\n";
+        << ", \"thread_speedup\": "
+        << (g.sec_many > 0 ? g.sec_simd / g.sec_many : 0.0) << "}"
+        << (i + 1 < gemms.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"end_to_end\": {\"campus\": \"KAIST\", "
+  out << "  ],\n  \"arena\": {\"steady_state_heap_allocs_per_iter\": "
+      << allocs_per_iter << ", \"heap_allocs\": " << arena.heap_allocs
+      << ", \"reuses\": " << arena.reuses
+      << ", \"cached_bytes\": " << arena.cached_bytes
+      << ", \"high_water_bytes\": " << arena.high_water_bytes << "},\n";
+  out << "  \"end_to_end\": {\"campus\": \"KAIST\", "
       << "\"episodes_per_iteration\": " << e2e.episodes_per_iteration
       << ", \"seconds_per_iteration_1_thread\": " << e2e.sec_one
       << ", \"seconds_per_iteration_n_threads\": " << e2e.sec_many
@@ -116,7 +160,93 @@ void WriteJson(const std::string& path, int64_t threads,
       << (e2e.sec_many > 0 ? e2e.sec_one / e2e.sec_many : 0.0) << "}\n}\n";
 }
 
-int Main() {
+// --- baseline comparison ---------------------------------------------------
+//
+// The reports are flat enough that a string scan beats pulling in a JSON
+// parser here: find the anchor key, read the number after the next ':'.
+// Returns false when the key is missing (older schema, new case).
+bool ScanNumberAfter(const std::string& text, size_t from,
+                     const std::string& key, double* value) {
+  size_t at = text.find(key, from);
+  if (at == std::string::npos) return false;
+  size_t colon = text.find(':', at + key.size());
+  if (colon == std::string::npos) return false;
+  *value = std::atof(text.c_str() + colon + 1);
+  return true;
+}
+
+// Baseline seconds for a labelled GEMM case. Prefers the current schema's
+// seconds_simd; falls back to the pre-SIMD report's seconds_1_thread so a
+// seed baseline still anchors the comparison.
+bool BaselineGemmSeconds(const std::string& text, const std::string& label,
+                         double* value) {
+  size_t at = text.find("\"" + label + "\"");
+  if (at == std::string::npos) return false;
+  if (ScanNumberAfter(text, at, "\"seconds_simd\"", value)) return true;
+  return ScanNumberAfter(text, at, "\"seconds_1_thread\"", value);
+}
+
+int CompareAgainstBaseline(const std::string& baseline_path,
+                           const std::vector<GemmCase>& gemms,
+                           const EndToEnd& e2e) {
+  std::ifstream in(baseline_path);
+  if (!in.good()) {
+    std::cerr << "bench_kernels: cannot read baseline " << baseline_path
+              << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  constexpr double kTolerance = 1.10;  // fail on >10% regression
+  int failures = 0;
+  for (const GemmCase& g : gemms) {
+    double base = 0.0;
+    if (!BaselineGemmSeconds(text, g.label, &base)) {
+      std::cout << "baseline " << g.label << ": not present, skipped\n";
+      continue;
+    }
+    bool ok = g.sec_simd <= base * kTolerance;
+    std::cout << "baseline " << g.label << ": " << base << "s -> "
+              << g.sec_simd << "s " << (ok ? "OK" : "REGRESSED") << "\n";
+    if (!ok) ++failures;
+  }
+  double base_e2e = 0.0;
+  if (ScanNumberAfter(text, 0, "\"seconds_per_iteration_1_thread\"",
+                      &base_e2e)) {
+    bool ok = e2e.sec_one <= base_e2e * kTolerance;
+    std::cout << "baseline end_to_end: " << base_e2e << "s/iter -> "
+              << e2e.sec_one << "s/iter " << (ok ? "OK" : "REGRESSED")
+              << "\n";
+    if (!ok) ++failures;
+  }
+  if (failures > 0) {
+    std::cerr << "bench_kernels: " << failures
+              << " case(s) regressed >10% vs " << baseline_path << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path = "BENCH_kernels.json";
+  std::string baseline_path;
+  int64_t gemm_reps = 20;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      gemm_reps = std::max<int64_t>(1, std::atoll(argv[++i]));
+    } else {
+      std::cerr << "usage: bench_kernels [--json <path>] [--baseline <path>]"
+                << " [--reps <n>]\n";
+      return 2;
+    }
+  }
+
   const int64_t threads = BenchThreads();
   BenchOptions options = LoadBenchOptions();
 
@@ -131,21 +261,30 @@ int Main() {
       {"policy_head_batch", 256, 64, 64},
   };
 
-  const int64_t gemm_reps = 20;
   for (GemmCase& g : gemms) {
     ThreadPool::SetGlobalThreads(1);
-    g.sec_one = TimeGemm(g, gemm_reps);
+    nn::simd::SetEnabledForTest(false);
+    g.sec_scalar = TimeGemm(g, gemm_reps);
+    nn::simd::SetEnabledForTest(true);
+    g.sec_simd = TimeGemm(g, gemm_reps);
     ThreadPool::SetGlobalThreads(threads);
     g.sec_many = TimeGemm(g, gemm_reps);
     std::cout << "gemm " << g.label << " [" << g.n << "x" << g.k << "x" << g.m
-              << "]  1t=" << g.sec_one << "s  " << threads
-              << "t=" << g.sec_many << "s  speedup="
-              << (g.sec_many > 0 ? g.sec_one / g.sec_many : 0.0) << "\n";
+              << "]  scalar=" << g.sec_scalar << "s  simd=" << g.sec_simd
+              << "s (x"
+              << (g.sec_simd > 0 ? g.sec_scalar / g.sec_simd : 0.0) << ")  "
+              << threads << "t=" << g.sec_many << "s\n";
   }
+  ThreadPool::SetGlobalThreads(1);
+
+  double allocs_per_iter = SteadyStateAllocsPerIter(gemms[0]);
+  std::cout << "arena steady-state heap allocs/iter (after warmup): "
+            << allocs_per_iter << "\n";
 
   EndToEnd e2e;
   e2e.episodes_per_iteration = threads;
-  const int64_t iter_reps = 2;
+  const int64_t iter_reps =
+      std::max<int64_t>(1, std::min<int64_t>(2, gemm_reps));
   ThreadPool::SetGlobalThreads(1);
   e2e.sec_one = TimeIterations(*world, e2e.episodes_per_iteration, iter_reps);
   ThreadPool::SetGlobalThreads(threads);
@@ -156,12 +295,16 @@ int Main() {
             << "t=" << e2e.sec_many << "s/iter  speedup="
             << (e2e.sec_many > 0 ? e2e.sec_one / e2e.sec_many : 0.0) << "\n";
 
-  WriteJson("BENCH_kernels.json", threads, gemms, e2e);
-  std::cout << "wrote BENCH_kernels.json\n";
+  WriteJson(json_path, threads, gemms, allocs_per_iter, e2e);
+  std::cout << "wrote " << json_path << "\n";
+
+  if (!baseline_path.empty()) {
+    return CompareAgainstBaseline(baseline_path, gemms, e2e);
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace garl::bench
 
-int main() { return garl::bench::Main(); }
+int main(int argc, char** argv) { return garl::bench::Main(argc, argv); }

@@ -43,6 +43,24 @@ garl_run_step("observability test suite"
   -R "HistogramTest|MetricsRegistryTest|TraceTest|RunLogRecordTest|TracecatTest|GoldenRunTest|ChaosTest|StopNetworkCacheTest|FleetTest"
   -j4)
 
+# --- 2c: kernel determinism under both GARL_SIMD settings. ------------------
+# The runtime flag is read once per process, so running the suite twice with
+# the env var flipped covers both kernel bodies; the golden-run matrix test
+# additionally A/Bs in-process. Byte-identical det payloads are the contract.
+foreach(simd_setting 0 1)
+  set(ENV{GARL_SIMD} ${simd_setting})
+  garl_run_step("kernel determinism (GARL_SIMD=${simd_setting})"
+    ${CMAKE_CTEST_COMMAND} --test-dir ${GATES_DIR}/lint --output-on-failure
+    -R "SimdKernelTest|ArenaPoolTest|ArenaScratchTest|ArenaSteadyStateTest|ArenaStatsTest|GoldenRunTest"
+    -j4)
+endforeach()
+unset(ENV{GARL_SIMD})
+
+# --- 2d: bench harness smoke (1 rep; checks it runs and emits valid JSON). --
+garl_run_step("bench_kernels smoke"
+  ${GATES_DIR}/lint/bench/bench_kernels --reps 1
+  --json ${GATES_DIR}/lint/BENCH_kernels_smoke.json)
+
 # --- 3: clang-tidy over the same build's compile commands. ------------------
 garl_run_step("clang-tidy (skips loudly if unavailable)"
   ${CMAKE_COMMAND} -DSOURCE_DIR=${SOURCE_DIR} -DBUILD_DIR=${GATES_DIR}/lint

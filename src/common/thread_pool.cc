@@ -5,6 +5,7 @@
 #include <exception>
 #include <memory>
 
+#include "common/check.h"
 #include "common/env_flags.h"
 
 namespace garl {
@@ -12,6 +13,24 @@ namespace garl {
 namespace {
 
 thread_local bool t_in_pool_worker = false;
+
+// Worker-exit hooks: a fixed array of plain function pointers so there is
+// nothing to heap-allocate and nothing with a destructor that static
+// teardown could run before the last worker exits.
+constexpr int kMaxWorkerExitHooks = 8;
+std::atomic<void (*)()> g_worker_exit_hooks[kMaxWorkerExitHooks];
+std::atomic<int> g_worker_exit_hook_count{0};
+
+void RunWorkerExitHooks() {
+  int count = g_worker_exit_hook_count.load(std::memory_order_acquire);
+  for (int i = 0; i < count && i < kMaxWorkerExitHooks; ++i) {
+    // A slot whose pointer store hasn't landed yet reads null — skip it;
+    // registration racing a worker's death loses harmlessly.
+    if (void (*hook)() = g_worker_exit_hooks[i].load(std::memory_order_acquire)) {
+      hook();
+    }
+  }
+}
 
 std::mutex g_global_mutex;
 std::unique_ptr<ThreadPool> g_global_pool;
@@ -44,16 +63,54 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::WorkerLoop() {
   t_in_pool_worker = true;
   for (;;) {
+    PfJob* job = nullptr;
     std::packaged_task<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      // Only wake for a broadcast job while it still has unclaimed chunks;
+      // once the ticket is exhausted the stragglers' finalization happens on
+      // the threads already registered.
+      cv_.wait(lock, [this] {
+        return stop_ || !queue_.empty() ||
+               (pf_job_ != nullptr &&
+                pf_job_->next_chunk.load(std::memory_order_relaxed) <
+                    pf_job_->chunks);
+      });
+      if (pf_job_ != nullptr &&
+          pf_job_->next_chunk.load(std::memory_order_relaxed) <
+              pf_job_->chunks) {
+        job = pf_job_;
+        // Register under mutex_: the caller clears pf_job_ under the same
+        // mutex before it starts waiting for active == 0, so every worker
+        // that grabbed the pointer is counted.
+        job->active.fetch_add(1, std::memory_order_relaxed);
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else {
+        break;  // stop_ and drained
+      }
+    }
+    if (job != nullptr) {
+      int64_t chunks_done = 0;
+      std::exception_ptr error;
+      RunPfChunks(job, &chunks_done, &error);
+      {
+        // All completion state flips inside job->m, with the notify issued
+        // before unlocking: the instant the caller's predicate can become
+        // true it already holds job->m, so it cannot destroy the job while
+        // this thread still touches it.
+        std::lock_guard<std::mutex> job_lock(job->m);
+        job->done += chunks_done;
+        if (error && !job->first_error) job->first_error = error;
+        job->active.fetch_sub(1, std::memory_order_relaxed);
+        job->cv.notify_all();
+      }
+      continue;
     }
     task();  // exceptions land in the task's future
   }
+  RunWorkerExitHooks();
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
@@ -86,47 +143,76 @@ void ThreadPool::ParallelFor(
     body(begin, end);
     return;
   }
+  // Same partition as ever — chunk boundaries are part of the determinism
+  // contract (each output location belongs to exactly one chunk).
   int64_t chunks = std::min(num_threads_, (span + grain - 1) / grain);
   int64_t chunk_size = (span + chunks - 1) / chunks;
 
-  // First-exception slot shared by all chunks.
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  std::atomic<int64_t> remaining(chunks - 1);
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  // Stack-allocated broadcast job: workers claim chunk indices from
+  // next_chunk instead of popping per-chunk heap tasks off the queue.
+  PfJob job;
+  job.begin = begin;
+  job.end = end;
+  job.chunks = chunks;
+  job.chunk_size = chunk_size;
+  job.body = &body;
 
-  auto run_chunk = [&](int64_t chunk_begin, int64_t chunk_end) {
-    try {
-      body(chunk_begin, chunk_end);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-    }
-  };
-
-  // Chunks 1..N-1 go to workers; the caller runs chunk 0 itself.
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (int64_t c = 1; c < chunks; ++c) {
-      int64_t chunk_begin = begin + c * chunk_size;
-      int64_t chunk_end = std::min(chunk_begin + chunk_size, end);
-      queue_.emplace_back([&, chunk_begin, chunk_end] {
-        run_chunk(chunk_begin, chunk_end);
-        if (remaining.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> done_lock(done_mutex);
-          done_cv.notify_one();
-        }
-      });
+    if (pf_job_ != nullptr) {
+      // Another external thread already has a job broadcast. Rare (the
+      // trainer is single-threaded at this level) — just run inline rather
+      // than queueing behind it.
+      inline_parallel_fors_.fetch_add(1, std::memory_order_relaxed);
+      body(begin, end);
+      return;
     }
+    pf_job_ = &job;
   }
   cv_.notify_all();
-  run_chunk(begin, std::min(begin + chunk_size, end));
+
+  int64_t chunks_done = 0;
+  std::exception_ptr error;
+  RunPfChunks(&job, &chunks_done, &error);
+
   {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+    // Close the job: no worker can register after this block, so `active`
+    // can only fall from here on.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pf_job_ == &job) pf_job_ = nullptr;
   }
-  if (first_error) std::rethrow_exception(first_error);
+  {
+    std::unique_lock<std::mutex> job_lock(job.m);
+    job.done += chunks_done;
+    if (error && !job.first_error) job.first_error = error;
+    job.cv.wait(job_lock, [&job] {
+      return job.done == job.chunks &&
+             job.active.load(std::memory_order_relaxed) == 0;
+    });
+  }
+  if (job.first_error) std::rethrow_exception(job.first_error);
+}
+
+void ThreadPool::RunPfChunks(PfJob* job, int64_t* chunks_done,
+                             std::exception_ptr* error) {
+  for (;;) {
+    int64_t c = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job->chunks) return;
+    int64_t chunk_begin = job->begin + c * job->chunk_size;
+    int64_t chunk_end = std::min(chunk_begin + job->chunk_size, job->end);
+    try {
+      (*job->body)(chunk_begin, chunk_end);
+    } catch (...) {
+      if (!*error) *error = std::current_exception();
+    }
+    ++*chunks_done;  // a chunk that threw still counts as executed
+  }
+}
+
+void ThreadPool::RegisterWorkerExitHook(void (*hook)()) {
+  int idx = g_worker_exit_hook_count.fetch_add(1, std::memory_order_acq_rel);
+  GARL_CHECK_LT(idx, kMaxWorkerExitHooks);
+  g_worker_exit_hooks[idx].store(hook, std::memory_order_release);
 }
 
 bool ThreadPool::InWorker() { return t_in_pool_worker; }

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -68,8 +69,22 @@ class ThreadPool {
   // last). Runs inline when the range fits one grain, the pool has one
   // thread, or the caller is itself a pool worker. Blocks until every chunk
   // completed; the first exception thrown by any chunk is rethrown.
+  //
+  // Allocation-free in steady state: the job descriptor lives on the
+  // caller's stack and workers claim chunk indices from an atomic counter —
+  // nothing is heap-allocated per call or per chunk (unlike Submit, which
+  // pays one packaged_task per task). Only one broadcast job can be in
+  // flight; a second external thread calling ParallelFor concurrently runs
+  // its range inline.
   void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                    const std::function<void(int64_t, int64_t)>& body);
+
+  // Registers a hook every worker runs once, just before its thread exits
+  // (pool destruction). Fixed capacity of 8, process-wide, never
+  // unregistered — hooks must be idempotent and safe during shutdown. The
+  // tensor arena uses this to hand a dying worker's cached buffers back to
+  // the shared pool.
+  static void RegisterWorkerExitHook(void (*hook)());
 
   // True when the calling thread is one of this process's pool workers.
   static bool InWorker();
@@ -98,7 +113,31 @@ class ThreadPool {
   static void SetGlobalThreads(int64_t num_threads);
 
  private:
+  // One in-flight ParallelFor, broadcast to every worker. The struct lives
+  // on the calling thread's stack; workers may only register themselves
+  // (active++) under the pool mutex while pf_job_ still points at it, and
+  // the caller waits until done == chunks and active == 0 before letting the
+  // frame die, so no worker can touch a freed job.
+  struct PfJob {
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t chunks = 0;
+    int64_t chunk_size = 0;
+    const std::function<void(int64_t, int64_t)>* body = nullptr;
+    std::atomic<int64_t> next_chunk{0};  // chunk claim ticket
+    std::atomic<int64_t> active{0};      // workers currently inside the job
+    std::mutex m;                        // guards done / first_error
+    std::condition_variable cv;          // caller waits on completion
+    int64_t done = 0;                    // chunks fully executed
+    std::exception_ptr first_error;
+  };
+
   void WorkerLoop();
+  // Claims and runs chunks until the ticket runs out. Reports how many this
+  // thread completed and the first exception it saw; touches no job state
+  // that needs a lock.
+  static void RunPfChunks(PfJob* job, int64_t* chunks_done,
+                          std::exception_ptr* error);
 
   int64_t num_threads_;
   std::atomic<int64_t> tasks_submitted_{0};
@@ -108,6 +147,7 @@ class ThreadPool {
   std::deque<std::packaged_task<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  PfJob* pf_job_ = nullptr;  // guarded by mutex_
   bool stop_ = false;
 };
 

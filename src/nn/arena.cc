@@ -1,0 +1,290 @@
+#include "nn/arena.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/env_flags.h"
+#include "common/thread_pool.h"
+
+// This file (with tensor.cc) is the sanctioned home of raw allocation in the
+// repo: garl_lint's raw-new-delete rule exempts src/nn/arena.* so every
+// other file has to funnel through it.
+
+namespace garl::nn::arena {
+
+namespace {
+
+constexpr int64_t kAlignment = 64;
+
+// --- process-wide counters (trivially destructible, safe at exit) ----------
+std::atomic<int64_t> g_heap_allocs{0};
+std::atomic<int64_t> g_reuses{0};
+std::atomic<int64_t> g_releases{0};
+std::atomic<int64_t> g_evictions{0};
+std::atomic<int64_t> g_cached_bytes{0};
+std::atomic<int64_t> g_high_water_bytes{0};
+std::atomic<int64_t> g_scratch_bytes{0};
+std::atomic<int64_t> g_max_cached_override{-1};
+
+int64_t MaxCachedBytes() {
+  int64_t override_bytes = g_max_cached_override.load(std::memory_order_relaxed);
+  if (override_bytes >= 0) return override_bytes;
+  static const int64_t from_env =
+      EnvInt("GARL_ARENA_MAX_CACHED_MB", 512) * (int64_t{1} << 20);
+  return from_env;
+}
+
+void BumpHighWater(int64_t cached_now) {
+  int64_t seen = g_high_water_bytes.load(std::memory_order_relaxed);
+  while (cached_now > seen &&
+         !g_high_water_bytes.compare_exchange_weak(seen, cached_now,
+                                                   std::memory_order_relaxed)) {
+  }
+}
+
+// Free lists keyed by element count. Buffers are stored at full size so a
+// hit is ready to hand out without resizing.
+using FreeLists = std::unordered_map<int64_t, std::vector<std::vector<float>>>;
+
+// Capacity owned by exited threads, shared so survivors can reuse it.
+struct Orphanage {
+  std::mutex mutex;
+  FreeLists lists;
+};
+
+Orphanage& GetOrphanage() {
+  // Leaked on purpose: worker thread_local destructors may run during static
+  // destruction, after a function-local static would already be gone.
+  static Orphanage* orphanage = new Orphanage;  // garl-lint: allow(raw-new-delete)
+  return *orphanage;
+}
+
+int64_t BytesOf(const std::vector<float>& buffer) {
+  return static_cast<int64_t>(buffer.size() * sizeof(float));
+}
+
+struct ThreadCache {
+  FreeLists lists;
+  ~ThreadCache();
+};
+
+// Guard against touching the cache after its destructor ran (static/thread
+// teardown order). The bool is trivially destructible so it stays valid for
+// the whole thread lifetime.
+thread_local bool t_cache_destroyed = false;
+thread_local ThreadCache t_cache;
+
+void MoveListsToOrphanage(FreeLists* lists) {
+  if (lists->empty()) return;
+  Orphanage& orphanage = GetOrphanage();
+  std::lock_guard<std::mutex> lock(orphanage.mutex);
+  for (auto& [numel, buffers] : *lists) {
+    auto& dst = orphanage.lists[numel];
+    std::move(buffers.begin(), buffers.end(), std::back_inserter(dst));
+  }
+  lists->clear();
+}
+
+ThreadCache::~ThreadCache() {
+  t_cache_destroyed = true;
+  MoveListsToOrphanage(&lists);
+}
+
+// Pops a recycled buffer of exactly `numel` elements, or returns false.
+bool PopCached(int64_t numel, std::vector<float>* out) {
+  if (!t_cache_destroyed) {
+    auto it = t_cache.lists.find(numel);
+    if (it != t_cache.lists.end() && !it->second.empty()) {
+      *out = std::move(it->second.back());
+      it->second.pop_back();
+      return true;
+    }
+  }
+  Orphanage& orphanage = GetOrphanage();
+  std::lock_guard<std::mutex> lock(orphanage.mutex);
+  auto it = orphanage.lists.find(numel);
+  if (it == orphanage.lists.end() || it->second.empty()) return false;
+  *out = std::move(it->second.back());
+  it->second.pop_back();
+  return true;
+}
+
+}  // namespace
+
+ArenaStats GlobalStats() {
+  ArenaStats stats;
+  stats.heap_allocs = g_heap_allocs.load(std::memory_order_relaxed);
+  stats.reuses = g_reuses.load(std::memory_order_relaxed);
+  stats.releases = g_releases.load(std::memory_order_relaxed);
+  stats.evictions = g_evictions.load(std::memory_order_relaxed);
+  stats.cached_bytes = g_cached_bytes.load(std::memory_order_relaxed);
+  stats.high_water_bytes = g_high_water_bytes.load(std::memory_order_relaxed);
+  stats.scratch_bytes = g_scratch_bytes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetStatsForTest() {
+  g_heap_allocs.store(0, std::memory_order_relaxed);
+  g_reuses.store(0, std::memory_order_relaxed);
+  g_releases.store(0, std::memory_order_relaxed);
+  g_evictions.store(0, std::memory_order_relaxed);
+  g_high_water_bytes.store(g_cached_bytes.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+}
+
+std::vector<float> AcquireUninit(int64_t numel) {
+  GARL_CHECK_GE(numel, 0);
+  if (numel == 0) return {};
+  // Dying pool workers hand their cached buffers back to the shared pool
+  // promptly instead of waiting on thread_local teardown order.
+  static std::once_flag register_flush;
+  std::call_once(register_flush, [] {
+    ThreadPool::RegisterWorkerExitHook(&FlushThreadCache);
+  });
+  std::vector<float> buffer;
+  if (PopCached(numel, &buffer)) {
+    g_reuses.fetch_add(1, std::memory_order_relaxed);
+    g_cached_bytes.fetch_sub(BytesOf(buffer), std::memory_order_relaxed);
+    return buffer;
+  }
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::vector<float>(static_cast<size_t>(numel));
+}
+
+std::vector<float> AcquireZeroed(int64_t numel) {
+  std::vector<float> buffer = AcquireUninit(numel);
+  std::fill(buffer.begin(), buffer.end(), 0.0f);
+  return buffer;
+}
+
+void Release(std::vector<float>&& buffer) {
+  if (buffer.empty()) return;
+  g_releases.fetch_add(1, std::memory_order_relaxed);
+  int64_t bytes = BytesOf(buffer);
+  int64_t cached = g_cached_bytes.load(std::memory_order_relaxed);
+  if (t_cache_destroyed || cached + bytes > MaxCachedBytes()) {
+    g_evictions.fetch_add(1, std::memory_order_relaxed);
+    std::vector<float> drop = std::move(buffer);  // freed here
+    return;
+  }
+  int64_t numel = static_cast<int64_t>(buffer.size());
+  t_cache.lists[numel].push_back(std::move(buffer));
+  BumpHighWater(g_cached_bytes.fetch_add(bytes, std::memory_order_relaxed) +
+                bytes);
+}
+
+void FlushThreadCache() {
+  if (t_cache_destroyed) return;
+  MoveListsToOrphanage(&t_cache.lists);
+}
+
+void SetMaxCachedBytesForTest(int64_t max_bytes) {
+  g_max_cached_override.store(max_bytes, std::memory_order_relaxed);
+}
+
+// --- Scratch arena ----------------------------------------------------------
+
+namespace {
+
+int64_t AlignUp(int64_t n) { return (n + kAlignment - 1) & ~(kAlignment - 1); }
+
+}  // namespace
+
+Arena::Arena(int64_t initial_bytes)
+    : next_slab_bytes_(std::max<int64_t>(AlignUp(initial_bytes), kAlignment)) {}
+
+Arena::~Arena() {
+  for (Slab& slab : slabs_) {
+    ::operator delete(slab.base, std::align_val_t{kAlignment});
+  }
+}
+
+Arena::Slab& Arena::GrowFor(int64_t bytes) {
+  int64_t capacity = std::max(next_slab_bytes_, AlignUp(bytes));
+  next_slab_bytes_ = capacity * 2;
+  Slab slab;
+  slab.base = static_cast<char*>(
+      ::operator new(static_cast<size_t>(capacity), std::align_val_t{kAlignment}));
+  slab.capacity = capacity;
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_scratch_bytes.fetch_add(capacity, std::memory_order_relaxed);
+  slabs_.push_back(slab);
+  active_ = static_cast<int64_t>(slabs_.size()) - 1;
+  return slabs_.back();
+}
+
+float* Arena::AllocateFloats(int64_t count) {
+  GARL_CHECK_GE(count, 0);
+  int64_t bytes = AlignUp(count * static_cast<int64_t>(sizeof(float)));
+  // Try the active slab, then any later slab kept from a previous high-water
+  // pass, then grow.
+  for (int64_t s = active_; s < static_cast<int64_t>(slabs_.size()); ++s) {
+    Slab& slab = slabs_[static_cast<size_t>(s)];
+    if (slab.capacity - slab.used >= bytes) {
+      float* out = reinterpret_cast<float*>(slab.base + slab.used);
+      slab.used += bytes;
+      active_ = s;
+      g_reuses.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    }
+  }
+  Slab& slab = GrowFor(bytes);
+  float* out = reinterpret_cast<float*>(slab.base);
+  slab.used = bytes;
+  return out;
+}
+
+void Arena::Reset() {
+  for (Slab& slab : slabs_) slab.used = 0;
+  active_ = 0;
+}
+
+Arena::Mark Arena::SaveMark() const {
+  Mark mark;
+  mark.slab = active_;
+  mark.used = slabs_.empty()
+                  ? 0
+                  : slabs_[static_cast<size_t>(active_)].used;
+  return mark;
+}
+
+void Arena::RestoreMark(Mark mark) {
+  for (int64_t s = mark.slab + 1; s < static_cast<int64_t>(slabs_.size());
+       ++s) {
+    slabs_[static_cast<size_t>(s)].used = 0;
+  }
+  if (!slabs_.empty() && mark.slab < static_cast<int64_t>(slabs_.size())) {
+    slabs_[static_cast<size_t>(mark.slab)].used = mark.used;
+  }
+  active_ = std::min(mark.slab,
+                     std::max<int64_t>(
+                         0, static_cast<int64_t>(slabs_.size()) - 1));
+}
+
+int64_t Arena::capacity_bytes() const {
+  int64_t total = 0;
+  for (const Slab& slab : slabs_) total += slab.capacity;
+  return total;
+}
+
+int64_t Arena::used_bytes() const {
+  int64_t total = 0;
+  for (const Slab& slab : slabs_) total += slab.used;
+  return total;
+}
+
+Arena& ThreadScratch() {
+  thread_local Arena scratch;
+  return scratch;
+}
+
+ScratchScope::ScratchScope() : mark_(ThreadScratch().SaveMark()) {}
+
+ScratchScope::~ScratchScope() { ThreadScratch().RestoreMark(mark_); }
+
+}  // namespace garl::nn::arena

@@ -1,0 +1,145 @@
+#ifndef GARL_NN_ARENA_H_
+#define GARL_NN_ARENA_H_
+
+#include <cstdint>
+#include <vector>
+
+// Arena/slab allocation for the tensor stack. Two cooperating pieces:
+//
+//  1. A buffer pool (AcquireUninit / AcquireZeroed / Release) that recycles
+//     the std::vector<float> storage behind TensorImpl value/grad buffers.
+//     Training builds and drops the same DAG every iteration, so after one
+//     warmup pass every Acquire is served from a thread-local free list and
+//     steady-state iterations perform zero heap allocations (asserted by
+//     arena_test via the counters below). Buffers keep their std::vector
+//     identity, so Tensor::data() still hands out const std::vector<float>&
+//     and no call site changes.
+//
+//  2. A bump-pointer scratch Arena of 64-byte-aligned slabs for transient
+//     kernel workspace (packed transposes, conv edge staging). Each thread
+//     gets its own instance via ThreadScratch(); kernels mark/restore it
+//     with ScratchScope so nested ops compose.
+//
+// Ownership rules (see DESIGN.md, Memory & SIMD kernels):
+//  - Pool buffers are owned by whoever holds the vector; Release is the only
+//    way to return one. Releasing on a different thread than Acquire is fine
+//    (free lists are thread-local; capacity migrates through a shared
+//    orphan list when threads exit).
+//  - Scratch pointers are valid only until the enclosing ScratchScope ends;
+//    never store them in a Tensor.
+//
+// All counters are process-global and monotonically increasing except
+// cached_bytes/outstanding snapshots. They are runtime observability data
+// (run-log `rt` payload), never deterministic payload.
+
+namespace garl::nn::arena {
+
+struct ArenaStats {
+  // Pool misses that hit the heap (vector construction) + scratch slab
+  // mallocs. Flat across steady-state iterations once warm.
+  int64_t heap_allocs = 0;
+  // Acquires served from a free list + scratch allocations served in-slab.
+  int64_t reuses = 0;
+  // Buffers returned via Release (kept or evicted).
+  int64_t releases = 0;
+  // Buffers dropped on Release because the cache cap was reached.
+  int64_t evictions = 0;
+  // Bytes currently parked in free lists (all threads + orphans).
+  int64_t cached_bytes = 0;
+  // Peak of cached_bytes over the process lifetime.
+  int64_t high_water_bytes = 0;
+  // Total capacity of all scratch-arena slabs ever allocated.
+  int64_t scratch_bytes = 0;
+};
+
+// Snapshot of the process-wide counters.
+ArenaStats GlobalStats();
+
+// Zeroes the monotonic counters (not the caches). Tests only.
+void ResetStatsForTest();
+
+// --- Tensor buffer pool -----------------------------------------------------
+
+// Returns a vector of exactly `numel` floats with unspecified contents
+// (recycled buffers keep stale values). Use when every element is written.
+std::vector<float> AcquireUninit(int64_t numel);
+
+// Returns a vector of exactly `numel` zero floats. Use for accumulation
+// targets (GEMM outputs, gradients).
+std::vector<float> AcquireZeroed(int64_t numel);
+
+// Returns a buffer to the pool (keyed by size). Empty vectors are ignored;
+// vectors that would push the cache over its cap are freed instead.
+void Release(std::vector<float>&& buffer);
+
+// Moves this thread's free lists to the shared orphan list so other threads
+// can reuse the capacity. Registered as a pool worker-exit hook; callable
+// directly in tests.
+void FlushThreadCache();
+
+// Overrides the cache cap (GARL_ARENA_MAX_CACHED_MB, default 512). Tests
+// only; pass a negative value to restore the env-derived default.
+void SetMaxCachedBytesForTest(int64_t max_bytes);
+
+// --- Scratch arena ----------------------------------------------------------
+
+class Arena {
+ public:
+  explicit Arena(int64_t initial_bytes = 1 << 16);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // 64-byte-aligned uninitialized scratch, valid until Reset/RestoreMark.
+  // Grows by doubling slabs when the current slabs are exhausted.
+  float* AllocateFloats(int64_t count);
+
+  // Releases all allocations (keeps slab capacity for reuse).
+  void Reset();
+
+  // Mark/restore for nested scopes (prefer ScratchScope).
+  struct Mark {
+    int64_t slab = 0;
+    int64_t used = 0;
+  };
+  Mark SaveMark() const;
+  void RestoreMark(Mark mark);
+
+  int64_t capacity_bytes() const;
+  int64_t used_bytes() const;
+  int64_t slab_count() const { return static_cast<int64_t>(slabs_.size()); }
+
+ private:
+  struct Slab {
+    char* base = nullptr;  // 64-byte aligned
+    int64_t capacity = 0;
+    int64_t used = 0;
+  };
+
+  Slab& GrowFor(int64_t bytes);
+
+  std::vector<Slab> slabs_;
+  int64_t active_ = 0;  // index of the slab currently bump-allocating
+  int64_t next_slab_bytes_;
+};
+
+// This thread's scratch arena (created on first use, reset by ScratchScope).
+Arena& ThreadScratch();
+
+// RAII mark/restore over ThreadScratch() so nested kernels compose.
+class ScratchScope {
+ public:
+  ScratchScope();
+  ~ScratchScope();
+
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+
+ private:
+  Arena::Mark mark_;
+};
+
+}  // namespace garl::nn::arena
+
+#endif  // GARL_NN_ARENA_H_

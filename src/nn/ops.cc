@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <memory>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "nn/arena.h"
+#include "nn/simd.h"
 
 namespace garl::nn {
 
@@ -39,13 +43,232 @@ int64_t RowGrain(int64_t row_cost) {
   return std::max<int64_t>(1, kParallelCutoff / std::max<int64_t>(row_cost, 1));
 }
 
-// C[n,m] += A[n,k] * B[k,m], all row-major. Cache-blocked over the inner
-// dimension and parallel over row blocks of C. Each row of C is owned by
-// exactly one chunk and accumulates in ascending-p order, so the result is
-// bit-identical for every thread count. Zero entries of A are skipped (the
-// graph ops multiply by Laplacians that are mostly zeros).
+// --- SIMD chunk helpers ------------------------------------------------------
+//
+// Each helper runs a generic functor element-wise over [lo, hi): lane-wise
+// vector body over full groups of simd::kLanes when `vec` is set, scalar
+// otherwise and for the tail. The functors are pure lane-wise IEEE single
+// expressions, so a vector lane computes exactly the scalar bits and the
+// GARL_SIMD=0/1 outputs are byte-identical (simd.h, determinism contract).
+// In-place use (out aliasing an input) is fine: loads of group i complete
+// before its store, and groups are disjoint.
+
+// out[i] = f(a[i])
+template <typename F>
+void MapUnaryChunk(const float* a, float* out, int64_t lo, int64_t hi,
+                   bool vec, F f) {
+  int64_t i = lo;
+#if GARL_SIMD_COMPILED
+  if (vec) {
+    for (; i + simd::kLanes <= hi; i += simd::kLanes) {
+      simd::StoreU(out + i, f(simd::LoadU(a + i)));
+    }
+  }
+#else
+  (void)vec;
+#endif
+  for (; i < hi; ++i) out[i] = f(a[i]);
+}
+
+// out[i] = f(a[i], b[i])
+template <typename F>
+void MapBinaryChunk(const float* a, const float* b, float* out, int64_t lo,
+                    int64_t hi, bool vec, F f) {
+  int64_t i = lo;
+#if GARL_SIMD_COMPILED
+  if (vec) {
+    for (; i + simd::kLanes <= hi; i += simd::kLanes) {
+      simd::StoreU(out + i, f(simd::LoadU(a + i), simd::LoadU(b + i)));
+    }
+  }
+#else
+  (void)vec;
+#endif
+  for (; i < hi; ++i) out[i] = f(a[i], b[i]);
+}
+
+// dst[i] += f(a[i])
+template <typename F>
+void AccumulateMap1(float* dst, const float* a, int64_t lo, int64_t hi,
+                    bool vec, F f) {
+  int64_t i = lo;
+#if GARL_SIMD_COMPILED
+  if (vec) {
+    for (; i + simd::kLanes <= hi; i += simd::kLanes) {
+      simd::StoreU(dst + i, simd::LoadU(dst + i) + f(simd::LoadU(a + i)));
+    }
+  }
+#else
+  (void)vec;
+#endif
+  for (; i < hi; ++i) dst[i] += f(a[i]);
+}
+
+// dst[i] += f(a[i], b[i])
+template <typename F>
+void AccumulateMap2(float* dst, const float* a, const float* b, int64_t lo,
+                    int64_t hi, bool vec, F f) {
+  int64_t i = lo;
+#if GARL_SIMD_COMPILED
+  if (vec) {
+    for (; i + simd::kLanes <= hi; i += simd::kLanes) {
+      simd::StoreU(dst + i, simd::LoadU(dst + i) +
+                                f(simd::LoadU(a + i), simd::LoadU(b + i)));
+    }
+  }
+#else
+  (void)vec;
+#endif
+  for (; i < hi; ++i) dst[i] += f(a[i], b[i]);
+}
+
+// dst[i] += f(a[i], b[i], c[i])
+template <typename F>
+void AccumulateMap3(float* dst, const float* a, const float* b, const float* c,
+                    int64_t lo, int64_t hi, bool vec, F f) {
+  int64_t i = lo;
+#if GARL_SIMD_COMPILED
+  if (vec) {
+    for (; i + simd::kLanes <= hi; i += simd::kLanes) {
+      simd::StoreU(dst + i,
+                   simd::LoadU(dst + i) +
+                       f(simd::LoadU(a + i), simd::LoadU(b + i),
+                         simd::LoadU(c + i)));
+    }
+  }
+#else
+  (void)vec;
+#endif
+  for (; i < hi; ++i) dst[i] += f(a[i], b[i], c[i]);
+}
+
+// dst[i] += src[i]
+inline void AddInto(float* dst, const float* src, int64_t len, bool vec) {
+  AccumulateMap1(dst, src, 0, len, vec, [](auto x) { return x; });
+}
+
+// C[n,m] += A[n,k] * B[k,m], all row-major. Parallel over row blocks of C;
+// each row of C is owned by exactly one chunk and accumulates in ascending-p
+// order, so the result is bit-identical for every thread count. Zero entries
+// of A are skipped (the graph ops multiply by Laplacians that are mostly
+// zeros) on both paths — the skip adds/omits exactly the same terms.
+//
+// Vector path: each row is processed in register tiles of 2*kLanes output
+// columns; the tile accumulates over all of p in registers and each lane j
+// sees the same ascending-p add sequence (with the same zero-skips) as the
+// scalar inner loop, so C's bits match the scalar path exactly. The build
+// compiles this file with -ffp-contract=off, so a + b*c can never fuse into
+// an FMA with different rounding.
 void GemmAccumulate(const float* a, const float* b, float* c, int64_t n,
                     int64_t k, int64_t m) {
+#if GARL_SIMD_COMPILED
+  if (simd::Enabled()) {
+    auto rows = [a, b, c, k, m](int64_t row_begin, int64_t row_end) {
+      // 2 rows x 16 columns of C live in registers per pass (eight XMM
+      // accumulators): the independent chains hide the vector-add latency,
+      // and each B row segment is loaded once for both C rows. Per C row and
+      // lane the accumulation is still one chain in ascending p with the
+      // same per-row zero-skip as the scalar path, so the bits cannot
+      // differ.
+      constexpr int64_t kL = simd::kLanes;
+      constexpr int64_t kTile = 4 * kL;
+      const int64_t mv = m - m % kTile;
+      // Scalar column tail shared by both loops below.
+      auto scalar_tail = [&](const float* arow, float* crow) {
+        for (int64_t j = mv; j < m; ++j) {
+          float acc = crow[j];
+          for (int64_t p = 0; p < k; ++p) {
+            float aip = arow[p];
+            if (aip == 0.0f) continue;
+            acc += aip * b[p * m + j];
+          }
+          crow[j] = acc;
+        }
+      };
+      int64_t i = row_begin;
+      for (; i + 1 < row_end; i += 2) {
+        const float* a0 = a + i * k;
+        const float* a1 = a0 + k;
+        float* c0 = c + i * m;
+        float* c1 = c0 + m;
+        for (int64_t jb = 0; jb < mv; jb += kTile) {
+          float* c0j = c0 + jb;
+          float* c1j = c1 + jb;
+          simd::VF x00 = simd::LoadU(c0j);
+          simd::VF x01 = simd::LoadU(c0j + kL);
+          simd::VF x02 = simd::LoadU(c0j + 2 * kL);
+          simd::VF x03 = simd::LoadU(c0j + 3 * kL);
+          simd::VF x10 = simd::LoadU(c1j);
+          simd::VF x11 = simd::LoadU(c1j + kL);
+          simd::VF x12 = simd::LoadU(c1j + 2 * kL);
+          simd::VF x13 = simd::LoadU(c1j + 3 * kL);
+          for (int64_t p = 0; p < k; ++p) {
+            float a0p = a0[p];
+            float a1p = a1[p];
+            if (a0p == 0.0f && a1p == 0.0f) continue;
+            const float* brow = b + p * m + jb;
+            simd::VF b0 = simd::LoadU(brow);
+            simd::VF b1 = simd::LoadU(brow + kL);
+            simd::VF b2 = simd::LoadU(brow + 2 * kL);
+            simd::VF b3 = simd::LoadU(brow + 3 * kL);
+            if (a0p != 0.0f) {
+              simd::VF va = simd::Broadcast(a0p);
+              x00 = x00 + va * b0;
+              x01 = x01 + va * b1;
+              x02 = x02 + va * b2;
+              x03 = x03 + va * b3;
+            }
+            if (a1p != 0.0f) {
+              simd::VF va = simd::Broadcast(a1p);
+              x10 = x10 + va * b0;
+              x11 = x11 + va * b1;
+              x12 = x12 + va * b2;
+              x13 = x13 + va * b3;
+            }
+          }
+          simd::StoreU(c0j, x00);
+          simd::StoreU(c0j + kL, x01);
+          simd::StoreU(c0j + 2 * kL, x02);
+          simd::StoreU(c0j + 3 * kL, x03);
+          simd::StoreU(c1j, x10);
+          simd::StoreU(c1j + kL, x11);
+          simd::StoreU(c1j + 2 * kL, x12);
+          simd::StoreU(c1j + 3 * kL, x13);
+        }
+        scalar_tail(a0, c0);
+        scalar_tail(a1, c1);
+      }
+      for (; i < row_end; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * m;
+        for (int64_t jb = 0; jb < mv; jb += kTile) {
+          float* cj = crow + jb;
+          simd::VF x0 = simd::LoadU(cj);
+          simd::VF x1 = simd::LoadU(cj + kL);
+          simd::VF x2 = simd::LoadU(cj + 2 * kL);
+          simd::VF x3 = simd::LoadU(cj + 3 * kL);
+          for (int64_t p = 0; p < k; ++p) {
+            float aip = arow[p];
+            if (aip == 0.0f) continue;
+            const float* brow = b + p * m + jb;
+            simd::VF va = simd::Broadcast(aip);
+            x0 = x0 + va * simd::LoadU(brow);
+            x1 = x1 + va * simd::LoadU(brow + kL);
+            x2 = x2 + va * simd::LoadU(brow + 2 * kL);
+            x3 = x3 + va * simd::LoadU(brow + 3 * kL);
+          }
+          simd::StoreU(cj, x0);
+          simd::StoreU(cj + kL, x1);
+          simd::StoreU(cj + 2 * kL, x2);
+          simd::StoreU(cj + 3 * kL, x3);
+        }
+        scalar_tail(arow, crow);
+      }
+    };
+    ThreadPool::Global().ParallelFor(0, n, RowGrain(k * m), rows);
+    return;
+  }
+#endif
   constexpr int64_t kPanel = 256;  // B-panel depth kept hot in cache
   auto rows = [a, b, c, k, m](int64_t row_begin, int64_t row_end) {
     for (int64_t pb = 0; pb < k; pb += kPanel) {
@@ -65,11 +288,11 @@ void GemmAccumulate(const float* a, const float* b, float* c, int64_t n,
   ThreadPool::Global().ParallelFor(0, n, RowGrain(k * m), rows);
 }
 
-// Contiguous [cols, rows] transpose of a row-major [rows, cols] matrix, so
-// the two backward GEMMs of MatMul stream both operands with unit stride.
-std::vector<float> PackTranspose(const float* src, int64_t rows,
-                                 int64_t cols) {
-  std::vector<float> out(static_cast<size_t>(rows * cols));
+// Contiguous [cols, rows] transpose of a row-major [rows, cols] matrix into
+// `out` (scratch-arena workspace), so the two backward GEMMs of MatMul
+// stream both operands with unit stride.
+void PackTransposeInto(const float* src, int64_t rows, int64_t cols,
+                       float* out) {
   constexpr int64_t kBlock = 64;  // tile so src and out lines both stay hot
   for (int64_t ib = 0; ib < rows; ib += kBlock) {
     int64_t ie = std::min(ib + kBlock, rows);
@@ -82,8 +305,32 @@ std::vector<float> PackTranspose(const float* src, int64_t rows,
       }
     }
   }
+}
+
+// Pool-backed copy of `src` (op outputs that start as a copy of an input).
+std::vector<float> ArenaCopy(const std::vector<float>& src) {
+  std::vector<float> out =
+      arena::AcquireUninit(static_cast<int64_t>(src.size()));
+  std::copy(src.begin(), src.end(), out.begin());
   return out;
 }
+
+// Pool-backed single-float buffer (scalar op outputs).
+std::vector<float> ScalarVec(float v) {
+  std::vector<float> out = arena::AcquireUninit(1);
+  out[0] = v;
+  return out;
+}
+
+// Shared handle that returns a pooled buffer on destruction; copyable so a
+// capturing lambda still converts to std::function (backward closures).
+struct PooledVec {
+  std::vector<float> data;
+  explicit PooledVec(std::vector<float> d) : data(std::move(d)) {}
+  ~PooledVec() { arena::Release(std::move(data)); }
+  PooledVec(const PooledVec&) = delete;
+  PooledVec& operator=(const PooledVec&) = delete;
+};
 
 bool AnyRequiresGrad(const std::vector<Tensor>& inputs) {
   for (const Tensor& t : inputs) {
@@ -119,39 +366,63 @@ void CheckSameShape(const Tensor& a, const Tensor& b) {
 // Elementwise binary helper: fwd(a_i, b_i) -> out_i and backward producing
 // (dL/da_i, dL/db_i) from (a_i, b_i, dL/dout_i). Forward and backward chunk
 // the index space; each index is touched by exactly one chunk (grads for
-// index i go to slot i of each parent, even when the parents alias).
+// index i go to slot i of each parent, even when the parents alias — each
+// vector group updates da fully before loading db, matching the scalar
+// read-modify-write order lane-wise). `fwd`/`bwd` are generic lambdas valid
+// on float and simd::VF.
 template <typename Fwd, typename Bwd>
 Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, Fwd fwd, Bwd bwd) {
   CheckSameShape(a, b);
   const auto& av = a.data();
   const auto& bv = b.data();
-  std::vector<float> out(av.size());
+  const bool vec = simd::Enabled();
+  std::vector<float> out = arena::AcquireUninit(a.numel());
   ThreadPool::Global().ParallelFor(
       0, static_cast<int64_t>(av.size()), kElementwiseGrain,
       [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) out[i] = fwd(av[i], bv[i]);
+        MapBinaryChunk(av.data(), bv.data(), out.data(), lo, hi, vec, fwd);
       });
   Impl ai = a.impl(), bi = b.impl();
   return MakeOp(a.shape(), std::move(out), {a, b},
                 [ai, bi, bwd](TensorImpl& self) {
+                  [[maybe_unused]] const bool bvec = simd::Enabled();
                   ThreadPool::Global().ParallelFor(
                       0, static_cast<int64_t>(self.value.size()),
                       kElementwiseGrain, [&](int64_t lo, int64_t hi) {
-                        for (int64_t i = lo; i < hi; ++i) {
-                          auto [da, db] = bwd(ai->value[i], bi->value[i],
-                                              self.grad[i]);
-                          ai->grad[i] += da;
-                          bi->grad[i] += db;
+                        const float* x = ai->value.data();
+                        const float* y = bi->value.data();
+                        const float* g = self.grad.data();
+                        float* dx = ai->grad.data();
+                        float* dy = bi->grad.data();
+                        int64_t i = lo;
+#if GARL_SIMD_COMPILED
+                        if (bvec) {
+                          for (; i + simd::kLanes <= hi; i += simd::kLanes) {
+                            auto [da, db] =
+                                bwd(simd::LoadU(x + i), simd::LoadU(y + i),
+                                    simd::LoadU(g + i));
+                            simd::StoreU(dx + i, simd::LoadU(dx + i) + da);
+                            simd::StoreU(dy + i, simd::LoadU(dy + i) + db);
+                          }
+                        }
+#endif
+                        for (; i < hi; ++i) {
+                          auto [da, db] = bwd(x[i], y[i], g[i]);
+                          dx[i] += da;
+                          dy[i] += db;
                         }
                       });
                 });
 }
 
-// Elementwise unary helper: backward receives (x_i, y_i, dL/dy_i).
+// Elementwise unary helper for scalar-only transcendental ops (exp/log/tanh/
+// sigmoid/sqrt go through libm one element at a time on both SIMD modes —
+// there is no vector libm here, and a polynomial version would change bits).
+// Backward receives (x_i, y_i, dL/dy_i).
 template <typename Fwd, typename Bwd>
 Tensor ElementwiseUnary(const Tensor& a, Fwd fwd, Bwd bwd) {
   const auto& av = a.data();
-  std::vector<float> out(av.size());
+  std::vector<float> out = arena::AcquireUninit(a.numel());
   ThreadPool::Global().ParallelFor(
       0, static_cast<int64_t>(av.size()), kElementwiseGrain,
       [&](int64_t lo, int64_t hi) {
@@ -171,6 +442,32 @@ Tensor ElementwiseUnary(const Tensor& a, Fwd fwd, Bwd bwd) {
                 });
 }
 
+// Vectorized unary helper for lane-wise ops (neg/square/relu/clip/affine).
+// `fwd` is generic over float/simd::VF; backward receives (x_i, y_i, g_i).
+template <typename Fwd, typename Bwd>
+Tensor ElementwiseUnaryVec(const Tensor& a, Fwd fwd, Bwd bwd) {
+  const auto& av = a.data();
+  const bool vec = simd::Enabled();
+  std::vector<float> out = arena::AcquireUninit(a.numel());
+  ThreadPool::Global().ParallelFor(
+      0, static_cast<int64_t>(av.size()), kElementwiseGrain,
+      [&](int64_t lo, int64_t hi) {
+        MapUnaryChunk(av.data(), out.data(), lo, hi, vec, fwd);
+      });
+  Impl ai = a.impl();
+  return MakeOp(a.shape(), std::move(out), {a},
+                [ai, bwd](TensorImpl& self) {
+                  const bool bvec = simd::Enabled();
+                  ThreadPool::Global().ParallelFor(
+                      0, static_cast<int64_t>(self.value.size()),
+                      kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+                        AccumulateMap3(ai->grad.data(), ai->value.data(),
+                                       self.value.data(), self.grad.data(),
+                                       lo, hi, bvec, bwd);
+                      });
+                });
+}
+
 }  // namespace
 
 NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
@@ -180,42 +477,40 @@ bool GradModeEnabled() { return g_grad_mode; }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   return ElementwiseBinary(
-      a, b, [](float x, float y) { return x + y; },
-      [](float, float, float g) { return std::pair<float, float>(g, g); });
+      a, b, [](auto x, auto y) { return x + y; },
+      [](auto, auto, auto g) { return std::pair(g, g); });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return ElementwiseBinary(
-      a, b, [](float x, float y) { return x - y; },
-      [](float, float, float g) { return std::pair<float, float>(g, -g); });
+      a, b, [](auto x, auto y) { return x - y; },
+      [](auto, auto, auto g) { return std::pair(g, -g); });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   return ElementwiseBinary(
-      a, b, [](float x, float y) { return x * y; },
-      [](float x, float y, float g) {
-        return std::pair<float, float>(g * y, g * x);
-      });
+      a, b, [](auto x, auto y) { return x * y; },
+      [](auto x, auto y, auto g) { return std::pair(g * y, g * x); });
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   return ElementwiseBinary(
-      a, b, [](float x, float y) { return x / y; },
-      [](float x, float y, float g) {
-        return std::pair<float, float>(g / y, -g * x / (y * y));
+      a, b, [](auto x, auto y) { return x / y; },
+      [](auto x, auto y, auto g) {
+        return std::pair(g / y, -g * x / (y * y));
       });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return ElementwiseUnary(
-      a, [s](float x) { return x + s; },
-      [](float, float, float g) { return g; });
+  return ElementwiseUnaryVec(
+      a, [s](auto x) { return x + s; },
+      [](auto, auto, auto g) { return g; });
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  return ElementwiseUnary(
-      a, [s](float x) { return x * s; },
-      [s](float, float, float g) { return g * s; });
+  return ElementwiseUnaryVec(
+      a, [s](auto x) { return x * s; },
+      [s](auto, auto, auto g) { return g * s; });
 }
 
 Tensor AddRowVector(const Tensor& mat, const Tensor& bias) {
@@ -223,19 +518,25 @@ Tensor AddRowVector(const Tensor& mat, const Tensor& bias) {
   GARL_CHECK_EQ(bias.dim(), 1);
   int64_t n = mat.size(0), m = mat.size(1);
   GARL_CHECK_EQ(bias.size(0), m);
-  std::vector<float> out(mat.data());
+  const bool vec = simd::Enabled();
+  std::vector<float> out = arena::AcquireUninit(n * m);
+  const float* src = mat.data().data();
+  const float* bv = bias.data().data();
   for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < m; ++j) out[i * m + j] += bias.data()[j];
+    MapBinaryChunk(src + i * m, bv, out.data() + i * m, 0, m, vec,
+                   [](auto x, auto y) { return x + y; });
   }
   Impl mi = mat.impl(), bi = bias.impl();
   return MakeOp(mat.shape(), std::move(out), {mat, bias},
                 [mi, bi, n, m](TensorImpl& self) {
+                  // Bias grad sums rows in ascending i; per column j that is
+                  // the sequential order, and lanes are independent, so the
+                  // vector body keeps the bits.
+                  const bool bvec = simd::Enabled();
                   for (int64_t i = 0; i < n; ++i) {
-                    for (int64_t j = 0; j < m; ++j) {
-                      float g = self.grad[i * m + j];
-                      mi->grad[i * m + j] += g;
-                      bi->grad[j] += g;
-                    }
+                    const float* g = self.grad.data() + i * m;
+                    AddInto(mi->grad.data() + i * m, g, m, bvec);
+                    AddInto(bi->grad.data(), g, m, bvec);
                   }
                 });
 }
@@ -245,27 +546,37 @@ Tensor ScaleRows(const Tensor& mat, const Tensor& scale) {
   GARL_CHECK_EQ(scale.dim(), 1);
   int64_t n = mat.size(0), m = mat.size(1);
   GARL_CHECK_EQ(scale.size(0), n);
-  std::vector<float> out(mat.data());
+  const bool vec = simd::Enabled();
+  std::vector<float> out = arena::AcquireUninit(n * m);
+  const float* src = mat.data().data();
   for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < m; ++j) out[i * m + j] *= scale.data()[i];
+    float s = scale.data()[i];
+    MapUnaryChunk(src + i * m, out.data() + i * m, 0, m, vec,
+                  [s](auto x) { return x * s; });
   }
   Impl mi = mat.impl(), si = scale.impl();
   return MakeOp(mat.shape(), std::move(out), {mat, scale},
                 [mi, si, n, m](TensorImpl& self) {
+                  const bool bvec = simd::Enabled();
                   for (int64_t i = 0; i < n; ++i) {
-                    for (int64_t j = 0; j < m; ++j) {
-                      float g = self.grad[i * m + j];
-                      mi->grad[i * m + j] += g * si->value[i];
-                      si->grad[i] += g * mi->value[i * m + j];
-                    }
+                    const float* g = self.grad.data() + i * m;
+                    float s = si->value[i];
+                    AccumulateMap1(mi->grad.data() + i * m, g, 0, m, bvec,
+                                   [s](auto gx) { return gx * s; });
+                    // Running dot over j stays scalar: it is a sequential
+                    // reduction whose order defines the bits.
+                    float acc = 0.0f;
+                    const float* mrow = mi->value.data() + i * m;
+                    for (int64_t j = 0; j < m; ++j) acc += g[j] * mrow[j];
+                    si->grad[i] += acc;
                   }
                 });
 }
 
 Tensor Neg(const Tensor& a) {
-  return ElementwiseUnary(
-      a, [](float x) { return -x; },
-      [](float, float, float g) { return -g; });
+  return ElementwiseUnaryVec(
+      a, [](auto x) { return -x; },
+      [](auto, auto, auto g) { return -g; });
 }
 
 Tensor Exp(const Tensor& a) {
@@ -287,15 +598,15 @@ Tensor Sqrt(const Tensor& a) {
 }
 
 Tensor Square(const Tensor& a) {
-  return ElementwiseUnary(
-      a, [](float x) { return x * x; },
-      [](float x, float, float g) { return 2.0f * g * x; });
+  return ElementwiseUnaryVec(
+      a, [](auto x) { return x * x; },
+      [](auto x, auto, auto g) { return 2.0f * g * x; });
 }
 
 Tensor Relu(const Tensor& a) {
-  return ElementwiseUnary(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float, float g) { return x > 0.0f ? g : 0.0f; });
+  return ElementwiseUnaryVec(
+      a, [](auto x) { return simd::Relu(x); },
+      [](auto x, auto, auto g) { return simd::ReluGate(x, g); });
 }
 
 Tensor Tanh(const Tensor& a) {
@@ -312,11 +623,10 @@ Tensor Sigmoid(const Tensor& a) {
 
 Tensor Clip(const Tensor& a, float lo, float hi) {
   GARL_CHECK_LE(lo, hi);
-  return ElementwiseUnary(
-      a, [lo, hi](float x) { return std::clamp(x, lo, hi); },
-      [lo, hi](float x, float, float g) {
-        return (x > lo && x < hi) ? g : 0.0f;
-      });
+  // simd::Clamp reproduces std::clamp's compare order exactly (lane-wise).
+  return ElementwiseUnaryVec(
+      a, [lo, hi](auto x) { return simd::Clamp(x, lo, hi); },
+      [lo, hi](auto x, auto, auto g) { return simd::ClipGate(x, lo, hi, g); });
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -326,7 +636,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   GARL_CHECK_MSG(b.size(0) == k, "matmul inner dim mismatch: " +
                                      a.ShapeString() + " x " +
                                      b.ShapeString());
-  std::vector<float> out(static_cast<size_t>(n * m), 0.0f);
+  std::vector<float> out = arena::AcquireZeroed(n * m);
   GemmAccumulate(a.data().data(), b.data().data(), out.data(), n, k, m);
   Impl ai = a.impl(), bi = b.impl();
   return MakeOp({n, m}, std::move(out), {a, b},
@@ -337,13 +647,19 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                   // with unit stride. Row blocks of dA / dB parallelize
                   // independently; when a and b alias the two passes run
                   // back-to-back on the same grad buffer, never racing.
-                  std::vector<float> bt =
-                      PackTranspose(bi->value.data(), k, m);  // [m, k]
-                  GemmAccumulate(self.grad.data(), bt.data(), ai->grad.data(),
+                  // Packed transposes live in this thread's scratch arena;
+                  // they stay valid across the GemmAccumulate ParallelFors
+                  // (the caller blocks until every chunk finished).
+                  arena::ScratchScope scratch;
+                  float* bt =
+                      arena::ThreadScratch().AllocateFloats(k * m);  // [m, k]
+                  PackTransposeInto(bi->value.data(), k, m, bt);
+                  GemmAccumulate(self.grad.data(), bt, ai->grad.data(),
                                  n, m, k);
-                  std::vector<float> at =
-                      PackTranspose(ai->value.data(), n, k);  // [k, n]
-                  GemmAccumulate(at.data(), self.grad.data(), bi->grad.data(),
+                  float* at =
+                      arena::ThreadScratch().AllocateFloats(n * k);  // [k, n]
+                  PackTransposeInto(ai->value.data(), n, k, at);
+                  GemmAccumulate(at, self.grad.data(), bi->grad.data(),
                                  k, n, m);
                 });
 }
@@ -351,21 +667,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 Tensor Transpose(const Tensor& a) {
   GARL_CHECK_EQ(a.dim(), 2);
   int64_t n = a.size(0), m = a.size(1);
-  // Single up-front resize (every element is overwritten below) and a tiled
-  // walk so both the source rows and destination columns stay cache-hot.
-  std::vector<float> out;
-  out.resize(static_cast<size_t>(n * m));
-  const float* src = a.data().data();
-  constexpr int64_t kBlock = 64;
-  for (int64_t ib = 0; ib < n; ib += kBlock) {
-    int64_t ie = std::min(ib + kBlock, n);
-    for (int64_t jb = 0; jb < m; jb += kBlock) {
-      int64_t je = std::min(jb + kBlock, m);
-      for (int64_t i = ib; i < ie; ++i) {
-        for (int64_t j = jb; j < je; ++j) out[j * n + i] = src[i * m + j];
-      }
-    }
-  }
+  // Arena buffer (every element is overwritten below) and a tiled walk so
+  // both the source rows and destination columns stay cache-hot.
+  std::vector<float> out = arena::AcquireUninit(n * m);
+  PackTransposeInto(a.data().data(), n, m, out.data());
   Impl ai = a.impl();
   return MakeOp({m, n}, std::move(out), {a}, [ai, n, m](TensorImpl& self) {
     for (int64_t i = 0; i < n; ++i) {
@@ -377,12 +682,17 @@ Tensor Transpose(const Tensor& a) {
 }
 
 Tensor Sum(const Tensor& a) {
+  // Sequential running sum: the global reduction order is the deterministic
+  // payload, so it stays scalar on both SIMD modes.
   float total = 0.0f;
   for (float v : a.data()) total += v;
   Impl ai = a.impl();
-  return MakeOp({}, {total}, {a}, [ai](TensorImpl& self) {
+  return MakeOp({}, ScalarVec(total), {a}, [ai](TensorImpl& self) {
+    const bool bvec = simd::Enabled();
     float g = self.grad[0];
-    for (float& gi : ai->grad) gi += g;
+    float* dst = ai->grad.data();
+    MapUnaryChunk(dst, dst, 0, static_cast<int64_t>(ai->grad.size()), bvec,
+                  [g](auto x) { return x + g; });
   });
 }
 
@@ -398,29 +708,33 @@ Tensor SumDim(const Tensor& a, int64_t dim) {
   int64_t n = a.size(0), m = a.size(1);
   const auto& av = a.data();
   Impl ai = a.impl();
+  const bool vec = simd::Enabled();
   if (dim == 0) {
     // Column reduction: chunk the columns; each output column accumulates
     // over ascending rows within one chunk (deterministic for any thread
-    // count).
-    std::vector<float> out(static_cast<size_t>(m), 0.0f);
+    // count). Columns are independent lanes, so the ascending-i order per
+    // column is identical on the vector path.
+    std::vector<float> out = arena::AcquireZeroed(m);
     ThreadPool::Global().ParallelFor(
         0, m, RowGrain(n), [&](int64_t jb, int64_t je) {
           for (int64_t i = 0; i < n; ++i) {
-            for (int64_t j = jb; j < je; ++j) out[j] += av[i * m + j];
+            AccumulateMap1(out.data(), av.data() + i * m, jb, je, vec,
+                           [](auto x) { return x; });
           }
         });
     return MakeOp({m}, std::move(out), {a}, [ai, n, m](TensorImpl& self) {
+      const bool bvec = simd::Enabled();
       ThreadPool::Global().ParallelFor(
           0, n, RowGrain(m), [&](int64_t ib, int64_t ie) {
             for (int64_t i = ib; i < ie; ++i) {
-              for (int64_t j = 0; j < m; ++j) {
-                ai->grad[i * m + j] += self.grad[j];
-              }
+              AddInto(ai->grad.data() + i * m, self.grad.data(), m, bvec);
             }
           });
     });
   }
-  std::vector<float> out(static_cast<size_t>(n), 0.0f);
+  // Row reduction: each out[i] is a sequential running sum over j — that
+  // order is the deterministic payload, so it stays scalar on both modes.
+  std::vector<float> out = arena::AcquireZeroed(n);
   ThreadPool::Global().ParallelFor(
       0, n, RowGrain(m), [&](int64_t ib, int64_t ie) {
         for (int64_t i = ib; i < ie; ++i) {
@@ -428,12 +742,14 @@ Tensor SumDim(const Tensor& a, int64_t dim) {
         }
       });
   return MakeOp({n}, std::move(out), {a}, [ai, n, m](TensorImpl& self) {
+    const bool bvec = simd::Enabled();
     ThreadPool::Global().ParallelFor(
         0, n, RowGrain(m), [&](int64_t ib, int64_t ie) {
           for (int64_t i = ib; i < ie; ++i) {
-            for (int64_t j = 0; j < m; ++j) {
-              ai->grad[i * m + j] += self.grad[i];
-            }
+            float g = self.grad[i];
+            float* dst = ai->grad.data() + i * m;
+            MapUnaryChunk(dst, dst, 0, m, bvec,
+                          [g](auto x) { return x + g; });
           }
         });
   });
@@ -445,11 +761,12 @@ Tensor Norm(const Tensor& a, float eps) {
   for (float v : a.data()) sq += v * v;
   float norm = std::sqrt(sq + eps);
   Impl ai = a.impl();
-  return MakeOp({}, {norm}, {a}, [ai, norm](TensorImpl& self) {
+  return MakeOp({}, ScalarVec(norm), {a}, [ai, norm](TensorImpl& self) {
+    const bool bvec = simd::Enabled();
     float g = self.grad[0] / norm;
-    for (size_t i = 0; i < ai->value.size(); ++i) {
-      ai->grad[i] += g * ai->value[i];
-    }
+    AccumulateMap1(ai->grad.data(), ai->value.data(), 0,
+                   static_cast<int64_t>(ai->value.size()), bvec,
+                   [g](auto x) { return g * x; });
   });
 }
 
@@ -461,23 +778,49 @@ Tensor Dot(const Tensor& a, const Tensor& b) {
 
 namespace {
 
+// Row max folded with simd::Max. Max is associative/commutative for the
+// finite logits this sees, so the vector fold (lane maxes, then a lane
+// reduction, then the tail) produces the same value as the scalar
+// left-to-right fold; downstream x[j] - max_v bits match either way.
+float RowMax(const float* x, int64_t m, bool vec) {
+  int64_t j = 0;
+  float max_v = x[0];
+#if GARL_SIMD_COMPILED
+  if (vec && m >= simd::kLanes) {
+    simd::VF vm = simd::LoadU(x);
+    j = simd::kLanes;
+    for (; j + simd::kLanes <= m; j += simd::kLanes) {
+      vm = simd::Max(vm, simd::LoadU(x + j));
+    }
+    max_v = simd::ReduceMax(vm);
+  }
+#else
+  (void)vec;
+#endif
+  for (; j < m; ++j) max_v = simd::Max(max_v, x[j]);
+  return max_v;
+}
+
 // Softmax over contiguous rows of length `m`; rows are independent, so they
-// chunk across the pool.
+// chunk across the pool. The exp/total pass stays scalar (libm + sequential
+// running sum); the normalizing divide is lane-wise and vectorizes.
 void SoftmaxRows(const std::vector<float>& in, int64_t rows, int64_t m,
                  std::vector<float>& out) {
-  out.resize(in.size());
+  GARL_CHECK_EQ(out.size(), in.size());
+  const bool vec = simd::Enabled();
   ThreadPool::Global().ParallelFor(
       0, rows, RowGrain(m), [&](int64_t rb, int64_t re) {
         for (int64_t r = rb; r < re; ++r) {
           const float* x = &in[r * m];
           float* y = &out[r * m];
-          float max_v = *std::max_element(x, x + m);
+          float max_v = RowMax(x, m, vec);
           float total = 0.0f;
           for (int64_t j = 0; j < m; ++j) {
             y[j] = std::exp(x[j] - max_v);
             total += y[j];
           }
-          for (int64_t j = 0; j < m; ++j) y[j] /= total;
+          float inv = total;
+          MapUnaryChunk(y, y, 0, m, vec, [inv](auto v) { return v / inv; });
         }
       });
 }
@@ -488,12 +831,15 @@ Tensor Softmax(const Tensor& a) {
   GARL_CHECK(a.dim() == 1 || a.dim() == 2);
   int64_t rows = a.dim() == 2 ? a.size(0) : 1;
   int64_t m = a.dim() == 2 ? a.size(1) : a.size(0);
-  std::vector<float> out;
+  std::vector<float> out = arena::AcquireUninit(a.numel());
   SoftmaxRows(a.data(), rows, m, out);
   Impl ai = a.impl();
   return MakeOp(a.shape(), std::move(out), {a},
                 [ai, rows, m](TensorImpl& self) {
                   // dx_j = y_j * (g_j - sum_k g_k y_k); rows independent.
+                  // The dot is a sequential reduction (stays scalar); the
+                  // per-element update is lane-wise.
+                  const bool bvec = simd::Enabled();
                   ThreadPool::Global().ParallelFor(
                       0, rows, RowGrain(m), [&](int64_t rb, int64_t re) {
                         for (int64_t r = rb; r < re; ++r) {
@@ -501,9 +847,11 @@ Tensor Softmax(const Tensor& a) {
                           const float* g = &self.grad[r * m];
                           float dot = 0.0f;
                           for (int64_t j = 0; j < m; ++j) dot += g[j] * y[j];
-                          for (int64_t j = 0; j < m; ++j) {
-                            ai->grad[r * m + j] += y[j] * (g[j] - dot);
-                          }
+                          AccumulateMap2(
+                              ai->grad.data() + r * m, y, g, 0, m, bvec,
+                              [dot](auto yv, auto gv) {
+                                return yv * (gv - dot);
+                              });
                         }
                       });
                 });
@@ -513,26 +861,32 @@ Tensor LogSoftmax(const Tensor& a) {
   GARL_CHECK(a.dim() == 1 || a.dim() == 2);
   int64_t rows = a.dim() == 2 ? a.size(0) : 1;
   int64_t m = a.dim() == 2 ? a.size(1) : a.size(0);
-  std::vector<float> soft;
+  std::vector<float> soft = arena::AcquireUninit(a.numel());
   SoftmaxRows(a.data(), rows, m, soft);
-  std::vector<float> out(soft.size());
+  std::vector<float> out = arena::AcquireUninit(a.numel());
   for (size_t i = 0; i < soft.size(); ++i) {
     out[i] = std::log(std::max(soft[i], kLogFloor));
   }
   Impl ai = a.impl();
-  // Keep softmax values for backward: dx_j = g_j - y_j * sum_k g_k.
+  // Keep softmax values for backward: dx_j = g_j - y_j * sum_k g_k. The
+  // shared holder hands the buffer back to the pool when the graph node
+  // dies, keeping steady-state iterations allocation-free.
+  auto soft_keep = std::make_shared<PooledVec>(std::move(soft));
   return MakeOp(a.shape(), std::move(out), {a},
-                [ai, rows, m, soft = std::move(soft)](TensorImpl& self) {
+                [ai, rows, m, soft_keep](TensorImpl& self) {
+                  const bool bvec = simd::Enabled();
+                  const std::vector<float>& sv = soft_keep->data;
                   ThreadPool::Global().ParallelFor(
                       0, rows, RowGrain(m), [&](int64_t rb, int64_t re) {
                         for (int64_t r = rb; r < re; ++r) {
                           const float* g = &self.grad[r * m];
                           float total = 0.0f;
                           for (int64_t j = 0; j < m; ++j) total += g[j];
-                          for (int64_t j = 0; j < m; ++j) {
-                            ai->grad[r * m + j] +=
-                                g[j] - soft[r * m + j] * total;
-                          }
+                          AccumulateMap2(
+                              ai->grad.data() + r * m, g, sv.data() + r * m,
+                              0, m, bvec, [total](auto gv, auto yv) {
+                                return gv - yv * total;
+                              });
                         }
                       });
                 });
@@ -543,11 +897,12 @@ Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
   for (int64_t d : shape) n *= d;
   GARL_CHECK_EQ(n, a.numel());
   Impl ai = a.impl();
-  return MakeOp(std::move(shape), a.data(), {a}, [ai](TensorImpl& self) {
-    for (size_t i = 0; i < self.grad.size(); ++i) {
-      ai->grad[i] += self.grad[i];
-    }
-  });
+  return MakeOp(std::move(shape), ArenaCopy(a.data()), {a},
+                [ai](TensorImpl& self) {
+                  AddInto(ai->grad.data(), self.grad.data(),
+                          static_cast<int64_t>(self.grad.size()),
+                          simd::Enabled());
+                });
 }
 
 Tensor Rows(const Tensor& a, int64_t start, int64_t len) {
@@ -556,15 +911,15 @@ Tensor Rows(const Tensor& a, int64_t start, int64_t len) {
   GARL_CHECK_GE(len, 0);
   GARL_CHECK_LE(start + len, a.size(0));
   int64_t m = a.size(1);
-  std::vector<float> out(a.data().begin() + start * m,
-                         a.data().begin() + (start + len) * m);
+  std::vector<float> out = arena::AcquireUninit(len * m);
+  std::copy(a.data().begin() + start * m, a.data().begin() + (start + len) * m,
+            out.begin());
   Impl ai = a.impl();
   return MakeOp({len, m}, std::move(out), {a},
                 [ai, start, m](TensorImpl& self) {
-                  for (size_t i = 0; i < self.grad.size(); ++i) {
-                    ai->grad[static_cast<size_t>(start * m) + i] +=
-                        self.grad[i];
-                  }
+                  AddInto(ai->grad.data() + start * m, self.grad.data(),
+                          static_cast<int64_t>(self.grad.size()),
+                          simd::Enabled());
                 });
 }
 
@@ -578,18 +933,24 @@ Tensor IndexRows(const Tensor& a, const std::vector<int64_t>& indices) {
     GARL_CHECK_LT(idx, a.size(0));
   }
   const float* src = a.data().data();
-  std::vector<float> out;
-  out.reserve(indices.size() * static_cast<size_t>(m));
+  std::vector<float> out =
+      arena::AcquireUninit(static_cast<int64_t>(indices.size()) * m);
+  float* dst = out.data();
   for (int64_t idx : indices) {
-    out.insert(out.end(), src + idx * m, src + (idx + 1) * m);
+    std::memcpy(dst, src + idx * m, static_cast<size_t>(m) * sizeof(float));
+    dst += m;
   }
   Impl ai = a.impl();
   return MakeOp({static_cast<int64_t>(indices.size()), m}, std::move(out),
                 {a}, [ai, indices, m](TensorImpl& self) {
+                  // Rows scatter sequentially (indices may repeat, so the
+                  // ascending-r order is the contract); within a row the
+                  // adds are lane-wise.
+                  const bool bvec = simd::Enabled();
                   for (size_t r = 0; r < indices.size(); ++r) {
-                    for (int64_t j = 0; j < m; ++j) {
-                      ai->grad[indices[r] * m + j] += self.grad[r * m + j];
-                    }
+                    AddInto(ai->grad.data() + indices[r] * m,
+                            self.grad.data() + static_cast<int64_t>(r) * m, m,
+                            bvec);
                   }
                 });
 }
@@ -599,7 +960,7 @@ Tensor Gather1d(const Tensor& a, int64_t index) {
   GARL_CHECK_GE(index, 0);
   GARL_CHECK_LT(index, a.size(0));
   Impl ai = a.impl();
-  return MakeOp({}, {a.data()[static_cast<size_t>(index)]}, {a},
+  return MakeOp({}, ScalarVec(a.data()[static_cast<size_t>(index)]), {a},
                 [ai, index](TensorImpl& self) {
                   ai->grad[static_cast<size_t>(index)] += self.grad[0];
                 });
@@ -617,20 +978,21 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
       GARL_CHECK_EQ(p.dim(), 1);
       total += p.size(0);
     }
-    std::vector<float> out;
-    out.reserve(static_cast<size_t>(total));
+    std::vector<float> out = arena::AcquireUninit(total);
+    float* dst = out.data();
     for (const Tensor& p : parts) {
-      out.insert(out.end(), p.data().begin(), p.data().end());
+      std::copy(p.data().begin(), p.data().end(), dst);
+      dst += p.data().size();
     }
     std::vector<Impl> impls;
     for (const Tensor& p : parts) impls.push_back(p.impl());
     return MakeOp({total}, std::move(out), parts, [impls](TensorImpl& self) {
-      size_t offset = 0;
+      const bool bvec = simd::Enabled();
+      int64_t offset = 0;
       for (const Impl& p : impls) {
-        for (size_t i = 0; i < p->value.size(); ++i) {
-          p->grad[i] += self.grad[offset + i];
-        }
-        offset += p->value.size();
+        int64_t len = static_cast<int64_t>(p->value.size());
+        AddInto(p->grad.data(), self.grad.data() + offset, len, bvec);
+        offset += len;
       }
     });
   }
@@ -642,21 +1004,23 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
       GARL_CHECK_EQ(p.size(1), m);
       total += p.size(0);
     }
-    std::vector<float> out;
-    out.reserve(static_cast<size_t>(total * m));
+    std::vector<float> out = arena::AcquireUninit(total * m);
+    float* dst = out.data();
     for (const Tensor& p : parts) {
-      out.insert(out.end(), p.data().begin(), p.data().end());
+      std::copy(p.data().begin(), p.data().end(), dst);
+      dst += p.data().size();
     }
     std::vector<Impl> impls;
     for (const Tensor& p : parts) impls.push_back(p.impl());
     return MakeOp({total, m}, std::move(out), parts,
                   [impls](TensorImpl& self) {
-                    size_t offset = 0;
+                    const bool bvec = simd::Enabled();
+                    int64_t offset = 0;
                     for (const Impl& p : impls) {
-                      for (size_t i = 0; i < p->value.size(); ++i) {
-                        p->grad[i] += self.grad[offset + i];
-                      }
-                      offset += p->value.size();
+                      int64_t len = static_cast<int64_t>(p->value.size());
+                      AddInto(p->grad.data(), self.grad.data() + offset, len,
+                              bvec);
+                      offset += len;
                     }
                   });
   }
@@ -670,13 +1034,14 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
     GARL_CHECK_EQ(p.size(0), n);
     total_m += p.size(1);
   }
-  std::vector<float> out;
-  out.reserve(static_cast<size_t>(n * total_m));
+  std::vector<float> out = arena::AcquireUninit(n * total_m);
+  float* dst = out.data();
   for (int64_t i = 0; i < n; ++i) {
     for (const Tensor& p : parts) {
       int64_t m = p.size(1);
       const float* row = p.data().data() + i * m;
-      out.insert(out.end(), row, row + m);
+      std::memcpy(dst, row, static_cast<size_t>(m) * sizeof(float));
+      dst += m;
     }
   }
   std::vector<Impl> impls;
@@ -687,14 +1052,13 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
   }
   return MakeOp({n, total_m}, std::move(out), parts,
                 [impls, widths, n, total_m](TensorImpl& self) {
+                  const bool bvec = simd::Enabled();
                   int64_t col = 0;
                   for (size_t k = 0; k < impls.size(); ++k) {
                     int64_t m = widths[k];
                     for (int64_t i = 0; i < n; ++i) {
-                      for (int64_t j = 0; j < m; ++j) {
-                        impls[k]->grad[i * m + j] +=
-                            self.grad[i * total_m + col + j];
-                      }
+                      AddInto(impls[k]->grad.data() + i * m,
+                              self.grad.data() + i * total_m + col, m, bvec);
                     }
                     col += m;
                   }
@@ -739,14 +1103,46 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   const auto& in = input.data();
   const auto& wt = weight.data();
   const float* bias_data = bias.defined() ? bias.data().data() : nullptr;
-  std::vector<float> out(static_cast<size_t>(batch * filters * oh * ow),
-                         0.0f);
+  std::vector<float> out = arena::AcquireUninit(batch * filters * oh * ow);
   auto in_at = [&](int64_t b, int64_t c, int64_t y, int64_t x) -> float {
     if (y < 0 || y >= height || x < 0 || x >= width) return 0.0f;
     return in[((b * channels + c) * height + y) * width + x];
   };
+  // Scalar output cell; shared by the scalar path and the vector path's
+  // column tail so both add exactly the same term sequence (padding terms
+  // included as literal zeros).
+  auto cell = [&](int64_t b, int64_t f, int64_t y, int64_t x, float bias_v) {
+    float acc = bias_v;
+    for (int64_t c = 0; c < channels; ++c) {
+      for (int64_t dy = 0; dy < kh; ++dy) {
+        for (int64_t dx = 0; dx < kw; ++dx) {
+          acc += in_at(b, c, y * stride + dy - padding,
+                       x * stride + dx - padding) *
+                 wt[((f * channels + c) * kh + dy) * kw + dx];
+        }
+      }
+    }
+    return acc;
+  };
+#if GARL_SIMD_COMPILED
+  // Zero-padded unaligned load of input row lanes [ix0, ix0+kLanes). An
+  // out-of-bounds lane contributes 0 * w, exactly like in_at's 0.0f.
+  auto load_row_span = [width](const float* row, int64_t ix0) -> simd::VF {
+    if (row == nullptr) return simd::Zero();
+    if (ix0 >= 0 && ix0 + simd::kLanes <= width) return simd::LoadU(row + ix0);
+    float staged[simd::kLanes] = {};
+    for (int64_t l = 0; l < simd::kLanes; ++l) {
+      int64_t ix = ix0 + l;
+      if (ix >= 0 && ix < width) staged[l] = row[ix];
+    }
+    return simd::LoadU(staged);
+  };
+#endif
+  [[maybe_unused]] const bool vec = simd::Enabled() && stride == 1;
   // Forward parallelizes over (batch, filter) planes; every output cell is
-  // written by exactly one chunk.
+  // written by exactly one chunk. The vector path assigns each lane one
+  // output column and accumulates the (c, dy, dx) terms in the scalar order,
+  // so the plane's bits match the scalar path.
   int64_t plane_cost = oh * ow * channels * kh * kw;
   ThreadPool::Global().ParallelFor(
       0, batch * filters, RowGrain(plane_cost),
@@ -755,18 +1151,32 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
           int64_t b = bf / filters, f = bf % filters;
           float bias_v = bias_data != nullptr ? bias_data[f] : 0.0f;
           for (int64_t y = 0; y < oh; ++y) {
-            for (int64_t x = 0; x < ow; ++x) {
-              float acc = bias_v;
-              for (int64_t c = 0; c < channels; ++c) {
-                for (int64_t dy = 0; dy < kh; ++dy) {
-                  for (int64_t dx = 0; dx < kw; ++dx) {
-                    acc += in_at(b, c, y * stride + dy - padding,
-                                 x * stride + dx - padding) *
-                           wt[((f * channels + c) * kh + dy) * kw + dx];
+            int64_t x = 0;
+#if GARL_SIMD_COMPILED
+            if (vec) {
+              float* orow = &out[((b * filters + f) * oh + y) * ow];
+              for (; x + simd::kLanes <= ow; x += simd::kLanes) {
+                simd::VF acc = simd::Broadcast(bias_v);
+                for (int64_t c = 0; c < channels; ++c) {
+                  for (int64_t dy = 0; dy < kh; ++dy) {
+                    int64_t iy = y + dy - padding;
+                    const float* irow =
+                        (iy >= 0 && iy < height)
+                            ? &in[((b * channels + c) * height + iy) * width]
+                            : nullptr;
+                    for (int64_t dx = 0; dx < kw; ++dx) {
+                      float w = wt[((f * channels + c) * kh + dy) * kw + dx];
+                      acc = acc + load_row_span(irow, x + dx - padding) * w;
+                    }
                   }
                 }
+                simd::StoreU(orow + x, acc);
               }
-              out[((b * filters + f) * oh + y) * ow + x] = acc;
+            }
+#endif
+            for (; x < ow; ++x) {
+              out[((b * filters + f) * oh + y) * ow + x] =
+                  cell(b, f, y, x, bias_v);
             }
           }
         }
@@ -783,7 +1193,10 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
         // batch entries (each dI[b] owned by one chunk), weight/bias grads
         // over filters (each dW[f], dBias[f] owned by one chunk). Within a
         // chunk the accumulation order matches the sequential loops, so
-        // grads are bit-identical for any thread count.
+        // grads are bit-identical for any thread count. Backward stays
+        // scalar on both SIMD modes: its scatter/gather strides don't map to
+        // lanes cleanly, and conv runs only in the CNN baseline, not the
+        // MC-GCN hot path.
         ThreadPool::Global().ParallelFor(
             0, batch, RowGrain(filters * plane_cost),
             [&](int64_t blo, int64_t bhi) {

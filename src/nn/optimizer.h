@@ -67,8 +67,13 @@ class Adam : public Optimizer {
  private:
   float lr_, beta1_, beta2_, eps_;
   int64_t step_count_ = 0;
-  std::vector<std::vector<float>> m_;
-  std::vector<std::vector<float>> v_;
+  // First/second moments for all parameters, flattened into two contiguous
+  // buffers (one heap block each instead of 2N). Parameter i's slice is
+  // [offsets_[i], offsets_[i + 1]). The serialized layout (v1) still writes
+  // per-parameter numel + m-slice + v-slice, so checkpoints are unchanged.
+  std::vector<float> m_;
+  std::vector<float> v_;
+  std::vector<size_t> offsets_;
 };
 
 }  // namespace garl::nn

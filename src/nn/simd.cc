@@ -1,0 +1,37 @@
+#include "nn/simd.h"
+
+#include <atomic>
+
+#include "common/env_flags.h"
+
+namespace garl::nn::simd {
+
+namespace {
+
+// -1 = not yet read from the environment; 0/1 = cached decision.
+std::atomic<int> g_enabled{-1};
+
+}  // namespace
+
+bool Enabled() {
+#if !GARL_SIMD_COMPILED
+  return false;
+#else
+  int cached = g_enabled.load(std::memory_order_relaxed);
+  if (cached < 0) {
+    cached = EnvInt("GARL_SIMD", 1) != 0 ? 1 : 0;
+    g_enabled.store(cached, std::memory_order_relaxed);
+  }
+  return cached != 0;
+#endif
+}
+
+void SetEnabledForTest(bool enabled) {
+#if !GARL_SIMD_COMPILED
+  (void)enabled;  // compiled out: scalar either way, A/B tests still pass
+#else
+  g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+#endif
+}
+
+}  // namespace garl::nn::simd

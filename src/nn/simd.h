@@ -1,0 +1,107 @@
+#ifndef GARL_NN_SIMD_H_
+#define GARL_NN_SIMD_H_
+
+#include <cstdint>
+#include <cstring>
+
+// Portable SIMD layer for the tensor kernels, built on GCC/Clang vector
+// extensions (no intrinsics, no -march requirement). Kernels in ops.cc use
+// these helpers for their wide inner loops and fall back to scalar code when
+// SIMD is disabled.
+//
+// Determinism contract: every helper here is a lane-wise IEEE-754 single
+// operation (+, -, *, /, compare-select). A lane computes exactly the bits
+// the scalar fallback computes for the same element, so kernels that keep
+// per-element accumulation order identical between their scalar and vector
+// bodies produce byte-identical outputs under GARL_SIMD=0 and GARL_SIMD=1.
+// The build adds -ffp-contract=off to the kernel targets so no FMA
+// contraction can change rounding (see DESIGN.md, Memory & SIMD kernels).
+//
+// Gating:
+//  - compile time: the GARL_SIMD CMake option (default ON) defines
+//    GARL_SIMD_COMPILED; with it OFF the vector types are not even compiled.
+//  - runtime: the GARL_SIMD env flag (default 1) read once on first use;
+//    SetEnabledForTest flips the cached flag for in-process A/B tests.
+
+#ifndef GARL_SIMD_COMPILED
+#define GARL_SIMD_COMPILED 1
+#endif
+
+namespace garl::nn::simd {
+
+// Lanes per vector: 4 x float32 = 128-bit, one XMM register on baseline
+// x86-64. Wider generic vectors are a trap without -mavx: GCC emulates them
+// in pairs and, in branchy kernels (the GEMM zero-skip), spills every
+// accumulator through the stack each iteration — measured slower than
+// scalar. At 128 bits the kernels hold their accumulator tiles in registers.
+inline constexpr int64_t kLanes = 4;
+
+// True when vectorized kernel bodies should run. Reads the GARL_SIMD env
+// flag once (default on) and requires GARL_SIMD_COMPILED.
+bool Enabled();
+
+// Overrides the runtime flag (both directions). Used by the bench harness
+// and the SIMD-vs-scalar bit-equality tests to A/B within one process.
+void SetEnabledForTest(bool enabled);
+
+// Scalar overloads so kernel lambdas can be generic over float and VF.
+inline float Max(float a, float b) { return a > b ? a : b; }
+inline float Min(float a, float b) { return a < b ? a : b; }
+// Matches std::clamp ordering: NaN propagates (x < lo and hi < x are false).
+inline float Clamp(float x, float lo, float hi) {
+  return x < lo ? lo : (hi < x ? hi : x);
+}
+// Relu value/gradient gates.
+inline float Relu(float x) { return x > 0.0f ? x : 0.0f; }
+inline float ReluGate(float x, float g) { return x > 0.0f ? g : 0.0f; }
+// Gradient passes only strictly inside the clip interval.
+inline float ClipGate(float x, float lo, float hi, float g) {
+  return (x > lo && x < hi) ? g : 0.0f;
+}
+
+#if GARL_SIMD_COMPILED
+
+typedef float VF __attribute__((vector_size(4 * sizeof(float)), may_alias));
+
+inline VF LoadU(const float* p) {
+  VF v;
+  std::memcpy(&v, p, sizeof(VF));
+  return v;
+}
+
+inline void StoreU(float* p, VF v) { std::memcpy(p, &v, sizeof(VF)); }
+
+inline VF Broadcast(float x) { return VF{x, x, x, x}; }
+
+inline VF Zero() { return Broadcast(0.0f); }
+
+inline VF Max(VF a, VF b) { return a > b ? a : b; }
+inline VF Min(VF a, VF b) { return a < b ? a : b; }
+
+inline VF Clamp(VF x, float lo, float hi) {
+  VF vlo = Broadcast(lo);
+  VF vhi = Broadcast(hi);
+  return x < vlo ? vlo : (vhi < x ? vhi : x);
+}
+
+inline VF Relu(VF x) { return x > Zero() ? x : Zero(); }
+inline VF ReluGate(VF x, VF g) { return x > Zero() ? g : Zero(); }
+
+inline VF ClipGate(VF x, float lo, float hi, VF g) {
+  return ((x > Broadcast(lo)) & (x < Broadcast(hi))) ? g : Zero();
+}
+
+// Horizontal max over all lanes, folded in ascending lane order. Max is
+// associative/commutative for the finite values softmax feeds it, so the
+// fold order cannot change the value (see ops.cc, SoftmaxRows).
+inline float ReduceMax(VF v) {
+  float m = v[0];
+  for (int64_t l = 1; l < kLanes; ++l) m = Max(m, v[l]);
+  return m;
+}
+
+#endif  // GARL_SIMD_COMPILED
+
+}  // namespace garl::nn::simd
+
+#endif  // GARL_NN_SIMD_H_

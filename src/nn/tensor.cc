@@ -5,10 +5,16 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "nn/arena.h"
 
 namespace garl::nn {
 
 namespace internal {
+
+TensorImpl::~TensorImpl() {
+  arena::Release(std::move(value));
+  arena::Release(std::move(grad));
+}
 
 int64_t TensorImpl::Numel() const {
   int64_t n = 1;
@@ -17,7 +23,10 @@ int64_t TensorImpl::Numel() const {
 }
 
 void TensorImpl::EnsureGrad() {
-  if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
+  if (grad.size() != value.size()) {
+    arena::Release(std::move(grad));
+    grad = arena::AcquireZeroed(static_cast<int64_t>(value.size()));
+  }
 }
 
 }  // namespace internal
@@ -40,7 +49,8 @@ Tensor Tensor::Full(std::vector<int64_t> shape, float fill,
   impl->shape = std::move(shape);
   int64_t n = impl->Numel();
   GARL_CHECK_GE(n, 0);
-  impl->value.assign(static_cast<size_t>(n), fill);
+  impl->value = arena::AcquireUninit(n);
+  std::fill(impl->value.begin(), impl->value.end(), fill);
   impl->requires_grad = requires_grad;
   return Wrap(std::move(impl));
 }
@@ -56,7 +66,11 @@ Tensor Tensor::FromVector(std::vector<int64_t> shape,
 }
 
 Tensor Tensor::Scalar(float value, bool requires_grad) {
-  return FromVector({}, {value}, requires_grad);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->value = arena::AcquireUninit(1);
+  impl->value[0] = value;
+  impl->requires_grad = requires_grad;
+  return Wrap(std::move(impl));
 }
 
 Tensor Tensor::Eye(int64_t n) {
@@ -184,7 +198,8 @@ Tensor Tensor::Detach() const {
   GARL_CHECK(defined());
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = impl_->shape;
-  impl->value = impl_->value;
+  impl->value = arena::AcquireUninit(static_cast<int64_t>(impl_->value.size()));
+  std::copy(impl_->value.begin(), impl_->value.end(), impl->value.begin());
   impl->requires_grad = false;
   return Wrap(std::move(impl));
 }

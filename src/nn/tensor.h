@@ -35,6 +35,13 @@ struct TensorImpl {
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void(TensorImpl&)> backward_fn;
 
+  TensorImpl() = default;
+  // Returns value/grad storage to the arena buffer pool (nn/arena.h) so the
+  // next op of the same size reuses it instead of hitting the heap.
+  ~TensorImpl();
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+
   int64_t Numel() const;
   void EnsureGrad();
 };

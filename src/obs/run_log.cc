@@ -325,6 +325,7 @@ constexpr FieldSpec kRtSchema[] = {
     {"cache_hits", FieldType::kInt},
     {"cache_misses", FieldType::kInt},
     {"pool", FieldType::kObject},
+    {"arena", FieldType::kObject},
     {"spans", FieldType::kArray},
 };
 
@@ -333,6 +334,13 @@ constexpr FieldSpec kPoolSchema[] = {
     {"tasks", FieldType::kInt},
     {"parallel_fors", FieldType::kInt},
     {"inline_fors", FieldType::kInt},
+};
+
+constexpr FieldSpec kArenaSchema[] = {
+    {"heap_allocs", FieldType::kInt},
+    {"reuses", FieldType::kInt},
+    {"cached_bytes", FieldType::kInt},
+    {"high_water_bytes", FieldType::kInt},
 };
 
 constexpr FieldSpec kSpanSchema[] = {
@@ -502,6 +510,8 @@ Status DecodeRecord(const JsonValue& root, IterationRecord* record) {
   }
   const JsonValue& pool = rt.members[3].second;
   GARL_RETURN_IF_ERROR(CheckObjectSchema(pool, kPoolSchema, "rt.pool"));
+  const JsonValue& arena = rt.members[4].second;
+  GARL_RETURN_IF_ERROR(CheckObjectSchema(arena, kArenaSchema, "rt.arena"));
 
   record->iteration = AsInt(det.members[0].second);
   record->episode_counter = AsInt(det.members[1].second);
@@ -525,7 +535,7 @@ Status DecodeRecord(const JsonValue& root, IterationRecord* record) {
   if (det_has_faults) {
     GARL_RETURN_IF_ERROR(ParseFaultDigest(det.members[17].second.string_value,
                                           &record->fault_digest));
-    const JsonValue& faults = rt.members[5].second;
+    const JsonValue& faults = rt.members[6].second;
     GARL_RETURN_IF_ERROR(CheckObjectSchema(faults, kFaultsSchema,
                                            "rt.faults"));
     record->fault_uav_dropouts = AsInt(faults.members[0].second);
@@ -543,8 +553,12 @@ Status DecodeRecord(const JsonValue& root, IterationRecord* record) {
   record->pool_tasks = AsInt(pool.members[1].second);
   record->pool_parallel_fors = AsInt(pool.members[2].second);
   record->pool_inline_fors = AsInt(pool.members[3].second);
+  record->arena_heap_allocs = AsInt(arena.members[0].second);
+  record->arena_reuses = AsInt(arena.members[1].second);
+  record->arena_cached_bytes = AsInt(arena.members[2].second);
+  record->arena_high_water_bytes = AsInt(arena.members[3].second);
 
-  const JsonValue& spans = rt.members[4].second;
+  const JsonValue& spans = rt.members[5].second;
   record->spans.clear();
   for (size_t i = 0; i < spans.elements.size(); ++i) {
     const JsonValue& span = spans.elements[i];
@@ -757,6 +771,14 @@ std::string FormatIterationRecord(const IterationRecord& record) {
   AppendInt(&out, record.pool_parallel_fors);
   out += ",\"inline_fors\":";
   AppendInt(&out, record.pool_inline_fors);
+  out += "},\"arena\":{\"heap_allocs\":";
+  AppendInt(&out, record.arena_heap_allocs);
+  out += ",\"reuses\":";
+  AppendInt(&out, record.arena_reuses);
+  out += ",\"cached_bytes\":";
+  AppendInt(&out, record.arena_cached_bytes);
+  out += ",\"high_water_bytes\":";
+  AppendInt(&out, record.arena_high_water_bytes);
   out += "},\"spans\":[";
   for (size_t i = 0; i < record.spans.size(); ++i) {
     if (i) out += ',';

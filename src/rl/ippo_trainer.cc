@@ -11,6 +11,7 @@
 #include "common/proc.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "nn/arena.h"
 #include "nn/distributions.h"
 #include "nn/ops.h"
 #include "nn/serialization.h"
@@ -735,6 +736,20 @@ obs::IterationRecord IppoTrainer::MakeIterationRecord(
   record.pool_tasks = pool_stats.tasks_submitted;
   record.pool_parallel_fors = pool_stats.parallel_fors;
   record.pool_inline_fors = pool_stats.inline_parallel_fors;
+  nn::arena::ArenaStats arena_stats = nn::arena::GlobalStats();
+  record.arena_heap_allocs = arena_stats.heap_allocs;
+  record.arena_reuses = arena_stats.reuses;
+  record.arena_cached_bytes = arena_stats.cached_bytes;
+  record.arena_high_water_bytes = arena_stats.high_water_bytes;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetGauge("arena.heap_allocs")
+      .Set(static_cast<double>(arena_stats.heap_allocs));
+  metrics.GetGauge("arena.reuses")
+      .Set(static_cast<double>(arena_stats.reuses));
+  metrics.GetGauge("arena.cached_bytes")
+      .Set(static_cast<double>(arena_stats.cached_bytes));
+  metrics.GetGauge("arena.high_water_bytes")
+      .Set(static_cast<double>(arena_stats.high_water_bytes));
   std::vector<obs::SpanStats> now = obs::TraceCollector::Global().Snapshot();
   record.spans = SpanDelta(*span_baseline, now);
   *span_baseline = std::move(now);

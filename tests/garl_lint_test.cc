@@ -106,6 +106,7 @@ TEST(GarlLintFixtures, ExemptPathsStayClean) {
   EXPECT_TRUE(FindingsFor("src/common/fs_util.cc").empty());
   EXPECT_TRUE(FindingsFor("src/common/proc.cc").empty());
   EXPECT_TRUE(FindingsFor("src/nn/tensor.cc").empty());
+  EXPECT_TRUE(FindingsFor("src/nn/arena.cc").empty());
   EXPECT_TRUE(FindingsFor("bench/timing.cc").empty());
   EXPECT_TRUE(FindingsFor("src/good.h").empty());
   EXPECT_TRUE(FindingsFor("src/obs/clock.cc").empty());
@@ -121,6 +122,11 @@ TEST(GarlLintFixtures, HotPathDoubleFiresOnceInFixtureOps) {
             (Expected{{5, "float-double-drift"}}));
 }
 
+TEST(GarlLintFixtures, HotPathDoubleFiresInSimdHeader) {
+  EXPECT_EQ(FindingsFor("src/nn/simd.h"),
+            (Expected{{9, "float-double-drift"}}));
+}
+
 TEST(GarlLintFixtures, NoUnexpectedFindings) {
   // Every finding in the fixture tree is one the tests above asserted; a new
   // rule misfire shows up here with its full location.
@@ -128,8 +134,8 @@ TEST(GarlLintFixtures, NoUnexpectedFindings) {
       "src/bad_rand.cc",    "src/bad_time.cc",       "src/bad_discard.cc",
       "src/bad_serialize.cc", "src/bad_new.cc",      "src/bad_guard.h",
       "src/missing_guard.h", "src/suppressed.cc",    "src/bad_suppression.cc",
-      "src/nn/ops.cc",       "src/obs/bad_obs_time.cc", "src/bad_io.cc",
-      "src/bad_spawn.cc"};
+      "src/nn/ops.cc",       "src/nn/simd.h",         "src/obs/bad_obs_time.cc",
+      "src/bad_io.cc",       "src/bad_spawn.cc"};
   for (const auto& finding : FixtureFindings()) {
     EXPECT_TRUE(expected_files.count(finding.file))
         << "unexpected finding: " << finding.ToString();

@@ -16,6 +16,7 @@
 #include "env/world.h"
 #include "nn/linear.h"
 #include "nn/ops.h"
+#include "nn/simd.h"
 #include "obs/run_log.h"
 #include "rl/feature_policy.h"
 #include "rl/ippo_trainer.h"
@@ -138,6 +139,35 @@ TEST(GoldenRunTest, DetPayloadByteIdenticalAcrossThreadCounts) {
   std::vector<std::string> four = DetPayloads(log_four);
   ASSERT_EQ(one.size(), 3u);
   EXPECT_EQ(one, four);
+}
+
+// The full gating matrix for the SIMD overhaul: det payloads must be
+// byte-identical across GARL_SIMD {0, 1} x GARL_NUM_THREADS {1, 4}. The
+// kernels keep per-element accumulation order identical between their scalar
+// and vector bodies (see src/nn/simd.h), so flipping either knob cannot
+// change a single bit of the deterministic payload.
+TEST(GoldenRunTest, DetPayloadByteIdenticalAcrossSimdAndThreadMatrix) {
+  bool original = nn::simd::Enabled();
+  std::vector<std::string> reference;
+  for (bool simd_on : {false, true}) {
+    for (int64_t threads : {int64_t{1}, int64_t{4}}) {
+      nn::simd::SetEnabledForTest(simd_on);
+      const std::string log = TempLogPath(
+          "golden_simd_" + std::to_string(simd_on) + "_t" +
+          std::to_string(threads) + ".jsonl");
+      TrainOnce(threads, log);
+      std::vector<std::string> payloads = DetPayloads(log);
+      ASSERT_EQ(payloads.size(), 3u)
+          << "simd=" << simd_on << " threads=" << threads;
+      if (reference.empty()) {
+        reference = payloads;
+      } else {
+        EXPECT_EQ(payloads, reference)
+            << "simd=" << simd_on << " threads=" << threads;
+      }
+    }
+  }
+  nn::simd::SetEnabledForTest(original);
 }
 
 TEST(GoldenRunTest, EmittedLogPassesSchemaValidation) {

@@ -1,0 +1,10 @@
+// Fixture: the arena allocator shares the tensor layer's raw-allocation
+// exemption — slab new/delete here is the sanctioned funnel.
+
+char* AllocateSlab(unsigned long bytes) {
+  return new char[bytes];  // clean: arena allocator exemption
+}
+
+void ReleaseSlab(char* base) {
+  delete[] base;  // clean: arena allocator exemption
+}

@@ -1,0 +1,16 @@
+#ifndef GARL_NN_SIMD_H_
+#define GARL_NN_SIMD_H_
+
+// Fixture: simd.h is on the kernel hot path, so a double temporary drifts.
+
+namespace garl {
+
+inline float WidenedAccumulate(const float* values, int count) {
+  double total = 0.0;  // line 9: float-double-drift
+  for (int i = 0; i < count; ++i) total += values[i];
+  return static_cast<float>(total);
+}
+
+}  // namespace garl
+
+#endif  // GARL_NN_SIMD_H_

@@ -231,6 +231,10 @@ IterationRecord SampleRecord() {
   r.pool_tasks = 12;
   r.pool_parallel_fors = 30;
   r.pool_inline_fors = 5;
+  r.arena_heap_allocs = 128;
+  r.arena_reuses = 4096;
+  r.arena_cached_bytes = 1 << 20;
+  r.arena_high_water_bytes = 2 << 20;
   r.spans = {{"trainer/collect", 3, 1000}, {"trainer/update_ugv", 3, 2000}};
   return r;
 }
@@ -273,6 +277,10 @@ TEST(RunLogRecordTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(p.pool_tasks, r.pool_tasks);
   EXPECT_EQ(p.pool_parallel_fors, r.pool_parallel_fors);
   EXPECT_EQ(p.pool_inline_fors, r.pool_inline_fors);
+  EXPECT_EQ(p.arena_heap_allocs, r.arena_heap_allocs);
+  EXPECT_EQ(p.arena_reuses, r.arena_reuses);
+  EXPECT_EQ(p.arena_cached_bytes, r.arena_cached_bytes);
+  EXPECT_EQ(p.arena_high_water_bytes, r.arena_high_water_bytes);
   ASSERT_EQ(p.spans.size(), 2u);
   EXPECT_EQ(p.spans[0].name, "trainer/collect");
   EXPECT_EQ(p.spans[0].count, 3);
@@ -295,6 +303,8 @@ TEST(RunLogRecordTest, DeterministicPayloadIgnoresRuntimeFields) {
   b.wall_ns = 1;  // rt-only differences...
   b.route_cache_hits = 0;
   b.pool_threads = 1;
+  b.arena_heap_allocs = 7;
+  b.arena_cached_bytes = 0;
   b.spans.clear();
   StatusOr<std::string> det_a =
       DeterministicPayload(FormatIterationRecord(a));

@@ -200,8 +200,8 @@ bool IsHeader(const std::string& path) {
 // breaks the bit-identical-for-any-thread-count contract.
 bool IsHotPathFile(const std::string& rel) {
   static const std::set<std::string> kHot = {
-      "src/nn/ops.cc", "src/nn/conv2d.cc", "src/nn/linear.cc",
-      "src/nn/lstm_cell.cc", "src/nn/tensor.cc"};
+      "src/nn/ops.cc",       "src/nn/conv2d.cc", "src/nn/linear.cc",
+      "src/nn/lstm_cell.cc", "src/nn/simd.h",    "src/nn/tensor.cc"};
   return kHot.count(rel) > 0;
 }
 
@@ -219,8 +219,11 @@ bool IsClockFile(const std::string& rel) {
   return StartsWith(rel, "src/obs/clock.");
 }
 
+// The sanctioned homes of raw allocation: the tensor storage layer and the
+// arena allocator it funnels through (src/nn/arena.* owns the slab
+// operator-new calls and the recycled vector pool).
 bool IsTensorAllocatorFile(const std::string& rel) {
-  return StartsWith(rel, "src/nn/tensor.");
+  return StartsWith(rel, "src/nn/tensor.") || StartsWith(rel, "src/nn/arena.");
 }
 
 // The one sanctioned durable-write path (src/common/fs_util.*). Everything
@@ -616,16 +619,16 @@ void CheckRawNewDelete(const std::string& rel_path,
         !std::regex_search(code, kOperatorNewDelete)) {
       findings->push_back(
           {rel_path, line, "raw-new-delete",
-           "raw 'new' outside the tensor allocator; use make_unique/"
-           "make_shared or the tensor arena"});
+           "raw 'new' outside the tensor/arena allocator (src/nn/tensor.*, "
+           "src/nn/arena.*); use make_unique/make_shared or the arena"});
     }
     if (std::regex_search(code, kDelete) &&
         !std::regex_search(code, kDeletedFn) &&
         !std::regex_search(code, kOperatorNewDelete)) {
       findings->push_back(
           {rel_path, line, "raw-new-delete",
-           "raw 'delete' outside the tensor allocator; ownership must flow "
-           "through smart pointers"});
+           "raw 'delete' outside the tensor/arena allocator; ownership must "
+           "flow through smart pointers or the arena"});
     }
   }
 }

@@ -91,6 +91,13 @@ int Summarize(const std::vector<std::string>& files) {
       static_cast<long long>(s.last.pool_tasks),
       static_cast<long long>(s.last.pool_parallel_fors),
       static_cast<long long>(s.last.pool_inline_fors));
+  std::cout << garl::StrPrintf(
+      "arena (last): %lld heap allocs, %lld reuses, %lld B cached "
+      "(%lld B high water)\n",
+      static_cast<long long>(s.last.arena_heap_allocs),
+      static_cast<long long>(s.last.arena_reuses),
+      static_cast<long long>(s.last.arena_cached_bytes),
+      static_cast<long long>(s.last.arena_high_water_bytes));
   std::cout << "total wall: " << FormatMs(s.total_wall_ns) << " ms\n";
 
   if (!s.spans.empty()) {
