@@ -34,8 +34,39 @@ garl_run_step("configure -Werror tree"
   -DCMAKE_BUILD_TYPE=Release -DGARL_WERROR=ON)
 garl_run_step("build with -Wall -Wextra -Werror"
   ${CMAKE_COMMAND} --build ${GATES_DIR}/lint -j)
-garl_run_step("garl_lint invariants"
-  ${GATES_DIR}/lint/tools/garl_lint/garl_lint --root ${SOURCE_DIR})
+# Two lint passes over the same cache file: the first (cold) populates the
+# phase-1 index cache, the second (warm) must be served entirely from it and
+# produce byte-identical JSON. A finding, a stale baseline entry, or any
+# cold/warm divergence fails the gate.
+set(lint_cmd ${GATES_DIR}/lint/tools/garl_lint/garl_lint
+  --root ${SOURCE_DIR} --format=json
+  --baseline ${SOURCE_DIR}/tools/garl_lint/garl_lint.baseline
+  --cache ${GATES_DIR}/lint/garl_lint.cache)
+file(REMOVE ${GATES_DIR}/lint/garl_lint.cache)
+message(STATUS "=== gate: garl_lint invariants (cold cache) ===")
+execute_process(COMMAND ${lint_cmd}
+  RESULT_VARIABLE lint_cold_result
+  OUTPUT_VARIABLE lint_cold_stdout ERROR_VARIABLE lint_cold_stderr)
+if(NOT lint_cold_result EQUAL 0)
+  message(FATAL_ERROR
+    "gate FAILED: garl_lint (cold)\n${lint_cold_stdout}${lint_cold_stderr}")
+endif()
+message(STATUS "=== gate: garl_lint incremental cache smoke (warm) ===")
+execute_process(COMMAND ${lint_cmd}
+  RESULT_VARIABLE lint_warm_result
+  OUTPUT_VARIABLE lint_warm_stdout ERROR_VARIABLE lint_warm_stderr)
+if(NOT lint_warm_result EQUAL 0)
+  message(FATAL_ERROR
+    "gate FAILED: garl_lint (warm)\n${lint_warm_stdout}${lint_warm_stderr}")
+endif()
+if(NOT lint_cold_stdout STREQUAL lint_warm_stdout)
+  message(FATAL_ERROR "gate FAILED: garl_lint warm-cache output diverged from "
+    "the cold run; the index cache is not a pure function of file contents")
+endif()
+if(NOT lint_warm_stderr MATCHES " 0 miss\\(es\\)")
+  message(FATAL_ERROR "gate FAILED: garl_lint warm run was not fully served "
+    "from the index cache:\n${lint_warm_stderr}")
+endif()
 
 # --- 2b: observability golden-run + schema tests (fast, catch det drift). ---
 garl_run_step("observability test suite"

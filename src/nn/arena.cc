@@ -29,6 +29,8 @@ std::atomic<int64_t> g_evictions{0};
 std::atomic<int64_t> g_cached_bytes{0};
 std::atomic<int64_t> g_high_water_bytes{0};
 std::atomic<int64_t> g_scratch_bytes{0};
+std::atomic<int64_t> g_node_heap_allocs{0};
+std::atomic<int64_t> g_node_reuses{0};
 std::atomic<int64_t> g_max_cached_override{-1};
 
 int64_t MaxCachedBytes() {
@@ -95,6 +97,81 @@ ThreadCache::~ThreadCache() {
   MoveListsToOrphanage(&lists);
 }
 
+// --- autograd node free lists -----------------------------------------------
+// Raw blocks for allocate_shared'd TensorImpl nodes. Same shape as the
+// buffer pool: thread-local lists keyed by size class, orphanage for exited
+// threads, shared cache-byte accounting. Blocks are rounded up to the
+// alignment quantum so in practice one size class serves every node.
+
+using NodeLists = std::unordered_map<std::size_t, std::vector<void*>>;
+
+struct NodeOrphanage {
+  std::mutex mutex;
+  NodeLists lists;
+};
+
+NodeOrphanage& GetNodeOrphanage() {
+  // Leaked for the same teardown-order reason as GetOrphanage above.
+  static NodeOrphanage* orphanage = new NodeOrphanage;  // garl-lint: allow(raw-new-delete)
+  return *orphanage;
+}
+
+struct NodeCache {
+  NodeLists lists;
+  ~NodeCache();
+};
+
+thread_local bool t_node_cache_destroyed = false;
+thread_local NodeCache t_node_cache;
+
+void MoveNodeListsToOrphanage(NodeLists* lists) {
+  if (lists->empty()) return;
+  NodeOrphanage& orphanage = GetNodeOrphanage();
+  std::lock_guard<std::mutex> lock(orphanage.mutex);
+  for (auto& [bytes, blocks] : *lists) {
+    auto& dst = orphanage.lists[bytes];
+    dst.insert(dst.end(), blocks.begin(), blocks.end());
+  }
+  lists->clear();
+}
+
+NodeCache::~NodeCache() {
+  t_node_cache_destroyed = true;
+  MoveNodeListsToOrphanage(&lists);
+}
+
+std::size_t NodeSizeClass(std::size_t bytes) {
+  return (bytes + static_cast<std::size_t>(kAlignment) - 1) &
+         ~(static_cast<std::size_t>(kAlignment) - 1);
+}
+
+bool PopCachedNode(std::size_t klass, void** out) {
+  if (!t_node_cache_destroyed) {
+    auto it = t_node_cache.lists.find(klass);
+    if (it != t_node_cache.lists.end() && !it->second.empty()) {
+      *out = it->second.back();
+      it->second.pop_back();
+      return true;
+    }
+  }
+  NodeOrphanage& orphanage = GetNodeOrphanage();
+  std::lock_guard<std::mutex> lock(orphanage.mutex);
+  auto it = orphanage.lists.find(klass);
+  if (it == orphanage.lists.end() || it->second.empty()) return false;
+  *out = it->second.back();
+  it->second.pop_back();
+  return true;
+}
+
+// Dying pool workers hand their cached buffers and node blocks back to the
+// shared pool promptly instead of waiting on thread_local teardown order.
+void EnsureWorkerExitHook() {
+  static std::once_flag register_flush;
+  std::call_once(register_flush, [] {
+    ThreadPool::RegisterWorkerExitHook(&FlushThreadCache);
+  });
+}
+
 // Pops a recycled buffer of exactly `numel` elements, or returns false.
 bool PopCached(int64_t numel, std::vector<float>* out) {
   if (!t_cache_destroyed) {
@@ -125,6 +202,8 @@ ArenaStats GlobalStats() {
   stats.cached_bytes = g_cached_bytes.load(std::memory_order_relaxed);
   stats.high_water_bytes = g_high_water_bytes.load(std::memory_order_relaxed);
   stats.scratch_bytes = g_scratch_bytes.load(std::memory_order_relaxed);
+  stats.node_heap_allocs = g_node_heap_allocs.load(std::memory_order_relaxed);
+  stats.node_reuses = g_node_reuses.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -135,17 +214,14 @@ void ResetStatsForTest() {
   g_evictions.store(0, std::memory_order_relaxed);
   g_high_water_bytes.store(g_cached_bytes.load(std::memory_order_relaxed),
                            std::memory_order_relaxed);
+  g_node_heap_allocs.store(0, std::memory_order_relaxed);
+  g_node_reuses.store(0, std::memory_order_relaxed);
 }
 
 std::vector<float> AcquireUninit(int64_t numel) {
   GARL_CHECK_GE(numel, 0);
   if (numel == 0) return {};
-  // Dying pool workers hand their cached buffers back to the shared pool
-  // promptly instead of waiting on thread_local teardown order.
-  static std::once_flag register_flush;
-  std::call_once(register_flush, [] {
-    ThreadPool::RegisterWorkerExitHook(&FlushThreadCache);
-  });
+  EnsureWorkerExitHook();
   std::vector<float> buffer;
   if (PopCached(numel, &buffer)) {
     g_reuses.fetch_add(1, std::memory_order_relaxed);
@@ -179,8 +255,38 @@ void Release(std::vector<float>&& buffer) {
 }
 
 void FlushThreadCache() {
-  if (t_cache_destroyed) return;
-  MoveListsToOrphanage(&t_cache.lists);
+  if (!t_cache_destroyed) MoveListsToOrphanage(&t_cache.lists);
+  if (!t_node_cache_destroyed) MoveNodeListsToOrphanage(&t_node_cache.lists);
+}
+
+void* AcquireNode(std::size_t bytes) {
+  EnsureWorkerExitHook();
+  const std::size_t klass = NodeSizeClass(bytes);
+  void* block = nullptr;
+  if (PopCachedNode(klass, &block)) {
+    g_node_reuses.fetch_add(1, std::memory_order_relaxed);
+    g_cached_bytes.fetch_sub(static_cast<int64_t>(klass),
+                             std::memory_order_relaxed);
+    return block;
+  }
+  g_node_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return ::operator new(klass);
+}
+
+void ReleaseNode(void* ptr, std::size_t bytes) {
+  if (ptr == nullptr) return;
+  const std::size_t klass = NodeSizeClass(bytes);
+  int64_t cached = g_cached_bytes.load(std::memory_order_relaxed);
+  if (t_node_cache_destroyed ||
+      cached + static_cast<int64_t>(klass) > MaxCachedBytes()) {
+    g_evictions.fetch_add(1, std::memory_order_relaxed);
+    ::operator delete(ptr);
+    return;
+  }
+  t_node_cache.lists[klass].push_back(ptr);
+  BumpHighWater(g_cached_bytes.fetch_add(static_cast<int64_t>(klass),
+                                         std::memory_order_relaxed) +
+                static_cast<int64_t>(klass));
 }
 
 void SetMaxCachedBytesForTest(int64_t max_bytes) {

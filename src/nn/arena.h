@@ -1,6 +1,7 @@
 #ifndef GARL_NN_ARENA_H_
 #define GARL_NN_ARENA_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -50,6 +51,11 @@ struct ArenaStats {
   int64_t high_water_bytes = 0;
   // Total capacity of all scratch-arena slabs ever allocated.
   int64_t scratch_bytes = 0;
+  // Autograd node-pool misses that hit the heap / hits served from a node
+  // free list. Tracked separately from heap_allocs so arena_test can assert
+  // the node headers specifically stay allocation-free in steady state.
+  int64_t node_heap_allocs = 0;
+  int64_t node_reuses = 0;
 };
 
 // Snapshot of the process-wide counters.
@@ -80,6 +86,49 @@ void FlushThreadCache();
 // Overrides the cache cap (GARL_ARENA_MAX_CACHED_MB, default 512). Tests
 // only; pass a negative value to restore the env-derived default.
 void SetMaxCachedBytesForTest(int64_t max_bytes);
+
+// --- Autograd node pool -----------------------------------------------------
+//
+// TensorImpl node headers — the single block std::allocate_shared emits for
+// the object plus its shared_ptr control block — were the one remaining
+// per-op malloc after value/grad buffers moved into the pool above. Training
+// builds and drops thousands of identically-sized node blocks per iteration,
+// so they get the same treatment: thread-local free lists keyed by rounded
+// block size, orphan migration on thread exit, the shared cache-byte cap,
+// and dedicated counters (node_heap_allocs / node_reuses).
+
+// Pooled block of at least `bytes` bytes, aligned for any ordinary type.
+void* AcquireNode(std::size_t bytes);
+
+// Returns a block obtained from AcquireNode with the same `bytes`.
+void ReleaseNode(void* ptr, std::size_t bytes);
+
+// Allocator adapter over AcquireNode/ReleaseNode for std::allocate_shared.
+// Stateless: all instances are interchangeable.
+template <typename T>
+struct NodePoolAllocator {
+  using value_type = T;
+  NodePoolAllocator() noexcept = default;
+  template <typename U>
+  NodePoolAllocator(const NodePoolAllocator<U>&) noexcept {}
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(AcquireNode(n * sizeof(T)));
+  }
+  void deallocate(T* ptr, std::size_t n) noexcept {
+    ReleaseNode(ptr, n * sizeof(T));
+  }
+};
+
+template <typename A, typename B>
+bool operator==(const NodePoolAllocator<A>&,
+                const NodePoolAllocator<B>&) noexcept {
+  return true;
+}
+template <typename A, typename B>
+bool operator!=(const NodePoolAllocator<A>&,
+                const NodePoolAllocator<B>&) noexcept {
+  return false;
+}
 
 // --- Scratch arena ----------------------------------------------------------
 

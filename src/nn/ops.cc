@@ -344,7 +344,7 @@ bool AnyRequiresGrad(const std::vector<Tensor>& inputs) {
 Tensor MakeOp(std::vector<int64_t> shape, std::vector<float> value,
               const std::vector<Tensor>& inputs,
               std::function<void(TensorImpl&)> backward) {
-  auto impl = std::make_shared<TensorImpl>();
+  auto impl = internal::NewTensorImpl();
   impl->shape = std::move(shape);
   impl->value = std::move(value);
   GARL_CHECK_EQ(impl->Numel(), static_cast<int64_t>(impl->value.size()));

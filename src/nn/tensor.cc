@@ -29,6 +29,10 @@ void TensorImpl::EnsureGrad() {
   }
 }
 
+std::shared_ptr<TensorImpl> NewTensorImpl() {
+  return std::allocate_shared<TensorImpl>(arena::NodePoolAllocator<TensorImpl>());
+}
+
 }  // namespace internal
 
 using internal::TensorImpl;
@@ -45,7 +49,7 @@ Tensor Tensor::Zeros(std::vector<int64_t> shape, bool requires_grad) {
 
 Tensor Tensor::Full(std::vector<int64_t> shape, float fill,
                     bool requires_grad) {
-  auto impl = std::make_shared<TensorImpl>();
+  auto impl = internal::NewTensorImpl();
   impl->shape = std::move(shape);
   int64_t n = impl->Numel();
   GARL_CHECK_GE(n, 0);
@@ -57,7 +61,7 @@ Tensor Tensor::Full(std::vector<int64_t> shape, float fill,
 
 Tensor Tensor::FromVector(std::vector<int64_t> shape,
                           std::vector<float> values, bool requires_grad) {
-  auto impl = std::make_shared<TensorImpl>();
+  auto impl = internal::NewTensorImpl();
   impl->shape = std::move(shape);
   GARL_CHECK_EQ(impl->Numel(), static_cast<int64_t>(values.size()));
   impl->value = std::move(values);
@@ -66,7 +70,7 @@ Tensor Tensor::FromVector(std::vector<int64_t> shape,
 }
 
 Tensor Tensor::Scalar(float value, bool requires_grad) {
-  auto impl = std::make_shared<TensorImpl>();
+  auto impl = internal::NewTensorImpl();
   impl->value = arena::AcquireUninit(1);
   impl->value[0] = value;
   impl->requires_grad = requires_grad;
@@ -196,7 +200,7 @@ void Tensor::Backward() {
 
 Tensor Tensor::Detach() const {
   GARL_CHECK(defined());
-  auto impl = std::make_shared<TensorImpl>();
+  auto impl = internal::NewTensorImpl();
   impl->shape = impl_->shape;
   impl->value = arena::AcquireUninit(static_cast<int64_t>(impl_->value.size()));
   std::copy(impl_->value.begin(), impl_->value.end(), impl->value.begin());

@@ -46,6 +46,11 @@ struct TensorImpl {
   void EnsureGrad();
 };
 
+// Allocates a TensorImpl via the arena node pool: one pooled block holds the
+// node and its shared_ptr control block (std::allocate_shared), so graph
+// construction stays heap-allocation-free in steady state.
+std::shared_ptr<TensorImpl> NewTensorImpl();
+
 }  // namespace internal
 
 class Tensor {

@@ -185,6 +185,49 @@ TEST(ArenaSteadyStateTest, TrainingShapedLoopIsAllocationFreeAfterWarmup) {
       << stats.heap_allocs << " heap allocations over " << kIters
       << " iterations)";
   EXPECT_GT(stats.reuses, 0);
+  // The autograd node headers (allocate_shared'd TensorImpl blocks) must be
+  // pooled too, not just the value/grad buffers.
+  EXPECT_EQ(stats.node_heap_allocs, 0)
+      << "steady-state iterations must recycle TensorImpl node blocks ("
+      << stats.node_heap_allocs << " node heap allocations over " << kIters
+      << " iterations)";
+  EXPECT_GT(stats.node_reuses, 0);
+}
+
+TEST(ArenaNodePoolTest, AcquireNodeRecyclesBlocksBySizeClass) {
+  void* first = AcquireNode(200);
+  ReleaseNode(first, 200);
+  ResetStatsForTest();
+  // Same size class (200 and 220 both round up to 256): must reuse.
+  void* second = AcquireNode(220);
+  EXPECT_EQ(second, first);
+  ArenaStats stats = GlobalStats();
+  EXPECT_EQ(stats.node_heap_allocs, 0);
+  EXPECT_GE(stats.node_reuses, 1);
+  // A different size class misses the list and hits the heap.
+  void* big = AcquireNode(4096);
+  EXPECT_GE(GlobalStats().node_heap_allocs, 1);
+  ReleaseNode(second, 220);
+  ReleaseNode(big, 4096);
+}
+
+TEST(ArenaNodePoolTest, TensorConstructionIsNodeAllocationFreeWhenWarm) {
+  // Warm the node free list with a few graph builds, then assert fresh
+  // tensors stop touching the heap for their node headers.
+  for (int i = 0; i < 3; ++i) {
+    Tensor t = Tensor::Full({4, 4}, 1.0f, /*requires_grad=*/true);
+    Tensor loss = Sum(Mul(t, t));
+    loss.Backward();
+  }
+  ResetStatsForTest();
+  {
+    Tensor t = Tensor::Full({4, 4}, 1.0f, /*requires_grad=*/true);
+    Tensor loss = Sum(Mul(t, t));
+    loss.Backward();
+  }
+  ArenaStats stats = GlobalStats();
+  EXPECT_EQ(stats.node_heap_allocs, 0);
+  EXPECT_GT(stats.node_reuses, 0);
 }
 
 TEST(ArenaStatsTest, CountersTrackAcquireReleaseCycle) {

@@ -173,7 +173,11 @@ TEST(FleetTest, SigkillMidRunResumesByteIdentical) {
 TEST(FleetTest, StalledHeartbeatIsKilledAndRestarted) {
   const std::string root = TestRoot("fleet_hang");
   SupervisorConfig config = FastConfig(root);
-  config.heartbeat_deadline_ms = 400;
+  // Generous deadline: the SIGSTOP'd child never beats again so any value
+  // catches it, but restarted (healthy) children must beat within this
+  // window even when sanitizer-instrumented and sharing the box with a
+  // parallel ctest run — 400 ms exhausted the restart budget under ASan -j4.
+  config.heartbeat_deadline_ms = 2000;
   const std::string heartbeat = HeartbeatPath(RunDir(root, "run"));
   std::atomic<int64_t> child_pid{-1};
   std::atomic<bool> stopped{false};

@@ -6,13 +6,17 @@
 // the linter only honours directives found in comments.
 
 #include <algorithm>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "tools/garl_lint/baseline.h"
+#include "tools/garl_lint/cli.h"
 #include "tools/garl_lint/lint.h"
 
 namespace garl::lint {
@@ -127,6 +131,63 @@ TEST(GarlLintFixtures, HotPathDoubleFiresInSimdHeader) {
             (Expected{{9, "float-double-drift"}}));
 }
 
+TEST(GarlLintFixtures, DetTaintFiresOnClockIntoDetFieldAndSink) {
+  // Direct var taint into a det field, returns-taint through a helper into a
+  // det field, a tainted argument to a CRC sink, and a det write through a
+  // record-typed reference parameter.
+  EXPECT_EQ(FindingsFor("src/taint/bad_taint.cc"),
+            (Expected{{24, "det-taint"},
+                      {25, "det-taint"},
+                      {31, "det-taint"},
+                      {36, "det-taint"}}));
+}
+
+TEST(GarlLintFixtures, DetTaintSuppressionAndNearMissesStayQuiet) {
+  EXPECT_TRUE(FindingsFor("src/taint/suppressed_taint.cc").empty());
+  EXPECT_TRUE(FindingsFor("src/taint/near_miss_taint.cc").empty());
+}
+
+TEST(GarlLintFixtures, ParallelUnsafeFiresDirectlyAndTransitively) {
+  // Line 18: Snapshot() lexically inside the body lambda. Line 13: the same
+  // call inside LeafHelper, reachable from the body through the call graph.
+  EXPECT_EQ(FindingsFor("src/par/bad_parallel.cc"),
+            (Expected{{13, "parallel-unsafe"}, {18, "parallel-unsafe"}}));
+}
+
+TEST(GarlLintFixtures, ParallelUnsafeSuppressionAndNearMissesStayQuiet) {
+  EXPECT_TRUE(FindingsFor("src/par/suppressed_parallel.cc").empty());
+  EXPECT_TRUE(FindingsFor("src/par/near_miss_parallel.cc").empty());
+}
+
+TEST(GarlLintFixtures, StatusPropagationEscalatesDiscardsOnEntryPaths) {
+  // The discard in Helper is reported twice: once as the local discard, once
+  // escalated with the Train -> Helper chain.
+  EXPECT_EQ(FindingsFor("src/prop/bad_prop.cc"),
+            (Expected{{12, "status-discard"}, {12, "status-propagation"}}));
+}
+
+TEST(GarlLintFixtures, StatusPropagationSkipsUnreachableDiscards) {
+  // OrphanHelper is not reachable from any entry point: the plain discard
+  // still fires, the escalation must not.
+  EXPECT_EQ(FindingsFor("src/prop/near_miss_prop.cc"),
+            (Expected{{12, "status-discard"}}));
+}
+
+TEST(GarlLintFixtures, StatusPropagationSuppressionCoversBothRules) {
+  EXPECT_TRUE(FindingsFor("src/prop/suppressed_prop.cc").empty());
+}
+
+TEST(GarlLintFixtures, FindingsAreSortedByFileLineRule) {
+  const auto findings = FixtureFindings();
+  for (size_t i = 1; i < findings.size(); ++i) {
+    const auto& a = findings[i - 1];
+    const auto& b = findings[i];
+    EXPECT_LE(std::tie(a.file, a.line, a.rule),
+              std::tie(b.file, b.line, b.rule))
+        << a.ToString() << " sorts after " << b.ToString();
+  }
+}
+
 TEST(GarlLintFixtures, NoUnexpectedFindings) {
   // Every finding in the fixture tree is one the tests above asserted; a new
   // rule misfire shows up here with its full location.
@@ -135,7 +196,9 @@ TEST(GarlLintFixtures, NoUnexpectedFindings) {
       "src/bad_serialize.cc", "src/bad_new.cc",      "src/bad_guard.h",
       "src/missing_guard.h", "src/suppressed.cc",    "src/bad_suppression.cc",
       "src/nn/ops.cc",       "src/nn/simd.h",         "src/obs/bad_obs_time.cc",
-      "src/bad_io.cc",       "src/bad_spawn.cc"};
+      "src/bad_io.cc",       "src/bad_spawn.cc",      "src/taint/bad_taint.cc",
+      "src/par/bad_parallel.cc", "src/prop/bad_prop.cc",
+      "src/prop/near_miss_prop.cc"};
   for (const auto& finding : FixtureFindings()) {
     EXPECT_TRUE(expected_files.count(finding.file))
         << "unexpected finding: " << finding.ToString();
@@ -183,9 +246,193 @@ TEST(GarlLintUnit, KnownRulesIsStable) {
   for (const auto& rule :
        {"nondet-rand", "nondet-time", "status-discard", "include-guard",
         "float-double-drift", "raw-new-delete", "unordered-serialize",
-        "direct-io", "process-spawn", "bad-suppression"}) {
+        "direct-io", "process-spawn", "bad-suppression", "det-taint",
+        "parallel-unsafe", "status-propagation"}) {
     EXPECT_TRUE(rules.count(rule)) << rule;
   }
+}
+
+TEST(GarlLintUnit, FormatFindingsJsonGolden) {
+  std::vector<Finding> findings;
+  findings.push_back({"src/a.cc", 7, "det-taint", "bad \"bytes\"\there"});
+  findings.push_back({"src/b.h", 1, "include-guard", "wrong guard"});
+  EXPECT_EQ(FormatFindingsJson(findings),
+            "[\n"
+            " {\"file\": \"src/a.cc\", \"line\": 7, \"rule\": \"det-taint\", "
+            "\"message\": \"bad \\\"bytes\\\"\\there\"},\n"
+            " {\"file\": \"src/b.h\", \"line\": 1, \"rule\": "
+            "\"include-guard\", \"message\": \"wrong guard\"}\n"
+            "]\n");
+  EXPECT_EQ(FormatFindingsJson({}), "[]\n");
+}
+
+TEST(GarlLintUnit, ParseBaselineAcceptsJustifiedEntriesOnly) {
+  std::vector<BaselineEntry> entries;
+  std::string error;
+  EXPECT_TRUE(ParseBaseline("# comment\n"
+                            "\n"
+                            "det-taint src/a.cc:7 -- known rt-only digest\n"
+                            "direct-io src/b.cc -- tool-local scratch file\n",
+                            &entries, &error))
+      << error;
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].rule, "det-taint");
+  EXPECT_EQ(entries[0].file, "src/a.cc");
+  EXPECT_EQ(entries[0].line, 7);
+  EXPECT_EQ(entries[1].line, 0);  // no line pin: matches any line in the file
+
+  // Missing justification separator.
+  EXPECT_FALSE(ParseBaseline("det-taint src/a.cc:7\n", &entries, &error));
+  EXPECT_NE(error.find("--"), std::string::npos);
+  // Empty justification.
+  EXPECT_FALSE(ParseBaseline("det-taint src/a.cc:7 -- \n", &entries, &error));
+  // Unknown rule name.
+  EXPECT_FALSE(
+      ParseBaseline("not-a-rule src/a.cc:7 -- why\n", &entries, &error));
+  EXPECT_NE(error.find("not-a-rule"), std::string::npos);
+}
+
+TEST(GarlLintUnit, ApplyBaselineFiltersMatchesAndRejectsStaleEntries) {
+  std::vector<Finding> findings;
+  findings.push_back({"src/a.cc", 7, "det-taint", "m"});
+  findings.push_back({"src/a.cc", 9, "det-taint", "m"});
+
+  std::vector<BaselineEntry> entries;
+  std::string error;
+  ASSERT_TRUE(ParseBaseline("det-taint src/a.cc:7 -- fine\n", &entries, &error));
+  auto remaining = findings;
+  EXPECT_EQ(ApplyBaseline(entries, &remaining), "");
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].line, 9);
+
+  // An entry matching nothing is stale and must fail the run, not linger.
+  entries.clear();
+  ASSERT_TRUE(
+      ParseBaseline("det-taint src/gone.cc:1 -- obsolete\n", &entries, &error));
+  remaining = findings;
+  const std::string stale = ApplyBaseline(entries, &remaining);
+  EXPECT_NE(stale.find("stale"), std::string::npos);
+  // A stale baseline must not half-apply: findings stay untouched.
+  EXPECT_EQ(remaining.size(), findings.size());
+}
+
+TEST(GarlLintUnit, IncrementalCacheMakesSecondRunAllHits) {
+  const std::string cache_path =
+      ::testing::TempDir() + "/garl_lint_cache_test.bin";
+  std::remove(cache_path.c_str());
+
+  LintOptions options;
+  options.cache_path = cache_path;
+  const auto first =
+      LintTreeFull(GARL_LINT_FIXTURE_TREE, {"src", "bench"}, options);
+  ASSERT_TRUE(first.error.empty()) << first.error;
+  EXPECT_EQ(first.stats.cache_hits, 0u);
+  EXPECT_EQ(first.stats.cache_misses, first.stats.files);
+
+  const auto second =
+      LintTreeFull(GARL_LINT_FIXTURE_TREE, {"src", "bench"}, options);
+  ASSERT_TRUE(second.error.empty()) << second.error;
+  EXPECT_EQ(second.stats.cache_hits, second.stats.files);
+  EXPECT_EQ(second.stats.cache_misses, 0u);
+
+  // A warm cache must not change a single finding.
+  ASSERT_EQ(first.findings.size(), second.findings.size());
+  for (size_t i = 0; i < first.findings.size(); ++i) {
+    EXPECT_EQ(first.findings[i].ToString(), second.findings[i].ToString());
+  }
+  std::remove(cache_path.c_str());
+}
+
+// --- CLI exit-code contract (satellite: findings=1, usage/IO errors=2) ---
+
+int RunCliQuiet(const std::vector<std::string>& args, std::string* stdout_text,
+                std::string* stderr_text) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = RunCli(args, out, err);
+  if (stdout_text != nullptr) *stdout_text = out.str();
+  if (stderr_text != nullptr) *stderr_text = err.str();
+  return code;
+}
+
+TEST(GarlLintCli, FindingsExitOne) {
+  std::string out, err;
+  const int code = RunCliQuiet(
+      {"--root", GARL_LINT_FIXTURE_TREE, "src", "bench"}, &out, &err);
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.find("[det-taint]"), std::string::npos);
+  EXPECT_NE(err.find("finding"), std::string::npos);
+}
+
+TEST(GarlLintCli, CleanTreeExitZero) {
+  // The bench/ subtree of the fixture tree has no findings.
+  std::string out, err;
+  const int code =
+      RunCliQuiet({"--root", GARL_LINT_FIXTURE_TREE, "bench"}, &out, &err);
+  EXPECT_EQ(code, 0) << out << err;
+}
+
+TEST(GarlLintCli, UsageErrorsExitTwo) {
+  std::string out, err;
+  EXPECT_EQ(RunCliQuiet({"--bogus-flag"}, &out, &err), 2);
+  EXPECT_NE(err.find("--bogus-flag"), std::string::npos);
+  EXPECT_EQ(RunCliQuiet({"--root"}, &out, &err), 2);  // missing value
+  EXPECT_EQ(RunCliQuiet({"--format=yaml"}, &out, &err), 2);
+}
+
+TEST(GarlLintCli, MissingBaselineFileExitsTwo) {
+  std::string out, err;
+  const int code = RunCliQuiet({"--root", GARL_LINT_FIXTURE_TREE, "--baseline",
+                                "/nonexistent/garl.baseline", "bench"},
+                               &out, &err);
+  EXPECT_EQ(code, 2);
+}
+
+TEST(GarlLintCli, BaselineCoversFindingsAndStaleEntriesFail) {
+  const std::string baseline_path =
+      ::testing::TempDir() + "/garl_lint_test.baseline";
+  {
+    std::ofstream f(baseline_path);
+    f << "status-discard src/prop/bad_prop.cc:12 -- fixture seed\n"
+      << "status-propagation src/prop/bad_prop.cc:12 -- fixture seed\n"
+      << "status-discard src/prop/near_miss_prop.cc:12 -- fixture seed\n";
+  }
+  std::string out, err;
+  EXPECT_EQ(RunCliQuiet({"--root", GARL_LINT_FIXTURE_TREE, "--baseline",
+                         baseline_path, "src/prop"},
+                        &out, &err),
+            0)
+      << out << err;
+
+  {
+    std::ofstream f(baseline_path, std::ios::app);
+    f << "det-taint src/prop/bad_prop.cc:1 -- no longer real\n";
+  }
+  EXPECT_EQ(RunCliQuiet({"--root", GARL_LINT_FIXTURE_TREE, "--baseline",
+                         baseline_path, "src/prop"},
+                        &out, &err),
+            2);
+  EXPECT_NE(err.find("stale"), std::string::npos);
+  std::remove(baseline_path.c_str());
+}
+
+TEST(GarlLintCli, JsonFormatEmitsMachineReadableFindings) {
+  std::string out, err;
+  const int code = RunCliQuiet({"--root", GARL_LINT_FIXTURE_TREE,
+                                "--format=json", "src/prop"},
+                               &out, &err);
+  EXPECT_EQ(code, 1);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find("\"rule\": \"status-propagation\""), std::string::npos);
+  EXPECT_NE(out.find("\"file\": \"src/prop/bad_prop.cc\""), std::string::npos);
+  EXPECT_EQ(out.find("["), 0u);  // no prose on stdout in json mode
+}
+
+TEST(GarlLintCli, RulesListingExitsZero) {
+  std::string out, err;
+  EXPECT_EQ(RunCliQuiet({"--rules"}, &out, &err), 0);
+  EXPECT_NE(out.find("det-taint"), std::string::npos);
+  EXPECT_NE(out.find("parallel-unsafe"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,24 @@
+// parallel-unsafe true positives: a declared non-reentrant call lexically
+// inside a ParallelFor body, and one in a helper reachable from the body.
+#include <cstdint>
+
+namespace garl {
+
+struct MetricsSnapshot {};
+MetricsSnapshot Snapshot();
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 void (*body)(int64_t));
+
+void LeafHelper() {
+  Snapshot();  // reachable from RunBatch's ParallelFor body
+}
+
+void RunBatch() {
+  ParallelFor(0, 8, 1, [](int64_t i) {
+    Snapshot();  // directly inside the body lambda
+    LeafHelper();
+    (void)i;
+  });
+}
+
+}  // namespace garl

@@ -1,0 +1,23 @@
+// parallel-unsafe near misses: the non-reentrant call sits in a function
+// that is NOT reachable from any ParallelFor body, and the body itself only
+// calls a clean helper. None of this may fire.
+#include <cstdint>
+
+namespace garl {
+
+struct MetricsSnapshot {};
+MetricsSnapshot Snapshot();
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 void (*body)(int64_t));
+
+void SequentialReport() {
+  Snapshot();  // never called from a worker: fine
+}
+
+int64_t CleanKernel(int64_t i) { return i * 2; }
+
+void RunBatch() {
+  ParallelFor(0, 8, 1, [](int64_t i) { CleanKernel(i); });
+}
+
+}  // namespace garl

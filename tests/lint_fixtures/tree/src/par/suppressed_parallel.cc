@@ -1,0 +1,18 @@
+// parallel-unsafe suppression: the directive silences exactly the named rule.
+#include <cstdint>
+
+namespace garl {
+
+struct MetricsSnapshot {};
+MetricsSnapshot Snapshot();
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 void (*body)(int64_t));
+
+void RunBatch() {
+  ParallelFor(0, 8, 1, [](int64_t i) {
+    Snapshot();  // garl-lint: allow(parallel-unsafe)
+    (void)i;
+  });
+}
+
+}  // namespace garl

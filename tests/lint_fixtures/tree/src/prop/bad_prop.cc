@@ -1,0 +1,19 @@
+// status-propagation true positive: a fallible call's Status is dropped in a
+// helper that sits on a live call chain from the Train entry point.
+namespace garl {
+
+struct Status {
+  bool ok() const;
+};
+
+Status SaveThing();
+
+void Helper() {
+  SaveThing();
+}
+
+void Train() {
+  Helper();
+}
+
+}  // namespace garl

@@ -1,0 +1,15 @@
+// status-propagation near miss: the discarding function is unreachable from
+// any entry point, so only plain status-discard fires — no escalation.
+namespace garl {
+
+struct Status {
+  bool ok() const;
+};
+
+Status SaveThing();
+
+void OrphanHelper() {
+  SaveThing();
+}
+
+}  // namespace garl

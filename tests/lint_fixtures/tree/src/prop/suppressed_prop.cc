@@ -1,0 +1,19 @@
+// status-propagation suppression: both the discard and its escalation are
+// silenced by naming each rule.
+namespace garl {
+
+struct Status {
+  bool ok() const;
+};
+
+Status SaveThing();
+
+void Helper() {
+  SaveThing();  // garl-lint: allow(status-discard, status-propagation)
+}
+
+void Train() {
+  Helper();
+}
+
+}  // namespace garl

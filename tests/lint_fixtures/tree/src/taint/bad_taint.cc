@@ -1,0 +1,39 @@
+// det-taint true positives: nondeterministic values reaching det sinks.
+#include <cstdint>
+
+namespace garl::obs {
+
+int64_t MonotonicNowNs();
+uint32_t Crc32(const void* data, int64_t n);
+
+struct IterationRecord {
+  double policy_loss = 0.0;
+  double efficiency = 0.0;
+  int64_t wall_ns = 0;
+};
+
+// Returns a clock-derived value: taints every caller that uses the result.
+int64_t JitterNs() {
+  int64_t now = MonotonicNowNs();
+  return now - 5;
+}
+
+void FillRecord() {
+  IterationRecord rec;
+  int64_t t = MonotonicNowNs();
+  rec.policy_loss = static_cast<double>(t);
+  rec.efficiency = static_cast<double>(JitterNs());
+  rec.wall_ns = t;  // rt field: legitimately clock-derived
+}
+
+uint32_t DigestNow() {
+  int64_t t = MonotonicNowNs();
+  return Crc32(&t, sizeof(t));
+}
+
+// Det writes through a record-typed reference parameter are caught too.
+void FillRecordRef(IterationRecord& rec) {
+  rec.policy_loss = static_cast<double>(MonotonicNowNs());
+}
+
+}  // namespace garl::obs

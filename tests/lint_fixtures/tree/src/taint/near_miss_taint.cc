@@ -1,0 +1,28 @@
+// det-taint near misses: clock values that stay in rt fields, det fields fed
+// from pure values, and untainted sink arguments. None of this may fire.
+#include <cstdint>
+
+namespace garl::obs {
+
+int64_t MonotonicNowNs();
+uint32_t Crc32(const void* data, int64_t n);
+
+struct IterationRecord {
+  double policy_loss = 0.0;
+  int64_t wall_ns = 0;
+};
+
+double PureLoss(int64_t step) { return static_cast<double>(step) * 0.5; }
+
+void FillRecord(int64_t step) {
+  IterationRecord rec;
+  int64_t start = MonotonicNowNs();
+  rec.policy_loss = PureLoss(step);       // pure value into a det field
+  rec.wall_ns = MonotonicNowNs() - start;  // clock into an rt field
+}
+
+uint32_t DigestStep(int64_t step) {
+  return Crc32(&step, sizeof(step));  // untainted argument
+}
+
+}  // namespace garl::obs

@@ -1,0 +1,18 @@
+// det-taint suppression: the directive silences exactly the named rule.
+#include <cstdint>
+
+namespace garl::obs {
+
+int64_t MonotonicNowNs();
+
+struct IterationRecord {
+  double policy_loss = 0.0;
+};
+
+void FillRecord() {
+  IterationRecord rec;
+  int64_t t = MonotonicNowNs();
+  rec.policy_loss = static_cast<double>(t);  // garl-lint: allow(det-taint)
+}
+
+}  // namespace garl::obs

@@ -1,0 +1,99 @@
+#include "tools/garl_lint/baseline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tools/garl_lint/lint.h"
+
+namespace garl::lint {
+
+bool ParseBaseline(const std::string& text, std::vector<BaselineEntry>* entries,
+                   std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = line;
+    size_t first = trimmed.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (trimmed[first] == '#') continue;
+
+    size_t sep = trimmed.find(" -- ");
+    if (sep == std::string::npos) {
+      *error = "baseline line " + std::to_string(line_no) +
+               ": missing ' -- <justification>'";
+      return false;
+    }
+    std::string head = trimmed.substr(0, sep);
+    std::string justification = trimmed.substr(sep + 4);
+    size_t jfirst = justification.find_first_not_of(" \t");
+    if (jfirst == std::string::npos) {
+      *error = "baseline line " + std::to_string(line_no) +
+               ": empty justification";
+      return false;
+    }
+
+    std::istringstream fields(head);
+    BaselineEntry entry;
+    std::string target, extra;
+    if (!(fields >> entry.rule >> target) || (fields >> extra)) {
+      *error = "baseline line " + std::to_string(line_no) +
+               ": expected '<rule> <file>[:<line>] -- <justification>'";
+      return false;
+    }
+    if (!KnownRules().count(entry.rule)) {
+      *error = "baseline line " + std::to_string(line_no) +
+               ": unknown rule '" + entry.rule + "'; see --rules";
+      return false;
+    }
+    size_t colon = target.rfind(':');
+    if (colon != std::string::npos &&
+        target.find_first_not_of("0123456789", colon + 1) ==
+            std::string::npos &&
+        colon + 1 < target.size()) {
+      entry.file = target.substr(0, colon);
+      entry.line = std::stoi(target.substr(colon + 1));
+    } else {
+      entry.file = target;
+      entry.line = 0;
+    }
+    entry.justification = justification.substr(jfirst);
+    entry.source_line = line_no;
+    entries->push_back(std::move(entry));
+  }
+  return true;
+}
+
+std::string ApplyBaseline(const std::vector<BaselineEntry>& entries,
+                          std::vector<Finding>* findings) {
+  std::vector<bool> matched_entry(entries.size(), false);
+  std::vector<Finding> kept;
+  for (auto& finding : *findings) {
+    bool excused = false;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const BaselineEntry& entry = entries[i];
+      if (entry.rule == finding.rule && entry.file == finding.file &&
+          (entry.line == 0 || entry.line == finding.line)) {
+        matched_entry[i] = true;
+        excused = true;
+      }
+    }
+    if (!excused) kept.push_back(std::move(finding));
+  }
+  std::string stale;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (matched_entry[i]) continue;
+    if (!stale.empty()) stale += "\n";
+    stale += "stale baseline entry (line " +
+             std::to_string(entries[i].source_line) + "): " + entries[i].rule +
+             " " + entries[i].file +
+             (entries[i].line ? ":" + std::to_string(entries[i].line) : "") +
+             " no longer matches any finding; delete it";
+  }
+  if (!stale.empty()) return stale;
+  *findings = std::move(kept);
+  return "";
+}
+
+}  // namespace garl::lint

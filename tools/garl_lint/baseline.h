@@ -1,0 +1,42 @@
+#ifndef GARL_TOOLS_GARL_LINT_BASELINE_H_
+#define GARL_TOOLS_GARL_LINT_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/garl_lint/index.h"
+
+// Accepted-findings baseline. Every entry must carry a human justification
+// and must still match a live finding — unknown rules, malformed lines and
+// stale entries are hard errors (exit 2), so the baseline can only shrink
+// honestly; it cannot rot into a list of dead excuses.
+//
+// Format, one entry per line ('#' comments and blank lines ignored):
+//   <rule> <file>[:<line>] -- <justification text>
+// The :<line> part is optional; without it the entry matches every finding
+// of that rule in that file (for rules whose line drifts with edits).
+
+namespace garl::lint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  int line = 0;        // 0 = any line
+  std::string justification;
+  int source_line = 0;  // line in the baseline file, for error messages
+};
+
+// Parses baseline text. Returns false and sets `error` on malformed lines,
+// missing justifications, or unknown rule names.
+bool ParseBaseline(const std::string& text, std::vector<BaselineEntry>* entries,
+                   std::string* error);
+
+// Removes findings matched by `entries` from `findings`. Returns "" on
+// success, else an error message naming every stale entry (entries that
+// matched nothing — the underlying issue was fixed, so the excuse must go).
+std::string ApplyBaseline(const std::vector<BaselineEntry>& entries,
+                          std::vector<Finding>* findings);
+
+}  // namespace garl::lint
+
+#endif  // GARL_TOOLS_GARL_LINT_BASELINE_H_

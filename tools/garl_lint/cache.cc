@@ -1,0 +1,79 @@
+#include "tools/garl_lint/cache.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace garl::lint {
+namespace {
+
+const char kMagic[] = "garl-lint-cache/2";
+const char kEntrySep[] = "%%";
+
+}  // namespace
+
+void IndexCache::Load(const std::string& path, uint64_t salt) {
+  entries_.clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::string header;
+  if (!std::getline(in, header)) return;
+  std::istringstream head(header);
+  std::string magic;
+  uint64_t stored_salt = 0;
+  if (!(head >> magic >> stored_salt) || magic != kMagic ||
+      stored_salt != salt) {
+    return;  // different tool version / tables: cold run
+  }
+  std::string line, block;
+  while (std::getline(in, line)) {
+    if (line == kEntrySep) {
+      FileIndex index;
+      if (ParseFileIndex(block, &index) && !index.path.empty()) {
+        entries_[index.path] = std::move(index);
+      }
+      block.clear();
+    } else {
+      block += line;
+      block += '\n';
+    }
+  }
+}
+
+const FileIndex* IndexCache::Lookup(const std::string& rel_path,
+                                    uint64_t content_hash) const {
+  auto it = entries_.find(rel_path);
+  if (it == entries_.end() || it->second.content_hash != content_hash) {
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void IndexCache::Store(const FileIndex& index) { entries_[index.path] = index; }
+
+bool IndexCache::Save(const std::string& path, uint64_t salt,
+                      std::string* error) const {
+  std::ostringstream os;
+  os << kMagic << " " << salt << "\n";
+  for (const auto& [rel, index] : entries_) {
+    os << SerializeFileIndex(index) << kEntrySep << "\n";
+  }
+  // The cache is derived, local, throwaway state — a plain stream write is
+  // fine (and fs_util would drag the whole library into this dependency-free
+  // tool). A torn write just means a cold run next time.
+  // garl-lint: allow-next-line(direct-io)
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    *error = "cannot open cache file '" + path + "' for writing";
+    return false;
+  }
+  out << os.str();
+  out.flush();
+  if (!out) {
+    *error = "short write to cache file '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace garl::lint

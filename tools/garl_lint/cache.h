@@ -1,0 +1,49 @@
+#ifndef GARL_TOOLS_GARL_LINT_CACHE_H_
+#define GARL_TOOLS_GARL_LINT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "tools/garl_lint/index.h"
+
+// Content-hash incremental cache for phase-1 file indexes. Soundness rests on
+// BuildFileIndex being a pure function of (contents, tables): the cache key is
+// the FNV-1a hash of the file bytes, and the whole cache is salted with the
+// tool version + analysis-table digest, so a rule change or table edit
+// invalidates everything at once. Phase 2 always re-runs, so cross-file state
+// can never go stale through cached entries. A missing, unreadable or
+// mismatched cache file degrades to a cold run — never to an error.
+
+namespace garl::lint {
+
+class IndexCache {
+ public:
+  // Loads entries from `path` if it exists and its salt matches; otherwise
+  // starts empty. Never fails.
+  void Load(const std::string& path, uint64_t salt);
+
+  // Returns the cached index for `rel_path` when the stored content hash
+  // matches, else nullptr.
+  const FileIndex* Lookup(const std::string& rel_path,
+                          uint64_t content_hash) const;
+
+  void Store(const FileIndex& index);
+
+  // Writes all entries back (deterministic order: sorted by path). Returns
+  // false with `error` set on I/O failure.
+  bool Save(const std::string& path, uint64_t salt, std::string* error) const;
+
+  int hits() const { return hits_; }
+  int misses() const { return misses_; }
+  void CountMiss() { ++misses_; }
+
+ private:
+  std::map<std::string, FileIndex> entries_;  // keyed by rel path
+  mutable int hits_ = 0;
+  int misses_ = 0;
+};
+
+}  // namespace garl::lint
+
+#endif  // GARL_TOOLS_GARL_LINT_CACHE_H_

@@ -1,0 +1,338 @@
+#include "tools/garl_lint/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace garl::lint {
+namespace {
+
+// One linked function: (owning file, function) plus a stable id.
+struct FnNode {
+  const FileIndex* file = nullptr;
+  const FunctionInfo* fn = nullptr;
+};
+
+class Linker {
+ public:
+  Linker(const std::vector<FileIndex>& indexes, const AnalysisTables& tables,
+         const std::set<std::string>& extra_fallible)
+      : indexes_(indexes), tables_(tables) {
+    fallible_ = extra_fallible;
+    for (const auto& index : indexes_) {
+      for (const auto& name : index.fallible) fallible_.insert(name);
+      for (const auto& fn : index.functions) {
+        nodes_.push_back({&index, &fn});
+      }
+    }
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      by_name_[nodes_[i].fn->name].push_back(i);
+    }
+    BuildIncludeClosures();
+  }
+
+  std::vector<Finding> Run() {
+    ComputeReturnsTaint();
+    CheckStatusDiscardAndPropagation();
+    CheckDetTaint();
+    CheckParallelUnsafe();
+    return std::move(findings_);
+  }
+
+ private:
+  // --- include closure -----------------------------------------------------
+
+  void BuildIncludeClosures() {
+    std::map<std::string, const FileIndex*> by_path;
+    for (const auto& index : indexes_) by_path[index.path] = &index;
+    auto resolve_include = [&](const std::string& inc) -> const FileIndex* {
+      auto it = by_path.find(inc);
+      if (it != by_path.end()) return it->second;
+      it = by_path.find("src/" + inc);
+      if (it != by_path.end()) return it->second;
+      return nullptr;
+    };
+    for (const auto& index : indexes_) {
+      std::set<std::string>& closure = include_closure_[index.path];
+      std::deque<const FileIndex*> queue = {&index};
+      closure.insert(index.path);
+      // A .cc sees its own header's includes too.
+      if (index.path.size() > 3 &&
+          index.path.compare(index.path.size() - 3, 3, ".cc") == 0) {
+        std::string header = index.path.substr(0, index.path.size() - 3) + ".h";
+        if (auto it = by_path.find(header); it != by_path.end()) {
+          queue.push_back(it->second);
+          closure.insert(header);
+        }
+      }
+      while (!queue.empty()) {
+        const FileIndex* cur = queue.front();
+        queue.pop_front();
+        for (const auto& inc : cur->includes) {
+          const FileIndex* dep = resolve_include(inc);
+          if (dep && closure.insert(dep->path).second) queue.push_back(dep);
+        }
+      }
+    }
+  }
+
+  // Resolve a callee name from a calling file: all same-named definitions,
+  // narrowed to the caller's include closure when that leaves any.
+  std::vector<size_t> Resolve(const std::string& caller_file,
+                              const std::string& callee) const {
+    auto it = by_name_.find(callee);
+    if (it == by_name_.end()) return {};
+    const std::set<std::string>& closure = include_closure_.at(caller_file);
+    std::vector<size_t> in_closure;
+    for (size_t id : it->second) {
+      if (closure.count(nodes_[id].file->path)) in_closure.push_back(id);
+    }
+    return in_closure.empty() ? it->second : in_closure;
+  }
+
+  // --- findings ------------------------------------------------------------
+
+  void Emit(const FileIndex& file, int line, const std::string& rule,
+            const std::string& message) {
+    if (file.suppressions.Covers(rule, line)) return;
+    if (!emitted_.insert(file.path + "\x1f" + std::to_string(line) + "\x1f" +
+                         rule)
+             .second) {
+      return;
+    }
+    findings_.push_back({file.path, line, rule, message});
+  }
+
+  // --- interprocedural returns-taint fixpoint ------------------------------
+
+  void ComputeReturnsTaint() {
+    returns_taint_.assign(nodes_.size(), false);
+    taint_source_of_.assign(nodes_.size(), "");
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].fn->returns_taint_direct) {
+        returns_taint_[i] = true;
+        taint_source_of_[i] = nodes_[i].fn->qual;
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (returns_taint_[i]) continue;
+        for (const auto& via : nodes_[i].fn->returns_taint_via) {
+          for (size_t callee : Resolve(nodes_[i].file->path, via)) {
+            if (returns_taint_[callee]) {
+              returns_taint_[i] = true;
+              taint_source_of_[i] = taint_source_of_[callee];
+              changed = true;
+              break;
+            }
+          }
+          if (returns_taint_[i]) break;
+        }
+      }
+    }
+  }
+
+  // The name of a function (by node id) whose return value carries taint, or
+  // "" — used to pick which `via` callee to blame in a SinkHit.
+  std::string TaintedVia(const std::string& caller_file,
+                         const std::vector<std::string>& via_calls,
+                         std::string* origin) const {
+    for (const auto& via : via_calls) {  // via_calls is sorted: deterministic
+      for (size_t callee : Resolve(caller_file, via)) {
+        if (returns_taint_[callee]) {
+          *origin = taint_source_of_[callee];
+          return via;
+        }
+      }
+    }
+    return "";
+  }
+
+  // --- rule: status-discard + status-propagation ---------------------------
+
+  void CheckStatusDiscardAndPropagation() {
+    // Entry reachability with parent chains for the escalation rule.
+    std::vector<int> parent(nodes_.size(), -2);  // -2 unvisited, -1 entry
+    std::deque<size_t> queue;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const std::string& name = nodes_[i].fn->name;
+      if (name == "main" || name == "Train" ||
+          tables_.entry_points.count(name)) {
+        parent[i] = -1;
+        queue.push_back(i);
+      }
+    }
+    while (!queue.empty()) {
+      size_t cur = queue.front();
+      queue.pop_front();
+      for (const auto& call : nodes_[cur].fn->calls) {
+        for (size_t callee : Resolve(nodes_[cur].file->path, call.callee)) {
+          if (parent[callee] == -2) {
+            parent[callee] = static_cast<int>(cur);
+            queue.push_back(callee);
+          }
+        }
+      }
+    }
+    auto chain_of = [&](size_t id) {
+      std::vector<std::string> parts;
+      for (int cur = static_cast<int>(id); cur != -1;
+           cur = parent[static_cast<size_t>(cur)]) {
+        parts.push_back(nodes_[static_cast<size_t>(cur)].fn->qual);
+      }
+      std::reverse(parts.begin(), parts.end());
+      std::string chain;
+      for (const auto& part : parts) {
+        if (!chain.empty()) chain += " -> ";
+        chain += part;
+      }
+      return chain;
+    };
+
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const FnNode& node = nodes_[i];
+      for (const auto& discard : node.fn->discards) {
+        if (!fallible_.count(discard.callee)) continue;
+        if (discard.voided) {
+          Emit(*node.file, discard.line, "status-discard",
+               "'(void)' discards the Status from '" + discard.callee +
+                   "'; handle it (WarnIfError / GARL_CHECK) or suppress with "
+                   "a reason");
+        } else {
+          Emit(*node.file, discard.line, "status-discard",
+               "result of fallible function '" + discard.callee +
+                   "' is ignored; assign it, GARL_RETURN_IF_ERROR it, or "
+                   "handle the error");
+        }
+        if (parent[i] != -2) {
+          Emit(*node.file, discard.line, "status-propagation",
+               "Status of fallible '" + discard.callee + "' is dropped in '" +
+                   node.fn->qual + "', which is on a live path from an entry "
+                   "point (" + chain_of(i) +
+                   "); the failure can never reach the caller");
+        }
+      }
+    }
+  }
+
+  // --- rule: det-taint -----------------------------------------------------
+
+  void CheckDetTaint() {
+    for (const auto& node : nodes_) {
+      for (const auto& hit : node.fn->sink_hits) {
+        if (!hit.source.empty()) {
+          Emit(*node.file, hit.line, "det-taint",
+               "value derived from nondeterministic source '" + hit.source +
+                   "' reaches det sink " + hit.sink +
+                   "; det bytes must be a pure function of config + seed");
+          continue;
+        }
+        std::string origin;
+        std::string via = TaintedVia(node.file->path, hit.via_calls, &origin);
+        if (!via.empty()) {
+          Emit(*node.file, hit.line, "det-taint",
+               "value returned by '" + via +
+                   "' derives from a nondeterministic source (via " + origin +
+                   ") and reaches det sink " + hit.sink +
+                   "; det bytes must be a pure function of config + seed");
+        }
+      }
+    }
+  }
+
+  // --- rule: parallel-unsafe -----------------------------------------------
+
+  void CheckParallelUnsafe() {
+    // Direct: unsafe ops lexically inside a ParallelFor argument list.
+    for (const auto& node : nodes_) {
+      for (const auto& op : node.fn->unsafe_ops) {
+        if (op.in_parallel_body) {
+          Emit(*node.file, op.line, "parallel-unsafe",
+               op.what + " inside a ParallelFor body; worker lambdas must "
+               "stay reentrant, I/O-free and lock-free");
+        }
+      }
+    }
+    // Transitive: functions reachable from any ParallelFor body call.
+    std::vector<int> parent(nodes_.size(), -2);
+    std::vector<std::string> seed_label(nodes_.size());
+    std::deque<size_t> queue;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      for (const auto& call : nodes_[i].fn->calls) {
+        if (!call.in_parallel_body) continue;
+        for (size_t callee : Resolve(nodes_[i].file->path, call.callee)) {
+          if (parent[callee] == -2) {
+            parent[callee] = -1;
+            seed_label[callee] =
+                nodes_[i].fn->qual + "'s ParallelFor body";
+            queue.push_back(callee);
+          }
+        }
+      }
+    }
+    while (!queue.empty()) {
+      size_t cur = queue.front();
+      queue.pop_front();
+      for (const auto& call : nodes_[cur].fn->calls) {
+        for (size_t callee : Resolve(nodes_[cur].file->path, call.callee)) {
+          if (parent[callee] == -2) {
+            parent[callee] = static_cast<int>(cur);
+            queue.push_back(callee);
+          }
+        }
+      }
+    }
+    auto chain_of = [&](size_t id) {
+      std::vector<std::string> parts;
+      int cur = static_cast<int>(id);
+      while (cur != -1) {
+        parts.push_back(nodes_[static_cast<size_t>(cur)].fn->qual);
+        int next = parent[static_cast<size_t>(cur)];
+        if (next == -1) {
+          parts.push_back(seed_label[static_cast<size_t>(cur)]);
+        }
+        cur = next;
+      }
+      std::reverse(parts.begin(), parts.end());
+      std::string chain;
+      for (const auto& part : parts) {
+        if (!chain.empty()) chain += " -> ";
+        chain += part;
+      }
+      return chain;
+    };
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (parent[i] == -2) continue;
+      for (const auto& op : nodes_[i].fn->unsafe_ops) {
+        Emit(*nodes_[i].file, op.line, "parallel-unsafe",
+             op.what + " in '" + nodes_[i].fn->qual +
+                 "', which is reachable from a ParallelFor body (" +
+                 chain_of(i) + "); worker code must stay reentrant, I/O-free "
+                 "and lock-free");
+      }
+    }
+  }
+
+  const std::vector<FileIndex>& indexes_;
+  const AnalysisTables& tables_;
+  std::set<std::string> fallible_;
+  std::vector<FnNode> nodes_;
+  std::map<std::string, std::vector<size_t>> by_name_;
+  std::map<std::string, std::set<std::string>> include_closure_;
+  std::vector<bool> returns_taint_;
+  std::vector<std::string> taint_source_of_;
+  std::vector<Finding> findings_;
+  std::set<std::string> emitted_;
+};
+
+}  // namespace
+
+std::vector<Finding> RunGlobalRules(
+    const std::vector<FileIndex>& indexes, const AnalysisTables& tables,
+    const std::set<std::string>& extra_fallible) {
+  return Linker(indexes, tables, extra_fallible).Run();
+}
+
+}  // namespace garl::lint

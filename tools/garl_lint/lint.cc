@@ -2,635 +2,36 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <map>
-#include <regex>
 #include <sstream>
 #include <tuple>
+
+#include "tools/garl_lint/cache.h"
+#include "tools/garl_lint/graph.h"
+#include "tools/garl_lint/rules_local.h"
+#include "tools/garl_lint/token.h"
 
 namespace garl::lint {
 namespace {
 
 namespace fs = std::filesystem;
 
-// ---------------------------------------------------------------------------
-// Tokenization: split each line into code text and comment text. Rules run on
-// code (so prose and string literals can't trip token matches); suppression
-// directives are honoured only in comments (so a directive inside a string
-// literal — e.g. in the linter's own tests — has no effect).
-// ---------------------------------------------------------------------------
-
-struct LineView {
-  std::string code;     // line with comments and literal contents blanked
-  std::string comment;  // concatenated comment text on this line
-};
-
-std::vector<LineView> Tokenize(const std::string& contents) {
-  std::vector<LineView> lines;
-  LineView current;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
-  State state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-
-  for (size_t i = 0; i < contents.size(); ++i) {
-    char c = contents[i];
-    char next = i + 1 < contents.size() ? contents[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      lines.push_back(std::move(current));
-      current = LineView();
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   contents[i - 1])) &&
-                               contents[i - 1] != '_'))) {
-          // Raw string literal: R"delim( ... )delim".
-          size_t paren = contents.find('(', i + 2);
-          if (paren != std::string::npos) {
-            raw_delim = ")" + contents.substr(i + 2, paren - i - 2) + "\"";
-            current.code += "R\"\"";
-            state = State::kRaw;
-            i = paren;  // skip past the opening paren
-          } else {
-            current.code += c;
-          }
-        } else if (c == '"') {
-          current.code += '"';
-          state = State::kString;
-        } else if (c == '\'') {
-          current.code += '\'';
-          state = State::kChar;
-        } else {
-          current.code += c;
-        }
-        break;
-      case State::kLineComment:
-        current.comment += c;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          ++i;
-        } else {
-          current.comment += c;
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          ++i;  // skip escaped char (escaped newlines don't occur in practice)
-        } else if (c == '"') {
-          current.code += '"';
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          current.code += '\'';
-          state = State::kCode;
-        }
-        break;
-      case State::kRaw:
-        if (contents.compare(i, raw_delim.size(), raw_delim) == 0) {
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        }
-        break;
-    }
-  }
-  lines.push_back(std::move(current));
-  return lines;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions.
-// ---------------------------------------------------------------------------
-
-struct Suppressions {
-  std::set<std::string> file_level;               // allow-file(rule)
-  std::map<int, std::set<std::string>> by_line;   // allow(rule) on that line
-  std::map<int, std::set<std::string>> next_line; // allow-next-line(rule)
-};
-
-void SplitRuleList(const std::string& list, int line, const std::string& kind,
-                   std::set<std::string>* out, std::vector<Finding>* findings,
-                   const std::string& rel_path) {
-  std::string token;
-  std::stringstream ss(list);
-  while (std::getline(ss, token, ',')) {
-    token.erase(std::remove_if(token.begin(), token.end(), ::isspace),
-                token.end());
-    if (token.empty()) continue;
-    // `<...>` tokens are documentation placeholders (e.g. the syntax examples
-    // in lint.h), not suppressions.
-    if (token.front() == '<' && token.back() == '>') continue;
-    if (!KnownRules().count(token)) {
-      findings->push_back({rel_path, line, "bad-suppression",
-                           "suppression " + kind + "(" + token +
-                               ") names an unknown rule; see --rules"});
-      continue;
-    }
-    out->insert(token);
-  }
-}
-
-Suppressions ParseSuppressions(const std::vector<LineView>& lines,
-                               const std::string& rel_path,
-                               std::vector<Finding>* findings) {
-  static const std::regex kDirective(
-      R"(garl-lint:\s*(allow|allow-next-line|allow-file)\s*\(([^)]*)\))");
-  Suppressions supp;
-  for (size_t i = 0; i < lines.size(); ++i) {
-    const std::string& comment = lines[i].comment;
-    if (comment.find("garl-lint") == std::string::npos) continue;
-    int line = static_cast<int>(i) + 1;
-    auto begin =
-        std::sregex_iterator(comment.begin(), comment.end(), kDirective);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      const std::string kind = (*it)[1];
-      const std::string list = (*it)[2];
-      std::set<std::string>* out = nullptr;
-      if (kind == "allow") {
-        out = &supp.by_line[line];
-      } else if (kind == "allow-next-line") {
-        out = &supp.next_line[line];
-      } else {
-        out = &supp.file_level;
-      }
-      SplitRuleList(list, line, kind, out, findings, rel_path);
-    }
-  }
-  return supp;
-}
-
-bool IsSuppressed(const Suppressions& supp, const std::string& rule,
-                  int line) {
-  if (supp.file_level.count(rule)) return true;
-  auto at = supp.by_line.find(line);
-  if (at != supp.by_line.end() && at->second.count(rule)) return true;
-  auto prev = supp.next_line.find(line - 1);
-  return prev != supp.next_line.end() && prev->second.count(rule);
-}
-
-// ---------------------------------------------------------------------------
-// Path helpers.
-// ---------------------------------------------------------------------------
+// Bumped whenever rule behaviour or the index format changes: part of the
+// cache salt, so stale caches from older binaries degrade to cold runs.
+const char kToolVersion[] = "garl_lint-2.0";
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
-bool IsHeader(const std::string& path) {
-  return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
-}
-
-// Kernel hot-path files where every arithmetic temporary must stay float:
-// a stray double accumulator changes rounding, which changes losses, which
-// breaks the bit-identical-for-any-thread-count contract.
-bool IsHotPathFile(const std::string& rel) {
-  static const std::set<std::string> kHot = {
-      "src/nn/ops.cc",       "src/nn/conv2d.cc", "src/nn/linear.cc",
-      "src/nn/lstm_cell.cc", "src/nn/simd.h",    "src/nn/tensor.cc"};
-  return kHot.count(rel) > 0;
-}
-
-bool IsRngFile(const std::string& rel) {
-  return StartsWith(rel, "src/common/rng.");
-}
-
-bool IsBenchFile(const std::string& rel) { return StartsWith(rel, "bench/"); }
-
-// The one sanctioned monotonic time source (src/obs/clock.*). Everything
-// else in the library — including the rest of src/obs/ — must go through
-// obs::MonotonicNowNs() instead of touching std::chrono directly, so the
-// nondet-time ban stays enforceable by path.
-bool IsClockFile(const std::string& rel) {
-  return StartsWith(rel, "src/obs/clock.");
-}
-
-// The sanctioned homes of raw allocation: the tensor storage layer and the
-// arena allocator it funnels through (src/nn/arena.* owns the slab
-// operator-new calls and the recycled vector pool).
-bool IsTensorAllocatorFile(const std::string& rel) {
-  return StartsWith(rel, "src/nn/tensor.") || StartsWith(rel, "src/nn/arena.");
-}
-
-// The one sanctioned durable-write path (src/common/fs_util.*). Everything
-// else under src/ and tools/ must write through it, so crash-safety, retry
-// and the fault-injection hook cover every byte that reaches disk.
-bool IsFsUtilFile(const std::string& rel) {
-  return StartsWith(rel, "src/common/fs_util.");
-}
-
-bool IsDirectIoScope(const std::string& rel) {
-  return StartsWith(rel, "src/") || StartsWith(rel, "tools/");
-}
-
-// The one sanctioned process-spawn path (src/common/proc.*). Everything else
-// under src/ and tools/ must spawn, signal and reap through it, so the fleet
-// supervisor's crash/hang semantics (EINTR retries, exit-status decoding,
-// exec-failure exit code) hold for every child process the repo creates.
-bool IsProcFile(const std::string& rel) {
-  return StartsWith(rel, "src/common/proc.");
-}
-
-// ---------------------------------------------------------------------------
-// Rule: include-guard.
-// ---------------------------------------------------------------------------
-
-void CheckIncludeGuard(const std::string& rel_path,
-                       const std::vector<LineView>& lines,
-                       std::vector<Finding>* findings) {
-  std::string expected = CanonicalGuard(rel_path);
-  static const std::regex kIfndef(R"(^\s*#\s*ifndef\s+([A-Za-z_]\w*))");
-  static const std::regex kDefine(R"(^\s*#\s*define\s+([A-Za-z_]\w*))");
-  static const std::regex kPragmaOnce(R"(^\s*#\s*pragma\s+once\b)");
-
-  for (size_t i = 0; i < lines.size(); ++i) {
-    const std::string& code = lines[i].code;
-    if (std::regex_search(code, kPragmaOnce)) return;
-    std::smatch m;
-    if (std::regex_search(code, m, kIfndef)) {
-      int line = static_cast<int>(i) + 1;
-      if (m[1] != expected) {
-        findings->push_back({rel_path, line, "include-guard",
-                             "guard '" + m[1].str() +
-                                 "' does not match the canonical '" +
-                                 expected + "'"});
-        return;
-      }
-      // The matching #define must follow on the next code line.
-      for (size_t j = i + 1; j < lines.size(); ++j) {
-        std::string trimmed = lines[j].code;
-        trimmed.erase(0, trimmed.find_first_not_of(" \t"));
-        if (trimmed.empty()) continue;
-        std::smatch d;
-        if (!std::regex_search(lines[j].code, d, kDefine) || d[1] != expected) {
-          findings->push_back({rel_path, static_cast<int>(j) + 1,
-                               "include-guard",
-                               "#ifndef " + expected +
-                                   " is not followed by #define " + expected});
-        }
-        return;
-      }
-      return;
-    }
-    // Any real code before the guard means there is no guard.
-    std::string trimmed = code;
-    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
-    if (!trimmed.empty()) break;
-  }
-  findings->push_back({rel_path, 1, "include-guard",
-                       "header has neither '#pragma once' nor the canonical '#ifndef " +
-                           expected + "' guard"});
-}
-
-// ---------------------------------------------------------------------------
-// Rule: status-discard. Statements are accumulated across lines (splitting
-// on ';' at paren depth 0, resetting at braces) and flagged when they start
-// with a call — optionally behind a (void) cast — to a known fallible
-// function.
-// ---------------------------------------------------------------------------
-
-const std::set<std::string>& CallKeywords() {
-  static const std::set<std::string> kKeywords = {
-      "if",     "while",  "for",    "switch", "return", "sizeof",
-      "catch",  "assert", "static_assert",    "alignof", "decltype",
-      "typeid", "new",    "delete", "throw"};
-  return kKeywords;
-}
-
-void CheckStatusDiscard(const std::string& rel_path,
-                        const std::vector<LineView>& lines,
-                        const std::set<std::string>& fallible,
-                        std::vector<Finding>* findings) {
-  static const std::regex kCallChain(
-      R"(^(\(\s*void\s*\)\s*)?((?:[A-Za-z_]\w*\s*(?:::|\.|->)\s*)*)([A-Za-z_]\w*)\s*\()");
-  std::string stmt;
-  int stmt_line = 0;
-  int paren_depth = 0;
-
-  auto analyze = [&]() {
-    if (stmt.empty()) return;
-    std::string trimmed = stmt;
-    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
-    std::smatch m;
-    if (!std::regex_search(trimmed, m, kCallChain)) return;
-    bool voided = m[1].matched && m[1].length() > 0;
-    std::string name = m[3];
-    if (CallKeywords().count(name) || !fallible.count(name)) return;
-    if (voided) {
-      findings->push_back(
-          {rel_path, stmt_line, "status-discard",
-           "'(void)' discards the Status from '" + name +
-               "'; handle it (WarnIfError / GARL_CHECK) or suppress with a "
-               "reason"});
-    } else {
-      findings->push_back(
-          {rel_path, stmt_line, "status-discard",
-           "result of fallible function '" + name +
-               "' is ignored; assign it, GARL_RETURN_IF_ERROR it, or handle "
-               "the error"});
-    }
-  };
-
-  for (size_t i = 0; i < lines.size(); ++i) {
-    const std::string& code = lines[i].code;
-    std::string check = code;
-    check.erase(0, check.find_first_not_of(" \t"));
-    if (StartsWith(check, "#")) continue;  // preprocessor line
-    for (char c : code) {
-      if (c == '(') {
-        ++paren_depth;
-      } else if (c == ')') {
-        if (paren_depth > 0) --paren_depth;
-      }
-      if (paren_depth == 0 && (c == '{' || c == '}')) {
-        stmt.clear();
-        stmt_line = 0;
-        continue;
-      }
-      if (c == ';' && paren_depth == 0) {
-        analyze();
-        stmt.clear();
-        stmt_line = 0;
-        continue;
-      }
-      if (stmt.empty() && std::isspace(static_cast<unsigned char>(c))) {
-        continue;
-      }
-      if (stmt.empty()) stmt_line = static_cast<int>(i) + 1;
-      stmt += c;
-    }
-    if (!stmt.empty()) {
-      stmt += ' ';  // line break acts as whitespace inside a statement
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: unordered-serialize. Tracks the innermost function context with a
-// small brace-depth state machine and flags unordered-container iteration
-// inside serialize/save/write/dump-like functions.
-// ---------------------------------------------------------------------------
-
-bool IsSerializeishName(const std::string& name) {
-  std::string lower;
-  lower.reserve(name.size());
-  for (char c : name) {
-    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  }
-  for (const char* marker :
-       {"serial", "save", "write", "dump", "store", "checkpoint", "tobytes",
-        "marshal"}) {
-    if (lower.find(marker) != std::string::npos) return true;
-  }
-  return false;
-}
-
-void CheckHashOrderRule(const std::string& rel_path,
-                        const std::vector<LineView>& lines,
-                        std::vector<Finding>* findings) {
-  // Variables (locals or members) declared with an unordered container type
-  // anywhere in the file.
-  static const std::regex kUnorderedDecl(
-      R"(unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*[&*]*\s*([A-Za-z_]\w*))");
-  std::set<std::string> unordered_vars;
-  for (const auto& lv : lines) {
-    auto begin = std::sregex_iterator(lv.code.begin(), lv.code.end(),
-                                      kUnorderedDecl);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      unordered_vars.insert((*it)[1]);
-    }
-  }
-
-  // A definition-looking header: a name followed by '(' on a line that is
-  // not a plain statement (no ';' before any '{').
-  static const std::regex kFnHeader(
-      R"(^[\w:&<>,*\s\[\]~]*?\b((?:[A-Za-z_]\w*::)*([A-Za-z_]\w*))\s*\()");
-  static const std::regex kRangeFor(R"(for\s*\([^:;)]*:\s*([^)]+)\))");
-
-  struct FnCtx {
-    std::string name;
-    int depth_at_open;  // brace depth just inside the function body
-  };
-  std::vector<FnCtx> stack;
-  int depth = 0;
-  std::string pending;  // function name awaiting its opening '{'
-
-  for (size_t i = 0; i < lines.size(); ++i) {
-    const std::string& code = lines[i].code;
-    int line = static_cast<int>(i) + 1;
-
-    // Rule check first, against the current innermost context.
-    if (!stack.empty() && IsSerializeishName(stack.back().name)) {
-      bool hit = false;
-      if (code.find("unordered_") != std::string::npos &&
-          code.find("for") != std::string::npos) {
-        hit = true;
-      } else {
-        std::smatch m;
-        if (std::regex_search(code, m, kRangeFor)) {
-          const std::string expr = m[1];
-          for (const auto& var : unordered_vars) {
-            std::regex word("\\b" + var + "\\b");
-            if (std::regex_search(expr, word)) {
-              hit = true;
-              break;
-            }
-          }
-        }
-      }
-      if (hit) {
-        findings->push_back(
-            {rel_path, line, "unordered-serialize",
-             "iteration over an unordered container inside '" +
-                 stack.back().name +
-                 "' feeds hash-order into serialized output; iterate a "
-                 "sorted copy or an ordered container"});
-      }
-    }
-
-    // Context tracking.
-    std::smatch m;
-    std::string trimmed = code;
-    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
-    if (!StartsWith(trimmed, "#") && std::regex_search(code, m, kFnHeader)) {
-      const std::string name = m[2];
-      if (!CallKeywords().count(name)) pending = name;
-    }
-    for (char c : code) {
-      if (c == '{') {
-        ++depth;
-        if (!pending.empty()) {
-          stack.push_back({pending, depth});
-          pending.clear();
-        }
-      } else if (c == '}') {
-        --depth;
-        while (!stack.empty() && depth < stack.back().depth_at_open) {
-          stack.pop_back();
-        }
-      } else if (c == ';' && pending.size()) {
-        pending.clear();  // was a declaration, not a definition
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Simple token rules.
-// ---------------------------------------------------------------------------
-
-struct TokenRule {
-  std::string rule;
-  std::regex pattern;
-  std::string message;
-};
-
-const std::vector<TokenRule>& NondetRandRules() {
-  static const std::vector<TokenRule> kRules = [] {
-    std::vector<TokenRule> rules;
-    rules.push_back({"nondet-rand", std::regex(R"(\bstd\s*::\s*rand\b|\bsrand\s*\(|(^|[^:\w.>])rand\s*\()"),
-                     "C rand()/srand() is banned; draw from an explicit "
-                     "garl::Rng so seeds determine behaviour"});
-    rules.push_back({"nondet-rand", std::regex(R"(\brandom_device\b)"),
-                     "std::random_device is a nondeterminism source; seed an "
-                     "explicit garl::Rng instead"});
-    return rules;
-  }();
-  return kRules;
-}
-
-const std::vector<TokenRule>& NondetTimeRules() {
-  static const std::vector<TokenRule> kRules = [] {
-    std::vector<TokenRule> rules;
-    rules.push_back({"nondet-time",
-                     std::regex(R"((^|[^:\w.>])time\s*\(|\bgettimeofday\b|(^|[^:\w.>_])clock\s*\()"),
-                     "wall-clock reads are banned in library code; pass "
-                     "timestamps in or move timing into bench/"});
-    rules.push_back({"nondet-time",
-                     std::regex(R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"),
-                     "std::chrono clocks are banned outside bench/; library "
-                     "behaviour must not depend on the clock"});
-    return rules;
-  }();
-  return kRules;
-}
-
-const std::vector<TokenRule>& DirectIoRules() {
-  static const std::vector<TokenRule> kRules = [] {
-    std::vector<TokenRule> rules;
-    rules.push_back(
-        {"direct-io", std::regex(R"(\bofstream\b)"),
-         "std::ofstream bypasses the durable-write path; use "
-         "WriteFileDurable/AtomicWriteFile (whole files) or AppendFile "
-         "(logs) from common/fs_util.h"});
-    rules.push_back(
-        {"direct-io",
-         std::regex(
-             R"((?:filesystem|fs)\s*::\s*(?:create_director|remove|rename|resize_file|copy|permissions)\w*\s*\()"),
-         "mutating std::filesystem call bypasses the durable-write path; "
-         "use EnsureDirectory/RemoveAllBestEffort from common/fs_util.h"});
-    rules.push_back(
-        {"direct-io", std::regex(R"((^|[^\w.>])mkdir\s*\()"),
-         "raw mkdir() bypasses the durable-write path; use EnsureDirectory "
-         "from common/fs_util.h"});
-    return rules;
-  }();
-  return kRules;
-}
-
-const std::vector<TokenRule>& ProcessSpawnRules() {
-  static const std::vector<TokenRule> kRules = [] {
-    std::vector<TokenRule> rules;
-    rules.push_back(
-        {"process-spawn", std::regex(R"((^|[^\w.>])v?fork\s*\()"),
-         "raw fork() bypasses the process funnel; use proc::SpawnProcess "
-         "from common/proc.h"});
-    rules.push_back(
-        {"process-spawn",
-         std::regex(R"((^|[^\w.>])(?:exec[lv]p?e?|fexecve)\s*\()"),
-         "raw exec*() bypasses the process funnel; use proc::SpawnProcess "
-         "from common/proc.h"});
-    rules.push_back(
-        {"process-spawn", std::regex(R"((^|[^\w.>])(?:system|popen)\s*\()"),
-         "system()/popen() runs a shell outside the process funnel; use "
-         "proc::SpawnProcess from common/proc.h"});
-    rules.push_back(
-        {"process-spawn", std::regex(R"(\bposix_spawn\w*\s*\()"),
-         "posix_spawn bypasses the process funnel; use proc::SpawnProcess "
-         "from common/proc.h"});
-    return rules;
-  }();
-  return kRules;
-}
-
-void ApplyTokenRules(const std::string& rel_path,
-                     const std::vector<LineView>& lines,
-                     const std::vector<TokenRule>& rules,
-                     std::vector<Finding>* findings) {
-  for (size_t i = 0; i < lines.size(); ++i) {
-    for (const auto& rule : rules) {
-      if (std::regex_search(lines[i].code, rule.pattern)) {
-        findings->push_back({rel_path, static_cast<int>(i) + 1, rule.rule,
-                             rule.message});
-      }
-    }
-  }
-}
-
-void CheckFloatDoubleDrift(const std::string& rel_path,
-                           const std::vector<LineView>& lines,
-                           std::vector<Finding>* findings) {
-  static const std::regex kDouble(R"(\bdouble\b)");
-  for (size_t i = 0; i < lines.size(); ++i) {
-    if (std::regex_search(lines[i].code, kDouble)) {
-      findings->push_back(
-          {rel_path, static_cast<int>(i) + 1, "float-double-drift",
-           "'double' in a kernel hot path; keep accumulation in float so "
-           "results stay bit-identical across builds and thread counts"});
-    }
-  }
-}
-
-void CheckRawNewDelete(const std::string& rel_path,
-                       const std::vector<LineView>& lines,
-                       std::vector<Finding>* findings) {
-  static const std::regex kNew(R"(\bnew\b)");
-  static const std::regex kDelete(R"(\bdelete\b)");
-  static const std::regex kDeletedFn(R"(=\s*delete\b)");
-  static const std::regex kOperatorNewDelete(R"(operator\s+(new|delete)\b)");
-  for (size_t i = 0; i < lines.size(); ++i) {
-    const std::string& code = lines[i].code;
-    int line = static_cast<int>(i) + 1;
-    if (std::regex_search(code, kNew) &&
-        !std::regex_search(code, kOperatorNewDelete)) {
-      findings->push_back(
-          {rel_path, line, "raw-new-delete",
-           "raw 'new' outside the tensor/arena allocator (src/nn/tensor.*, "
-           "src/nn/arena.*); use make_unique/make_shared or the arena"});
-    }
-    if (std::regex_search(code, kDelete) &&
-        !std::regex_search(code, kDeletedFn) &&
-        !std::regex_search(code, kOperatorNewDelete)) {
-      findings->push_back(
-          {rel_path, line, "raw-new-delete",
-           "raw 'delete' outside the tensor/arena allocator; ownership must "
-           "flow through smart pointers or the arena"});
-    }
-  }
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
 }
 
 }  // namespace
@@ -639,18 +40,13 @@ void CheckRawNewDelete(const std::string& rel_path,
 // Public API.
 // ---------------------------------------------------------------------------
 
-std::string Finding::ToString() const {
-  std::ostringstream os;
-  os << file << ":" << line << ": [" << rule << "] " << message;
-  return os.str();
-}
-
 const std::set<std::string>& KnownRules() {
   static const std::set<std::string> kRules = {
-      "nondet-rand",        "nondet-time",     "status-discard",
-      "include-guard",      "float-double-drift", "raw-new-delete",
-      "unordered-serialize", "direct-io",      "process-spawn",
-      "bad-suppression"};
+      "nondet-rand",         "nondet-time",        "status-discard",
+      "status-propagation",  "include-guard",      "float-double-drift",
+      "raw-new-delete",      "unordered-serialize", "direct-io",
+      "process-spawn",       "bad-suppression",    "det-taint",
+      "parallel-unsafe"};
   return kRules;
 }
 
@@ -670,75 +66,36 @@ std::string CanonicalGuard(const std::string& rel_path) {
 }
 
 std::string StripCommentsAndStrings(const std::string& contents) {
+  TokenizedFile file = TokenizeFile(contents);
   std::string out;
-  const std::vector<LineView> lines = Tokenize(contents);
-  for (size_t i = 0; i < lines.size(); ++i) {
+  for (size_t i = 0; i < file.line_code.size(); ++i) {
     if (i) out += '\n';
-    out += lines[i].code;
+    out += file.line_code[i];
   }
   return out;
 }
 
 std::vector<std::string> CollectFallibleFunctions(const std::string& contents) {
-  // A declaration whose return type is Status or StatusOr<...>. The name must
-  // be directly followed by '(' so member variables (`Status status_;`) and
-  // constructors don't match.
-  static const std::regex kDecl(
-      R"((?:^|[;{}]\s*|\n\s*)(?:template\s*<[^;{}]*>\s*)?(?:(?:static|virtual|inline|constexpr|friend|explicit|\[\[nodiscard\]\])\s+)*(?:::)?(?:garl::)?Status(?:Or\s*<[^;={}]*>)?\s+((?:[A-Za-z_]\w*::)*([A-Za-z_]\w*))\s*\()");
-  std::vector<std::string> names;
-  const std::string code = StripCommentsAndStrings(contents);
-  auto begin = std::sregex_iterator(code.begin(), code.end(), kDecl);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    const std::string name = (*it)[2];
-    if (name == "Status" || name == "StatusOr" || name == "Ok") continue;
-    names.push_back(name);
-  }
-  std::sort(names.begin(), names.end());
-  names.erase(std::unique(names.begin(), names.end()), names.end());
-  return names;
+  return HarvestFallibleFromLines(TokenizeFile(contents).line_code);
 }
 
 std::vector<Finding> LintFileContents(const std::string& rel_path,
                                       const std::string& contents,
                                       const std::set<std::string>& fallible) {
-  std::vector<Finding> raw_findings;
-  const std::vector<LineView> lines = Tokenize(contents);
-  Suppressions supp = ParseSuppressions(lines, rel_path, &raw_findings);
-
-  if (!IsRngFile(rel_path)) {
-    ApplyTokenRules(rel_path, lines, NondetRandRules(), &raw_findings);
-  }
-  if (!IsBenchFile(rel_path) && !IsClockFile(rel_path)) {
-    ApplyTokenRules(rel_path, lines, NondetTimeRules(), &raw_findings);
-  }
-  if (IsHeader(rel_path)) {
-    CheckIncludeGuard(rel_path, lines, &raw_findings);
-  }
-  if (IsHotPathFile(rel_path)) {
-    CheckFloatDoubleDrift(rel_path, lines, &raw_findings);
-  }
-  if (!IsTensorAllocatorFile(rel_path)) {
-    CheckRawNewDelete(rel_path, lines, &raw_findings);
-  }
-  if (IsDirectIoScope(rel_path) && !IsFsUtilFile(rel_path)) {
-    ApplyTokenRules(rel_path, lines, DirectIoRules(), &raw_findings);
-  }
-  if (IsDirectIoScope(rel_path) && !IsProcFile(rel_path)) {
-    ApplyTokenRules(rel_path, lines, ProcessSpawnRules(), &raw_findings);
-  }
-  CheckStatusDiscard(rel_path, lines, fallible, &raw_findings);
-  CheckHashOrderRule(rel_path, lines, &raw_findings);
-
-  std::vector<Finding> findings;
-  for (auto& f : raw_findings) {
-    // bad-suppression is never suppressible — that would defeat its point.
-    if (f.rule != "bad-suppression" && IsSuppressed(supp, f.rule, f.line)) {
-      continue;
-    }
-    findings.push_back(std::move(f));
-  }
+  AnalysisTables tables;  // single-file mode: no cross-file tables
+  std::vector<FileIndex> indexes;
+  indexes.push_back(BuildFileIndex(rel_path, contents, tables));
+  std::vector<Finding> findings = indexes[0].local_findings;
+  std::vector<Finding> global = RunGlobalRules(indexes, tables, fallible);
+  findings.insert(findings.end(), std::make_move_iterator(global.begin()),
+                  std::make_move_iterator(global.end()));
+  SortFindings(&findings);
   return findings;
 }
+
+// ---------------------------------------------------------------------------
+// Tree driver.
+// ---------------------------------------------------------------------------
 
 namespace {
 
@@ -766,9 +123,24 @@ std::string ReadFileOrEmpty(const fs::path& path) {
 
 }  // namespace
 
-std::vector<Finding> LintTree(const std::string& repo_root,
-                              const std::vector<std::string>& roots,
-                              const LintOptions& options) {
+LintRun LintTreeFull(const std::string& repo_root,
+                     const std::vector<std::string>& roots,
+                     const LintOptions& options) {
+  LintRun run;
+
+  AnalysisTables tables;
+  if (!options.tables_relpath.empty()) {
+    fs::path tables_path = fs::path(repo_root) / options.tables_relpath;
+    if (fs::exists(tables_path)) {
+      std::string text = ReadFileOrEmpty(tables_path);
+      std::string error;
+      if (!ParseAnalysisTables(text, &tables, &error)) {
+        run.error = options.tables_relpath + ": " + error;
+        return run;
+      }
+    }
+  }
+
   std::vector<std::pair<std::string, std::string>> files;  // rel path, contents
   for (const auto& root : roots) {
     fs::path base = fs::path(repo_root) / root;
@@ -788,27 +160,109 @@ std::vector<Finding> LintTree(const std::string& repo_root,
   }
   std::sort(files.begin(), files.end());
 
-  std::set<std::string> fallible(options.extra_fallible_functions.begin(),
-                                 options.extra_fallible_functions.end());
+  const uint64_t salt =
+      HashBytes(std::string(kToolVersion) + "|" +
+                std::to_string(tables.Hash()));
+  IndexCache cache;
+  if (!options.cache_path.empty()) cache.Load(options.cache_path, salt);
+
+  std::vector<FileIndex> indexes;
+  indexes.reserve(files.size());
   for (const auto& [rel, contents] : files) {
-    for (auto& name : CollectFallibleFunctions(contents)) {
-      fallible.insert(std::move(name));
+    ++run.stats.files;
+    const uint64_t hash = HashBytes(contents);
+    if (const FileIndex* cached = cache.Lookup(rel, hash)) {
+      indexes.push_back(*cached);
+      continue;
+    }
+    cache.CountMiss();
+    indexes.push_back(BuildFileIndex(rel, contents, tables));
+    if (!options.cache_path.empty()) cache.Store(indexes.back());
+  }
+  run.stats.cache_hits = cache.hits();
+  run.stats.cache_misses = cache.misses();
+
+  for (const auto& index : indexes) {
+    run.findings.insert(run.findings.end(), index.local_findings.begin(),
+                        index.local_findings.end());
+  }
+  std::set<std::string> extra_fallible(options.extra_fallible_functions.begin(),
+                                       options.extra_fallible_functions.end());
+  std::vector<Finding> global = RunGlobalRules(indexes, tables, extra_fallible);
+  run.findings.insert(run.findings.end(),
+                      std::make_move_iterator(global.begin()),
+                      std::make_move_iterator(global.end()));
+  SortFindings(&run.findings);
+
+  if (!options.cache_path.empty()) {
+    std::string error;
+    if (!cache.Save(options.cache_path, salt, &error)) {
+      run.error = error;
+      return run;
     }
   }
+  return run;
+}
 
-  std::vector<Finding> findings;
-  for (const auto& [rel, contents] : files) {
-    auto file_findings = LintFileContents(rel, contents, fallible);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
+std::vector<Finding> LintTree(const std::string& repo_root,
+                              const std::vector<std::string>& roots,
+                              const LintOptions& options) {
+  LintRun run = LintTreeFull(repo_root, roots, options);
+  if (!run.error.empty()) return {};
+  return std::move(run.findings);
+}
+
+// ---------------------------------------------------------------------------
+// JSON output.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
   }
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
-            });
-  return findings;
+  *out += '"';
+}
+
+}  // namespace
+
+std::string FormatFindingsJson(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    out += i ? ",\n " : "\n ";
+    out += "{\"file\": ";
+    AppendJsonString(findings[i].file, &out);
+    out += ", \"line\": " + std::to_string(findings[i].line) + ", \"rule\": ";
+    AppendJsonString(findings[i].rule, &out);
+    out += ", \"message\": ";
+    AppendJsonString(findings[i].message, &out);
+    out += "}";
+  }
+  out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
 }
 
 }  // namespace garl::lint

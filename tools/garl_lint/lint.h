@@ -5,14 +5,23 @@
 #include <string>
 #include <vector>
 
-// garl_lint — dependency-free, line/token-heuristic linter that machine-checks
-// the repo invariants behind the determinism and fault-tolerance guarantees
-// (bit-identical losses for any thread count, crash-safe resume). It is NOT a
-// parser: every rule is a regex/token heuristic over comment- and
-// string-stripped source, tuned to this codebase and kept honest by the
-// fixture tests in tests/lint_fixtures/.
+#include "tools/garl_lint/index.h"
+
+// garl_lint — dependency-free static analyzer that machine-checks the repo
+// invariants behind the determinism and fault-tolerance guarantees
+// (bit-identical losses for any thread count, crash-safe resume).
 //
-// Rules (ids are stable, used in suppressions and tests):
+// v2 is a two-phase engine. Phase 1 tokenizes each file (token.h), runs the
+// local rules, and emits a per-file symbol index (index.h): function
+// definitions, call sites, and compact dataflow summaries. Phase 2 (graph.h)
+// links the indexes into a whole-program call graph — callee names resolved
+// by include closure + namespace heuristics — and runs the cross-file rules.
+// Phase 1 is cacheable by content hash (cache.h); phase 2 always re-runs.
+// It is still NOT a compiler: no preprocessing, no types, no overload
+// resolution — every rule is a token/summary heuristic tuned to this
+// codebase and kept honest by the fixture tests in tests/lint_fixtures/.
+//
+// Local rules (ids are stable, used in suppressions, baselines and tests):
 //   nondet-rand        std::rand / srand / rand() / std::random_device outside
 //                      src/common/rng.* — all randomness flows through
 //                      garl::Rng so seeds fully determine behaviour.
@@ -22,11 +31,6 @@
 //                      sanctioned exception is src/obs/clock.*, which wraps
 //                      the monotonic clock behind obs::MonotonicNowNs(); the
 //                      rest of src/obs/ is still checked.
-//   status-discard     a statement (or `(void)` cast) that calls a function
-//                      returning Status/StatusOr and drops the result. The
-//                      fallible-function set is harvested from declarations
-//                      across the scanned tree. Complements [[nodiscard]]:
-//                      the linter also rejects `(void)` laundering.
 //   include-guard      headers must open with the canonical
 //                      `#ifndef GARL_<PATH>_H_` guard (path relative to src/,
 //                      else to the repo root) or `#pragma once`.
@@ -35,8 +39,8 @@
 //                      changes results between builds and breaks bit-identical
 //                      replay.
 //   raw-new-delete     raw `new` / `delete` outside the tensor allocator
-//                      (src/nn/tensor.*) — ownership flows through
-//                      make_unique/shared or the arena.
+//                      (src/nn/tensor.*, src/nn/arena.*) — ownership flows
+//                      through make_unique/shared or the arena.
 //   unordered-serialize iteration over an unordered container inside a
 //                      serialize/save/write/dump-like function — hash-order
 //                      iteration feeding bytes makes checkpoints
@@ -45,35 +49,49 @@
 //                      call in src/ or tools/ outside src/common/fs_util.* —
 //                      every write must flow through the one durable path
 //                      (AtomicWriteFile / WriteFileDurable / AppendFile /
-//                      EnsureDirectory), which is crash-safe (fsync + atomic
-//                      rename), retried on transient errors, and honours the
-//                      fault-injection hook. bench/ is exempt: benchmark
-//                      side-car output is not part of the durability story.
+//                      EnsureDirectory). bench/ is exempt.
 //   process-spawn      fork / vfork / exec* / posix_spawn / system() / popen()
 //                      in src/ or tools/ outside src/common/proc.* — every
-//                      child process must flow through the one supervised
-//                      spawn path (proc::SpawnProcess / PollProcess /
-//                      SendSignal), which retries EINTR, decodes exit status
-//                      uniformly, and reports exec failure as exit code 127.
+//                      child process flows through the one supervised spawn
+//                      path (proc::SpawnProcess / PollProcess / SendSignal).
 //   bad-suppression    a garl-lint suppression naming an unknown rule (so
 //                      typos cannot silently disable nothing).
+//
+// Cross-file rules (phase 2; sources/sinks declared in
+// tools/garl_lint/garl_lint.tables):
+//   status-discard     a statement (or `(void)` cast) that calls a function
+//                      returning Status/StatusOr and drops the result. The
+//                      fallible-function set is harvested from declarations
+//                      across the whole scanned tree.
+//   status-propagation escalation of status-discard: the discarding function
+//                      is on a live call chain from an entry point
+//                      (main/Train/table `entry` lines), so the dropped
+//                      failure can never reach any caller. Reported with the
+//                      chain.
+//   det-taint          a value transitively derived from a declared nondet
+//                      source (monotonic clock, pool/arena counters, env-flag
+//                      reads, rt-only run-log fields) reaches a det sink — a
+//                      det field of a protected record type, or an argument
+//                      of a serialization/CRC function. Tracks local
+//                      assignments flow-insensitively and function returns
+//                      across files.
+//   parallel-unsafe    an operation that must not run inside a ParallelFor
+//                      body — process control, direct file I/O, or a call to
+//                      a declared non-reentrant function (registry snapshot
+//                      paths) — found lexically inside a body lambda or in
+//                      any function reachable from one. Reported with the
+//                      reachability chain.
 //
 // Suppression syntax (same forms clang-tidy users expect from NOLINT; the
 // `<...>` placeholders below are ignored by the directive parser):
 //   ... code ...  // garl-lint: allow(<rule-id>, <rule-id>)
 //   // garl-lint: allow-next-line(<rule-id>)
 //   // garl-lint: allow-file(<rule-id>)     (anywhere in the file)
+//
+// Baselines (--baseline FILE) accept known findings with a per-entry
+// justification; stale or unknown entries fail the run (see baseline.h).
 
 namespace garl::lint {
-
-struct Finding {
-  std::string file;   // path as given to the linter (repo-relative)
-  int line = 0;       // 1-based
-  std::string rule;   // stable rule id
-  std::string message;
-
-  std::string ToString() const;  // "file:line: [rule] message"
-};
 
 struct LintOptions {
   // Directory names skipped entirely during tree walks. Fixture sources are
@@ -84,26 +102,54 @@ struct LintOptions {
   // Extra function names treated as fallible (returning Status/StatusOr) on
   // top of the ones harvested from declarations in the scanned files.
   std::vector<std::string> extra_fallible_functions;
+  // Repo-relative path of the analysis tables (det-taint sources/sinks,
+  // parallel-unsafe names, extra entry points). Missing file = empty tables;
+  // a malformed file is an error.
+  std::string tables_relpath = "tools/garl_lint/garl_lint.tables";
+  // Path of the phase-1 index cache file; empty disables caching.
+  std::string cache_path;
 };
 
-// Returns every rule id the linter knows (sorted); suppressions naming
-// anything else are themselves findings.
+struct LintStats {
+  int files = 0;
+  int cache_hits = 0;
+  int cache_misses = 0;
+};
+
+// Full result of a tree run. `error` non-empty means the run itself failed
+// (malformed tables, unwritable cache) and `findings` must not be trusted —
+// the CLI maps this to exit code 2.
+struct LintRun {
+  std::vector<Finding> findings;
+  LintStats stats;
+  std::string error;
+};
+
+// Returns every rule id the linter knows (sorted); suppressions or baseline
+// entries naming anything else are themselves errors.
 const std::set<std::string>& KnownRules();
 
 // Harvests names of functions declared to return Status or StatusOr<...>
 // from one file's contents. Exposed for tests.
 std::vector<std::string> CollectFallibleFunctions(const std::string& contents);
 
-// Lints a single file. `rel_path` is the repo-relative path ("src/..."), used
-// for per-rule file exemptions and include-guard derivation. `fallible` is
-// the set of known Status-returning function names.
+// Lints a single file: all local rules plus the single-file projections of
+// the cross-file rules (status-discard against `fallible`, det-taint /
+// parallel-unsafe with empty tables). `rel_path` is the repo-relative path
+// ("src/..."), used for per-rule file exemptions and include-guard
+// derivation. Findings are sorted by (line, rule).
 std::vector<Finding> LintFileContents(const std::string& rel_path,
                                       const std::string& contents,
                                       const std::set<std::string>& fallible);
 
-// Walks `roots` (repo-relative directories under `repo_root`), harvests
-// fallible functions from every .h/.cc/.cpp, then lints each file.
-// Findings are sorted by (file, line, rule).
+// Walks `roots` (repo-relative directories under `repo_root`), builds or
+// reuses per-file indexes, links them, and runs every rule. Findings are
+// sorted by (file, line, rule).
+LintRun LintTreeFull(const std::string& repo_root,
+                     const std::vector<std::string>& roots,
+                     const LintOptions& options = {});
+
+// Back-compat wrapper: findings only (empty on hard error).
 std::vector<Finding> LintTree(const std::string& repo_root,
                               const std::vector<std::string>& roots,
                               const LintOptions& options = {});
@@ -117,6 +163,10 @@ std::string CanonicalGuard(const std::string& rel_path);
 // (preserving line structure) so token rules don't fire on prose. Exposed
 // for tests.
 std::string StripCommentsAndStrings(const std::string& contents);
+
+// Machine-readable findings: a JSON array of {file, line, rule, message}
+// objects, one per line, stable under sorted input (golden-tested).
+std::string FormatFindingsJson(const std::vector<Finding>& findings);
 
 }  // namespace garl::lint
 

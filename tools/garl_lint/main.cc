@@ -1,66 +1,13 @@
-#include <cstdio>
-#include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
-#include "tools/garl_lint/lint.h"
+#include "tools/garl_lint/cli.h"
 
-// garl_lint CLI. Exit codes: 0 clean, 1 findings, 2 usage error.
-//
-//   garl_lint --root <repo-root> [dir ...]
-//
-// With no dirs, lints the default tree (src tests bench tools examples).
-
-namespace {
-
-void PrintUsage() {
-  std::fprintf(stderr,
-               "usage: garl_lint [--root <repo-root>] [--rules] [dir ...]\n"
-               "  --root   repository root (default: .)\n"
-               "  --rules  list rule ids and exit\n"
-               "  dir      repo-relative directories to lint\n"
-               "           (default: src tests bench tools examples)\n");
-}
-
-}  // namespace
+// garl_lint CLI entry point; all behaviour lives in cli.cc so it can be
+// unit-tested. Exit codes: 0 clean, 1 findings, 2 usage/IO/internal error.
 
 int main(int argc, char** argv) {
-  std::string root = ".";
-  std::vector<std::string> dirs;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--root") == 0) {
-      if (i + 1 >= argc) {
-        PrintUsage();
-        return 2;
-      }
-      root = argv[++i];
-    } else if (std::strcmp(argv[i], "--rules") == 0) {
-      for (const auto& rule : garl::lint::KnownRules()) {
-        std::printf("%s\n", rule.c_str());
-      }
-      return 0;
-    } else if (std::strcmp(argv[i], "--help") == 0 ||
-               std::strcmp(argv[i], "-h") == 0) {
-      PrintUsage();
-      return 0;
-    } else if (argv[i][0] == '-') {
-      PrintUsage();
-      return 2;
-    } else {
-      dirs.push_back(argv[i]);
-    }
-  }
-  if (dirs.empty()) {
-    dirs = {"src", "tests", "bench", "tools", "examples"};
-  }
-
-  const auto findings = garl::lint::LintTree(root, dirs);
-  for (const auto& finding : findings) {
-    std::printf("%s\n", finding.ToString().c_str());
-  }
-  if (!findings.empty()) {
-    std::fprintf(stderr, "garl_lint: %zu finding(s)\n", findings.size());
-    return 1;
-  }
-  return 0;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return garl::lint::RunCli(args, std::cout, std::cerr);
 }

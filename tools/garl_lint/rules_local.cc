@@ -1,0 +1,508 @@
+#include "tools/garl_lint/rules_local.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "tools/garl_lint/lint.h"
+
+namespace garl::lint {
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool IsHeader(const std::string& path) {
+  return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule path exemptions (unchanged from v1; see lint.h for the rationale).
+// ---------------------------------------------------------------------------
+
+// Kernel hot-path files where every arithmetic temporary must stay float:
+// a stray double accumulator changes rounding, which changes losses, which
+// breaks the bit-identical-for-any-thread-count contract.
+bool IsHotPathFile(const std::string& rel) {
+  static const std::set<std::string> kHot = {
+      "src/nn/ops.cc",       "src/nn/conv2d.cc", "src/nn/linear.cc",
+      "src/nn/lstm_cell.cc", "src/nn/simd.h",    "src/nn/tensor.cc"};
+  return kHot.count(rel) > 0;
+}
+
+bool IsRngFile(const std::string& rel) {
+  return StartsWith(rel, "src/common/rng.");
+}
+
+bool IsBenchFile(const std::string& rel) { return StartsWith(rel, "bench/"); }
+
+// The one sanctioned monotonic time source (src/obs/clock.*).
+bool IsClockFile(const std::string& rel) {
+  return StartsWith(rel, "src/obs/clock.");
+}
+
+// The sanctioned homes of raw allocation: tensor storage and the arena.
+bool IsTensorAllocatorFile(const std::string& rel) {
+  return StartsWith(rel, "src/nn/tensor.") || StartsWith(rel, "src/nn/arena.");
+}
+
+// The one sanctioned durable-write path (src/common/fs_util.*).
+bool IsFsUtilFile(const std::string& rel) {
+  return StartsWith(rel, "src/common/fs_util.");
+}
+
+bool IsDirectIoScope(const std::string& rel) {
+  return StartsWith(rel, "src/") || StartsWith(rel, "tools/");
+}
+
+// The one sanctioned process-spawn path (src/common/proc.*).
+bool IsProcFile(const std::string& rel) {
+  return StartsWith(rel, "src/common/proc.");
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream rules. Each emitter dedupes per (line, message) to preserve
+// the v1 behaviour of at most one finding per rule pattern per line.
+// ---------------------------------------------------------------------------
+
+class TokenRuleRunner {
+ public:
+  TokenRuleRunner(const std::string& rel_path,
+                  const std::vector<Token>& tokens,
+                  std::vector<Finding>* findings)
+      : rel_path_(rel_path), tokens_(tokens), findings_(findings) {}
+
+  void Emit(int line, const char* rule, const std::string& message) {
+    if (!emitted_.insert(std::to_string(line) + "\x1f" + rule + "\x1f" +
+                         message)
+             .second) {
+      return;
+    }
+    findings_->push_back({rel_path_, line, rule, message});
+  }
+
+  size_t Size() const { return tokens_.size(); }
+
+  bool Ident(size_t i) const {
+    return i < tokens_.size() && tokens_[i].kind == TokKind::kIdent;
+  }
+
+  bool Punct(size_t i, const char* text) const {
+    return i < tokens_.size() && tokens_[i].kind == TokKind::kPunct &&
+           tokens_[i].text == text;
+  }
+
+  const std::string& Text(size_t i) const { return tokens_[i].text; }
+  int Line(size_t i) const { return tokens_[i].line; }
+
+  // Previous-token filter shared by the "bare call" patterns: `x.name(` and
+  // `x->name(` are member calls on an unrelated object, not the banned
+  // global. `::name(` is still the global.
+  bool MemberPrev(size_t i) const {
+    return i > 0 && (Punct(i - 1, ".") || Punct(i - 1, "->"));
+  }
+
+  bool QualifiedOrMemberPrev(size_t i) const {
+    return i > 0 &&
+           (Punct(i - 1, "::") || Punct(i - 1, ".") || Punct(i - 1, "->"));
+  }
+
+ private:
+  const std::string& rel_path_;
+  const std::vector<Token>& tokens_;
+  std::vector<Finding>* findings_;
+  std::set<std::string> emitted_;
+};
+
+void CheckNondetRand(TokenRuleRunner& run) {
+  static const char* kRandMsg =
+      "C rand()/srand() is banned; draw from an explicit garl::Rng so seeds "
+      "determine behaviour";
+  for (size_t i = 0; i < run.Size(); ++i) {
+    if (!run.Ident(i)) continue;
+    const std::string& name = run.Text(i);
+    if (name == "random_device") {
+      run.Emit(run.Line(i), "nondet-rand",
+               "std::random_device is a nondeterminism source; seed an "
+               "explicit garl::Rng instead");
+    } else if (name == "rand") {
+      bool std_qualified = i >= 2 && run.Punct(i - 1, "::") && run.Ident(i - 2) &&
+                           run.Text(i - 2) == "std";
+      bool bare_call = run.Punct(i + 1, "(") && !run.QualifiedOrMemberPrev(i);
+      if (std_qualified || bare_call) {
+        run.Emit(run.Line(i), "nondet-rand", kRandMsg);
+      }
+    } else if (name == "srand" && run.Punct(i + 1, "(")) {
+      run.Emit(run.Line(i), "nondet-rand", kRandMsg);
+    }
+  }
+}
+
+void CheckNondetTime(TokenRuleRunner& run) {
+  static const char* kWallMsg =
+      "wall-clock reads are banned in library code; pass timestamps in or "
+      "move timing into bench/";
+  for (size_t i = 0; i < run.Size(); ++i) {
+    if (!run.Ident(i)) continue;
+    const std::string& name = run.Text(i);
+    if (name == "gettimeofday") {
+      run.Emit(run.Line(i), "nondet-time", kWallMsg);
+    } else if ((name == "time" || name == "clock") && run.Punct(i + 1, "(") &&
+               !run.QualifiedOrMemberPrev(i)) {
+      run.Emit(run.Line(i), "nondet-time", kWallMsg);
+    } else if (name == "system_clock" || name == "steady_clock" ||
+               name == "high_resolution_clock") {
+      run.Emit(run.Line(i), "nondet-time",
+               "std::chrono clocks are banned outside bench/; library "
+               "behaviour must not depend on the clock");
+    }
+  }
+}
+
+void CheckDirectIo(TokenRuleRunner& run) {
+  static const char* kFsMutators[] = {"create_director", "remove", "rename",
+                                      "resize_file", "copy", "permissions"};
+  for (size_t i = 0; i < run.Size(); ++i) {
+    if (!run.Ident(i)) continue;
+    const std::string& name = run.Text(i);
+    if (name == "ofstream") {
+      run.Emit(run.Line(i), "direct-io",
+               "std::ofstream bypasses the durable-write path; use "
+               "WriteFileDurable/AtomicWriteFile (whole files) or AppendFile "
+               "(logs) from common/fs_util.h");
+    } else if (name == "mkdir" && run.Punct(i + 1, "(") &&
+               !run.MemberPrev(i)) {
+      run.Emit(run.Line(i), "direct-io",
+               "raw mkdir() bypasses the durable-write path; use "
+               "EnsureDirectory from common/fs_util.h");
+    } else if (run.Punct(i + 1, "(") && i >= 2 && run.Punct(i - 1, "::") &&
+               run.Ident(i - 2) &&
+               (run.Text(i - 2) == "filesystem" || run.Text(i - 2) == "fs")) {
+      for (const char* prefix : kFsMutators) {
+        if (name.rfind(prefix, 0) == 0) {
+          run.Emit(run.Line(i), "direct-io",
+                   "mutating std::filesystem call bypasses the durable-write "
+                   "path; use EnsureDirectory/RemoveAllBestEffort from "
+                   "common/fs_util.h");
+          break;
+        }
+      }
+    }
+  }
+}
+
+bool IsExecName(const std::string& name) {
+  static const std::set<std::string> kExec = {
+      "execl", "execle", "execlp", "execlpe", "execv",
+      "execve", "execvp", "execvpe", "fexecve"};
+  return kExec.count(name) > 0;
+}
+
+void CheckProcessSpawn(TokenRuleRunner& run) {
+  for (size_t i = 0; i < run.Size(); ++i) {
+    if (!run.Ident(i) || !run.Punct(i + 1, "(")) continue;
+    const std::string& name = run.Text(i);
+    if ((name == "fork" || name == "vfork") && !run.MemberPrev(i)) {
+      run.Emit(run.Line(i), "process-spawn",
+               "raw fork() bypasses the process funnel; use "
+               "proc::SpawnProcess from common/proc.h");
+    } else if (IsExecName(name) && !run.MemberPrev(i)) {
+      run.Emit(run.Line(i), "process-spawn",
+               "raw exec*() bypasses the process funnel; use "
+               "proc::SpawnProcess from common/proc.h");
+    } else if ((name == "system" || name == "popen") && !run.MemberPrev(i)) {
+      run.Emit(run.Line(i), "process-spawn",
+               "system()/popen() runs a shell outside the process funnel; "
+               "use proc::SpawnProcess from common/proc.h");
+    } else if (name.rfind("posix_spawn", 0) == 0) {
+      run.Emit(run.Line(i), "process-spawn",
+               "posix_spawn bypasses the process funnel; use "
+               "proc::SpawnProcess from common/proc.h");
+    }
+  }
+}
+
+void CheckFloatDoubleDrift(TokenRuleRunner& run) {
+  for (size_t i = 0; i < run.Size(); ++i) {
+    if (run.Ident(i) && run.Text(i) == "double") {
+      run.Emit(run.Line(i), "float-double-drift",
+               "'double' in a kernel hot path; keep accumulation in float so "
+               "results stay bit-identical across builds and thread counts");
+    }
+  }
+}
+
+void CheckRawNewDelete(TokenRuleRunner& run) {
+  for (size_t i = 0; i < run.Size(); ++i) {
+    if (!run.Ident(i)) continue;
+    const std::string& name = run.Text(i);
+    bool after_operator =
+        i > 0 && run.Ident(i - 1) && run.Text(i - 1) == "operator";
+    if (name == "new" && !after_operator) {
+      run.Emit(run.Line(i), "raw-new-delete",
+               "raw 'new' outside the tensor/arena allocator (src/nn/tensor.*, "
+               "src/nn/arena.*); use make_unique/make_shared or the arena");
+    } else if (name == "delete" && !after_operator && !run.Punct(i - 1, "=")) {
+      run.Emit(run.Line(i), "raw-new-delete",
+               "raw 'delete' outside the tensor/arena allocator; ownership "
+               "must flow through smart pointers or the arena");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Line-structured rules (run on the per-line code view).
+// ---------------------------------------------------------------------------
+
+void CheckIncludeGuard(const std::string& rel_path,
+                       const std::vector<std::string>& lines,
+                       std::vector<Finding>* findings) {
+  std::string expected = CanonicalGuard(rel_path);
+  static const std::regex kIfndef(R"(^\s*#\s*ifndef\s+([A-Za-z_]\w*))");
+  static const std::regex kDefine(R"(^\s*#\s*define\s+([A-Za-z_]\w*))");
+  static const std::regex kPragmaOnce(R"(^\s*#\s*pragma\s+once\b)");
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i];
+    if (std::regex_search(code, kPragmaOnce)) return;
+    std::smatch m;
+    if (std::regex_search(code, m, kIfndef)) {
+      int line = static_cast<int>(i) + 1;
+      if (m[1] != expected) {
+        findings->push_back({rel_path, line, "include-guard",
+                             "guard '" + m[1].str() +
+                                 "' does not match the canonical '" +
+                                 expected + "'"});
+        return;
+      }
+      // The matching #define must follow on the next code line.
+      for (size_t j = i + 1; j < lines.size(); ++j) {
+        std::string trimmed = lines[j];
+        trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+        if (trimmed.empty()) continue;
+        std::smatch d;
+        if (!std::regex_search(lines[j], d, kDefine) || d[1] != expected) {
+          findings->push_back({rel_path, static_cast<int>(j) + 1,
+                               "include-guard",
+                               "#ifndef " + expected +
+                                   " is not followed by #define " + expected});
+        }
+        return;
+      }
+      return;
+    }
+    // Any real code before the guard means there is no guard.
+    std::string trimmed = code;
+    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+    if (!trimmed.empty()) break;
+  }
+  findings->push_back(
+      {rel_path, 1, "include-guard",
+       "header has neither '#pragma once' nor the canonical '#ifndef " +
+           expected + "' guard"});
+}
+
+bool IsSerializeishName(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  for (const char* marker :
+       {"serial", "save", "write", "dump", "store", "checkpoint", "tobytes",
+        "marshal"}) {
+    if (lower.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void CheckHashOrderRule(const std::string& rel_path,
+                        const std::vector<std::string>& lines,
+                        std::vector<Finding>* findings) {
+  // Variables (locals or members) declared with an unordered container type
+  // anywhere in the file.
+  static const std::regex kUnorderedDecl(
+      R"(unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*[&*]*\s*([A-Za-z_]\w*))");
+  std::set<std::string> unordered_vars;
+  for (const auto& code : lines) {
+    auto begin =
+        std::sregex_iterator(code.begin(), code.end(), kUnorderedDecl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      unordered_vars.insert((*it)[1]);
+    }
+  }
+
+  // A definition-looking header: a name followed by '(' on a line that is
+  // not a plain statement (no ';' before any '{').
+  static const std::regex kFnHeader(
+      R"(^[\w:&<>,*\s\[\]~]*?\b((?:[A-Za-z_]\w*::)*([A-Za-z_]\w*))\s*\()");
+  static const std::regex kRangeFor(R"(for\s*\([^:;)]*:\s*([^)]+)\))");
+
+  struct FnCtx {
+    std::string name;
+    int depth_at_open;  // brace depth just inside the function body
+  };
+  std::vector<FnCtx> stack;
+  int depth = 0;
+  std::string pending;  // function name awaiting its opening '{'
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i];
+    int line = static_cast<int>(i) + 1;
+
+    // Rule check first, against the current innermost context.
+    if (!stack.empty() && IsSerializeishName(stack.back().name)) {
+      bool hit = false;
+      if (code.find("unordered_") != std::string::npos &&
+          code.find("for") != std::string::npos) {
+        hit = true;
+      } else {
+        std::smatch m;
+        if (std::regex_search(code, m, kRangeFor)) {
+          const std::string expr = m[1];
+          for (const auto& var : unordered_vars) {
+            std::regex word("\\b" + var + "\\b");
+            if (std::regex_search(expr, word)) {
+              hit = true;
+              break;
+            }
+          }
+        }
+      }
+      if (hit) {
+        findings->push_back(
+            {rel_path, line, "unordered-serialize",
+             "iteration over an unordered container inside '" +
+                 stack.back().name +
+                 "' feeds hash-order into serialized output; iterate a "
+                 "sorted copy or an ordered container"});
+      }
+    }
+
+    // Context tracking.
+    std::smatch m;
+    std::string trimmed = code;
+    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+    if (!StartsWith(trimmed, "#") && std::regex_search(code, m, kFnHeader)) {
+      const std::string name = m[2];
+      if (!IsCallKeyword(name)) pending = name;
+    }
+    for (char c : code) {
+      if (c == '{') {
+        ++depth;
+        if (!pending.empty()) {
+          stack.push_back({pending, depth});
+          pending.clear();
+        }
+      } else if (c == '}') {
+        --depth;
+        while (!stack.empty() && depth < stack.back().depth_at_open) {
+          stack.pop_back();
+        }
+      } else if (c == ';' && pending.size()) {
+        pending.clear();  // was a declaration, not a definition
+      }
+    }
+  }
+}
+
+void SplitRuleList(const std::string& list, int line, const std::string& kind,
+                   std::set<std::string>* out, std::vector<Finding>* findings,
+                   const std::string& rel_path) {
+  std::string token;
+  std::stringstream ss(list);
+  while (std::getline(ss, token, ',')) {
+    token.erase(std::remove_if(token.begin(), token.end(), ::isspace),
+                token.end());
+    if (token.empty()) continue;
+    // `<...>` tokens are documentation placeholders (e.g. the syntax examples
+    // in lint.h), not suppressions.
+    if (token.front() == '<' && token.back() == '>') continue;
+    if (!KnownRules().count(token)) {
+      findings->push_back({rel_path, line, "bad-suppression",
+                           "suppression " + kind + "(" + token +
+                               ") names an unknown rule; see --rules"});
+      continue;
+    }
+    out->insert(token);
+  }
+}
+
+}  // namespace
+
+Suppressions ParseSuppressionDirectives(const TokenizedFile& file,
+                                        const std::string& rel_path,
+                                        std::vector<Finding>* findings) {
+  static const std::regex kDirective(
+      R"(garl-lint:\s*(allow|allow-next-line|allow-file)\s*\(([^)]*)\))");
+  Suppressions supp;
+  for (const auto& [line, comment] : file.comments) {
+    if (comment.find("garl-lint") == std::string::npos) continue;
+    auto begin =
+        std::sregex_iterator(comment.begin(), comment.end(), kDirective);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const std::string kind = (*it)[1];
+      const std::string list = (*it)[2];
+      std::set<std::string>* out = nullptr;
+      if (kind == "allow") {
+        out = &supp.by_line[line];
+      } else if (kind == "allow-next-line") {
+        out = &supp.next_line[line];
+      } else {
+        out = &supp.file_level;
+      }
+      SplitRuleList(list, line, kind, out, findings, rel_path);
+    }
+  }
+  return supp;
+}
+
+std::vector<std::string> HarvestFallibleFromLines(
+    const std::vector<std::string>& line_code) {
+  // A declaration whose return type is Status or StatusOr<...>. The name must
+  // be directly followed by '(' so member variables (`Status status_;`) and
+  // constructors don't match.
+  static const std::regex kDecl(
+      R"((?:^|[;{}]\s*|\n\s*)(?:template\s*<[^;{}]*>\s*)?(?:(?:static|virtual|inline|constexpr|friend|explicit|\[\[nodiscard\]\])\s+)*(?:::)?(?:garl::)?Status(?:Or\s*<[^;={}]*>)?\s+((?:[A-Za-z_]\w*::)*([A-Za-z_]\w*))\s*\()");
+  std::string code;
+  for (size_t i = 0; i < line_code.size(); ++i) {
+    if (i) code += '\n';
+    code += line_code[i];
+  }
+  std::vector<std::string> names;
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kDecl);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[2];
+    if (name == "Status" || name == "StatusOr" || name == "Ok") continue;
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+void RunLocalRules(const std::string& rel_path, const TokenizedFile& file,
+                   const std::vector<FunctionInfo>& functions,
+                   std::vector<Finding>* findings) {
+  (void)functions;
+  TokenRuleRunner run(rel_path, file.tokens, findings);
+  if (!IsRngFile(rel_path)) CheckNondetRand(run);
+  if (!IsBenchFile(rel_path) && !IsClockFile(rel_path)) CheckNondetTime(run);
+  if (IsHeader(rel_path)) {
+    CheckIncludeGuard(rel_path, file.line_code, findings);
+  }
+  if (IsHotPathFile(rel_path)) CheckFloatDoubleDrift(run);
+  if (!IsTensorAllocatorFile(rel_path)) CheckRawNewDelete(run);
+  if (IsDirectIoScope(rel_path) && !IsFsUtilFile(rel_path)) {
+    CheckDirectIo(run);
+  }
+  if (IsDirectIoScope(rel_path) && !IsProcFile(rel_path)) {
+    CheckProcessSpawn(run);
+  }
+  CheckHashOrderRule(rel_path, file.line_code, findings);
+}
+
+}  // namespace garl::lint

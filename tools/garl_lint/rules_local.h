@@ -1,0 +1,39 @@
+#ifndef GARL_TOOLS_GARL_LINT_RULES_LOCAL_H_
+#define GARL_TOOLS_GARL_LINT_RULES_LOCAL_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/garl_lint/index.h"
+#include "tools/garl_lint/token.h"
+
+// Phase-1 local rules: everything that can be decided from one file alone.
+// These produce the per-file findings stored in FileIndex::local_findings;
+// the cross-file rules (det-taint, parallel-unsafe, status-propagation,
+// status-discard filtering) live in graph.cc and always re-run in phase 2.
+
+namespace garl::lint {
+
+// Parses `// garl-lint: allow/allow-next-line/allow-file(rule,...)` from the
+// tokenizer's per-line comment map. Unknown rule names become bad-suppression
+// findings (appended to `findings`).
+Suppressions ParseSuppressionDirectives(const TokenizedFile& file,
+                                        const std::string& rel_path,
+                                        std::vector<Finding>* findings);
+
+// Harvests names of functions declared to return Status/StatusOr<...> from
+// the per-line code view (comment/literal stripped). Sorted, deduped.
+std::vector<std::string> HarvestFallibleFromLines(
+    const std::vector<std::string>& line_code);
+
+// Runs every local rule (nondet-rand, nondet-time, include-guard,
+// float-double-drift, raw-new-delete, unordered-serialize, direct-io,
+// process-spawn) with the per-path exemptions, appending to `findings`.
+// Findings are NOT suppression-filtered here; BuildFileIndex does that.
+void RunLocalRules(const std::string& rel_path, const TokenizedFile& file,
+                   const std::vector<FunctionInfo>& functions,
+                   std::vector<Finding>* findings);
+
+}  // namespace garl::lint
+
+#endif  // GARL_TOOLS_GARL_LINT_RULES_LOCAL_H_

@@ -1,0 +1,196 @@
+#include "tools/garl_lint/token.h"
+
+#include <cctype>
+#include <set>
+
+namespace garl::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first so maximal munch works.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "==", "!=", "<=", ">=", "&&",
+    "||", "+=",  "-=",  "*=",  "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+    "++", "--",  ".*",
+};
+
+}  // namespace
+
+bool IsCallKeyword(const std::string& ident) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "while",  "for",    "switch",        "return", "sizeof",
+      "catch",  "assert", "static_assert",           "alignof", "decltype",
+      "typeid", "new",    "delete", "throw",         "co_return", "co_await"};
+  return kKeywords.count(ident) > 0;
+}
+
+TokenizedFile TokenizeFile(const std::string& contents) {
+  TokenizedFile out;
+  out.line_code.emplace_back();
+  int line = 1;
+  bool in_pp = false;        // inside a preprocessor directive
+  bool line_has_code = false;  // saw a non-ws token on this physical line
+
+  auto code = [&]() -> std::string& { return out.line_code.back(); };
+
+  size_t i = 0;
+  const size_t n = contents.size();
+  while (i < n) {
+    char c = contents[i];
+    char next = i + 1 < n ? contents[i + 1] : '\0';
+
+    if (c == '\n') {
+      // A backslash immediately before the newline continues a directive.
+      bool continued = in_pp && !code().empty() && code().back() == '\\';
+      if (!continued) in_pp = false;
+      ++line;
+      out.line_code.emplace_back();
+      line_has_code = false;
+      ++i;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && next == '/') {
+      size_t end = contents.find('\n', i);
+      if (end == std::string::npos) end = n;
+      out.comments[line] += contents.substr(i + 2, end - i - 2);
+      i = end;
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      i += 2;
+      while (i < n) {
+        if (contents[i] == '*' && i + 1 < n && contents[i + 1] == '/') {
+          i += 2;
+          break;
+        }
+        if (contents[i] == '\n') {
+          ++line;
+          out.line_code.emplace_back();
+          line_has_code = false;
+        } else {
+          out.comments[line] += contents[i];
+        }
+        ++i;
+      }
+      continue;
+    }
+
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && next == '"' &&
+        (i == 0 || !IsIdentChar(contents[i - 1]))) {
+      size_t paren = contents.find('(', i + 2);
+      if (paren != std::string::npos) {
+        std::string close =
+            ")" + contents.substr(i + 2, paren - i - 2) + "\"";
+        size_t end = contents.find(close, paren + 1);
+        if (end == std::string::npos) end = n;
+        for (size_t j = i; j < std::min(end + close.size(), n); ++j) {
+          if (contents[j] == '\n') {
+            ++line;
+            out.line_code.emplace_back();
+            line_has_code = false;
+          }
+        }
+        code() += "R\"\"";
+        out.tokens.push_back({TokKind::kString, "", line, in_pp});
+        i = std::min(end + close.size(), n);
+        line_has_code = true;
+        continue;
+      }
+    }
+
+    // String / char literals (contents blanked; escaped chars skipped).
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      code() += quote;
+      ++i;
+      while (i < n && contents[i] != quote) {
+        if (contents[i] == '\\') ++i;
+        if (i < n && contents[i] == '\n') {
+          ++line;
+          out.line_code.emplace_back();
+        }
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      code() += quote;
+      out.tokens.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar, "", line, in_pp});
+      line_has_code = true;
+      continue;
+    }
+
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      code() += c;
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive start: '#' as the first code on a line.
+    if (c == '#' && !line_has_code) {
+      in_pp = true;
+    }
+
+    line_has_code = true;
+
+    // Identifier.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(contents[i])) ++i;
+      std::string text = contents.substr(start, i - start);
+      code() += text;
+      out.tokens.push_back({TokKind::kIdent, std::move(text), line, in_pp});
+      continue;
+    }
+
+    // Number (pp-number: digits, idents, '.' and exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(next)))) {
+      size_t start = i;
+      ++i;
+      while (i < n) {
+        char d = contents[i];
+        if (IsIdentChar(d) || d == '.') {
+          ++i;
+        } else if ((d == '+' || d == '-') &&
+                   (contents[i - 1] == 'e' || contents[i - 1] == 'E' ||
+                    contents[i - 1] == 'p' || contents[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      std::string text = contents.substr(start, i - start);
+      code() += text;
+      out.tokens.push_back({TokKind::kNumber, std::move(text), line, in_pp});
+      continue;
+    }
+
+    // Punctuator: try multi-char forms first.
+    std::string text;
+    for (const char* p : kPuncts) {
+      size_t len = std::char_traits<char>::length(p);
+      if (contents.compare(i, len, p) == 0) {
+        text = p;
+        break;
+      }
+    }
+    if (text.empty()) text = std::string(1, c);
+    i += text.size();
+    code() += text;
+    out.tokens.push_back({TokKind::kPunct, std::move(text), line, in_pp});
+  }
+  return out;
+}
+
+}  // namespace garl::lint

@@ -1,0 +1,50 @@
+#ifndef GARL_TOOLS_GARL_LINT_TOKEN_H_
+#define GARL_TOOLS_GARL_LINT_TOKEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+// Phase-1 front end of garl_lint: a real C++ tokenizer. It is not a parser —
+// no preprocessing, no type information — but unlike the previous
+// comment-stripped-line regexes it produces a proper token stream (identifiers,
+// numbers, punctuators, blanked literals) that the local rules, the symbol
+// indexer, and the cross-file analyses all share. Comments are captured
+// per-line on the side so suppression directives keep working, and a per-line
+// "code view" (literal contents blanked) is kept for the few rules that are
+// inherently line-structured (include guards, fallible-declaration harvest).
+
+namespace garl::lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (pp-numbers: 0x1f, 1.0e-3f, ...)
+  kString,  // string literal, contents blanked (text is "")
+  kChar,    // char literal, contents blanked
+  kPunct,   // operators/punctuation, maximal-munch (::, ->, ==, ...)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  // empty for kString/kChar
+  int line = 0;      // 1-based
+  bool pp = false;   // inside a preprocessor directive
+};
+
+struct TokenizedFile {
+  std::vector<Token> tokens;
+  // Concatenated comment text per line (only lines that have comments).
+  std::map<int, std::string> comments;
+  // Per-line code with comments removed and literal contents blanked —
+  // line-structured rules (include-guard, fallible harvest) run on this.
+  std::vector<std::string> line_code;
+};
+
+TokenizedFile TokenizeFile(const std::string& contents);
+
+// True for tokens that look like calls but are control flow / operators.
+bool IsCallKeyword(const std::string& ident);
+
+}  // namespace garl::lint
+
+#endif  // GARL_TOOLS_GARL_LINT_TOKEN_H_
