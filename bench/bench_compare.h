@@ -1,0 +1,46 @@
+#ifndef GARL_BENCH_BENCH_COMPARE_H_
+#define GARL_BENCH_BENCH_COMPARE_H_
+
+#include <cmath>
+
+// Baseline-vs-measurement regression arithmetic shared by the bench
+// binaries. Kept as a pure header so the comparison rules are unit-testable
+// without running a benchmark.
+//
+// The hazard this guards: a baseline entry of 0 (or denormal-small — a
+// truncated file, a `--reps 0` smoke artifact, a field atof'd from garbage)
+// makes `measured <= base * tolerance` fail for every real measurement, so
+// one bad baseline line would brick the regression gate. Entries below the
+// comparability floor are skipped with an explicit verdict instead of
+// failing.
+
+namespace garl::bench {
+
+// Baselines faster than 1us/op are below timer resolution and below anything
+// the kernels in this repo can legitimately produce; treat them (and zeros,
+// negatives, NaN/Inf from a corrupt file) as not comparable.
+inline constexpr double kMinComparableBaselineSeconds = 1e-6;
+
+struct BaselineComparison {
+  bool comparable = false;  // false: baseline unusable, skip (never fail)
+  bool regressed = false;   // measured exceeded baseline * tolerance
+};
+
+inline BaselineComparison CompareToBaseline(double baseline_seconds,
+                                            double measured_seconds,
+                                            double tolerance) {
+  BaselineComparison result;
+  if (!std::isfinite(baseline_seconds) ||
+      baseline_seconds < kMinComparableBaselineSeconds) {
+    return result;  // not comparable
+  }
+  result.comparable = true;
+  // A non-finite measurement is a broken run, not a fast one.
+  result.regressed = !std::isfinite(measured_seconds) ||
+                     measured_seconds > baseline_seconds * tolerance;
+  return result;
+}
+
+}  // namespace garl::bench
+
+#endif  // GARL_BENCH_BENCH_COMPARE_H_

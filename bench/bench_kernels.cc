@@ -26,6 +26,7 @@
 
 #include "baselines/registry.h"
 #include "bench_common.h"
+#include "bench_compare.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -206,19 +207,31 @@ int CompareAgainstBaseline(const std::string& baseline_path,
       std::cout << "baseline " << g.label << ": not present, skipped\n";
       continue;
     }
-    bool ok = g.sec_simd <= base * kTolerance;
+    BaselineComparison cmp = CompareToBaseline(base, g.sec_simd, kTolerance);
+    if (!cmp.comparable) {
+      std::cout << "baseline " << g.label << ": " << base
+                << "s is below the comparability floor, skipped\n";
+      continue;
+    }
     std::cout << "baseline " << g.label << ": " << base << "s -> "
-              << g.sec_simd << "s " << (ok ? "OK" : "REGRESSED") << "\n";
-    if (!ok) ++failures;
+              << g.sec_simd << "s " << (cmp.regressed ? "REGRESSED" : "OK")
+              << "\n";
+    if (cmp.regressed) ++failures;
   }
   double base_e2e = 0.0;
   if (ScanNumberAfter(text, 0, "\"seconds_per_iteration_1_thread\"",
                       &base_e2e)) {
-    bool ok = e2e.sec_one <= base_e2e * kTolerance;
-    std::cout << "baseline end_to_end: " << base_e2e << "s/iter -> "
-              << e2e.sec_one << "s/iter " << (ok ? "OK" : "REGRESSED")
-              << "\n";
-    if (!ok) ++failures;
+    BaselineComparison cmp =
+        CompareToBaseline(base_e2e, e2e.sec_one, kTolerance);
+    if (!cmp.comparable) {
+      std::cout << "baseline end_to_end: " << base_e2e
+                << "s/iter is below the comparability floor, skipped\n";
+    } else {
+      std::cout << "baseline end_to_end: " << base_e2e << "s/iter -> "
+                << e2e.sec_one << "s/iter "
+                << (cmp.regressed ? "REGRESSED" : "OK") << "\n";
+      if (cmp.regressed) ++failures;
+    }
   }
   if (failures > 0) {
     std::cerr << "bench_kernels: " << failures

@@ -1,0 +1,223 @@
+// bench_serving — throughput and latency-SLO numbers for the policy-serving
+// front door (src/serve). Writes BENCH_serving.json:
+//
+//   sync:  large caller-assembled ServeBatch fan-outs -> decisions/sec
+//   async: Submit-queue round trips -> p50/p95/p99/p99.9 latency (us)
+//
+// Flags: --reps N (measurement repetitions, default 3; --reps 1 is the CI
+// smoke), --requests N (per rep, default 256), --batch N (async drain
+// limit, default 64), --json PATH (default BENCH_serving.json).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fs_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "core/garl_extractor.h"
+#include "core/serving_plan.h"
+#include "env/world.h"
+#include "obs/clock.h"
+#include "serve/policy_server.h"
+
+namespace garl {
+namespace {
+
+env::CampusSpec BenchCampus() {
+  env::CampusSpec campus;
+  campus.name = "serving_bench";
+  campus.width = 600;
+  campus.height = 600;
+  campus.roads.push_back({{0, 200}, {600, 200}});
+  campus.roads.push_back({{0, 400}, {600, 400}});
+  campus.roads.push_back({{200, 0}, {200, 600}});
+  campus.roads.push_back({{400, 0}, {400, 600}});
+  campus.sensors.push_back({{150, 210}, 1000.0});
+  campus.sensors.push_back({{260, 190}, 1200.0});
+  campus.sensors.push_back({{200, 420}, 900.0});
+  campus.sensors.push_back({{410, 390}, 1100.0});
+  campus.sensors.push_back({{390, 180}, 800.0});
+  return campus;
+}
+
+struct BenchFlags {
+  int64_t reps = 3;
+  int64_t requests = 256;
+  int64_t batch = 64;
+  std::string json_path = "BENCH_serving.json";
+};
+
+bool ParseFlags(int argc, char** argv, BenchFlags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reps" && i + 1 < argc) {
+      flags->reps = std::atoll(argv[++i]);
+    } else if (arg == "--requests" && i + 1 < argc) {
+      flags->requests = std::atoll(argv[++i]);
+    } else if (arg == "--batch" && i + 1 < argc) {
+      flags->batch = std::atoll(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      flags->json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "bench_serving: unknown flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return flags->reps > 0 && flags->requests > 0 && flags->batch > 0;
+}
+
+int Run(const BenchFlags& flags) {
+  env::WorldParams params;
+  params.num_ugvs = 4;
+  params.uavs_per_ugv = 1;
+  params.horizon = 40;
+  params.release_slots = 2;
+  env::World world(BenchCampus(), params);
+  rl::EnvContext context = rl::MakeEnvContext(world);
+  Rng rng(11);
+  rl::FeatureUgvPolicy policy(
+      std::make_unique<core::GarlExtractor>(context, core::GarlConfig{}, rng),
+      context, rl::FeaturePolicyOptions{}, rng);
+  StatusOr<core::ServingPlan> plan = core::ServingPlan::Compile(policy,
+                                                                context);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "bench_serving: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+
+  // A fixed cross-episode request pool: every UGV's joint observation at
+  // several points of a rolled-out episode.
+  std::vector<std::vector<env::UgvObservation>> pool;
+  {
+    env::World episode(BenchCampus(), params);
+    std::vector<env::UavAction> idle(
+        static_cast<size_t>(episode.num_uavs()));
+    while (!episode.Done()) {
+      std::vector<env::UgvObservation> request;
+      for (int64_t u = 0; u < params.num_ugvs; ++u) {
+        request.push_back(episode.ObserveUgv(u));
+      }
+      pool.push_back(std::move(request));
+      std::vector<env::UgvAction> actions(
+          static_cast<size_t>(params.num_ugvs));
+      for (int64_t u = 0; u < params.num_ugvs; ++u) {
+        actions[static_cast<size_t>(u)].release = (episode.slot() % 3 == 2);
+        actions[static_cast<size_t>(u)].target_stop =
+            (episode.slot() + u) % context.num_stops;
+      }
+      episode.Step(actions, idle);
+    }
+  }
+
+  serve::PolicyServerOptions options;
+  options.max_batch = flags.batch;
+  serve::PolicyServer server(&plan.value(), options);
+
+  // Sync throughput: the full request set as repeated large batches.
+  std::vector<std::vector<env::UgvObservation>> batch;
+  for (int64_t r = 0; r < flags.requests; ++r) {
+    batch.push_back(pool[static_cast<size_t>(r) % pool.size()]);
+  }
+  double best_sync_rps = 0.0;
+  std::vector<serve::ServeResult> results;
+  for (int64_t rep = 0; rep < flags.reps; ++rep) {
+    const int64_t start_ns = obs::MonotonicNowNs();
+    server.ServeBatch(batch, &results);
+    const double secs =
+        static_cast<double>(obs::MonotonicNowNs() - start_ns) / 1e9;
+    for (const serve::ServeResult& result : results) {
+      if (!result.status.ok()) {
+        std::fprintf(stderr, "bench_serving: request failed: %s\n",
+                     result.status.ToString().c_str());
+        return 1;
+      }
+    }
+    if (secs > 0.0) {
+      best_sync_rps = std::max(
+          best_sync_rps, static_cast<double>(flags.requests) / secs);
+    }
+  }
+  const double decisions_per_request = static_cast<double>(params.num_ugvs);
+
+  // Async latency: saturate the queue, then wait for every future.
+  const int64_t async_start_ns = obs::MonotonicNowNs();
+  std::vector<std::future<serve::ServeResult>> futures;
+  futures.reserve(static_cast<size_t>(flags.requests));
+  for (int64_t r = 0; r < flags.requests; ++r) {
+    futures.push_back(
+        server.Submit(pool[static_cast<size_t>(r) % pool.size()]));
+  }
+  for (auto& future : futures) {
+    serve::ServeResult result = future.get();
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "bench_serving: async request failed: %s\n",
+                   result.status.ToString().c_str());
+      return 1;
+    }
+  }
+  const double async_secs =
+      static_cast<double>(obs::MonotonicNowNs() - async_start_ns) / 1e9;
+  const obs::Histogram& latency = server.latency_histogram();
+
+  std::string json = "{\n";
+  json += StrPrintf("  \"bench\": \"serving\",\n");
+  json += StrPrintf("  \"requests\": %lld,\n",
+                    static_cast<long long>(flags.requests));
+  json += StrPrintf("  \"reps\": %lld,\n", static_cast<long long>(flags.reps));
+  json += StrPrintf("  \"batch\": %lld,\n",
+                    static_cast<long long>(flags.batch));
+  json += StrPrintf("  \"ugvs\": %lld,\n",
+                    static_cast<long long>(params.num_ugvs));
+  json += StrPrintf("  \"stops\": %lld,\n",
+                    static_cast<long long>(context.num_stops));
+  json += StrPrintf("  \"threads\": %lld,\n",
+                    static_cast<long long>(ThreadPool::Global().num_threads()));
+  json += StrPrintf("  \"sync_requests_per_s\": %.1f,\n", best_sync_rps);
+  json += StrPrintf("  \"sync_decisions_per_s\": %.1f,\n",
+                    best_sync_rps * decisions_per_request);
+  json += StrPrintf(
+      "  \"async_requests_per_s\": %.1f,\n",
+      async_secs > 0.0 ? static_cast<double>(flags.requests) / async_secs
+                       : 0.0);
+  json += "  \"async_latency_us\": {\n";
+  json += StrPrintf("    \"count\": %lld,\n",
+                    static_cast<long long>(latency.count()));
+  json += StrPrintf("    \"p50\": %.1f,\n", latency.P50());
+  json += StrPrintf("    \"p95\": %.1f,\n", latency.P95());
+  json += StrPrintf("    \"p99\": %.1f,\n", latency.P99());
+  json += StrPrintf("    \"p999\": %.1f,\n", latency.P999());
+  json += StrPrintf("    \"max\": %.1f\n", latency.max());
+  json += "  }\n}\n";
+
+  Status write = WriteFileDurable(flags.json_path, json);
+  if (!write.ok()) {
+    std::fprintf(stderr, "bench_serving: cannot write %s: %s\n",
+                 flags.json_path.c_str(), write.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", json.c_str());
+  std::printf("wrote %s\n", flags.json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace garl
+
+int main(int argc, char** argv) {
+  garl::BenchFlags flags;
+  if (!garl::ParseFlags(argc, argv, &flags)) {
+    std::fprintf(stderr,
+                 "usage: bench_serving [--reps N] [--requests N] [--batch N] "
+                 "[--json PATH]\n");
+    return 2;
+  }
+  return garl::Run(flags);
+}

@@ -92,6 +92,11 @@ garl_run_step("bench_kernels smoke"
   ${GATES_DIR}/lint/bench/bench_kernels --reps 1
   --json ${GATES_DIR}/lint/BENCH_kernels_smoke.json)
 
+# --- 2e: policy-serving smoke (1 rep; sync + async queue paths + JSON). -----
+garl_run_step("bench_serving smoke"
+  ${GATES_DIR}/lint/bench/bench_serving --reps 1 --requests 32
+  --json ${GATES_DIR}/lint/BENCH_serving_smoke.json)
+
 # --- 3: clang-tidy over the same build's compile commands. ------------------
 garl_run_step("clang-tidy (skips loudly if unavailable)"
   ${CMAKE_COMMAND} -DSOURCE_DIR=${SOURCE_DIR} -DBUILD_DIR=${GATES_DIR}/lint

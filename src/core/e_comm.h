@@ -84,6 +84,19 @@ class EComm : public nn::Module {
   int64_t out_dim() const { return config_.hidden; }
   const ECommConfig& config() const { return config_; }
 
+  // Read-only layer access for the serving-plan compiler (core/serving_plan).
+  const nn::Linear& phi_m(int64_t layer) const {
+    return *phi_m_[static_cast<size_t>(layer)];
+  }
+  const nn::Linear& phi_h(int64_t layer) const {
+    return *phi_h_[static_cast<size_t>(layer)];
+  }
+  const nn::Linear& phi_g(int64_t layer) const {
+    return *phi_g_[static_cast<size_t>(layer)];
+  }
+  const nn::Tensor& w3() const { return w3_; }
+  const nn::Linear& phi_u() const { return *phi_u_; }
+
  private:
   const rl::EnvContext* context_;  // not owned
   ECommConfig config_;

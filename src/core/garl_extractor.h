@@ -55,6 +55,13 @@ class GarlExtractor : public rl::UgvFeatureExtractor {
 
   const GarlConfig& config() const { return config_; }
 
+  // Read-only submodule access for the serving-plan compiler; null when the
+  // corresponding ablation switch disables the module.
+  const McGcn* mc_gcn() const { return mc_gcn_.get(); }
+  const GcnStack* gcn() const { return gcn_.get(); }
+  const nn::Linear* gcn_readout() const { return gcn_readout_.get(); }
+  const EComm* e_comm() const { return e_comm_.get(); }
+
  private:
   // Per-UGV spatial feature h~ (and attention, when MC-GCN is on).
   struct SpatialOut {

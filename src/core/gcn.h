@@ -27,6 +27,10 @@ class GcnStack : public nn::Module {
 
   int64_t hidden() const { return hidden_; }
   int64_t layers() const { return static_cast<int64_t>(weights_.size()); }
+  // Read-only layer access for the serving-plan compiler (core/serving_plan).
+  const nn::Linear& weight(int64_t layer) const {
+    return *weights_[static_cast<size_t>(layer)];
+  }
 
  private:
   nn::Tensor laplacian_;

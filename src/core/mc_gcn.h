@@ -65,6 +65,15 @@ class McGcn : public nn::Module {
 
   const McGcnConfig& config() const { return config_; }
 
+  // Read-only layer access for the serving-plan compiler (core/serving_plan).
+  const nn::Linear& attention(int64_t layer) const {
+    return *attention_[static_cast<size_t>(layer)];
+  }
+  const nn::Linear& weight(int64_t layer) const {
+    return *weights_[static_cast<size_t>(layer)];
+  }
+  const nn::Linear& readout() const { return *readout_; }
+
  private:
   const rl::EnvContext* context_;  // not owned
   McGcnConfig config_;

@@ -1,0 +1,777 @@
+#include "core/serving_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "core/garl_extractor.h"
+#include "env/geometry.h"
+
+// The scalar kernels below intentionally mirror the accumulation orders of
+// the tensor forward (nn/ops.cc, core/mc_gcn.cc, core/e_comm.cc,
+// rl/feature_policy.cc): products before sums, ascending-index running
+// totals, max-subtracted softmax, float hypot where the tensor path uses
+// float hypot and double where it uses double. Bit-identity is guaranteed
+// between Execute() calls (the only thing the determinism gates compare);
+// agreement with the tensor path is argmax-level and test-enforced.
+
+namespace garl::core {
+namespace {
+
+ServingDense SnapshotDense(const nn::Linear& layer) {
+  ServingDense dense;
+  dense.in = layer.in_features();
+  dense.out = layer.out_features();
+  dense.w = layer.weight().data();
+  if (layer.has_bias()) dense.b = layer.bias().data();
+  return dense;
+}
+
+// y = W x (+ b): product sums ascend over the input index, the bias lands
+// after the accumulation like MatMul-then-Add does.
+void DenseVec(const ServingDense& d, const float* x, float* y) {
+  for (int64_t i = 0; i < d.out; ++i) {
+    const float* row = d.w.data() + i * d.in;
+    float acc = 0.0f;
+    for (int64_t j = 0; j < d.in; ++j) acc += row[j] * x[j];
+    y[i] = d.b.empty() ? acc : acc + d.b[static_cast<size_t>(i)];
+  }
+}
+
+void TanhInPlace(float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+}
+
+float DotAscending(const float* a, const float* b, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// Max-subtracted softmax with an ascending running total (nn::Softmax).
+void SoftmaxInPlace(float* x, int64_t n) {
+  float max_v = x[0];
+  for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, x[i]);
+  float total = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - max_v);
+    total += x[i];
+  }
+  for (int64_t i = 0; i < n; ++i) x[i] /= total;
+}
+
+int64_t FirstMaxIndex(const float* x, int64_t n) {
+  int64_t best = 0;
+  for (int64_t i = 1; i < n; ++i) {
+    if (x[i] > x[best]) best = i;
+  }
+  return best;
+}
+
+Status ValidateObservation(const env::UgvObservation& obs, int64_t num_stops) {
+  if (!obs.stop_features.defined() || obs.stop_features.dim() != 2 ||
+      obs.stop_features.size(0) != num_stops ||
+      obs.stop_features.size(1) != 3) {
+    return InvalidArgumentError("serving: stop_features must be [B, 3]");
+  }
+  int64_t obs_ugvs = static_cast<int64_t>(obs.ugv_stops.size());
+  if (obs_ugvs == 0 || obs.self < 0 || obs.self >= obs_ugvs) {
+    return InvalidArgumentError("serving: self out of ugv_stops range");
+  }
+  if (!obs.ugv_positions.defined() || obs.ugv_positions.dim() != 2 ||
+      obs.ugv_positions.size(1) != 2 ||
+      obs.ugv_positions.size(0) < obs_ugvs) {
+    return InvalidArgumentError("serving: ugv_positions must be [U, 2]");
+  }
+  for (int64_t stop : obs.ugv_stops) {
+    if (stop < 0 || stop >= num_stops) {
+      return InvalidArgumentError("serving: ugv stop index out of range");
+    }
+  }
+  if (obs.current_stop < 0 || obs.current_stop >= num_stops) {
+    return InvalidArgumentError("serving: current_stop out of range");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<ServingPlan> ServingPlan::Compile(const rl::FeatureUgvPolicy& policy,
+                                           const rl::EnvContext& context) {
+  const auto* extractor =
+      dynamic_cast<const GarlExtractor*>(&policy.extractor());
+  if (extractor == nullptr) {
+    return FailedPreconditionError(
+        "serving: only GarlExtractor-backed policies can be compiled (got " +
+        policy.name() + ")");
+  }
+  if (context.num_stops <= 0 || context.num_ugvs <= 0) {
+    return InvalidArgumentError("serving: empty env context");
+  }
+  const GarlConfig& config = extractor->config();
+
+  ServingPlan plan;
+  plan.num_stops_ = context.num_stops;
+  plan.num_ugvs_ = context.num_ugvs;
+  plan.use_mc_ = config.use_mc;
+  plan.use_e_ = config.use_e;
+  plan.mc_hidden_ = config.mc_gcn.hidden;
+  plan.e_hidden_ = config.e_comm.hidden;
+  plan.policy_hidden_ = policy.options().hidden;
+  plan.mc_separation_ = config.mc_separation;
+  plan.e_radial_ = config.e_radial;
+  plan.g_clip_ = config.e_comm.g_clip;
+  plan.min_distance_ = config.e_comm.min_distance;
+  plan.prior_scale_ = policy.options().prior_scale;
+  plan.release_prior_scale_ = policy.options().release_prior_scale;
+  plan.neighbor_radius_norm_ = context.neighbor_radius_norm;
+
+  const int64_t B = plan.num_stops_;
+  if (!context.laplacian.defined() ||
+      context.laplacian.numel() != B * B ||
+      !context.stop_xy.defined() || context.stop_xy.numel() != B * 2 ||
+      static_cast<int64_t>(context.hops.size()) != B) {
+    return InvalidArgumentError("serving: malformed env context tables");
+  }
+  plan.laplacian_ = context.laplacian.data();
+  plan.stop_xy_ = context.stop_xy.data();
+  plan.hops_ = context.hops;
+
+  // HopRelevance for every possible center stop (Eq. 19-20), so serving
+  // never recomputes shortest-path reciprocals.
+  plan.relevance_.assign(static_cast<size_t>(B * B), 0.0f);
+  for (int64_t s = 0; s < B; ++s) {
+    const auto& hops = context.hops[static_cast<size_t>(s)];
+    if (static_cast<int64_t>(hops.size()) != B) {
+      return InvalidArgumentError("serving: malformed hop table");
+    }
+    for (int64_t b = 0; b < B; ++b) {
+      int64_t d = hops[static_cast<size_t>(b)];
+      if (d < 0 || d > config.mc_gcn.hop_threshold) continue;
+      plan.relevance_[static_cast<size_t>(s * B + b)] =
+          1.0f / (static_cast<float>(d) + 1.0f);
+    }
+  }
+
+  for (int64_t u = 0; u < plan.num_ugvs_; ++u) {
+    const nn::Tensor& prior = policy.direction_prior(u);
+    if (!prior.defined() || prior.numel() != B) {
+      return InvalidArgumentError("serving: malformed direction prior");
+    }
+    plan.direction_prior_.insert(plan.direction_prior_.end(),
+                                 prior.data().begin(), prior.data().end());
+  }
+
+  if (plan.use_mc_) {
+    const McGcn* mc = extractor->mc_gcn();
+    GARL_CHECK(mc != nullptr);
+    for (int64_t l = 0; l < config.mc_gcn.layers; ++l) {
+      plan.mc_attention_.push_back(SnapshotDense(mc->attention(l)));
+      plan.mc_weights_.push_back(SnapshotDense(mc->weight(l)));
+      plan.spatial_ops_.push_back({ServingOpKind::kMcLayer, l});
+    }
+    plan.mc_readout_ = SnapshotDense(mc->readout());
+    plan.spatial_ops_.insert(plan.spatial_ops_.begin(),
+                             {ServingOpKind::kMcStructure, 0});
+    plan.spatial_ops_.push_back({ServingOpKind::kMcReadout, 0});
+  } else {
+    const GcnStack* gcn = extractor->gcn();
+    GARL_CHECK(gcn != nullptr);
+    GARL_CHECK(extractor->gcn_readout() != nullptr);
+    for (int64_t l = 0; l < gcn->layers(); ++l) {
+      plan.gcn_weights_.push_back(SnapshotDense(gcn->weight(l)));
+      plan.spatial_ops_.push_back({ServingOpKind::kGcnLayer, l});
+    }
+    plan.gcn_readout_ = SnapshotDense(*extractor->gcn_readout());
+    plan.spatial_ops_.push_back({ServingOpKind::kGcnReadout, 0});
+  }
+
+  if (plan.use_e_) {
+    const EComm* e_comm = extractor->e_comm();
+    GARL_CHECK(e_comm != nullptr);
+    for (int64_t l = 0; l < config.e_comm.layers; ++l) {
+      plan.phi_m_.push_back(SnapshotDense(e_comm->phi_m(l)));
+      plan.phi_h_.push_back(SnapshotDense(e_comm->phi_h(l)));
+      plan.phi_g_.push_back(SnapshotDense(e_comm->phi_g(l)));
+      plan.comm_ops_.push_back({ServingOpKind::kCommLayer, l});
+    }
+    plan.phi_u_ = SnapshotDense(e_comm->phi_u());
+    plan.comm_ops_.push_back({ServingOpKind::kCommReadout, 0});
+    // X[:2] W3 (Eq. 30a) is request-independent: fold it once.
+    const std::vector<float>& w3 = e_comm->w3().data();
+    if (w3.size() != 4) {
+      return InvalidArgumentError("serving: W3 must be [2, 2]");
+    }
+    plan.xy_w3_.assign(static_cast<size_t>(B * 2), 0.0f);
+    for (int64_t b = 0; b < B; ++b) {
+      for (int64_t k = 0; k < 2; ++k) {
+        float acc = 0.0f;
+        for (int64_t j = 0; j < 2; ++j) {
+          acc += plan.stop_xy_[static_cast<size_t>(b * 2 + j)] *
+                 w3[static_cast<size_t>(j * 2 + k)];
+        }
+        plan.xy_w3_[static_cast<size_t>(b * 2 + k)] = acc;
+      }
+    }
+  }
+
+  plan.trunk_ = SnapshotDense(policy.trunk());
+  plan.release_head_ = SnapshotDense(policy.release_head());
+  plan.target_head_ = SnapshotDense(policy.target_head());
+  plan.value_head_ = SnapshotDense(policy.value_head());
+  if (plan.trunk_.in != plan.e_hidden_ + 2 ||
+      plan.target_head_.out != B || plan.release_head_.out != 2 ||
+      plan.value_head_.out != 1) {
+    return FailedPreconditionError(
+        "serving: policy head shapes do not match the GARL layout");
+  }
+  return plan;
+}
+
+ServingWorkspace ServingPlan::MakeWorkspace() const {
+  ServingWorkspace ws;
+  const size_t B = static_cast<size_t>(num_stops_);
+  const size_t U = static_cast<size_t>(num_ugvs_);
+  const size_t max_dim =
+      static_cast<size_t>(std::max<int64_t>(3, std::max(mc_hidden_, e_hidden_)));
+  const size_t e = static_cast<size_t>(e_hidden_);
+  ws.h.assign(B * max_dim, 0.0f);
+  ws.h_next.assign(B * max_dim, 0.0f);
+  ws.hw.assign(B * max_dim, 0.0f);
+  ws.lh.assign(B * max_dim, 0.0f);
+  ws.structure.assign(B, 0.0f);
+  ws.scores.assign(B, 0.0f);
+  ws.scores_acc.assign(B, 0.0f);
+  ws.attn.assign(B, 0.0f);
+  ws.pooled.assign(3 * static_cast<size_t>(std::max(mc_hidden_, e_hidden_)),
+                   0.0f);
+  ws.spatial.assign(U * e, 0.0f);
+  ws.features.assign(U * e, 0.0f);
+  ws.comm_h.assign(U * e, 0.0f);
+  ws.comm_h_next.assign(U * e, 0.0f);
+  ws.sent.assign(U * e, 0.0f);
+  ws.g.assign(U * 2, 0.0f);
+  ws.g_next.assign(U * 2, 0.0f);
+  ws.m.assign(e, 0.0f);
+  ws.phi_h_in.assign(2 * e, 0.0f);
+  ws.peer_logits.assign(U, 0.0f);
+  ws.alpha.assign(U, 0.0f);
+  ws.r_hat.assign(U * 2, 0.0f);
+  ws.neighbors.resize(U);
+  for (auto& list : ws.neighbors) list.reserve(U);
+  ws.head_in.assign(e + 2, 0.0f);
+  ws.trunk.assign(static_cast<size_t>(policy_hidden_), 0.0f);
+  ws.data_est.assign(B, 0.0f);
+  ws.relevance.assign(B, 0.0f);
+  ws.release_logits.assign(U * 2, 0.0f);
+  ws.target_logits.assign(U * B, 0.0f);
+  ws.values.assign(U, 0.0f);
+  return ws;
+}
+
+void ServingPlan::RunSpatial(const env::UgvObservation& obs, int64_t slot,
+                             ServingWorkspace* ws) const {
+  const int64_t B = num_stops_;
+  const std::vector<float>& sf = obs.stop_features.data();
+  std::memcpy(ws->h.data(), sf.data(), sizeof(float) * static_cast<size_t>(B * 3));
+  const int64_t self_stop = obs.ugv_stops[static_cast<size_t>(obs.self)];
+  const int64_t obs_ugvs = static_cast<int64_t>(obs.ugv_stops.size());
+
+  for (const ServingOp& op : spatial_ops_) {
+    switch (op.kind) {
+      case ServingOpKind::kMcStructure: {
+        // S (Eq. 18): own relevance minus the mean of the other centers'.
+        const float* self_rel = &relevance_[static_cast<size_t>(self_stop * B)];
+        std::memcpy(ws->structure.data(), self_rel,
+                    sizeof(float) * static_cast<size_t>(B));
+        if (obs_ugvs > 1) {
+          float inv_others = 1.0f / static_cast<float>(obs_ugvs - 1);
+          for (int64_t other = 0; other < obs_ugvs; ++other) {
+            if (other == obs.self) continue;
+            const float* so = &relevance_[static_cast<size_t>(
+                obs.ugv_stops[static_cast<size_t>(other)] * B)];
+            for (int64_t b = 0; b < B; ++b) {
+              ws->structure[static_cast<size_t>(b)] -=
+                  inv_others * so[b];
+            }
+          }
+        }
+        break;
+      }
+      case ServingOpKind::kMcLayer: {
+        const int64_t d = (op.layer == 0) ? 3 : mc_hidden_;
+        const ServingDense& att = mc_attention_[static_cast<size_t>(op.layer)];
+        const ServingDense& w = mc_weights_[static_cast<size_t>(op.layer)];
+        // hw = H W1; attention scores F (Eq. 21a) via dot with center rows.
+        for (int64_t b = 0; b < B; ++b) {
+          DenseVec(att, ws->h.data() + b * d, ws->hw.data() + b * d);
+        }
+        const float* center = ws->h.data() + self_stop * d;
+        for (int64_t b = 0; b < B; ++b) {
+          ws->scores[static_cast<size_t>(b)] =
+              DotAscending(ws->hw.data() + b * d, center, d);
+        }
+        if (obs_ugvs > 1) {
+          // Multi-center reduction (Eq. 21b).
+          std::fill(ws->scores_acc.begin(), ws->scores_acc.end(), 0.0f);
+          int64_t others = 0;
+          for (int64_t other = 0; other < obs_ugvs; ++other) {
+            if (other == obs.self) continue;
+            ++others;
+            const float* other_center =
+                ws->h.data() +
+                obs.ugv_stops[static_cast<size_t>(other)] * d;
+            for (int64_t b = 0; b < B; ++b) {
+              ws->scores_acc[static_cast<size_t>(b)] +=
+                  DotAscending(ws->hw.data() + b * d, other_center, d);
+            }
+          }
+          float inv = 1.0f / static_cast<float>(others);
+          for (int64_t b = 0; b < B; ++b) {
+            ws->scores[static_cast<size_t>(b)] -=
+                ws->scores_acc[static_cast<size_t>(b)] * inv;
+          }
+        }
+        // C = B * softmax(S . N) (Eq. 21c).
+        for (int64_t b = 0; b < B; ++b) {
+          ws->attn[static_cast<size_t>(b)] =
+              ws->structure[static_cast<size_t>(b)] *
+              ws->scores[static_cast<size_t>(b)];
+        }
+        SoftmaxInPlace(ws->attn.data(), B);
+        const float scale = static_cast<float>(B);
+        for (int64_t b = 0; b < B; ++b) {
+          ws->attn[static_cast<size_t>(b)] *= scale;
+        }
+        // H' = tanh(C . (L H W2)) (Eq. 22).
+        for (int64_t i = 0; i < B; ++i) {
+          const float* lrow = &laplacian_[static_cast<size_t>(i * B)];
+          for (int64_t j = 0; j < d; ++j) {
+            float acc = 0.0f;
+            for (int64_t k = 0; k < B; ++k) {
+              acc += lrow[k] * ws->h[static_cast<size_t>(k * d + j)];
+            }
+            ws->lh[static_cast<size_t>(i * d + j)] = acc;
+          }
+        }
+        for (int64_t b = 0; b < B; ++b) {
+          DenseVec(w, ws->lh.data() + b * d,
+                   ws->h_next.data() + b * mc_hidden_);
+        }
+        for (int64_t b = 0; b < B; ++b) {
+          const float c = ws->attn[static_cast<size_t>(b)];
+          float* row = ws->h_next.data() + b * mc_hidden_;
+          for (int64_t j = 0; j < mc_hidden_; ++j) {
+            row[j] = std::tanh(row[j] * c);
+          }
+        }
+        std::swap(ws->h, ws->h_next);
+        break;
+      }
+      case ServingOpKind::kMcReadout: {
+        // Eq. 23: [mean-pool ; attention-pool ; self row] -> phi_H.
+        const float inv_b = 1.0f / static_cast<float>(B);
+        const int64_t hd = mc_hidden_;
+        for (int64_t j = 0; j < hd; ++j) {
+          float mean_acc = 0.0f;
+          float attn_acc = 0.0f;
+          for (int64_t b = 0; b < B; ++b) {
+            const float v = ws->h[static_cast<size_t>(b * hd + j)];
+            mean_acc += v;
+            attn_acc += v * ws->attn[static_cast<size_t>(b)];
+          }
+          ws->pooled[static_cast<size_t>(j)] = mean_acc * inv_b;
+          ws->pooled[static_cast<size_t>(hd + j)] = attn_acc * inv_b;
+        }
+        std::memcpy(ws->pooled.data() + 2 * hd,
+                    ws->h.data() + self_stop * hd,
+                    sizeof(float) * static_cast<size_t>(hd));
+        float* out = ws->spatial.data() + slot * e_hidden_;
+        DenseVec(mc_readout_, ws->pooled.data(), out);
+        TanhInPlace(out, e_hidden_);
+        break;
+      }
+      case ServingOpKind::kGcnLayer: {
+        const int64_t d = (op.layer == 0) ? 3 : mc_hidden_;
+        const ServingDense& w = gcn_weights_[static_cast<size_t>(op.layer)];
+        for (int64_t i = 0; i < B; ++i) {
+          const float* lrow = &laplacian_[static_cast<size_t>(i * B)];
+          for (int64_t j = 0; j < d; ++j) {
+            float acc = 0.0f;
+            for (int64_t k = 0; k < B; ++k) {
+              acc += lrow[k] * ws->h[static_cast<size_t>(k * d + j)];
+            }
+            ws->lh[static_cast<size_t>(i * d + j)] = acc;
+          }
+        }
+        for (int64_t b = 0; b < B; ++b) {
+          float* row = ws->h_next.data() + b * mc_hidden_;
+          DenseVec(w, ws->lh.data() + b * d, row);
+          TanhInPlace(row, mc_hidden_);
+        }
+        std::swap(ws->h, ws->h_next);
+        break;
+      }
+      case ServingOpKind::kGcnReadout: {
+        const float inv_b = 1.0f / static_cast<float>(B);
+        for (int64_t j = 0; j < mc_hidden_; ++j) {
+          float acc = 0.0f;
+          for (int64_t b = 0; b < B; ++b) {
+            acc += ws->h[static_cast<size_t>(b * mc_hidden_ + j)];
+          }
+          ws->pooled[static_cast<size_t>(j)] = acc * inv_b;
+        }
+        float* out = ws->spatial.data() + slot * e_hidden_;
+        DenseVec(gcn_readout_, ws->pooled.data(), out);
+        TanhInPlace(out, e_hidden_);
+        break;
+      }
+      default:
+        GARL_CHECK_MSG(false, "spatial section holds no comm/head ops");
+    }
+  }
+}
+
+void ServingPlan::RunComm(const std::vector<env::UgvObservation>& observations,
+                          ServingWorkspace* ws) const {
+  const int64_t U = static_cast<int64_t>(observations.size());
+  const int64_t e = e_hidden_;
+
+  for (int64_t u = 0; u < U; ++u) {
+    const env::UgvObservation& obs = observations[static_cast<size_t>(u)];
+    const std::vector<float>& pos = obs.ugv_positions.data();
+    ws->g[static_cast<size_t>(u * 2 + 0)] =
+        pos[static_cast<size_t>(obs.self * 2 + 0)];
+    ws->g[static_cast<size_t>(u * 2 + 1)] =
+        pos[static_cast<size_t>(obs.self * 2 + 1)];
+  }
+
+  // Neighborhoods by radius with nearest-peer fallback
+  // (EComm::BuildNeighborhoods; distances in double like the tensor path).
+  for (int64_t u = 0; u < U; ++u) {
+    auto& peers = ws->neighbors[static_cast<size_t>(u)];
+    peers.clear();
+    double best = 1e18;
+    int64_t nearest = -1;
+    for (int64_t o = 0; o < U; ++o) {
+      if (o == u) continue;
+      double dx = ws->g[static_cast<size_t>(u * 2)] -
+                  ws->g[static_cast<size_t>(o * 2)];
+      double dy = ws->g[static_cast<size_t>(u * 2 + 1)] -
+                  ws->g[static_cast<size_t>(o * 2 + 1)];
+      double dist = std::hypot(dx, dy);
+      if (dist <= neighbor_radius_norm_) peers.push_back(o);
+      if (dist < best) {
+        best = dist;
+        nearest = o;
+      }
+    }
+    if (peers.empty() && nearest >= 0) peers.push_back(nearest);
+  }
+  bool any_blocked = false;
+  for (const auto& obs : observations) {
+    any_blocked = any_blocked || !obs.comm_blocked.empty();
+  }
+  if (any_blocked) {
+    auto link_blocked = [&observations](size_t a, size_t b) {
+      return a < observations.size() &&
+             b < observations[a].comm_blocked.size() &&
+             observations[a].comm_blocked[b] != 0;
+    };
+    for (size_t u = 0; u < static_cast<size_t>(U); ++u) {
+      auto& peers = ws->neighbors[u];
+      peers.erase(std::remove_if(peers.begin(), peers.end(),
+                                 [&](int64_t o) {
+                                   size_t so = static_cast<size_t>(o);
+                                   return link_blocked(u, so) ||
+                                          link_blocked(so, u);
+                                 }),
+                  peers.end());
+    }
+  }
+
+  std::memcpy(ws->comm_h.data(), ws->spatial.data(),
+              sizeof(float) * static_cast<size_t>(U * e));
+
+  for (const ServingOp& op : comm_ops_) {
+    switch (op.kind) {
+      case ServingOpKind::kCommLayer: {
+        const ServingDense& phi_m = phi_m_[static_cast<size_t>(op.layer)];
+        const ServingDense& phi_h = phi_h_[static_cast<size_t>(op.layer)];
+        const ServingDense& phi_g = phi_g_[static_cast<size_t>(op.layer)];
+        // Messages depend on the sender only (Eq. 27a).
+        for (int64_t u = 0; u < U; ++u) {
+          float* out = ws->sent.data() + u * e;
+          DenseVec(phi_m, ws->comm_h.data() + u * e, out);
+          TanhInPlace(out, e);
+        }
+        for (int64_t u = 0; u < U; ++u) {
+          const auto& peers = ws->neighbors[static_cast<size_t>(u)];
+          float* next_h = ws->comm_h_next.data() + u * e;
+          if (peers.empty()) {
+            // Isolated UGV: zero message, geometry unchanged.
+            std::memcpy(ws->phi_h_in.data(), ws->comm_h.data() + u * e,
+                        sizeof(float) * static_cast<size_t>(e));
+            std::fill(ws->phi_h_in.begin() + e, ws->phi_h_in.end(), 0.0f);
+            DenseVec(phi_h, ws->phi_h_in.data(), next_h);
+            TanhInPlace(next_h, e);
+            ws->g_next[static_cast<size_t>(u * 2)] =
+                ws->g[static_cast<size_t>(u * 2)];
+            ws->g_next[static_cast<size_t>(u * 2 + 1)] =
+                ws->g[static_cast<size_t>(u * 2 + 1)];
+            continue;
+          }
+          // Relative geometry (Eq. 25) + importance weights (Eq. 26).
+          const int64_t num_peers = static_cast<int64_t>(peers.size());
+          for (int64_t i = 0; i < num_peers; ++i) {
+            const int64_t peer = peers[static_cast<size_t>(i)];
+            const float dx = ws->g[static_cast<size_t>(u * 2)] -
+                             ws->g[static_cast<size_t>(peer * 2)];
+            const float dy = ws->g[static_cast<size_t>(u * 2 + 1)] -
+                             ws->g[static_cast<size_t>(peer * 2 + 1)];
+            const float norm =
+                std::max<float>(std::hypot(dx, dy), min_distance_);
+            const float inv = 1.0f / norm;
+            ws->peer_logits[static_cast<size_t>(i)] = inv;
+            ws->r_hat[static_cast<size_t>(i * 2)] = dx * inv;
+            ws->r_hat[static_cast<size_t>(i * 2 + 1)] = dy * inv;
+          }
+          float max_logit = ws->peer_logits[0];
+          for (int64_t i = 1; i < num_peers; ++i) {
+            max_logit =
+                std::max(max_logit, ws->peer_logits[static_cast<size_t>(i)]);
+          }
+          float total = 0.0f;
+          for (int64_t i = 0; i < num_peers; ++i) {
+            ws->alpha[static_cast<size_t>(i)] =
+                std::exp(ws->peer_logits[static_cast<size_t>(i)] - max_logit);
+            total += ws->alpha[static_cast<size_t>(i)];
+          }
+          for (int64_t i = 0; i < num_peers; ++i) {
+            ws->alpha[static_cast<size_t>(i)] /= total;
+          }
+          // Aggregate messages (Eq. 27b) + radial update (Eq. 28-29).
+          std::fill(ws->m.begin(), ws->m.end(), 0.0f);
+          float g_tilde_x = 0.0f;
+          float g_tilde_y = 0.0f;
+          for (int64_t i = 0; i < num_peers; ++i) {
+            const float a = ws->alpha[static_cast<size_t>(i)];
+            const float* msg =
+                ws->sent.data() + peers[static_cast<size_t>(i)] * e;
+            for (int64_t j = 0; j < e; ++j) {
+              ws->m[static_cast<size_t>(j)] += msg[j] * a;
+            }
+            float scale = 0.0f;
+            DenseVec(phi_g, msg, &scale);
+            g_tilde_x += (scale * ws->r_hat[static_cast<size_t>(i * 2)]) * a;
+            g_tilde_y +=
+                (scale * ws->r_hat[static_cast<size_t>(i * 2 + 1)]) * a;
+          }
+          std::memcpy(ws->phi_h_in.data(), ws->comm_h.data() + u * e,
+                      sizeof(float) * static_cast<size_t>(e));
+          std::memcpy(ws->phi_h_in.data() + e, ws->m.data(),
+                      sizeof(float) * static_cast<size_t>(e));
+          DenseVec(phi_h, ws->phi_h_in.data(), next_h);
+          TanhInPlace(next_h, e);
+          const float g_norm = std::hypot(g_tilde_x, g_tilde_y);
+          if (g_norm > g_clip_) {
+            const float factor = g_clip_ / g_norm;
+            g_tilde_x *= factor;
+            g_tilde_y *= factor;
+          }
+          ws->g_next[static_cast<size_t>(u * 2)] =
+              ws->g[static_cast<size_t>(u * 2)] + g_tilde_x;
+          ws->g_next[static_cast<size_t>(u * 2 + 1)] =
+              ws->g[static_cast<size_t>(u * 2 + 1)] + g_tilde_y;
+        }
+        std::swap(ws->comm_h, ws->comm_h_next);
+        std::swap(ws->g, ws->g_next);
+        break;
+      }
+      case ServingOpKind::kCommReadout: {
+        // Eq. 30: z = (X W3) g, pooled to [mean, norm], then phi_u.
+        const int64_t B = num_stops_;
+        const float inv_b = 1.0f / static_cast<float>(B);
+        for (int64_t u = 0; u < U; ++u) {
+          const float gx = ws->g[static_cast<size_t>(u * 2)];
+          const float gy = ws->g[static_cast<size_t>(u * 2 + 1)];
+          float z_sum = 0.0f;
+          float z_sq = 0.0f;
+          for (int64_t b = 0; b < B; ++b) {
+            const float z = xy_w3_[static_cast<size_t>(b * 2)] * gx +
+                            xy_w3_[static_cast<size_t>(b * 2 + 1)] * gy;
+            z_sum += z;
+            z_sq += z * z;
+          }
+          std::memcpy(ws->head_in.data(), ws->comm_h.data() + u * e,
+                      sizeof(float) * static_cast<size_t>(e));
+          ws->head_in[static_cast<size_t>(e)] = z_sum * inv_b;
+          ws->head_in[static_cast<size_t>(e + 1)] =
+              std::sqrt(z_sq + 1e-8f);  // nn::Norm's epsilon
+          float* out = ws->features.data() + u * e;
+          DenseVec(phi_u_, ws->head_in.data(), out);
+          TanhInPlace(out, e);
+        }
+        break;
+      }
+      default:
+        GARL_CHECK_MSG(false, "comm section holds no spatial/head ops");
+    }
+  }
+}
+
+void ServingPlan::RunHeads(const env::UgvObservation& obs, int64_t slot,
+                           ServingWorkspace* ws) const {
+  const int64_t B = num_stops_;
+  const int64_t e = e_hidden_;
+  const std::vector<float>& pos = obs.ugv_positions.data();
+  std::memcpy(ws->head_in.data(), ws->features.data() + slot * e,
+              sizeof(float) * static_cast<size_t>(e));
+  const float self_x = pos[static_cast<size_t>(obs.self * 2)];
+  const float self_y = pos[static_cast<size_t>(obs.self * 2 + 1)];
+  ws->head_in[static_cast<size_t>(e)] = self_x;
+  ws->head_in[static_cast<size_t>(e + 1)] = self_y;
+
+  DenseVec(trunk_, ws->head_in.data(), ws->trunk.data());
+  TanhInPlace(ws->trunk.data(), policy_hidden_);
+  float* release = ws->release_logits.data() + slot * 2;
+  float* target = ws->target_logits.data() + slot * B;
+  DenseVec(release_head_, ws->trunk.data(), release);
+  DenseVec(target_head_, ws->trunk.data(), target);
+
+  if (obs.self < num_ugvs_) {
+    const float* dir = &direction_prior_[static_cast<size_t>(obs.self * B)];
+    for (int64_t b = 0; b < B; ++b) target[b] += dir[b];
+  }
+
+  // GarlExtractor::Priors, folded straight into the logits.
+  const std::vector<float>& sf = obs.stop_features.data();
+  for (int64_t b = 0; b < B; ++b) {
+    const float observed = sf[static_cast<size_t>(b * 3 + 2)];
+    ws->data_est[static_cast<size_t>(b)] =
+        observed < 0.0f ? 0.4f : std::max(observed, 0.0f);
+  }
+  const int64_t obs_ugvs = static_cast<int64_t>(obs.ugv_stops.size());
+  const int64_t self_stop = obs.ugv_stops[static_cast<size_t>(obs.self)];
+  std::memcpy(ws->relevance.data(),
+              &relevance_[static_cast<size_t>(self_stop * B)],
+              sizeof(float) * static_cast<size_t>(B));
+  if (use_mc_ && obs_ugvs > 1) {
+    const float inv_others =
+        mc_separation_ / static_cast<float>(obs_ugvs - 1);
+    for (int64_t other = 0; other < obs_ugvs; ++other) {
+      if (other == obs.self) continue;
+      const float* so = &relevance_[static_cast<size_t>(
+          obs.ugv_stops[static_cast<size_t>(other)] * B)];
+      for (int64_t b = 0; b < B; ++b) {
+        ws->relevance[static_cast<size_t>(b)] -= inv_others * so[b];
+      }
+    }
+  }
+  // target_prior = relevance . data_est, reusing the relevance buffer.
+  for (int64_t b = 0; b < B; ++b) {
+    ws->relevance[static_cast<size_t>(b)] *=
+        ws->data_est[static_cast<size_t>(b)];
+  }
+  if (use_e_ && obs.ugv_positions_raw.size() > 1) {
+    // Radial dispersal prior (Eq. 28-29), double math like the tensor path.
+    const env::Vec2& self_pos =
+        obs.ugv_positions_raw[static_cast<size_t>(obs.self)];
+    env::Vec2 resultant{0.0, 0.0};
+    for (size_t other = 0; other < obs.ugv_positions_raw.size(); ++other) {
+      if (static_cast<int64_t>(other) == obs.self) continue;
+      env::Vec2 away = self_pos - obs.ugv_positions_raw[other];
+      double norm = std::max(away.Norm(), 1.0);
+      resultant = resultant + away * (1.0 / norm);
+    }
+    double res_norm = resultant.Norm();
+    if (res_norm > 1e-6) {
+      resultant = resultant * (1.0 / res_norm);
+      for (int64_t b = 0; b < B; ++b) {
+        const float dx = stop_xy_[static_cast<size_t>(b * 2)] - self_x;
+        const float dy = stop_xy_[static_cast<size_t>(b * 2 + 1)] - self_y;
+        const float norm = std::hypot(dx, dy);
+        if (norm < 1e-6f) continue;
+        const float alignment = (dx * static_cast<float>(resultant.x) +
+                                 dy * static_cast<float>(resultant.y)) /
+                                norm;
+        ws->relevance[static_cast<size_t>(b)] +=
+            e_radial_ * alignment * ws->data_est[static_cast<size_t>(b)];
+      }
+    }
+  }
+  for (int64_t b = 0; b < B; ++b) {
+    target[b] += ws->relevance[static_cast<size_t>(b)] * prior_scale_;
+  }
+
+  if (use_mc_) {
+    // Multi-center release bias: peers within one hop mean competition.
+    float crowding = 0.0f;
+    const auto& hop_row = hops_[static_cast<size_t>(self_stop)];
+    for (int64_t other = 0; other < obs_ugvs; ++other) {
+      if (other == obs.self) continue;
+      const int64_t hops =
+          hop_row[static_cast<size_t>(obs.ugv_stops[static_cast<size_t>(other)])];
+      if (hops >= 0 && hops <= 1) crowding += 1.0f;
+    }
+    release[1] += -1.5f * crowding;
+  }
+  if (release_prior_scale_ > 0.0f) {
+    const float here = std::max(
+        0.0f, sf[static_cast<size_t>(obs.current_stop * 3 + 2)]);
+    float best = 1e-6f;
+    for (int64_t b = 0; b < B; ++b) {
+      best = std::max(best, sf[static_cast<size_t>(b * 3 + 2)]);
+    }
+    release[1] += release_prior_scale_ * (3.0f * (here / best) - 1.0f);
+  }
+
+  float value = 0.0f;
+  DenseVec(value_head_, ws->trunk.data(), &value);
+  ws->values[static_cast<size_t>(slot)] = value;
+}
+
+Status ServingPlan::Execute(
+    const std::vector<env::UgvObservation>& observations,
+    ServingWorkspace* workspace, std::vector<env::UgvAction>* actions) const {
+  GARL_CHECK(workspace != nullptr);
+  GARL_CHECK(actions != nullptr);
+  const int64_t U = static_cast<int64_t>(observations.size());
+  if (U == 0) return InvalidArgumentError("serving: empty request");
+  if (U > num_ugvs_) {
+    return InvalidArgumentError(
+        "serving: request has more UGVs than the plan was compiled for");
+  }
+  for (const env::UgvObservation& obs : observations) {
+    GARL_RETURN_IF_ERROR(ValidateObservation(obs, num_stops_));
+  }
+
+  for (int64_t u = 0; u < U; ++u) {
+    RunSpatial(observations[static_cast<size_t>(u)], u, workspace);
+  }
+  if (use_e_ && U > 1) {
+    RunComm(observations, workspace);
+  } else {
+    std::memcpy(workspace->features.data(), workspace->spatial.data(),
+                sizeof(float) * static_cast<size_t>(U * e_hidden_));
+  }
+  if (static_cast<int64_t>(actions->size()) != U) actions->resize(
+      static_cast<size_t>(U));
+  for (int64_t u = 0; u < U; ++u) {
+    RunHeads(observations[static_cast<size_t>(u)], u, workspace);
+    // Greedy decode, first-max like Categorical::Mode().
+    const float* release = workspace->release_logits.data() + u * 2;
+    env::UgvAction& action = (*actions)[static_cast<size_t>(u)];
+    action.release = release[1] > release[0];
+    action.target_stop = -1;
+    if (!action.release) {
+      action.target_stop = FirstMaxIndex(
+          workspace->target_logits.data() + u * num_stops_, num_stops_);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace garl::core

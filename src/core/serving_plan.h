@@ -1,0 +1,183 @@
+#ifndef GARL_CORE_SERVING_PLAN_H_
+#define GARL_CORE_SERVING_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "env/types.h"
+#include "rl/feature_policy.h"
+#include "rl/policy.h"
+
+// Serving-time execution plan for a trained GARL UGV policy.
+//
+// Training forwards build an autograd graph, borrow arena buffers and walk
+// the module tree (MC-GCN -> E-Comm -> trunk/heads) through virtual calls on
+// every request. For serving none of that is needed: the module tree is
+// static per model, so Compile() flattens it ONCE into a replayable op
+// sequence plus plain float snapshots of every weight, and Execute() replays
+// that sequence with scalar kernels over a caller-owned, pre-sized
+// workspace. The replay
+//   - allocates nothing in steady state (no tensors, no autograd nodes, no
+//     arena traffic),
+//   - is const and touches only the workspace, so any number of threads may
+//     execute concurrently with per-thread workspaces, and
+//   - processes each request independently and sequentially, which makes
+//     results bit-identical regardless of batch packing, arrival order and
+//     GARL_NUM_THREADS (the packing-invariance gate of serving_test).
+//
+// The scalar kernels mirror the training forward's accumulation orders, so
+// greedy actions agree with FeatureUgvPolicy::Forward + Categorical::Mode
+// (verified by serving_test's plan-vs-forward consistency check); bit-level
+// identity is only promised between Execute() calls, not across the
+// tensor/plan boundary.
+
+namespace garl::core {
+
+// Snapshot of one nn::Linear: row-major [out, in] weight + optional bias.
+struct ServingDense {
+  int64_t in = 0;
+  int64_t out = 0;
+  std::vector<float> w;
+  std::vector<float> b;  // empty when the layer has no bias
+};
+
+// One step of the flattened forward. `layer` indexes the per-layer weight
+// snapshots for the layered kinds and is 0 otherwise.
+enum class ServingOpKind {
+  kMcStructure,  // multi-center structure features S (Eq. 18)
+  kMcLayer,      // attention-weighted graph convolution (Eq. 21-22)
+  kMcReadout,    // mean/attention pooling + phi_H (Eq. 23)
+  kGcnLayer,     // plain GCN layer (use_mc=false fallback)
+  kGcnReadout,   // mean pooling + readout (use_mc=false fallback)
+  kCommLayer,    // one E-Comm message-passing layer (Eq. 25-29)
+  kCommReadout,  // E-Comm readout phi_u (Eq. 30)
+  kHeads,        // trunk, priors, release/target/value heads
+};
+
+struct ServingOp {
+  ServingOpKind kind;
+  int64_t layer = 0;
+};
+
+// All scratch needed by one in-flight request. Every buffer is sized by
+// ServingPlan::MakeWorkspace(); Execute() never grows any of them, so a
+// reused workspace serves an unbounded request stream without allocating.
+struct ServingWorkspace {
+  // Stop-graph scratch ([B * max feature width], per agent).
+  std::vector<float> h;
+  std::vector<float> h_next;
+  std::vector<float> hw;
+  std::vector<float> lh;
+  std::vector<float> structure;   // [B]
+  std::vector<float> scores;      // [B]
+  std::vector<float> scores_acc;  // [B]
+  std::vector<float> attn;        // [B]
+  std::vector<float> pooled;      // [3 * mc_hidden]
+  // Communication scratch (sized for the plan's UGV count).
+  std::vector<float> spatial;    // [U * e_hidden]
+  std::vector<float> features;   // [U * e_hidden]
+  std::vector<float> comm_h;     // [U * e_hidden]
+  std::vector<float> comm_h_next;
+  std::vector<float> sent;       // [U * e_hidden]
+  std::vector<float> g;          // [U * 2]
+  std::vector<float> g_next;     // [U * 2]
+  std::vector<float> m;          // [e_hidden]
+  std::vector<float> phi_h_in;   // [2 * e_hidden]
+  std::vector<float> peer_logits;  // [U]
+  std::vector<float> alpha;        // [U]
+  std::vector<float> r_hat;        // [U * 2]
+  std::vector<std::vector<int64_t>> neighbors;  // U lists, capacity U each
+  // Head scratch.
+  std::vector<float> head_in;       // [e_hidden + 2]
+  std::vector<float> trunk;         // [policy hidden]
+  std::vector<float> data_est;      // [B]
+  std::vector<float> relevance;     // [B]
+  // Per-agent outputs of the most recent Execute(); serving_test reads
+  // these for the plan-vs-forward consistency check.
+  std::vector<float> release_logits;  // [U * 2]
+  std::vector<float> target_logits;   // [U * B]
+  std::vector<float> values;          // [U]
+};
+
+class ServingPlan {
+ public:
+  // Flattens `policy` (which must wrap a GarlExtractor; other extractors
+  // get kFailedPrecondition) into a replayable plan. The plan snapshots all
+  // weights by value: later training steps on `policy` do not affect it.
+  static StatusOr<ServingPlan> Compile(const rl::FeatureUgvPolicy& policy,
+                                       const rl::EnvContext& context);
+
+  // A workspace pre-sized for this plan. One per concurrent caller.
+  ServingWorkspace MakeWorkspace() const;
+
+  // Replays the plan for one request (the joint observation of one env
+  // step). Greedy per-UGV actions land in `actions` (resized to U once);
+  // logits and values stay readable in the workspace. InvalidArgument on
+  // shape mismatches; never aborts on malformed requests.
+  [[nodiscard]] Status Execute(
+      const std::vector<env::UgvObservation>& observations,
+      ServingWorkspace* workspace, std::vector<env::UgvAction>* actions) const;
+
+  // Flattened program, for introspection/tests: the per-agent spatial
+  // section, the joint communication section and the per-agent head op.
+  const std::vector<ServingOp>& spatial_ops() const { return spatial_ops_; }
+  const std::vector<ServingOp>& comm_ops() const { return comm_ops_; }
+  int64_t num_stops() const { return num_stops_; }
+  int64_t num_ugvs() const { return num_ugvs_; }
+
+ private:
+  ServingPlan() = default;
+
+  void RunSpatial(const env::UgvObservation& obs, int64_t slot,
+                  ServingWorkspace* ws) const;
+  void RunComm(const std::vector<env::UgvObservation>& observations,
+               ServingWorkspace* ws) const;
+  void RunHeads(const env::UgvObservation& obs, int64_t slot,
+                ServingWorkspace* ws) const;
+
+  // Dimensions and switches.
+  int64_t num_stops_ = 0;  // B
+  int64_t num_ugvs_ = 0;   // U the model was built for
+  bool use_mc_ = true;
+  bool use_e_ = true;
+  int64_t mc_hidden_ = 0;
+  int64_t e_hidden_ = 0;
+  int64_t policy_hidden_ = 0;
+  // Config scalars (GarlConfig / FeaturePolicyOptions snapshot).
+  float mc_separation_ = 0.0f;
+  float e_radial_ = 0.0f;
+  float g_clip_ = 0.0f;
+  float min_distance_ = 0.0f;
+  float prior_scale_ = 0.0f;
+  float release_prior_scale_ = 0.0f;
+  double neighbor_radius_norm_ = 0.0;
+  // Precomputed tables.
+  std::vector<float> laplacian_;      // [B * B]
+  std::vector<float> stop_xy_;        // [B * 2]
+  std::vector<float> relevance_;      // [B * B]: HopRelevance for every stop
+  std::vector<float> xy_w3_;          // [B * 2] = stop_xy * W3 (Eq. 30a)
+  std::vector<float> direction_prior_;  // [U * B]
+  std::vector<std::vector<int64_t>> hops_;  // [B][B], -1 unreachable
+  // Weight snapshots.
+  std::vector<ServingDense> mc_attention_;  // per layer (use_mc)
+  std::vector<ServingDense> mc_weights_;
+  ServingDense mc_readout_;
+  std::vector<ServingDense> gcn_weights_;   // per layer (use_mc=false)
+  ServingDense gcn_readout_;
+  std::vector<ServingDense> phi_m_;         // per layer (use_e)
+  std::vector<ServingDense> phi_h_;
+  std::vector<ServingDense> phi_g_;
+  ServingDense phi_u_;
+  ServingDense trunk_;
+  ServingDense release_head_;
+  ServingDense target_head_;
+  ServingDense value_head_;
+  // Flattened program.
+  std::vector<ServingOp> spatial_ops_;
+  std::vector<ServingOp> comm_ops_;
+};
+
+}  // namespace garl::core
+
+#endif  // GARL_CORE_SERVING_PLAN_H_

@@ -1,0 +1,21 @@
+#include "nn/inference.h"
+
+#include <utility>
+
+#include "nn/arena.h"
+
+namespace garl::nn {
+
+void StripForInference(std::vector<Tensor>& parameters) {
+  for (Tensor& p : parameters) {
+    if (!p.defined()) continue;
+    internal::TensorImpl& impl = *p.impl();
+    impl.requires_grad = false;
+    if (!impl.grad.empty()) arena::Release(std::move(impl.grad));
+    impl.grad.clear();
+    impl.parents.clear();
+    impl.backward_fn = nullptr;
+  }
+}
+
+}  // namespace garl::nn

@@ -1,0 +1,19 @@
+#ifndef GARL_NN_INFERENCE_H_
+#define GARL_NN_INFERENCE_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace garl::nn {
+
+// Strips training-only state from `parameters` in place: clears
+// requires_grad (so later forwards build no autograd nodes over them),
+// returns gradient buffers to the arena and drops any stale graph edges.
+// Serving loads call this right after LoadParameters so a policy server
+// never holds grad memory; see rl::LoadPolicyForInference.
+void StripForInference(std::vector<Tensor>& parameters);
+
+}  // namespace garl::nn
+
+#endif  // GARL_NN_INFERENCE_H_

@@ -23,6 +23,9 @@ class Linear : public Module {
   int64_t out_features() const { return out_features_; }
   Tensor& weight() { return weight_; }
   Tensor& bias() { return bias_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+  bool has_bias() const { return bias_.defined(); }
 
  private:
   int64_t in_features_;

@@ -152,6 +152,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     stats.p50 = histogram->P50();
     stats.p95 = histogram->P95();
     stats.p99 = histogram->P99();
+    stats.p999 = histogram->P999();
     snapshot.histograms.push_back(std::move(stats));
   }
   return snapshot;

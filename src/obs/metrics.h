@@ -74,6 +74,7 @@ class Histogram {
   double P50() const { return Quantile(0.50); }
   double P95() const { return Quantile(0.95); }
   double P99() const { return Quantile(0.99); }
+  double P999() const { return Quantile(0.999); }
 
   const std::vector<double>& bucket_bounds() const { return bounds_; }
   // Per-bucket counts; the last entry is the overflow bucket.
@@ -102,6 +103,7 @@ struct MetricsSnapshot {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
   };
   std::vector<std::pair<std::string, int64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;

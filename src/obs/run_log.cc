@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <system_error>
 #include <utility>
@@ -327,6 +328,7 @@ constexpr FieldSpec kRtSchema[] = {
     {"pool", FieldType::kObject},
     {"arena", FieldType::kObject},
     {"spans", FieldType::kArray},
+    {"hist", FieldType::kArray},
 };
 
 constexpr FieldSpec kPoolSchema[] = {
@@ -347,6 +349,15 @@ constexpr FieldSpec kSpanSchema[] = {
     {"name", FieldType::kInt},  // type checked specially (string)
     {"count", FieldType::kInt},
     {"total_ns", FieldType::kInt},
+};
+
+constexpr FieldSpec kHistSchema[] = {
+    {"name", FieldType::kString},
+    {"count", FieldType::kInt},
+    {"p50", FieldType::kDouble},
+    {"p95", FieldType::kDouble},
+    {"p99", FieldType::kDouble},
+    {"p999", FieldType::kDouble},
 };
 
 // Optional trailing members carried only by fault-injection runs: `det`
@@ -535,7 +546,7 @@ Status DecodeRecord(const JsonValue& root, IterationRecord* record) {
   if (det_has_faults) {
     GARL_RETURN_IF_ERROR(ParseFaultDigest(det.members[17].second.string_value,
                                           &record->fault_digest));
-    const JsonValue& faults = rt.members[6].second;
+    const JsonValue& faults = rt.members[7].second;
     GARL_RETURN_IF_ERROR(CheckObjectSchema(faults, kFaultsSchema,
                                            "rt.faults"));
     record->fault_uav_dropouts = AsInt(faults.members[0].second);
@@ -588,6 +599,39 @@ Status DecodeRecord(const JsonValue& root, IterationRecord* record) {
     timing.count = AsInt(span.members[1].second);
     timing.total_ns = AsInt(span.members[2].second);
     record->spans.push_back(std::move(timing));
+  }
+
+  const JsonValue& hists = rt.members[6].second;
+  record->hists.clear();
+  for (size_t i = 0; i < hists.elements.size(); ++i) {
+    const JsonValue& hist = hists.elements[i];
+    if (hist.type != JsonValue::Type::kObject ||
+        hist.members.size() != std::size(kHistSchema)) {
+      return InvalidArgumentError(StrPrintf(
+          "rt.hist[%lld] is not a {name,count,p50,p95,p99,p999} object",
+          static_cast<long long>(i)));
+    }
+    for (size_t f = 0; f < std::size(kHistSchema); ++f) {
+      if (hist.members[f].first != kHistSchema[f].name) {
+        return InvalidArgumentError(StrPrintf(
+            "rt.hist[%lld] field %lld is '%s', schema requires '%s'",
+            static_cast<long long>(i), static_cast<long long>(f),
+            hist.members[f].first.c_str(), kHistSchema[f].name));
+      }
+      if (!TypeMatches(hist.members[f].second, kHistSchema[f].type)) {
+        return InvalidArgumentError(
+            StrPrintf("rt.hist[%lld].%s has the wrong JSON type",
+                      static_cast<long long>(i), kHistSchema[f].name));
+      }
+    }
+    HistogramTiming timing;
+    timing.name = hist.members[0].second.string_value;
+    timing.count = AsInt(hist.members[1].second);
+    timing.p50 = AsDouble(hist.members[2].second);
+    timing.p95 = AsDouble(hist.members[3].second);
+    timing.p99 = AsDouble(hist.members[4].second);
+    timing.p999 = AsDouble(hist.members[5].second);
+    record->hists.push_back(std::move(timing));
   }
   return Status::Ok();
 }
@@ -788,6 +832,23 @@ std::string FormatIterationRecord(const IterationRecord& record) {
     AppendInt(&out, record.spans[i].count);
     out += ",\"total_ns\":";
     AppendInt(&out, record.spans[i].total_ns);
+    out += '}';
+  }
+  out += "],\"hist\":[";
+  for (size_t i = 0; i < record.hists.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"name\":";
+    AppendJsonString(&out, record.hists[i].name);
+    out += ",\"count\":";
+    AppendInt(&out, record.hists[i].count);
+    out += ",\"p50\":";
+    AppendDouble(&out, record.hists[i].p50);
+    out += ",\"p95\":";
+    AppendDouble(&out, record.hists[i].p95);
+    out += ",\"p99\":";
+    AppendDouble(&out, record.hists[i].p99);
+    out += ",\"p999\":";
+    AppendDouble(&out, record.hists[i].p999);
     out += '}';
   }
   out += ']';

@@ -41,6 +41,18 @@ struct SpanTiming {
   int64_t total_ns = 0;
 };
 
+// One latency histogram's quantile summary inside a record's `rt` section.
+// Values come from obs::Histogram snapshots (bucket-resolution quantiles);
+// like span timings they are runtime-only and never golden-compared.
+struct HistogramTiming {
+  std::string name;
+  int64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
 // One training iteration. Field groups mirror the det/rt split above.
 struct IterationRecord {
   // --- deterministic payload (`det`) ---
@@ -93,6 +105,8 @@ struct IterationRecord {
   int64_t arena_cached_bytes = 0;     // bytes parked in free lists now
   int64_t arena_high_water_bytes = 0;  // max cached_bytes observed
   std::vector<SpanTiming> spans;   // this iteration's spans, sorted by name
+  // Registered latency histograms (serving SLO quantiles), sorted by name.
+  std::vector<HistogramTiming> hists;
 };
 
 // Renders one record as a single JSONL line (no trailing newline). Field

@@ -84,6 +84,17 @@ class FeatureUgvPolicy : public UgvPolicyNetwork {
   }
 
   UgvFeatureExtractor& extractor() { return *extractor_; }
+  const UgvFeatureExtractor& extractor() const { return *extractor_; }
+
+  // Read-only head access for the serving-plan compiler (core/serving_plan).
+  const FeaturePolicyOptions& options() const { return options_; }
+  const nn::Linear& trunk() const { return *trunk_; }
+  const nn::Linear& release_head() const { return *release_head_; }
+  const nn::Linear& target_head() const { return *target_head_; }
+  const nn::Linear& value_head() const { return *value_head_; }
+  const nn::Tensor& direction_prior(int64_t agent) const {
+    return direction_prior_[static_cast<size_t>(agent)];
+  }
 
  private:
   std::unique_ptr<UgvFeatureExtractor> extractor_;

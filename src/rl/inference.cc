@@ -1,0 +1,25 @@
+#include "rl/inference.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "nn/inference.h"
+#include "nn/serialization.h"
+#include "rl/checkpoint.h"
+
+namespace garl::rl {
+
+StatusOr<int64_t> LoadPolicyForInference(const std::string& checkpoint_dir,
+                                         UgvPolicyNetwork* policy) {
+  GARL_CHECK(policy != nullptr);
+  StatusOr<CheckpointInfo> latest = LatestCheckpoint(checkpoint_dir);
+  if (!latest.ok()) return latest.status();
+  const std::string params_path =
+      checkpoint_dir + "/" + latest.value().name + "/" + kUgvParamsFile;
+  std::vector<nn::Tensor> params = policy->Parameters();
+  GARL_RETURN_IF_ERROR(nn::LoadParameters(params_path, params));
+  nn::StripForInference(params);
+  return latest.value().episode;
+}
+
+}  // namespace garl::rl

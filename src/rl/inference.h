@@ -1,0 +1,25 @@
+#ifndef GARL_RL_INFERENCE_H_
+#define GARL_RL_INFERENCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "rl/policy.h"
+
+namespace garl::rl {
+
+// Serving-oriented checkpoint load: resolves the newest manifest entry in
+// `checkpoint_dir`, reads ONLY the UGV parameter file (the Adam moment
+// files are never opened, so no optimizer tensors are ever allocated),
+// CRC-validates it, then strips gradient/autograd state from the policy
+// (nn::StripForInference). Returns the checkpoint's episode counter.
+//
+// Failure modes are all clean Status returns, never aborts: NotFound for a
+// missing/empty manifest, FailedPrecondition/InvalidArgument-class errors
+// for truncated or CRC-corrupt parameter files.
+[[nodiscard]] StatusOr<int64_t> LoadPolicyForInference(
+    const std::string& checkpoint_dir, UgvPolicyNetwork* policy);
+
+}  // namespace garl::rl
+
+#endif  // GARL_RL_INFERENCE_H_

@@ -753,6 +753,22 @@ obs::IterationRecord IppoTrainer::MakeIterationRecord(
   std::vector<obs::SpanStats> now = obs::TraceCollector::Global().Snapshot();
   record.spans = SpanDelta(*span_baseline, now);
   *span_baseline = std::move(now);
+  // Registered latency histograms (empty for plain training runs; the
+  // serving path registers request-latency histograms here). Snapshot order
+  // is name-sorted, matching the spans convention.
+  obs::MetricsSnapshot metrics_snapshot = metrics.Snapshot();
+  record.hists.reserve(metrics_snapshot.histograms.size());
+  for (const obs::MetricsSnapshot::HistogramStats& h :
+       metrics_snapshot.histograms) {
+    obs::HistogramTiming timing;
+    timing.name = h.name;
+    timing.count = h.count;
+    timing.p50 = h.p50;
+    timing.p95 = h.p95;
+    timing.p99 = h.p99;
+    timing.p999 = h.p999;
+    record.hists.push_back(std::move(timing));
+  }
   return record;
 }
 

@@ -1,0 +1,146 @@
+#include "serve/policy_server.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "obs/clock.h"
+
+namespace garl::serve {
+
+PolicyServer::PolicyServer(const core::ServingPlan* plan,
+                           PolicyServerOptions options)
+    : plan_(plan), options_(std::move(options)) {
+  GARL_CHECK(plan_ != nullptr);
+  GARL_CHECK_GE(options_.max_batch, 1);
+  obs::MetricsRegistry& registry = options_.metrics != nullptr
+                                       ? *options_.metrics
+                                       : obs::MetricsRegistry::Global();
+  latency_us_ =
+      &registry.GetHistogram("serve/latency_us", options_.latency_bounds_us);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+PolicyServer::~PolicyServer() { Shutdown(); }
+
+std::unique_ptr<core::ServingWorkspace> PolicyServer::AcquireWorkspace() {
+  {
+    std::lock_guard<std::mutex> lock(workspace_mutex_);
+    if (!workspace_pool_.empty()) {
+      std::unique_ptr<core::ServingWorkspace> ws =
+          std::move(workspace_pool_.back());
+      workspace_pool_.pop_back();
+      return ws;
+    }
+  }
+  // Cold path: at most one workspace per concurrently active chunk is ever
+  // created; after warm-up every request runs allocation-free.
+  return std::make_unique<core::ServingWorkspace>(plan_->MakeWorkspace());
+}
+
+void PolicyServer::ReleaseWorkspace(
+    std::unique_ptr<core::ServingWorkspace> ws) {
+  std::lock_guard<std::mutex> lock(workspace_mutex_);
+  workspace_pool_.push_back(std::move(ws));
+}
+
+void PolicyServer::ServeSpan(
+    const std::vector<const std::vector<env::UgvObservation>*>& requests,
+    std::vector<ServeResult>* results) {
+  const int64_t n = static_cast<int64_t>(requests.size());
+  results->resize(static_cast<size_t>(n));
+  ThreadPool::Global().ParallelFor(
+      0, n, 1, [this, &requests, results](int64_t begin, int64_t end) {
+        std::unique_ptr<core::ServingWorkspace> ws = AcquireWorkspace();
+        for (int64_t i = begin; i < end; ++i) {
+          ServeResult& result = (*results)[static_cast<size_t>(i)];
+          result.status =
+              plan_->Execute(*requests[static_cast<size_t>(i)], ws.get(),
+                             &result.actions);
+          if (result.status.ok()) {
+            const size_t ugvs = requests[static_cast<size_t>(i)]->size();
+            result.values.assign(ws->values.begin(),
+                                 ws->values.begin() + ugvs);
+          } else {
+            result.actions.clear();
+            result.values.clear();
+          }
+        }
+        ReleaseWorkspace(std::move(ws));
+      });
+  served_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void PolicyServer::ServeBatch(
+    const std::vector<std::vector<env::UgvObservation>>& requests,
+    std::vector<ServeResult>* results) {
+  GARL_CHECK(results != nullptr);
+  std::vector<const std::vector<env::UgvObservation>*> span;
+  span.reserve(requests.size());
+  for (const auto& request : requests) span.push_back(&request);
+  ServeSpan(span, results);
+}
+
+std::future<ServeResult> PolicyServer::Submit(
+    std::vector<env::UgvObservation> observations) {
+  Pending pending;
+  pending.observations = std::move(observations);
+  pending.enqueue_ns = obs::MonotonicNowNs();
+  std::future<ServeResult> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (shutdown_) {
+      ServeResult cancelled;
+      cancelled.status = CancelledError("policy server is shut down");
+      pending.promise.set_value(std::move(cancelled));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void PolicyServer::DispatcherLoop() {
+  std::vector<Pending> batch;
+  std::vector<const std::vector<env::UgvObservation>*> span;
+  std::vector<ServeResult> results;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      const int64_t take = std::min<int64_t>(
+          options_.max_batch, static_cast<int64_t>(queue_.size()));
+      for (int64_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    span.clear();
+    for (const Pending& pending : batch) span.push_back(&pending.observations);
+    ServeSpan(span, &results);
+    // Latency is recorded here, after the fan-out returned — never from
+    // inside a ParallelFor body.
+    const int64_t now_ns = obs::MonotonicNowNs();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      latency_us_->Observe(
+          static_cast<double>(now_ns - batch[i].enqueue_ns) / 1000.0);
+      batch[i].promise.set_value(std::move(results[i]));
+    }
+  }
+}
+
+void PolicyServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (shutdown_ && !dispatcher_.joinable()) return;
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+}  // namespace garl::serve

@@ -1,0 +1,118 @@
+#ifndef GARL_SERVE_POLICY_SERVER_H_
+#define GARL_SERVE_POLICY_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/serving_plan.h"
+#include "env/types.h"
+#include "obs/metrics.h"
+
+// Batched observation->action front door over a compiled ServingPlan.
+//
+// Two entry points share one execution path:
+//   - ServeBatch(): synchronous, caller-assembled cross-episode batch.
+//   - Submit(): async request queue drained by a dedicated dispatcher
+//     thread in batches of at most `max_batch`.
+// Both fan requests out over the global ThreadPool with one plan Execute()
+// per request on a pooled per-thread workspace. Each request is replayed
+// sequentially and independently, so its bytes do not depend on how it was
+// packed into a batch, what arrived around it, or GARL_NUM_THREADS — the
+// packing-invariance property serving_test locks down.
+//
+// Latency histograms (microseconds, enqueue to completion) are recorded on
+// the dispatcher thread after the fan-out returns; nothing observability-
+// related runs inside ParallelFor bodies (garl_lint parallel-unsafe).
+
+namespace garl::serve {
+
+struct PolicyServerOptions {
+  // Max requests the async dispatcher packs into one fan-out.
+  int64_t max_batch = 64;
+  // Upper bounds (microseconds) for the per-request latency histogram.
+  std::vector<double> latency_bounds_us = {50,    100,   250,   500,
+                                           1000,  2500,  5000,  10000,
+                                           25000, 50000, 100000};
+  // Registry owning the latency histogram; nullptr = MetricsRegistry::Global.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+// One request's answer. `status` is per request: a malformed observation
+// fails its own request only, never the batch around it.
+struct ServeResult {
+  Status status;
+  std::vector<env::UgvAction> actions;  // per UGV, greedy
+  std::vector<float> values;            // per UGV critic value
+};
+
+class PolicyServer {
+ public:
+  // `plan` must outlive the server.
+  explicit PolicyServer(const core::ServingPlan* plan,
+                        PolicyServerOptions options = {});
+  ~PolicyServer();
+
+  PolicyServer(const PolicyServer&) = delete;
+  PolicyServer& operator=(const PolicyServer&) = delete;
+
+  // Serves `requests` (each the joint observation of one env step) as one
+  // batch. `results` is resized to match; results[i] corresponds to
+  // requests[i] whatever the internal chunking.
+  void ServeBatch(const std::vector<std::vector<env::UgvObservation>>& requests,
+                  std::vector<ServeResult>* results);
+
+  // Enqueues one request; the dispatcher thread batches and serves it.
+  // After Shutdown() the returned future holds a Cancelled result.
+  std::future<ServeResult> Submit(
+      std::vector<env::UgvObservation> observations);
+
+  // Drains the queue, stops the dispatcher and joins it. Idempotent; the
+  // destructor calls it.
+  void Shutdown();
+
+  // Requests fully served so far (both entry points).
+  int64_t served() const { return served_.load(std::memory_order_relaxed); }
+
+  // The latency histogram (async path only), for snapshots in tests/bench.
+  const obs::Histogram& latency_histogram() const { return *latency_us_; }
+
+ private:
+  struct Pending {
+    std::vector<env::UgvObservation> observations;
+    std::promise<ServeResult> promise;
+    int64_t enqueue_ns = 0;
+  };
+
+  void ServeSpan(const std::vector<const std::vector<env::UgvObservation>*>&
+                     requests,
+                 std::vector<ServeResult>* results);
+  void DispatcherLoop();
+  std::unique_ptr<core::ServingWorkspace> AcquireWorkspace();
+  void ReleaseWorkspace(std::unique_ptr<core::ServingWorkspace> ws);
+
+  const core::ServingPlan* plan_;
+  PolicyServerOptions options_;
+  obs::Histogram* latency_us_;  // owned by the registry
+
+  std::mutex workspace_mutex_;
+  std::vector<std::unique_ptr<core::ServingWorkspace>> workspace_pool_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool shutdown_ = false;
+  std::thread dispatcher_;
+  std::atomic<int64_t> served_{0};
+};
+
+}  // namespace garl::serve
+
+#endif  // GARL_SERVE_POLICY_SERVER_H_

@@ -1,0 +1,73 @@
+// Tests for the bench baseline-comparison helper (bench/bench_compare.h):
+// the guard against zero/near-zero/corrupt baseline entries, and the
+// regression threshold arithmetic the bench_kernels --baseline gate uses.
+
+#include "bench_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace garl::bench {
+namespace {
+
+constexpr double kTolerance = 1.10;
+
+TEST(BenchCompareTest, HealthyBaselinePassesWithinTolerance) {
+  BaselineComparison cmp = CompareToBaseline(1.0, 1.05, kTolerance);
+  EXPECT_TRUE(cmp.comparable);
+  EXPECT_FALSE(cmp.regressed);
+  // The boundary itself is not a regression (<=, matching the old gate).
+  cmp = CompareToBaseline(1.0, 1.10, kTolerance);
+  EXPECT_TRUE(cmp.comparable);
+  EXPECT_FALSE(cmp.regressed);
+}
+
+TEST(BenchCompareTest, RealSlowdownStillRegresses) {
+  BaselineComparison cmp = CompareToBaseline(1.0, 1.2, kTolerance);
+  EXPECT_TRUE(cmp.comparable);
+  EXPECT_TRUE(cmp.regressed);
+}
+
+TEST(BenchCompareTest, ZeroBaselineIsSkippedNotFailed) {
+  // The divide-by-small hazard: 0 * tolerance == 0, so every real
+  // measurement would read as a regression. The guard skips instead.
+  BaselineComparison cmp = CompareToBaseline(0.0, 0.5, kTolerance);
+  EXPECT_FALSE(cmp.comparable);
+  EXPECT_FALSE(cmp.regressed);
+}
+
+TEST(BenchCompareTest, NearZeroBaselineIsSkipped) {
+  BaselineComparison cmp =
+      CompareToBaseline(kMinComparableBaselineSeconds / 2.0, 0.5, kTolerance);
+  EXPECT_FALSE(cmp.comparable);
+  // Exactly at the floor is comparable.
+  cmp = CompareToBaseline(kMinComparableBaselineSeconds, 2e-6, kTolerance);
+  EXPECT_TRUE(cmp.comparable);
+  EXPECT_TRUE(cmp.regressed);
+}
+
+TEST(BenchCompareTest, NegativeAndNonFiniteBaselinesAreSkipped) {
+  EXPECT_FALSE(CompareToBaseline(-1.0, 0.5, kTolerance).comparable);
+  EXPECT_FALSE(
+      CompareToBaseline(std::numeric_limits<double>::quiet_NaN(), 0.5,
+                        kTolerance)
+          .comparable);
+  EXPECT_FALSE(CompareToBaseline(std::numeric_limits<double>::infinity(), 0.5,
+                                 kTolerance)
+                   .comparable);
+}
+
+TEST(BenchCompareTest, NonFiniteMeasurementIsARegressionNotAPass) {
+  BaselineComparison cmp = CompareToBaseline(
+      1.0, std::numeric_limits<double>::quiet_NaN(), kTolerance);
+  EXPECT_TRUE(cmp.comparable);
+  EXPECT_TRUE(cmp.regressed);
+  cmp = CompareToBaseline(1.0, std::numeric_limits<double>::infinity(),
+                          kTolerance);
+  EXPECT_TRUE(cmp.comparable);
+  EXPECT_TRUE(cmp.regressed);
+}
+
+}  // namespace
+}  // namespace garl::bench

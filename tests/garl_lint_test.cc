@@ -154,6 +154,14 @@ TEST(GarlLintFixtures, ParallelUnsafeFiresDirectlyAndTransitively) {
             (Expected{{13, "parallel-unsafe"}, {18, "parallel-unsafe"}}));
 }
 
+TEST(GarlLintFixtures, ParallelUnsafeCoversRequestQueueWorkerLambdas) {
+  // The serve::PolicyServer dispatcher shape: a ParallelFor body lambda
+  // draining queue entries via helper methods. The unsafe call is two
+  // method hops from the lambda and must still be flagged.
+  EXPECT_EQ(FindingsFor("src/par/queue_worker_parallel.cc"),
+            (Expected{{26, "parallel-unsafe"}}));
+}
+
 TEST(GarlLintFixtures, ParallelUnsafeSuppressionAndNearMissesStayQuiet) {
   EXPECT_TRUE(FindingsFor("src/par/suppressed_parallel.cc").empty());
   EXPECT_TRUE(FindingsFor("src/par/near_miss_parallel.cc").empty());
@@ -197,8 +205,8 @@ TEST(GarlLintFixtures, NoUnexpectedFindings) {
       "src/missing_guard.h", "src/suppressed.cc",    "src/bad_suppression.cc",
       "src/nn/ops.cc",       "src/nn/simd.h",         "src/obs/bad_obs_time.cc",
       "src/bad_io.cc",       "src/bad_spawn.cc",      "src/taint/bad_taint.cc",
-      "src/par/bad_parallel.cc", "src/prop/bad_prop.cc",
-      "src/prop/near_miss_prop.cc"};
+      "src/par/bad_parallel.cc", "src/par/queue_worker_parallel.cc",
+      "src/prop/bad_prop.cc", "src/prop/near_miss_prop.cc"};
   for (const auto& finding : FixtureFindings()) {
     EXPECT_TRUE(expected_files.count(finding.file))
         << "unexpected finding: " << finding.ToString();

@@ -1,0 +1,40 @@
+// parallel-unsafe coverage for the request-queue dispatcher shape used by
+// serve::PolicyServer: a ParallelFor body lambda that drains pending queue
+// entries through helper methods. The unsafe call sits two hops down
+// (body -> DrainOne -> RecordMetrics), so this locks in that the transitive
+// BFS follows method-call chains out of worker lambdas — observability
+// calls must stay on the dispatcher thread, after the fan-out returns.
+#include <cstdint>
+
+namespace garl {
+
+struct MetricsSnapshot {};
+MetricsSnapshot Snapshot();
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 void (*body)(int64_t, int64_t));
+
+class RequestQueueServer {
+ public:
+  void ServeSpan(int64_t pending);
+
+ private:
+  void DrainOne(int64_t index);
+  void RecordMetrics();
+};
+
+void RequestQueueServer::RecordMetrics() {
+  Snapshot();  // two hops from the worker lambda: must still be flagged
+}
+
+void RequestQueueServer::DrainOne(int64_t index) {
+  (void)index;
+  RecordMetrics();
+}
+
+void RequestQueueServer::ServeSpan(int64_t pending) {
+  ParallelFor(0, pending, 1, [this](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) DrainOne(i);
+  });
+}
+
+}  // namespace garl

@@ -40,10 +40,33 @@ TEST(HistogramTest, QuantilesOnSkewedDataReadBucketUpperBounds) {
   for (int i = 0; i < 99; ++i) h.Observe(0.5);
   h.Observe(50.0);  // the single tail observation
   // rank ceil(0.50 * 100) = 50 and ceil(0.99 * 100) = 99 both land in the
-  // first bucket; only the exact maximum reaches the tail's bucket.
+  // first bucket; ranks 100 and up (p99.9's ceil(0.999 * 100) = 100, and
+  // q = 1) reach the tail observation's bucket.
   EXPECT_EQ(h.P50(), 1.0);
   EXPECT_EQ(h.P99(), 1.0);
+  EXPECT_EQ(h.P999(), 100.0);
   EXPECT_EQ(h.Quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, TailQuantilesSeparateOnLargeSkewedPopulations) {
+  Histogram h({1.0, 10.0, 100.0});
+  // 10000 observations: 9898 fast, 92 slow, 10 very slow. p50/p95 read the
+  // first bucket, p99 still does (rank 9900 <= 9898 fails by 2 — lands in
+  // the second bucket), p99.9 (rank 9990) lands in the second bucket too,
+  // and only q = 1 reaches the overflow maximum.
+  for (int i = 0; i < 9898; ++i) h.Observe(0.5);
+  for (int i = 0; i < 92; ++i) h.Observe(5.0);
+  for (int i = 0; i < 10; ++i) h.Observe(500.0);
+  EXPECT_EQ(h.P50(), 1.0);
+  EXPECT_EQ(h.P95(), 1.0);
+  EXPECT_EQ(h.P99(), 10.0);
+  EXPECT_EQ(h.P999(), 10.0);
+  EXPECT_EQ(h.Quantile(1.0), 500.0);
+  // One more very-slow observation pushes rank ceil(0.999 * 10001) = 9991
+  // past the 9990 non-overflow observations: p99.9 now reports the exact
+  // overflow maximum.
+  h.Observe(600.0);
+  EXPECT_EQ(h.P999(), 600.0);
 }
 
 TEST(HistogramTest, OverflowBucketReportsExactMaximum) {
@@ -59,6 +82,7 @@ TEST(HistogramTest, EmptyHistogramQuantileIsZero) {
   EXPECT_EQ(h.count(), 0);
   EXPECT_EQ(h.P50(), 0.0);
   EXPECT_EQ(h.P99(), 0.0);
+  EXPECT_EQ(h.P999(), 0.0);
 }
 
 TEST(HistogramTest, MergeFromCombinesShardsExactly) {
@@ -82,6 +106,7 @@ TEST(HistogramTest, MergeFromCombinesShardsExactly) {
   EXPECT_EQ(a.P50(), all.P50());
   EXPECT_EQ(a.P95(), all.P95());
   EXPECT_EQ(a.P99(), all.P99());
+  EXPECT_EQ(a.P999(), all.P999());
 }
 
 // ---------------------------------------------------------------------------
@@ -139,6 +164,10 @@ TEST(MetricsRegistryTest, HistogramSnapshotCarriesQuantiles) {
   EXPECT_EQ(snapshot.histograms[0].name, "lat");
   EXPECT_EQ(snapshot.histograms[0].count, 2);
   EXPECT_EQ(snapshot.histograms[0].p50, 1.0);
+  // Tail quantiles ride along: with two observations both land on the max
+  // observation's bucket upper bound.
+  EXPECT_EQ(snapshot.histograms[0].p99, 2.0);
+  EXPECT_EQ(snapshot.histograms[0].p999, 2.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -236,6 +265,7 @@ IterationRecord SampleRecord() {
   r.arena_cached_bytes = 1 << 20;
   r.arena_high_water_bytes = 2 << 20;
   r.spans = {{"trainer/collect", 3, 1000}, {"trainer/update_ugv", 3, 2000}};
+  r.hists = {{"serve/latency_us", 64, 50.0, 95.0, 250.0, 900.0}};
   return r;
 }
 
@@ -285,6 +315,13 @@ TEST(RunLogRecordTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(p.spans[0].name, "trainer/collect");
   EXPECT_EQ(p.spans[0].count, 3);
   EXPECT_EQ(p.spans[1].total_ns, 2000);
+  ASSERT_EQ(p.hists.size(), 1u);
+  EXPECT_EQ(p.hists[0].name, "serve/latency_us");
+  EXPECT_EQ(p.hists[0].count, 64);
+  EXPECT_EQ(p.hists[0].p50, 50.0);
+  EXPECT_EQ(p.hists[0].p95, 95.0);
+  EXPECT_EQ(p.hists[0].p99, 250.0);
+  EXPECT_EQ(p.hists[0].p999, 900.0);
 }
 
 TEST(RunLogRecordTest, NonFiniteDoublesBecomeNullAndParseAsNaN) {
@@ -306,6 +343,7 @@ TEST(RunLogRecordTest, DeterministicPayloadIgnoresRuntimeFields) {
   b.arena_heap_allocs = 7;
   b.arena_cached_bytes = 0;
   b.spans.clear();
+  b.hists.clear();
   StatusOr<std::string> det_a =
       DeterministicPayload(FormatIterationRecord(a));
   StatusOr<std::string> det_b =

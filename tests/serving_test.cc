@@ -1,0 +1,581 @@
+// Tests for the batched policy-serving front door:
+//   - core::ServingPlan (compile + scalar replay) vs the tensor Forward,
+//   - packing/order/thread invariance of serve::PolicyServer (per-request
+//     bytes never depend on batch shape, arrival order or thread count),
+//   - zero steady-state arena traffic,
+//   - rl::LoadPolicyForInference strip/robustness (no optimizer tensors,
+//     clean Status on truncated / CRC-corrupt / missing checkpoints).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/garl_extractor.h"
+#include "core/serving_plan.h"
+#include "env/world.h"
+#include "nn/arena.h"
+#include "nn/inference.h"
+#include "nn/serialization.h"
+#include "nn/tensor.h"
+#include "rl/checkpoint.h"
+#include "rl/feature_policy.h"
+#include "rl/inference.h"
+#include "serve/policy_server.h"
+
+namespace garl {
+namespace {
+
+env::CampusSpec TinyCampus() {
+  env::CampusSpec campus;
+  campus.name = "tiny";
+  campus.width = 400;
+  campus.height = 400;
+  campus.roads.push_back({{0, 200}, {400, 200}});
+  campus.roads.push_back({{200, 0}, {200, 400}});
+  campus.sensors.push_back({{150, 210}, 1000.0});
+  campus.sensors.push_back({{260, 190}, 1200.0});
+  campus.sensors.push_back({{200, 320}, 900.0});
+  return campus;
+}
+
+env::WorldParams TinyParams() {
+  env::WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 16;
+  params.release_slots = 2;
+  return params;
+}
+
+struct Fixture {
+  explicit Fixture(bool use_mc = true, bool use_e = true, uint64_t seed = 7)
+      : world(TinyCampus(), TinyParams()),
+        context(rl::MakeEnvContext(world)),
+        rng(seed) {
+    core::GarlConfig config;
+    config.use_mc = use_mc;
+    config.use_e = use_e;
+    config.mc_gcn.layers = 2;
+    config.e_comm.layers = 2;
+    policy = std::make_unique<rl::FeatureUgvPolicy>(
+        std::make_unique<core::GarlExtractor>(context, config, rng), context,
+        rl::FeaturePolicyOptions{}, rng);
+  }
+
+  // Joint observations along a scripted episode (fresh episodes as needed),
+  // giving a cross-episode request pool with varied stops/positions.
+  std::vector<std::vector<env::UgvObservation>> Requests(int64_t n) {
+    std::vector<std::vector<env::UgvObservation>> requests;
+    auto episode = std::make_unique<env::World>(TinyCampus(), TinyParams());
+    const std::vector<env::UavAction> idle(
+        static_cast<size_t>(episode->num_uavs()));
+    for (int64_t r = 0; r < n; ++r) {
+      if (episode->Done()) {
+        episode = std::make_unique<env::World>(TinyCampus(), TinyParams());
+      }
+      requests.push_back({episode->ObserveUgv(0), episode->ObserveUgv(1)});
+      std::vector<env::UgvAction> actions(2);
+      for (int64_t u = 0; u < 2; ++u) {
+        actions[static_cast<size_t>(u)].release = (episode->slot() % 3 == 2);
+        actions[static_cast<size_t>(u)].target_stop =
+            (episode->slot() + u) % context.num_stops;
+      }
+      episode->Step(actions, idle);
+    }
+    return requests;
+  }
+
+  env::World world;
+  rl::EnvContext context;
+  Rng rng;
+  std::unique_ptr<rl::FeatureUgvPolicy> policy;
+};
+
+// Greedy decode used at serving time, applied to the tensor Forward's
+// outputs: first-max argmax over raw logits (Categorical::Mode semantics).
+int64_t FirstMax(const std::vector<float>& x) {
+  size_t best = 0;
+  for (size_t i = 1; i < x.size(); ++i) {
+    if (x[i] > x[best]) best = i;
+  }
+  return static_cast<int64_t>(best);
+}
+
+void ExpectResultsBitIdentical(const serve::ServeResult& a,
+                               const serve::ServeResult& b) {
+  ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+  ASSERT_TRUE(b.status.ok()) << b.status.ToString();
+  ASSERT_EQ(a.actions.size(), b.actions.size());
+  for (size_t u = 0; u < a.actions.size(); ++u) {
+    EXPECT_EQ(a.actions[u].release, b.actions[u].release);
+    EXPECT_EQ(a.actions[u].target_stop, b.actions[u].target_stop);
+  }
+  ASSERT_EQ(a.values.size(), b.values.size());
+  ASSERT_EQ(0, std::memcmp(a.values.data(), b.values.data(),
+                           a.values.size() * sizeof(float)));
+}
+
+class ServingVariantTest
+    : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+// The compiled plan's greedy actions, values and logits must agree with the
+// training-graph Forward. Agreement is argmax-exact and numerically close;
+// bit-identity is only promised plan-vs-plan (the tensor path uses blocked
+// GEMM accumulation orders the scalar replay does not reproduce).
+TEST_P(ServingVariantTest, PlanMatchesTensorForward) {
+  auto [use_mc, use_e] = GetParam();
+  Fixture f(use_mc, use_e);
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  core::ServingWorkspace ws = plan.value().MakeWorkspace();
+
+  const int64_t b = f.context.num_stops;
+  for (auto& request : f.Requests(12)) {
+    std::vector<rl::UgvPolicyOutput> outputs = f.policy->Forward(request);
+    std::vector<env::UgvAction> actions;
+    Status status = plan.value().Execute(request, &ws, &actions);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_EQ(actions.size(), 2u);
+    for (size_t u = 0; u < 2; ++u) {
+      const auto& out = outputs[u];
+      const bool expect_release = FirstMax(out.release_logits.data()) == 1;
+      EXPECT_EQ(actions[u].release, expect_release);
+      if (!expect_release) {
+        EXPECT_EQ(actions[u].target_stop, FirstMax(out.target_logits.data()));
+      }
+      EXPECT_NEAR(ws.values[u], out.value.data()[0], 1e-3f);
+      for (int64_t i = 0; i < 2; ++i) {
+        EXPECT_NEAR(ws.release_logits[u * 2 + static_cast<size_t>(i)],
+                    out.release_logits.data()[static_cast<size_t>(i)], 1e-3f);
+      }
+      for (int64_t i = 0; i < b; ++i) {
+        EXPECT_NEAR(
+            ws.target_logits[u * static_cast<size_t>(b) +
+                             static_cast<size_t>(i)],
+            out.target_logits.data()[static_cast<size_t>(i)], 1e-3f);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, ServingVariantTest,
+                         ::testing::Values(std::make_pair(true, true),
+                                           std::make_pair(true, false),
+                                           std::make_pair(false, true),
+                                           std::make_pair(false, false)));
+
+TEST(ServingPlanTest, RepeatedExecuteIsBitIdenticalAcrossWorkspaces) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto requests = f.Requests(6);
+
+  core::ServingWorkspace ws_a = plan.value().MakeWorkspace();
+  core::ServingWorkspace ws_b = plan.value().MakeWorkspace();
+  for (const auto& request : requests) {
+    std::vector<env::UgvAction> actions_a;
+    std::vector<env::UgvAction> actions_b;
+    ASSERT_TRUE(plan.value().Execute(request, &ws_a, &actions_a).ok());
+    // ws_b is "dirty" from a different previous request each round; results
+    // must not depend on workspace history.
+    ASSERT_TRUE(plan.value().Execute(requests.back(), &ws_b, &actions_b).ok());
+    ASSERT_TRUE(plan.value().Execute(request, &ws_b, &actions_b).ok());
+    for (size_t u = 0; u < actions_a.size(); ++u) {
+      EXPECT_EQ(actions_a[u].release, actions_b[u].release);
+      EXPECT_EQ(actions_a[u].target_stop, actions_b[u].target_stop);
+    }
+    ASSERT_EQ(0, std::memcmp(ws_a.values.data(), ws_b.values.data(),
+                             ws_a.values.size() * sizeof(float)));
+    ASSERT_EQ(0, std::memcmp(ws_a.target_logits.data(),
+                             ws_b.target_logits.data(),
+                             ws_a.target_logits.size() * sizeof(float)));
+  }
+}
+
+// Steady-state serving allocates nothing from the tensor arena: no value
+// buffers, no autograd nodes. (The replay runs entirely on plain float
+// scratch pre-sized by MakeWorkspace.)
+TEST(ServingPlanTest, SteadyStateExecuteHasZeroArenaTraffic) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  core::ServingWorkspace ws = plan.value().MakeWorkspace();
+  auto requests = f.Requests(8);
+  std::vector<env::UgvAction> actions;
+  for (const auto& request : requests) {  // warm-up
+    ASSERT_TRUE(plan.value().Execute(request, &ws, &actions).ok());
+  }
+
+  const nn::arena::ArenaStats before = nn::arena::GlobalStats();
+  for (int round = 0; round < 25; ++round) {
+    for (const auto& request : requests) {
+      ASSERT_TRUE(plan.value().Execute(request, &ws, &actions).ok());
+    }
+  }
+  const nn::arena::ArenaStats after = nn::arena::GlobalStats();
+  EXPECT_EQ(before.heap_allocs, after.heap_allocs);
+  EXPECT_EQ(before.node_heap_allocs, after.node_heap_allocs);
+}
+
+TEST(ServingPlanTest, RejectsNonGarlExtractorPolicies) {
+  class FlatExtractor : public rl::UgvFeatureExtractor {
+   public:
+    std::vector<nn::Tensor> Extract(
+        const std::vector<env::UgvObservation>& observations) override {
+      std::vector<nn::Tensor> features;
+      for (size_t i = 0; i < observations.size(); ++i) {
+        features.push_back(nn::Tensor::Zeros({8}));
+      }
+      return features;
+    }
+    int64_t feature_dim() const override { return 8; }
+    std::string name() const override { return "flat"; }
+    std::vector<nn::Tensor> Parameters() const override { return {}; }
+  };
+
+  Fixture f;
+  Rng rng(5);
+  rl::FeatureUgvPolicy flat(std::make_unique<FlatExtractor>(), f.context,
+                            rl::FeaturePolicyOptions{}, rng);
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(flat, f.context);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServingPlanTest, MalformedRequestsFailCleanly) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  core::ServingWorkspace ws = plan.value().MakeWorkspace();
+  std::vector<env::UgvAction> actions;
+
+  // Empty request.
+  Status empty = plan.value().Execute({}, &ws, &actions);
+  EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument);
+
+  // More agents than the plan was compiled for.
+  auto request = f.Requests(1).front();
+  auto oversized = request;
+  oversized.push_back(request.front());
+  oversized.push_back(request.front());
+  Status too_many = plan.value().Execute(oversized, &ws, &actions);
+  EXPECT_EQ(too_many.code(), StatusCode::kInvalidArgument);
+
+  // Default-constructed observation (undefined tensors).
+  std::vector<env::UgvObservation> undefined(2);
+  Status bad = plan.value().Execute(undefined, &ws, &actions);
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+
+  // Out-of-range stop index.
+  auto corrupt = request;
+  corrupt.front().current_stop = f.context.num_stops + 3;
+  Status range = plan.value().Execute(corrupt, &ws, &actions);
+  EXPECT_EQ(range.code(), StatusCode::kInvalidArgument);
+
+  // A valid request still works on the same workspace afterwards.
+  Status good = plan.value().Execute(request, &ws, &actions);
+  EXPECT_TRUE(good.ok()) << good.ToString();
+}
+
+// The flagship property: per-request results are byte-identical however the
+// requests are packed into batches (sizes 1 / 7 / 64), in whatever order
+// they arrive (forward, reversed, interleaved shuffle), and whatever the
+// worker-pool width is (GARL_NUM_THREADS 1 and 4, set programmatically via
+// ThreadPool::SetGlobalThreads).
+TEST(PolicyServerTest, ResultsInvariantToPackingOrderAndThreads) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto requests = f.Requests(40);
+  const size_t n = requests.size();
+
+  // Deterministic reference, computed single-threaded outside the server.
+  const int64_t saved_threads = ThreadPool::Global().num_threads();
+  ThreadPool::SetGlobalThreads(1);
+  std::vector<serve::ServeResult> reference;
+  {
+    serve::PolicyServer server(&plan.value());
+    server.ServeBatch(requests, &reference);
+  }
+  ASSERT_EQ(reference.size(), n);
+
+  // A fixed shuffled arrival order (no RNG: position hash permutation).
+  std::vector<size_t> shuffled(n);
+  for (size_t i = 0; i < n; ++i) shuffled[i] = (i * 17 + 5) % n;
+
+  for (int64_t threads : {int64_t{1}, int64_t{4}}) {
+    ThreadPool::SetGlobalThreads(threads);
+    for (int64_t batch : {int64_t{1}, int64_t{7}, int64_t{64}}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " batch=" + std::to_string(batch));
+      serve::PolicyServerOptions options;
+      options.max_batch = batch;
+      serve::PolicyServer server(&plan.value(), options);
+
+      // Sync path, forward order, chunked into `batch`-sized ServeBatches.
+      for (size_t begin = 0; begin < n; begin += static_cast<size_t>(batch)) {
+        const size_t end =
+            std::min(n, begin + static_cast<size_t>(batch));
+        std::vector<std::vector<env::UgvObservation>> chunk(
+            requests.begin() + static_cast<int64_t>(begin),
+            requests.begin() + static_cast<int64_t>(end));
+        std::vector<serve::ServeResult> results;
+        server.ServeBatch(chunk, &results);
+        ASSERT_EQ(results.size(), end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          ExpectResultsBitIdentical(reference[i], results[i - begin]);
+        }
+      }
+
+      // Async path, shuffled arrival order.
+      std::vector<std::future<serve::ServeResult>> futures(n);
+      for (size_t i : shuffled) {
+        futures[i] = server.Submit(requests[i]);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        serve::ServeResult result = futures[i].get();
+        ExpectResultsBitIdentical(reference[i], result);
+      }
+
+      // Async path, reversed arrival order.
+      for (size_t i = n; i-- > 0;) {
+        futures[i] = server.Submit(requests[i]);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        serve::ServeResult result = futures[i].get();
+        ExpectResultsBitIdentical(reference[i], result);
+      }
+      EXPECT_EQ(server.served(), static_cast<int64_t>(3 * n));
+    }
+  }
+  ThreadPool::SetGlobalThreads(saved_threads);
+}
+
+TEST(PolicyServerTest, SteadyStateServingHasZeroArenaTraffic) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto requests = f.Requests(8);
+  serve::PolicyServer server(&plan.value());
+
+  std::vector<serve::ServeResult> results;
+  server.ServeBatch(requests, &results);  // warm-up builds the workspace pool
+  for (const auto& result : results) ASSERT_TRUE(result.status.ok());
+
+  const nn::arena::ArenaStats before = nn::arena::GlobalStats();
+  for (int round = 0; round < 10; ++round) {
+    server.ServeBatch(requests, &results);
+    for (const auto& result : results) ASSERT_TRUE(result.status.ok());
+  }
+  const nn::arena::ArenaStats after = nn::arena::GlobalStats();
+  EXPECT_EQ(before.heap_allocs, after.heap_allocs);
+  EXPECT_EQ(before.node_heap_allocs, after.node_heap_allocs);
+}
+
+TEST(PolicyServerTest, MalformedRequestFailsAloneInsideABatch) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto good = f.Requests(2);
+  std::vector<std::vector<env::UgvObservation>> batch = {
+      good[0], {}, good[1]};
+
+  serve::PolicyServer server(&plan.value());
+  std::vector<serve::ServeResult> results;
+  server.ServeBatch(batch, &results);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_EQ(results[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(results[1].actions.empty());
+  EXPECT_TRUE(results[2].status.ok());
+}
+
+TEST(PolicyServerTest, AsyncLatencyHistogramAndShutdownSemantics) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto requests = f.Requests(5);
+
+  obs::MetricsRegistry registry;
+  serve::PolicyServerOptions options;
+  options.metrics = &registry;
+  serve::PolicyServer server(&plan.value(), options);
+
+  std::vector<std::future<serve::ServeResult>> futures;
+  for (const auto& request : requests) futures.push_back(server.Submit(request));
+  for (auto& future : futures) {
+    ASSERT_TRUE(future.get().status.ok());
+  }
+  EXPECT_EQ(server.latency_histogram().count(),
+            static_cast<int64_t>(requests.size()));
+
+  server.Shutdown();
+  server.Shutdown();  // idempotent
+  serve::ServeResult cancelled = server.Submit(requests.front()).get();
+  EXPECT_EQ(cancelled.status.code(), StatusCode::kCancelled);
+}
+
+std::string TestDir(const std::string& name) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// Builds a valid v2 checkpoint directory holding `policy`'s parameters plus
+// a garbage Adam moment file: if the inference loader ever opened the Adam
+// file, deserialization would fail loudly.
+std::string MakeCheckpoint(const std::string& name,
+                           const rl::FeatureUgvPolicy& policy,
+                           int64_t episode) {
+  namespace fs = std::filesystem;
+  std::string dir = TestDir(name);
+  const std::string sub = dir + "/ckpt_00000005";
+  fs::create_directories(sub);
+  Status save = nn::SaveParameters(policy.Parameters(),
+                                   sub + "/" + rl::kUgvParamsFile);
+  GARL_CHECK_MSG(save.ok(), save.ToString());
+  std::ofstream adam(sub + "/" + rl::kUgvAdamFile, std::ios::binary);
+  adam << "this is not a valid tensor file";
+  adam.close();
+  Status manifest = rl::WriteCheckpointManifest(
+      dir, {rl::CheckpointInfo{"ckpt_00000005", episode}});
+  GARL_CHECK_MSG(manifest.ok(), manifest.ToString());
+  return dir;
+}
+
+TEST(InferenceLoadTest, LoadsParametersStripsGradStateAndSkipsAdam) {
+  Fixture trained(true, true, 7);
+  std::string dir = MakeCheckpoint("serving_inference_load", *trained.policy,
+                                   /*episode=*/41);
+
+  // Differently-initialized serving replica.
+  Fixture serving(true, true, 99);
+  nn::arena::ResetStatsForTest();
+  StatusOr<int64_t> episode =
+      rl::LoadPolicyForInference(dir, serving.policy.get());
+  ASSERT_TRUE(episode.ok()) << episode.status().ToString();
+  EXPECT_EQ(episode.value(), 41);
+
+  // No autograd nodes were built while loading: a trainer-style load that
+  // touched Adam state or rebuilt graph edges would bump these counters.
+  const nn::arena::ArenaStats stats = nn::arena::GlobalStats();
+  EXPECT_EQ(stats.node_heap_allocs, 0);
+
+  // Parameters are byte-identical to the trained policy's...
+  std::vector<nn::Tensor> want = trained.policy->Parameters();
+  std::vector<nn::Tensor> got = serving.policy->Parameters();
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i].shape(), got[i].shape());
+    EXPECT_EQ(0, std::memcmp(want[i].data().data(), got[i].data().data(),
+                             want[i].data().size() * sizeof(float)));
+    // ...and fully stripped for inference. (grad() itself CHECKs on
+    // non-grad tensors, so inspect the impl directly.)
+    EXPECT_FALSE(got[i].requires_grad());
+    EXPECT_TRUE(got[i].impl()->grad.empty());
+  }
+
+  // The stripped policy still compiles and serves.
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*serving.policy, serving.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  core::ServingWorkspace ws = plan.value().MakeWorkspace();
+  std::vector<env::UgvAction> actions;
+  Status served = plan.value().Execute(serving.Requests(1).front(), &ws,
+                                       &actions);
+  EXPECT_TRUE(served.ok()) << served.ToString();
+}
+
+TEST(NnInferenceTest, StripForInferenceClearsAutogradState) {
+  nn::Tensor t = nn::Tensor::Zeros({4}, /*requires_grad=*/true);
+  t.impl()->grad.assign(4, 1.0f);
+  std::vector<nn::Tensor> params = {t};
+  nn::StripForInference(params);
+  EXPECT_FALSE(t.requires_grad());
+  EXPECT_TRUE(t.impl()->grad.empty());
+  EXPECT_TRUE(t.impl()->parents.empty());
+  EXPECT_EQ(t.impl()->backward_fn, nullptr);
+}
+
+TEST(InferenceLoadTest, TruncatedCheckpointFailsCleanly) {
+  Fixture trained;
+  std::string dir = MakeCheckpoint("serving_inference_trunc", *trained.policy,
+                                   /*episode=*/5);
+  const std::string params_path =
+      dir + "/ckpt_00000005/" + rl::kUgvParamsFile;
+
+  std::ifstream in(params_path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 64u);
+  std::ofstream out(params_path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<int64_t>(bytes.size() / 2));
+  out.close();
+
+  Fixture serving(true, true, 99);
+  StatusOr<int64_t> episode =
+      rl::LoadPolicyForInference(dir, serving.policy.get());
+  ASSERT_FALSE(episode.ok());
+}
+
+TEST(InferenceLoadTest, CrcCorruptCheckpointFailsCleanly) {
+  Fixture trained;
+  std::string dir = MakeCheckpoint("serving_inference_crc", *trained.policy,
+                                   /*episode=*/5);
+  const std::string params_path =
+      dir + "/ckpt_00000005/" + rl::kUgvParamsFile;
+
+  std::fstream file(params_path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekg(0, std::ios::end);
+  const int64_t size = file.tellg();
+  ASSERT_GT(size, 128);
+  file.seekp(size / 2);
+  char byte = 0;
+  file.seekg(size / 2);
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5a);
+  file.seekp(size / 2);
+  file.write(&byte, 1);
+  file.close();
+
+  Fixture serving(true, true, 99);
+  StatusOr<int64_t> episode =
+      rl::LoadPolicyForInference(dir, serving.policy.get());
+  ASSERT_FALSE(episode.ok());
+}
+
+TEST(InferenceLoadTest, MissingManifestIsNotFound) {
+  std::string dir = TestDir("serving_inference_missing");
+  Fixture serving;
+  StatusOr<int64_t> episode =
+      rl::LoadPolicyForInference(dir, serving.policy.get());
+  ASSERT_FALSE(episode.ok());
+  EXPECT_EQ(episode.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace garl

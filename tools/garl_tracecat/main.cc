@@ -119,6 +119,23 @@ int Summarize(const std::vector<std::string>& files) {
     }
     table.Print(std::cout);
   }
+
+  if (!s.last.hists.empty()) {
+    // Latency histograms are point-in-time quantile snapshots, not deltas:
+    // the last record's values are the end-of-run view.
+    std::cout << "\n";
+    garl::TableWriter table({"histogram", "count", "p50", "p95", "p99",
+                             "p99.9"});
+    for (const garl::obs::HistogramTiming& hist : s.last.hists) {
+      table.AddRow({hist.name,
+                    garl::StrPrintf("%lld", static_cast<long long>(hist.count)),
+                    garl::StrPrintf("%.3g", hist.p50),
+                    garl::StrPrintf("%.3g", hist.p95),
+                    garl::StrPrintf("%.3g", hist.p99),
+                    garl::StrPrintf("%.3g", hist.p999)});
+    }
+    table.Print(std::cout);
+  }
   return 0;
 }
 
