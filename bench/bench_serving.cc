@@ -6,7 +6,10 @@
 //
 // Flags: --reps N (measurement repetitions, default 3; --reps 1 is the CI
 // smoke), --requests N (per rep, default 256), --batch N (async drain
-// limit, default 64), --json PATH (default BENCH_serving.json).
+// limit, default 64), --json PATH (default BENCH_serving.json),
+// --baseline PATH (compare against a previous report: >10% regression in
+// sync per-request seconds or async p99 exits 1, the bench_kernels
+// baseline-gate contract).
 
 #include <algorithm>
 #include <cstdio>
@@ -16,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_compare.h"
 #include "common/fs_util.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -52,6 +56,7 @@ struct BenchFlags {
   int64_t requests = 256;
   int64_t batch = 64;
   std::string json_path = "BENCH_serving.json";
+  std::string baseline_path;
 };
 
 bool ParseFlags(int argc, char** argv, BenchFlags* flags) {
@@ -65,12 +70,84 @@ bool ParseFlags(int argc, char** argv, BenchFlags* flags) {
       flags->batch = std::atoll(argv[++i]);
     } else if (arg == "--json" && i + 1 < argc) {
       flags->json_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      flags->baseline_path = argv[++i];
     } else {
       std::fprintf(stderr, "bench_serving: unknown flag %s\n", arg.c_str());
       return false;
     }
   }
   return flags->reps > 0 && flags->requests > 0 && flags->batch > 0;
+}
+
+// Flat string scan over a previous report (the bench_kernels idiom: the
+// reports are flat enough that a JSON parser would be overkill). Returns
+// false when the key is missing (older schema).
+bool ScanNumberAfter(const std::string& text, size_t from,
+                     const std::string& key, double* value) {
+  size_t at = text.find(key, from);
+  if (at == std::string::npos) return false;
+  size_t colon = text.find(':', at + key.size());
+  if (colon == std::string::npos) return false;
+  *value = std::atof(text.c_str() + colon + 1);
+  return true;
+}
+
+// Gate on the two SLO-shaped numbers: sync per-request seconds (1/rps, so
+// the >tolerance direction means "slower") and async p99 latency. Both run
+// through bench::CompareToBaseline, which skips non-comparable baselines
+// (zeros, sub-resolution values, corrupt files) instead of failing.
+int CompareAgainstBaseline(const std::string& baseline_path,
+                           double sync_rps, double p99_us) {
+  StatusOr<std::string> baseline = ReadFileToString(baseline_path);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "bench_serving: cannot read baseline %s: %s\n",
+                 baseline_path.c_str(),
+                 baseline.status().ToString().c_str());
+    return 1;
+  }
+  const std::string& text = baseline.value();
+  constexpr double kTolerance = 1.10;  // fail on >10% regression
+  int failures = 0;
+
+  struct GatedCase {
+    const char* label;
+    const char* key;
+    double measured_seconds;
+    bool invert;  // baseline field is a rate: compare 1/value
+  };
+  const GatedCase cases[] = {
+      {"sync_request_seconds", "\"sync_requests_per_s\"",
+       sync_rps > 0.0 ? 1.0 / sync_rps : 0.0, true},
+      {"async_p99_seconds", "\"p99\"", p99_us / 1e6, false},
+  };
+  for (const GatedCase& c : cases) {
+    double base_raw = 0.0;
+    if (!ScanNumberAfter(text, 0, c.key, &base_raw)) {
+      std::printf("baseline %s: not present, skipped\n", c.label);
+      continue;
+    }
+    const double base_seconds =
+        c.invert ? (base_raw > 0.0 ? 1.0 / base_raw : 0.0) : base_raw / 1e6;
+    bench::BaselineComparison cmp = bench::CompareToBaseline(
+        base_seconds, c.measured_seconds, kTolerance);
+    if (!cmp.comparable) {
+      std::printf("baseline %s: %.3gs is below the comparability floor, "
+                  "skipped\n",
+                  c.label, base_seconds);
+      continue;
+    }
+    std::printf("baseline %s: %.3gs -> %.3gs %s\n", c.label, base_seconds,
+                c.measured_seconds, cmp.regressed ? "REGRESSED" : "OK");
+    if (cmp.regressed) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "bench_serving: %d case(s) regressed >10%% vs %s\n",
+                 failures, baseline_path.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 int Run(const BenchFlags& flags) {
@@ -195,6 +272,19 @@ int Run(const BenchFlags& flags) {
   json += StrPrintf("    \"p99\": %.1f,\n", latency.P99());
   json += StrPrintf("    \"p999\": %.1f,\n", latency.P999());
   json += StrPrintf("    \"max\": %.1f\n", latency.max());
+  json += "  },\n";
+  // Robustness counters: an unconstrained bench run must be all-admitted
+  // (every non-zero below means the run measured degradation, not serving).
+  const serve::HealthSnapshot health = server.Health();
+  json += "  \"admission\": {\n";
+  json += StrPrintf("    \"queue_depth\": %lld,\n",
+                    static_cast<long long>(health.queue_depth));
+  json += StrPrintf("    \"shed\": %lld,\n",
+                    static_cast<long long>(health.shed));
+  json += StrPrintf("    \"rejected\": %lld,\n",
+                    static_cast<long long>(health.rejected));
+  json += StrPrintf("    \"deadline_misses\": %lld\n",
+                    static_cast<long long>(health.deadline_misses));
   json += "  }\n}\n";
 
   Status write = WriteFileDurable(flags.json_path, json);
@@ -205,6 +295,10 @@ int Run(const BenchFlags& flags) {
   }
   std::printf("%s", json.c_str());
   std::printf("wrote %s\n", flags.json_path.c_str());
+  if (!flags.baseline_path.empty()) {
+    return CompareAgainstBaseline(flags.baseline_path, best_sync_rps,
+                                  latency.P99());
+  }
   return 0;
 }
 
@@ -216,7 +310,7 @@ int main(int argc, char** argv) {
   if (!garl::ParseFlags(argc, argv, &flags)) {
     std::fprintf(stderr,
                  "usage: bench_serving [--reps N] [--requests N] [--batch N] "
-                 "[--json PATH]\n");
+                 "[--json PATH] [--baseline PATH]\n");
     return 2;
   }
   return garl::Run(flags);

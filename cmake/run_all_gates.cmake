@@ -71,7 +71,7 @@ endif()
 # --- 2b: observability golden-run + schema tests (fast, catch det drift). ---
 garl_run_step("observability test suite"
   ${CMAKE_CTEST_COMMAND} --test-dir ${GATES_DIR}/lint --output-on-failure
-  -R "HistogramTest|MetricsRegistryTest|TraceTest|RunLogRecordTest|TracecatTest|GoldenRunTest|ChaosTest|StopNetworkCacheTest|FleetTest"
+  -R "HistogramTest|MetricsRegistryTest|TraceTest|RunLogRecordTest|TracecatTest|GoldenRunTest|ChaosTest|ServingChaosTest|StopNetworkCacheTest|FleetTest"
   -j4)
 
 # --- 2c: kernel determinism under both GARL_SIMD settings. ------------------

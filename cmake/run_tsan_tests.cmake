@@ -20,7 +20,7 @@ execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR}
           --target thread_pool_test arena_test simd_test
                    parallel_rollout_test obs_test golden_run_test
-                   chaos_test serving_test -j
+                   chaos_test serving_test serving_chaos_test -j
   RESULT_VARIABLE build_result)
 if(NOT build_result EQUAL 0)
   message(FATAL_ERROR "TSan sub-build compile failed")
@@ -30,7 +30,7 @@ endif()
 set(ENV{TSAN_OPTIONS} "halt_on_error=1")
 foreach(test_binary thread_pool_test arena_test simd_test
         parallel_rollout_test obs_test golden_run_test chaos_test
-        serving_test)
+        serving_test serving_chaos_test)
   execute_process(
     COMMAND ${BINARY_DIR}/tests/${test_binary}
     RESULT_VARIABLE run_result)

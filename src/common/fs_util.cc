@@ -63,6 +63,21 @@ InjectedWriteFault ConsultWriteFaultHook(std::string_view path) {
   return hook(path);
 }
 
+ReadFaultHook& ReadHookStorage() {
+  static ReadFaultHook hook;
+  return hook;
+}
+
+InjectedReadFault ConsultReadFaultHook(std::string_view path) {
+  ReadFaultHook hook;
+  {
+    std::lock_guard<std::mutex> lock(HookMutex());
+    hook = ReadHookStorage();
+  }
+  if (!hook) return InjectedReadFault{};
+  return hook(path);
+}
+
 void SleepMs(const RetryPolicy& policy, int64_t ms) {
   if (policy.sleep_fn) {
     policy.sleep_fn(ms);
@@ -110,6 +125,11 @@ uint32_t Crc32(std::string_view data, uint32_t seed) {
 }
 
 StatusOr<std::string> ReadFileToString(const std::string& path) {
+  InjectedReadFault fault = ConsultReadFaultHook(path);
+  if (fault.error_number != 0) {
+    errno = fault.error_number;
+    return InternalError(ErrnoMessage("injected read fault", path));
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return NotFoundError("cannot open: " + path);
   std::ostringstream contents;
@@ -128,6 +148,17 @@ ScopedWriteFaultHook::ScopedWriteFaultHook(WriteFaultHook hook) {
 }
 
 ScopedWriteFaultHook::~ScopedWriteFaultHook() { SetWriteFaultHook(nullptr); }
+
+void SetReadFaultHook(ReadFaultHook hook) {
+  std::lock_guard<std::mutex> lock(HookMutex());
+  ReadHookStorage() = std::move(hook);
+}
+
+ScopedReadFaultHook::ScopedReadFaultHook(ReadFaultHook hook) {
+  SetReadFaultHook(std::move(hook));
+}
+
+ScopedReadFaultHook::~ScopedReadFaultHook() { SetReadFaultHook(nullptr); }
 
 Status AtomicWriteFile(const std::string& path, std::string_view contents) {
   const std::string tmp_path = path + ".tmp";

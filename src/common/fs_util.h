@@ -70,6 +70,29 @@ class ScopedWriteFaultHook {
   ScopedWriteFaultHook& operator=(const ScopedWriteFaultHook&) = delete;
 };
 
+// A fault to inject into the next whole-file read. error_number == 0 means
+// no fault; otherwise ReadFileToString fails with that errno before touching
+// the file, modelling a flaky disk during checkpoint load / hot reload.
+struct InjectedReadFault {
+  int error_number = 0;
+};
+
+// Process-wide read-fault hook, consulted once per ReadFileToString call with
+// the source path. Same contract as the write hook: installing replaces any
+// previous hook, empty clears, deterministic schedules and chaos tests are
+// the only intended users.
+using ReadFaultHook = std::function<InjectedReadFault(std::string_view path)>;
+void SetReadFaultHook(ReadFaultHook hook);
+
+// RAII installer for the read-fault hook.
+class ScopedReadFaultHook {
+ public:
+  explicit ScopedReadFaultHook(ReadFaultHook hook);
+  ~ScopedReadFaultHook();
+  ScopedReadFaultHook(const ScopedReadFaultHook&) = delete;
+  ScopedReadFaultHook& operator=(const ScopedReadFaultHook&) = delete;
+};
+
 // Atomically creates-or-replaces `path` with `contents`: writes a temporary
 // file in the same directory, fsyncs it, then renames over `path`. A crash
 // at any point leaves either the old file or the new file, never a

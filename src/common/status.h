@@ -29,6 +29,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kCancelled,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 // Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -74,6 +76,22 @@ inline Status CancelledError(std::string message) {
 }
 inline bool IsCancelled(const Status& status) {
   return status.code() == StatusCode::kCancelled;
+}
+// kUnavailable: the callee is temporarily unable to accept the request
+// (queue full, breaker open); retrying later is a reasonable response.
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+inline bool IsUnavailable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+// kDeadlineExceeded: the request's deadline expired before it was served;
+// the work was never attempted (or its result was discarded).
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline bool IsDeadlineExceeded(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded;
 }
 
 // Holds either a value or a non-OK Status.

@@ -230,6 +230,15 @@ StatusOr<ServingPlan> ServingPlan::Compile(const rl::FeatureUgvPolicy& policy,
   return plan;
 }
 
+bool ServingPlan::ShapeCompatible(const ServingPlan& other) const {
+  return num_stops_ == other.num_stops_ && num_ugvs_ == other.num_ugvs_ &&
+         use_mc_ == other.use_mc_ && use_e_ == other.use_e_ &&
+         mc_hidden_ == other.mc_hidden_ && e_hidden_ == other.e_hidden_ &&
+         policy_hidden_ == other.policy_hidden_ &&
+         spatial_ops_.size() == other.spatial_ops_.size() &&
+         comm_ops_.size() == other.comm_ops_.size();
+}
+
 ServingWorkspace ServingPlan::MakeWorkspace() const {
   ServingWorkspace ws;
   const size_t B = static_cast<size_t>(num_stops_);

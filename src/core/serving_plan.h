@@ -119,6 +119,13 @@ class ServingPlan {
       const std::vector<env::UgvObservation>& observations,
       ServingWorkspace* workspace, std::vector<env::UgvAction>* actions) const;
 
+  // Whether `other` serves the same request shape as this plan: same stop
+  // count, UGV count, architecture switches, hidden widths and op program
+  // lengths. A hot reload (serve::PolicyServer::Reload) only swaps in a
+  // candidate plan that is shape-compatible with the serving one, so pooled
+  // workspaces and caller-visible output shapes never change mid-stream.
+  bool ShapeCompatible(const ServingPlan& other) const;
+
   // Flattened program, for introspection/tests: the per-agent spatial
   // section, the joint communication section and the per-agent head op.
   const std::vector<ServingOp>& spatial_ops() const { return spatial_ops_; }

@@ -381,6 +381,23 @@ constexpr FieldSpec kFaultsSchema[] = {
     {"fs_recovered", FieldType::kInt},
 };
 
+// Optional trailing `rt` member carried by serving runs (garl_serve /
+// serve::PolicyServer health counters). Runtime-only — there is no det
+// counterpart — and ordered after the fault group when both appear.
+constexpr FieldSpec kRtServeSchema[] = {
+    {"serve", FieldType::kObject},
+};
+
+constexpr FieldSpec kServeSchema[] = {
+    {"plan_version", FieldType::kInt},
+    {"queue_depth", FieldType::kInt},
+    {"shed", FieldType::kInt},
+    {"rejected", FieldType::kInt},
+    {"deadline_misses", FieldType::kInt},
+    {"execute_failures", FieldType::kInt},
+    {"breaker_trips", FieldType::kInt},
+};
+
 bool TypeMatches(const JsonValue& value, FieldType type) {
   switch (type) {
     case FieldType::kInt:
@@ -463,6 +480,76 @@ Status CheckObjectSchemaWithOptional(const JsonValue& object,
   return Status::Ok();
 }
 
+// Like CheckObjectSchema, but the object may additionally carry up to two
+// independent optional trailing member groups, in a fixed order (`opt1`
+// before `opt2`). Group presence is keyed on each group's first member name;
+// each group appears as a whole or not at all, and nothing may follow the
+// recognized suffix — partial or reordered optional groups are rejected.
+template <size_t N, size_t M1, size_t M2>
+Status CheckObjectSchemaWithOptionalGroups(
+    const JsonValue& object, const FieldSpec (&schema)[N],
+    const FieldSpec (&opt1)[M1], const FieldSpec (&opt2)[M2],
+    const char* context, bool* has_opt1, bool* has_opt2) {
+  if (object.type != JsonValue::Type::kObject) {
+    return InvalidArgumentError(StrPrintf("'%s' is not an object", context));
+  }
+  const size_t count = object.members.size();
+  if (count < N) {
+    return InvalidArgumentError(StrPrintf(
+        "'%s' has %lld field(s), schema v%d requires at least %lld", context,
+        static_cast<long long>(count), kRunLogSchemaVersion,
+        static_cast<long long>(N)));
+  }
+  auto check_member = [&](size_t index, const FieldSpec& spec) -> Status {
+    const auto& [key, value] = object.members[index];
+    if (key != spec.name) {
+      return InvalidArgumentError(
+          StrPrintf("'%s' field %lld is '%s', schema requires '%s'", context,
+                    static_cast<long long>(index), key.c_str(), spec.name));
+    }
+    if (!TypeMatches(value, spec.type)) {
+      return InvalidArgumentError(
+          StrPrintf("'%s.%s' has the wrong JSON type", context, spec.name));
+    }
+    return Status::Ok();
+  };
+  for (size_t i = 0; i < N; ++i) {
+    GARL_RETURN_IF_ERROR(check_member(i, schema[i]));
+  }
+  size_t index = N;
+  *has_opt1 = false;
+  *has_opt2 = false;
+  if (index < count && object.members[index].first == opt1[0].name) {
+    for (size_t i = 0; i < M1; ++i) {
+      if (index + i >= count) {
+        return InvalidArgumentError(StrPrintf(
+            "'%s' carries a truncated '%s' group", context, opt1[0].name));
+      }
+      GARL_RETURN_IF_ERROR(check_member(index + i, opt1[i]));
+    }
+    *has_opt1 = true;
+    index += M1;
+  }
+  if (index < count && object.members[index].first == opt2[0].name) {
+    for (size_t i = 0; i < M2; ++i) {
+      if (index + i >= count) {
+        return InvalidArgumentError(StrPrintf(
+            "'%s' carries a truncated '%s' group", context, opt2[0].name));
+      }
+      GARL_RETURN_IF_ERROR(check_member(index + i, opt2[i]));
+    }
+    *has_opt2 = true;
+    index += M2;
+  }
+  if (index != count) {
+    return InvalidArgumentError(StrPrintf(
+        "'%s' field %lld is '%s', not part of schema v%d", context,
+        static_cast<long long>(index), object.members[index].first.c_str(),
+        kRunLogSchemaVersion));
+  }
+  return Status::Ok();
+}
+
 // Decodes the det payload's "fault_digest" value: exactly 8 lowercase hex
 // characters, as FormatIterationRecord emits.
 Status ParseFaultDigest(const std::string& hex, uint32_t* out) {
@@ -511,10 +598,12 @@ Status DecodeRecord(const JsonValue& root, IterationRecord* record) {
   const JsonValue& rt = root.members[2].second;
   bool det_has_faults = false;
   bool rt_has_faults = false;
+  bool rt_has_serve = false;
   GARL_RETURN_IF_ERROR(CheckObjectSchemaWithOptional(
       det, kDetSchema, kDetFaultSchema, "det", &det_has_faults));
-  GARL_RETURN_IF_ERROR(CheckObjectSchemaWithOptional(
-      rt, kRtSchema, kRtFaultSchema, "rt", &rt_has_faults));
+  GARL_RETURN_IF_ERROR(CheckObjectSchemaWithOptionalGroups(
+      rt, kRtSchema, kRtFaultSchema, kRtServeSchema, "rt", &rt_has_faults,
+      &rt_has_serve));
   if (det_has_faults != rt_has_faults) {
     return InvalidArgumentError(
         "fault fields must appear in both 'det' and 'rt' or in neither");
@@ -555,6 +644,20 @@ Status DecodeRecord(const JsonValue& root, IterationRecord* record) {
     record->fault_sensor_faults = AsInt(faults.members[3].second);
     record->fault_fs_injected = AsInt(faults.members[4].second);
     record->fault_fs_recovered = AsInt(faults.members[5].second);
+  }
+
+  record->serve_enabled = rt_has_serve;
+  if (rt_has_serve) {
+    const size_t serve_index = std::size(kRtSchema) + (rt_has_faults ? 1 : 0);
+    const JsonValue& serve = rt.members[serve_index].second;
+    GARL_RETURN_IF_ERROR(CheckObjectSchema(serve, kServeSchema, "rt.serve"));
+    record->serve_plan_version = AsInt(serve.members[0].second);
+    record->serve_queue_depth = AsInt(serve.members[1].second);
+    record->serve_shed = AsInt(serve.members[2].second);
+    record->serve_rejected = AsInt(serve.members[3].second);
+    record->serve_deadline_misses = AsInt(serve.members[4].second);
+    record->serve_execute_failures = AsInt(serve.members[5].second);
+    record->serve_breaker_trips = AsInt(serve.members[6].second);
   }
 
   record->wall_ns = AsInt(rt.members[0].second);
@@ -640,6 +743,9 @@ Status DecodeRecord(const JsonValue& root, IterationRecord* record) {
 // with each decoded record and may return a non-OK Status to stop the scan.
 template <typename Visitor>
 Status ForEachRecord(const std::string& path, Visitor&& visit) {
+  // Streamed line-by-line on purpose: rotated logs can exceed memory, so
+  // this reader must not slurp the file through ReadFileToString.
+  // garl-lint: allow-next-line(direct-io)
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return NotFoundError("cannot open run log: " + path);
@@ -867,6 +973,23 @@ std::string FormatIterationRecord(const IterationRecord& record) {
     AppendInt(&out, record.fault_fs_recovered);
     out += '}';
   }
+  if (record.serve_enabled) {
+    out += ",\"serve\":{\"plan_version\":";
+    AppendInt(&out, record.serve_plan_version);
+    out += ",\"queue_depth\":";
+    AppendInt(&out, record.serve_queue_depth);
+    out += ",\"shed\":";
+    AppendInt(&out, record.serve_shed);
+    out += ",\"rejected\":";
+    AppendInt(&out, record.serve_rejected);
+    out += ",\"deadline_misses\":";
+    AppendInt(&out, record.serve_deadline_misses);
+    out += ",\"execute_failures\":";
+    AppendInt(&out, record.serve_execute_failures);
+    out += ",\"breaker_trips\":";
+    AppendInt(&out, record.serve_breaker_trips);
+    out += '}';
+  }
   out += "}}";
   return out;
 }
@@ -971,6 +1094,7 @@ class SummaryBuilder {
                                record.fault_comm_blackouts +
                                record.fault_sensor_faults;
     }
+    if (record.serve_enabled) ++summary_.serve_records;
     for (const SpanTiming& span : record.spans) {
       SpanTiming& agg = summary_.spans[span.name];
       if (agg.name.empty()) agg.name = span.name;

@@ -89,6 +89,20 @@ struct IterationRecord {
   int64_t fault_sensor_faults = 0;
   int64_t fault_fs_injected = 0;   // cumulative injected write faults
   int64_t fault_fs_recovered = 0;  // cumulative retry recoveries
+  // --- serving counters (optional trailing `rt` object) ---
+  // When false (the default) no serving field is emitted. When true, `rt`
+  // gains a trailing "serve" object mirroring serve::PolicyServer's health
+  // counters. Runtime-only: queue depth and every counter below depend on
+  // arrival timing, so none of this may ever move into `det`. When both
+  // optional groups are present, "faults" precedes "serve".
+  bool serve_enabled = false;
+  int64_t serve_plan_version = 0;
+  int64_t serve_queue_depth = 0;
+  int64_t serve_shed = 0;
+  int64_t serve_rejected = 0;
+  int64_t serve_deadline_misses = 0;
+  int64_t serve_execute_failures = 0;
+  int64_t serve_breaker_trips = 0;
   // --- runtime payload (`rt`) ---
   int64_t wall_ns = 0;           // iteration wall time
   int64_t route_cache_hits = 0;    // cumulative, trainer world
@@ -195,6 +209,9 @@ struct RunLogSummary {
   // counters live in `last`.
   int64_t fault_records = 0;  // records carrying fault fields
   int64_t fault_events = 0;   // env fault events summed over all records
+  // Serving aggregates (zero for logs without serve fields). Cumulative
+  // serving counters live in `last`.
+  int64_t serve_records = 0;  // records carrying the rt.serve object
 };
 
 [[nodiscard]] StatusOr<RunLogSummary> SummarizeRunLogFile(

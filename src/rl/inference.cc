@@ -17,7 +17,23 @@ StatusOr<int64_t> LoadPolicyForInference(const std::string& checkpoint_dir,
   const std::string params_path =
       checkpoint_dir + "/" + latest.value().name + "/" + kUgvParamsFile;
   std::vector<nn::Tensor> params = policy->Parameters();
-  GARL_RETURN_IF_ERROR(nn::LoadParameters(params_path, params));
+  // Snapshot the current weights into plain buffers so a truncated or
+  // corrupt checkpoint can be rolled back: a failed hot reload
+  // (serve::PolicyServer::Reload) must leave the policy fully intact,
+  // never half-overwritten. Raw float vectors keep this path free of
+  // TensorImpl/autograd-node traffic, which serving-replica tests pin.
+  std::vector<std::vector<float>> backup;
+  backup.reserve(params.size());
+  for (const nn::Tensor& p : params) {
+    backup.push_back(p.data());
+  }
+  Status load = nn::LoadParameters(params_path, params);
+  if (!load.ok()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].mutable_data() = std::move(backup[i]);
+    }
+    return load;
+  }
   nn::StripForInference(params);
   return latest.value().episode;
 }

@@ -16,7 +16,10 @@ namespace garl::rl {
 //
 // Failure modes are all clean Status returns, never aborts: NotFound for a
 // missing/empty manifest, FailedPrecondition/InvalidArgument-class errors
-// for truncated or CRC-corrupt parameter files.
+// for truncated or CRC-corrupt parameter files. The load is all-or-nothing:
+// the file is staged into scratch tensors and committed only after the
+// whole stream parsed clean, so a failed load leaves `policy` untouched
+// (the hot-reload rollback guarantee in serve::PolicyServer).
 [[nodiscard]] StatusOr<int64_t> LoadPolicyForInference(
     const std::string& checkpoint_dir, UgvPolicyNetwork* policy);
 

@@ -1,63 +1,177 @@
 #include "serve/policy_server.h"
 
-#include <cstring>
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <utility>
 
 #include "common/check.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "obs/clock.h"
+#include "rl/inference.h"
 
 namespace garl::serve {
 
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kStarting:
+      return "STARTING";
+    case HealthState::kServing:
+      return "SERVING";
+    case HealthState::kDegraded:
+      return "DEGRADED";
+    case HealthState::kDraining:
+      return "DRAINING";
+  }
+  return "UNKNOWN";
+}
+
 PolicyServer::PolicyServer(const core::ServingPlan* plan,
                            PolicyServerOptions options)
-    : plan_(plan), options_(std::move(options)) {
-  GARL_CHECK(plan_ != nullptr);
+    : options_(std::move(options)) {
+  GARL_CHECK(plan != nullptr);
   GARL_CHECK_GE(options_.max_batch, 1);
+  GARL_CHECK_GE(options_.max_queue_depth, 1);
+  GARL_CHECK_GE(options_.breaker_failure_threshold, 1);
+  GARL_CHECK_GE(options_.breaker_probe_interval, 1);
+  GARL_CHECK_GE(options_.breaker_probe_successes, 1);
   obs::MetricsRegistry& registry = options_.metrics != nullptr
                                        ? *options_.metrics
                                        : obs::MetricsRegistry::Global();
   latency_us_ =
       &registry.GetHistogram("serve/latency_us", options_.latency_bounds_us);
+  deadline_miss_us_ = &registry.GetHistogram(
+      "serve/deadline_miss_us", options_.deadline_miss_bounds_us);
+  shed_total_ = &registry.GetCounter("serve/shed");
+  rejected_total_ = &registry.GetCounter("serve/rejected");
+  deadline_miss_total_ = &registry.GetCounter("serve/deadline_misses");
+  execute_failure_total_ = &registry.GetCounter("serve/execute_failures");
+  breaker_trip_total_ = &registry.GetCounter("serve/breaker_trips");
+  reload_total_ = &registry.GetCounter("serve/reloads");
+  reload_failure_total_ = &registry.GetCounter("serve/reload_failures");
+  queue_depth_gauge_ = &registry.GetGauge("serve/queue_depth");
+
+  auto state = std::make_shared<PlanState>();
+  state->plan = plan;
+  state->version = 1;
+  plan_state_ = std::move(state);
+
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
 PolicyServer::~PolicyServer() { Shutdown(); }
 
-std::unique_ptr<core::ServingWorkspace> PolicyServer::AcquireWorkspace() {
+int64_t PolicyServer::NowNs() const {
+  return options_.now_fn ? options_.now_fn() : obs::MonotonicNowNs();
+}
+
+auto PolicyServer::CurrentState() const -> std::shared_ptr<PlanState> {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return plan_state_;
+}
+
+std::unique_ptr<core::ServingWorkspace> PolicyServer::AcquireWorkspace(
+    PlanState* state) {
   {
-    std::lock_guard<std::mutex> lock(workspace_mutex_);
-    if (!workspace_pool_.empty()) {
-      std::unique_ptr<core::ServingWorkspace> ws =
-          std::move(workspace_pool_.back());
-      workspace_pool_.pop_back();
+    std::lock_guard<std::mutex> lock(state->workspace_mutex);
+    if (!state->pool.empty()) {
+      std::unique_ptr<core::ServingWorkspace> ws = std::move(state->pool.back());
+      state->pool.pop_back();
       return ws;
     }
   }
   // Cold path: at most one workspace per concurrently active chunk is ever
-  // created; after warm-up every request runs allocation-free.
-  return std::make_unique<core::ServingWorkspace>(plan_->MakeWorkspace());
+  // created; after warm-up every request runs allocation-free. The pool
+  // belongs to the plan state, so a Reload retires old-shape workspaces
+  // together with the old plan.
+  return std::make_unique<core::ServingWorkspace>(state->plan->MakeWorkspace());
 }
 
-void PolicyServer::ReleaseWorkspace(
-    std::unique_ptr<core::ServingWorkspace> ws) {
-  std::lock_guard<std::mutex> lock(workspace_mutex_);
-  workspace_pool_.push_back(std::move(ws));
+void PolicyServer::ReleaseWorkspace(PlanState* state,
+                                    std::unique_ptr<core::ServingWorkspace> ws) {
+  std::lock_guard<std::mutex> lock(state->workspace_mutex);
+  state->pool.push_back(std::move(ws));
+}
+
+bool PolicyServer::AdmitThroughBreaker() {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  if (health_state_ != HealthState::kDegraded) return true;
+  return (probe_counter_++ % options_.breaker_probe_interval) == 0;
+}
+
+void PolicyServer::RecordExecuteOutcome(bool ok) {
+  if (!ok) execute_failure_total_->Increment();
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  if (health_state_ == HealthState::kDraining) return;
+  if (ok) {
+    consecutive_failures_ = 0;
+    if (health_state_ == HealthState::kDegraded &&
+        ++probe_successes_ >= options_.breaker_probe_successes) {
+      health_state_ = HealthState::kServing;
+      probe_counter_ = 0;
+      probe_successes_ = 0;
+    }
+    return;
+  }
+  if (health_state_ == HealthState::kDegraded) {
+    probe_successes_ = 0;
+    return;
+  }
+  if (++consecutive_failures_ >= options_.breaker_failure_threshold) {
+    health_state_ = HealthState::kDegraded;
+    breaker_trip_total_->Increment();
+    consecutive_failures_ = 0;
+    probe_counter_ = 0;
+    probe_successes_ = 0;
+  }
+}
+
+void PolicyServer::MarkServingIfStarting() {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  if (health_state_ == HealthState::kStarting) {
+    health_state_ = HealthState::kServing;
+  }
 }
 
 void PolicyServer::ServeSpan(
     const std::vector<const std::vector<env::UgvObservation>*>& requests,
     std::vector<ServeResult>* results) {
   const int64_t n = static_cast<int64_t>(requests.size());
+  results->clear();
   results->resize(static_cast<size_t>(n));
+  if (n == 0) return;
+  MarkServingIfStarting();
+  std::shared_ptr<PlanState> state = CurrentState();
+
+  // Breaker admission is decided sequentially, in request order, before the
+  // fan-out: trip/probe points are a deterministic function of the request
+  // stream, never of worker scheduling.
+  std::vector<uint8_t> admitted(static_cast<size_t>(n), 0);
+  int64_t admitted_count = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (AdmitThroughBreaker()) {
+      admitted[static_cast<size_t>(i)] = 1;
+      ++admitted_count;
+    } else {
+      rejected_total_->Increment();
+      (*results)[static_cast<size_t>(i)].status =
+          UnavailableError("circuit breaker open");
+    }
+  }
+
+  PlanState* raw = state.get();
   ThreadPool::Global().ParallelFor(
-      0, n, 1, [this, &requests, results](int64_t begin, int64_t end) {
-        std::unique_ptr<core::ServingWorkspace> ws = AcquireWorkspace();
+      0, n, 1,
+      [this, raw, &requests, &admitted, results](int64_t begin, int64_t end) {
+        std::unique_ptr<core::ServingWorkspace> ws = AcquireWorkspace(raw);
         for (int64_t i = begin; i < end; ++i) {
+          if (!admitted[static_cast<size_t>(i)]) continue;
+          if (options_.worker_stall_hook) options_.worker_stall_hook();
           ServeResult& result = (*results)[static_cast<size_t>(i)];
           result.status =
-              plan_->Execute(*requests[static_cast<size_t>(i)], ws.get(),
-                             &result.actions);
+              raw->plan->Execute(*requests[static_cast<size_t>(i)], ws.get(),
+                                 &result.actions);
           if (result.status.ok()) {
             const size_t ugvs = requests[static_cast<size_t>(i)]->size();
             result.values.assign(ws->values.begin(),
@@ -67,9 +181,18 @@ void PolicyServer::ServeSpan(
             result.values.clear();
           }
         }
-        ReleaseWorkspace(std::move(ws));
+        ReleaseWorkspace(raw, std::move(ws));
       });
-  served_.fetch_add(n, std::memory_order_relaxed);
+
+  // Breaker feedback also runs sequentially in request order, after the
+  // fan-out returned (garl_lint parallel-unsafe keeps it out of the body).
+  for (int64_t i = 0; i < n; ++i) {
+    if (admitted[static_cast<size_t>(i)]) {
+      RecordExecuteOutcome((*results)[static_cast<size_t>(i)].status.ok());
+    }
+    (*results)[static_cast<size_t>(i)].plan_version = state->version;
+  }
+  served_.fetch_add(admitted_count, std::memory_order_relaxed);
 }
 
 void PolicyServer::ServeBatch(
@@ -83,20 +206,49 @@ void PolicyServer::ServeBatch(
 }
 
 std::future<ServeResult> PolicyServer::Submit(
-    std::vector<env::UgvObservation> observations) {
+    std::vector<env::UgvObservation> observations, int64_t deadline_us) {
   Pending pending;
   pending.observations = std::move(observations);
-  pending.enqueue_ns = obs::MonotonicNowNs();
+  pending.enqueue_ns = NowNs();
+  int64_t effective_us = 0;
+  if (deadline_us > 0) {
+    effective_us = deadline_us;
+  } else if (deadline_us == 0) {
+    effective_us = options_.default_deadline_us;
+  }
+  if (effective_us > 0) {
+    pending.deadline_ns = pending.enqueue_ns + effective_us * 1000;
+  }
   std::future<ServeResult> future = pending.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (shutdown_) {
       ServeResult cancelled;
       cancelled.status = CancelledError("policy server is shut down");
+      cancelled.plan_version = plan_version_.load(std::memory_order_relaxed);
       pending.promise.set_value(std::move(cancelled));
       return future;
     }
+    if (static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth) {
+      if (options_.overflow == OverflowPolicy::kRejectNewest) {
+        rejected_total_->Increment();
+        ServeResult rejected;
+        rejected.status = UnavailableError("submit queue full");
+        rejected.plan_version = plan_version_.load(std::memory_order_relaxed);
+        pending.promise.set_value(std::move(rejected));
+        return future;
+      }
+      // kShedOldest: the oldest queued request makes room for the newcomer.
+      Pending oldest = std::move(queue_.front());
+      queue_.pop_front();
+      shed_total_->Increment();
+      ServeResult shed;
+      shed.status = UnavailableError("shed under overload (oldest-first)");
+      shed.plan_version = plan_version_.load(std::memory_order_relaxed);
+      oldest.promise.set_value(std::move(shed));
+    }
     queue_.push_back(std::move(pending));
+    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
   }
   queue_cv_.notify_one();
   return future;
@@ -105,41 +257,185 @@ std::future<ServeResult> PolicyServer::Submit(
 void PolicyServer::DispatcherLoop() {
   std::vector<Pending> batch;
   std::vector<const std::vector<env::UgvObservation>*> span;
+  std::vector<size_t> live;
   std::vector<ServeResult> results;
   for (;;) {
+    if (options_.dispatch_gate) options_.dispatch_gate();
     batch.clear();
+    bool draining = false;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      const int64_t take = std::min<int64_t>(
-          options_.max_batch, static_cast<int64_t>(queue_.size()));
-      for (int64_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      if (shutdown_) {
+        // Draining: every not-yet-dispatched request resolves kCancelled.
+        // Submit() stops admitting once shutdown_ is set, so this empties
+        // the queue for good.
+        while (!queue_.empty()) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+        draining = true;
+      } else {
+        const int64_t take = std::min<int64_t>(
+            options_.max_batch, static_cast<int64_t>(queue_.size()));
+        for (int64_t i = 0; i < take; ++i) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
       }
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
     }
+    if (draining) {
+      const int64_t version = plan_version_.load(std::memory_order_relaxed);
+      for (Pending& pending : batch) {
+        ServeResult cancelled;
+        cancelled.status = CancelledError("policy server is shutting down");
+        cancelled.plan_version = version;
+        pending.promise.set_value(std::move(cancelled));
+      }
+      return;
+    }
+    // Deadline check at dequeue: an expired request completes here and never
+    // consumes a plan Execute.
+    const int64_t now_ns = NowNs();
     span.clear();
-    for (const Pending& pending : batch) span.push_back(&pending.observations);
-    ServeSpan(span, &results);
+    live.clear();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Pending& pending = batch[i];
+      if (pending.deadline_ns > 0 && now_ns >= pending.deadline_ns) {
+        deadline_miss_total_->Increment();
+        deadline_miss_us_->Observe(
+            static_cast<double>(now_ns - pending.deadline_ns) / 1000.0);
+        ServeResult expired;
+        expired.status = DeadlineExceededError("deadline expired in queue");
+        expired.plan_version = plan_version_.load(std::memory_order_relaxed);
+        pending.promise.set_value(std::move(expired));
+        continue;
+      }
+      span.push_back(&pending.observations);
+      live.push_back(i);
+    }
+    results.clear();
+    if (!span.empty()) ServeSpan(span, &results);
     // Latency is recorded here, after the fan-out returned — never from
     // inside a ParallelFor body.
-    const int64_t now_ns = obs::MonotonicNowNs();
-    for (size_t i = 0; i < batch.size(); ++i) {
+    const int64_t done_ns = NowNs();
+    for (size_t j = 0; j < live.size(); ++j) {
+      Pending& pending = batch[live[j]];
       latency_us_->Observe(
-          static_cast<double>(now_ns - batch[i].enqueue_ns) / 1000.0);
-      batch[i].promise.set_value(std::move(results[i]));
+          static_cast<double>(done_ns - pending.enqueue_ns) / 1000.0);
+      pending.promise.set_value(std::move(results[j]));
     }
   }
+}
+
+Status PolicyServer::ValidateCandidate(const core::ServingPlan& candidate) {
+  std::shared_ptr<PlanState> current = CurrentState();
+  if (!candidate.ShapeCompatible(*current->plan)) {
+    return FailedPreconditionError(StrPrintf(
+        "candidate plan shape mismatch: B=%lld U=%lld ops=%zu+%zu, serving "
+        "B=%lld U=%lld ops=%zu+%zu",
+        static_cast<long long>(candidate.num_stops()),
+        static_cast<long long>(candidate.num_ugvs()),
+        candidate.spatial_ops().size(), candidate.comm_ops().size(),
+        static_cast<long long>(current->plan->num_stops()),
+        static_cast<long long>(current->plan->num_ugvs()),
+        current->plan->spatial_ops().size(), current->plan->comm_ops().size()));
+  }
+  if (options_.probe_request.empty()) return Status::Ok();
+  core::ServingWorkspace ws = candidate.MakeWorkspace();
+  std::vector<env::UgvAction> actions;
+  GARL_RETURN_IF_ERROR(candidate.Execute(options_.probe_request, &ws, &actions));
+  auto all_finite = [](const std::vector<float>& values, size_t count) {
+    for (size_t i = 0; i < count && i < values.size(); ++i) {
+      if (!std::isfinite(values[i])) return false;
+    }
+    return true;
+  };
+  const size_t ugvs = options_.probe_request.size();
+  const size_t stops = static_cast<size_t>(candidate.num_stops());
+  if (!all_finite(ws.values, ugvs) ||
+      !all_finite(ws.release_logits, ugvs * 2) ||
+      !all_finite(ws.target_logits, ugvs * stops)) {
+    return FailedPreconditionError(
+        "candidate plan produced non-finite probe outputs");
+  }
+  return Status::Ok();
+}
+
+Status PolicyServer::Reload(const std::string& checkpoint_dir) {
+  std::lock_guard<std::mutex> reload_lock(reload_mutex_);
+  auto fail = [this](Status status) {
+    reload_failure_total_->Increment();
+    return status;
+  };
+  if (options_.reload_policy == nullptr || options_.reload_context == nullptr) {
+    return fail(FailedPreconditionError(
+        "Reload needs PolicyServerOptions::reload_policy and reload_context"));
+  }
+  // Load + compile + validate happen entirely off to the side: the serving
+  // plan snapshots weights by value, so even a half-written reload_policy
+  // (load failed mid-file) cannot disturb in-flight or future batches.
+  StatusOr<int64_t> episode =
+      rl::LoadPolicyForInference(checkpoint_dir, options_.reload_policy);
+  if (!episode.ok()) return fail(episode.status());
+  StatusOr<core::ServingPlan> candidate =
+      core::ServingPlan::Compile(*options_.reload_policy,
+                                 *options_.reload_context);
+  if (!candidate.ok()) return fail(candidate.status());
+  Status valid = ValidateCandidate(candidate.value());
+  if (!valid.ok()) return fail(valid);
+
+  auto state = std::make_shared<PlanState>();
+  state->owned = std::move(candidate).value();
+  state->plan = &*state->owned;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    state->version = plan_state_->version + 1;
+    // The old state (plan + workspace pool) stays alive until the last
+    // in-flight batch drops its snapshot, then frees itself.
+    plan_state_ = state;
+  }
+  plan_version_.store(state->version, std::memory_order_relaxed);
+  reload_total_->Increment();
+  return Status::Ok();
+}
+
+HealthSnapshot PolicyServer::Health() const {
+  HealthSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    snapshot.state = health_state_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    snapshot.queue_depth = static_cast<int64_t>(queue_.size());
+  }
+  snapshot.plan_version = plan_version_.load(std::memory_order_relaxed);
+  snapshot.served = served_.load(std::memory_order_relaxed);
+  snapshot.shed = shed_total_->value();
+  snapshot.rejected = rejected_total_->value();
+  snapshot.deadline_misses = deadline_miss_total_->value();
+  snapshot.execute_failures = execute_failure_total_->value();
+  snapshot.breaker_trips = breaker_trip_total_->value();
+  snapshot.reloads = reload_total_->value();
+  snapshot.reload_failures = reload_failure_total_->value();
+  return snapshot;
 }
 
 void PolicyServer::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (shutdown_ && !dispatcher_.joinable()) return;
     shutdown_ = true;
   }
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    health_state_ = HealthState::kDraining;
+  }
   queue_cv_.notify_all();
+  // join_mutex_ makes concurrent Shutdown() calls safe: exactly one caller
+  // joins, the rest wait for it (std::thread::join from two threads is UB).
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 

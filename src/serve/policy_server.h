@@ -5,9 +5,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -28,11 +31,66 @@
 // packed into a batch, what arrived around it, or GARL_NUM_THREADS — the
 // packing-invariance property serving_test locks down.
 //
-// Latency histograms (microseconds, enqueue to completion) are recorded on
-// the dispatcher thread after the fan-out returns; nothing observability-
-// related runs inside ParallelFor bodies (garl_lint parallel-unsafe).
+// Overload and failure behavior (serving_chaos_test):
+//   - Admission control: the Submit queue is bounded by `max_queue_depth`.
+//     A full queue either rejects the newcomer (kRejectNewest) or sheds the
+//     oldest queued request (kShedOldest); both resolve the victim's future
+//     with kUnavailable, deterministically, under the queue lock.
+//   - Deadlines: each request may carry a deadline (plus a server-wide
+//     default). Expired requests complete with kDeadlineExceeded at dequeue,
+//     before the fan-out, and never consume a plan Execute.
+//   - Hot reload: Reload() loads a checkpoint, compiles a candidate plan,
+//     validates it (clean CRC load, shape match, finite-output probe) and
+//     atomically swaps plan + workspace pool between batches. Any failure
+//     rolls back: the old plan keeps serving and a clean Status is returned.
+//     Every ServeResult echoes the `plan_version` that produced it; because
+//     a batch snapshots one plan state at entry, a single batch never mixes
+//     versions.
+//   - Circuit breaker: `breaker_failure_threshold` consecutive Execute
+//     failures trip the server into kDegraded, where it fast-rejects with
+//     kUnavailable except for every `breaker_probe_interval`-th request
+//     (half-open probe); `breaker_probe_successes` consecutive probe
+//     successes close the breaker back to kServing. All breaker decisions
+//     happen sequentially in request order on the dispatcher/caller thread,
+//     so trip points are deterministic for a deterministic request stream.
+//
+// Latency and deadline-miss histograms (microseconds) are recorded on the
+// dispatcher thread after the fan-out returns; nothing observability-related
+// runs inside ParallelFor bodies (garl_lint parallel-unsafe).
 
 namespace garl::serve {
+
+// What a full Submit queue does to make room.
+enum class OverflowPolicy {
+  kRejectNewest,  // fail the incoming request
+  kShedOldest,    // fail the oldest queued request, admit the newcomer
+};
+
+// Lifecycle + breaker state, surfaced through Health().
+enum class HealthState {
+  kStarting,  // constructed, no batch completed yet
+  kServing,   // healthy steady state
+  kDegraded,  // breaker open: fast-reject with periodic half-open probes
+  kDraining,  // Shutdown() started; every queued request resolves kCancelled
+};
+
+const char* HealthStateName(HealthState state);
+
+// Point-in-time health/ops snapshot. Counters are cumulative since
+// construction; queue_depth is instantaneous.
+struct HealthSnapshot {
+  HealthState state = HealthState::kStarting;
+  int64_t plan_version = 0;
+  int64_t queue_depth = 0;
+  int64_t served = 0;
+  int64_t shed = 0;
+  int64_t rejected = 0;
+  int64_t deadline_misses = 0;
+  int64_t execute_failures = 0;
+  int64_t breaker_trips = 0;
+  int64_t reloads = 0;
+  int64_t reload_failures = 0;
+};
 
 struct PolicyServerOptions {
   // Max requests the async dispatcher packs into one fan-out.
@@ -41,21 +99,65 @@ struct PolicyServerOptions {
   std::vector<double> latency_bounds_us = {50,    100,   250,   500,
                                            1000,  2500,  5000,  10000,
                                            25000, 50000, 100000};
-  // Registry owning the latency histogram; nullptr = MetricsRegistry::Global.
+  // Upper bounds (microseconds) for the deadline-miss histogram (how far
+  // past its deadline an expired request was observed at dequeue).
+  std::vector<double> deadline_miss_bounds_us = {100,   500,    1000,  5000,
+                                                 10000, 50000, 100000};
+  // Registry owning the serve metrics; nullptr = MetricsRegistry::Global.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // Admission control: Submit fails (or sheds) once this many requests are
+  // queued. Must be >= 1.
+  int64_t max_queue_depth = 1024;
+  OverflowPolicy overflow = OverflowPolicy::kRejectNewest;
+
+  // Server-wide default deadline applied when Submit is called without an
+  // explicit one. 0 disables the default.
+  int64_t default_deadline_us = 0;
+
+  // Circuit breaker tuning (see class comment). Thresholds must be >= 1.
+  int64_t breaker_failure_threshold = 8;
+  int64_t breaker_probe_interval = 4;
+  int64_t breaker_probe_successes = 3;
+
+  // Hot-reload wiring: Reload() loads the checkpoint into `reload_policy`
+  // (which must be the serving model shape) and compiles the candidate plan
+  // against `reload_context`. Reload() returns kFailedPrecondition when
+  // either is null. `probe_request` is the canned observation set used for
+  // the finite-output validation probe; when empty the probe is skipped.
+  rl::FeatureUgvPolicy* reload_policy = nullptr;
+  const rl::EnvContext* reload_context = nullptr;
+  std::vector<env::UgvObservation> probe_request;
+
+  // Test seams. `now_fn` replaces obs::MonotonicNowNs for enqueue stamps and
+  // deadline checks, so deadline tests are clock-independent.
+  // `dispatch_gate` is invoked by the dispatcher at the top of every drain
+  // iteration, outside all server locks; chaos tests block it to fill the
+  // queue to a deterministic depth. `worker_stall_hook` is invoked once per
+  // admitted request inside the fan-out, before Execute — the slow-worker
+  // injection point (sim::ServingFaultInjector). All three default to
+  // no-ops and must not call back into the server.
+  std::function<int64_t()> now_fn;
+  std::function<void()> dispatch_gate;
+  std::function<void()> worker_stall_hook;
 };
 
 // One request's answer. `status` is per request: a malformed observation
-// fails its own request only, never the batch around it.
+// fails its own request only, never the batch around it. `plan_version`
+// identifies the plan state that handled the request (starts at 1, +1 per
+// successful Reload); it is set for served, rejected and expired requests
+// alike.
 struct ServeResult {
   Status status;
   std::vector<env::UgvAction> actions;  // per UGV, greedy
   std::vector<float> values;            // per UGV critic value
+  int64_t plan_version = 0;
 };
 
 class PolicyServer {
  public:
-  // `plan` must outlive the server.
+  // `plan` must outlive the server (it is plan_version 1; Reload snapshots
+  // later plans by value).
   explicit PolicyServer(const core::ServingPlan* plan,
                         PolicyServerOptions options = {});
   ~PolicyServer();
@@ -65,50 +167,122 @@ class PolicyServer {
 
   // Serves `requests` (each the joint observation of one env step) as one
   // batch. `results` is resized to match; results[i] corresponds to
-  // requests[i] whatever the internal chunking.
+  // requests[i] whatever the internal chunking. The whole batch runs on one
+  // plan version. Deadlines do not apply to this synchronous path; the
+  // breaker does.
   void ServeBatch(const std::vector<std::vector<env::UgvObservation>>& requests,
                   std::vector<ServeResult>* results);
 
   // Enqueues one request; the dispatcher thread batches and serves it.
-  // After Shutdown() the returned future holds a Cancelled result.
-  std::future<ServeResult> Submit(
-      std::vector<env::UgvObservation> observations);
+  // `deadline_us` semantics: > 0 is a per-request deadline measured from
+  // enqueue; 0 applies the server default; < 0 disables any deadline.
+  // A full queue resolves a future immediately with kUnavailable (the
+  // newcomer's or the shed oldest's, per OverflowPolicy). After — or
+  // concurrently with — Shutdown() the returned future deterministically
+  // holds a kCancelled result; it never hangs.
+  std::future<ServeResult> Submit(std::vector<env::UgvObservation> observations,
+                                  int64_t deadline_us = 0);
 
-  // Drains the queue, stops the dispatcher and joins it. Idempotent; the
-  // destructor calls it.
+  // Hot-swaps the serving plan from the newest checkpoint in
+  // `checkpoint_dir`. On any failure (load error, compile error, shape
+  // mismatch, non-finite probe output) the old plan keeps serving and the
+  // error is returned — all-or-nothing, never a half-swapped state.
+  // Safe to call while serving; concurrent Reloads serialize.
+  [[nodiscard]] Status Reload(const std::string& checkpoint_dir);
+
+  // Cancels every queued request (kCancelled), stops the dispatcher and
+  // joins it. Idempotent and safe to race with Submit; the destructor
+  // calls it.
   void Shutdown();
+
+  HealthSnapshot Health() const;
 
   // Requests fully served so far (both entry points).
   int64_t served() const { return served_.load(std::memory_order_relaxed); }
 
+  // Version of the plan new batches run on (1 until the first Reload).
+  int64_t plan_version() const {
+    return plan_version_.load(std::memory_order_relaxed);
+  }
+
   // The latency histogram (async path only), for snapshots in tests/bench.
   const obs::Histogram& latency_histogram() const { return *latency_us_; }
+  // How far past their deadline expired requests were at dequeue.
+  const obs::Histogram& deadline_miss_histogram() const {
+    return *deadline_miss_us_;
+  }
 
  private:
+  // One plan generation: the compiled plan, its version and the workspace
+  // pool sized for it. A batch snapshots one PlanState at entry and holds it
+  // via shared_ptr for the whole fan-out, so Reload can swap `plan_state_`
+  // without waiting for in-flight batches and no batch ever mixes versions.
+  struct PlanState {
+    const core::ServingPlan* plan = nullptr;  // &*owned for reloaded states
+    std::optional<core::ServingPlan> owned;
+    int64_t version = 0;
+    std::mutex workspace_mutex;
+    std::vector<std::unique_ptr<core::ServingWorkspace>> pool;
+  };
+
   struct Pending {
     std::vector<env::UgvObservation> observations;
     std::promise<ServeResult> promise;
     int64_t enqueue_ns = 0;
+    int64_t deadline_ns = 0;  // 0: none
   };
 
-  void ServeSpan(const std::vector<const std::vector<env::UgvObservation>*>&
-                     requests,
-                 std::vector<ServeResult>* results);
+  int64_t NowNs() const;
+  std::shared_ptr<PlanState> CurrentState() const;
+  void ServeSpan(
+      const std::vector<const std::vector<env::UgvObservation>*>& requests,
+      std::vector<ServeResult>* results);
   void DispatcherLoop();
-  std::unique_ptr<core::ServingWorkspace> AcquireWorkspace();
-  void ReleaseWorkspace(std::unique_ptr<core::ServingWorkspace> ws);
+  // Breaker admission for the next request, decided sequentially in request
+  // order. Returns false when the breaker is open and this request is not a
+  // half-open probe.
+  bool AdmitThroughBreaker();
+  // Feeds one Execute outcome (request order) back into the breaker.
+  void RecordExecuteOutcome(bool ok);
+  void MarkServingIfStarting();
+  static std::unique_ptr<core::ServingWorkspace> AcquireWorkspace(
+      PlanState* state);
+  static void ReleaseWorkspace(PlanState* state,
+                               std::unique_ptr<core::ServingWorkspace> ws);
+  [[nodiscard]] Status ValidateCandidate(const core::ServingPlan& candidate);
 
-  const core::ServingPlan* plan_;
   PolicyServerOptions options_;
-  obs::Histogram* latency_us_;  // owned by the registry
 
-  std::mutex workspace_mutex_;
-  std::vector<std::unique_ptr<core::ServingWorkspace>> workspace_pool_;
+  // Owned by the registry.
+  obs::Histogram* latency_us_;
+  obs::Histogram* deadline_miss_us_;
+  obs::Counter* shed_total_;
+  obs::Counter* rejected_total_;
+  obs::Counter* deadline_miss_total_;
+  obs::Counter* execute_failure_total_;
+  obs::Counter* breaker_trip_total_;
+  obs::Counter* reload_total_;
+  obs::Counter* reload_failure_total_;
+  obs::Gauge* queue_depth_gauge_;
 
-  std::mutex queue_mutex_;
+  // Lock order (when nested): state_mutex_ -> queue_mutex_; health_mutex_
+  // and reload_mutex_ never nest inside either.
+  mutable std::mutex state_mutex_;
+  std::shared_ptr<PlanState> plan_state_;
+  std::atomic<int64_t> plan_version_{1};
+  std::mutex reload_mutex_;  // serializes Reload() callers
+
+  mutable std::mutex health_mutex_;
+  HealthState health_state_ = HealthState::kStarting;
+  int64_t consecutive_failures_ = 0;
+  int64_t probe_counter_ = 0;
+  int64_t probe_successes_ = 0;
+
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<Pending> queue_;
   bool shutdown_ = false;
+  std::mutex join_mutex_;  // makes concurrent Shutdown() calls safe
   std::thread dispatcher_;
   std::atomic<int64_t> served_{0};
 };

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/clock.h"
 #include "obs/metrics.h"
 
 namespace garl::sim {
@@ -35,6 +36,12 @@ void AppendF64(std::string* out, double v) {
 }
 
 int64_t WindowSlots(int64_t configured) { return std::max<int64_t>(1, configured); }
+
+// Sub-stream selectors inside the fault lineage, so the serving request
+// stream, the fs write stream (0xF5F5F5F5) and the fs read stream never
+// alias each other.
+constexpr uint64_t kServingRequestStream = 0x5EB71CE5u;
+constexpr uint64_t kServingReadStream = 0x0DD15C0Fu;
 
 }  // namespace
 
@@ -223,6 +230,135 @@ int64_t ScheduledFsFaults::injected() const {
 int64_t ScheduledFsFaults::recovered() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return recovered_;
+}
+
+int64_t ServingFaultPlan::MalformCount() const {
+  int64_t count = 0;
+  for (const ServingRequestFault& e : events) count += e.malform ? 1 : 0;
+  return count;
+}
+
+int64_t ServingFaultPlan::StallCount() const {
+  int64_t count = 0;
+  for (const ServingRequestFault& e : events) count += e.stall_us > 0 ? 1 : 0;
+  return count;
+}
+
+const ServingRequestFault* ServingFaultPlan::At(int64_t request) const {
+  auto it = std::lower_bound(
+      events.begin(), events.end(), request,
+      [](const ServingRequestFault& e, int64_t r) { return e.request < r; });
+  if (it == events.end() || it->request != request) return nullptr;
+  return &*it;
+}
+
+uint32_t ServingFaultPlan::Digest() const {
+  std::string buffer;
+  AppendI64(&buffer, num_requests);
+  AppendI64(&buffer, static_cast<int64_t>(events.size()));
+  for (const ServingRequestFault& e : events) {
+    AppendI64(&buffer, e.request);
+    AppendI64(&buffer, e.malform ? 1 : 0);
+    AppendI64(&buffer, e.stall_us);
+  }
+  return Crc32(buffer);
+}
+
+ServingFaultPlan BuildServingFaultPlan(const ServingFaultConfig& config,
+                                       uint64_t base_seed,
+                                       int64_t num_requests) {
+  ServingFaultPlan plan;
+  plan.num_requests = num_requests;
+  if (!config.enabled) return plan;
+  Rng rng(Rng::StreamSeed(
+      Rng::StreamSeed(base_seed, config.seed ^ kFaultStreamTag),
+      kServingRequestStream));
+  // Fixed draw order per request (stall, then malform) regardless of which
+  // events fire, so the schedule is a pure function of the stream.
+  int64_t burst_left = 0;
+  for (int64_t r = 0; r < num_requests; ++r) {
+    ServingRequestFault fault;
+    fault.request = r;
+    if (rng.Bernoulli(config.stall_prob)) {
+      fault.stall_us = std::max<int64_t>(1, config.stall_us);
+    }
+    const bool malform_draw = rng.Bernoulli(config.malform_prob);
+    if (burst_left > 0) {
+      fault.malform = true;
+      --burst_left;
+    } else if (malform_draw) {
+      fault.malform = true;
+      burst_left = std::max<int64_t>(1, config.malform_burst) - 1;
+    }
+    if (fault.malform || fault.stall_us > 0) plan.events.push_back(fault);
+  }
+  return plan;
+}
+
+ServingStallInjector::ServingStallInjector(const ServingFaultPlan* plan)
+    : plan_(plan) {
+  GARL_CHECK(plan_ != nullptr);
+}
+
+std::function<void()> ServingStallInjector::Hook() {
+  return [this] { OnExecute(); };
+}
+
+void ServingStallInjector::OnExecute() {
+  const int64_t call = next_call_.fetch_add(1, std::memory_order_relaxed);
+  const ServingRequestFault* fault = plan_->At(call);
+  if (fault == nullptr || fault->stall_us <= 0) return;
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  // Busy-wait rather than sleep: a stalled worker occupies its thread, which
+  // is the degradation mode we are modelling (and nanosleep granularity
+  // would swamp microsecond stalls anyway).
+  const int64_t until = obs::MonotonicNowNs() + fault->stall_us * 1000;
+  while (obs::MonotonicNowNs() < until) {
+  }
+}
+
+ScheduledFsReadFaults::ScheduledFsReadFaults(const ServingFaultConfig& config,
+                                             uint64_t base_seed)
+    : config_(config),
+      rng_(Rng::StreamSeed(Rng::StreamSeed(base_seed,
+                                           config.seed ^ kFaultStreamTag),
+                           kServingReadStream)),
+      hook_([this](std::string_view path) { return OnReadAttempt(path); }) {}
+
+int64_t ScheduledFsReadFaults::injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+int64_t ScheduledFsReadFaults::recovered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recovered_;
+}
+
+InjectedReadFault ScheduledFsReadFaults::OnReadAttempt(std::string_view path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key(path);
+  int64_t& consecutive = consecutive_[key];
+  bool inject =
+      config_.read_fault_prob > 0.0 &&
+      consecutive < std::max<int64_t>(config_.read_max_consecutive, 0) &&
+      rng_.Bernoulli(config_.read_fault_prob);
+  if (!inject) {
+    if (consecutive > 0) {
+      ++recovered_;
+      obs::MetricsRegistry::Global().GetCounter("faults.fs_read_recovered")
+          .Increment();
+    }
+    consecutive = 0;
+    return InjectedReadFault{};
+  }
+  ++consecutive;
+  ++injected_;
+  obs::MetricsRegistry::Global().GetCounter("faults.fs_read_injected")
+      .Increment();
+  InjectedReadFault fault;
+  fault.error_number = EIO;
+  return fault;
 }
 
 InjectedWriteFault ScheduledFsFaults::OnWriteAttempt(std::string_view path) {

@@ -1,7 +1,9 @@
 #ifndef GARL_SIM_FAULTS_H_
 #define GARL_SIM_FAULTS_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -31,6 +33,14 @@
 // paths) driven through fs_util's write-fault hook by ScheduledFsFaults.
 // The env layer consumes the first four through env::SlotFaults; nothing
 // here touches World directly, keeping sim → env a one-way dependency.
+//
+// The serving layer has its own schedule family (same seeded SplitMix64
+// stream splitting, same digest discipline): BuildServingFaultPlan draws
+// per-request slow-worker stalls and malformed-observation bursts for a
+// serve::PolicyServer request stream, ServingStallInjector turns the stall
+// events into the server's worker_stall_hook, and ScheduledFsReadFaults
+// drives fs_util's read-fault hook so checkpoint reads fail transiently
+// during hot reload (serving_chaos_test).
 
 namespace garl::sim {
 
@@ -168,6 +178,106 @@ class ScheduledFsFaults {
   int64_t injected_ = 0;
   int64_t recovered_ = 0;
   ScopedWriteFaultHook hook_;  // last member: armed only once state is ready
+};
+
+// Serving-path fault classes. All probabilities are per request
+// (read_fault_prob is per ReadFileToString attempt). Default-constructed
+// config is fully disabled.
+struct ServingFaultConfig {
+  bool enabled = false;
+  // Fault stream selector, independent of the request-stream seed.
+  uint64_t seed = 0;
+
+  // Slow-worker stall: the request's Execute is preceded by a busy-wait.
+  double stall_prob = 0.0;
+  int64_t stall_us = 200;
+  // Malformed-observation burst: starting at a drawn request, this many
+  // consecutive requests carry a corrupted observation.
+  double malform_prob = 0.0;
+  int64_t malform_burst = 1;
+  // Transient checkpoint-read faults during hot reload.
+  double read_fault_prob = 0.0;
+  int64_t read_max_consecutive = 2;
+};
+
+// At most one event per request; absent request indices are clean.
+struct ServingRequestFault {
+  int64_t request = 0;
+  bool malform = false;
+  int64_t stall_us = 0;  // 0: no stall
+};
+
+// One request stream's complete serving fault schedule.
+struct ServingFaultPlan {
+  int64_t num_requests = 0;
+  std::vector<ServingRequestFault> events;  // ascending by request index
+
+  int64_t MalformCount() const;
+  int64_t StallCount() const;
+  // The event for `request`, nullptr when the request is clean.
+  const ServingRequestFault* At(int64_t request) const;
+  // CRC-32 over the canonical little-endian serialization (same discipline
+  // as EpisodeFaultPlan::Digest): two plans digest equal iff they schedule
+  // the same serving faults.
+  uint32_t Digest() const;
+};
+
+// Derives the schedule for a stream of `num_requests` requests. Pure
+// function of (base_seed, config.seed, request index): bit-reproducible,
+// thread-count-invariant, independent of how requests get packed into
+// batches. Draw order per request is fixed (stall, then malform).
+ServingFaultPlan BuildServingFaultPlan(const ServingFaultConfig& config,
+                                       uint64_t base_seed,
+                                       int64_t num_requests);
+
+// Adapts the plan's stall events to serve::PolicyServerOptions::
+// worker_stall_hook: the k-th Execute across the server's lifetime
+// busy-waits for the plan's request-k stall (call order inside a fan-out is
+// scheduler-dependent, which is exactly the point — stalls perturb timing,
+// never results). Thread-safe; `plan` must outlive the injector.
+class ServingStallInjector {
+ public:
+  explicit ServingStallInjector(const ServingFaultPlan* plan);
+
+  // Bind the result to PolicyServerOptions::worker_stall_hook.
+  std::function<void()> Hook();
+
+  int64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+
+ private:
+  void OnExecute();
+
+  const ServingFaultPlan* plan_;
+  std::atomic<int64_t> next_call_{0};
+  std::atomic<int64_t> stalls_{0};
+};
+
+// Read-side twin of ScheduledFsFaults: drives fs_util's read-fault hook
+// from a deterministic per-attempt stream. Each ReadFileToString attempt
+// fails with read_fault_prob (EIO), but never more than
+// read_max_consecutive times in a row for the same path, so a reload retry
+// loop always reaches a clean read. Counts into the obs counters
+// faults.fs_read_injected / faults.fs_read_recovered.
+class ScheduledFsReadFaults {
+ public:
+  ScheduledFsReadFaults(const ServingFaultConfig& config, uint64_t base_seed);
+  ~ScheduledFsReadFaults() = default;
+  ScheduledFsReadFaults(const ScheduledFsReadFaults&) = delete;
+  ScheduledFsReadFaults& operator=(const ScheduledFsReadFaults&) = delete;
+
+  int64_t injected() const;
+  int64_t recovered() const;
+
+ private:
+  InjectedReadFault OnReadAttempt(std::string_view path);
+
+  mutable std::mutex mutex_;
+  ServingFaultConfig config_;
+  Rng rng_;
+  std::unordered_map<std::string, int64_t> consecutive_;
+  int64_t injected_ = 0;
+  int64_t recovered_ = 0;
+  ScopedReadFaultHook hook_;  // last member: armed only once state is ready
 };
 
 }  // namespace garl::sim

@@ -93,7 +93,14 @@ TEST(GarlLintFixtures, DirectIoFiresOnOfstreamFilesystemAndMkdir) {
   EXPECT_EQ(FindingsFor("src/bad_io.cc"),
             (Expected{{8, "direct-io"},
                       {13, "direct-io"},
-                      {17, "direct-io"}}));
+                      {17, "direct-io"},
+                      {21, "direct-io"}}));
+}
+
+TEST(GarlLintFixtures, IfstreamBanIsScopedToSrcNotTools) {
+  // The ifstream arm of direct-io covers library code only: tools/ may
+  // stream large inputs directly (see tools/stream_reader.cc fixture).
+  EXPECT_TRUE(FindingsFor("tools/stream_reader.cc").empty());
 }
 
 TEST(GarlLintFixtures, ProcessSpawnFiresOutsideProcFunnel) {
@@ -162,6 +169,13 @@ TEST(GarlLintFixtures, ParallelUnsafeCoversRequestQueueWorkerLambdas) {
             (Expected{{26, "parallel-unsafe"}}));
 }
 
+TEST(GarlLintFixtures, ParallelUnsafeFiresOnReloadFromWorker) {
+  // Hot reload from a pool worker: Reload is one helper hop from the
+  // ParallelFor body lambda (body -> MaybeRefreshPlan -> Reload).
+  EXPECT_EQ(FindingsFor("src/par/reload_parallel.cc"),
+            (Expected{{23, "parallel-unsafe"}}));
+}
+
 TEST(GarlLintFixtures, ParallelUnsafeSuppressionAndNearMissesStayQuiet) {
   EXPECT_TRUE(FindingsFor("src/par/suppressed_parallel.cc").empty());
   EXPECT_TRUE(FindingsFor("src/par/near_miss_parallel.cc").empty());
@@ -206,6 +220,7 @@ TEST(GarlLintFixtures, NoUnexpectedFindings) {
       "src/nn/ops.cc",       "src/nn/simd.h",         "src/obs/bad_obs_time.cc",
       "src/bad_io.cc",       "src/bad_spawn.cc",      "src/taint/bad_taint.cc",
       "src/par/bad_parallel.cc", "src/par/queue_worker_parallel.cc",
+      "src/par/reload_parallel.cc",
       "src/prop/bad_prop.cc", "src/prop/near_miss_prop.cc"};
   for (const auto& finding : FixtureFindings()) {
     EXPECT_TRUE(expected_files.count(finding.file))

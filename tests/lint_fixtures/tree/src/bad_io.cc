@@ -16,3 +16,8 @@ void MutateTree(const std::filesystem::path& dir) {
 void MakeDirRaw(const char* path) {
   ::mkdir(path, 0755);  // finding: direct-io (raw mkdir)
 }
+
+void ReadDirectly(const char* path) {
+  std::ifstream in(path);  // finding: direct-io (ifstream — src/ only)
+  (void)in;
+}

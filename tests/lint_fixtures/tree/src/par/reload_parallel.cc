@@ -1,0 +1,33 @@
+// parallel-unsafe coverage for hot reload: PolicyServer-style Reload takes
+// the server state mutex and blocks on checkpoint I/O + plan compilation, so
+// it is banned from ParallelFor-reachable code. The call sits one helper hop
+// down from the worker lambda (body -> MaybeRefreshPlan -> Reload) and must
+// be flagged; reload belongs on a control thread, never a pool worker.
+#include <cstdint>
+
+namespace garl {
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 void (*body)(int64_t));
+
+class ReloadingServer {
+ public:
+  void ServeSpan(int64_t pending);
+  int Reload(const char* checkpoint_dir);
+
+ private:
+  void MaybeRefreshPlan();
+};
+
+void ReloadingServer::MaybeRefreshPlan() {
+  Reload("ckpt");  // one hop from the worker lambda: must be flagged
+}
+
+void ReloadingServer::ServeSpan(int64_t pending) {
+  ParallelFor(0, pending, 1, [this](int64_t i) {
+    (void)i;
+    MaybeRefreshPlan();
+  });
+}
+
+}  // namespace garl

@@ -1,0 +1,12 @@
+// Fixture: std::ifstream in tools/ is allowed (the ifstream ban is scoped to
+// src/, where reads must flow through the fault-injectable ReadFileToString).
+// Nothing in this file may fire.
+#include <fstream>
+#include <string>
+
+std::string ReadToolInput(const char* path) {
+  std::ifstream in(path, std::ios::binary);  // clean: tools/ may stream reads
+  std::string line;
+  std::getline(in, line);
+  return line;
+}

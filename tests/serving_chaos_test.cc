@@ -1,0 +1,629 @@
+// Chaos coverage for the overload-safe serving layer (serve::PolicyServer +
+// sim serving fault schedules). Locks down the acceptance properties:
+//   (a) a full Submit queue resolves victims with kUnavailable and golden,
+//       seed-deterministic shed counts (oldest-first under kShedOldest);
+//   (b) expired deadlines complete kDeadlineExceeded at dequeue and never
+//       consume a plan Execute;
+//   (c) hot reload under injected checkpoint-read faults either swaps fully
+//       (every result in a batch carries the new plan_version) or rolls back
+//       fully (old version everywhere) — never a mixed batch;
+//   (d) completed-request bytes are identical across GARL_NUM_THREADS {1,4}
+//       and batch packings while stalls and malformed-observation bursts
+//       from a seeded sim::ServingFaultPlan are hammering the server;
+// plus the circuit-breaker lifecycle (deterministic trip, half-open probes,
+// deterministic recovery) behind them.
+//
+// Every server here gets a private MetricsRegistry: the tests assert golden
+// counter values, which the process-global registry would accumulate across
+// tests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/garl_extractor.h"
+#include "core/serving_plan.h"
+#include "env/world.h"
+#include "nn/serialization.h"
+#include "obs/metrics.h"
+#include "rl/checkpoint.h"
+#include "rl/feature_policy.h"
+#include "rl/inference.h"
+#include "serve/policy_server.h"
+#include "sim/faults.h"
+
+namespace garl {
+namespace {
+
+env::CampusSpec TinyCampus() {
+  env::CampusSpec campus;
+  campus.name = "tiny";
+  campus.width = 400;
+  campus.height = 400;
+  campus.roads.push_back({{0, 200}, {400, 200}});
+  campus.roads.push_back({{200, 0}, {200, 400}});
+  campus.sensors.push_back({{150, 210}, 1000.0});
+  campus.sensors.push_back({{260, 190}, 1200.0});
+  campus.sensors.push_back({{200, 320}, 900.0});
+  return campus;
+}
+
+env::WorldParams TinyParams() {
+  env::WorldParams params;
+  params.num_ugvs = 2;
+  params.uavs_per_ugv = 1;
+  params.horizon = 16;
+  params.release_slots = 2;
+  return params;
+}
+
+struct Fixture {
+  explicit Fixture(uint64_t seed = 7)
+      : world(TinyCampus(), TinyParams()),
+        context(rl::MakeEnvContext(world)),
+        rng(seed) {
+    core::GarlConfig config;
+    config.mc_gcn.layers = 2;
+    config.e_comm.layers = 2;
+    policy = std::make_unique<rl::FeatureUgvPolicy>(
+        std::make_unique<core::GarlExtractor>(context, config, rng), context,
+        rl::FeaturePolicyOptions{}, rng);
+  }
+
+  std::vector<std::vector<env::UgvObservation>> Requests(int64_t n) {
+    std::vector<std::vector<env::UgvObservation>> requests;
+    auto episode = std::make_unique<env::World>(TinyCampus(), TinyParams());
+    const std::vector<env::UavAction> idle(
+        static_cast<size_t>(episode->num_uavs()));
+    for (int64_t r = 0; r < n; ++r) {
+      if (episode->Done()) {
+        episode = std::make_unique<env::World>(TinyCampus(), TinyParams());
+      }
+      requests.push_back({episode->ObserveUgv(0), episode->ObserveUgv(1)});
+      std::vector<env::UgvAction> actions(2);
+      for (int64_t u = 0; u < 2; ++u) {
+        actions[static_cast<size_t>(u)].release = (episode->slot() % 3 == 2);
+        actions[static_cast<size_t>(u)].target_stop =
+            (episode->slot() + u) % context.num_stops;
+      }
+      episode->Step(actions, idle);
+    }
+    return requests;
+  }
+
+  env::World world;
+  rl::EnvContext context;
+  Rng rng;
+  std::unique_ptr<rl::FeatureUgvPolicy> policy;
+};
+
+void ExpectResultsBitIdentical(const serve::ServeResult& a,
+                               const serve::ServeResult& b) {
+  ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+  ASSERT_TRUE(b.status.ok()) << b.status.ToString();
+  ASSERT_EQ(a.actions.size(), b.actions.size());
+  for (size_t u = 0; u < a.actions.size(); ++u) {
+    EXPECT_EQ(a.actions[u].release, b.actions[u].release);
+    EXPECT_EQ(a.actions[u].target_stop, b.actions[u].target_stop);
+  }
+  ASSERT_EQ(a.values.size(), b.values.size());
+  ASSERT_EQ(0, std::memcmp(a.values.data(), b.values.data(),
+                           a.values.size() * sizeof(float)));
+}
+
+// Blocks the dispatcher at the top of its drain loop until unblocked, giving
+// tests a deterministic window to fill (or expire) the Submit queue.
+// Unblocking is one-way; the gate never closes again.
+class DispatchGate {
+ public:
+  std::function<void()> Fn() {
+    return [this] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return open_; });
+    };
+  }
+
+  void Unblock() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+std::string TestDir(const std::string& name) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// Valid v2 checkpoint holding `policy`'s parameters (no Adam state needed on
+// the inference load path).
+std::string MakeCheckpoint(const std::string& name,
+                           const rl::FeatureUgvPolicy& policy,
+                           int64_t episode) {
+  namespace fs = std::filesystem;
+  std::string dir = TestDir(name);
+  const std::string sub = dir + "/ckpt_00000005";
+  fs::create_directories(sub);
+  Status save = nn::SaveParameters(policy.Parameters(),
+                                   sub + "/" + rl::kUgvParamsFile);
+  GARL_CHECK_MSG(save.ok(), save.ToString());
+  Status manifest = rl::WriteCheckpointManifest(
+      dir, {rl::CheckpointInfo{"ckpt_00000005", episode}});
+  GARL_CHECK_MSG(manifest.ok(), manifest.ToString());
+  return dir;
+}
+
+// A malformed joint observation: out-of-range stop index, rejected by
+// ServingPlan::Execute with kInvalidArgument (fails its own request only).
+void Corrupt(std::vector<env::UgvObservation>* request, int64_t num_stops) {
+  request->front().current_stop = num_stops + 3;
+}
+
+// ---- (a) Admission control under a blocked dispatcher ----------------------
+
+TEST(ServingChaosTest, FullQueueShedsOldestWithGoldenSeededCounts) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  // Seeded arrival bursts: total submissions are a pure function of the
+  // seed, so the shed count below is a golden constant.
+  Rng arrivals(/*seed=*/2024);
+  int64_t total = 0;
+  std::vector<int64_t> bursts;
+  for (int b = 0; b < 5; ++b) {
+    bursts.push_back(arrivals.UniformInt(1, 8));
+    total += bursts.back();
+  }
+  constexpr int64_t kDepth = 4;
+  ASSERT_GT(total, kDepth) << "seed must overflow the queue";
+
+  obs::MetricsRegistry registry;
+  DispatchGate gate;
+  serve::PolicyServerOptions options;
+  options.metrics = &registry;
+  options.max_queue_depth = kDepth;
+  options.overflow = serve::OverflowPolicy::kShedOldest;
+  options.dispatch_gate = gate.Fn();
+  serve::PolicyServer server(&plan.value(), options);
+
+  const auto request = f.Requests(1).front();
+  std::vector<std::future<serve::ServeResult>> futures;
+  for (int64_t burst : bursts) {
+    for (int64_t i = 0; i < burst; ++i) {
+      futures.push_back(server.Submit(request, /*deadline_us=*/-1));
+    }
+  }
+  // Dispatcher is parked in the gate: admission decisions are complete and
+  // deterministic before anything is served.
+  const int64_t expect_shed = total - kDepth;
+  EXPECT_EQ(server.Health().shed, expect_shed);
+  EXPECT_EQ(server.Health().queue_depth, kDepth);
+
+  // Oldest-first: exactly the first `expect_shed` futures hold kUnavailable,
+  // already resolved while the dispatcher is still blocked.
+  for (int64_t i = 0; i < expect_shed; ++i) {
+    ASSERT_EQ(futures[static_cast<size_t>(i)].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "shed future " << i << " not resolved under the queue lock";
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get().status.code(),
+              StatusCode::kUnavailable);
+  }
+
+  gate.Unblock();
+  for (int64_t i = expect_shed; i < total; ++i) {
+    const serve::ServeResult result = futures[static_cast<size_t>(i)].get();
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  }
+  EXPECT_EQ(server.served(), kDepth);
+  EXPECT_EQ(server.Health().shed, expect_shed);
+  EXPECT_EQ(server.Health().rejected, 0);
+}
+
+TEST(ServingChaosTest, FullQueueRejectsNewestDeterministically) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  obs::MetricsRegistry registry;
+  DispatchGate gate;
+  serve::PolicyServerOptions options;
+  options.metrics = &registry;
+  options.max_queue_depth = 3;
+  options.overflow = serve::OverflowPolicy::kRejectNewest;
+  options.dispatch_gate = gate.Fn();
+  serve::PolicyServer server(&plan.value(), options);
+
+  const auto request = f.Requests(1).front();
+  std::vector<std::future<serve::ServeResult>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(server.Submit(request, /*deadline_us=*/-1));
+  }
+  // The first 3 are queued; submissions 4..10 bounce immediately.
+  for (size_t i = 3; i < 10; ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(futures[i].get().status.code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(server.Health().rejected, 7);
+  EXPECT_EQ(server.Health().shed, 0);
+
+  gate.Unblock();
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(futures[i].get().status.ok());
+  }
+  EXPECT_EQ(server.served(), 3);
+}
+
+// ---- (b) Deadlines are honored at dequeue, before any Execute --------------
+
+TEST(ServingChaosTest, ExpiredDeadlinesNeverReachExecute) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  std::atomic<int64_t> fake_now_ns{1'000'000'000};
+  obs::MetricsRegistry registry;
+  DispatchGate gate;
+  serve::PolicyServerOptions options;
+  options.metrics = &registry;
+  options.default_deadline_us = 250;  // server default, exercised below
+  options.dispatch_gate = gate.Fn();
+  options.now_fn = [&fake_now_ns] { return fake_now_ns.load(); };
+  serve::PolicyServer server(&plan.value(), options);
+
+  const auto request = f.Requests(1).front();
+  // Three deadline flavors, queued while the dispatcher is parked:
+  //   [0] explicit 100us deadline   -> expires
+  //   [1] server default (250us)    -> expires
+  //   [2] no deadline (-1)          -> must be served
+  std::vector<std::future<serve::ServeResult>> futures;
+  futures.push_back(server.Submit(request, /*deadline_us=*/100));
+  futures.push_back(server.Submit(request, /*deadline_us=*/0));
+  futures.push_back(server.Submit(request, /*deadline_us=*/-1));
+
+  fake_now_ns += 5'000'000;  // +5ms: far past both deadlines
+  gate.Unblock();
+
+  EXPECT_EQ(futures[0].get().status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(futures[1].get().status.code(), StatusCode::kDeadlineExceeded);
+  const serve::ServeResult live = futures[2].get();
+  EXPECT_TRUE(live.status.ok()) << live.status.ToString();
+
+  // The expired pair consumed no Execute: only the live request was served.
+  EXPECT_EQ(server.served(), 1);
+  EXPECT_EQ(server.Health().deadline_misses, 2);
+  EXPECT_EQ(server.deadline_miss_histogram().count(), 2);
+  EXPECT_EQ(server.Health().execute_failures, 0);
+}
+
+// ---- Circuit breaker: deterministic trip, probe, and recovery --------------
+
+TEST(ServingChaosTest, BreakerTripsProbesAndRecoversDeterministically) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  obs::MetricsRegistry registry;
+  serve::PolicyServerOptions options;
+  options.metrics = &registry;
+  options.breaker_failure_threshold = 3;
+  options.breaker_probe_interval = 4;
+  options.breaker_probe_successes = 2;
+  serve::PolicyServer server(&plan.value(), options);
+
+  auto good = f.Requests(1).front();
+  auto bad = good;
+  Corrupt(&bad, f.context.num_stops);
+
+  // Three consecutive malformed requests trip the breaker.
+  std::vector<serve::ServeResult> results;
+  server.ServeBatch({bad, bad, bad}, &results);
+  for (const auto& result : results) {
+    EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_EQ(server.Health().state, serve::HealthState::kDegraded);
+  EXPECT_EQ(server.Health().breaker_trips, 1);
+  EXPECT_EQ(server.Health().execute_failures, 3);
+
+  // Degraded batch of 8 good requests. Admission is decided sequentially
+  // before the fan-out, so with probe_interval=4 exactly indices 0 and 4 are
+  // half-open probes; the other 6 fast-reject with kUnavailable. Both probes
+  // succeed (probe_successes=2), closing the breaker after the batch.
+  server.ServeBatch({good, good, good, good, good, good, good, good},
+                    &results);
+  ASSERT_EQ(results.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    if (i == 0 || i == 4) {
+      EXPECT_TRUE(results[i].status.ok()) << i << ": "
+                                          << results[i].status.ToString();
+    } else {
+      EXPECT_EQ(results[i].status.code(), StatusCode::kUnavailable) << i;
+    }
+  }
+  EXPECT_EQ(server.Health().state, serve::HealthState::kServing);
+  EXPECT_EQ(server.Health().rejected, 6);
+
+  // Recovered: the next batch is fully admitted.
+  server.ServeBatch({good, good, good}, &results);
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  }
+  EXPECT_EQ(server.Health().breaker_trips, 1);
+}
+
+// ---- (c) Hot reload under checkpoint-read faults: all-or-nothing -----------
+
+TEST(ServingChaosTest, ReloadSwapsFullyOrRollsBackFullyUnderFsFaults) {
+  Fixture serving(/*seed=*/7);
+  Fixture trained(/*seed=*/99);
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*serving.policy, serving.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const std::string good_dir = MakeCheckpoint(
+      "serving_chaos_reload_good", *trained.policy, /*episode=*/11);
+
+  // The reload target policy is a third instance so a failed load cannot
+  // disturb the fixtures.
+  Fixture reload_target(/*seed=*/5);
+  obs::MetricsRegistry registry;
+  serve::PolicyServerOptions options;
+  options.metrics = &registry;
+  options.reload_policy = reload_target.policy.get();
+  options.reload_context = &serving.context;
+  options.probe_request = serving.Requests(1).front();
+  serve::PolicyServer server(&plan.value(), options);
+
+  auto requests = serving.Requests(6);
+  std::vector<serve::ServeResult> results;
+
+  // Rollback: a checkpoint that cannot be read (every attempt faulted, cap
+  // high enough that no attempt recovers within one Reload call).
+  sim::ServingFaultConfig always_fail;
+  always_fail.enabled = true;
+  always_fail.seed = 3;
+  always_fail.read_fault_prob = 1.0;
+  always_fail.read_max_consecutive = 1000;
+  {
+    sim::ScheduledFsReadFaults faults(always_fail, /*base_seed=*/17);
+    Status reload = server.Reload(good_dir);
+    EXPECT_FALSE(reload.ok());
+  }
+  EXPECT_EQ(server.plan_version(), 1);
+  EXPECT_EQ(server.Health().reload_failures, 1);
+  EXPECT_EQ(server.Health().reloads, 0);
+  server.ServeBatch(requests, &results);
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(result.plan_version, 1) << "rolled-back reload leaked a version";
+  }
+
+  // Transient faults: each path fails at most twice in a row, so a bounded
+  // retry loop must land the swap. Between attempts the server keeps serving
+  // batches whose results all carry one uniform version — never mixed.
+  sim::ServingFaultConfig transient;
+  transient.enabled = true;
+  transient.seed = 3;
+  transient.read_fault_prob = 1.0;
+  transient.read_max_consecutive = 2;
+  int64_t failed_attempts = 0;
+  {
+    sim::ScheduledFsReadFaults faults(transient, /*base_seed=*/17);
+    bool swapped = false;
+    for (int attempt = 0; attempt < 10 && !swapped; ++attempt) {
+      swapped = server.Reload(good_dir).ok();
+      if (!swapped) ++failed_attempts;
+      server.ServeBatch(requests, &results);
+      const int64_t version = results.front().plan_version;
+      EXPECT_EQ(version, swapped ? 2 : 1);
+      for (const auto& result : results) {
+        ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+        EXPECT_EQ(result.plan_version, version) << "mixed-version batch";
+      }
+    }
+    ASSERT_TRUE(swapped) << "transient read faults starved Reload for "
+                            "10 attempts (cap is 2 consecutive per path)";
+  }
+  EXPECT_GT(failed_attempts, 0) << "fault injection never fired";
+  EXPECT_EQ(server.plan_version(), 2);
+  EXPECT_EQ(server.Health().reloads, 1);
+  EXPECT_EQ(server.Health().reload_failures, 1 + failed_attempts);
+
+  // The swapped plan serves the trained policy's bytes: a fresh server over
+  // a plan compiled directly from the trained fixture must agree.
+  StatusOr<core::ServingPlan> want_plan =
+      core::ServingPlan::Compile(*trained.policy, trained.context);
+  ASSERT_TRUE(want_plan.ok()) << want_plan.status().ToString();
+  serve::PolicyServer want_server(&want_plan.value());
+  std::vector<serve::ServeResult> want;
+  want_server.ServeBatch(requests, &want);
+  server.ServeBatch(requests, &results);
+  ASSERT_EQ(want.size(), results.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ExpectResultsBitIdentical(want[i], results[i]);
+  }
+}
+
+TEST(ServingChaosTest, ReloadValidationRejectsCorruptCheckpoint) {
+  Fixture serving(/*seed=*/7);
+  Fixture trained(/*seed=*/99);
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*serving.policy, serving.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::string dir = MakeCheckpoint("serving_chaos_reload_corrupt",
+                                   *trained.policy, /*episode=*/11);
+  // Flip one byte mid-file: the CRC check must fail the load, and the old
+  // plan must keep serving.
+  const std::string params_path = dir + "/ckpt_00000005/" + rl::kUgvParamsFile;
+  std::fstream file(params_path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekg(0, std::ios::end);
+  const int64_t size = file.tellg();
+  ASSERT_GT(size, 128);
+  char byte = 0;
+  file.seekg(size / 2);
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5a);
+  file.seekp(size / 2);
+  file.write(&byte, 1);
+  file.close();
+
+  Fixture reload_target(/*seed=*/5);
+  obs::MetricsRegistry registry;
+  serve::PolicyServerOptions options;
+  options.metrics = &registry;
+  options.reload_policy = reload_target.policy.get();
+  options.reload_context = &serving.context;
+  options.probe_request = serving.Requests(1).front();
+  serve::PolicyServer server(&plan.value(), options);
+
+  EXPECT_FALSE(server.Reload(dir).ok());
+  EXPECT_EQ(server.plan_version(), 1);
+  std::vector<serve::ServeResult> results;
+  server.ServeBatch(serving.Requests(2), &results);
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(result.plan_version, 1);
+  }
+}
+
+// ---- (d) Bit-identical completed results under chaos -----------------------
+
+TEST(ServingChaosTest, CompletedResultsBitIdenticalAcrossThreadsUnderFaults) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  constexpr int64_t kRequests = 48;
+  auto requests = f.Requests(kRequests);
+
+  // Seeded chaos schedule: worker stalls plus malformed-observation bursts.
+  sim::ServingFaultConfig config;
+  config.enabled = true;
+  config.seed = 11;
+  config.stall_prob = 0.25;
+  config.stall_us = 50;
+  config.malform_prob = 0.1;
+  config.malform_burst = 2;
+  const sim::ServingFaultPlan fault_plan =
+      sim::BuildServingFaultPlan(config, /*base_seed=*/17, kRequests);
+  ASSERT_GT(fault_plan.StallCount(), 0) << "seed produced no stalls";
+  ASSERT_GT(fault_plan.MalformCount(), 0) << "seed produced no malforms";
+  // The schedule itself is golden for (base_seed=17, seed=11, n=48): it must
+  // never drift, or the packing comparisons below compare different streams.
+  EXPECT_EQ(fault_plan.Digest(),
+            sim::BuildServingFaultPlan(config, 17, kRequests).Digest());
+
+  // Bake the malform events into the request pool (the stream the server
+  // actually sees); stalls go through worker_stall_hook.
+  std::vector<bool> malformed(static_cast<size_t>(kRequests), false);
+  for (const sim::ServingRequestFault& event : fault_plan.events) {
+    if (!event.malform) continue;
+    malformed[static_cast<size_t>(event.request)] = true;
+    Corrupt(&requests[static_cast<size_t>(event.request)],
+            f.context.num_stops);
+  }
+
+  const int64_t saved_threads = ThreadPool::Global().num_threads();
+  ThreadPool::SetGlobalThreads(1);
+
+  // Reference run: single thread, one whole-stream batch, no stalls. The
+  // breaker threshold is high so malformed requests never trip degradation
+  // here — bounded-degradation behavior has its own tests above.
+  std::vector<serve::ServeResult> reference;
+  {
+    obs::MetricsRegistry registry;
+    serve::PolicyServerOptions options;
+    options.metrics = &registry;
+    options.max_batch = kRequests;
+    options.breaker_failure_threshold = 1 << 20;
+    serve::PolicyServer server(&plan.value(), options);
+    server.ServeBatch(requests, &reference);
+  }
+  ASSERT_EQ(reference.size(), static_cast<size_t>(kRequests));
+  for (int64_t i = 0; i < kRequests; ++i) {
+    const auto& result = reference[static_cast<size_t>(i)];
+    if (malformed[static_cast<size_t>(i)]) {
+      ASSERT_EQ(result.status.code(), StatusCode::kInvalidArgument) << i;
+    } else {
+      ASSERT_TRUE(result.status.ok()) << i << ": " << result.status.ToString();
+    }
+  }
+
+  for (int64_t threads : {int64_t{1}, int64_t{4}}) {
+    ThreadPool::SetGlobalThreads(threads);
+    for (int64_t batch : {int64_t{1}, int64_t{7}, int64_t{64}}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " batch=" + std::to_string(batch));
+      obs::MetricsRegistry registry;
+      sim::ServingStallInjector injector(&fault_plan);
+      serve::PolicyServerOptions options;
+      options.metrics = &registry;
+      options.max_batch = batch;
+      options.breaker_failure_threshold = 1 << 20;
+      options.worker_stall_hook = injector.Hook();
+      serve::PolicyServer server(&plan.value(), options);
+
+      std::vector<serve::ServeResult> results;
+      std::vector<serve::ServeResult> chunk_results;
+      for (int64_t begin = 0; begin < kRequests; begin += batch) {
+        const int64_t end = std::min(kRequests, begin + batch);
+        std::vector<std::vector<env::UgvObservation>> chunk(
+            requests.begin() + begin, requests.begin() + end);
+        server.ServeBatch(chunk, &chunk_results);
+        for (auto& result : chunk_results) {
+          results.push_back(std::move(result));
+        }
+      }
+      ASSERT_EQ(results.size(), static_cast<size_t>(kRequests));
+
+      // Every Execute (including malformed ones) consults the stall
+      // schedule exactly once, so the stall total is packing-invariant.
+      EXPECT_EQ(injector.stalls(), fault_plan.StallCount());
+
+      for (int64_t i = 0; i < kRequests; ++i) {
+        const auto& got = results[static_cast<size_t>(i)];
+        const auto& want = reference[static_cast<size_t>(i)];
+        if (malformed[static_cast<size_t>(i)]) {
+          EXPECT_EQ(got.status.code(), want.status.code()) << i;
+        } else {
+          ExpectResultsBitIdentical(want, got);
+        }
+      }
+    }
+  }
+  ThreadPool::SetGlobalThreads(saved_threads);
+}
+
+}  // namespace
+}  // namespace garl

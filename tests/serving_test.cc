@@ -9,12 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -407,6 +409,118 @@ TEST(PolicyServerTest, MalformedRequestFailsAloneInsideABatch) {
   EXPECT_EQ(results[1].status.code(), StatusCode::kInvalidArgument);
   EXPECT_TRUE(results[1].actions.empty());
   EXPECT_TRUE(results[2].status.ok());
+}
+
+TEST(PolicyServerTest, ZeroRequestBatchIsANoOp) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  serve::PolicyServer server(&plan.value());
+
+  // Pre-filled junk must be cleared, not served.
+  std::vector<serve::ServeResult> results(3);
+  server.ServeBatch({}, &results);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(server.served(), 0);
+  // An empty batch is not evidence of health: the server never transitions
+  // out of kStarting on it.
+  EXPECT_EQ(server.Health().state, serve::HealthState::kStarting);
+}
+
+TEST(PolicyServerTest, ZeroUgvRequestFailsAloneOnBothPaths) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  serve::PolicyServer server(&plan.value());
+  auto good = f.Requests(1).front();
+
+  // Sync path: a zero-UGV request inside a batch fails only itself.
+  std::vector<serve::ServeResult> results;
+  server.ServeBatch({good, {}}, &results);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  EXPECT_EQ(results[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(results[1].actions.empty());
+  EXPECT_TRUE(results[1].values.empty());
+
+  // Async path: same containment.
+  std::future<serve::ServeResult> bad_future = server.Submit({});
+  std::future<serve::ServeResult> good_future = server.Submit(good);
+  EXPECT_EQ(bad_future.get().status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(good_future.get().status.ok());
+}
+
+TEST(PolicyServerTest, DuplicateObservationsInOneBatchServeIdentically) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto requests = f.Requests(3);
+  // The same joint observation appears three times in one fan-out: each copy
+  // runs on its own workspace slot and must produce the same bytes.
+  std::vector<std::vector<env::UgvObservation>> batch = {
+      requests[0], requests[1], requests[0], requests[0], requests[2]};
+
+  serve::PolicyServer server(&plan.value());
+  std::vector<serve::ServeResult> results;
+  server.ServeBatch(batch, &results);
+  ASSERT_EQ(results.size(), 5u);
+  ExpectResultsBitIdentical(results[0], results[2]);
+  ExpectResultsBitIdentical(results[0], results[3]);
+  EXPECT_TRUE(results[1].status.ok());
+  EXPECT_TRUE(results[4].status.ok());
+}
+
+// Satellite regression: a Submit racing Shutdown must deterministically
+// resolve every returned future (served, kUnavailable, or kCancelled) and
+// never leave one hanging. Run under TSan via cmake/run_tsan_tests.cmake.
+TEST(PolicyServerTest, SubmitShutdownRaceResolvesEveryFuture) {
+  Fixture f;
+  StatusOr<core::ServingPlan> plan =
+      core::ServingPlan::Compile(*f.policy, f.context);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const auto request = f.Requests(1).front();
+
+  for (int round = 0; round < 8; ++round) {
+    serve::PolicyServerOptions options;
+    options.max_queue_depth = 4;  // overload is part of the race surface
+    auto server = std::make_unique<serve::PolicyServer>(&plan.value(), options);
+
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 32;
+    std::vector<std::vector<std::future<serve::ServeResult>>> futures(
+        kProducers);
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      futures[p].reserve(kPerProducer);
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          futures[static_cast<size_t>(p)].push_back(server->Submit(request));
+        }
+      });
+    }
+    // Shutdown lands mid-stream on even rounds, after the producers on odd
+    // ones — both interleavings must resolve everything.
+    if (round % 2 == 0) server->Shutdown();
+    for (auto& producer : producers) producer.join();
+    server->Shutdown();
+
+    for (auto& lane : futures) {
+      for (auto& future : lane) {
+        ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready)
+            << "Submit future left hanging after Shutdown";
+        const serve::ServeResult result = future.get();
+        EXPECT_TRUE(result.status.ok() ||
+                    result.status.code() == StatusCode::kCancelled ||
+                    result.status.code() == StatusCode::kUnavailable)
+            << result.status.ToString();
+      }
+    }
+  }
 }
 
 TEST(PolicyServerTest, AsyncLatencyHistogramAndShutdownSemantics) {

@@ -49,7 +49,9 @@
 //                      call in src/ or tools/ outside src/common/fs_util.* —
 //                      every write must flow through the one durable path
 //                      (AtomicWriteFile / WriteFileDurable / AppendFile /
-//                      EnsureDirectory). bench/ is exempt.
+//                      EnsureDirectory). bench/ is exempt. In src/ (only),
+//                      std::ifstream is banned too: reads must flow through
+//                      ReadFileToString so the fs read-fault hook covers them.
 //   process-spawn      fork / vfork / exec* / posix_spawn / system() / popen()
 //                      in src/ or tools/ outside src/common/proc.* — every
 //                      child process flows through the one supervised spawn

@@ -162,7 +162,7 @@ void CheckNondetTime(TokenRuleRunner& run) {
   }
 }
 
-void CheckDirectIo(TokenRuleRunner& run) {
+void CheckDirectIo(TokenRuleRunner& run, bool ban_ifstream) {
   static const char* kFsMutators[] = {"create_director", "remove", "rename",
                                       "resize_file", "copy", "permissions"};
   for (size_t i = 0; i < run.Size(); ++i) {
@@ -173,6 +173,13 @@ void CheckDirectIo(TokenRuleRunner& run) {
                "std::ofstream bypasses the durable-write path; use "
                "WriteFileDurable/AtomicWriteFile (whole files) or AppendFile "
                "(logs) from common/fs_util.h");
+    } else if (ban_ifstream && name == "ifstream") {
+      // Library code (src/) must read through ReadFileToString so injected
+      // read faults (fs_util read-fault hook) cover every load path; tools/
+      // may still stream large inputs directly.
+      run.Emit(run.Line(i), "direct-io",
+               "std::ifstream bypasses the fault-injectable read path; use "
+               "ReadFileToString from common/fs_util.h");
     } else if (name == "mkdir" && run.Punct(i + 1, "(") &&
                !run.MemberPrev(i)) {
       run.Emit(run.Line(i), "direct-io",
@@ -497,7 +504,7 @@ void RunLocalRules(const std::string& rel_path, const TokenizedFile& file,
   if (IsHotPathFile(rel_path)) CheckFloatDoubleDrift(run);
   if (!IsTensorAllocatorFile(rel_path)) CheckRawNewDelete(run);
   if (IsDirectIoScope(rel_path) && !IsFsUtilFile(rel_path)) {
-    CheckDirectIo(run);
+    CheckDirectIo(run, /*ban_ifstream=*/StartsWith(rel_path, "src/"));
   }
   if (IsDirectIoScope(rel_path) && !IsProcFile(rel_path)) {
     CheckProcessSpawn(run);

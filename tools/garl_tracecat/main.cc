@@ -80,6 +80,18 @@ int Summarize(const std::vector<std::string>& files) {
         static_cast<long long>(s.last.fault_fs_injected),
         static_cast<long long>(s.last.fault_fs_recovered));
   }
+  if (s.serve_records > 0) {
+    std::cout << garl::StrPrintf(
+        "serving (last): plan v%lld, %lld queued; %lld shed / %lld rejected, "
+        "%lld deadline misses, %lld execute failures, %lld breaker trips\n",
+        static_cast<long long>(s.last.serve_plan_version),
+        static_cast<long long>(s.last.serve_queue_depth),
+        static_cast<long long>(s.last.serve_shed),
+        static_cast<long long>(s.last.serve_rejected),
+        static_cast<long long>(s.last.serve_deadline_misses),
+        static_cast<long long>(s.last.serve_execute_failures),
+        static_cast<long long>(s.last.serve_breaker_trips));
+  }
   std::cout << garl::StrPrintf(
       "route cache (last): %lld hits / %lld misses\n",
       static_cast<long long>(s.last.route_cache_hits),
